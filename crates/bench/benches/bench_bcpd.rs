@@ -1,0 +1,47 @@
+//! Micro-benchmarks of Bayesian online change-point detection: cost vs
+//! series length and hazard-rate sensitivity (a DESIGN.md ablation —
+//! lower hazard keeps longer run-length hypotheses alive and costs more).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_similarity::bcpd::{detect_changepoints, BcpdConfig};
+
+fn stepped_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let level = (i / (n / 3).max(1)) as f64 * 3.0;
+            let jitter = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            level + 0.3 * jitter
+        })
+        .collect()
+}
+
+fn bench_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcpd_length");
+    for n in [90usize, 180, 360] {
+        let series = stepped_series(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &series, |b, s| {
+            b.iter(|| detect_changepoints(std::hint::black_box(s), &BcpdConfig::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hazard(c: &mut Criterion) {
+    let series = stepped_series(240);
+    let mut g = c.benchmark_group("bcpd_hazard");
+    for hazard in [1.0 / 20.0, 1.0 / 100.0, 1.0 / 500.0] {
+        let config = BcpdConfig {
+            hazard,
+            ..BcpdConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("1/{:.0}", 1.0 / hazard)),
+            &config,
+            |b, cfg| b.iter(|| detect_changepoints(std::hint::black_box(&series), cfg)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_length, bench_hazard);
+criterion_main!(benches);

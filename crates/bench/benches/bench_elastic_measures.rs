@@ -1,0 +1,59 @@
+//! Micro-benchmarks of the elastic time-series measures: dependent vs
+//! independent DTW (a DESIGN.md ablation) and LCSS, across series
+//! lengths — these are the O(n²) measures whose cost the paper's MTS
+//! representation pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_linalg::Matrix;
+use wp_similarity::{dtw, lcss};
+
+fn series(n: usize, k: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(n, k);
+    let mut state = seed | 1;
+    for i in 0..n {
+        for j in 0..k {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            m[(i, j)] = (state % 1000) as f64 / 1000.0;
+        }
+    }
+    m
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dtw");
+    for n in [60usize, 180, 360] {
+        let a = series(n, 7, 1);
+        let b = series(n, 7, 2);
+        g.bench_with_input(BenchmarkId::new("dependent", n), &n, |bch, _| {
+            bch.iter(|| dtw::dtw_dependent(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("independent", n), &n, |bch, _| {
+            bch.iter(|| dtw::dtw_independent(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lcss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcss");
+    for n in [60usize, 180] {
+        let a = series(n, 7, 3);
+        let b = series(n, 7, 4);
+        g.bench_with_input(BenchmarkId::new("dependent", n), &n, |bch, _| {
+            bch.iter(|| {
+                lcss::lcss_dependent(std::hint::black_box(&a), std::hint::black_box(&b), 0.1)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("independent", n), &n, |bch, _| {
+            bch.iter(|| {
+                lcss::lcss_independent(std::hint::black_box(&a), std::hint::black_box(&b), 0.1)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dtw, bench_lcss);
+criterion_main!(benches);

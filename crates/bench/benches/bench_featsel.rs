@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the feature-selection strategies — the Table 3
+//! "Time (sec)" column in miniature: filters are orders of magnitude
+//! cheaper than wrappers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_featsel::lasso_path::LassoPath;
+use wp_featsel::wrapper::WrapperConfig;
+use wp_featsel::Strategy;
+use wp_telemetry::FeatureId;
+use wp_workloads::dataset::LabeledDataset;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn dataset() -> LabeledDataset {
+    let mut sim = Simulator::new(5);
+    sim.config.samples = 60;
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let mut sets = Vec::new();
+    for (li, spec) in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()]
+        .iter()
+        .enumerate()
+    {
+        let terminals = if li == 1 { 1 } else { 8 };
+        for r in 0..3 {
+            sets.push(sim.observations(spec, &sku, terminals, r, r % 3, 10));
+        }
+    }
+    LabeledDataset::from_observation_sets(&sets)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = dataset();
+    let universe = FeatureId::all();
+    let config = WrapperConfig {
+        cv_folds: 2,
+        logreg_iters: 60,
+        ..WrapperConfig::default()
+    };
+    let mut g = c.benchmark_group("featsel_90obs_29feat");
+    g.sample_size(10);
+    for strategy in [
+        Strategy::Variance,
+        Strategy::Pearson,
+        Strategy::FAnova,
+        Strategy::MiGain,
+        Strategy::Lasso,
+        Strategy::ElasticNet,
+        Strategy::Rfe(wp_featsel::wrapper::Estimator::Linear),
+        Strategy::Rfe(wp_featsel::wrapper::Estimator::DecisionTree),
+    ] {
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                strategy.rank(
+                    std::hint::black_box(&ds.features),
+                    std::hint::black_box(&ds.labels),
+                    &universe,
+                    &config,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lasso_path(c: &mut Criterion) {
+    let mut sim = Simulator::new(6);
+    sim.config.samples = 60;
+    let obs = sim.observations(
+        &benchmarks::tpcc(),
+        &Sku::new("cpu2", 2, 64.0),
+        8,
+        0,
+        0,
+        30,
+    );
+    let universe = FeatureId::all();
+    c.bench_function("lasso_path_30obs_40alphas", |b| {
+        b.iter(|| {
+            LassoPath::compute(
+                std::hint::black_box(&obs.features),
+                std::hint::black_box(&obs.throughput),
+                &universe,
+                40,
+                1e-3,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_strategies, bench_lasso_path);
+criterion_main!(benches);

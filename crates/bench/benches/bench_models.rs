@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the Table 6 modeling strategies on
+//! scaling-dataset-sized problems (~24 training points), plus the
+//! pairwise-vs-single context ablation: the paper reports SVM training
+//! 10–40× faster than gradient boosting — these benches measure our
+//! equivalents.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wp_linalg::Matrix;
+use wp_predict::context::{PairwiseScalingModel, SingleScalingModel};
+use wp_predict::ModelStrategy;
+
+fn scaling_problem() -> (Matrix, Vec<f64>, Vec<usize>) {
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut groups = Vec::new();
+    for i in 0..24usize {
+        let cpus = [2.0, 4.0, 8.0, 16.0][i % 4];
+        let jitter = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+        rows.push(vec![cpus]);
+        y.push(100.0 * cpus / (1.0 + 0.08 * (cpus - 1.0)) * (1.0 + 0.05 * jitter));
+        groups.push(i % 3);
+    }
+    (Matrix::from_rows(&rows), y, groups)
+}
+
+fn bench_strategy_fits(c: &mut Criterion) {
+    let (x, y, groups) = scaling_problem();
+    let mut g = c.benchmark_group("strategy_fit_24pts");
+    for strategy in ModelStrategy::ALL {
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                strategy.fit(
+                    std::hint::black_box(&x),
+                    std::hint::black_box(&y),
+                    Some(&groups),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_contexts(c: &mut Criterion) {
+    let levels = vec![2.0, 4.0, 8.0, 16.0];
+    let values: Vec<Vec<f64>> = levels
+        .iter()
+        .map(|&l| {
+            (0..30)
+                .map(|i| {
+                    let jitter = ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5;
+                    100.0 * l / (1.0 + 0.08 * (l - 1.0)) * (1.0 + 0.05 * jitter)
+                })
+                .collect()
+        })
+        .collect();
+    let groups: Vec<usize> = (0..30).map(|i| i % 3).collect();
+    let flat_cpus: Vec<f64> = levels
+        .iter()
+        .flat_map(|&l| std::iter::repeat(l).take(30))
+        .collect();
+    let flat_vals: Vec<f64> = values.iter().flatten().copied().collect();
+
+    let mut g = c.benchmark_group("context_fit");
+    g.bench_function("pairwise_svm_6pairs", |b| {
+        b.iter(|| {
+            PairwiseScalingModel::fit(
+                ModelStrategy::Svm,
+                std::hint::black_box(&levels),
+                std::hint::black_box(&values),
+                Some(&groups),
+            )
+        })
+    });
+    g.bench_function("single_svm_120pts", |b| {
+        b.iter(|| {
+            SingleScalingModel::fit(
+                ModelStrategy::Svm,
+                std::hint::black_box(&flat_cpus),
+                std::hint::black_box(&flat_vals),
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategy_fits, bench_contexts);
+criterion_main!(benches);

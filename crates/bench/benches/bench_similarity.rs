@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the similarity stage: fingerprint construction
+//! (cumulative vs raw histograms — a DESIGN.md ablation), the matrix
+//! norms, and full distance-matrix computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_similarity::histfp::{histfp, histfp_raw};
+use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::repr::{extract, RunFeatureData};
+use wp_telemetry::FeatureId;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn telemetry(n_runs: usize) -> Vec<RunFeatureData> {
+    let sim = Simulator::new(1);
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = [benchmarks::tpcc(), benchmarks::twitter()];
+    let features = FeatureId::all();
+    (0..n_runs)
+        .map(|i| {
+            let run = sim.simulate(&specs[i % 2], &sku, 8, i / 2, i % 3);
+            extract(&run, &features)
+        })
+        .collect()
+}
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let data = telemetry(6);
+    let mut g = c.benchmark_group("histfp");
+    g.bench_function("cumulative_6runs_29feat", |b| {
+        b.iter(|| histfp(std::hint::black_box(&data), 10))
+    });
+    g.bench_function("raw_6runs_29feat", |b| {
+        b.iter(|| histfp_raw(std::hint::black_box(&data), 10))
+    });
+    for bins in [5usize, 10, 50] {
+        g.bench_with_input(BenchmarkId::new("bins", bins), &bins, |b, &bins| {
+            b.iter(|| histfp(std::hint::black_box(&data), bins))
+        });
+    }
+    g.finish();
+}
+
+fn bench_norms(c: &mut Criterion) {
+    let data = telemetry(2);
+    let fps = histfp(&data, 10);
+    let mut g = c.benchmark_group("norms");
+    for norm in Norm::ALL {
+        g.bench_function(norm.label(), |b| {
+            b.iter(|| norm.apply(std::hint::black_box(&fps[0]), std::hint::black_box(&fps[1])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance_matrix");
+    for n in [4usize, 9, 15] {
+        let data = telemetry(n);
+        let fps = histfp(&data, 10);
+        g.bench_with_input(BenchmarkId::new("l21_runs", n), &fps, |b, fps| {
+            b.iter(|| distance_matrix(std::hint::black_box(fps), Measure::Norm(Norm::L21)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fingerprints, bench_norms, bench_distance_matrix);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the telemetry simulator itself: full-run
+//! synthesis, observation-set generation, and the closed-form
+//! performance model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_workloads::{benchmarks, scaling, Simulator, Sku};
+
+fn bench_simulate(c: &mut Criterion) {
+    let sim = Simulator::new(9);
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let mut g = c.benchmark_group("simulate_run");
+    for spec in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::tpcds()] {
+        let terminals = if spec.transactions.len() > 10 { 1 } else { 8 };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&spec.name),
+            &spec,
+            |b, spec| b.iter(|| sim.simulate(std::hint::black_box(spec), &sku, terminals, 0, 0)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_observations(c: &mut Criterion) {
+    let sim = Simulator::new(9);
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let spec = benchmarks::ycsb();
+    c.bench_function("observations_10sub", |b| {
+        b.iter(|| sim.observations(std::hint::black_box(&spec), &sku, 8, 0, 0, 10))
+    });
+}
+
+fn bench_perf_model(c: &mut Criterion) {
+    let spec = benchmarks::tpcc();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    c.bench_function("perf_estimate", |b| {
+        b.iter(|| scaling::estimate(std::hint::black_box(&spec), &sku, 32))
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_observations, bench_perf_model);
+criterion_main!(benches);

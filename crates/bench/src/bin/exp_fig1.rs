@@ -1,0 +1,121 @@
+//! Figure 1 / Example 1 — distribution of absolute percentage error of
+//! latency predictions, query-level vs workload-level.
+//!
+//! A customer's YCSB workload (six transaction types) moves from 2 CPUs
+//! to 4 CPUs. The provider has observed similar queries and workloads on
+//! both configurations: TPC-C, Twitter, and another YCSB operation
+//! mixture ("YCSB-B").
+//!
+//! * **query-level** predictions follow the prior-work recipe the paper's
+//!   introduction cites (`wp_predict::query_level`): each customer
+//!   transaction is matched to the most similar reference transaction and
+//!   inherits that transaction's *isolated* latency scaling factor —
+//!   which misses the effect of concurrent execution.
+//! * **workload-level** predictions transfer the most similar reference
+//!   *workload's* measured aggregate latency factor, which embeds the
+//!   concurrency behaviour.
+//!
+//! Ten repeated executions yield the error distributions.
+
+use wp_bench::default_sim;
+use wp_predict::query_level::{QueryLevelPredictor, ReferenceScaling};
+use wp_workloads::{benchmarks, Simulator, Sku};
+use wp_workloads::spec::WorkloadSpec;
+
+fn reference(
+    sim: &Simulator,
+    spec: &WorkloadSpec,
+    from: &Sku,
+    to: &Sku,
+    terminals: usize,
+) -> ReferenceScaling {
+    let pairs: Vec<_> = (0..3)
+        .map(|r| {
+            (
+                sim.simulate(spec, from, terminals, r, r % 3),
+                sim.simulate(spec, to, terminals, r, r % 3),
+            )
+        })
+        .collect();
+    ReferenceScaling::build(spec, from, to, &pairs)
+}
+
+fn main() {
+    let sim = default_sim();
+    let from_sku = Sku::new("cpu2", 2, 64.0);
+    let to_sku = Sku::new("cpu4", 4, 64.0);
+    let terminals = 8;
+
+    let ycsb_b = benchmarks::ycsb_mix("YCSB-B", [45.0, 10.0, 15.0, 10.0, 5.0, 15.0]);
+    let predictor = QueryLevelPredictor::new(vec![
+        reference(&sim, &benchmarks::tpcc(), &from_sku, &to_sku, terminals),
+        reference(&sim, &benchmarks::twitter(), &from_sku, &to_sku, terminals),
+        reference(&sim, &ycsb_b, &from_sku, &to_sku, terminals),
+    ]);
+
+    // the customer's workload; the similarity stage identifies YCSB-B as
+    // the closest reference (see exp_fig10_11 for the full pipeline)
+    let ycsb = benchmarks::ycsb();
+    let n_preds = 10;
+    let mut per_type_errors: Vec<Vec<f64>> = vec![Vec::new(); ycsb.transactions.len()];
+    let mut workload_errors = Vec::new();
+    let mut aggregated_query_errors = Vec::new();
+
+    for run in 0..n_preds {
+        let from = sim.simulate(&ycsb, &from_sku, terminals, run, run % 3);
+        let to = sim.simulate(&ycsb, &to_sku, terminals, run, run % 3);
+
+        let total_weight = ycsb.total_weight();
+        let mut predicted_weighted = 0.0;
+        for (qi, txn) in ycsb.transactions.iter().enumerate() {
+            let predicted = predictor.predict_query_latency(
+                from.plans.data.row(qi),
+                from.per_query_latency_ms[qi],
+            );
+            let actual = to.per_query_latency_ms[qi];
+            per_type_errors[qi].push(((actual - predicted) / actual).abs());
+            predicted_weighted += txn.weight / total_weight * predicted;
+        }
+        let actual_weighted: f64 = ycsb
+            .transactions
+            .iter()
+            .zip(&to.per_query_latency_ms)
+            .map(|(t, l)| t.weight / total_weight * l)
+            .sum();
+        aggregated_query_errors
+            .push(((actual_weighted - predicted_weighted) / actual_weighted).abs());
+
+        let predicted = predictor.predict_workload_latency(Some("YCSB-B"), from.latency_ms);
+        workload_errors.push(((to.latency_ms - predicted) / to.latency_ms).abs());
+    }
+
+    println!("Figure 1: absolute percentage error of 10 latency predictions (YCSB, 2 -> 4 CPUs)\n");
+    println!("references: TPC-C, Twitter, YCSB-B (another operation mixture)\n");
+    println!("{:<22} {:>8} {:>8} {:>8}", "predictor", "mean%", "min%", "max%");
+    println!("{}", "-".repeat(52));
+    for (qi, txn) in ycsb.transactions.iter().enumerate() {
+        let e = &per_type_errors[qi];
+        println!(
+            "query: {:<15} {:>8.2} {:>8.2} {:>8.2}",
+            txn.name,
+            wp_linalg::stats::mean(e) * 100.0,
+            wp_linalg::stats::min(e) * 100.0,
+            wp_linalg::stats::max(e) * 100.0
+        );
+    }
+    println!(
+        "{:<22} {:>8.2} {:>8.2} {:>8.2}",
+        "workload-level",
+        wp_linalg::stats::mean(&workload_errors) * 100.0,
+        wp_linalg::stats::min(&workload_errors) * 100.0,
+        wp_linalg::stats::max(&workload_errors) * 100.0
+    );
+    println!(
+        "\naggregated (weighted) query-level mean error: {:.2}%",
+        wp_linalg::stats::mean(&aggregated_query_errors) * 100.0
+    );
+    println!(
+        "workload-level mean error:                    {:.2}%",
+        wp_linalg::stats::mean(&workload_errors) * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 12 (Appendix B) — combining a linear scaling model with a
+//! Roofline performance ceiling.
+//!
+//! TPC-H runs on machines with 1–3 CPUs and a fixed, small memory; a
+//! linear model fitted on those points keeps growing with more CPUs, but
+//! the memory-bound ceiling flattens real performance. The
+//! Roofline-augmented model clips at the ceiling and predicts the 4-CPU
+//! point correctly.
+
+use wp_bench::default_sim;
+use wp_predict::roofline::RooflineModel;
+use wp_workloads::{benchmarks, Sku};
+
+fn main() {
+    let sim = default_sim();
+    let spec = benchmarks::tpch();
+    let memory_gb = 4.0; // deliberately starved so memory binds early
+
+    // measure 1..=3 CPUs (three runs each)
+    let measure = |cpus: usize| -> f64 {
+        let sku = Sku::new(format!("m{cpus}"), cpus, memory_gb);
+        let runs: Vec<f64> = (0..3)
+            .map(|r| sim.simulate(&spec, &sku, 1, r, r % 3).throughput)
+            .collect();
+        wp_linalg::stats::mean(&runs)
+    };
+    let train_cpus = [1.0, 2.0, 3.0];
+    let train_thr: Vec<f64> = [1, 2, 3].iter().map(|&c| measure(c)).collect();
+
+    // ceiling: the memory-bound throughput, measured far past the knee
+    let ceiling = measure(12);
+    let model = RooflineModel::fit(&train_cpus, &train_thr, ceiling);
+
+    println!("Figure 12: Roofline-augmented linear model (TPC-H, {memory_gb} GiB memory)\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "CPUs", "measured", "linear", "roofline"
+    );
+    println!("{}", "-".repeat(46));
+    for cpus in 1..=6usize {
+        let measured = measure(cpus);
+        println!(
+            "{cpus:>5} {measured:>12.3} {:>12.3} {:>12.3}",
+            model.predict_linear(cpus as f64),
+            model.predict(cpus as f64)
+        );
+    }
+    println!("\nceiling = {ceiling:.3} q/s (memory-bound)");
+    match model.knee() {
+        Some(k) => println!("knee at {k:.2} CPUs: more compute stops helping beyond this point"),
+        None => println!("no knee detected"),
+    }
+
+    // quantify: error at 4-6 CPUs, linear vs roofline
+    let mut lin_err = 0.0;
+    let mut roof_err = 0.0;
+    for cpus in 4..=6usize {
+        let measured = measure(cpus);
+        lin_err += ((model.predict_linear(cpus as f64) - measured) / measured).abs();
+        roof_err += ((model.predict(cpus as f64) - measured) / measured).abs();
+    }
+    println!(
+        "\nmean relative error beyond the knee: linear {:.1}%, roofline {:.1}%",
+        lin_err / 3.0 * 100.0,
+        roof_err / 3.0 * 100.0
+    );
+}

@@ -1,0 +1,70 @@
+//! Figure 3 — Lasso paths of features for each experiment on the 2-CPU
+//! hardware setting. Each sub-figure regresses the per-sub-experiment
+//! throughput on the 29 features across a decreasing regularization grid
+//! and labels the top-7 features by largest absolute coefficient.
+//!
+//! Sub-figures: (a) TPC-C run 0, (b) TPC-C run 1, (c) Twitter, (d) TPC-H,
+//! plus the YCSB panel discussed in §4.3.1.
+
+use wp_bench::default_sim;
+use wp_featsel::lasso_path::LassoPath;
+use wp_telemetry::FeatureId;
+use wp_workloads::benchmarks;
+use wp_workloads::engine::Simulator;
+use wp_workloads::sku::Sku;
+use wp_workloads::spec::WorkloadSpec;
+
+fn panel(sim: &Simulator, spec: &WorkloadSpec, run_index: usize, title: &str) {
+    let sku = Sku::new("cpu2", 2, 64.0);
+    let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+    // pool 3 runs' sub-experiments but keep the requested run first so
+    // run-to-run differences (Fig. 3a vs 3b) remain visible
+    let obs = sim.observations(spec, &sku, terminals, run_index, run_index % 3, 30);
+    let path = LassoPath::compute(&obs.features, &obs.throughput, &FeatureId::all(), 40, 1e-3);
+    let top7 = path.top_k(7);
+
+    println!("--- {title} ---");
+    println!("top-7 features (most to least important):");
+    for (i, f) in top7.iter().enumerate() {
+        let peak = path.peak_importance()[f.global_index()];
+        println!("  {}. {:<38} peak |coef| = {:.4}", i + 1, f.name(), peak);
+    }
+    // a compact path rendering: coefficient at 5 alphas for the top-3
+    println!("path (alpha -> coef) for top-3:");
+    for f in top7.iter().take(3) {
+        let traj = path.trajectory(*f).unwrap();
+        let picks: Vec<String> = [0, 10, 20, 30, 39]
+            .iter()
+            .map(|&i| format!("{:.3}@{:.2e}", traj[i], path.points[i].alpha))
+            .collect();
+        println!("  {:<38} {}", f.name(), picks.join("  "));
+    }
+    println!();
+}
+
+fn main() {
+    let sim = default_sim();
+    println!("Figure 3: Lasso path of features for each experiment (2 CPUs).\n");
+    panel(&sim, &benchmarks::tpcc(), 0, "(a) TPC-C, run 0");
+    panel(&sim, &benchmarks::tpcc(), 1, "(b) TPC-C, run 1");
+    panel(&sim, &benchmarks::twitter(), 0, "(c) Twitter");
+    panel(&sim, &benchmarks::tpch(), 0, "(d) TPC-H");
+    panel(&sim, &benchmarks::ycsb(), 0, "(e) YCSB (discussed in §4.3.1)");
+
+    // overlap summary (the §4.3.1 observations)
+    let overlap = |a: &WorkloadSpec, b: &WorkloadSpec| {
+        let sku = Sku::new("cpu2", 2, 64.0);
+        let ta = if a.name == "TPC-H" { 1 } else { 8 };
+        let tb = if b.name == "TPC-H" { 1 } else { 8 };
+        let oa = sim.observations(a, &sku, ta, 0, 0, 30);
+        let ob = sim.observations(b, &sku, tb, 0, 0, 30);
+        let pa = LassoPath::compute(&oa.features, &oa.throughput, &FeatureId::all(), 40, 1e-3);
+        let pb = LassoPath::compute(&ob.features, &ob.throughput, &FeatureId::all(), 40, 1e-3);
+        let sa: std::collections::HashSet<_> = pa.top_k(7).into_iter().collect();
+        let sb: std::collections::HashSet<_> = pb.top_k(7).into_iter().collect();
+        sa.intersection(&sb).count()
+    };
+    println!("top-7 overlap TPC-C ∩ Twitter: {}", overlap(&benchmarks::tpcc(), &benchmarks::twitter()));
+    println!("top-7 overlap TPC-C ∩ TPC-H:   {}", overlap(&benchmarks::tpcc(), &benchmarks::tpch()));
+    println!("top-7 overlap Twitter ∩ TPC-H: {}", overlap(&benchmarks::twitter(), &benchmarks::tpch()));
+}

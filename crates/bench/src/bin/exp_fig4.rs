@@ -1,0 +1,42 @@
+//! Figure 4 — generalized accuracy development curves: each strategy's
+//! accuracy-vs-k curve is classified into the three patterns of Insight 2
+//! (increasing / peaking / inconclusive).
+
+use wp_bench::default_sim;
+use wp_bench::table3::run_table3;
+use wp_featsel::evaluate::{classify_pattern, AccuracyPattern};
+use wp_workloads::sku::Sku;
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    eprintln!("computing Table 3 curves for pattern classification ...");
+    let result = run_table3(&sim, &sku, 3);
+
+    println!("Figure 4: Generalized Accuracy Development Curves.\n");
+    println!("{:<16} {:<40} Pattern", "Strategy", "accuracy @ k=1,3,7,15,all");
+    println!("{}", "-".repeat(78));
+    let mut counts = [0usize; 3];
+    for row in &result.rows {
+        let mut curve = row.curve.clone();
+        curve.push((29, result.all_features_accuracy));
+        let pattern = classify_pattern(&curve, 0.01);
+        let idx = match pattern {
+            AccuracyPattern::Increasing => 0,
+            AccuracyPattern::Peaking => 1,
+            AccuracyPattern::Inconclusive => 2,
+        };
+        counts[idx] += 1;
+        let pts: Vec<String> = curve.iter().map(|(_, a)| format!("{a:.3}")).collect();
+        println!(
+            "{:<16} {:<40} {:?}",
+            row.strategy.label(),
+            pts.join(" "),
+            pattern
+        );
+    }
+    println!(
+        "\npattern counts: {} increasing, {} peaking, {} inconclusive",
+        counts[0], counts[1], counts[2]
+    );
+}

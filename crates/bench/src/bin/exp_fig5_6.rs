@@ -1,0 +1,97 @@
+//! Figures 5 and 6 — per-workload similarity bars with robustness error
+//! bars: the normalized L2,1 distance on Hist-FP between one query
+//! workload (Twitter for Figure 5, TPC-C for Figure 6) and every
+//! reference workload, using top-7 vs all features; the spread across
+//! repeated runs is the robustness error bar.
+
+use wp_bench::selection::rfe_logreg_ranking;
+use wp_bench::{corpus_fixed_terminals, default_sim, feature_data};
+use wp_similarity::histfp::histfp;
+use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_telemetry::{FeatureId, FeatureSet};
+use wp_workloads::benchmarks;
+use wp_workloads::sku::Sku;
+
+/// Distance of each query-workload run to each reference workload:
+/// returns per reference the (mean, stddev) over the query runs × ref
+/// runs pairs.
+fn similarity_bars(
+    query: &str,
+    corpus: &wp_bench::RunCorpus,
+    features: &[FeatureId],
+) -> Vec<(String, f64, f64)> {
+    let run_refs: Vec<&wp_telemetry::ExperimentRun> = corpus.runs.iter().collect();
+    let data = feature_data(&run_refs, features);
+    let fps = histfp(&data, 10);
+    let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::L21)));
+    let qlabel = corpus.names.iter().position(|n| n == query).unwrap();
+    let qruns: Vec<usize> = (0..corpus.runs.len())
+        .filter(|&i| corpus.labels[i] == qlabel)
+        .collect();
+    corpus
+        .names
+        .iter()
+        .enumerate()
+        .map(|(l, name)| {
+            let rruns: Vec<usize> = (0..corpus.runs.len())
+                .filter(|&i| corpus.labels[i] == l)
+                .collect();
+            let mut dists = Vec::new();
+            for &q in &qruns {
+                for &r in &rruns {
+                    if q != r {
+                        dists.push(d[(q, r)]);
+                    }
+                }
+            }
+            (
+                name.clone(),
+                wp_linalg::stats::mean(&dists),
+                wp_linalg::stats::stddev(&dists),
+            )
+        })
+        .collect()
+}
+
+fn panel(title: &str, query: &str, corpus: &wp_bench::RunCorpus, sets: &[(&str, Vec<FeatureId>)]) {
+    println!("--- {title} ---");
+    for (label, features) in sets {
+        println!("feature set: {label}");
+        for (name, mean, sd) in similarity_bars(query, corpus, features) {
+            let marker = if name == query { " (self)" } else { "" };
+            println!("  vs {name:<8} {mean:.3} ± {sd:.3}{marker}");
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let corpus = corpus_fixed_terminals(&sim, &specs, &sku, 8, 3);
+
+    let plan_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::PlanOnly, 3);
+    let res_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::ResourceOnly, 3);
+    let all_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::Combined, 3);
+
+    println!("Figures 5-6: per-workload similarity (normalized L2,1 on Hist-FP)\n");
+    let sets5: Vec<(&str, Vec<FeatureId>)> = vec![
+        ("top-7 combined", all_rank.top_k(7)),
+        ("all 29 features", all_rank.top_k(all_rank.len())),
+        ("resource-only (top-5)", res_rank.top_k(5)),
+    ];
+    panel("Figure 5: Twitter workload", "Twitter", &corpus, &sets5);
+
+    let sets6: Vec<(&str, Vec<FeatureId>)> = vec![
+        ("top-7 combined", all_rank.top_k(7)),
+        ("top-7 plan", plan_rank.top_k(7)),
+        ("all 29 features", all_rank.top_k(all_rank.len())),
+    ];
+    panel("Figure 6: TPC-C workload", "TPC-C", &corpus, &sets6);
+
+    println!(
+        "(error bars = stddev over run pairs; resource-only sets show larger\n\
+         spread, and 'all features' compresses the identical-vs-similar gap)"
+    );
+}

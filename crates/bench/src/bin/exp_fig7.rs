@@ -1,0 +1,86 @@
+//! Figure 7 — similarity of the production workload PW to the
+//! standardized workloads on the 80-vcore setup, plan features only
+//! (resource tracking is unavailable for PW, §5.2.3), Canberra norm on
+//! Hist-FP, for top-3 / top-7 / all plan features.
+
+use wp_bench::selection::rfe_logreg_ranking;
+use wp_bench::{default_sim, feature_data};
+use wp_similarity::histfp::histfp;
+use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_telemetry::{ExperimentRun, FeatureSet};
+use wp_workloads::benchmarks;
+use wp_workloads::sku::Sku;
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::vcore80();
+    let references = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::tpcds(),
+        benchmarks::twitter(),
+    ];
+    let pw = benchmarks::pw();
+
+    // plan-only ranking computed on the reference corpus
+    let plan_rank = rfe_logreg_ranking(&sim, &references, &sku, FeatureSet::PlanOnly, 3);
+
+    // simulate runs: PW + references on the 80-vcore machine
+    let runs_of = |spec: &wp_workloads::WorkloadSpec| -> Vec<ExperimentRun> {
+        let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" { 1 } else { 16 };
+        (0..3)
+            .map(|r| sim.simulate(spec, &sku, terminals, r, r % 3))
+            .collect()
+    };
+    let pw_runs = runs_of(&pw);
+    let ref_runs: Vec<(String, Vec<ExperimentRun>)> = references
+        .iter()
+        .map(|s| (s.name.clone(), runs_of(s)))
+        .collect();
+
+    println!("Figure 7: PW similarity to standardized workloads (80 vcores, plan features, Canberra norm on Hist-FP)\n");
+    for k in [Some(3usize), Some(7), None] {
+        let features = match k {
+            Some(k) => plan_rank.top_k(k),
+            None => plan_rank.top_k(plan_rank.len()),
+        };
+        let label = match k {
+            Some(k) => format!("top-{k}"),
+            None => "all".into(),
+        };
+        // distances jointly normalized over all runs
+        let mut all: Vec<&ExperimentRun> = pw_runs.iter().collect();
+        let mut spans = Vec::new();
+        for (_, runs) in &ref_runs {
+            let s = all.len();
+            all.extend(runs.iter());
+            spans.push(s..all.len());
+        }
+        let data = feature_data(&all, &features);
+        let fps = histfp(&data, 10);
+        let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::Canberra)));
+
+        println!("feature set: {label}");
+        let mut verdicts: Vec<(String, f64)> = ref_runs
+            .iter()
+            .zip(&spans)
+            .map(|((name, _), span)| {
+                let mut total = 0.0;
+                let mut n = 0;
+                for t in 0..pw_runs.len() {
+                    for r in span.clone() {
+                        total += d[(t, r)];
+                        n += 1;
+                    }
+                }
+                (name.clone(), total / n as f64)
+            })
+            .collect();
+        verdicts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (name, dist) in &verdicts {
+            println!("  PW vs {name:<8} {dist:.3}");
+        }
+        println!("  -> most similar: {}\n", verdicts[0].0);
+    }
+    println!("(PW's simple analytical queries should align with TPC-H, §5.2.3)");
+}

@@ -1,0 +1,82 @@
+//! Multi-dimensional SKU study (§7 future work): prediction over a
+//! (CPUs × memory) SKU grid for a memory-sensitive workload, comparing
+//! the CPU-only single model with the multi-dimensional model and the
+//! pairwise transfer used in §6.2.3.
+
+use wp_bench::default_sim;
+use wp_predict::context::SingleScalingModel;
+use wp_predict::multidim::MultiDimScalingModel;
+use wp_predict::ModelStrategy;
+use wp_workloads::{benchmarks, Sku};
+
+fn main() {
+    let sim = default_sim();
+    let spec = benchmarks::tpch(); // memory roofline binds below ~16 GiB
+
+    let grid: Vec<Sku> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&c| {
+            [4.0, 8.0, 16.0]
+                .iter()
+                .map(move |&m| Sku::new(format!("c{c}m{m}"), c, m))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // training observations: 3 runs per grid cell
+    let mut skus = Vec::new();
+    let mut values = Vec::new();
+    let mut groups = Vec::new();
+    for sku in &grid {
+        for r in 0..3 {
+            skus.push(sku.clone());
+            values.push(sim.simulate(&spec, sku, 1, r, r % 3).throughput);
+            groups.push(r % 3);
+        }
+    }
+
+    let multi = MultiDimScalingModel::fit(
+        ModelStrategy::GradientBoosting,
+        &skus,
+        &values,
+        Some(&groups),
+    );
+    let cpus: Vec<f64> = skus.iter().map(|s| s.cpus as f64).collect();
+    let cpu_only = SingleScalingModel::fit(
+        ModelStrategy::GradientBoosting,
+        &cpus,
+        &values,
+        Some(&groups),
+    );
+
+    println!("Multi-dimensional SKU prediction: TPC-H over a (CPUs x memory) grid\n");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12}",
+        "CPUs", "GiB", "actual", "multi-dim", "cpu-only"
+    );
+    println!("{}", "-".repeat(54));
+    let mut multi_err = 0.0;
+    let mut cpu_err = 0.0;
+    for sku in &grid {
+        let actual = sim.simulate(&spec, sku, 1, 1, 1).throughput;
+        let pm = multi.predict(sku);
+        let pc = cpu_only.predict(sku.cpus as f64);
+        multi_err += ((pm - actual) / actual).abs();
+        cpu_err += ((pc - actual) / actual).abs();
+        println!(
+            "{:>6} {:>8} {:>10.3} {:>12.3} {:>12.3}",
+            sku.cpus, sku.memory_gb, actual, pm, pc
+        );
+    }
+    let n = grid.len() as f64;
+    println!(
+        "\nmean relative error: multi-dim {:.1}%, cpu-only {:.1}%",
+        multi_err / n * 100.0,
+        cpu_err / n * 100.0
+    );
+    println!(
+        "\n(a CPU-only model conflates the memory dimension; the §7 claim —\n\
+         single-curve assumptions degrade further on multi-dimensional SKUs —\n\
+         shows up as the cpu-only column's error at 4 GiB vs 16 GiB)"
+    );
+}

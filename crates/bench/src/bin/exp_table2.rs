@@ -1,0 +1,26 @@
+//! Table 2 — resource utilization and query plan features.
+
+use wp_telemetry::{PlanFeature, ResourceFeature};
+
+fn main() {
+    println!("Table 2: Resource utilization and query plans features.\n");
+    println!("{:<22} | Query Plan Statistics", "Resource Utilization");
+    println!("{}", "-".repeat(70));
+    let plans: Vec<&str> = PlanFeature::ALL.iter().map(|f| f.name()).collect();
+    let n = ResourceFeature::ALL.len().max(plans.len().div_ceil(2));
+    for i in 0..n {
+        let res = ResourceFeature::ALL
+            .get(i)
+            .map(|f| f.name())
+            .unwrap_or("");
+        let p1 = plans.get(2 * i).copied().unwrap_or("");
+        let p2 = plans.get(2 * i + 1).copied().unwrap_or("");
+        println!("{res:<22} | {p1:<24} {p2}");
+    }
+    println!(
+        "\n{} resource features + {} plan features = {} total",
+        ResourceFeature::ALL.len(),
+        PlanFeature::ALL.len(),
+        wp_telemetry::N_FEATURES
+    );
+}

@@ -1,0 +1,40 @@
+//! Table 3 — comparison of feature selection strategies: 1-NN
+//! workload-identification accuracy of the top-{1,3,7,15,all} subsets
+//! (L2,1 norm on Hist-FP) and elapsed selection time, on the 16-CPU
+//! hardware configuration.
+
+use wp_bench::default_sim;
+use wp_bench::table3::run_table3;
+use wp_workloads::sku::Sku;
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    eprintln!("simulating corpus on {sku} and running 17 strategies ...");
+    let result = run_table3(&sim, &sku, 3);
+
+    println!("Table 3: Comparison of Feature Selection Strategies (Accuracy & Elapsed Time).\n");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>12}",
+        "Strategy", "top-1", "top-3", "top-7", "top-15", "all", "Time (sec)"
+    );
+    println!("{}", "-".repeat(72));
+    for row in &result.rows {
+        let cells: Vec<String> = row
+            .curve
+            .iter()
+            .map(|(_, acc)| format!("{acc:>7.3}"))
+            .collect();
+        println!(
+            "{:<16} {} {:>7.3} {:>12.3}",
+            row.strategy.label(),
+            cells.join(" "),
+            result.all_features_accuracy,
+            row.seconds
+        );
+    }
+    println!(
+        "\n(1-NN accuracy over {} runs; 'all' column uses all 29 features)",
+        result.n_runs
+    );
+}

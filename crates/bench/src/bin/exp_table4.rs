@@ -1,0 +1,168 @@
+//! Table 4 — similarity computation mechanisms comparison (mAP and NDCG)
+//! across the three data representations:
+//!
+//! * (a) MTS with norms, DTW, and LCSS on resource features (top-3/5/all)
+//! * (b) Hist-FP with the four norms on plan / resource / combined
+//!   feature subsets
+//! * (c) Phase-FP with three norms on the same subsets
+//!
+//! Workloads: TPC-C, TPC-H, Twitter on the 16-CPU configuration, three
+//! runs each. NDCG relevance grades: 2 = same workload, 1 = the
+//! point-lookup pair TPC-C↔Twitter ("similar" per §5.2.1), 0 = unrelated.
+
+use wp_bench::selection::rfe_logreg_ranking;
+use wp_bench::{corpus_fixed_terminals, default_sim, feature_data, RunCorpus};
+use wp_similarity::histfp::histfp;
+use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
+use wp_similarity::repr::mts;
+use wp_similarity::{mean_average_precision, ndcg};
+use wp_telemetry::{FeatureId, FeatureSet};
+use wp_workloads::benchmarks;
+use wp_workloads::sku::Sku;
+
+fn relevance(corpus: &RunCorpus) -> impl Fn(usize, usize) -> f64 + '_ {
+    move |i: usize, j: usize| {
+        let (a, b) = (corpus.labels[i], corpus.labels[j]);
+        if a == b {
+            2.0
+        } else {
+            let names = (&corpus.names[a], &corpus.names[b]);
+            let pointlookup = |n: &String| n == "TPC-C" || n == "Twitter";
+            if pointlookup(names.0) && pointlookup(names.1) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn score(
+    corpus: &RunCorpus,
+    fps: &[wp_linalg::Matrix],
+    measure: Measure,
+) -> (f64, f64) {
+    let d = distance_matrix(fps, measure);
+    let map = mean_average_precision(&d, &corpus.labels);
+    let n = ndcg(&d, relevance(corpus));
+    (map, n)
+}
+
+type FamilySets = Vec<(&'static str, Vec<(String, Vec<FeatureId>)>)>;
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let corpus = corpus_fixed_terminals(&sim, &specs, &sku, 8, 3);
+    eprintln!("corpus: {} runs", corpus.runs.len());
+    let run_refs: Vec<&wp_telemetry::ExperimentRun> = corpus.runs.iter().collect();
+
+    // feature subsets from RFE LogReg (Table 5)
+    let plan_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::PlanOnly, 3);
+    let res_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::ResourceOnly, 3);
+    let all_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::Combined, 3);
+    let subset = |rank: &wp_featsel::Ranking, k: Option<usize>| -> Vec<FeatureId> {
+        match k {
+            Some(k) => rank.top_k(k),
+            None => rank.top_k(rank.len()),
+        }
+    };
+
+    // ---- (a) MTS: resource features only ----
+    println!("Table 4(a): MTS representation (resource features)\n");
+    println!("{:<18} {:>6} {:>12} {:>12} {:>12}", "Measure", "", "top-3", "top-5", "all");
+    println!("{}", "-".repeat(64));
+    let res_sets = [
+        subset(&res_rank, Some(3)),
+        subset(&res_rank, Some(5)),
+        subset(&res_rank, None),
+    ];
+    for measure in Measure::mts_suite() {
+        let mut maps = Vec::new();
+        let mut ndcgs = Vec::new();
+        for features in &res_sets {
+            let data = feature_data(&run_refs, features);
+            let fps = mts(&data);
+            let (m, n) = score(&corpus, &fps, measure);
+            maps.push(m);
+            ndcgs.push(n);
+        }
+        println!(
+            "{:<18} {:>6} {:>12.3} {:>12.3} {:>12.3}",
+            measure.label(),
+            "mAP",
+            maps[0],
+            maps[1],
+            maps[2]
+        );
+        println!(
+            "{:<18} {:>6} {:>12.3} {:>12.3} {:>12.3}",
+            "", "NDCG", ndcgs[0], ndcgs[1], ndcgs[2]
+        );
+    }
+
+    // ---- (b) Hist-FP and (c) Phase-FP across feature families ----
+    let family_sets: FamilySets = vec![
+        (
+            "Plan",
+            vec![
+                ("3".into(), subset(&plan_rank, Some(3))),
+                ("7".into(), subset(&plan_rank, Some(7))),
+                ("all".into(), subset(&plan_rank, None)),
+            ],
+        ),
+        (
+            "Resource",
+            vec![
+                ("3".into(), subset(&res_rank, Some(3))),
+                ("5".into(), subset(&res_rank, Some(5))),
+                ("all".into(), subset(&res_rank, None)),
+            ],
+        ),
+        (
+            "Combined",
+            vec![
+                ("3".into(), subset(&all_rank, Some(3))),
+                ("7".into(), subset(&all_rank, Some(7))),
+                ("all".into(), subset(&all_rank, None)),
+            ],
+        ),
+    ];
+
+    for (title, norms, use_phase) in [
+        ("Table 4(b): Hist-FP representation", vec![Norm::L21, Norm::L11, Norm::Frobenius, Norm::Canberra], false),
+        ("Table 4(c): Phase-FP representation", vec![Norm::L21, Norm::L11, Norm::Frobenius], true),
+    ] {
+        println!("\n{title}\n");
+        print!("{:<12} {:>6}", "Norm", "");
+        for (fam, sets) in &family_sets {
+            for (k, _) in sets {
+                print!(" {:>10}", format!("{fam}-{k}"));
+            }
+        }
+        println!();
+        println!("{}", "-".repeat(112));
+        for norm in norms {
+            let mut map_row = String::new();
+            let mut ndcg_row = String::new();
+            for (_, sets) in &family_sets {
+                for (_, features) in sets {
+                    let data = feature_data(&run_refs, features);
+                    let fps = if use_phase {
+                        phasefp(&data, &PhaseFpConfig::default())
+                    } else {
+                        histfp(&data, 10)
+                    };
+                    let (m, n) = score(&corpus, &fps, Measure::Norm(norm));
+                    map_row += &format!(" {m:>10.3}");
+                    ndcg_row += &format!(" {n:>10.3}");
+                }
+            }
+            println!("{:<12} {:>6}{}", norm.label(), "mAP", map_row);
+            println!("{:<12} {:>6}{}", "", "NDCG", ndcg_row);
+        }
+    }
+    println!("\n(9 runs: TPC-C, TPC-H, Twitter x 3 runs at 16 CPUs)");
+}

@@ -1,0 +1,46 @@
+//! Table 5 — top-k features selected by RFE with logistic regression for
+//! the plan-only, resource-only, and combined feature sets (the feature
+//! subsets the Table 4 similarity study uses).
+
+use wp_bench::{default_sim, observation_dataset};
+use wp_featsel::aggregate::aggregate_rankings;
+use wp_featsel::wrapper::{rfe, Estimator, WrapperConfig};
+use wp_telemetry::FeatureSet;
+use wp_workloads::benchmarks;
+use wp_workloads::sku::Sku;
+
+fn main() {
+    let sim = default_sim();
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let config = WrapperConfig::default();
+    let runs = 3;
+    let ds = observation_dataset(&sim, &specs, &sku, runs, 10);
+
+    println!("Table 5: Top-k features selected by RFE LogReg per feature family.\n");
+    for (family, k) in [
+        (FeatureSet::PlanOnly, 7usize),
+        (FeatureSet::ResourceOnly, 5),
+        (FeatureSet::Combined, 7),
+    ] {
+        let universe = family.features();
+        let cols: Vec<usize> = universe.iter().map(|f| f.global_index()).collect();
+        let mut rankings = Vec::new();
+        for r in 0..runs {
+            let idx: Vec<usize> = (0..ds.len()).filter(|i| (i / 10) % runs == r).collect();
+            let x = ds.features.select_rows(&idx).select_cols(&cols);
+            let labels: Vec<usize> = idx.iter().map(|&i| ds.labels[i]).collect();
+            rankings.push(rfe(
+                &x,
+                &labels,
+                &universe,
+                Estimator::LogisticRegression,
+                &config,
+            ));
+        }
+        let agg = aggregate_rankings(&rankings);
+        let top: Vec<&str> = agg.top_k(k).iter().map(|f| f.name()).collect();
+        println!("Top-{k} {:<9}: {}", family.label(), top.join(", "));
+    }
+    println!("\n(features in descending importance; aggregated over 3 runs)");
+}

@@ -1,0 +1,83 @@
+//! Table 6 — mean throughput-prediction NRMSE of 5-fold cross-validation
+//! for every (context × strategy) combination over seven workload
+//! settings (TPC-C and Twitter with 4/8/32 terminals, TPC-H serial),
+//! plus the inverse-linear baseline and mean training times.
+
+use wp_bench::default_sim;
+use wp_predict::context::ModelContext;
+use wp_predict::evaluation::{baseline_nrmse, cv_nrmse};
+use wp_predict::predictor::scaling_data_from_simulation;
+use wp_predict::ModelStrategy;
+use wp_workloads::benchmarks;
+use wp_workloads::sku::Sku;
+
+fn main() {
+    let sim = default_sim();
+    let skus = Sku::paper_grid();
+
+    // the seven workload settings of Table 6
+    let settings: Vec<(String, wp_workloads::WorkloadSpec, usize)> = vec![
+        ("TPC-C_4".into(), benchmarks::tpcc(), 4),
+        ("TPC-C_8".into(), benchmarks::tpcc(), 8),
+        ("TPC-C_32".into(), benchmarks::tpcc(), 32),
+        ("Twitter_4".into(), benchmarks::twitter(), 4),
+        ("Twitter_8".into(), benchmarks::twitter(), 8),
+        ("Twitter_32".into(), benchmarks::twitter(), 32),
+        ("TPC-H_1".into(), benchmarks::tpch(), 1),
+    ];
+
+    eprintln!("building scaling data for {} settings ...", settings.len());
+    let datasets: Vec<_> = settings
+        .iter()
+        .map(|(name, spec, terminals)| {
+            (
+                name.clone(),
+                scaling_data_from_simulation(&sim, spec, &skus, *terminals, 3, 10),
+            )
+        })
+        .collect();
+
+    println!("Table 6: Mean throughput prediction (NRMSE) of 5-fold cross validation.\n");
+    print!("{:<10} {:<11} {:>10}", "Context", "Strategy", "Train(s)");
+    for (name, _) in &datasets {
+        print!(" {name:>10}");
+    }
+    println!(" {:>8}", "Mean");
+    println!("{}", "-".repeat(118));
+
+    for context in [ModelContext::Pairwise, ModelContext::Single] {
+        for strategy in ModelStrategy::ALL {
+            let mut cells = Vec::new();
+            let mut train_time = 0.0;
+            for (_, data) in &datasets {
+                let cell = cv_nrmse(data, context, strategy, 5, 42);
+                cells.push(cell.nrmse);
+                train_time += cell.train_seconds;
+            }
+            let mean = wp_linalg::stats::mean(&cells);
+            print!(
+                "{:<10} {:<11} {:>10.4}",
+                context.label(),
+                strategy.label(),
+                train_time / (datasets.len() * 30) as f64 // per model fit
+            );
+            for c in &cells {
+                print!(" {c:>10.3}");
+            }
+            println!(" {mean:>8.3}");
+        }
+    }
+
+    // baseline row
+    let base_cells: Vec<f64> = datasets.iter().map(|(_, d)| baseline_nrmse(d)).collect();
+    print!("{:<10} {:<11} {:>10}", "", "Baseline", "-");
+    for c in &base_cells {
+        print!(" {c:>10.3}");
+    }
+    println!(" {:>8.3}", wp_linalg::stats::mean(&base_cells));
+
+    println!(
+        "\n(30 observation slots per CPU level: 3 runs x 10 sub-samples;\n\
+         Train(s) is the mean wall-clock seconds per individual model fit)"
+    );
+}

@@ -1,0 +1,36 @@
+//! Shared feature-subset selection for the similarity experiments
+//! (Tables 4–5, Figures 5–7 use RFE-LogReg rankings per feature family).
+
+use wp_featsel::aggregate::aggregate_rankings;
+use wp_featsel::wrapper::{rfe, Estimator, WrapperConfig};
+use wp_featsel::Ranking;
+use wp_telemetry::FeatureSet;
+use wp_workloads::engine::Simulator;
+use wp_workloads::sku::Sku;
+use wp_workloads::spec::WorkloadSpec;
+
+use crate::observation_dataset;
+
+/// Aggregated RFE-LogReg ranking of one feature family over the given
+/// workloads.
+pub fn rfe_logreg_ranking(
+    sim: &Simulator,
+    specs: &[WorkloadSpec],
+    sku: &Sku,
+    family: FeatureSet,
+    runs: usize,
+) -> Ranking {
+    let ds = observation_dataset(sim, specs, sku, runs, 10);
+    let universe = family.features();
+    let cols: Vec<usize> = universe.iter().map(|f| f.global_index()).collect();
+    let config = WrapperConfig::default();
+    let rankings: Vec<Ranking> = (0..runs)
+        .map(|r| {
+            let idx: Vec<usize> = (0..ds.len()).filter(|i| (i / 10) % runs == r).collect();
+            let x = ds.features.select_rows(&idx).select_cols(&cols);
+            let labels: Vec<usize> = idx.iter().map(|&i| ds.labels[i]).collect();
+            rfe(&x, &labels, &universe, Estimator::LogisticRegression, &config)
+        })
+        .collect();
+    aggregate_rankings(&rankings)
+}

@@ -1,0 +1,112 @@
+//! Minimal `--flag value` argument parsing (no external dependency).
+
+/// Parsed flags: `--name value` pairs plus standalone `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand. Flags must start with
+    /// `--`; a flag followed by another flag (or nothing) is a switch.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = &argv[i];
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got '{flag}'"))?;
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            match argv.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    args.pairs.push((name.to_string(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    args.switches.push(name.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `--name`, or an error naming the missing flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// True when `--name` appears as a bare switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses `--name` as the given type, with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = Args::parse(&sv(&["--workload", "TPC-C", "--json", "--runs", "3"])).unwrap();
+        assert_eq!(a.get("workload"), Some("TPC-C"));
+        assert!(a.switch("json"));
+        assert_eq!(a.parsed_or::<usize>("runs", 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = Args::parse(&sv(&["--x", "1"])).unwrap();
+        assert!(a.required("workload").is_err());
+    }
+
+    #[test]
+    fn default_used_when_absent() {
+        let a = Args::parse(&[]).unwrap();
+        assert_eq!(a.parsed_or::<u64>("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = Args::parse(&sv(&["--runs", "many"])).unwrap();
+        assert!(a.parsed_or::<usize>("runs", 1).is_err());
+    }
+
+    #[test]
+    fn non_flag_token_rejected() {
+        assert!(Args::parse(&sv(&["workload"])).is_err());
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = Args::parse(&sv(&["--verbose"])).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("json"));
+    }
+}

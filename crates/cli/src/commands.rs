@@ -1,0 +1,321 @@
+//! Subcommand implementations.
+
+use serde_json::json;
+use wp_core::pipeline::{Pipeline, PipelineConfig};
+use wp_featsel::wrapper::{Estimator, WrapperConfig};
+use wp_featsel::Strategy;
+use wp_telemetry::FeatureId;
+use wp_workloads::dataset::LabeledDataset;
+use wp_workloads::engine::{paper_terminals, Simulator};
+use wp_workloads::spec::WorkloadSpec;
+use wp_workloads::{benchmarks, Sku};
+
+use crate::args::Args;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  wp workloads
+  wp simulate --workload <name> --sku <sku> [--terminals N] [--run N] [--json] [--seed S]
+  wp select   [--strategy <name>] [--top K] [--sku <sku>] [--seed S]
+  wp similar  --target <name> [--sku <sku>] [--top K] [--seed S]
+  wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
+  wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
+
+skus: cpu2 | cpu4 | cpu8 | cpu16 | s1 | s2 | vcore80 | <cpus>x<gib> (e.g. 12x96)
+strategies: variance | pearson | fanova | migain | lasso | elasticnet |
+            randomforest | rfe-linear | rfe-dectree | rfe-logreg | baseline";
+
+const DEFAULT_SEED: u64 = 0xEDB7_2025;
+
+/// Dispatches a full command line (without the program name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("no subcommand given")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "workloads" => cmd_workloads(),
+        "simulate" => cmd_simulate(&args),
+        "select" => cmd_select(&args),
+        "similar" => cmd_similar(&args),
+        "predict" => cmd_predict(&args),
+        "export" => cmd_export(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Parses a SKU name: the named catalog entries or `<cpus>x<gib>`.
+pub fn parse_sku(s: &str) -> Result<Sku, String> {
+    match s {
+        "cpu2" | "cpu4" | "cpu8" | "cpu16" => {
+            let cpus: usize = s[3..].parse().unwrap();
+            Ok(Sku::new(s, cpus, 64.0))
+        }
+        "s1" | "S1" => Ok(Sku::s1()),
+        "s2" | "S2" => Ok(Sku::s2()),
+        "vcore80" => Ok(Sku::vcore80()),
+        custom => {
+            let (c, m) = custom
+                .split_once('x')
+                .ok_or_else(|| format!("unknown SKU '{custom}'"))?;
+            let cpus: usize = c.parse().map_err(|_| format!("bad CPU count in '{custom}'"))?;
+            let mem: f64 = m.parse().map_err(|_| format!("bad memory in '{custom}'"))?;
+            Ok(Sku::new(format!("cpu{cpus}m{mem}"), cpus, mem))
+        }
+    }
+}
+
+/// Parses a strategy name.
+pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "variance" => Strategy::Variance,
+        "pearson" => Strategy::Pearson,
+        "fanova" => Strategy::FAnova,
+        "migain" => Strategy::MiGain,
+        "lasso" => Strategy::Lasso,
+        "elasticnet" | "elastic-net" => Strategy::ElasticNet,
+        "randomforest" | "random-forest" => Strategy::RandomForest,
+        "rfe-linear" => Strategy::Rfe(Estimator::Linear),
+        "rfe-dectree" => Strategy::Rfe(Estimator::DecisionTree),
+        "rfe-logreg" => Strategy::Rfe(Estimator::LogisticRegression),
+        "baseline" => Strategy::Baseline,
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn workload_by_name(name: &str) -> Result<WorkloadSpec, String> {
+    benchmarks::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = benchmarks::all().iter().map(|w| w.name.clone()).collect();
+        format!("unknown workload '{name}' (available: {})", names.join(", "))
+    })
+}
+
+fn sim_with_seed(args: &Args) -> Result<Simulator, String> {
+    Ok(Simulator::new(args.parsed_or("seed", DEFAULT_SEED)?))
+}
+
+fn cmd_workloads() -> Result<(), String> {
+    print!("{}", wp_workloads::catalog::render_table1());
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let spec = workload_by_name(args.required("workload")?)?;
+    let sku = parse_sku(args.required("sku")?)?;
+    let default_terminals = *paper_terminals(&spec).first().unwrap();
+    let terminals: usize = args.parsed_or("terminals", default_terminals)?;
+    let run_index: usize = args.parsed_or("run", 0)?;
+    let sim = sim_with_seed(args)?;
+    let run = sim.simulate(&spec, &sku, terminals, run_index, run_index % 3);
+
+    if args.switch("json") {
+        let resource_means: Vec<_> = wp_telemetry::ResourceFeature::ALL
+            .iter()
+            .map(|f| {
+                json!({
+                    "feature": f.name(),
+                    "mean": wp_linalg::stats::mean(&run.resources.feature(*f)),
+                })
+            })
+            .collect();
+        let doc = json!({
+            "workload": run.key.workload,
+            "sku": { "name": sku.name, "cpus": sku.cpus, "memory_gb": sku.memory_gb },
+            "terminals": terminals,
+            "run_index": run_index,
+            "throughput_tps": run.throughput,
+            "latency_ms": run.latency_ms,
+            "samples": run.resources.len(),
+            "queries": run.plans.len(),
+            "resource_means": resource_means,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        return Ok(());
+    }
+
+    println!("{} on {} with {terminals} terminals (run {run_index})", run.key.workload, sku);
+    println!("  throughput: {:>10.1} req/s", run.throughput);
+    println!("  latency:    {:>10.2} ms", run.latency_ms);
+    println!(
+        "  telemetry:  {} resource samples x 7 features, {} query plans x 22 features",
+        run.resources.len(),
+        run.plans.len()
+    );
+    println!("  resource means:");
+    for f in wp_telemetry::ResourceFeature::ALL {
+        println!(
+            "    {:<18} {:>12.3}",
+            f.name(),
+            wp_linalg::stats::mean(&run.resources.feature(f))
+        );
+    }
+    Ok(())
+}
+
+fn cmd_select(args: &Args) -> Result<(), String> {
+    let strategy = parse_strategy(args.get("strategy").unwrap_or("fanova"))?;
+    let top: usize = args.parsed_or("top", 7)?;
+    let sku = parse_sku(args.get("sku").unwrap_or("cpu16"))?;
+    let sim = sim_with_seed(args)?;
+
+    let specs = benchmarks::standardized();
+    let mut sets = Vec::new();
+    for spec in &specs {
+        for &t in &paper_terminals(spec) {
+            for r in 0..3 {
+                sets.push(sim.observations(spec, &sku, t, r, r % 3, 10));
+            }
+        }
+    }
+    let ds = LabeledDataset::from_observation_sets(&sets);
+    let ranking = strategy.rank(
+        &ds.features,
+        &ds.labels,
+        &FeatureId::all(),
+        &WrapperConfig::default(),
+    );
+    println!(
+        "top-{top} features by {} over {} observations on {}:",
+        strategy.label(),
+        ds.len(),
+        sku
+    );
+    for (i, f) in ranking.top_k(top).iter().enumerate() {
+        println!("  {:>2}. {}", i + 1, f.name());
+    }
+    Ok(())
+}
+
+fn cmd_similar(args: &Args) -> Result<(), String> {
+    let target = workload_by_name(args.required("target")?)?;
+    let sku = parse_sku(args.get("sku").unwrap_or("cpu16"))?;
+    let top: usize = args.parsed_or("top", 7)?;
+    let mut pipeline = Pipeline::new(args.parsed_or("seed", DEFAULT_SEED)?);
+    pipeline.config = PipelineConfig {
+        selection: Strategy::FAnova,
+        top_k: top,
+        ..PipelineConfig::default()
+    };
+
+    let references: Vec<WorkloadSpec> = benchmarks::standardized()
+        .into_iter()
+        .filter(|w| w.name != target.name)
+        .collect();
+    let terminals = *paper_terminals(&target).first().unwrap();
+
+    let selected = wp_core::pipeline::select_features(
+        &pipeline.sim,
+        &references,
+        &sku,
+        |s| *paper_terminals(s).first().unwrap(),
+        &pipeline.config,
+    );
+    let target_runs: Vec<_> = (0..3)
+        .map(|r| pipeline.sim.simulate(&target, &sku, terminals, r, r % 3))
+        .collect();
+    let reference_runs: Vec<_> = references
+        .iter()
+        .map(|spec| {
+            let t = *paper_terminals(spec).first().unwrap();
+            let runs = (0..3)
+                .map(|r| pipeline.sim.simulate(spec, &sku, t, r, r % 3))
+                .collect();
+            (spec.name.clone(), runs)
+        })
+        .collect();
+    let verdicts = wp_core::pipeline::find_most_similar(
+        &target_runs,
+        &reference_runs,
+        &selected,
+        &pipeline.config,
+    );
+    println!("similarity of {} on {} (top-{top} features, Hist-FP + L2,1):", target.name, sku);
+    for v in &verdicts {
+        println!("  vs {:<8} {:.3}", v.workload, v.distance);
+    }
+    println!("most similar: {}", verdicts[0].workload);
+    Ok(())
+}
+
+/// Dumps simulated runs as interchange JSON (the `wp_telemetry::io`
+/// schema), so external tooling can consume or imitate the format.
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let spec = workload_by_name(args.required("workload")?)?;
+    let sku = parse_sku(args.required("sku")?)?;
+    let terminals: usize =
+        args.parsed_or("terminals", *paper_terminals(&spec).first().unwrap())?;
+    let runs: usize = args.parsed_or("runs", 3)?;
+    let sim = sim_with_seed(args)?;
+    let records: Vec<_> = (0..runs)
+        .map(|r| sim.simulate(&spec, &sku, terminals, r, r % 3))
+        .collect();
+    println!("{}", wp_telemetry::io::runs_to_json(&records));
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let target = workload_by_name(args.required("target")?)?;
+    let from = parse_sku(args.required("from")?)?;
+    let to = parse_sku(args.required("to")?)?;
+    let terminals: usize =
+        args.parsed_or("terminals", *paper_terminals(&target).first().unwrap())?;
+    let mut pipeline = Pipeline::new(args.parsed_or("seed", DEFAULT_SEED)?);
+    pipeline.config.selection = Strategy::FAnova;
+
+    let references: Vec<WorkloadSpec> = benchmarks::standardized()
+        .into_iter()
+        .filter(|w| w.name != target.name)
+        .collect();
+    let outcome = pipeline.run(&references, &target, &from, &to, terminals);
+
+    println!("end-to-end prediction: {} from {} to {}", target.name, from, to);
+    println!("  most similar reference: {}", outcome.most_similar);
+    println!("  observed  @{}: {:>10.1} req/s", from.name, outcome.observed_throughput);
+    println!("  predicted @{}: {:>10.1} req/s", to.name, outcome.predicted_throughput);
+    println!("  actual    @{}: {:>10.1} req/s (simulator ground truth)", to.name, outcome.actual_throughput);
+    println!("  error: {:.1} %", outcome.mape * 100.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sku_parsing() {
+        assert_eq!(parse_sku("cpu8").unwrap().cpus, 8);
+        assert_eq!(parse_sku("s1").unwrap().memory_gb, 32.0);
+        let custom = parse_sku("12x96").unwrap();
+        assert_eq!(custom.cpus, 12);
+        assert_eq!(custom.memory_gb, 96.0);
+        assert!(parse_sku("banana").is_err());
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(parse_strategy("fanova").unwrap().label(), "fANOVA");
+        assert_eq!(parse_strategy("rfe-logreg").unwrap().label(), "RFE LogReg");
+        assert!(parse_strategy("sfs-warp").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_error() {
+        let argv: Vec<String> = vec!["frobnicate".into()];
+        assert!(run(&argv).is_err());
+    }
+
+    #[test]
+    fn unknown_workload_is_error() {
+        assert!(workload_by_name("NoSuchBench").is_err());
+        assert!(workload_by_name("TPC-C").is_ok());
+    }
+
+    #[test]
+    fn workloads_subcommand_runs() {
+        let argv: Vec<String> = vec!["workloads".into()];
+        assert!(run(&argv).is_ok());
+    }
+}

@@ -1,0 +1,35 @@
+//! The end-to-end workload resource prediction pipeline (Figure 2).
+//!
+//! The paper's pipeline chains three components:
+//!
+//! 1. **Feature selection** (`wp-featsel`) — rank the 29 telemetry
+//!    features on a labeled reference corpus and keep the top-k.
+//! 2. **Workload similarity** (`wp-similarity`) — fingerprint runs on the
+//!    selected features and find the reference workload most similar to
+//!    the target.
+//! 3. **Resource prediction** (`wp-predict`) — fit pairwise scaling
+//!    models on the most similar reference workload and transfer its
+//!    scaling factor to the target workload's single-SKU observation.
+//!
+//! [`Pipeline::run`] executes all three stages against the simulator;
+//! [`offline::run_offline`] executes them over pre-collected telemetry
+//! (see `wp_telemetry::io` for the interchange formats);
+//! the stage functions ([`pipeline::select_features`],
+//! [`pipeline::find_most_similar`], [`pipeline::predict_scaling`]) are
+//! public so callers can substitute their own telemetry.
+
+#![warn(missing_docs)]
+
+pub mod offline;
+pub mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, SimilarityVerdict};
+
+// Re-export the substrate crates so a downstream user needs only wp-core.
+pub use wp_featsel as featsel;
+pub use wp_linalg as linalg;
+pub use wp_ml as ml;
+pub use wp_predict as predict;
+pub use wp_similarity as similarity;
+pub use wp_telemetry as telemetry;
+pub use wp_workloads as workloads;

@@ -1,0 +1,251 @@
+//! Offline pipeline: the three stages over *pre-collected* telemetry.
+//!
+//! [`Pipeline`](crate::Pipeline) drives the simulator; deployments that
+//! collect their own telemetry (via `wp_telemetry::io` or any custom
+//! collector) instead assemble an [`OfflineCorpus`] of reference runs and
+//! call [`run_offline`]. The stages are identical — only the telemetry
+//! source differs.
+
+use wp_featsel::aggregate::aggregate_rankings;
+use wp_featsel::Ranking;
+use wp_predict::context::PairwiseScalingModel;
+use wp_telemetry::{ExperimentRun, FeatureId, N_FEATURES};
+use wp_workloads::dataset::{aggregate_run, LabeledDataset};
+use wp_workloads::engine::ObservationSet;
+
+use crate::pipeline::{find_most_similar, PipelineConfig, PipelineOutcome, SimilarityVerdict};
+
+/// Pre-collected reference telemetry for one workload: repeated runs on
+/// the source SKU plus aligned run pairs across the `(from, to)` SKU pair
+/// (same run index measured on both).
+#[derive(Debug, Clone)]
+pub struct OfflineReference {
+    /// Workload name.
+    pub name: String,
+    /// Runs on the *source* SKU (used for similarity).
+    pub runs_from: Vec<ExperimentRun>,
+    /// Runs on the *destination* SKU, aligned with `runs_from` by index
+    /// (used for the scaling model).
+    pub runs_to: Vec<ExperimentRun>,
+}
+
+impl OfflineReference {
+    /// Validates alignment.
+    pub fn validate(&self) {
+        assert!(!self.runs_from.is_empty(), "{}: needs runs", self.name);
+        assert_eq!(
+            self.runs_from.len(),
+            self.runs_to.len(),
+            "{}: from/to runs must be aligned",
+            self.name
+        );
+    }
+}
+
+/// A corpus of offline references.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineCorpus {
+    /// One entry per reference workload.
+    pub references: Vec<OfflineReference>,
+}
+
+impl OfflineCorpus {
+    /// Validates every reference.
+    pub fn validate(&self) {
+        assert!(!self.references.is_empty(), "corpus needs references");
+        for r in &self.references {
+            r.validate();
+        }
+    }
+}
+
+/// Builds a feature-selection dataset from the corpus: one aggregate
+/// observation per reference run (resource means over the series, plan
+/// means over the queries), labeled by workload.
+fn corpus_dataset(corpus: &OfflineCorpus) -> LabeledDataset {
+    let sets: Vec<ObservationSet> = corpus
+        .references
+        .iter()
+        .map(|r| {
+            let rows: Vec<Vec<f64>> = r.runs_from.iter().map(aggregate_run).collect();
+            ObservationSet {
+                workload: r.name.clone(),
+                features: wp_linalg::Matrix::from_rows(&rows),
+                throughput: r.runs_from.iter().map(|run| run.throughput).collect(),
+            }
+        })
+        .collect();
+    LabeledDataset::from_observation_sets(&sets)
+}
+
+/// Stage 1 on offline telemetry: one ranking per run index (aggregated),
+/// falling back to a single pooled ranking when runs are too few.
+pub fn select_features_offline(corpus: &OfflineCorpus, config: &PipelineConfig) -> Vec<FeatureId> {
+    corpus.validate();
+    let ds = corpus_dataset(corpus);
+    let universe = FeatureId::all();
+    assert_eq!(ds.features.cols(), N_FEATURES);
+    let ranking: Ranking = config
+        .selection
+        .rank(&ds.features, &ds.labels, &universe, &config.wrapper);
+    aggregate_rankings(&[ranking]).top_k(config.top_k)
+}
+
+/// Runs the full offline pipeline: select features on the corpus, find
+/// the reference most similar to `target_runs_from`, fit that reference's
+/// pairwise scaling model from its aligned run pairs, and transfer the
+/// factor to the target's observed throughput.
+///
+/// `from_cpus` / `to_cpus` label the SKU pair for the scaling model.
+/// The returned outcome's `actual_throughput` is `NaN` (unknown until the
+/// workload actually migrates) and `mape` is `NaN` accordingly.
+pub fn run_offline(
+    corpus: &OfflineCorpus,
+    target_runs_from: &[ExperimentRun],
+    from_cpus: f64,
+    to_cpus: f64,
+    config: &PipelineConfig,
+) -> PipelineOutcome {
+    corpus.validate();
+    assert!(!target_runs_from.is_empty(), "need target runs");
+
+    // Stage 1
+    let selected = select_features_offline(corpus, config);
+
+    // Stage 2
+    let reference_runs: Vec<(String, Vec<ExperimentRun>)> = corpus
+        .references
+        .iter()
+        .map(|r| (r.name.clone(), r.runs_from.clone()))
+        .collect();
+    let similarity: Vec<SimilarityVerdict> =
+        find_most_similar(target_runs_from, &reference_runs, &selected, config);
+    let most_similar = similarity[0].workload.clone();
+    let reference = corpus
+        .references
+        .iter()
+        .find(|r| r.name == most_similar)
+        .expect("verdict names come from the corpus");
+
+    // Stage 3: pairwise model from the aligned run pairs
+    let from_values: Vec<f64> = reference.runs_from.iter().map(|r| r.throughput).collect();
+    let to_values: Vec<f64> = reference.runs_to.iter().map(|r| r.throughput).collect();
+    let groups: Vec<usize> = reference
+        .runs_from
+        .iter()
+        .map(|r| r.key.data_group)
+        .collect();
+    let model = PairwiseScalingModel::fit(
+        config.model,
+        &[from_cpus, to_cpus],
+        &[from_values, to_values],
+        Some(&groups),
+    );
+    let observed = wp_linalg::stats::mean(
+        &target_runs_from
+            .iter()
+            .map(|r| r.throughput)
+            .collect::<Vec<_>>(),
+    );
+    let predicted = model
+        .predict_transfer(from_cpus, to_cpus, observed)
+        .expect("pair model exists by construction");
+
+    PipelineOutcome {
+        selected_features: selected,
+        similarity,
+        most_similar,
+        observed_throughput: observed,
+        predicted_throughput: predicted,
+        actual_throughput: f64::NAN,
+        mape: f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_featsel::Strategy;
+    use wp_workloads::engine::Simulator;
+    use wp_workloads::{benchmarks, Sku};
+
+    /// Builds an offline corpus by simulating, serializing through the
+    /// JSON interchange, and deserializing — proving the external path.
+    fn corpus_via_interchange(sim: &Simulator, from: &Sku, to: &Sku) -> OfflineCorpus {
+        let mut corpus = OfflineCorpus::default();
+        for spec in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()] {
+            let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+            let runs_from: Vec<ExperimentRun> = (0..3)
+                .map(|r| sim.simulate(&spec, from, terminals, r, r % 3))
+                .collect();
+            let runs_to: Vec<ExperimentRun> = (0..3)
+                .map(|r| sim.simulate(&spec, to, terminals, r, r % 3))
+                .collect();
+            // round-trip through the interchange format
+            let json = wp_telemetry::io::runs_to_json(&runs_from);
+            let runs_from = wp_telemetry::io::runs_from_json(&json).unwrap();
+            corpus.references.push(OfflineReference {
+                name: spec.name.clone(),
+                runs_from,
+                runs_to,
+            });
+        }
+        corpus
+    }
+
+    fn fast_config() -> PipelineConfig {
+        PipelineConfig {
+            selection: Strategy::FAnova,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn offline_pipeline_matches_simulator_pipeline_findings() {
+        let mut sim = Simulator::new(0xEDB7_2025);
+        sim.config.samples = 60;
+        let from = Sku::new("cpu2", 2, 64.0);
+        let to = Sku::new("cpu8", 8, 64.0);
+        let corpus = corpus_via_interchange(&sim, &from, &to);
+
+        let target_runs: Vec<ExperimentRun> = (0..3)
+            .map(|r| sim.simulate(&benchmarks::ycsb(), &from, 8, r, r % 3))
+            .collect();
+        let outcome = run_offline(&corpus, &target_runs, 2.0, 8.0, &fast_config());
+
+        assert_eq!(outcome.most_similar, "TPC-C", "{:?}", outcome.similarity);
+        assert_eq!(outcome.selected_features.len(), 7);
+        assert!(outcome.predicted_throughput > outcome.observed_throughput);
+        assert!(outcome.actual_throughput.is_nan());
+
+        // sanity: the prediction lands near the simulator's ground truth
+        let actual = wp_linalg::stats::mean(
+            &(0..3)
+                .map(|r| sim.simulate(&benchmarks::ycsb(), &to, 8, r, r % 3).throughput)
+                .collect::<Vec<_>>(),
+        );
+        let err = (outcome.predicted_throughput - actual).abs() / actual;
+        assert!(err < 0.5, "err {err}");
+    }
+
+    #[test]
+    fn select_features_offline_returns_k_features() {
+        let mut sim = Simulator::new(3);
+        sim.config.samples = 40;
+        let from = Sku::new("cpu4", 4, 64.0);
+        let corpus = corpus_via_interchange(&sim, &from, &Sku::new("cpu8", 8, 64.0));
+        let features = select_features_offline(&corpus, &fast_config());
+        assert_eq!(features.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "from/to runs must be aligned")]
+    fn misaligned_reference_rejected() {
+        let mut sim = Simulator::new(3);
+        sim.config.samples = 40;
+        let from = Sku::new("cpu4", 4, 64.0);
+        let mut corpus = corpus_via_interchange(&sim, &from, &Sku::new("cpu8", 8, 64.0));
+        corpus.references[0].runs_to.pop();
+        corpus.validate();
+    }
+}

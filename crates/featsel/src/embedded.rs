@@ -1,0 +1,128 @@
+//! Embedded-approach strategies (§4.1.2): Lasso, Elastic Net, and random
+//! forest importance — models whose training process itself produces
+//! feature importances.
+
+use wp_linalg::Matrix;
+use wp_ml::forest::{ForestConfig, RandomForestClassifier};
+use wp_ml::lasso::{ElasticNet, Lasso};
+use wp_ml::traits::{Classifier, Regressor};
+use wp_telemetry::FeatureId;
+
+use crate::ranking::Ranking;
+
+/// Default Lasso / Elastic-Net penalty for label-target selection.
+///
+/// The label target is standardized inside the models, so one moderate
+/// penalty works across datasets; too large zeroes everything, too small
+/// keeps noise features alive.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Lasso selection: fit on the class label as a numeric target, rank by
+/// `|coefficient|` (standardized scale).
+pub fn lasso(x: &Matrix, labels: &[usize], features: &[FeatureId], alpha: f64) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+    let mut model = Lasso::new(alpha);
+    model.fit(x, &y);
+    let scores = model.feature_importances().unwrap();
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+/// Elastic-Net selection (`l1_ratio = 0.5`): like Lasso but spreads
+/// weight across correlated predictors instead of picking one arbitrarily.
+pub fn elastic_net(x: &Matrix, labels: &[usize], features: &[FeatureId], alpha: f64) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+    let mut model = ElasticNet::new(alpha, 0.5);
+    model.fit(x, &y);
+    let scores = model.feature_importances().unwrap();
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+/// Random-forest selection: mean impurity-decrease importance of a
+/// classification forest over the workload labels.
+pub fn random_forest(
+    x: &Matrix,
+    labels: &[usize],
+    features: &[FeatureId],
+    n_trees: usize,
+    seed: u64,
+) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let mut model = RandomForestClassifier::with_config(ForestConfig {
+        n_trees,
+        seed,
+        ..ForestConfig::default()
+    });
+    model.fit(x, labels);
+    let scores = model
+        .feature_importances()
+        .expect("forest exposes importances");
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0 separates classes; 1 and 2 are correlated copies of a
+    /// weaker signal; 3 is noise.
+    fn dataset() -> (Matrix, Vec<usize>, Vec<FeatureId>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let class = i % 3;
+            let weak = class as f64 + ((i * 31) % 7) as f64 * 0.15;
+            rows.push(vec![
+                class as f64 * 4.0 + ((i * 13) % 5) as f64 * 0.05,
+                weak,
+                weak + 0.01,
+                ((i * 7919) % 97) as f64,
+            ]);
+            labels.push(class);
+        }
+        let features = (0..4).map(FeatureId::from_global_index).collect();
+        (Matrix::from_rows(&rows), labels, features)
+    }
+
+    #[test]
+    fn lasso_ranks_signal_over_noise() {
+        let (x, y, f) = dataset();
+        let r = lasso(&x, &y, &f, DEFAULT_ALPHA);
+        assert_eq!(r.order[0], 0, "scores: {:?}", r.scores);
+        assert!(r.scores[0] > r.scores[3]);
+    }
+
+    #[test]
+    fn elastic_net_balances_correlated_pair() {
+        let (x, y, f) = dataset();
+        let e = elastic_net(&x, &y, &f, 0.05);
+        // the L2 component keeps both correlated features active with
+        // nearly equal weight
+        let gap = (e.scores[1] - e.scores[2]).abs();
+        assert!(gap < 0.05, "enet gap {gap}");
+        assert!(e.scores[1] > 0.0 && e.scores[2] > 0.0, "{:?}", e.scores);
+    }
+
+    #[test]
+    fn forest_importance_ranks_signal_over_noise() {
+        let (x, y, f) = dataset();
+        let r = random_forest(&x, &y, &f, 25, 7);
+        assert!(r.scores[0] > r.scores[3], "scores: {:?}", r.scores);
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let (x, y, f) = dataset();
+        let a = random_forest(&x, &y, &f, 10, 3);
+        let b = random_forest(&x, &y, &f, 10, 3);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn huge_alpha_zeroes_all_scores() {
+        let (x, y, f) = dataset();
+        let r = lasso(&x, &y, &f, 1e6);
+        assert!(r.scores.iter().all(|s| *s == 0.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Filter-approach strategies (§4.1.1): variance threshold, Pearson
+//! correlation, fANOVA, and mutual information gain. All score features
+//! independently of any model fit.
+
+use wp_linalg::{Matrix, MinMaxScaler};
+use wp_telemetry::FeatureId;
+
+use crate::ranking::Ranking;
+
+/// Variance scoring on `[0, 1]`-normalized features.
+///
+/// Raw variances would be dominated by unit choices (IOPS in the
+/// thousands vs utilizations in `[0, 1]`), so each feature is min-max
+/// normalized first — this matches how the variance-threshold filter is
+/// applied to heterogeneous telemetry in practice.
+pub fn variance(x: &Matrix, features: &[FeatureId]) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let (_, xn) = MinMaxScaler::fit_transform(x);
+    let scores: Vec<f64> = (0..xn.cols())
+        .map(|j| wp_linalg::stats::variance(&xn.col(j)))
+        .collect();
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+/// Absolute Pearson correlation of each feature with the class label
+/// treated as a numeric target (§4.1.1 measures "linear dependency of a
+/// predictor with the target variable").
+pub fn pearson(x: &Matrix, labels: &[usize], features: &[FeatureId]) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    assert_eq!(x.rows(), labels.len(), "one label per row");
+    let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+    let scores: Vec<f64> = (0..x.cols())
+        .map(|j| wp_linalg::stats::pearson(&x.col(j), &y).abs())
+        .collect();
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+/// Functional ANOVA: one-way F-statistic of each feature grouped by the
+/// class label — features that explain between-class variance score high.
+pub fn fanova(x: &Matrix, labels: &[usize], features: &[FeatureId]) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let scores = wp_ml::info::f_statistic_matrix(x, labels);
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+/// Default discretization bins for mutual information.
+pub const MI_BINS: usize = 10;
+
+/// Mutual information gain between each (discretized) feature and the
+/// class label.
+pub fn mi_gain(x: &Matrix, labels: &[usize], features: &[FeatureId]) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let scores = wp_ml::info::mutual_information_matrix(x, labels, MI_BINS);
+    Ranking::from_scores(features.to_vec(), scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three features: [0] separates the two classes, [1] is noise with
+    /// large scale, [2] is constant.
+    fn dataset() -> (Matrix, Vec<usize>, Vec<FeatureId>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            rows.push(vec![
+                class as f64 * 10.0 + (i % 5) as f64 * 0.1,
+                ((i * 7919) % 100) as f64 * 1000.0,
+                5.0,
+            ]);
+            labels.push(class);
+        }
+        let features = (0..3).map(FeatureId::from_global_index).collect();
+        (Matrix::from_rows(&rows), labels, features)
+    }
+
+    #[test]
+    fn variance_ignores_constant_features() {
+        let (x, _, f) = dataset();
+        let r = variance(&x, &f);
+        assert_eq!(r.scores[2], 0.0);
+        assert_eq!(*r.order.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn variance_is_scale_free() {
+        let (x, _, f) = dataset();
+        let r = variance(&x, &f);
+        // feature 1 has huge raw variance but only because of its unit;
+        // after normalization both informative features are comparable,
+        // and neither dwarfs the other by orders of magnitude.
+        assert!(r.scores[1] < r.scores[0] * 50.0);
+    }
+
+    #[test]
+    fn pearson_top_ranks_separating_feature() {
+        let (x, y, f) = dataset();
+        let r = pearson(&x, &y, &f);
+        assert_eq!(r.order[0], 0);
+        assert_eq!(r.scores[2], 0.0);
+    }
+
+    #[test]
+    fn fanova_top_ranks_separating_feature() {
+        let (x, y, f) = dataset();
+        let r = fanova(&x, &y, &f);
+        assert_eq!(r.order[0], 0);
+        assert!(r.scores[0] > r.scores[1] * 10.0);
+    }
+
+    #[test]
+    fn mi_gain_top_ranks_separating_feature() {
+        let (x, y, f) = dataset();
+        let r = mi_gain(&x, &y, &f);
+        assert_eq!(r.order[0], 0);
+        assert!(r.scores[0] > r.scores[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one feature id per column")]
+    fn column_mismatch_rejected() {
+        let (x, _, _) = dataset();
+        let _ = variance(&x, &[FeatureId::from_global_index(0)]);
+    }
+}

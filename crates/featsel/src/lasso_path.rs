@@ -1,0 +1,129 @@
+//! Per-experiment Lasso paths (Figure 3).
+//!
+//! For one experiment — observations of one workload on one hardware
+//! setting — the path regresses the observed throughput on the 29
+//! features across a decreasing grid of penalties. Features entering the
+//! path early (with large standardized coefficients) are that workload's
+//! characteristic features; the figure labels the top-7 by maximum
+//! absolute coefficient along the path.
+
+use wp_linalg::Matrix;
+use wp_ml::lasso::{lasso_path as ml_lasso_path, PathPoint};
+use wp_telemetry::FeatureId;
+
+use crate::ranking::Ranking;
+
+/// A computed Lasso path with feature identities attached.
+#[derive(Debug, Clone)]
+pub struct LassoPath {
+    /// Feature universe in column order.
+    pub features: Vec<FeatureId>,
+    /// Path points, from the largest alpha (all zero) to the smallest.
+    pub points: Vec<PathPoint>,
+}
+
+impl LassoPath {
+    /// Computes a path over `n_alphas` log-spaced penalties down to
+    /// `alpha_max · eps`.
+    pub fn compute(
+        x: &Matrix,
+        target: &[f64],
+        features: &[FeatureId],
+        n_alphas: usize,
+        eps: f64,
+    ) -> Self {
+        assert_eq!(x.cols(), features.len(), "one feature id per column");
+        Self {
+            features: features.to_vec(),
+            points: ml_lasso_path(x, target, n_alphas, eps),
+        }
+    }
+
+    /// Maximum absolute coefficient each feature reaches along the path —
+    /// the Figure 3 importance measure.
+    pub fn peak_importance(&self) -> Vec<f64> {
+        let p = self.features.len();
+        let mut peak = vec![0.0_f64; p];
+        for point in &self.points {
+            for (j, &c) in point.coefficients.iter().enumerate() {
+                peak[j] = peak[j].max(c.abs());
+            }
+        }
+        peak
+    }
+
+    /// Ranking by peak importance.
+    pub fn ranking(&self) -> Ranking {
+        Ranking::from_scores(self.features.clone(), self.peak_importance())
+    }
+
+    /// The top-k features by peak importance (Figure 3's labels).
+    pub fn top_k(&self, k: usize) -> Vec<FeatureId> {
+        self.ranking().top_k(k)
+    }
+
+    /// Coefficient trajectory of one feature across the path (one value
+    /// per alpha, largest alpha first).
+    pub fn trajectory(&self, f: FeatureId) -> Option<Vec<f64>> {
+        let col = self.features.iter().position(|x| *x == f)?;
+        Some(self.points.iter().map(|p| p.coefficients[col]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Throughput depends on features 0 and 2; 1 and 3 are noise.
+    fn experiment() -> (Matrix, Vec<f64>, Vec<FeatureId>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..40 {
+            let f: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            y.push(100.0 + 10.0 * f[0] + 4.0 * f[2] + rng.gen_range(-0.1..0.1));
+            rows.push(f);
+        }
+        let features = (0..4).map(FeatureId::from_global_index).collect();
+        (Matrix::from_rows(&rows), y, features)
+    }
+
+    #[test]
+    fn top_features_are_the_coupled_ones() {
+        let (x, y, f) = experiment();
+        let path = LassoPath::compute(&x, &y, &f, 30, 1e-3);
+        let top2 = path.top_k(2);
+        assert!(top2.contains(&FeatureId::from_global_index(0)), "{top2:?}");
+        assert!(top2.contains(&FeatureId::from_global_index(2)), "{top2:?}");
+        // strongest coupling enters first
+        assert_eq!(top2[0], FeatureId::from_global_index(0));
+    }
+
+    #[test]
+    fn trajectory_starts_at_zero_and_grows() {
+        let (x, y, f) = experiment();
+        let path = LassoPath::compute(&x, &y, &f, 25, 1e-3);
+        let traj = path.trajectory(FeatureId::from_global_index(0)).unwrap();
+        assert_eq!(traj.len(), 25);
+        assert_eq!(traj[0], 0.0, "alpha_max zeroes everything");
+        assert!(traj.last().unwrap().abs() > 0.5);
+    }
+
+    #[test]
+    fn noise_features_peak_low() {
+        let (x, y, f) = experiment();
+        let path = LassoPath::compute(&x, &y, &f, 30, 1e-3);
+        let peaks = path.peak_importance();
+        assert!(peaks[0] > 5.0 * peaks[1], "{peaks:?}");
+        assert!(peaks[2] > 2.0 * peaks[3], "{peaks:?}");
+    }
+
+    #[test]
+    fn trajectory_of_unknown_feature_is_none() {
+        let (x, y, f) = experiment();
+        let path = LassoPath::compute(&x, &y, &f, 10, 1e-2);
+        assert!(path.trajectory(FeatureId::from_global_index(20)).is_none());
+    }
+}

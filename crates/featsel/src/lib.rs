@@ -1,0 +1,24 @@
+//! Feature selection (§4): the sixteen strategies of Table 3 across the
+//! filter, embedded, and wrapper families, plus rank aggregation and the
+//! similarity-based evaluation of selected subsets.
+//!
+//! All strategies implement the same contract — given an observation
+//! matrix, workload labels, and the feature identities behind the
+//! columns, produce a [`Ranking`] (best feature first). *Score-based*
+//! strategies (filters, embedded models) rank by a continuous importance
+//! score; *rank-based* strategies (RFE, SFS) assign an integer rank
+//! directly (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod embedded;
+pub mod evaluate;
+pub mod filter;
+pub mod lasso_path;
+pub mod ranking;
+pub mod strategy;
+pub mod wrapper;
+
+pub use ranking::Ranking;
+pub use strategy::{Strategy, StrategyCategory};

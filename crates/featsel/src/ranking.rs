@@ -1,0 +1,125 @@
+//! The common output type of every feature-selection strategy.
+
+use wp_telemetry::FeatureId;
+
+/// A feature importance ranking: features ordered best-first, with the
+/// score that produced the ordering (for rank-based strategies the score
+/// is a synthetic `p − rank`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// The feature universe, in the order of the input matrix columns.
+    pub features: Vec<FeatureId>,
+    /// Importance score per feature (parallel to `features`); higher is
+    /// more important.
+    pub scores: Vec<f64>,
+    /// Column indices into `features`, most important first.
+    pub order: Vec<usize>,
+}
+
+impl Ranking {
+    /// Builds a ranking from per-column scores (higher = better). Ties
+    /// break toward the lower column index, making rankings stable.
+    pub fn from_scores(features: Vec<FeatureId>, scores: Vec<f64>) -> Self {
+        assert_eq!(features.len(), scores.len(), "one score per feature");
+        let order = wp_linalg::ops::argsort_desc(&scores);
+        Self {
+            features,
+            scores,
+            order,
+        }
+    }
+
+    /// Builds a ranking from an explicit best-first ordering of column
+    /// indices, synthesizing scores `p − position`.
+    pub fn from_order(features: Vec<FeatureId>, order: Vec<usize>) -> Self {
+        assert_eq!(features.len(), order.len(), "order must be a permutation");
+        let p = features.len();
+        let mut scores = vec![0.0; p];
+        for (pos, &col) in order.iter().enumerate() {
+            assert!(col < p, "order index out of range");
+            scores[col] = (p - pos) as f64;
+        }
+        Self {
+            features,
+            scores,
+            order,
+        }
+    }
+
+    /// The `k` most important features, best first (all features when
+    /// `k ≥ p`).
+    pub fn top_k(&self, k: usize) -> Vec<FeatureId> {
+        self.order
+            .iter()
+            .take(k)
+            .map(|&i| self.features[i])
+            .collect()
+    }
+
+    /// 0-based rank of a feature (0 = most important); `None` when the
+    /// feature is not in the universe.
+    pub fn rank_of(&self, f: FeatureId) -> Option<usize> {
+        let col = self.features.iter().position(|x| *x == f)?;
+        self.order.iter().position(|&i| i == col)
+    }
+
+    /// Number of features in the universe.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True for an empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: usize) -> Vec<FeatureId> {
+        (0..n).map(FeatureId::from_global_index).collect()
+    }
+
+    #[test]
+    fn from_scores_orders_descending() {
+        let r = Ranking::from_scores(universe(3), vec![0.1, 0.9, 0.5]);
+        assert_eq!(r.order, vec![1, 2, 0]);
+        assert_eq!(r.top_k(2), vec![
+            FeatureId::from_global_index(1),
+            FeatureId::from_global_index(2)
+        ]);
+    }
+
+    #[test]
+    fn from_order_synthesizes_scores() {
+        let r = Ranking::from_order(universe(3), vec![2, 0, 1]);
+        assert_eq!(r.scores, vec![2.0, 1.0, 3.0]);
+        assert_eq!(r.rank_of(FeatureId::from_global_index(2)), Some(0));
+    }
+
+    #[test]
+    fn rank_of_missing_feature_is_none() {
+        let r = Ranking::from_scores(universe(2), vec![1.0, 2.0]);
+        assert_eq!(r.rank_of(FeatureId::from_global_index(10)), None);
+    }
+
+    #[test]
+    fn top_k_saturates() {
+        let r = Ranking::from_scores(universe(2), vec![1.0, 2.0]);
+        assert_eq!(r.top_k(99).len(), 2);
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let r = Ranking::from_scores(universe(3), vec![1.0, 1.0, 1.0]);
+        assert_eq!(r.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per feature")]
+    fn mismatched_scores_rejected() {
+        let _ = Ranking::from_scores(universe(2), vec![1.0]);
+    }
+}

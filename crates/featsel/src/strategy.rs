@@ -1,0 +1,201 @@
+//! The unified strategy enum covering every Table 3 row.
+
+use wp_linalg::Matrix;
+use wp_telemetry::FeatureId;
+
+use crate::ranking::Ranking;
+use crate::wrapper::{Estimator, WrapperConfig};
+use crate::{embedded, filter, wrapper};
+
+/// Strategy families (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyCategory {
+    /// Scores predictors before any model fit.
+    Filter,
+    /// Importance emerges from model training.
+    Embedded,
+    /// Iteratively adds/removes predictors around a model.
+    Wrapper,
+    /// No selection: catalog order.
+    Baseline,
+}
+
+/// One feature-selection strategy from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Variance threshold (filter).
+    Variance,
+    /// Functional ANOVA F-statistic (filter).
+    FAnova,
+    /// Mutual information gain (filter).
+    MiGain,
+    /// Pearson correlation (filter).
+    Pearson,
+    /// Lasso coefficients (embedded).
+    Lasso,
+    /// Elastic-net coefficients (embedded).
+    ElasticNet,
+    /// Random-forest impurity importance (embedded).
+    RandomForest,
+    /// Recursive feature elimination (wrapper).
+    Rfe(Estimator),
+    /// Forward sequential feature selection (wrapper).
+    SfsForward(Estimator),
+    /// Backward sequential feature selection (wrapper).
+    SfsBackward(Estimator),
+    /// Catalog-order baseline.
+    Baseline,
+}
+
+impl Strategy {
+    /// Every Table 3 row, in table order.
+    pub fn all() -> Vec<Strategy> {
+        use Estimator::*;
+        vec![
+            Strategy::Variance,
+            Strategy::FAnova,
+            Strategy::MiGain,
+            Strategy::Pearson,
+            Strategy::Lasso,
+            Strategy::ElasticNet,
+            Strategy::RandomForest,
+            Strategy::Rfe(Linear),
+            Strategy::Rfe(DecisionTree),
+            Strategy::Rfe(LogisticRegression),
+            Strategy::SfsForward(Linear),
+            Strategy::SfsForward(DecisionTree),
+            Strategy::SfsForward(LogisticRegression),
+            Strategy::SfsBackward(Linear),
+            Strategy::SfsBackward(DecisionTree),
+            Strategy::SfsBackward(LogisticRegression),
+            Strategy::Baseline,
+        ]
+    }
+
+    /// The strategy's family.
+    pub fn category(self) -> StrategyCategory {
+        match self {
+            Strategy::Variance | Strategy::FAnova | Strategy::MiGain | Strategy::Pearson => {
+                StrategyCategory::Filter
+            }
+            Strategy::Lasso | Strategy::ElasticNet | Strategy::RandomForest => {
+                StrategyCategory::Embedded
+            }
+            Strategy::Rfe(_) | Strategy::SfsForward(_) | Strategy::SfsBackward(_) => {
+                StrategyCategory::Wrapper
+            }
+            Strategy::Baseline => StrategyCategory::Baseline,
+        }
+    }
+
+    /// Display label matching Table 3.
+    pub fn label(self) -> String {
+        match self {
+            Strategy::Variance => "Variance".into(),
+            Strategy::FAnova => "fANOVA".into(),
+            Strategy::MiGain => "MIGain".into(),
+            Strategy::Pearson => "Pearson".into(),
+            Strategy::Lasso => "Lasso".into(),
+            Strategy::ElasticNet => "Elastic Net".into(),
+            Strategy::RandomForest => "RandomForest".into(),
+            Strategy::Rfe(e) => format!("RFE {}", e.label()),
+            Strategy::SfsForward(e) => format!("Fw SFS {}", e.label()),
+            Strategy::SfsBackward(e) => format!("Bw SFS {}", e.label()),
+            Strategy::Baseline => "Baseline".into(),
+        }
+    }
+
+    /// Runs the strategy on an observation matrix with workload labels.
+    pub fn rank(
+        self,
+        x: &Matrix,
+        labels: &[usize],
+        features: &[FeatureId],
+        config: &WrapperConfig,
+    ) -> Ranking {
+        match self {
+            Strategy::Variance => filter::variance(x, features),
+            Strategy::FAnova => filter::fanova(x, labels, features),
+            Strategy::MiGain => filter::mi_gain(x, labels, features),
+            Strategy::Pearson => filter::pearson(x, labels, features),
+            Strategy::Lasso => embedded::lasso(x, labels, features, embedded::DEFAULT_ALPHA),
+            Strategy::ElasticNet => {
+                embedded::elastic_net(x, labels, features, embedded::DEFAULT_ALPHA)
+            }
+            Strategy::RandomForest => embedded::random_forest(x, labels, features, 60, config.seed),
+            Strategy::Rfe(e) => wrapper::rfe(x, labels, features, e, config),
+            Strategy::SfsForward(e) => wrapper::sfs_forward(x, labels, features, e, config),
+            Strategy::SfsBackward(e) => wrapper::sfs_backward(x, labels, features, e, config),
+            Strategy::Baseline => {
+                Ranking::from_order(features.to_vec(), (0..features.len()).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_17_rows() {
+        assert_eq!(Strategy::all().len(), 17);
+    }
+
+    #[test]
+    fn categories_match_paper() {
+        assert_eq!(Strategy::Variance.category(), StrategyCategory::Filter);
+        assert_eq!(Strategy::Lasso.category(), StrategyCategory::Embedded);
+        assert_eq!(
+            Strategy::Rfe(Estimator::Linear).category(),
+            StrategyCategory::Wrapper
+        );
+        assert_eq!(Strategy::Baseline.category(), StrategyCategory::Baseline);
+    }
+
+    #[test]
+    fn labels_match_table3() {
+        assert_eq!(
+            Strategy::SfsBackward(Estimator::LogisticRegression).label(),
+            "Bw SFS LogReg"
+        );
+        assert_eq!(Strategy::Rfe(Estimator::DecisionTree).label(), "RFE DecTree");
+        assert_eq!(Strategy::ElasticNet.label(), "Elastic Net");
+    }
+
+    #[test]
+    fn every_strategy_produces_full_ranking() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..24 {
+            let class = i % 2;
+            rows.push(vec![
+                class as f64 * 5.0 + (i % 3) as f64 * 0.1,
+                ((i * 17) % 11) as f64,
+            ]);
+            labels.push(class);
+        }
+        let x = Matrix::from_rows(&rows);
+        let features: Vec<FeatureId> = (0..2).map(FeatureId::from_global_index).collect();
+        let config = WrapperConfig {
+            cv_folds: 2,
+            logreg_iters: 40,
+            ..WrapperConfig::default()
+        };
+        for s in Strategy::all() {
+            let r = s.rank(&x, &labels, &features, &config);
+            assert_eq!(r.len(), 2, "{}", s.label());
+            let mut sorted = r.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1], "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn baseline_is_catalog_order() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let features: Vec<FeatureId> = (0..2).map(FeatureId::from_global_index).collect();
+        let r = Strategy::Baseline.rank(&x, &[0, 1], &features, &WrapperConfig::default());
+        assert_eq!(r.order, vec![0, 1]);
+    }
+}

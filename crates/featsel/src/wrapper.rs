@@ -1,0 +1,335 @@
+//! Wrapper-approach strategies (§4.1.3): Recursive Feature Elimination
+//! and Sequential Feature Selection, each over three base estimators
+//! (linear regression, decision tree, logistic regression).
+//!
+//! Both wrappers produce *rank-based* output (§4.2): RFE ranks by reverse
+//! elimination order; SFS ranks by greedy addition order (forward) or by
+//! reverse removal order (backward).
+
+use wp_linalg::Matrix;
+use wp_ml::cv::KFold;
+use wp_ml::logreg::{LogisticConfig, LogisticRegression};
+use wp_ml::traits::{Classifier, Regressor};
+use wp_ml::tree::{DecisionTreeRegressor, TreeConfig};
+use wp_telemetry::FeatureId;
+
+use crate::ranking::Ranking;
+
+/// Base estimator driving a wrapper strategy (Table 3's Linear / DecTree /
+/// LogReg columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Estimator {
+    /// Ordinary least squares on the numeric label target.
+    Linear,
+    /// CART regression tree on the numeric label target.
+    DecisionTree,
+    /// One-vs-rest logistic regression on the class labels.
+    LogisticRegression,
+}
+
+impl Estimator {
+    /// Display label matching Table 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            Estimator::Linear => "Linear",
+            Estimator::DecisionTree => "DecTree",
+            Estimator::LogisticRegression => "LogReg",
+        }
+    }
+}
+
+/// Wrapper tuning knobs; the defaults trade a little fidelity for speed
+/// (the paper's SFS runtimes reach hours — see Table 3).
+#[derive(Debug, Clone)]
+pub struct WrapperConfig {
+    /// Folds for the SFS scoring cross-validation.
+    pub cv_folds: usize,
+    /// Gradient steps for the logistic estimator inside wrappers.
+    pub logreg_iters: usize,
+    /// Depth cap for the decision-tree estimator.
+    pub tree_depth: usize,
+    /// CV shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for WrapperConfig {
+    fn default() -> Self {
+        Self {
+            cv_folds: 3,
+            logreg_iters: 120,
+            tree_depth: 6,
+            seed: 0,
+        }
+    }
+}
+
+fn numeric_target(labels: &[usize]) -> Vec<f64> {
+    labels.iter().map(|&l| l as f64).collect()
+}
+
+/// Importances of one estimator fit on a column subset.
+fn fit_importances(
+    est: Estimator,
+    x: &Matrix,
+    labels: &[usize],
+    config: &WrapperConfig,
+) -> Vec<f64> {
+    match est {
+        Estimator::Linear => {
+            // standardize so coefficient magnitudes are comparable
+            let (_, xs) = wp_linalg::StandardScaler::fit_transform(x);
+            let mut m = wp_ml::linreg::LinearRegression::new();
+            m.fit(&xs, &numeric_target(labels));
+            m.feature_importances().unwrap()
+        }
+        Estimator::DecisionTree => {
+            let mut m = DecisionTreeRegressor::with_config(TreeConfig {
+                max_depth: config.tree_depth,
+                ..TreeConfig::default()
+            });
+            m.fit(x, &numeric_target(labels));
+            m.feature_importances().unwrap()
+        }
+        Estimator::LogisticRegression => {
+            let mut m = LogisticRegression::with_config(LogisticConfig {
+                max_iter: config.logreg_iters,
+                ..LogisticConfig::default()
+            });
+            m.fit(x, labels);
+            m.feature_importances().unwrap()
+        }
+    }
+}
+
+/// Cross-validated score of a feature subset: classification accuracy for
+/// the logistic estimator, negative RMSE for the regressors (higher is
+/// always better).
+fn cv_score(est: Estimator, x: &Matrix, labels: &[usize], config: &WrapperConfig) -> f64 {
+    let folds = KFold::new(config.cv_folds, config.seed).split(x.rows());
+    let mut total = 0.0;
+    for (train, test) in &folds {
+        let xtr = x.select_rows(train);
+        let xte = x.select_rows(test);
+        match est {
+            Estimator::LogisticRegression => {
+                let ytr: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+                let yte: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+                // a CV fold can collapse to one class; skip the fold then
+                let distinct = {
+                    let mut v = ytr.clone();
+                    v.sort_unstable();
+                    v.dedup();
+                    v.len()
+                };
+                if distinct < 2 {
+                    continue;
+                }
+                let mut m = LogisticRegression::with_config(LogisticConfig {
+                    max_iter: config.logreg_iters,
+                    ..LogisticConfig::default()
+                });
+                m.fit(&xtr, &ytr);
+                total += wp_ml::metrics::accuracy(&yte, &m.predict(&xte));
+            }
+            Estimator::Linear => {
+                let y = numeric_target(labels);
+                let ytr: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+                let yte: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+                let mut m = wp_ml::linreg::LinearRegression::new();
+                m.fit(&xtr, &ytr);
+                total -= wp_ml::metrics::rmse(&yte, &m.predict(&xte));
+            }
+            Estimator::DecisionTree => {
+                let y = numeric_target(labels);
+                let ytr: Vec<f64> = train.iter().map(|&i| y[i]).collect();
+                let yte: Vec<f64> = test.iter().map(|&i| y[i]).collect();
+                let mut m = DecisionTreeRegressor::with_config(TreeConfig {
+                    max_depth: config.tree_depth,
+                    ..TreeConfig::default()
+                });
+                m.fit(&xtr, &ytr);
+                total -= wp_ml::metrics::rmse(&yte, &m.predict(&xte));
+            }
+        }
+    }
+    total / folds.len() as f64
+}
+
+/// Recursive Feature Elimination: repeatedly fit the estimator on the
+/// surviving features and eliminate the least important one; the ranking
+/// is the reverse elimination order (last survivor = most important).
+pub fn rfe(
+    x: &Matrix,
+    labels: &[usize],
+    features: &[FeatureId],
+    est: Estimator,
+    config: &WrapperConfig,
+) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let p = features.len();
+    let mut surviving: Vec<usize> = (0..p).collect();
+    let mut eliminated: Vec<usize> = Vec::with_capacity(p);
+    while surviving.len() > 1 {
+        let xs = x.select_cols(&surviving);
+        let imp = fit_importances(est, &xs, labels, config);
+        let worst_local = wp_linalg::ops::argmin(&imp).unwrap();
+        eliminated.push(surviving.remove(worst_local));
+    }
+    eliminated.push(surviving[0]);
+    eliminated.reverse(); // best first
+    Ranking::from_order(features.to_vec(), eliminated)
+}
+
+/// Sequential Feature Selection, forward variant: greedily add the
+/// feature that maximizes the cross-validated score; the ranking is the
+/// addition order.
+pub fn sfs_forward(
+    x: &Matrix,
+    labels: &[usize],
+    features: &[FeatureId],
+    est: Estimator,
+    config: &WrapperConfig,
+) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let p = features.len();
+    let mut selected: Vec<usize> = Vec::with_capacity(p);
+    let mut remaining: Vec<usize> = (0..p).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (ri, &cand) in remaining.iter().enumerate() {
+            let mut cols = selected.clone();
+            cols.push(cand);
+            let score = cv_score(est, &x.select_cols(&cols), labels, config);
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((ri, score));
+            }
+        }
+        let (ri, _) = best.unwrap();
+        selected.push(remaining.remove(ri));
+    }
+    Ranking::from_order(features.to_vec(), selected)
+}
+
+/// Sequential Feature Selection, backward variant: greedily remove the
+/// feature whose removal maximizes the cross-validated score; the ranking
+/// is the reverse removal order.
+pub fn sfs_backward(
+    x: &Matrix,
+    labels: &[usize],
+    features: &[FeatureId],
+    est: Estimator,
+    config: &WrapperConfig,
+) -> Ranking {
+    assert_eq!(x.cols(), features.len(), "one feature id per column");
+    let p = features.len();
+    let mut surviving: Vec<usize> = (0..p).collect();
+    let mut removed: Vec<usize> = Vec::with_capacity(p);
+    while surviving.len() > 1 {
+        let mut best: Option<(usize, f64)> = None;
+        for drop in 0..surviving.len() {
+            let mut cols = surviving.clone();
+            cols.remove(drop);
+            let score = cv_score(est, &x.select_cols(&cols), labels, config);
+            if best.is_none_or(|(_, b)| score > b) {
+                best = Some((drop, score));
+            }
+        }
+        let (drop, _) = best.unwrap();
+        removed.push(surviving.remove(drop));
+    }
+    removed.push(surviving[0]);
+    removed.reverse();
+    Ranking::from_order(features.to_vec(), removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0 strongly separates the classes, feature 1 weakly,
+    /// feature 2 is noise.
+    fn dataset() -> (Matrix, Vec<usize>, Vec<FeatureId>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..36 {
+            let class = i % 2;
+            rows.push(vec![
+                class as f64 * 8.0 + ((i * 13) % 5) as f64 * 0.1,
+                class as f64 * 1.0 + ((i * 31) % 7) as f64 * 0.4,
+                ((i * 7919) % 23) as f64,
+            ]);
+            labels.push(class);
+        }
+        let features = (0..3).map(FeatureId::from_global_index).collect();
+        (Matrix::from_rows(&rows), labels, features)
+    }
+
+    fn fast() -> WrapperConfig {
+        WrapperConfig {
+            cv_folds: 2,
+            logreg_iters: 60,
+            ..WrapperConfig::default()
+        }
+    }
+
+    #[test]
+    fn rfe_linear_keeps_strong_feature_longest() {
+        let (x, y, f) = dataset();
+        let r = rfe(&x, &y, &f, Estimator::Linear, &fast());
+        assert_eq!(r.order[0], 0, "order: {:?}", r.order);
+    }
+
+    #[test]
+    fn rfe_tree_keeps_strong_feature_longest() {
+        let (x, y, f) = dataset();
+        let r = rfe(&x, &y, &f, Estimator::DecisionTree, &fast());
+        assert_eq!(r.order[0], 0, "order: {:?}", r.order);
+    }
+
+    #[test]
+    fn rfe_logreg_keeps_strong_feature_longest() {
+        let (x, y, f) = dataset();
+        let r = rfe(&x, &y, &f, Estimator::LogisticRegression, &fast());
+        assert_eq!(r.order[0], 0, "order: {:?}", r.order);
+    }
+
+    #[test]
+    fn sfs_forward_adds_strong_feature_first() {
+        let (x, y, f) = dataset();
+        for est in [
+            Estimator::Linear,
+            Estimator::DecisionTree,
+            Estimator::LogisticRegression,
+        ] {
+            let r = sfs_forward(&x, &y, &f, est, &fast());
+            assert_eq!(r.order[0], 0, "{}: order {:?}", est.label(), r.order);
+        }
+    }
+
+    #[test]
+    fn sfs_backward_produces_full_permutation() {
+        let (x, y, f) = dataset();
+        let r = sfs_backward(&x, &y, &f, Estimator::Linear, &fast());
+        let mut sorted = r.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        // noise feature should not win
+        assert_ne!(r.order[0], 2, "order: {:?}", r.order);
+    }
+
+    #[test]
+    fn rankings_are_full_permutations() {
+        let (x, y, f) = dataset();
+        let r = rfe(&x, &y, &f, Estimator::Linear, &fast());
+        let mut sorted = r.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn estimator_labels() {
+        assert_eq!(Estimator::Linear.label(), "Linear");
+        assert_eq!(Estimator::DecisionTree.label(), "DecTree");
+        assert_eq!(Estimator::LogisticRegression.label(), "LogReg");
+    }
+}

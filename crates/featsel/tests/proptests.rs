@@ -1,0 +1,122 @@
+//! Property-based tests for the feature-selection strategies: every
+//! strategy must produce a complete, stable ranking and respect basic
+//! information-ordering invariants on synthetic data.
+
+use proptest::prelude::*;
+use wp_featsel::aggregate::aggregate_rankings;
+use wp_featsel::wrapper::WrapperConfig;
+use wp_featsel::{Ranking, Strategy};
+use wp_linalg::Matrix;
+use wp_telemetry::FeatureId;
+
+/// Builds a dataset where column 0 separates two classes with gap
+/// `signal`, and the remaining columns are deterministic pseudo-noise.
+fn dataset(n: usize, p: usize, signal: f64) -> (Matrix, Vec<usize>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let mut row = Vec::with_capacity(p);
+        row.push(class as f64 * signal + ((i * 13) % 5) as f64 * 0.05);
+        for j in 1..p {
+            row.push((((i * 31 + j * 17) * 2654435761) % 997) as f64 / 100.0);
+        }
+        rows.push(row);
+        labels.push(class);
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn universe(p: usize) -> Vec<FeatureId> {
+    (0..p).map(FeatureId::from_global_index).collect()
+}
+
+fn fast() -> WrapperConfig {
+    WrapperConfig {
+        cv_folds: 2,
+        logreg_iters: 40,
+        ..WrapperConfig::default()
+    }
+}
+
+fn is_permutation(r: &Ranking, p: usize) -> bool {
+    let mut sorted = r.order.clone();
+    sorted.sort_unstable();
+    sorted == (0..p).collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_strategy_emits_a_permutation(
+        n in 12usize..40,
+        p in 2usize..6,
+    ) {
+        let n = n - n % 2; // balanced classes
+        let (x, labels) = dataset(n, p, 5.0);
+        let u = universe(p);
+        for strategy in Strategy::all() {
+            let r = strategy.rank(&x, &labels, &u, &fast());
+            prop_assert!(is_permutation(&r, p), "{}", strategy.label());
+            prop_assert_eq!(r.top_k(p).len(), p);
+        }
+    }
+
+    #[test]
+    fn filters_put_a_strong_signal_first(
+        n in 20usize..60,
+        p in 3usize..8,
+    ) {
+        let n = n - n % 2;
+        let (x, labels) = dataset(n, p, 50.0);
+        let u = universe(p);
+        for strategy in [Strategy::FAnova, Strategy::MiGain, Strategy::Pearson] {
+            let r = strategy.rank(&x, &labels, &u, &fast());
+            prop_assert_eq!(r.order[0], 0, "{}: {:?}", strategy.label(), r.order);
+        }
+    }
+
+    #[test]
+    fn rankings_are_deterministic(
+        n in 16usize..40,
+        p in 2usize..5,
+    ) {
+        let n = n - n % 2;
+        let (x, labels) = dataset(n, p, 5.0);
+        let u = universe(p);
+        for strategy in [Strategy::Lasso, Strategy::RandomForest, Strategy::Variance] {
+            let a = strategy.rank(&x, &labels, &u, &fast());
+            let b = strategy.rank(&x, &labels, &u, &fast());
+            prop_assert_eq!(a.order, b.order, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn aggregation_of_identical_rankings_is_identity(
+        p in 2usize..10,
+        copies in 1usize..5,
+    ) {
+        let u = universe(p);
+        let order: Vec<usize> = (0..p).rev().collect();
+        let r = Ranking::from_order(u, order.clone());
+        let agg = aggregate_rankings(&vec![r; copies]);
+        prop_assert_eq!(agg.order, order);
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_top_k_plus_one(
+        n in 16usize..40,
+        p in 3usize..7,
+    ) {
+        let n = n - n % 2;
+        let (x, labels) = dataset(n, p, 5.0);
+        let u = universe(p);
+        let r = Strategy::FAnova.rank(&x, &labels, &u, &fast());
+        for k in 1..p {
+            let a = r.top_k(k);
+            let b = r.top_k(k + 1);
+            prop_assert_eq!(&a[..], &b[..k]);
+        }
+    }
+}

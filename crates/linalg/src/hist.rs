@@ -1,0 +1,157 @@
+//! Equi-width frequency and cumulative histograms.
+//!
+//! These are the building blocks of the paper's Histogram-Based
+//! Fingerprinting (Hist-FP, §5.1.1 and Appendix A): each feature's value
+//! range is split into `n` equal-width bins, frequencies are normalized so
+//! workloads with differing observation counts remain comparable, and the
+//! cumulative form makes "shape" differences visible to entry-wise norms
+//! (the `H1/H2/H3` example of Appendix A).
+
+/// A normalized equi-width histogram over a fixed value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower bound of the value range.
+    pub lo: f64,
+    /// Inclusive upper bound of the value range.
+    pub hi: f64,
+    /// Relative frequency per bin; sums to 1 when any value was observed.
+    pub bins: Vec<f64>,
+}
+
+impl Histogram {
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when the histogram has zero bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Converts to the cumulative form: bin `i` holds the total relative
+    /// frequency of bins `0..=i`. The final bin is exactly `1.0` whenever
+    /// any value was observed.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.bins
+            .iter()
+            .map(|&b| {
+                acc += b;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Builds a normalized equi-width histogram of `values` over `[lo, hi]`
+/// with `nbins` bins. Values outside the range are clamped into the
+/// boundary bins; a degenerate range (`hi <= lo`) puts everything in bin 0.
+///
+/// # Panics
+///
+/// Panics if `nbins == 0`.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, nbins: usize) -> Histogram {
+    assert!(nbins > 0, "histogram needs at least one bin");
+    let mut bins = vec![0.0; nbins];
+    if !values.is_empty() {
+        let range = hi - lo;
+        for &v in values {
+            let idx = if range > 0.0 {
+                let t = ((v - lo) / range).clamp(0.0, 1.0);
+                ((t * nbins as f64) as usize).min(nbins - 1)
+            } else {
+                0
+            };
+            bins[idx] += 1.0;
+        }
+        let total = values.len() as f64;
+        for b in &mut bins {
+            *b /= total;
+        }
+    }
+    Histogram { lo, hi, bins }
+}
+
+/// Convenience: histogram over the observed min/max of `values` followed by
+/// conversion to the cumulative form — the exact Hist-FP cell recipe.
+pub fn cumulative_histogram(values: &[f64], nbins: usize) -> Vec<f64> {
+    if values.is_empty() {
+        return vec![0.0; nbins];
+    }
+    let lo = crate::stats::min(values);
+    let hi = crate::stats::max(values);
+    histogram(values, lo, hi, nbins).cumulative()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = histogram(&[0.0, 0.5, 1.0, 0.25], 0.0, 1.0, 4);
+        let total: f64 = h.bins.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_assignment() {
+        let h = histogram(&[0.05, 0.95], 0.0, 1.0, 10);
+        assert!((h.bins[0] - 0.5).abs() < 1e-12);
+        assert!((h.bins[9] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_last_bin() {
+        let h = histogram(&[1.0], 0.0, 1.0, 10);
+        assert_eq!(h.bins[9], 1.0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let h = histogram(&[-5.0, 10.0], 0.0, 1.0, 2);
+        assert_eq!(h.bins[0], 0.5);
+        assert_eq!(h.bins[1], 0.5);
+    }
+
+    #[test]
+    fn degenerate_range_uses_first_bin() {
+        let h = histogram(&[3.0, 3.0], 3.0, 3.0, 5);
+        assert_eq!(h.bins[0], 1.0);
+    }
+
+    #[test]
+    fn cumulative_monotone_ending_at_one() {
+        let h = histogram(&[0.1, 0.4, 0.9], 0.0, 1.0, 5);
+        let c = h.cumulative();
+        for w in c.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((c[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn appendix_a_shape_example() {
+        // H1 = (1,0,0,0,0), H2 = (0,1,0,0,0), H3 = (0,0,0,0,1):
+        // cumulative forms make H1 closer to H2 than to H3 under L1.
+        let c1 = vec![1.0, 1.0, 1.0, 1.0, 1.0];
+        let c2 = vec![0.0, 1.0, 1.0, 1.0, 1.0];
+        let c3 = vec![0.0, 0.0, 0.0, 0.0, 1.0];
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert!(d(&c1, &c2) < d(&c1, &c3));
+    }
+
+    #[test]
+    fn cumulative_histogram_empty_input() {
+        assert_eq!(cumulative_histogram(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = histogram(&[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense linear algebra and descriptive statistics substrate.
+//!
+//! Everything downstream of this crate (the ML models in `wp-ml`, the
+//! similarity measures in `wp-similarity`, and the simulator in
+//! `wp-workloads`) operates on the [`Matrix`] type and the free functions
+//! defined here. The crate is deliberately dependency-free: the paper's
+//! pipeline needs only small/medium dense problems (tens of features,
+//! hundreds of observations), so a straightforward row-major implementation
+//! with Cholesky/QR solvers is both sufficient and easy to audit.
+//!
+//! # Module map
+//!
+//! * [`matrix`] — row-major dense [`Matrix`] with constructors, views, and
+//!   arithmetic.
+//! * [`solve`] — Cholesky and Householder-QR factorizations, least squares.
+//! * [`stats`] — means, variances, correlation, quantiles, scalers.
+//! * [`hist`] — equi-width frequency and cumulative histograms (the raw
+//!   material of the paper's Hist-FP representation).
+//! * [`ops`] — slice-level vector kernels shared by the other modules.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod matrix;
+pub mod ops;
+pub mod solve;
+pub mod stats;
+
+pub use hist::{cumulative_histogram, histogram, Histogram};
+pub use matrix::Matrix;
+pub use solve::{cholesky_solve, lstsq, qr_solve, CholeskyError};
+pub use stats::{
+    covariance, max, mean, median, min, pearson, quantile, stddev, variance, MinMaxScaler,
+    StandardScaler,
+};

@@ -1,0 +1,127 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use wp_linalg::{cholesky_solve, lstsq, Matrix};
+
+/// Strategy: a random matrix with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0..100.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(4, 6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(4, 2),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal(m in matrix(5, 3)) {
+        let g = m.gram();
+        for i in 0..3 {
+            prop_assert!(g[(i, i)] >= -1e-9, "diagonal must be non-negative");
+            for j in 0..3 {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+        let lhs = a.add(&b).frobenius_norm();
+        let rhs = a.frobenius_norm() + b.frobenius_norm();
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution(
+        b in matrix(4, 3),
+        x in proptest::collection::vec(-10.0..10.0f64, 3),
+    ) {
+        // A = BᵀB + I is always SPD
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let rhs = a.matvec(&x);
+        let solved = cholesky_solve(&a, &rhs).unwrap();
+        for (s, t) in solved.iter().zip(&x) {
+            prop_assert!((s - t).abs() < 1e-6, "{s} vs {t}");
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_not_worse_than_zero_vector(
+        x in matrix(8, 3),
+        y in proptest::collection::vec(-10.0..10.0f64, 8),
+    ) {
+        let beta = lstsq(&x, &y, 1e-9);
+        let pred = x.matvec(&beta);
+        let rss: f64 = y.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum();
+        let tss: f64 = y.iter().map(|a| a * a).sum();
+        // least squares can never beat... worse than predicting zero
+        prop_assert!(rss <= tss + 1e-6, "rss {rss} > tss {tss}");
+    }
+
+    #[test]
+    fn minmax_scaler_output_in_unit_interval(m in matrix(6, 4)) {
+        let (_, t) = wp_linalg::MinMaxScaler::fit_transform(&m);
+        for v in t.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn standard_scaler_centers_columns(m in matrix(10, 3)) {
+        let (_, t) = wp_linalg::StandardScaler::fit_transform(&m);
+        for j in 0..3 {
+            let mean = wp_linalg::stats::mean(&t.col(j));
+            prop_assert!(mean.abs() < 1e-8, "column {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn histogram_cumulative_is_monotone(
+        values in proptest::collection::vec(-50.0..50.0f64, 1..60),
+        nbins in 1usize..20,
+    ) {
+        let c = wp_linalg::cumulative_histogram(&values, nbins);
+        prop_assert_eq!(c.len(), nbins);
+        for w in c.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert!((c[nbins - 1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_between_min_and_max(
+        values in proptest::collection::vec(-50.0..50.0f64, 1..40),
+        q in 0.0..1.0f64,
+    ) {
+        let v = wp_linalg::quantile(&values, q);
+        prop_assert!(v >= wp_linalg::min(&values) - 1e-12);
+        prop_assert!(v <= wp_linalg::max(&values) + 1e-12);
+    }
+
+    #[test]
+    fn pearson_bounded(
+        a in proptest::collection::vec(-50.0..50.0f64, 5..30),
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
+        let r = wp_linalg::pearson(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+}

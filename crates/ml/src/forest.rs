@@ -1,0 +1,327 @@
+//! Random forests: bootstrap-aggregated CART trees with per-split feature
+//! subsampling and mean-impurity-decrease feature importances (§4.1.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wp_linalg::Matrix;
+
+use crate::traits::{check_fit_inputs, Classifier, Regressor};
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree settings; `max_features = None` defaults to √p at fit time.
+    pub tree: TreeConfig,
+    /// Bootstrap/subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig {
+                max_depth: 12,
+                ..TreeConfig::default()
+            },
+            seed: 0,
+        }
+    }
+}
+
+fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+fn resolved_tree_config(base: &TreeConfig, n_features: usize, tree_seed: u64) -> TreeConfig {
+    let max_features = base.max_features.or_else(|| {
+        // √p, the standard forest default
+        Some(((n_features as f64).sqrt().round() as usize).max(1))
+    });
+    TreeConfig {
+        max_features,
+        seed: tree_seed,
+        ..base.clone()
+    }
+}
+
+/// Averages each tree's normalized importances.
+fn mean_importances(per_tree: &[Vec<f64>]) -> Vec<f64> {
+    if per_tree.is_empty() {
+        return Vec::new();
+    }
+    let p = per_tree[0].len();
+    let mut out = vec![0.0; p];
+    for imp in per_tree {
+        for (o, v) in out.iter_mut().zip(imp) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= per_tree.len() as f64;
+    }
+    out
+}
+
+/// Random forest regressor (mean of tree predictions).
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestRegressor {
+    /// Forest hyper-parameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl RandomForestRegressor {
+    /// Creates an unfitted forest with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted forest with the given settings.
+    pub fn with_config(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True before `fit`.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees = (0..self.config.n_trees)
+            .map(|t| {
+                let idx = bootstrap_indices(x.rows(), &mut rng);
+                let xb = x.select_rows(&idx);
+                let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+                let cfg = resolved_tree_config(
+                    &self.config.tree,
+                    x.cols(),
+                    self.config.seed.wrapping_add(t as u64 + 1),
+                );
+                let mut tree = DecisionTreeRegressor::with_config(cfg);
+                tree.fit(&xb, &yb);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let mut out = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (o, p) in out.iter_mut().zip(tree.predict(x)) {
+                *o += p;
+            }
+        }
+        for o in &mut out {
+            *o /= self.trees.len() as f64;
+        }
+        out
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        let per_tree: Vec<Vec<f64>> = self
+            .trees
+            .iter()
+            .filter_map(|t| t.feature_importances())
+            .collect();
+        if per_tree.is_empty() {
+            None
+        } else {
+            Some(mean_importances(&per_tree))
+        }
+    }
+}
+
+/// Random forest classifier (majority vote).
+#[derive(Debug, Clone, Default)]
+pub struct RandomForestClassifier {
+    /// Forest hyper-parameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTreeClassifier>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Creates an unfitted forest with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted forest with the given settings.
+    pub fn with_config(config: ForestConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn fit(&mut self, x: &Matrix, labels: &[usize]) {
+        check_fit_inputs(x, labels.len());
+        self.n_classes = labels.iter().max().map_or(0, |m| m + 1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        self.trees = (0..self.config.n_trees)
+            .map(|t| {
+                let idx = bootstrap_indices(x.rows(), &mut rng);
+                let xb = x.select_rows(&idx);
+                let yb: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                let cfg = resolved_tree_config(
+                    &self.config.tree,
+                    x.cols(),
+                    self.config.seed.wrapping_add(t as u64 + 1),
+                );
+                let mut tree = DecisionTreeClassifier::with_config(cfg);
+                tree.fit(&xb, &yb);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        let votes_per_tree: Vec<Vec<usize>> =
+            self.trees.iter().map(|t| t.predict(x)).collect();
+        (0..x.rows())
+            .map(|r| {
+                let mut counts = vec![0usize; self.n_classes];
+                for votes in &votes_per_tree {
+                    counts[votes[r]] += 1;
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(k, _)| k)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        let per_tree: Vec<Vec<f64>> = self
+            .trees
+            .iter()
+            .filter_map(|t| t.feature_importances())
+            .collect();
+        if per_tree.is_empty() {
+            None
+        } else {
+            Some(mean_importances(&per_tree))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, rmse};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let f: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            y.push(10.0 * f[0] + 5.0 * f[1] * f[1] + f[2]);
+            rows.push(f);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn forest_beats_constant_predictor() {
+        let (x, y) = friedman_like(200, 1);
+        let mut f = RandomForestRegressor::with_config(ForestConfig {
+            n_trees: 30,
+            ..ForestConfig::default()
+        });
+        f.fit(&x, &y);
+        let pred = f.predict(&x);
+        let mean = wp_linalg::stats::mean(&y);
+        let baseline = rmse(&y, &vec![mean; y.len()]);
+        assert!(rmse(&y, &pred) < baseline * 0.5);
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let (x, y) = friedman_like(100, 2);
+        let cfg = ForestConfig {
+            n_trees: 10,
+            seed: 7,
+            ..ForestConfig::default()
+        };
+        let mut a = RandomForestRegressor::with_config(cfg.clone());
+        a.fit(&x, &y);
+        let mut b = RandomForestRegressor::with_config(cfg);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn forest_importances_rank_signal_over_noise() {
+        let (x, y) = friedman_like(300, 3);
+        let mut f = RandomForestRegressor::with_config(ForestConfig {
+            n_trees: 40,
+            ..ForestConfig::default()
+        });
+        f.fit(&x, &y);
+        let imp = f.feature_importances().unwrap();
+        // feature 0 (weight 10) dominates feature 3 (no signal)
+        assert!(imp[0] > imp[3], "{imp:?}");
+    }
+
+    #[test]
+    fn classifier_majority_vote() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let c = i % 3;
+            rows.push(vec![c as f64 * 5.0 + (i % 5) as f64 * 0.1, 0.0]);
+            labels.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut f = RandomForestClassifier::with_config(ForestConfig {
+            n_trees: 15,
+            tree: TreeConfig {
+                // the second feature is constant, so let every split see
+                // both features rather than gamble on √p = 1
+                max_features: Some(2),
+                ..TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        });
+        f.fit(&x, &labels);
+        assert!(accuracy(&labels, &f.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn forest_len_matches_config() {
+        let (x, y) = friedman_like(50, 4);
+        let mut f = RandomForestRegressor::with_config(ForestConfig {
+            n_trees: 7,
+            ..ForestConfig::default()
+        });
+        assert!(f.is_empty());
+        f.fit(&x, &y);
+        assert_eq!(f.len(), 7);
+    }
+}

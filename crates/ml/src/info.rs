@@ -1,0 +1,193 @@
+//! Information-theoretic and ANOVA statistics for filter-based feature
+//! selection (§4.1.1): mutual information gain and the one-way ANOVA
+//! F-statistic (the paper's fANOVA filter).
+
+use wp_linalg::Matrix;
+
+/// Mutual information `I(X; Y)` between a continuous feature (discretized
+/// into `n_bins` equi-width bins) and an integer class label, in nats.
+///
+/// `I = Σ p(x,y) ln( p(x,y) / (p(x) p(y)) )`, zero iff independent.
+pub fn mutual_information(feature: &[f64], labels: &[usize], n_bins: usize) -> f64 {
+    assert_eq!(feature.len(), labels.len(), "length mismatch");
+    assert!(n_bins > 0, "need at least one bin");
+    if feature.is_empty() {
+        return 0.0;
+    }
+    let lo = wp_linalg::stats::min(feature);
+    let hi = wp_linalg::stats::max(feature);
+    let range = hi - lo;
+    let n_classes = labels.iter().max().map_or(0, |m| m + 1);
+    let n = feature.len() as f64;
+
+    let mut joint = vec![vec![0.0; n_classes]; n_bins];
+    let mut px = vec![0.0; n_bins];
+    let mut py = vec![0.0; n_classes];
+    for (&x, &y) in feature.iter().zip(labels) {
+        let bin = if range > 0.0 {
+            (((x - lo) / range * n_bins as f64) as usize).min(n_bins - 1)
+        } else {
+            0
+        };
+        joint[bin][y] += 1.0;
+        px[bin] += 1.0;
+        py[y] += 1.0;
+    }
+    let mut mi = 0.0;
+    for b in 0..n_bins {
+        for c in 0..n_classes {
+            let pxy = joint[b][c] / n;
+            if pxy > 0.0 {
+                mi += pxy * (pxy / (px[b] / n * py[c] / n)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// One-way ANOVA F-statistic of a feature grouped by class label:
+/// between-group variance over within-group variance.
+///
+/// Returns `0.0` for degenerate cases (single class, constant feature, or
+/// fewer samples than needed for the within-group degrees of freedom) and
+/// a large finite value (`1e12`) when within-group variance is exactly
+/// zero but groups differ — a perfectly separating feature.
+pub fn f_statistic(feature: &[f64], labels: &[usize]) -> f64 {
+    assert_eq!(feature.len(), labels.len(), "length mismatch");
+    let n = feature.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let n_classes = labels.iter().max().map_or(0, |m| m + 1);
+    if n_classes < 2 {
+        return 0.0;
+    }
+    let grand_mean = wp_linalg::stats::mean(feature);
+    let mut group_sum = vec![0.0; n_classes];
+    let mut group_n = vec![0usize; n_classes];
+    for (&x, &y) in feature.iter().zip(labels) {
+        group_sum[y] += x;
+        group_n[y] += 1;
+    }
+    let k = group_n.iter().filter(|&&g| g > 0).count();
+    if k < 2 || n <= k {
+        return 0.0;
+    }
+    let group_mean: Vec<f64> = group_sum
+        .iter()
+        .zip(&group_n)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+
+    let mut ss_between = 0.0;
+    for c in 0..n_classes {
+        if group_n[c] > 0 {
+            let d = group_mean[c] - grand_mean;
+            ss_between += group_n[c] as f64 * d * d;
+        }
+    }
+    let mut ss_within = 0.0;
+    for (&x, &y) in feature.iter().zip(labels) {
+        let d = x - group_mean[y];
+        ss_within += d * d;
+    }
+    let df_between = (k - 1) as f64;
+    let df_within = (n - k) as f64;
+    let ms_between = ss_between / df_between;
+    let ms_within = ss_within / df_within;
+    if ms_within <= 0.0 {
+        if ms_between > 0.0 {
+            1e12
+        } else {
+            0.0
+        }
+    } else {
+        ms_between / ms_within
+    }
+}
+
+/// Column-wise [`mutual_information`] for every feature in a matrix.
+pub fn mutual_information_matrix(x: &Matrix, labels: &[usize], n_bins: usize) -> Vec<f64> {
+    (0..x.cols())
+        .map(|j| mutual_information(&x.col(j), labels, n_bins))
+        .collect()
+}
+
+/// Column-wise [`f_statistic`] for every feature in a matrix.
+pub fn f_statistic_matrix(x: &Matrix, labels: &[usize]) -> Vec<f64> {
+    (0..x.cols()).map(|j| f_statistic(&x.col(j), labels)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi_zero_for_independent_feature() {
+        // feature identical for both classes
+        let f = vec![1.0, 2.0, 1.0, 2.0];
+        let y = vec![0, 0, 1, 1];
+        let mi = mutual_information(&f, &y, 2);
+        assert!(mi.abs() < 1e-9, "mi = {mi}");
+    }
+
+    #[test]
+    fn mi_high_for_separating_feature() {
+        let f = vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mi = mutual_information(&f, &y, 4);
+        // perfect separation of 2 balanced classes → MI = ln 2
+        assert!((mi - (2.0_f64).ln()).abs() < 1e-9, "mi = {mi}");
+    }
+
+    #[test]
+    fn mi_constant_feature_is_zero() {
+        let f = vec![5.0; 6];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(mutual_information(&f, &y, 5), 0.0);
+    }
+
+    #[test]
+    fn f_stat_large_for_separated_groups() {
+        let f = vec![0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        assert!(f_statistic(&f, &y) > 100.0);
+    }
+
+    #[test]
+    fn f_stat_small_for_identical_groups() {
+        let f = vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0];
+        let y = vec![0, 0, 0, 1, 1, 1];
+        assert!(f_statistic(&f, &y) < 1e-9);
+    }
+
+    #[test]
+    fn f_stat_perfect_separation_zero_within() {
+        let f = vec![1.0, 1.0, 2.0, 2.0];
+        let y = vec![0, 0, 1, 1];
+        assert_eq!(f_statistic(&f, &y), 1e12);
+    }
+
+    #[test]
+    fn f_stat_degenerate_cases() {
+        assert_eq!(f_statistic(&[], &[]), 0.0);
+        assert_eq!(f_statistic(&[1.0, 2.0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn matrix_wrappers_shape() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 5.0],
+            vec![0.1, 5.0],
+            vec![9.0, 5.0],
+            vec![9.1, 5.0],
+        ]);
+        let y = vec![0, 0, 1, 1];
+        let mi = mutual_information_matrix(&x, &y, 3);
+        assert_eq!(mi.len(), 2);
+        assert!(mi[0] > mi[1]);
+        let f = f_statistic_matrix(&x, &y);
+        assert_eq!(f.len(), 2);
+        assert!(f[0] > f[1]);
+    }
+}

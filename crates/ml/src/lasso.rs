@@ -1,0 +1,400 @@
+//! Lasso and Elastic-Net regression via cyclic coordinate descent, plus
+//! regularization paths.
+//!
+//! The paper uses Lasso both as an embedded feature selector (§4.1.2) and
+//! to visualize per-workload feature importance through its regularization
+//! path (Figure 3). The objective follows the scikit-learn convention:
+//!
+//! ```text
+//! 1/(2n) ‖y − Xβ‖² + α·l1_ratio·‖β‖₁ + α·(1−l1_ratio)/2·‖β‖²
+//! ```
+//!
+//! with `l1_ratio = 1` for Lasso. Inputs are standardized internally so the
+//! penalty treats all features equally; reported coefficients are
+//! *on the standardized scale*, which is what the paper's feature-importance
+//! comparison requires (raw-scale coefficients would be dominated by unit
+//! choices).
+
+use wp_linalg::ops::soft_threshold;
+use wp_linalg::{Matrix, StandardScaler};
+
+use crate::traits::{check_fit_inputs, Regressor};
+
+/// Shared coordinate-descent configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinateDescentConfig {
+    /// Maximum full passes over the coordinates.
+    pub max_iter: usize,
+    /// Convergence threshold on the largest single-coefficient update.
+    pub tol: f64,
+}
+
+impl Default for CoordinateDescentConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 1000,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// Elastic-Net regression (`l1_ratio = 1` recovers the Lasso).
+#[derive(Debug, Clone)]
+pub struct ElasticNet {
+    /// Overall penalty strength α.
+    pub alpha: f64,
+    /// Mix between L1 (`1.0`) and L2 (`0.0`) penalties.
+    pub l1_ratio: f64,
+    /// Optimizer settings.
+    pub config: CoordinateDescentConfig,
+    /// Coefficients on the standardized feature scale.
+    pub coefficients: Vec<f64>,
+    /// Intercept on the original target scale.
+    pub intercept: f64,
+    /// Number of coordinate-descent passes actually used.
+    pub n_iter: usize,
+    scaler: Option<StandardScaler>,
+    y_mean: f64,
+}
+
+impl ElasticNet {
+    /// Creates an unfitted elastic net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0` or `l1_ratio ∉ [0, 1]`.
+    pub fn new(alpha: f64, l1_ratio: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&l1_ratio),
+            "l1_ratio must be in [0, 1]"
+        );
+        Self {
+            alpha,
+            l1_ratio,
+            config: CoordinateDescentConfig::default(),
+            coefficients: Vec::new(),
+            intercept: 0.0,
+            n_iter: 0,
+            scaler: None,
+            y_mean: 0.0,
+        }
+    }
+
+    /// Indices of features with non-zero coefficients.
+    pub fn active_set(&self) -> Vec<usize> {
+        self.coefficients
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs cyclic coordinate descent on standardized data.
+///
+/// Returns `(coefficients, iterations_used)`.
+fn coordinate_descent(
+    xs: &Matrix,
+    yc: &[f64],
+    alpha: f64,
+    l1_ratio: f64,
+    config: &CoordinateDescentConfig,
+    warm_start: Option<&[f64]>,
+) -> (Vec<f64>, usize) {
+    let n = xs.rows() as f64;
+    let p = xs.cols();
+    let mut beta = warm_start
+        .map(<[f64]>::to_vec)
+        .unwrap_or_else(|| vec![0.0; p]);
+    // residual r = y - X beta
+    let mut resid: Vec<f64> = {
+        let fitted = xs.matvec(&beta);
+        yc.iter().zip(&fitted).map(|(y, f)| y - f).collect()
+    };
+    // Per-column squared norms; after standardization these are ≈ n, but we
+    // compute them exactly so constant columns (norm 0) are skipped safely.
+    let col_sq: Vec<f64> = (0..p)
+        .map(|j| (0..xs.rows()).map(|i| xs[(i, j)] * xs[(i, j)]).sum())
+        .collect();
+    let l1 = alpha * l1_ratio;
+    let l2 = alpha * (1.0 - l1_ratio);
+
+    let mut iterations = 0;
+    for it in 0..config.max_iter {
+        iterations = it + 1;
+        let mut max_delta = 0.0_f64;
+        for j in 0..p {
+            if col_sq[j] == 0.0 {
+                continue;
+            }
+            let old = beta[j];
+            // rho = (1/n) x_jᵀ (r + x_j * old)
+            let mut rho = 0.0;
+            for i in 0..xs.rows() {
+                rho += xs[(i, j)] * (resid[i] + xs[(i, j)] * old);
+            }
+            rho /= n;
+            let denom = col_sq[j] / n + l2;
+            let new = soft_threshold(rho, l1) / denom;
+            if new != old {
+                let delta = new - old;
+                for i in 0..xs.rows() {
+                    resid[i] -= xs[(i, j)] * delta;
+                }
+                beta[j] = new;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < config.tol {
+            break;
+        }
+    }
+    (beta, iterations)
+}
+
+impl Regressor for ElasticNet {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        let (scaler, xs) = StandardScaler::fit_transform(x);
+        self.y_mean = wp_linalg::stats::mean(y);
+        let yc: Vec<f64> = y.iter().map(|v| v - self.y_mean).collect();
+        let (beta, iters) =
+            coordinate_descent(&xs, &yc, self.alpha, self.l1_ratio, &self.config, None);
+        self.coefficients = beta;
+        self.n_iter = iters;
+        self.intercept = self.y_mean;
+        self.scaler = Some(scaler);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let scaler = self
+            .scaler
+            .as_ref()
+            .expect("predict called before fit");
+        let xs = scaler.transform(x);
+        xs.iter_rows()
+            .map(|row| {
+                self.intercept
+                    + row
+                        .iter()
+                        .zip(&self.coefficients)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(self.coefficients.iter().map(|c| c.abs()).collect())
+    }
+}
+
+/// Lasso regression — an [`ElasticNet`] with `l1_ratio = 1`.
+#[derive(Debug, Clone)]
+pub struct Lasso {
+    inner: ElasticNet,
+}
+
+impl Lasso {
+    /// Creates an unfitted lasso with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            inner: ElasticNet::new(alpha, 1.0),
+        }
+    }
+
+    /// Coefficients on the standardized feature scale.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.inner.coefficients
+    }
+
+    /// Indices of non-zero coefficients.
+    pub fn active_set(&self) -> Vec<usize> {
+        self.inner.active_set()
+    }
+}
+
+impl Regressor for Lasso {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.inner.fit(x, y);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.inner.predict(x)
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        self.inner.feature_importances()
+    }
+}
+
+/// One point on a regularization path.
+#[derive(Debug, Clone)]
+pub struct PathPoint {
+    /// Penalty strength at this point.
+    pub alpha: f64,
+    /// Coefficients (standardized scale) at this penalty.
+    pub coefficients: Vec<f64>,
+}
+
+/// The smallest `alpha` that drives all lasso coefficients to zero:
+/// `max_j |x_jᵀ y| / n` on standardized data.
+pub fn alpha_max(x: &Matrix, y: &[f64]) -> f64 {
+    let (_, xs) = StandardScaler::fit_transform(x);
+    let y_mean = wp_linalg::stats::mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    let n = x.rows() as f64;
+    let corr = xs.t_matvec(&yc);
+    corr.iter().fold(0.0_f64, |m, c| m.max(c.abs())) / n
+}
+
+/// Computes a lasso path on a log-spaced grid of `n_alphas` penalties from
+/// [`alpha_max`] down to `alpha_max * eps`, warm-starting each solve from
+/// the previous one (as in Figure 3: coefficients enter the model as the
+/// regularization strength decreases).
+pub fn lasso_path(x: &Matrix, y: &[f64], n_alphas: usize, eps: f64) -> Vec<PathPoint> {
+    assert!(n_alphas >= 2, "path needs at least two alphas");
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+    let a_max = alpha_max(x, y).max(1e-12);
+    let (_, xs) = StandardScaler::fit_transform(x);
+    let y_mean = wp_linalg::stats::mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+    let config = CoordinateDescentConfig::default();
+
+    let log_max = a_max.ln();
+    let log_min = (a_max * eps).ln();
+    let mut path = Vec::with_capacity(n_alphas);
+    let mut warm: Option<Vec<f64>> = None;
+    for k in 0..n_alphas {
+        let t = k as f64 / (n_alphas - 1) as f64;
+        let alpha = (log_max + t * (log_min - log_max)).exp();
+        let (beta, _) = coordinate_descent(&xs, &yc, alpha, 1.0, &config, warm.as_deref());
+        warm = Some(beta.clone());
+        path.push(PathPoint {
+            alpha,
+            coefficients: beta,
+        });
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// y depends on features 0 and 1 only; features 2..5 are noise.
+    fn sparse_problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            y.push(3.0 * f[0] - 2.0 * f[1] + 0.01 * rng.gen_range(-1.0..1.0));
+            rows.push(f);
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn lasso_selects_true_support() {
+        let (x, y) = sparse_problem(200, 1);
+        let mut m = Lasso::new(0.05);
+        m.fit(&x, &y);
+        let active = m.active_set();
+        assert!(active.contains(&0), "active: {active:?}");
+        assert!(active.contains(&1), "active: {active:?}");
+        // noise features shrink to zero (or near) at this penalty
+        for j in 2..5 {
+            assert!(
+                m.coefficients()[j].abs() < 0.05,
+                "feature {j} coef {}",
+                m.coefficients()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn large_alpha_zeroes_everything() {
+        let (x, y) = sparse_problem(100, 2);
+        let a_max = alpha_max(&x, &y);
+        let mut m = Lasso::new(a_max * 1.01);
+        m.fit(&x, &y);
+        assert!(m.active_set().is_empty(), "coefs: {:?}", m.coefficients());
+    }
+
+    #[test]
+    fn tiny_alpha_approaches_ols_fit_quality() {
+        let (x, y) = sparse_problem(150, 3);
+        let mut m = Lasso::new(1e-5);
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.05);
+    }
+
+    #[test]
+    fn elastic_net_l2_component_spreads_correlated_features() {
+        // two identical columns: lasso may pick one arbitrarily, elastic net
+        // splits the weight between them.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..150 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![v, v, rng.gen_range(-1.0..1.0)]);
+            y.push(2.0 * v);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut en = ElasticNet::new(0.05, 0.5);
+        en.fit(&x, &y);
+        let c = &en.coefficients;
+        assert!((c[0] - c[1]).abs() < 0.05, "coefs not balanced: {c:?}");
+        assert!(c[0] > 0.1 && c[1] > 0.1, "both should be active: {c:?}");
+    }
+
+    #[test]
+    fn path_is_monotone_in_sparsity_at_extremes() {
+        let (x, y) = sparse_problem(120, 5);
+        let path = lasso_path(&x, &y, 20, 1e-3);
+        assert_eq!(path.len(), 20);
+        let first_active = path[0]
+            .coefficients
+            .iter()
+            .filter(|c| **c != 0.0)
+            .count();
+        let last_active = path[19]
+            .coefficients
+            .iter()
+            .filter(|c| **c != 0.0)
+            .count();
+        assert!(first_active <= 1, "alpha_max point should be all-zero-ish");
+        assert!(last_active >= 2, "small alpha should activate true support");
+        // alphas strictly decreasing
+        for w in path.windows(2) {
+            assert!(w[1].alpha < w[0].alpha);
+        }
+    }
+
+    #[test]
+    fn predict_before_fit_panics() {
+        let m = Lasso::new(0.1);
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.predict(&x)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn importances_match_abs_coefficients() {
+        let (x, y) = sparse_problem(100, 6);
+        let mut m = Lasso::new(0.02);
+        m.fit(&x, &y);
+        let imp = m.feature_importances().unwrap();
+        for (i, c) in m.coefficients().iter().enumerate() {
+            assert_eq!(imp[i], c.abs());
+        }
+    }
+}

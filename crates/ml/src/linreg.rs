@@ -1,0 +1,271 @@
+//! Ordinary least squares, ridge, and polynomial regression.
+
+use wp_linalg::{lstsq, Matrix};
+
+use crate::traits::{check_fit_inputs, Regressor};
+
+/// Ordinary least squares linear regression with an intercept.
+///
+/// Uses Householder QR for well-posed problems and falls back to a
+/// ridge-stabilized normal-equation solve for collinear designs.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Fitted coefficients (one per feature).
+    pub coefficients: Vec<f64>,
+}
+
+impl LinearRegression {
+    /// Creates an unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        let xd = x.with_intercept();
+        // A vanishing ridge keeps collinear telemetry designs solvable
+        // without measurably biasing well-posed ones.
+        let beta = if xd.rows() >= xd.cols() {
+            lstsq(&xd, y, 0.0)
+        } else {
+            lstsq(&xd, y, 1e-8)
+        };
+        self.intercept = beta[0];
+        self.coefficients = beta[1..].to_vec();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(
+            x.cols(),
+            self.coefficients.len(),
+            "predict feature-count mismatch"
+        );
+        x.iter_rows()
+            .map(|row| {
+                self.intercept
+                    + row
+                        .iter()
+                        .zip(&self.coefficients)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(self.coefficients.iter().map(|c| c.abs()).collect())
+    }
+}
+
+/// Ridge regression: OLS with an L2 penalty `alpha` on the coefficients
+/// (the intercept is never penalized).
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    /// L2 penalty strength.
+    pub alpha: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Fitted coefficients.
+    pub coefficients: Vec<f64>,
+}
+
+impl RidgeRegression {
+    /// Creates an unfitted model with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "ridge penalty must be non-negative");
+        Self {
+            alpha,
+            intercept: 0.0,
+            coefficients: Vec::new(),
+        }
+    }
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        // Center to avoid penalizing the intercept.
+        let x_means = wp_linalg::stats::col_means(x);
+        let y_mean = wp_linalg::stats::mean(y);
+        let mut xc = x.clone();
+        for r in 0..xc.rows() {
+            let row = xc.row_mut(r);
+            for (v, &m) in row.iter_mut().zip(&x_means) {
+                *v -= m;
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+        let beta = lstsq(&xc, &yc, self.alpha.max(1e-12));
+        self.intercept =
+            y_mean - beta.iter().zip(&x_means).map(|(b, m)| b * m).sum::<f64>();
+        self.coefficients = beta;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(
+            x.cols(),
+            self.coefficients.len(),
+            "predict feature-count mismatch"
+        );
+        x.iter_rows()
+            .map(|row| {
+                self.intercept
+                    + row
+                        .iter()
+                        .zip(&self.coefficients)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(self.coefficients.iter().map(|c| c.abs()).collect())
+    }
+}
+
+/// Expands each feature column into powers `x, x², …, x^degree`.
+///
+/// Interaction terms are intentionally omitted: the scaling models in the
+/// paper are univariate in the SKU dimension, where pure powers suffice.
+pub fn polynomial_features(x: &Matrix, degree: usize) -> Matrix {
+    assert!(degree >= 1, "polynomial degree must be >= 1");
+    let mut out = Matrix::zeros(x.rows(), x.cols() * degree);
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            let v = x[(r, c)];
+            let mut p = 1.0;
+            for d in 0..degree {
+                p *= v;
+                out[(r, c * degree + d)] = p;
+            }
+        }
+    }
+    out
+}
+
+/// Polynomial regression: OLS on [`polynomial_features`].
+#[derive(Debug, Clone)]
+pub struct PolynomialRegression {
+    /// Power expansion degree.
+    pub degree: usize,
+    inner: LinearRegression,
+}
+
+impl PolynomialRegression {
+    /// Creates an unfitted polynomial model of the given degree.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree >= 1, "polynomial degree must be >= 1");
+        Self {
+            degree,
+            inner: LinearRegression::new(),
+        }
+    }
+}
+
+impl Regressor for PolynomialRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let xp = polynomial_features(x, self.degree);
+        self.inner.fit(&xp, y);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let xp = polynomial_features(x, self.degree);
+        self.inner.predict(&xp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    #[test]
+    fn ols_recovers_exact_line() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let y = vec![5.0, 7.0, 9.0, 11.0]; // y = 3 + 2x
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.intercept - 3.0).abs() < 1e-8);
+        assert!((m.coefficients[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ols_multifeature() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ]);
+        let y = vec![1.0, -1.0, 0.0, 1.0]; // y = x0 - x1
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 1e-8);
+    }
+
+    #[test]
+    fn ols_importances_are_abs_coefs() {
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, -1.0], vec![3.0, 2.0]]);
+        let y = vec![2.0, 4.0, 6.0]; // only feature 0 matters
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        let imp = m.feature_importances().unwrap();
+        assert!(imp[0] > imp[1]);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let mut weak = RidgeRegression::new(0.001);
+        weak.fit(&x, &y);
+        let mut strong = RidgeRegression::new(1000.0);
+        strong.fit(&x, &y);
+        assert!(strong.coefficients[0].abs() < weak.coefficients[0].abs());
+        assert!((weak.coefficients[0] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ridge_prediction_reasonable() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![1.0, 2.0, 3.0];
+        let mut m = RidgeRegression::new(0.01);
+        m.fit(&x, &y);
+        let p = m.predict(&Matrix::from_rows(&[vec![4.0]]));
+        assert!((p[0] - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn polynomial_features_expansion() {
+        let x = Matrix::from_rows(&[vec![2.0, 3.0]]);
+        let xp = polynomial_features(&x, 3);
+        assert_eq!(xp.row(0), &[2.0, 4.0, 8.0, 3.0, 9.0, 27.0]);
+    }
+
+    #[test]
+    fn polynomial_regression_fits_quadratic() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..10).map(|i| (i * i) as f64 + 1.0).collect();
+        let mut m = PolynomialRegression::new(2);
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 1e-6, "pred: {pred:?}");
+    }
+
+    #[test]
+    fn fitting_twice_resets_state() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let mut m = LinearRegression::new();
+        m.fit(&x, &[1.0, 2.0]);
+        m.fit(&x, &[10.0, 20.0]);
+        let p = m.predict(&Matrix::from_rows(&[vec![3.0]]));
+        assert!((p[0] - 30.0).abs() < 1e-8);
+    }
+}

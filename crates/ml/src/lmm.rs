@@ -1,0 +1,368 @@
+//! Linear mixed-effects model (LMM) with group-specific random intercepts
+//! and slopes, fit by expectation–maximization.
+//!
+//! The paper's Figure 8 builds LMM scaling models where the *data group*
+//! (time-of-day of the experiment run) is the grouping factor: each group
+//! gets its own intercept/slope deviation around the shared fixed effect.
+//!
+//! Model, for observation `i` in group `g`:
+//!
+//! ```text
+//! y_gi = x_giᵀ β + z_giᵀ b_g + ε_gi,   b_g ~ N(0, D),  ε ~ N(0, σ²)
+//! ```
+//!
+//! with `z = [1, x]` (random intercept + random slopes). The EM loop
+//! alternates posterior means of `b_g` (ridge-like per-group solves) with
+//! closed-form updates of `β`, `D`, and `σ²`.
+
+use wp_linalg::solve::lu_solve;
+use wp_linalg::{lstsq, Matrix};
+
+use crate::traits::{check_fit_inputs, Regressor};
+
+/// Which random effects each group receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RandomEffects {
+    /// Group-specific intercept only.
+    Intercept,
+    /// Group-specific intercept and per-feature slopes.
+    InterceptAndSlope,
+}
+
+/// LMM hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct LmmConfig {
+    /// Random-effects structure.
+    pub effects: RandomEffects,
+    /// EM iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the σ² update.
+    pub tol: f64,
+}
+
+impl Default for LmmConfig {
+    fn default() -> Self {
+        Self {
+            effects: RandomEffects::InterceptAndSlope,
+            max_iter: 50,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// Linear mixed-effects regressor.
+#[derive(Debug, Clone, Default)]
+pub struct LinearMixedModel {
+    /// Hyper-parameters.
+    pub config: LmmConfig,
+    /// Fixed-effect coefficients `[intercept, per-feature…]`.
+    pub fixed: Vec<f64>,
+    /// Residual variance σ².
+    pub sigma2: f64,
+    /// Posterior-mean random effects per group id.
+    pub random: Vec<Vec<f64>>,
+    /// Random-effect covariance `D` (diagonal stored).
+    pub d_diag: Vec<f64>,
+    n_features: usize,
+}
+
+impl LinearMixedModel {
+    /// Creates an unfitted LMM with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted LMM with the given settings.
+    pub fn with_config(config: LmmConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    fn z_dim(&self, p: usize) -> usize {
+        match self.config.effects {
+            RandomEffects::Intercept => 1,
+            RandomEffects::InterceptAndSlope => 1 + p,
+        }
+    }
+
+    fn z_row(&self, row: &[f64]) -> Vec<f64> {
+        match self.config.effects {
+            RandomEffects::Intercept => vec![1.0],
+            RandomEffects::InterceptAndSlope => {
+                let mut z = Vec::with_capacity(1 + row.len());
+                z.push(1.0);
+                z.extend_from_slice(row);
+                z
+            }
+        }
+    }
+
+    /// Fits the model with explicit group labels (`0..n_groups`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or an empty design.
+    pub fn fit_grouped(&mut self, x: &Matrix, y: &[f64], groups: &[usize]) {
+        check_fit_inputs(x, y.len());
+        assert_eq!(groups.len(), y.len(), "group labels length mismatch");
+        let n_groups = groups.iter().max().map_or(0, |m| m + 1);
+        let p = x.cols();
+        let q = self.z_dim(p);
+        self.n_features = p;
+
+        // group membership lists
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+        for (i, &g) in groups.iter().enumerate() {
+            members[g].push(i);
+        }
+
+        let xd = x.with_intercept();
+        // initialize with pooled OLS
+        let mut beta = lstsq(&xd, y, 1e-8);
+        let mut sigma2 = {
+            let pred = xd.matvec(&beta);
+            let ss: f64 = y.iter().zip(&pred).map(|(t, f)| (t - f) * (t - f)).sum();
+            (ss / y.len() as f64).max(1e-8)
+        };
+        let mut d_diag = vec![sigma2.max(1e-6); q];
+        let mut b: Vec<Vec<f64>> = vec![vec![0.0; q]; n_groups];
+
+        for _ in 0..self.config.max_iter {
+            // ---- E-step: posterior means of random effects ----
+            for (g, idx) in members.iter().enumerate() {
+                if idx.is_empty() {
+                    continue;
+                }
+                // Solve (ZᵀZ/σ² + D⁻¹) b = Zᵀ r / σ²
+                let mut a = Matrix::zeros(q, q);
+                let mut rhs = vec![0.0; q];
+                for &i in idx {
+                    let z = self.z_row(x.row(i));
+                    let fixed_fit: f64 = xd
+                        .row(i)
+                        .iter()
+                        .zip(&beta)
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    let r = y[i] - fixed_fit;
+                    for a_i in 0..q {
+                        rhs[a_i] += z[a_i] * r / sigma2;
+                        for a_j in 0..q {
+                            a[(a_i, a_j)] += z[a_i] * z[a_j] / sigma2;
+                        }
+                    }
+                }
+                for a_i in 0..q {
+                    a[(a_i, a_i)] += 1.0 / d_diag[a_i].max(1e-10);
+                }
+                if let Some(sol) = lu_solve(&a, &rhs) {
+                    b[g] = sol;
+                }
+            }
+
+            // ---- M-step ----
+            // Fixed effects from residuals after removing random effects.
+            let adjusted: Vec<f64> = (0..y.len())
+                .map(|i| {
+                    let g = groups[i];
+                    let z = self.z_row(x.row(i));
+                    y[i] - wp_linalg::ops::dot(&z, &b[g])
+                })
+                .collect();
+            beta = lstsq(&xd, &adjusted, 1e-8);
+
+            // Residual variance.
+            let mut ss = 0.0;
+            for i in 0..y.len() {
+                let g = groups[i];
+                let z = self.z_row(x.row(i));
+                let fit: f64 = xd
+                    .row(i)
+                    .iter()
+                    .zip(&beta)
+                    .map(|(a, c)| a * c)
+                    .sum::<f64>()
+                    + wp_linalg::ops::dot(&z, &b[g]);
+                ss += (y[i] - fit) * (y[i] - fit);
+            }
+            let new_sigma2 = (ss / y.len() as f64).max(1e-10);
+
+            // Random-effect variances (diagonal D), with a floor so empty
+            // groups cannot collapse the prior.
+            let active: Vec<&Vec<f64>> = members
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.is_empty())
+                .map(|(g, _)| &b[g])
+                .collect();
+            if !active.is_empty() {
+                for k in 0..q {
+                    let v: f64 =
+                        active.iter().map(|bg| bg[k] * bg[k]).sum::<f64>() / active.len() as f64;
+                    d_diag[k] = v.max(1e-8);
+                }
+            }
+
+            let converged = (new_sigma2 - sigma2).abs() < self.config.tol;
+            sigma2 = new_sigma2;
+            if converged {
+                break;
+            }
+        }
+
+        self.fixed = beta;
+        self.sigma2 = sigma2;
+        self.random = b;
+        self.d_diag = d_diag;
+    }
+
+    /// Predicts for rows of `x` belonging to `group`; `None` uses the
+    /// population-level fixed effects only (a new, unseen group).
+    pub fn predict_group(&self, x: &Matrix, group: Option<usize>) -> Vec<f64> {
+        assert!(!self.fixed.is_empty(), "predict called before fit");
+        assert_eq!(x.cols(), self.n_features, "feature-count mismatch");
+        x.iter_rows()
+            .map(|row| {
+                let mut fit = self.fixed[0]
+                    + row
+                        .iter()
+                        .zip(&self.fixed[1..])
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
+                if let Some(g) = group {
+                    if let Some(bg) = self.random.get(g) {
+                        fit += wp_linalg::ops::dot(&self.z_row(row), bg);
+                    }
+                }
+                fit
+            })
+            .collect()
+    }
+
+    /// Symmetric 95 % prediction band half-width (`1.96 σ`).
+    pub fn prediction_interval_halfwidth(&self) -> f64 {
+        1.96 * self.sigma2.sqrt()
+    }
+}
+
+impl Regressor for LinearMixedModel {
+    /// Trait-level `fit` treats the whole dataset as a single group, which
+    /// reduces the LMM to (shrunken) linear regression. Callers with group
+    /// structure should use [`LinearMixedModel::fit_grouped`].
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let groups = vec![0usize; y.len()];
+        self.fit_grouped(x, y, &groups);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        // Population-level prediction plus the single group's effects when
+        // the model was fit un-grouped.
+        let group = if self.random.len() == 1 { Some(0) } else { None };
+        self.predict_group(x, group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three groups sharing slope 2.0 with intercepts −2, 0, +2.
+    fn grouped_data(seed: u64) -> (Matrix, Vec<f64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for g in 0..3usize {
+            let offset = (g as f64 - 1.0) * 2.0;
+            for _ in 0..30 {
+                let x: f64 = rng.gen_range(0.0..10.0);
+                rows.push(vec![x]);
+                y.push(2.0 * x + offset + rng.gen_range(-0.05..0.05));
+                groups.push(g);
+            }
+        }
+        (Matrix::from_rows(&rows), y, groups)
+    }
+
+    #[test]
+    fn recovers_shared_slope() {
+        let (x, y, groups) = grouped_data(1);
+        let mut m = LinearMixedModel::new();
+        m.fit_grouped(&x, &y, &groups);
+        assert!((m.fixed[1] - 2.0).abs() < 0.1, "slope: {}", m.fixed[1]);
+    }
+
+    #[test]
+    fn group_predictions_absorb_group_offsets() {
+        let (x, y, groups) = grouped_data(2);
+        let mut m = LinearMixedModel::new();
+        m.fit_grouped(&x, &y, &groups);
+        // per-group predictions should be much better than population-level
+        let mut grouped_err = 0.0;
+        let mut pooled_err = 0.0;
+        for g in 0..3usize {
+            let idx: Vec<usize> = groups
+                .iter()
+                .enumerate()
+                .filter(|(_, &gg)| gg == g)
+                .map(|(i, _)| i)
+                .collect();
+            let xg = x.select_rows(&idx);
+            let yg: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            grouped_err += rmse(&yg, &m.predict_group(&xg, Some(g)));
+            pooled_err += rmse(&yg, &m.predict_group(&xg, None));
+        }
+        assert!(
+            grouped_err < pooled_err * 0.5,
+            "grouped {grouped_err} vs pooled {pooled_err}"
+        );
+    }
+
+    #[test]
+    fn unseen_group_falls_back_to_fixed_effects() {
+        let (x, y, groups) = grouped_data(3);
+        let mut m = LinearMixedModel::new();
+        m.fit_grouped(&x, &y, &groups);
+        let test = Matrix::from_rows(&[vec![5.0]]);
+        let p = m.predict_group(&test, None);
+        // population-level: y ≈ 2*5 + mean(offsets) = 10
+        assert!((p[0] - 10.0).abs() < 0.5, "{p:?}");
+    }
+
+    #[test]
+    fn regressor_trait_single_group() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        let mut m = LinearMixedModel::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.2, "{pred:?}");
+    }
+
+    #[test]
+    fn sigma2_reflects_noise_level() {
+        let (x, y, groups) = grouped_data(4);
+        let mut m = LinearMixedModel::new();
+        m.fit_grouped(&x, &y, &groups);
+        // noise was uniform(-0.05, 0.05): σ² ≈ 0.05²/3 ≈ 8e-4
+        assert!(m.sigma2 < 0.01, "sigma2 {}", m.sigma2);
+        assert!(m.prediction_interval_halfwidth() < 0.25);
+    }
+
+    #[test]
+    fn intercept_only_effects() {
+        let (x, y, groups) = grouped_data(5);
+        let mut m = LinearMixedModel::with_config(LmmConfig {
+            effects: RandomEffects::Intercept,
+            ..LmmConfig::default()
+        });
+        m.fit_grouped(&x, &y, &groups);
+        assert_eq!(m.random[0].len(), 1);
+        assert!((m.fixed[1] - 2.0).abs() < 0.1);
+    }
+}

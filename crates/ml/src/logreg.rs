@@ -1,0 +1,255 @@
+//! Binary and one-vs-rest multinomial logistic regression.
+//!
+//! This is the estimator behind the paper's `RFE LogReg` and `SFS LogReg`
+//! feature selectors: workload identity is the class label and the absolute
+//! coefficient magnitudes (aggregated across the one-vs-rest heads for the
+//! multiclass case) act as feature importances.
+
+use wp_linalg::ops::sigmoid;
+use wp_linalg::{Matrix, StandardScaler};
+
+use crate::traits::{check_fit_inputs, Classifier};
+
+/// Gradient-descent configuration for logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Maximum gradient steps.
+    pub max_iter: usize,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Convergence threshold on the gradient norm.
+    pub tol: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.5,
+            max_iter: 500,
+            l2: 1e-3,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// One binary logistic head: `P(y=1|x) = σ(w·x + b)`.
+#[derive(Debug, Clone)]
+struct BinaryHead {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn fit_binary(xs: &Matrix, targets: &[f64], config: &LogisticConfig) -> BinaryHead {
+    let n = xs.rows() as f64;
+    let p = xs.cols();
+    let mut w = vec![0.0; p];
+    let mut b = 0.0;
+    for _ in 0..config.max_iter {
+        let mut gw = vec![0.0; p];
+        let mut gb = 0.0;
+        for (i, row) in xs.iter_rows().enumerate() {
+            let z = b + row.iter().zip(&w).map(|(a, c)| a * c).sum::<f64>();
+            let err = sigmoid(z) - targets[i];
+            for (g, &a) in gw.iter_mut().zip(row) {
+                *g += err * a;
+            }
+            gb += err;
+        }
+        let mut gnorm = gb * gb;
+        for j in 0..p {
+            gw[j] = gw[j] / n + config.l2 * w[j];
+            gnorm += gw[j] * gw[j];
+        }
+        gb /= n;
+        for j in 0..p {
+            w[j] -= config.learning_rate * gw[j];
+        }
+        b -= config.learning_rate * gb;
+        if gnorm.sqrt() < config.tol {
+            break;
+        }
+    }
+    BinaryHead { weights: w, bias: b }
+}
+
+/// One-vs-rest logistic regression classifier.
+///
+/// Inputs are standardized internally so coefficient magnitudes are
+/// comparable across features (required for importance-based selection).
+#[derive(Debug, Clone, Default)]
+pub struct LogisticRegression {
+    /// Optimizer settings.
+    pub config: LogisticConfig,
+    heads: Vec<BinaryHead>,
+    classes: Vec<usize>,
+    scaler: Option<StandardScaler>,
+}
+
+impl LogisticRegression {
+    /// Creates an unfitted classifier with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted classifier with custom optimizer settings.
+    pub fn with_config(config: LogisticConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Per-class decision scores for each row (same order as `classes`).
+    pub fn decision_function(&self, x: &Matrix) -> Matrix {
+        let scaler = self.scaler.as_ref().expect("predict called before fit");
+        let xs = scaler.transform(x);
+        let mut out = Matrix::zeros(x.rows(), self.heads.len());
+        for (r, row) in xs.iter_rows().enumerate() {
+            for (k, head) in self.heads.iter().enumerate() {
+                out[(r, k)] = head.bias
+                    + row
+                        .iter()
+                        .zip(&head.weights)
+                        .map(|(a, c)| a * c)
+                        .sum::<f64>();
+            }
+        }
+        out
+    }
+
+    /// The distinct class labels seen at fit time, sorted ascending.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, labels: &[usize]) {
+        check_fit_inputs(x, labels.len());
+        let (scaler, xs) = StandardScaler::fit_transform(x);
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "need at least two classes");
+        self.heads = classes
+            .iter()
+            .map(|&c| {
+                let targets: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { 0.0 })
+                    .collect();
+                fit_binary(&xs, &targets, &self.config)
+            })
+            .collect();
+        self.classes = classes;
+        self.scaler = Some(scaler);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let scores = self.decision_function(x);
+        (0..scores.rows())
+            .map(|r| {
+                let row = scores.row(r);
+                let best = wp_linalg::ops::argmax(row).unwrap();
+                self.classes[best]
+            })
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        if self.heads.is_empty() {
+            return None;
+        }
+        let p = self.heads[0].weights.len();
+        let mut imp = vec![0.0; p];
+        for head in &self.heads {
+            for (o, w) in imp.iter_mut().zip(&head.weights) {
+                *o += w.abs();
+            }
+        }
+        Some(imp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Three linearly separable blobs in 2-D plus a noise dimension.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    cx + rng.gen_range(-0.5..0.5),
+                    cy + rng.gen_range(-0.5..0.5),
+                    rng.gen_range(-1.0..1.0), // irrelevant feature
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn separable_blobs_classified_perfectly() {
+        let (x, y) = blobs(30, 1);
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(accuracy(&y, &pred) > 0.98, "acc {}", accuracy(&y, &pred));
+    }
+
+    #[test]
+    fn binary_case_works() {
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![0.9],
+            vec![1.0],
+            vec![1.1],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y);
+        assert_eq!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn importances_favor_informative_features() {
+        let (x, y) = blobs(40, 2);
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y);
+        let imp = m.feature_importances().unwrap();
+        assert!(imp[0] > imp[2], "{imp:?}");
+        assert!(imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn classes_sorted_and_preserved() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![5.0], vec![6.0]]);
+        let y = vec![7, 7, 3, 3];
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &y);
+        assert_eq!(m.classes(), &[3, 7]);
+        let pred = m.predict(&x);
+        assert_eq!(pred, y);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut m = LogisticRegression::new();
+        m.fit(&x, &[1, 1]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Multivariate Adaptive Regression Splines (Friedman 1991).
+//!
+//! Forward pass: greedily add mirrored hinge pairs
+//! `max(0, x_j − t)` / `max(0, t − x_j)` that most reduce the residual sum
+//! of squares. Backward pass: prune terms by generalized cross-validation
+//! (GCV). The result is the piecewise-linear fit the paper uses as its
+//! "MARS" scaling strategy (§6.1.2).
+
+use wp_linalg::{lstsq, Matrix};
+
+use crate::traits::{check_fit_inputs, Regressor};
+
+/// One hinge basis function `max(0, s·(x_j − t))` with `s = ±1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hinge {
+    /// Feature index.
+    pub feature: usize,
+    /// Knot location.
+    pub knot: f64,
+    /// `true` for `max(0, x − t)`, `false` for `max(0, t − x)`.
+    pub positive: bool,
+}
+
+impl Hinge {
+    fn eval(&self, row: &[f64]) -> f64 {
+        let d = row[self.feature] - self.knot;
+        if self.positive {
+            d.max(0.0)
+        } else {
+            (-d).max(0.0)
+        }
+    }
+}
+
+/// MARS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct MarsConfig {
+    /// Maximum number of hinge terms added in the forward pass
+    /// (the intercept is not counted).
+    pub max_terms: usize,
+    /// GCV penalty per knot (Friedman recommends 2–4).
+    pub penalty: f64,
+}
+
+impl Default for MarsConfig {
+    fn default() -> Self {
+        Self {
+            max_terms: 20,
+            penalty: 3.0,
+        }
+    }
+}
+
+/// MARS regressor.
+///
+/// This implementation uses the "MARS with linear terms" variant: the base
+/// model always contains the intercept plus one untransformed linear term
+/// per feature, and the forward pass adds hinge pairs on top. The linear
+/// base keeps tiny datasets (the paper's pairwise scaling models train on
+/// as few as six points) from degenerating to an intercept-only fit when
+/// GCV prunes every knot.
+#[derive(Debug, Clone, Default)]
+pub struct Mars {
+    /// Hyper-parameters.
+    pub config: MarsConfig,
+    /// Selected hinge terms after pruning.
+    pub terms: Vec<Hinge>,
+    /// Coefficients: `[intercept, p linear terms…, one per hinge term…]`.
+    pub coefficients: Vec<f64>,
+    n_features: usize,
+}
+
+/// Design matrix: intercept | linear terms | hinge terms.
+fn design(x: &Matrix, terms: &[Hinge]) -> Matrix {
+    let p = x.cols();
+    let mut d = Matrix::zeros(x.rows(), 1 + p + terms.len());
+    for (r, row) in x.iter_rows().enumerate() {
+        d[(r, 0)] = 1.0;
+        for (j, &v) in row.iter().enumerate() {
+            d[(r, 1 + j)] = v;
+        }
+        for (c, h) in terms.iter().enumerate() {
+            d[(r, 1 + p + c)] = h.eval(row);
+        }
+    }
+    d
+}
+
+fn rss(d: &Matrix, y: &[f64]) -> (Vec<f64>, f64) {
+    let beta = lstsq(d, y, 1e-9);
+    let pred = d.matvec(&beta);
+    let rss: f64 = y.iter().zip(&pred).map(|(t, p)| (t - p) * (t - p)).sum();
+    (beta, rss)
+}
+
+/// GCV criterion: `RSS / n / (1 − C(M)/n)²`. The effective parameter count
+/// charges each hinge term `1 + penalty` but leaves the always-present
+/// linear base (intercept + p linear terms) at cost 1 each, so pruning
+/// ranks *knots* rather than the base model.
+fn gcv(rss: f64, n: usize, base_terms: usize, n_terms: usize, penalty: f64) -> f64 {
+    let c = (base_terms + n_terms) as f64 + penalty * n_terms as f64;
+    let denom = 1.0 - c / n as f64;
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        rss / n as f64 / (denom * denom)
+    }
+}
+
+impl Mars {
+    /// Creates an unfitted model with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted model with the given settings.
+    pub fn with_config(config: MarsConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+}
+
+impl Regressor for Mars {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        let n = x.rows();
+        let base_terms = 1 + x.cols();
+        self.n_features = x.cols();
+
+        // ---- forward pass ----
+        let mut terms: Vec<Hinge> = Vec::new();
+        let mut best_rss = {
+            let d = design(x, &terms);
+            rss(&d, y).1
+        };
+        // Candidate knots: distinct observed values per feature.
+        let mut knots: Vec<Vec<f64>> = Vec::with_capacity(x.cols());
+        for j in 0..x.cols() {
+            let mut vals = x.col(j);
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            vals.dedup();
+            knots.push(vals);
+        }
+
+        while terms.len() + 2 <= self.config.max_terms {
+            let mut best_pair: Option<(Hinge, Hinge, f64)> = None;
+            for (j, feature_knots) in knots.iter().enumerate() {
+                // interior knots only: a hinge at the boundary is constant
+                for &t in feature_knots
+                    .iter()
+                    .skip(1)
+                    .take(feature_knots.len().saturating_sub(2))
+                {
+                    let pos = Hinge {
+                        feature: j,
+                        knot: t,
+                        positive: true,
+                    };
+                    let neg = Hinge {
+                        feature: j,
+                        knot: t,
+                        positive: false,
+                    };
+                    let mut cand = terms.clone();
+                    cand.push(pos);
+                    cand.push(neg);
+                    let d = design(x, &cand);
+                    if d.cols() > n {
+                        continue; // would be under-determined
+                    }
+                    let (_, r) = rss(&d, y);
+                    if best_pair.as_ref().is_none_or(|(_, _, br)| r < *br) {
+                        best_pair = Some((pos, neg, r));
+                    }
+                }
+            }
+            match best_pair {
+                Some((pos, neg, r)) if r < best_rss * (1.0 - 1e-6) => {
+                    terms.push(pos);
+                    terms.push(neg);
+                    best_rss = r;
+                }
+                _ => break,
+            }
+        }
+
+        // ---- backward pass (GCV pruning) ----
+        let mut best_terms = terms.clone();
+        let mut best_gcv = {
+            let d = design(x, &terms);
+            let (_, r) = rss(&d, y);
+            gcv(r, n, base_terms, terms.len(), self.config.penalty)
+        };
+        let mut current = terms;
+        while !current.is_empty() {
+            // remove the single term whose removal minimizes GCV
+            let mut round_best: Option<(usize, f64)> = None;
+            for drop in 0..current.len() {
+                let mut cand = current.clone();
+                cand.remove(drop);
+                let d = design(x, &cand);
+                let (_, r) = rss(&d, y);
+                let g = gcv(r, n, base_terms, cand.len(), self.config.penalty);
+                if round_best.is_none_or(|(_, bg)| g < bg) {
+                    round_best = Some((drop, g));
+                }
+            }
+            let (drop, g) = round_best.unwrap();
+            current.remove(drop);
+            if g <= best_gcv {
+                best_gcv = g;
+                best_terms = current.clone();
+            }
+        }
+
+        let d = design(x, &best_terms);
+        let (beta, _) = rss(&d, y);
+        self.terms = best_terms;
+        self.coefficients = beta;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(
+            !self.coefficients.is_empty(),
+            "predict called before fit"
+        );
+        assert_eq!(x.cols(), self.n_features, "feature-count mismatch");
+        let p = self.n_features;
+        x.iter_rows()
+            .map(|row| {
+                let linear: f64 = row
+                    .iter()
+                    .zip(&self.coefficients[1..1 + p])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let hinges: f64 = self
+                    .terms
+                    .iter()
+                    .zip(&self.coefficients[1 + p..])
+                    .map(|(h, c)| c * h.eval(row))
+                    .sum();
+                self.coefficients[0] + linear + hinges
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    #[test]
+    fn fits_piecewise_linear_target_exactly() {
+        // y = x for x < 5, y = 5 for x >= 5 (a roofline-style kink)
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.5]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0].min(5.0)).collect();
+        let mut m = Mars::new();
+        m.fit(&x, &y);
+        assert!(rmse(&y, &m.predict(&x)) < 0.05, "terms: {:?}", m.terms);
+    }
+
+    #[test]
+    fn linear_target_needs_no_interior_structure() {
+        let rows: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..15).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let mut m = Mars::new();
+        m.fit(&x, &y);
+        assert!(rmse(&y, &m.predict(&x)) < 1e-6);
+    }
+
+    #[test]
+    fn pruning_controls_term_count() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 * 0.2]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| (r[0]).sin()).collect();
+        let mut strict = Mars::with_config(MarsConfig {
+            penalty: 10.0,
+            ..MarsConfig::default()
+        });
+        strict.fit(&x, &y);
+        let mut lenient = Mars::with_config(MarsConfig {
+            penalty: 0.5,
+            ..MarsConfig::default()
+        });
+        lenient.fit(&x, &y);
+        assert!(strict.terms.len() <= lenient.terms.len());
+    }
+
+    #[test]
+    fn multifeature_selects_relevant_feature() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let a = i as f64 * 0.3;
+            let b = (i * 17 % 7) as f64; // noise
+            rows.push(vec![a, b]);
+            y.push((a - 4.0).max(0.0) * 2.0);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut m = Mars::new();
+        m.fit(&x, &y);
+        assert!(rmse(&y, &m.predict(&x)) < 0.6);
+        // at least one selected hinge should be on feature 0
+        assert!(m.terms.iter().any(|t| t.feature == 0), "{:?}", m.terms);
+    }
+
+    #[test]
+    fn handles_tiny_dataset() {
+        let x = Matrix::from_rows(&[vec![2.0], vec![4.0], vec![8.0], vec![16.0]]);
+        let y = vec![10.0, 18.0, 30.0, 44.0];
+        let mut m = Mars::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        assert!(pred.iter().all(|p| p.is_finite()));
+        assert!(rmse(&y, &pred) < 10.0);
+    }
+}

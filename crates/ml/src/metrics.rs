@@ -1,0 +1,182 @@
+//! Evaluation metrics.
+//!
+//! The paper reports NRMSE (range-normalized RMSE, §6.2) for the scaling
+//! models, MAPE for the end-to-end experiment (§6.2.3), and classification
+//! accuracy for the feature-selection study (Table 3).
+
+/// Mean squared error.
+pub fn mse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mse length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    mse(y_true, y_pred).sqrt()
+}
+
+/// Range-normalized RMSE: `RMSE / (max(y_true) - min(y_true))`.
+///
+/// This is the paper's Table 6 metric ("deviation from the actual observed
+/// throughput value ranges"). When the observed range is zero the plain
+/// RMSE is returned so the metric stays finite.
+pub fn nrmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    let r = rmse(y_true, y_pred);
+    let lo = wp_linalg::stats::min(y_true);
+    let hi = wp_linalg::stats::max(y_true);
+    let range = hi - lo;
+    if range > 0.0 {
+        r / range
+    } else {
+        r
+    }
+}
+
+/// Mean absolute percentage error, expressed as a fraction (0.2 = 20 %).
+///
+/// Samples with `y_true == 0` are skipped to keep the metric defined.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mape length mismatch");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if *t != 0.0 {
+            total += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mae length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Coefficient of determination R².
+///
+/// A constant target makes the score undefined; we return `0.0` in that
+/// case so downstream model selection stays finite.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "r2 length mismatch");
+    let m = wp_linalg::stats::mean(y_true);
+    let ss_tot: f64 = y_true.iter().map(|t| (t - m) * (t - m)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Fraction of exactly matching labels.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "accuracy length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Absolute percentage error of a single prediction, as a fraction.
+pub fn abs_pct_error(y_true: f64, y_pred: f64) -> f64 {
+    if y_true == 0.0 {
+        return y_pred.abs();
+    }
+    ((y_true - y_pred) / y_true).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(nrmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let t = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((rmse(&t, &p) - (12.5_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let t = [0.0, 10.0];
+        let p = [1.0, 9.0];
+        // rmse = 1, range = 10
+        assert!((nrmse(&t, &p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_constant_target_falls_back_to_rmse() {
+        let t = [5.0, 5.0];
+        let p = [4.0, 6.0];
+        assert!((nrmse(&t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let t = [0.0, 10.0];
+        let p = [100.0, 5.0];
+        assert!((mape(&t, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_zero_for_mean_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_negative_for_bad_model() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [10.0, 10.0, 10.0];
+        assert!(r2(&t, &p) < 0.0);
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn abs_pct_error_fraction() {
+        assert!((abs_pct_error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((abs_pct_error(0.0, 0.5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Common model interfaces.
+
+use wp_linalg::Matrix;
+
+/// A supervised regression model.
+///
+/// `fit` consumes a design matrix (`samples × features`) and one target per
+/// sample; `predict` maps new rows to predicted targets. Models must
+/// tolerate being re-fit (each `fit` call discards previous state).
+pub trait Regressor {
+    /// Trains the model on `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.rows() != y.len()` or `x` is empty.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+
+    /// Predicts one target per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Per-feature importance scores, if the model exposes them.
+    ///
+    /// Linear models report `|coefficient|`; tree ensembles report total
+    /// impurity reduction. Used by the RFE wrapper selector.
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// A supervised classification model over integer class labels `0..k`.
+pub trait Classifier {
+    /// Trains the model on `(x, labels)`.
+    fn fit(&mut self, x: &Matrix, labels: &[usize]);
+
+    /// Predicts one label per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<usize>;
+
+    /// Per-feature importance scores, if the model exposes them.
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Validates the common fit preconditions; called by every implementation.
+pub(crate) fn check_fit_inputs(x: &Matrix, n_targets: usize) {
+    assert!(x.rows() > 0, "cannot fit on an empty design matrix");
+    assert!(x.cols() > 0, "cannot fit with zero features");
+    assert_eq!(
+        x.rows(),
+        n_targets,
+        "design matrix has {} rows but {} targets were provided",
+        x.rows(),
+        n_targets
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_fit_inputs_accepts_valid() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        check_fit_inputs(&x, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design matrix")]
+    fn check_fit_inputs_rejects_empty() {
+        let x = Matrix::zeros(0, 3);
+        check_fit_inputs(&x, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets were provided")]
+    fn check_fit_inputs_rejects_mismatch() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        check_fit_inputs(&x, 3);
+    }
+}

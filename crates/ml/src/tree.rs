@@ -1,0 +1,525 @@
+//! CART decision trees: regression (variance reduction) and classification
+//! (Gini impurity), with impurity-based feature importances.
+//!
+//! Used directly as the `DecTree` estimator in the paper's RFE/SFS wrapper
+//! selectors, and as the weak learner inside the random forest and the
+//! gradient-boosting ensemble.
+
+use wp_linalg::Matrix;
+
+use crate::traits::{check_fit_inputs, Classifier, Regressor};
+
+/// Hyper-parameters shared by both tree flavours.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples required in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features examined per split; `None` means all.
+    pub max_features: Option<usize>,
+    /// Seed for the feature subsampling (only used with `max_features`).
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+/// A tree node, stored in a flat arena.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Mean target (regression) or majority-class index.
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Flat-arena binary tree with the split search shared between the
+/// regression and classification front-ends.
+#[derive(Debug, Clone, Default)]
+struct TreeCore {
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+/// How to measure impurity during the split search.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Criterion {
+    /// Sum of squared deviations from the mean (regression).
+    Variance,
+    /// Gini impurity over integer labels (classification).
+    Gini { n_classes: usize },
+}
+
+/// Weighted impurity of the samples in `idx`.
+fn impurity(criterion: Criterion, y: &[f64], idx: &[usize]) -> f64 {
+    match criterion {
+        Criterion::Variance => {
+            if idx.is_empty() {
+                return 0.0;
+            }
+            let mean: f64 = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+            idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum()
+        }
+        Criterion::Gini { n_classes } => {
+            if idx.is_empty() {
+                return 0.0;
+            }
+            let mut counts = vec![0usize; n_classes];
+            for &i in idx {
+                counts[y[i] as usize] += 1;
+            }
+            let n = idx.len() as f64;
+            let gini = 1.0
+                - counts
+                    .iter()
+                    .map(|&c| {
+                        let p = c as f64 / n;
+                        p * p
+                    })
+                    .sum::<f64>();
+            gini * n
+        }
+    }
+}
+
+/// Leaf prediction for the samples in `idx`.
+fn leaf_value(criterion: Criterion, y: &[f64], idx: &[usize]) -> f64 {
+    match criterion {
+        Criterion::Variance => {
+            idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64
+        }
+        Criterion::Gini { n_classes } => {
+            let mut counts = vec![0usize; n_classes];
+            for &i in idx {
+                counts[y[i] as usize] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(k, _)| k as f64)
+                .unwrap_or(0.0)
+        }
+    }
+}
+
+struct SplitCandidate {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+    left: Vec<usize>,
+    right: Vec<usize>,
+}
+
+impl TreeCore {
+    fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        criterion: Criterion,
+        config: &TreeConfig,
+    ) {
+        self.nodes.clear();
+        self.importances = vec![0.0; x.cols()];
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut rng_state = config.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        self.build(x, y, criterion, config, &idx, 0, &mut rng_state);
+    }
+
+    /// xorshift64* — cheap deterministic PRNG for feature subsampling so we
+    /// avoid threading a full `rand` RNG through the recursion.
+    fn next_rand(state: &mut u64) -> u64 {
+        let mut s = *state;
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        *state = s;
+        s.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        criterion: Criterion,
+        config: &TreeConfig,
+        idx: &[usize],
+        depth: usize,
+        rng_state: &mut u64,
+    ) -> usize {
+        let parent_impurity = impurity(criterion, y, idx);
+        let stop = depth >= config.max_depth
+            || idx.len() < config.min_samples_split
+            || parent_impurity <= 1e-12;
+        if !stop {
+            if let Some(split) =
+                self.best_split(x, y, criterion, config, idx, parent_impurity, rng_state)
+            {
+                let node_id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                self.importances[split.feature] += split.gain;
+                let left = self.build(x, y, criterion, config, &split.left, depth + 1, rng_state);
+                let right =
+                    self.build(x, y, criterion, config, &split.right, depth + 1, rng_state);
+                self.nodes[node_id] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                return node_id;
+            }
+        }
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: leaf_value(criterion, y, idx),
+        });
+        node_id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn best_split(
+        &self,
+        x: &Matrix,
+        y: &[f64],
+        criterion: Criterion,
+        config: &TreeConfig,
+        idx: &[usize],
+        parent_impurity: f64,
+        rng_state: &mut u64,
+    ) -> Option<SplitCandidate> {
+        let n_features = x.cols();
+        // Choose candidate features, optionally a random subset.
+        let features: Vec<usize> = match config.max_features {
+            Some(k) if k < n_features => {
+                let mut all: Vec<usize> = (0..n_features).collect();
+                // partial Fisher-Yates
+                for i in 0..k {
+                    let j = i + (Self::next_rand(rng_state) as usize) % (n_features - i);
+                    all.swap(i, j);
+                }
+                all.truncate(k);
+                all
+            }
+            _ => (0..n_features).collect(),
+        };
+
+        let mut best: Option<SplitCandidate> = None;
+        let mut sorted = idx.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            // Evaluate midpoints between consecutive distinct values.
+            for cut in config.min_samples_leaf..=sorted.len().saturating_sub(config.min_samples_leaf)
+            {
+                if cut == 0 || cut == sorted.len() {
+                    continue;
+                }
+                let lo = x[(sorted[cut - 1], f)];
+                let hi = x[(sorted[cut], f)];
+                if hi <= lo {
+                    continue;
+                }
+                let threshold = 0.5 * (lo + hi);
+                let left = &sorted[..cut];
+                let right = &sorted[cut..];
+                let child_impurity =
+                    impurity(criterion, y, left) + impurity(criterion, y, right);
+                let gain = parent_impurity - child_impurity;
+                if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
+                    best = Some(SplitCandidate {
+                        feature: f,
+                        threshold,
+                        gain,
+                        left: left.to_vec(),
+                        right: right.to_vec(),
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn normalized_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            self.importances.iter().map(|i| i / total).collect()
+        } else {
+            self.importances.clone()
+        }
+    }
+
+    fn depth_of(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_of(*left).max(self.depth_of(*right))
+            }
+        }
+    }
+}
+
+/// CART regression tree.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeRegressor {
+    /// Tree hyper-parameters.
+    pub config: TreeConfig,
+    core: TreeCore,
+}
+
+impl DecisionTreeRegressor {
+    /// Creates an unfitted tree with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted tree with the given hyper-parameters.
+    pub fn with_config(config: TreeConfig) -> Self {
+        Self {
+            config,
+            core: TreeCore::default(),
+        }
+    }
+
+    /// Actual depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        if self.core.nodes.is_empty() {
+            0
+        } else {
+            self.core.depth_of(0)
+        }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        check_fit_inputs(x, y.len());
+        self.core.fit(x, y, Criterion::Variance, &self.config);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        assert!(!self.core.nodes.is_empty(), "predict called before fit");
+        x.iter_rows().map(|row| self.core.predict_row(row)).collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(self.core.normalized_importances())
+    }
+}
+
+/// CART classification tree (Gini impurity).
+#[derive(Debug, Clone, Default)]
+pub struct DecisionTreeClassifier {
+    /// Tree hyper-parameters.
+    pub config: TreeConfig,
+    core: TreeCore,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Creates an unfitted tree with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an unfitted tree with the given hyper-parameters.
+    pub fn with_config(config: TreeConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, labels: &[usize]) {
+        check_fit_inputs(x, labels.len());
+        self.n_classes = labels.iter().max().map_or(0, |m| m + 1);
+        let y: Vec<f64> = labels.iter().map(|&l| l as f64).collect();
+        self.core.fit(
+            x,
+            &y,
+            Criterion::Gini {
+                n_classes: self.n_classes,
+            },
+            &self.config,
+        );
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        assert!(!self.core.nodes.is_empty(), "predict called before fit");
+        x.iter_rows()
+            .map(|row| self.core.predict_row(row) as usize)
+            .collect()
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        Some(self.core.normalized_importances())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, rmse};
+
+    #[test]
+    fn regressor_fits_step_function() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y);
+        let pred = t.predict(&x);
+        assert!(rmse(&y, &pred) < 1e-9);
+        assert_eq!(t.depth(), 1, "step function needs a single split");
+    }
+
+    #[test]
+    fn regressor_approximates_quadratic() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).powi(2)).collect();
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y);
+        let pred = t.predict(&x);
+        assert!(rmse(&y, &pred) < 1.0);
+    }
+
+    #[test]
+    fn max_depth_limits_tree() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let mut t = DecisionTreeRegressor::with_config(TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn classifier_learns_two_blobs() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![i as f64 * 0.1, 0.0]);
+            labels.push(0);
+            rows.push(vec![10.0 + i as f64 * 0.1, 0.0]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut t = DecisionTreeClassifier::new();
+        t.fit(&x, &labels);
+        assert_eq!(accuracy(&labels, &t.predict(&x)), 1.0);
+    }
+
+    #[test]
+    fn importances_identify_splitting_feature() {
+        // feature 1 is pure noise, feature 0 decides the label
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            rows.push(vec![i as f64, (i * 7 % 13) as f64]);
+            y.push(if i < 20 { 0.0 } else { 10.0 });
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y);
+        let imp = t.feature_importances().unwrap();
+        assert!(imp[0] > 0.9, "{imp:?}");
+        let total: f64 = imp.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "importances normalized");
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut t = DecisionTreeRegressor::with_config(TreeConfig {
+            min_samples_leaf: 5,
+            ..TreeConfig::default()
+        });
+        t.fit(&x, &y);
+        // With 10 samples and min 5 per leaf, only the middle split works:
+        // at most depth 1.
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = vec![4.2; 10];
+        let mut t = DecisionTreeRegressor::new();
+        t.fit(&x, &y);
+        assert_eq!(t.depth(), 0);
+        for (p, t) in t.predict(&x).iter().zip(&y) {
+            assert!((p - t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * 3 % 17) as f64, (i * 5 % 11) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            max_features: Some(1),
+            seed: 9,
+            ..TreeConfig::default()
+        };
+        let mut a = DecisionTreeRegressor::with_config(cfg.clone());
+        a.fit(&x, &y);
+        let mut b = DecisionTreeRegressor::with_config(cfg);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the ML substrate: metric invariants, model
+//! sanity on generated data, and cross-validation bookkeeping.
+
+use proptest::prelude::*;
+use wp_linalg::Matrix;
+use wp_ml::metrics::{accuracy, mae, mape, mse, nrmse, r2, rmse};
+use wp_ml::traits::Regressor;
+
+proptest! {
+    #[test]
+    fn rmse_zero_iff_equal(y in proptest::collection::vec(-100.0..100.0f64, 1..30)) {
+        prop_assert!(rmse(&y, &y).abs() < 1e-12);
+        prop_assert!(mae(&y, &y).abs() < 1e-12);
+        prop_assert!(mape(&y, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(
+        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..30),
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // RMSE ≥ MAE always (Jensen)
+        prop_assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
+    }
+
+    #[test]
+    fn mse_is_rmse_squared(
+        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..30),
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!((mse(&t, &p) - rmse(&t, &p).powi(2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_at_most_one(
+        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..30),
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!(r2(&t, &p) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn accuracy_bounded(
+        labels in proptest::collection::vec(0usize..4, 1..30),
+        preds in proptest::collection::vec(0usize..4, 1..30),
+    ) {
+        let n = labels.len().min(preds.len());
+        let a = accuracy(&labels[..n], &preds[..n]);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn nrmse_scale_invariant(
+        pairs in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..30),
+        scale in 0.1..50.0f64,
+    ) {
+        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        prop_assume!(wp_linalg::max(&t) - wp_linalg::min(&t) > 1e-6);
+        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let ts: Vec<f64> = t.iter().map(|v| v * scale).collect();
+        let ps: Vec<f64> = p.iter().map(|v| v * scale).collect();
+        prop_assert!((nrmse(&t, &p) - nrmse(&ts, &ps)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ols_interpolates_noiseless_lines(
+        slope in -10.0..10.0f64,
+        intercept in -10.0..10.0f64,
+        xs in proptest::collection::vec(-50.0..50.0f64, 3..25),
+    ) {
+        // need at least two distinct x values for identifiability
+        let distinct = {
+            let mut v: Vec<i64> = xs.iter().map(|x| (x * 1e6) as i64).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len()
+        };
+        prop_assume!(distinct >= 2);
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&v| slope * v + intercept).collect();
+        let mut m = wp_ml::linreg::LinearRegression::new();
+        m.fit(&x, &y);
+        let pred = m.predict(&x);
+        prop_assert!(rmse(&y, &pred) < 1e-4, "rmse {}", rmse(&y, &pred));
+    }
+
+    #[test]
+    fn tree_never_extrapolates_beyond_target_range(
+        xs in proptest::collection::vec(-50.0..50.0f64, 4..25),
+    ) {
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&v| v * v).collect();
+        let mut m = wp_ml::tree::DecisionTreeRegressor::new();
+        m.fit(&x, &y);
+        let probe = Matrix::from_rows(&[vec![-1000.0], vec![1000.0]]);
+        let lo = wp_linalg::min(&y);
+        let hi = wp_linalg::max(&y);
+        for p in m.predict(&probe) {
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "tree prediction {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn kfold_always_partitions(n in 4usize..60, k in 2usize..5, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = wp_ml::cv::KFold::new(k, seed).split(n);
+        let mut seen = vec![0usize; n];
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn lasso_coefficients_shrink_with_alpha(
+        xs in proptest::collection::vec(-5.0..5.0f64, 12..30),
+    ) {
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&v| 3.0 * v).collect();
+        prop_assume!(wp_linalg::stats::stddev(&xs) > 0.1);
+        let norm_at = |alpha: f64| {
+            let mut m = wp_ml::lasso::Lasso::new(alpha);
+            m.fit(&x, &y);
+            m.coefficients().iter().map(|c| c.abs()).sum::<f64>()
+        };
+        prop_assert!(norm_at(1.0) <= norm_at(0.01) + 1e-9);
+    }
+
+    #[test]
+    fn mutual_information_nonnegative(
+        vals in proptest::collection::vec(0.0..10.0f64, 4..40),
+    ) {
+        let labels: Vec<usize> = (0..vals.len()).map(|i| i % 2).collect();
+        let mi = wp_ml::info::mutual_information(&vals, &labels, 5);
+        prop_assert!(mi >= 0.0);
+    }
+
+    #[test]
+    fn f_statistic_nonnegative(
+        vals in proptest::collection::vec(-10.0..10.0f64, 4..40),
+    ) {
+        let labels: Vec<usize> = (0..vals.len()).map(|i| i % 3).collect();
+        prop_assert!(wp_ml::info::f_statistic(&vals, &labels) >= 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The naive scaling baseline of Table 6: "assumes inverse linear scaling
+//! relationship between CPU and latency, i.e. if number of CPU increase
+//! from 2 to 4, the latency reduce by half" — equivalently, throughput
+//! scales proportionally with the CPU count.
+
+/// Baseline throughput prediction: `value · to_cpus / from_cpus`.
+pub fn linear_scaling_throughput(from_cpus: f64, to_cpus: f64, value: f64) -> f64 {
+    assert!(from_cpus > 0.0 && to_cpus > 0.0, "CPU counts must be positive");
+    value * to_cpus / from_cpus
+}
+
+/// Baseline latency prediction: `value · from_cpus / to_cpus`.
+pub fn linear_scaling_latency(from_cpus: f64, to_cpus: f64, value: f64) -> f64 {
+    assert!(from_cpus > 0.0 && to_cpus > 0.0, "CPU counts must be positive");
+    value * from_cpus / to_cpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_cpus_doubles_throughput() {
+        assert_eq!(linear_scaling_throughput(2.0, 4.0, 100.0), 200.0);
+    }
+
+    #[test]
+    fn doubling_cpus_halves_latency() {
+        assert_eq!(linear_scaling_latency(2.0, 4.0, 10.0), 5.0);
+    }
+
+    #[test]
+    fn downscaling_works_symmetrically() {
+        assert_eq!(linear_scaling_throughput(8.0, 2.0, 400.0), 100.0);
+        assert_eq!(linear_scaling_latency(8.0, 2.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn identity_for_same_sku() {
+        assert_eq!(linear_scaling_throughput(4.0, 4.0, 123.0), 123.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cpus_rejected() {
+        let _ = linear_scaling_throughput(0.0, 4.0, 1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The Table 6 evaluation harness: 5-fold cross-validated NRMSE of every
+//! (context × strategy) combination, averaged over all upward scaling
+//! pairs, plus the inverse-linear baseline.
+
+use wp_linalg::Matrix;
+use wp_ml::cv::KFold;
+use wp_ml::metrics::nrmse;
+
+use crate::baseline::linear_scaling_throughput;
+use crate::context::ModelContext;
+use crate::strategies::ModelStrategy;
+
+/// Aligned scaling observations for one workload setting: for each CPU
+/// level, the same number of throughput observations, where observation
+/// `j` at every level stems from the same (run, sub-sample) slot.
+#[derive(Debug, Clone)]
+pub struct ScalingData {
+    /// The CPU levels, ascending (e.g. 2, 4, 8, 16).
+    pub levels: Vec<f64>,
+    /// Per level: the observation vector (aligned across levels).
+    pub values: Vec<Vec<f64>>,
+    /// Data group of each observation slot.
+    pub groups: Vec<usize>,
+}
+
+impl ScalingData {
+    /// Validates alignment invariants.
+    pub fn validate(&self) {
+        assert_eq!(self.levels.len(), self.values.len(), "levels/values");
+        assert!(self.levels.len() >= 2, "need at least two levels");
+        let n = self.groups.len();
+        assert!(n > 0, "need observations");
+        for v in &self.values {
+            assert_eq!(v.len(), n, "observation vectors must be aligned");
+        }
+        for w in self.levels.windows(2) {
+            assert!(w[1] > w[0], "levels must be strictly ascending");
+        }
+    }
+
+    /// Number of observation slots per level.
+    pub fn n_observations(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// All upward pairs `(i, j)` with `levels[i] < levels[j]` — the six
+    /// combinations for a 4-level grid.
+    pub fn upward_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.levels.len() {
+            for j in i + 1..self.levels.len() {
+                out.push((i, j));
+            }
+        }
+        out
+    }
+}
+
+/// Result of evaluating one (context, strategy) cell of Table 6.
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// Mean test NRMSE over folds (and pairs, for the pairwise context).
+    pub nrmse: f64,
+    /// Wall-clock seconds spent in model training.
+    pub train_seconds: f64,
+}
+
+/// 5-fold CV NRMSE of the **pairwise** context: one model per upward
+/// pair, trained on `(value_from → value_to)` observation pairs, averaged
+/// over pairs.
+pub fn pairwise_cv_nrmse(
+    data: &ScalingData,
+    strategy: ModelStrategy,
+    folds: usize,
+    seed: u64,
+) -> CellResult {
+    data.validate();
+    let kf = KFold::new(folds, seed);
+    let mut pair_scores = Vec::new();
+    let mut train_seconds = 0.0;
+    for (i, j) in data.upward_pairs() {
+        let xs = &data.values[i];
+        let ys = &data.values[j];
+        let mut fold_scores = Vec::new();
+        for (train, test) in kf.split(xs.len()) {
+            let xtr: Vec<f64> = train.iter().map(|&k| xs[k]).collect();
+            let ytr: Vec<f64> = train.iter().map(|&k| ys[k]).collect();
+            let gtr: Vec<usize> = train.iter().map(|&k| data.groups[k]).collect();
+            let xte: Vec<f64> = test.iter().map(|&k| xs[k]).collect();
+            let yte: Vec<f64> = test.iter().map(|&k| ys[k]).collect();
+            let t0 = std::time::Instant::now();
+            let model = strategy.fit(&Matrix::column_vector(&xtr), &ytr, Some(&gtr));
+            train_seconds += t0.elapsed().as_secs_f64();
+            let pred = model.predict(&Matrix::column_vector(&xte));
+            fold_scores.push(nrmse(&yte, &pred));
+        }
+        pair_scores.push(wp_linalg::stats::mean(&fold_scores));
+    }
+    CellResult {
+        nrmse: wp_linalg::stats::mean(&pair_scores),
+        train_seconds,
+    }
+}
+
+/// 5-fold CV NRMSE of the **single** context: one model `value = f(cpus)`
+/// over all levels; NRMSE is computed per upward pair on the test-fold
+/// observations of the pair's upper level, then averaged (so the metric
+/// is comparable with the pairwise context).
+pub fn single_cv_nrmse(
+    data: &ScalingData,
+    strategy: ModelStrategy,
+    folds: usize,
+    seed: u64,
+) -> CellResult {
+    data.validate();
+    let n = data.n_observations();
+    let kf = KFold::new(folds, seed);
+    let mut fold_scores = Vec::new();
+    let mut train_seconds = 0.0;
+    // folds split observation slots, keeping levels aligned
+    for (train, test) in kf.split(n) {
+        let mut xtr = Vec::new();
+        let mut ytr = Vec::new();
+        let mut gtr = Vec::new();
+        for (li, &level) in data.levels.iter().enumerate() {
+            for &k in &train {
+                xtr.push(level);
+                ytr.push(data.values[li][k]);
+                gtr.push(data.groups[k]);
+            }
+        }
+        let t0 = std::time::Instant::now();
+        let model = strategy.fit(&Matrix::column_vector(&xtr), &ytr, Some(&gtr));
+        train_seconds += t0.elapsed().as_secs_f64();
+        // per-upper-level NRMSE over pairs
+        let mut pair_scores = Vec::new();
+        for (_, j) in data.upward_pairs() {
+            let xte = vec![data.levels[j]; test.len()];
+            let yte: Vec<f64> = test.iter().map(|&k| data.values[j][k]).collect();
+            let pred = model.predict(&Matrix::column_vector(&xte));
+            pair_scores.push(nrmse(&yte, &pred));
+        }
+        fold_scores.push(wp_linalg::stats::mean(&pair_scores));
+    }
+    CellResult {
+        nrmse: wp_linalg::stats::mean(&fold_scores),
+        train_seconds,
+    }
+}
+
+/// Dispatches on the context.
+pub fn cv_nrmse(
+    data: &ScalingData,
+    context: ModelContext,
+    strategy: ModelStrategy,
+    folds: usize,
+    seed: u64,
+) -> CellResult {
+    match context {
+        ModelContext::Pairwise => pairwise_cv_nrmse(data, strategy, folds, seed),
+        ModelContext::Single => single_cv_nrmse(data, strategy, folds, seed),
+    }
+}
+
+/// NRMSE of the inverse-linear baseline, averaged over upward pairs.
+pub fn baseline_nrmse(data: &ScalingData) -> f64 {
+    data.validate();
+    let mut pair_scores = Vec::new();
+    for (i, j) in data.upward_pairs() {
+        let pred: Vec<f64> = data.values[i]
+            .iter()
+            .map(|&v| linear_scaling_throughput(data.levels[i], data.levels[j], v))
+            .collect();
+        pair_scores.push(nrmse(&data.values[j], &pred));
+    }
+    wp_linalg::stats::mean(&pair_scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sub-linear scaling (USL-like) with noise and 3 data groups.
+    fn data() -> ScalingData {
+        let levels = vec![2.0, 4.0, 8.0, 16.0];
+        let n = 30;
+        let jitter = |i: usize, l: usize| {
+            (((i * 31 + l * 17) * 2654435761) % 1000) as f64 / 1000.0 - 0.5
+        };
+        let groups: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let values: Vec<Vec<f64>> = levels
+            .iter()
+            .enumerate()
+            .map(|(li, &l)| {
+                (0..n)
+                    .map(|i| {
+                        let base = 100.0 * l / (1.0 + 0.1 * (l - 1.0));
+                        let group_f = 0.97 + 0.03 * (i % 3) as f64;
+                        base * group_f * (1.0 + 0.05 * jitter(i, li))
+                    })
+                    .collect()
+            })
+            .collect();
+        ScalingData {
+            levels,
+            values,
+            groups,
+        }
+    }
+
+    #[test]
+    fn upward_pairs_of_four_levels_is_six() {
+        assert_eq!(data().upward_pairs().len(), 6);
+    }
+
+    #[test]
+    fn pairwise_regression_beats_baseline() {
+        let d = data();
+        let cell = pairwise_cv_nrmse(&d, ModelStrategy::Regression, 5, 1);
+        let base = baseline_nrmse(&d);
+        assert!(
+            cell.nrmse < base,
+            "model {} vs baseline {base}",
+            cell.nrmse
+        );
+        assert!(base > 1.0, "baseline should be far off: {base}");
+    }
+
+    #[test]
+    fn single_regression_beats_baseline() {
+        let d = data();
+        let cell = single_cv_nrmse(&d, ModelStrategy::Regression, 5, 1);
+        let base = baseline_nrmse(&d);
+        assert!(cell.nrmse < base);
+    }
+
+    #[test]
+    fn nrmse_in_plausible_range_for_good_strategies() {
+        let d = data();
+        for s in [ModelStrategy::Svm, ModelStrategy::GradientBoosting] {
+            let cell = pairwise_cv_nrmse(&d, s, 5, 2);
+            assert!(
+                cell.nrmse < 1.5,
+                "{}: nrmse {}",
+                s.label(),
+                cell.nrmse
+            );
+            assert!(cell.train_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let d = data();
+        let a = cv_nrmse(&d, ModelContext::Pairwise, ModelStrategy::Regression, 5, 3);
+        let b = pairwise_cv_nrmse(&d, ModelStrategy::Regression, 5, 3);
+        assert!((a.nrmse - b.nrmse).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_levels_rejected() {
+        let mut d = data();
+        d.levels.swap(0, 1);
+        d.validate();
+    }
+}

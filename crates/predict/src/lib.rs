@@ -1,0 +1,32 @@
+//! Workload resource (scaling) prediction (§6).
+//!
+//! * [`strategies`] — the six modeling strategies of Table 6 (Regression,
+//!   SVM, LMM, Gradient Boosting, MARS, NNet) behind one enum.
+//! * [`context`] — the two modeling contexts (§6.1.1): one *single*
+//!   model over the whole SKU range vs *pairwise* models per SKU pair.
+//! * [`baseline`] — the naive inverse-linear scaling baseline.
+//! * [`roofline`] — Appendix B's Roofline-augmented piecewise-linear
+//!   predictor (Figure 12).
+//! * [`evaluation`] — the 5-fold cross-validated NRMSE harness behind
+//!   Table 6.
+//! * [`multidim`] — §7's multi-dimensional SKU extension (CPU + memory
+//!   as a joint feature plane).
+//! * [`query_level`] — the isolated per-query comparator of Figure 1.
+//! * [`predictor`] — the end-to-end scaling predictor used by `wp-core`
+//!   (§6.2.3): transfer a similar workload's pairwise scaling behaviour
+//!   to a new workload observed on one SKU only.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod context;
+pub mod evaluation;
+pub mod multidim;
+pub mod predictor;
+pub mod query_level;
+pub mod roofline;
+pub mod strategies;
+
+pub use context::{ModelContext, PairwiseScalingModel, SingleScalingModel};
+pub use evaluation::ScalingData;
+pub use strategies::{FittedModel, ModelStrategy};

@@ -1,0 +1,153 @@
+//! Multi-dimensional SKU scaling models — the §7 future-work direction
+//! ("we posit that these observations will amplify if we modify the SKUs
+//! not only along one dimension (CPUs) but multiple (memory, network,
+//! storage etc.)").
+//!
+//! A [`MultiDimScalingModel`] treats the SKU as a feature vector
+//! `(cpus, memory_gb)` rather than a scalar CPU count, so one model can
+//! interpolate across a two-dimensional SKU grid. For workloads whose
+//! working set pressures memory (TPC-H under a small-memory roofline),
+//! this captures what the CPU-only single model cannot.
+
+use wp_linalg::Matrix;
+use wp_workloads::sku::Sku;
+
+use crate::strategies::{FittedModel, ModelStrategy};
+
+/// SKU → feature-vector encoding shared by training and prediction.
+fn sku_features(sku: &Sku) -> Vec<f64> {
+    vec![sku.cpus as f64, sku.memory_gb]
+}
+
+/// A scaling model over the (CPUs, memory) SKU plane.
+#[derive(Debug, Clone)]
+pub struct MultiDimScalingModel {
+    /// The strategy behind the fitted model.
+    pub strategy: ModelStrategy,
+    model: FittedModel,
+}
+
+impl MultiDimScalingModel {
+    /// Fits on per-observation `(sku, value)` pairs with optional data
+    /// groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn fit(
+        strategy: ModelStrategy,
+        skus: &[Sku],
+        values: &[f64],
+        groups: Option<&[usize]>,
+    ) -> Self {
+        assert_eq!(skus.len(), values.len(), "one value per SKU observation");
+        assert!(!skus.is_empty(), "need training data");
+        let rows: Vec<Vec<f64>> = skus.iter().map(sku_features).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = strategy.fit(&x, values, groups);
+        Self { strategy, model }
+    }
+
+    /// Predicts the performance on an arbitrary SKU.
+    pub fn predict(&self, sku: &Sku) -> f64 {
+        let x = Matrix::from_rows(&[sku_features(sku)]);
+        self.model.predict(&x)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_workloads::engine::Simulator;
+    use wp_workloads::benchmarks;
+
+    /// A 3×3 (cpus × memory) SKU grid with a held-out corner.
+    fn grid() -> Vec<Sku> {
+        let mut skus = Vec::new();
+        for &c in &[2usize, 4, 8] {
+            for &m in &[4.0, 8.0, 16.0] {
+                skus.push(Sku::new(format!("c{c}m{m}"), c, m));
+            }
+        }
+        skus
+    }
+
+    fn observations(sim: &Simulator, skus: &[Sku]) -> (Vec<Sku>, Vec<f64>, Vec<usize>) {
+        let spec = benchmarks::tpch(); // memory-sensitive under 4-16 GiB
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut gs = Vec::new();
+        for sku in skus {
+            for r in 0..3 {
+                xs.push(sku.clone());
+                ys.push(sim.simulate(&spec, sku, 1, r, r % 3).throughput);
+                gs.push(r % 3);
+            }
+        }
+        (xs, ys, gs)
+    }
+
+    #[test]
+    fn interpolates_a_held_out_sku() {
+        let mut sim = Simulator::new(31);
+        sim.config.samples = 40;
+        let all = grid();
+        // hold out the center cell
+        let held_out = Sku::new("c4m8", 4, 8.0);
+        let train: Vec<Sku> = all
+            .iter()
+            .filter(|s| !(s.cpus == 4 && s.memory_gb == 8.0))
+            .cloned()
+            .collect();
+        let (xs, ys, gs) = observations(&sim, &train);
+        let model = MultiDimScalingModel::fit(ModelStrategy::GradientBoosting, &xs, &ys, Some(&gs));
+        let predicted = model.predict(&held_out);
+        let actual = sim.simulate(&benchmarks::tpch(), &held_out, 1, 0, 0).throughput;
+        let err = (predicted - actual).abs() / actual;
+        assert!(err < 0.5, "predicted {predicted} vs actual {actual}");
+    }
+
+    #[test]
+    fn memory_dimension_carries_signal() {
+        // at fixed CPUs, more memory must predict more TPC-H throughput
+        // (the memory roofline binds at 4 GiB)
+        let mut sim = Simulator::new(31);
+        sim.config.samples = 40;
+        let (xs, ys, gs) = observations(&sim, &grid());
+        let model = MultiDimScalingModel::fit(ModelStrategy::GradientBoosting, &xs, &ys, Some(&gs));
+        let small = model.predict(&Sku::new("c8m4", 8, 4.0));
+        let big = model.predict(&Sku::new("c8m16", 8, 16.0));
+        assert!(big > small, "memory should matter: {small} vs {big}");
+    }
+
+    #[test]
+    fn beats_cpu_only_model_when_memory_binds() {
+        use crate::context::SingleScalingModel;
+        let mut sim = Simulator::new(31);
+        sim.config.samples = 40;
+        let (xs, ys, gs) = observations(&sim, &grid());
+        let multi = MultiDimScalingModel::fit(ModelStrategy::GradientBoosting, &xs, &ys, Some(&gs));
+        let cpus: Vec<f64> = xs.iter().map(|s| s.cpus as f64).collect();
+        let cpu_only =
+            SingleScalingModel::fit(ModelStrategy::GradientBoosting, &cpus, &ys, Some(&gs));
+
+        // evaluate on the grid's ground truth
+        let mut multi_err = 0.0;
+        let mut cpu_err = 0.0;
+        for sku in grid() {
+            let actual = sim.simulate(&benchmarks::tpch(), &sku, 1, 1, 1).throughput;
+            multi_err += ((multi.predict(&sku) - actual) / actual).abs();
+            cpu_err += ((cpu_only.predict(sku.cpus as f64) - actual) / actual).abs();
+        }
+        assert!(
+            multi_err < cpu_err,
+            "multi-dim ({multi_err:.3}) should beat CPU-only ({cpu_err:.3})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need training data")]
+    fn empty_training_rejected() {
+        let _ = MultiDimScalingModel::fit(ModelStrategy::Regression, &[], &[], None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Query-level scaling prediction — the prior-work comparator of
+//! Figure 1 / §3.
+//!
+//! Query-level predictors ([32, 93, 97, 105] in the paper) model each
+//! query's performance in isolation: the latency scaling factor between
+//! two SKUs is derived from the query's own resource composition, without
+//! the closed-loop interaction of the concurrent workload. The paper's
+//! Example 1 shows this transfers poorly; the module exists so that the
+//! comparison is a first-class, tested code path rather than a one-off
+//! experiment script.
+
+use wp_telemetry::ExperimentRun;
+use wp_workloads::scaling::isolated_transaction_latency_ms;
+use wp_workloads::sku::Sku;
+use wp_workloads::spec::WorkloadSpec;
+
+/// Knowledge extracted from one reference workload: per-transaction plan
+/// vectors and isolated scaling factors for a `(from, to)` SKU pair, plus
+/// the measured workload-level factor.
+#[derive(Debug, Clone)]
+pub struct ReferenceScaling {
+    /// Reference workload name.
+    pub workload: String,
+    /// Transaction names (parallel to `plan_rows` / `isolated_factor`).
+    pub transaction_names: Vec<String>,
+    /// Per-transaction plan-feature vectors (22-dim) on the source SKU.
+    pub plan_rows: Vec<Vec<f64>>,
+    /// Isolated latency factor `lat(to) / lat(from)` per transaction.
+    pub isolated_factor: Vec<f64>,
+    /// Measured workload-level latency factor.
+    pub workload_factor: f64,
+}
+
+impl ReferenceScaling {
+    /// Builds the reference knowledge from a workload spec, its runs on
+    /// the source SKU, and the measured latency factor between the SKUs.
+    ///
+    /// `measured_runs` supplies the plan rows (first run) and the
+    /// workload factor (mean of per-run `to/from` latency ratios).
+    pub fn build(
+        spec: &WorkloadSpec,
+        from: &Sku,
+        to: &Sku,
+        measured_runs: &[(ExperimentRun, ExperimentRun)],
+    ) -> Self {
+        assert!(!measured_runs.is_empty(), "need at least one run pair");
+        let isolated_factor = (0..spec.transactions.len())
+            .map(|qi| {
+                isolated_transaction_latency_ms(spec, qi, to)
+                    / isolated_transaction_latency_ms(spec, qi, from)
+            })
+            .collect();
+        let factors: Vec<f64> = measured_runs
+            .iter()
+            .map(|(f, t)| t.latency_ms / f.latency_ms)
+            .collect();
+        let first = &measured_runs[0].0;
+        ReferenceScaling {
+            workload: spec.name.clone(),
+            transaction_names: first.plans.query_names.clone(),
+            plan_rows: (0..first.plans.len())
+                .map(|i| first.plans.data.row(i).to_vec())
+                .collect(),
+            isolated_factor,
+            workload_factor: wp_linalg::stats::mean(&factors),
+        }
+    }
+}
+
+/// Log-scale Euclidean distance between plan-feature vectors — the
+/// matching metric for "similar queries".
+pub fn plan_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "plan vectors must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (1.0 + x.max(0.0)).ln() - (1.0 + y.max(0.0)).ln();
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A query-level predictor over a pool of reference workloads.
+#[derive(Debug, Clone)]
+pub struct QueryLevelPredictor {
+    references: Vec<ReferenceScaling>,
+}
+
+impl QueryLevelPredictor {
+    /// Builds the predictor from reference knowledge.
+    pub fn new(references: Vec<ReferenceScaling>) -> Self {
+        assert!(!references.is_empty(), "need at least one reference");
+        Self { references }
+    }
+
+    /// The nearest reference transaction to a plan vector: returns
+    /// `(reference workload, transaction name, isolated factor)`.
+    pub fn match_transaction(&self, plan_row: &[f64]) -> (&str, &str, f64) {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (ri, r) in self.references.iter().enumerate() {
+            for (qi, row) in r.plan_rows.iter().enumerate() {
+                let d = plan_distance(plan_row, row);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((ri, qi, d));
+                }
+            }
+        }
+        let (ri, qi, _) = best.unwrap();
+        let r = &self.references[ri];
+        (
+            &r.workload,
+            &r.transaction_names[qi],
+            r.isolated_factor[qi],
+        )
+    }
+
+    /// Predicts a query's latency on the destination SKU from its
+    /// observed latency on the source SKU (isolated-model transfer).
+    pub fn predict_query_latency(&self, plan_row: &[f64], observed_latency_ms: f64) -> f64 {
+        let (_, _, factor) = self.match_transaction(plan_row);
+        observed_latency_ms * factor
+    }
+
+    /// Workload-level prediction: transfers the named reference's
+    /// *measured* aggregate factor (`None` = mean over all references).
+    pub fn predict_workload_latency(
+        &self,
+        reference: Option<&str>,
+        observed_latency_ms: f64,
+    ) -> f64 {
+        let factor = match reference {
+            Some(name) => {
+                self.references
+                    .iter()
+                    .find(|r| r.workload == name)
+                    .unwrap_or_else(|| panic!("unknown reference '{name}'"))
+                    .workload_factor
+            }
+            None => {
+                wp_linalg::stats::mean(
+                    &self
+                        .references
+                        .iter()
+                        .map(|r| r.workload_factor)
+                        .collect::<Vec<_>>(),
+                )
+            }
+        };
+        observed_latency_ms * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_workloads::engine::Simulator;
+    use wp_workloads::benchmarks;
+
+    fn setup() -> (Simulator, Sku, Sku) {
+        let mut sim = Simulator::new(17);
+        sim.config.samples = 40;
+        (sim, Sku::new("cpu2", 2, 64.0), Sku::new("cpu4", 4, 64.0))
+    }
+
+    fn reference(
+        sim: &Simulator,
+        spec: &WorkloadSpec,
+        from: &Sku,
+        to: &Sku,
+        terminals: usize,
+    ) -> ReferenceScaling {
+        let pairs: Vec<_> = (0..2)
+            .map(|r| {
+                (
+                    sim.simulate(spec, from, terminals, r, r % 3),
+                    sim.simulate(spec, to, terminals, r, r % 3),
+                )
+            })
+            .collect();
+        ReferenceScaling::build(spec, from, to, &pairs)
+    }
+
+    #[test]
+    fn isolated_factors_are_sublinear_improvements() {
+        let (sim, from, to) = setup();
+        let r = reference(&sim, &benchmarks::tpcc(), &from, &to, 8);
+        for &f in &r.isolated_factor {
+            // doubling CPUs: latency shrinks, but not by half (I/O floor)
+            assert!(f < 1.0 && f > 0.3, "factor {f}");
+        }
+        assert!(r.workload_factor < 1.0);
+    }
+
+    #[test]
+    fn plan_distance_identity_and_scale() {
+        let a = vec![100.0, 5.0, 0.0];
+        assert_eq!(plan_distance(&a, &a), 0.0);
+        let near = vec![110.0, 5.0, 0.0];
+        let far = vec![10000.0, 5.0, 0.0];
+        assert!(plan_distance(&a, &near) < plan_distance(&a, &far));
+    }
+
+    #[test]
+    fn matching_finds_the_same_transaction_type() {
+        let (sim, from, to) = setup();
+        let ycsb_b = benchmarks::ycsb_mix("YCSB-B", [45.0, 10.0, 15.0, 10.0, 5.0, 15.0]);
+        let predictor = QueryLevelPredictor::new(vec![
+            reference(&sim, &benchmarks::tpcc(), &from, &to, 8),
+            reference(&sim, &ycsb_b, &from, &to, 8),
+        ]);
+        // a YCSB customer's Scan transaction matches YCSB-B's Scan
+        let customer = sim.simulate(&benchmarks::ycsb(), &from, 8, 0, 0);
+        let scan_idx = customer
+            .plans
+            .query_names
+            .iter()
+            .position(|n| n == "Scan")
+            .unwrap();
+        let (wl, txn, _) = predictor.match_transaction(customer.plans.data.row(scan_idx));
+        assert_eq!(wl, "YCSB-B");
+        assert_eq!(txn, "Scan");
+    }
+
+    #[test]
+    fn workload_level_beats_query_level_on_the_mix() {
+        // the Figure 1 headline as a library-level test
+        let (sim, from, to) = setup();
+        let ycsb = benchmarks::ycsb();
+        let ycsb_b = benchmarks::ycsb_mix("YCSB-B", [45.0, 10.0, 15.0, 10.0, 5.0, 15.0]);
+        let predictor = QueryLevelPredictor::new(vec![
+            reference(&sim, &benchmarks::tpcc(), &from, &to, 8),
+            reference(&sim, &ycsb_b, &from, &to, 8),
+        ]);
+
+        let mut q_err = 0.0;
+        let mut w_err = 0.0;
+        let n_runs = 6;
+        for r in 0..n_runs {
+            let obs = sim.simulate(&ycsb, &from, 8, r, r % 3);
+            let actual = sim.simulate(&ycsb, &to, 8, r, r % 3);
+            // aggregated query-level
+            let total_w = ycsb.total_weight();
+            let pred_q: f64 = ycsb
+                .transactions
+                .iter()
+                .enumerate()
+                .map(|(qi, t)| {
+                    t.weight / total_w
+                        * predictor.predict_query_latency(
+                            obs.plans.data.row(qi),
+                            obs.per_query_latency_ms[qi],
+                        )
+                })
+                .sum();
+            let actual_q: f64 = ycsb
+                .transactions
+                .iter()
+                .zip(&actual.per_query_latency_ms)
+                .map(|(t, l)| t.weight / total_w * l)
+                .sum();
+            q_err += ((actual_q - pred_q) / actual_q).abs();
+            // workload-level via the similar reference
+            let pred_w = predictor.predict_workload_latency(Some("YCSB-B"), obs.latency_ms);
+            w_err += ((actual.latency_ms - pred_w) / actual.latency_ms).abs();
+        }
+        assert!(
+            w_err < q_err,
+            "workload-level ({:.3}) should beat query-level ({:.3})",
+            w_err / n_runs as f64,
+            q_err / n_runs as f64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown reference")]
+    fn unknown_reference_panics() {
+        let (sim, from, to) = setup();
+        let p = QueryLevelPredictor::new(vec![reference(
+            &sim,
+            &benchmarks::tpcc(),
+            &from,
+            &to,
+            8,
+        )]);
+        let _ = p.predict_workload_latency(Some("Nope"), 1.0);
+    }
+}

@@ -1,0 +1,395 @@
+//! Clustering over workload distance matrices.
+//!
+//! The pipeline's motivation for similarity computation (§2) is to
+//! "group similar workloads and use clusters of workloads for downstream
+//! prediction tasks", alleviating the per-workload training-data shortage.
+//! This module provides the two standard tools for that grouping —
+//! agglomerative hierarchical clustering and k-medoids — both operating
+//! directly on a precomputed distance matrix (so any representation ×
+//! measure combination plugs in), plus silhouette scoring to pick `k`.
+
+use wp_linalg::Matrix;
+
+fn check_square(d: &Matrix) {
+    assert_eq!(d.rows(), d.cols(), "distance matrix must be square");
+}
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Distance between clusters = min over cross pairs.
+    Single,
+    /// Distance between clusters = max over cross pairs.
+    Complete,
+    /// Distance between clusters = mean over cross pairs (UPGMA).
+    Average,
+}
+
+/// One merge step of the hierarchical clustering: the two cluster ids
+/// merged and the linkage distance at which they merged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster (cluster ids: `0..n` are leaves, `n + i` is
+    /// the cluster created by merge `i`).
+    pub a: usize,
+    /// Second merged cluster.
+    pub b: usize,
+    /// Linkage distance of the merge.
+    pub distance: f64,
+}
+
+/// The full merge history (a dendrogram in merge-list form).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// `n − 1` merges, in order of increasing linkage distance.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cuts the dendrogram into `k` clusters, returning one label per
+    /// leaf (labels are `0..k`, renumbered by first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the leaf count.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1 && k <= self.n, "k must be in 1..=n");
+        // replay merges until k clusters remain
+        let mut parent: Vec<usize> = (0..2 * self.n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let stop_after = self.n - k;
+        for (i, m) in self.merges.iter().take(stop_after).enumerate() {
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            let new_id = self.n + i;
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // map roots to compact labels
+        let mut labels = Vec::with_capacity(self.n);
+        let mut seen: Vec<usize> = Vec::new();
+        for leaf in 0..self.n {
+            let root = find(&mut parent, leaf);
+            let label = match seen.iter().position(|&r| r == root) {
+                Some(i) => i,
+                None => {
+                    seen.push(root);
+                    seen.len() - 1
+                }
+            };
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+/// Agglomerative hierarchical clustering over a distance matrix.
+pub fn hierarchical(d: &Matrix, linkage: Linkage) -> Dendrogram {
+    check_square(d);
+    let n = d.rows();
+    assert!(n >= 1, "need at least one item");
+    // active clusters: id → member leaves
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    let cluster_distance = |a: &[usize], b: &[usize]| -> f64 {
+        let mut agg = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => f64::NEG_INFINITY,
+            Linkage::Average => 0.0,
+        };
+        for &i in a {
+            for &j in b {
+                let v = d[(i, j)];
+                match linkage {
+                    Linkage::Single => agg = agg.min(v),
+                    Linkage::Complete => agg = agg.max(v),
+                    Linkage::Average => agg += v,
+                }
+            }
+        }
+        if linkage == Linkage::Average {
+            agg /= (a.len() * b.len()) as f64;
+        }
+        agg
+    };
+
+    while active.len() > 1 {
+        // find the closest active pair
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (x, &ca) in active.iter().enumerate() {
+            for &cb in &active[x + 1..] {
+                let da = members[ca].as_ref().unwrap();
+                let db = members[cb].as_ref().unwrap();
+                let dist = cluster_distance(da, db);
+                if best.is_none_or(|(_, _, bd)| dist < bd) {
+                    best = Some((ca, cb, dist));
+                }
+            }
+        }
+        let (ca, cb, dist) = best.unwrap();
+        let mut merged = members[ca].take().unwrap();
+        merged.extend(members[cb].take().unwrap());
+        let new_id = members.len();
+        members.push(Some(merged));
+        active.retain(|&c| c != ca && c != cb);
+        active.push(new_id);
+        merges.push(Merge {
+            a: ca,
+            b: cb,
+            distance: dist,
+        });
+    }
+
+    Dendrogram { n, merges }
+}
+
+/// K-medoids (PAM-style alternation) over a distance matrix with
+/// deterministic farthest-point initialization. Returns one label per
+/// item (`0..k`).
+pub fn k_medoids(d: &Matrix, k: usize, max_iter: usize) -> Vec<usize> {
+    check_square(d);
+    let n = d.rows();
+    assert!(k >= 1 && k <= n, "k must be in 1..=n");
+
+    // farthest-point init: medoid 0 = item with minimal total distance,
+    // each next = farthest from current medoids
+    let mut medoids = Vec::with_capacity(k);
+    let totals: Vec<f64> = (0..n).map(|i| (0..n).map(|j| d[(i, j)]).sum()).collect();
+    medoids.push(wp_linalg::ops::argmin(&totals).unwrap());
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| d[(a, m)]).fold(f64::INFINITY, f64::min);
+                let db = medoids.iter().map(|&m| d[(b, m)]).fold(f64::INFINITY, f64::min);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        medoids.push(next);
+    }
+
+    let assign = |medoids: &[usize]| -> Vec<usize> {
+        (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        d[(i, a)]
+                            .partial_cmp(&d[(i, b)])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(ci, _)| ci)
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    let mut labels = assign(&medoids);
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (ci, medoid) in medoids.iter_mut().enumerate() {
+            // best medoid within the cluster
+            let cluster: Vec<usize> = (0..n).filter(|&i| labels[i] == ci).collect();
+            if cluster.is_empty() {
+                continue;
+            }
+            let best = cluster
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ca: f64 = cluster.iter().map(|&j| d[(a, j)]).sum();
+                    let cb: f64 = cluster.iter().map(|&j| d[(b, j)]).sum();
+                    ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        let new_labels = assign(&medoids);
+        if !changed && new_labels == labels {
+            break;
+        }
+        labels = new_labels;
+    }
+    labels
+}
+
+/// Mean silhouette coefficient of a labeling under a distance matrix, in
+/// `[-1, 1]`; higher = tighter, better-separated clusters. Items in
+/// singleton clusters contribute 0 (the standard convention).
+pub fn silhouette(d: &Matrix, labels: &[usize]) -> f64 {
+    check_square(d);
+    assert_eq!(d.rows(), labels.len(), "one label per item");
+    let n = labels.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        let own_size = labels.iter().filter(|&&l| l == own).count();
+        if own_size <= 1 {
+            continue; // contributes 0
+        }
+        // a = mean intra-cluster distance
+        let a: f64 = (0..n)
+            .filter(|&j| j != i && labels[j] == own)
+            .map(|j| d[(i, j)])
+            .sum::<f64>()
+            / (own_size - 1) as f64;
+        // b = min over other clusters of mean distance
+        let mut b = f64::INFINITY;
+        for c in 0..k {
+            if c == own {
+                continue;
+            }
+            let members: Vec<usize> = (0..n).filter(|&j| labels[j] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mean =
+                members.iter().map(|&j| d[(i, j)]).sum::<f64>() / members.len() as f64;
+            b = b.min(mean);
+        }
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Picks the `k ∈ [2, k_max]` with the best k-medoids silhouette.
+pub fn best_k(d: &Matrix, k_max: usize) -> (usize, Vec<usize>, f64) {
+    check_square(d);
+    let k_max = k_max.min(d.rows());
+    assert!(k_max >= 2, "need k_max >= 2");
+    let mut best: Option<(usize, Vec<usize>, f64)> = None;
+    for k in 2..=k_max {
+        let labels = k_medoids(d, k, 50);
+        let score = silhouette(d, &labels);
+        if best.as_ref().is_none_or(|(_, _, s)| score > *s) {
+            best = Some((k, labels, score));
+        }
+    }
+    best.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix with three obvious groups of three points on a line.
+    fn three_groups() -> (Matrix, Vec<usize>) {
+        let pos: [f64; 9] = [0.0, 0.1, 0.2, 10.0, 10.1, 10.2, 20.0, 20.1, 20.2];
+        let n = pos.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                d[(i, j)] = (pos[i] - pos[j]).abs();
+            }
+        }
+        (d, vec![0, 0, 0, 1, 1, 1, 2, 2, 2])
+    }
+
+    fn same_partition(a: &[usize], b: &[usize]) -> bool {
+        // label-permutation-invariant comparison
+        let n = a.len();
+        for i in 0..n {
+            for j in 0..n {
+                if (a[i] == a[j]) != (b[i] == b[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn hierarchical_recovers_groups_any_linkage() {
+        let (d, truth) = three_groups();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendro = hierarchical(&d, linkage);
+            assert_eq!(dendro.merges.len(), 8);
+            let labels = dendro.cut(3);
+            assert!(same_partition(&labels, &truth), "{linkage:?}: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn dendrogram_cut_extremes() {
+        let (d, _) = three_groups();
+        let dendro = hierarchical(&d, Linkage::Average);
+        let all_one = dendro.cut(1);
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = dendro.cut(9);
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn merge_distances_grow_for_average_linkage() {
+        let (d, _) = three_groups();
+        let dendro = hierarchical(&d, Linkage::Average);
+        // the last two merges join groups, at much larger distances
+        assert!(dendro.merges[7].distance > dendro.merges[0].distance * 10.0);
+    }
+
+    #[test]
+    fn k_medoids_recovers_groups() {
+        let (d, truth) = three_groups();
+        let labels = k_medoids(&d, 3, 50);
+        assert!(same_partition(&labels, &truth), "{labels:?}");
+    }
+
+    #[test]
+    fn silhouette_prefers_true_k() {
+        let (d, truth) = three_groups();
+        let good = silhouette(&d, &truth);
+        let merged = vec![0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let bad = silhouette(&d, &merged);
+        assert!(good > bad, "good {good} vs bad {bad}");
+        assert!(good > 0.9);
+    }
+
+    #[test]
+    fn best_k_finds_three() {
+        let (d, _) = three_groups();
+        let (k, labels, score) = best_k(&d, 5);
+        assert_eq!(k, 3, "labels {labels:?} score {score}");
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let d = Matrix::from_rows(&[
+            vec![0.0, 1.0, 9.0],
+            vec![1.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ]);
+        let s = silhouette(&d, &[0, 0, 1]);
+        assert!(s > 0.0, "pair cluster dominates: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 1..=n")]
+    fn k_zero_rejected() {
+        let (d, _) = three_groups();
+        let _ = k_medoids(&d, 0, 10);
+    }
+}

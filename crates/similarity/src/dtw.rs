@@ -1,0 +1,156 @@
+//! Dynamic Time Warping (§5.1.2).
+//!
+//! The dependent variant builds one warping path over the multivariate
+//! series using squared Euclidean point distances across all dimensions;
+//! the independent variant warps each dimension separately and sums the
+//! per-dimension distances (Shokoohi-Yekta et al. 2016). Both return the
+//! square root of the accumulated squared cost so distances scale like
+//! the data.
+
+use wp_linalg::Matrix;
+
+/// Univariate DTW: accumulated squared distance along the optimal path.
+fn dtw_sq(a: &[f64], b: &[f64]) -> f64 {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { f64::INFINITY };
+    }
+    // rolling single-row DP
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for i in 1..=m {
+        cur[0] = f64::INFINITY;
+        for j in 1..=n {
+            let d = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+            cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Univariate DTW distance.
+pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+    dtw_sq(a, b).sqrt()
+}
+
+/// Dependent multivariate DTW: one warping path, point distance
+/// `Σ_k (A_ik − B_jk)²` across all `K` features.
+pub fn dtw_dependent(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    if m == 0 || n == 0 {
+        return if m == n { 0.0 } else { f64::INFINITY };
+    }
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for i in 1..=m {
+        cur[0] = f64::INFINITY;
+        let arow = a.row(i - 1);
+        for j in 1..=n {
+            let d = wp_linalg::ops::sq_dist(arow, b.row(j - 1));
+            cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n].sqrt()
+}
+
+/// Independent multivariate DTW: `Σ_k DTW(A₋ₖ, B₋ₖ)` — each dimension is
+/// warped on its own, which tolerates uncorrelated feature dynamics.
+pub fn dtw_independent(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    (0..a.cols()).map(|k| dtw(&a.col(k), &b.col(k))).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(dtw(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_stretching() {
+        // b is a stretched version of a: DTW ≈ 0, Euclidean-style would not be
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+        assert!(dtw(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn dtw_detects_level_difference() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [5.0, 5.0, 5.0];
+        assert!(dtw(&a, &b) > 5.0);
+    }
+
+    #[test]
+    fn dtw_handles_unequal_lengths() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 1.5, 2.0];
+        assert!(dtw(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn dependent_zero_for_identical_matrices() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![2.0, 1.0]]);
+        assert_eq!(dtw_dependent(&a, &a), 0.0);
+        assert_eq!(dtw_independent(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn independent_aligns_each_dimension_separately() {
+        // Each dimension of `b` is a differently warped copy of the same
+        // dimension of `a`. Warping each dimension on its own recovers a
+        // perfect match (independent distance 0); a single shared path
+        // cannot align both simultaneously (dependent distance > 0).
+        let a = Matrix::from_rows(&[
+            vec![0.0, 3.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 0.0],
+        ]);
+        let b = Matrix::from_rows(&[
+            vec![0.0, 3.0],
+            vec![0.0, 2.0],
+            vec![1.0, 1.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 0.0],
+            vec![3.0, 0.0],
+            vec![3.0, 0.0],
+        ]);
+        let ind = dtw_independent(&a, &b);
+        let dep = dtw_dependent(&a, &b);
+        assert!(ind < 1e-9, "independent should align perfectly: {ind}");
+        assert!(dep > 0.5, "dependent cannot: {dep}");
+    }
+
+    #[test]
+    fn dependent_distance_monotone_in_perturbation() {
+        let a = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let slight = Matrix::from_rows(&[vec![0.1], vec![1.1], vec![2.1]]);
+        let big = Matrix::from_rows(&[vec![3.0], vec![4.0], vec![5.0]]);
+        assert!(dtw_dependent(&a, &slight) < dtw_dependent(&a, &big));
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        assert_eq!(dtw(&[], &[]), 0.0);
+        assert!(dtw(&[], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature-count mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        let _ = dtw_dependent(&a, &b);
+    }
+}

@@ -1,0 +1,257 @@
+//! Evaluation of similarity methods along the paper's three dimensions
+//! (§5.2): reliability (1-NN accuracy, mean Average Precision),
+//! discrimination power (NDCG), and robustness (spread across repeated
+//! runs of the same workload).
+
+use wp_linalg::Matrix;
+
+fn check(d: &Matrix, labels: &[usize]) {
+    assert_eq!(d.rows(), d.cols(), "distance matrix must be square");
+    assert_eq!(d.rows(), labels.len(), "one label per item required");
+}
+
+/// 1-NN accuracy: the fraction of items whose nearest *other* item shares
+/// their label — the paper's primary "correct (non-)match" criterion.
+pub fn one_nn_accuracy(d: &Matrix, labels: &[usize]) -> f64 {
+    check(d, labels);
+    let n = d.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for i in 0..n {
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for j in 0..n {
+            if j != i && d[(i, j)] < best_d {
+                best_d = d[(i, j)];
+                best = j;
+            }
+        }
+        if labels[best] == labels[i] {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+/// Mean Average Precision: for each query item, rank all other items by
+/// ascending distance and compute average precision over the positions of
+/// same-label items; mAP is the mean over queries.
+pub fn mean_average_precision(d: &Matrix, labels: &[usize]) -> f64 {
+    check(d, labels);
+    let n = d.rows();
+    let mut total = 0.0;
+    let mut queries = 0usize;
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            d[(i, a)]
+                .partial_cmp(&d[(i, b)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let n_rel = others.iter().filter(|&&j| labels[j] == labels[i]).count();
+        if n_rel == 0 {
+            continue;
+        }
+        let mut found = 0usize;
+        let mut ap = 0.0;
+        for (rank, &j) in others.iter().enumerate() {
+            if labels[j] == labels[i] {
+                found += 1;
+                ap += found as f64 / (rank + 1) as f64;
+            }
+        }
+        total += ap / n_rel as f64;
+        queries += 1;
+    }
+    if queries == 0 {
+        0.0
+    } else {
+        total / queries as f64
+    }
+}
+
+/// Normalized Discounted Cumulative Gain with graded relevance.
+///
+/// `relevance(i, j)` returns the gain of ranking item `j` for query `i`
+/// (e.g. 2 = same workload, 1 = same workload type, 0 = unrelated). For
+/// each query the items are ranked by ascending distance; NDCG@all is
+/// averaged over queries. Rewards methods that put the most similar
+/// workloads at the shortest distances (§5.2's discrimination power).
+pub fn ndcg(d: &Matrix, relevance: impl Fn(usize, usize) -> f64) -> f64 {
+    assert_eq!(d.rows(), d.cols(), "distance matrix must be square");
+    let n = d.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut queries = 0usize;
+    for i in 0..n {
+        let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        others.sort_by(|&a, &b| {
+            d[(i, a)]
+                .partial_cmp(&d[(i, b)])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let dcg: f64 = others
+            .iter()
+            .enumerate()
+            .map(|(rank, &j)| {
+                let g = relevance(i, j);
+                ((2.0_f64).powf(g) - 1.0) / ((rank + 2) as f64).log2()
+            })
+            .sum();
+        let mut ideal: Vec<f64> = others.iter().map(|&j| relevance(i, j)).collect();
+        ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let idcg: f64 = ideal
+            .iter()
+            .enumerate()
+            .map(|(rank, &g)| ((2.0_f64).powf(g) - 1.0) / ((rank + 2) as f64).log2())
+            .sum();
+        if idcg > 0.0 {
+            total += dcg / idcg;
+            queries += 1;
+        }
+    }
+    if queries == 0 {
+        0.0
+    } else {
+        total / queries as f64
+    }
+}
+
+/// Robustness: for each label, the standard deviation of the pairwise
+/// distances among its repeated runs, averaged over labels. Smaller means
+/// the method produces stabler distances for re-executions of the same
+/// workload (the error bars of Figures 5–6).
+pub fn within_label_spread(d: &Matrix, labels: &[usize]) -> f64 {
+    check(d, labels);
+    let n_labels = labels.iter().max().map_or(0, |m| m + 1);
+    let mut spreads = Vec::new();
+    for l in 0..n_labels {
+        let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == l).collect();
+        if members.len() < 3 {
+            continue;
+        }
+        let mut dists = Vec::new();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                dists.push(d[(i, j)]);
+            }
+        }
+        spreads.push(wp_linalg::stats::stddev(&dists));
+    }
+    if spreads.is_empty() {
+        0.0
+    } else {
+        wp_linalg::stats::mean(&spreads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distance matrix where items 0,1 and 2,3 form two tight clusters.
+    fn clustered() -> (Matrix, Vec<usize>) {
+        let d = Matrix::from_rows(&[
+            vec![0.0, 0.1, 5.0, 5.1],
+            vec![0.1, 0.0, 5.2, 5.0],
+            vec![5.0, 5.2, 0.0, 0.2],
+            vec![5.1, 5.0, 0.2, 0.0],
+        ]);
+        (d, vec![0, 0, 1, 1])
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let (d, labels) = clustered();
+        assert_eq!(one_nn_accuracy(&d, &labels), 1.0);
+        assert_eq!(mean_average_precision(&d, &labels), 1.0);
+    }
+
+    #[test]
+    fn shuffled_labels_break_accuracy() {
+        let (d, _) = clustered();
+        let bad = vec![0, 1, 0, 1];
+        assert_eq!(one_nn_accuracy(&d, &bad), 0.0);
+        assert!(mean_average_precision(&d, &bad) < 1.0);
+    }
+
+    #[test]
+    fn map_penalizes_partial_ordering() {
+        // item 0's nearest is wrong-label but the next is right-label
+        let d = Matrix::from_rows(&[
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 0.0, 5.0],
+            vec![2.0, 5.0, 0.0],
+        ]);
+        let labels = vec![0, 1, 0];
+        let map = mean_average_precision(&d, &labels);
+        assert!(map < 1.0 && map > 0.3, "map {map}");
+    }
+
+    #[test]
+    fn ndcg_perfect_when_ranking_matches_relevance() {
+        let (d, labels) = clustered();
+        let rel = move |i: usize, j: usize| {
+            if labels[i] == labels[j] {
+                2.0
+            } else {
+                0.0
+            }
+        };
+        assert!((ndcg(&d, rel) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_detects_graded_misordering() {
+        // query 0: j=1 has relevance 2, j=2 relevance 1; distances invert it
+        let d = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![2.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        let rel = |i: usize, j: usize| match (i, j) {
+            (0, 1) | (1, 0) => 2.0,
+            (0, 2) | (2, 0) => 1.0,
+            _ => 0.5,
+        };
+        let score = ndcg(&d, rel);
+        assert!(score < 1.0, "ndcg {score}");
+    }
+
+    #[test]
+    fn within_label_spread_zero_for_uniform_cluster() {
+        let d = Matrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        assert_eq!(within_label_spread(&d, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn within_label_spread_grows_with_inconsistency() {
+        let tight = Matrix::from_rows(&[
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ]);
+        let loose = Matrix::from_rows(&[
+            vec![0.0, 0.1, 3.0],
+            vec![0.1, 0.0, 6.0],
+            vec![3.0, 6.0, 0.0],
+        ]);
+        let labels = vec![0, 0, 0];
+        assert!(within_label_spread(&loose, &labels) > within_label_spread(&tight, &labels));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let d = Matrix::zeros(1, 1);
+        assert_eq!(one_nn_accuracy(&d, &[0]), 0.0);
+        assert_eq!(ndcg(&d, |_, _| 1.0), 0.0);
+    }
+}

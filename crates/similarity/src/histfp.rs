@@ -1,0 +1,128 @@
+//! Histogram-based fingerprinting (Hist-FP, §5.1.1 / Appendix A).
+//!
+//! Each feature's observations are binned into an equi-width histogram
+//! over the feature's *global* range (shared across the compared runs),
+//! normalized to relative frequencies, and converted to the cumulative
+//! form so entry-wise norms see distribution *shape* (the `H1/H2/H3`
+//! argument of Appendix A). A run's fingerprint is the `bins × features`
+//! matrix of cumulative frequencies.
+
+use wp_linalg::hist::histogram;
+use wp_linalg::Matrix;
+
+use crate::repr::{global_ranges, RunFeatureData};
+
+/// Default bin count used throughout the paper's experiments (§5.2).
+pub const DEFAULT_BINS: usize = 10;
+
+/// Builds one Hist-FP fingerprint per run: a `nbins × features` matrix of
+/// cumulative relative frequencies with globally shared bin ranges.
+pub fn histfp(data: &[RunFeatureData], nbins: usize) -> Vec<Matrix> {
+    assert!(nbins > 0, "need at least one bin");
+    let ranges = global_ranges(data);
+    data.iter()
+        .map(|run| {
+            let mut m = Matrix::zeros(nbins, run.series.len());
+            for (f, series) in run.series.iter().enumerate() {
+                let (lo, hi) = ranges[f];
+                let cum = histogram(series, lo, hi, nbins).cumulative();
+                for (b, &v) in cum.iter().enumerate() {
+                    m[(b, f)] = v;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Raw (non-cumulative) variant, kept for the ablation bench comparing
+/// cumulative vs frequency histograms.
+pub fn histfp_raw(data: &[RunFeatureData], nbins: usize) -> Vec<Matrix> {
+    assert!(nbins > 0, "need at least one bin");
+    let ranges = global_ranges(data);
+    data.iter()
+        .map(|run| {
+            let mut m = Matrix::zeros(nbins, run.series.len());
+            for (f, series) in run.series.iter().enumerate() {
+                let (lo, hi) = ranges[f];
+                let h = histogram(series, lo, hi, nbins);
+                for (b, &v) in h.bins.iter().enumerate() {
+                    m[(b, f)] = v;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::RunFeatureData;
+    use wp_telemetry::FeatureId;
+
+    fn rfd(series: Vec<Vec<f64>>) -> RunFeatureData {
+        let features = (0..series.len())
+            .map(FeatureId::from_global_index)
+            .collect();
+        RunFeatureData { features, series }
+    }
+
+    #[test]
+    fn fingerprint_shape() {
+        let a = rfd(vec![vec![0.0, 1.0, 2.0], vec![5.0, 6.0, 7.0]]);
+        let fps = histfp(&[a], 10);
+        assert_eq!(fps.len(), 1);
+        assert_eq!(fps[0].shape(), (10, 2));
+    }
+
+    #[test]
+    fn cumulative_final_bin_is_one() {
+        let a = rfd(vec![vec![0.0, 0.5, 1.0]]);
+        let fps = histfp(&[a], 5);
+        assert!((fps[0][(4, 0)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_runs_have_identical_fingerprints() {
+        let a = rfd(vec![vec![1.0, 2.0, 3.0, 4.0]]);
+        let b = rfd(vec![vec![1.0, 2.0, 3.0, 4.0]]);
+        let fps = histfp(&[a, b], 8);
+        assert_eq!(fps[0], fps[1]);
+    }
+
+    #[test]
+    fn shared_bins_separate_shifted_distributions() {
+        // run A concentrates low, run B concentrates high; with shared
+        // ranges their cumulative histograms must differ.
+        let a = rfd(vec![vec![0.0, 0.1, 0.2]]);
+        let b = rfd(vec![vec![0.8, 0.9, 1.0]]);
+        let fps = histfp(&[a, b], 10);
+        let diff: f64 = (0..10)
+            .map(|i| (fps[0][(i, 0)] - fps[1][(i, 0)]).abs())
+            .sum();
+        assert!(diff > 3.0, "diff {diff}");
+    }
+
+    #[test]
+    fn different_observation_counts_are_comparable() {
+        // the core motivation for fingerprints: 360 resource samples vs 5
+        // plan observations can both be histogrammed
+        let a = rfd(vec![(0..360).map(|i| i as f64 / 360.0).collect()]);
+        let b = rfd(vec![vec![0.1, 0.3, 0.5, 0.7, 0.9]]);
+        let fps = histfp(&[a, b], 10);
+        // both approximately uniform → cumulative ≈ linear ramp, close
+        let diff: f64 = (0..10)
+            .map(|i| (fps[0][(i, 0)] - fps[1][(i, 0)]).abs())
+            .sum();
+        assert!(diff < 1.0, "diff {diff}");
+    }
+
+    #[test]
+    fn raw_variant_sums_to_one_per_feature() {
+        let a = rfd(vec![vec![0.0, 0.25, 0.5, 1.0]]);
+        let fps = histfp_raw(&[a], 4);
+        let total: f64 = (0..4).map(|i| fps[0][(i, 0)]).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Longest Common Sub-Sequence distance (§5.1.2).
+//!
+//! LCSS counts the longest sequence of (order-preserving) point matches
+//! where two observations match when they are within `epsilon` of each
+//! other; the distance is `1 − LCSS / min(m, n)`, in `[0, 1]`. The
+//! dependent variant requires *all* dimensions to match simultaneously;
+//! the independent variant averages per-dimension LCSS distances.
+
+use wp_linalg::Matrix;
+
+/// Univariate LCSS match length with tolerance `epsilon`.
+fn lcss_len(a: &[f64], b: &[f64], epsilon: f64) -> usize {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        return 0;
+    }
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            cur[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[n]
+}
+
+/// Univariate LCSS distance: `1 − len / min(m, n)`, in `[0, 1]`.
+pub fn lcss(a: &[f64], b: &[f64], epsilon: f64) -> f64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let denom = a.len().min(b.len());
+    if denom == 0 {
+        return if a.len() == b.len() { 0.0 } else { 1.0 };
+    }
+    1.0 - lcss_len(a, b, epsilon) as f64 / denom as f64
+}
+
+/// Dependent multivariate LCSS: two time points match only when *every*
+/// dimension is within `epsilon` (Chebyshev matching).
+pub fn lcss_dependent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    let denom = m.min(n);
+    if denom == 0 {
+        return if m == n { 0.0 } else { 1.0 };
+    }
+    let matches = |i: usize, j: usize| {
+        a.row(i)
+            .iter()
+            .zip(b.row(j))
+            .all(|(x, y)| (x - y).abs() <= epsilon)
+    };
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            cur[j] = if matches(i - 1, j - 1) {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(cur[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    1.0 - prev[n] as f64 / denom as f64
+}
+
+/// Independent multivariate LCSS: mean of the per-dimension LCSS
+/// distances, each dimension aligned separately.
+pub fn lcss_independent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    if a.cols() == 0 {
+        return 0.0;
+    }
+    (0..a.cols())
+        .map(|k| lcss(&a.col(k), &b.col(k), epsilon))
+        .sum::<f64>()
+        / a.cols() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_zero_distance() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(lcss(&a, &a, 0.01), 0.0);
+    }
+
+    #[test]
+    fn disjoint_series_distance_one() {
+        let a = [0.0, 0.0];
+        let b = [10.0, 10.0];
+        assert_eq!(lcss(&a, &b, 0.5), 1.0);
+    }
+
+    #[test]
+    fn tolerance_enables_matching() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.05, 2.05, 3.05];
+        assert_eq!(lcss(&a, &b, 0.1), 0.0);
+        assert_eq!(lcss(&a, &b, 0.01), 1.0);
+    }
+
+    #[test]
+    fn handles_different_lengths() {
+        // b contains a as a subsequence → distance 0 w.r.t. min length
+        let a = [1.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(lcss(&a, &b, 0.01), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_fractional_distance() {
+        let a = [1.0, 9.0];
+        let b = [1.0, 2.0];
+        assert!((lcss(&a, &b, 0.01) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_needs_all_dimensions() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let b = Matrix::from_rows(&[vec![1.0, 9.0]]); // dim 1 mismatches
+        assert_eq!(lcss_dependent(&a, &b, 0.1), 1.0);
+        // independent: dim 0 matches (dist 0), dim 1 doesn't (dist 1)
+        assert!((lcss_independent(&a, &b, 0.1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_zero_for_identical() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(lcss_dependent(&a, &a, 0.01), 0.0);
+        assert_eq!(lcss_independent(&a, &a, 0.01), 0.0);
+    }
+
+    #[test]
+    fn distance_bounded_in_unit_interval() {
+        let a = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![2.0]]);
+        let b = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let d = lcss_dependent(&a, &b, 0.2);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(lcss(&[], &[], 0.1), 0.0);
+        assert_eq!(lcss(&[], &[1.0], 0.1), 1.0);
+    }
+}

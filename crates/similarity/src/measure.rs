@@ -1,0 +1,245 @@
+//! Unified dispatch over all similarity measures and pairwise distance
+//! matrices.
+
+use wp_linalg::Matrix;
+
+use crate::{dtw, lcss, norms};
+
+/// A matrix norm usable with any representation (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Norm {
+    /// Σ |aᵢⱼ − bᵢⱼ|
+    L11,
+    /// Σⱼ ‖column difference‖₂
+    L21,
+    /// ‖A − B‖_F
+    Frobenius,
+    /// Canberra distance.
+    Canberra,
+    /// Chi-square distance.
+    Chi2,
+    /// 1 − Pearson correlation of the flattened matrices.
+    Correlation,
+}
+
+impl Norm {
+    /// Every norm the paper evaluates.
+    pub const ALL: [Norm; 6] = [
+        Norm::L11,
+        Norm::L21,
+        Norm::Frobenius,
+        Norm::Canberra,
+        Norm::Chi2,
+        Norm::Correlation,
+    ];
+
+    /// Applies the norm to a pair of fingerprints.
+    pub fn apply(self, a: &Matrix, b: &Matrix) -> f64 {
+        match self {
+            Norm::L11 => norms::l11(a, b),
+            Norm::L21 => norms::l21(a, b),
+            Norm::Frobenius => norms::frobenius(a, b),
+            Norm::Canberra => norms::canberra(a, b),
+            Norm::Chi2 => norms::chi2(a, b),
+            Norm::Correlation => norms::correlation(a, b),
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Norm::L11 => "L1,1-Norm",
+            Norm::L21 => "L2,1-Norm",
+            Norm::Frobenius => "Fro-Norm",
+            Norm::Canberra => "Canb-Norm",
+            Norm::Chi2 => "Chi2-Norm",
+            Norm::Correlation => "Corr-Norm",
+        }
+    }
+}
+
+/// A complete similarity measure: either a norm (requires equally shaped
+/// fingerprints) or an elastic time-series measure (tolerates different
+/// lengths; MTS only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measure {
+    /// A matrix norm.
+    Norm(Norm),
+    /// Dependent multivariate DTW.
+    DtwDependent,
+    /// Independent multivariate DTW.
+    DtwIndependent,
+    /// Dependent multivariate LCSS with matching tolerance ε.
+    LcssDependent {
+        /// Point-match tolerance.
+        epsilon: f64,
+    },
+    /// Independent multivariate LCSS with matching tolerance ε.
+    LcssIndependent {
+        /// Point-match tolerance.
+        epsilon: f64,
+    },
+}
+
+/// Default LCSS tolerance on `[0, 1]`-normalized data.
+pub const DEFAULT_LCSS_EPSILON: f64 = 0.1;
+
+impl Measure {
+    /// The measures the paper evaluates on the MTS representation
+    /// (Table 4a): four norms plus DTW and LCSS variants.
+    pub fn mts_suite() -> Vec<Measure> {
+        vec![
+            Measure::Norm(Norm::L21),
+            Measure::Norm(Norm::L11),
+            Measure::Norm(Norm::Frobenius),
+            Measure::Norm(Norm::Canberra),
+            Measure::DtwDependent,
+            Measure::DtwIndependent,
+            Measure::LcssDependent {
+                epsilon: DEFAULT_LCSS_EPSILON,
+            },
+            Measure::LcssIndependent {
+                epsilon: DEFAULT_LCSS_EPSILON,
+            },
+        ]
+    }
+
+    /// Applies the measure to a pair of fingerprints.
+    pub fn apply(self, a: &Matrix, b: &Matrix) -> f64 {
+        match self {
+            Measure::Norm(n) => n.apply(a, b),
+            Measure::DtwDependent => dtw::dtw_dependent(a, b),
+            Measure::DtwIndependent => dtw::dtw_independent(a, b),
+            Measure::LcssDependent { epsilon } => lcss::lcss_dependent(a, b, epsilon),
+            Measure::LcssIndependent { epsilon } => lcss::lcss_independent(a, b, epsilon),
+        }
+    }
+
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> String {
+        match self {
+            Measure::Norm(n) => n.label().to_string(),
+            Measure::DtwDependent => "Dependent-DTW".to_string(),
+            Measure::DtwIndependent => "Independent-DTW".to_string(),
+            Measure::LcssDependent { .. } => "Dependent-LCSS".to_string(),
+            Measure::LcssIndependent { .. } => "Independent-LCSS".to_string(),
+        }
+    }
+}
+
+/// Full pairwise distance matrix over a set of fingerprints (symmetric,
+/// zero diagonal).
+pub fn distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Matrix {
+    let n = fingerprints.len();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = measure.apply(&fingerprints[i], &fingerprints[j]);
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    d
+}
+
+/// Min-max normalizes a distance matrix's off-diagonal entries into
+/// `[0, 1]` (the paper reports "mean normalized distances").
+pub fn normalize_distances(d: &Matrix) -> Matrix {
+    let n = d.rows();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                lo = lo.min(d[(i, j)]);
+                hi = hi.max(d[(i, j)]);
+            }
+        }
+    }
+    let mut out = d.clone();
+    if hi > lo {
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    out[(i, j)] = (d[(i, j)] - lo) / (hi - lo);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: f64) -> Matrix {
+        Matrix::filled(3, 2, v)
+    }
+
+    #[test]
+    fn all_norms_dispatch() {
+        let a = fp(1.0);
+        let b = fp(2.0);
+        for n in Norm::ALL {
+            let d = n.apply(&a, &b);
+            assert!(d >= 0.0, "{}: {d}", n.label());
+        }
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_zero_diagonal() {
+        let fps = vec![fp(0.0), fp(1.0), fp(3.0)];
+        let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+        for i in 0..3 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..3 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+            }
+        }
+        // 0 is closer to 1 than to 3
+        assert!(d[(0, 1)] < d[(0, 2)]);
+    }
+
+    #[test]
+    fn normalize_maps_offdiagonal_to_unit_interval() {
+        let fps = vec![fp(0.0), fp(1.0), fp(5.0)];
+        let d = distance_matrix(&fps, Measure::Norm(Norm::Frobenius));
+        let n = normalize_distances(&d);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    lo = lo.min(n[(i, j)]);
+                    hi = hi.max(n[(i, j)]);
+                }
+            }
+        }
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn mts_suite_contains_paper_measures() {
+        let suite = Measure::mts_suite();
+        assert_eq!(suite.len(), 8);
+        assert!(suite.contains(&Measure::DtwDependent));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Norm::L21.label(), "L2,1-Norm");
+        assert_eq!(Measure::DtwIndependent.label(), "Independent-DTW");
+    }
+
+    #[test]
+    fn elastic_measures_tolerate_unequal_lengths() {
+        let a = Matrix::zeros(5, 2);
+        let b = Matrix::zeros(8, 2);
+        assert!(Measure::DtwDependent.apply(&a, &b).is_finite());
+        assert!(Measure::LcssIndependent { epsilon: 0.1 }
+            .apply(&a, &b)
+            .is_finite());
+    }
+}

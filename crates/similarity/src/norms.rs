@@ -1,0 +1,182 @@
+//! Matrix-norm distances between equally-shaped fingerprint matrices
+//! (§5.1.2): L1,1, L2,1, Frobenius, Canberra, Chi-square, and the
+//! correlation distance. All run in time linear in the matrix size.
+
+use wp_linalg::Matrix;
+
+fn check_shapes(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "norm-based distances need equally shaped matrices"
+    );
+}
+
+/// L1,1 norm of the difference: `Σᵢⱼ |aᵢⱼ − bᵢⱼ|`.
+pub fn l11(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .sum()
+}
+
+/// L2,1 norm of the difference: the sum over *columns* of the Euclidean
+/// norm of the column difference, `Σⱼ ‖a₋ⱼ − b₋ⱼ‖₂`.
+///
+/// Fingerprint matrices keep one feature per column, so this norm
+/// aggregates a per-feature Euclidean distance — the interpretation the
+/// paper's experiments rely on.
+pub fn l21(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    (0..a.cols())
+        .map(|j| {
+            (0..a.rows())
+                .map(|i| {
+                    let d = a[(i, j)] - b[(i, j)];
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum()
+}
+
+/// Frobenius norm of the difference: `√(Σᵢⱼ (aᵢⱼ − bᵢⱼ)²)`.
+pub fn frobenius(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    a.sub(b).frobenius_norm()
+}
+
+/// Canberra distance: `Σᵢⱼ |aᵢⱼ − bᵢⱼ| / (|aᵢⱼ| + |bᵢⱼ|)`, skipping
+/// entries where both operands are zero.
+pub fn canberra(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let denom = x.abs() + y.abs();
+            if denom > 0.0 {
+                (x - y).abs() / denom
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Chi-square distance: `Σᵢⱼ (aᵢⱼ − bᵢⱼ)² / (aᵢⱼ + bᵢⱼ)`, skipping
+/// entries where the sum is zero. Intended for non-negative histogram
+/// entries.
+pub fn chi2(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| {
+            let denom = x + y;
+            if denom.abs() > 1e-12 {
+                (x - y) * (x - y) / denom
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Correlation distance: `1 − ρ(vec(A), vec(B))` where ρ is the Pearson
+/// correlation of the flattened matrices; `0` for perfectly linearly
+/// related fingerprints, up to `2` for anti-correlated ones.
+pub fn correlation(a: &Matrix, b: &Matrix) -> f64 {
+    check_shapes(a, b);
+    1.0 - wp_linalg::stats::pearson(a.as_slice(), b.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn identical_matrices_have_zero_distance() {
+        let a = m(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(l11(&a, &a), 0.0);
+        assert_eq!(l21(&a, &a), 0.0);
+        assert_eq!(frobenius(&a, &a), 0.0);
+        assert_eq!(canberra(&a, &a), 0.0);
+        assert_eq!(chi2(&a, &a), 0.0);
+        assert!(correlation(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l11_hand_computed() {
+        let a = m(&[vec![1.0, 2.0]]);
+        let b = m(&[vec![0.0, 4.0]]);
+        assert_eq!(l11(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn l21_sums_column_norms() {
+        let a = m(&[vec![0.0, 0.0], vec![0.0, 0.0]]);
+        let b = m(&[vec![3.0, 1.0], vec![4.0, 0.0]]);
+        // column 0 norm = 5, column 1 norm = 1
+        assert!((l21(&a, &b) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_hand_computed() {
+        let a = m(&[vec![0.0, 0.0]]);
+        let b = m(&[vec![3.0, 4.0]]);
+        assert!((frobenius(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canberra_is_scale_sensitive_near_zero() {
+        let a = m(&[vec![0.01]]);
+        let b = m(&[vec![0.02]]);
+        let c = m(&[vec![100.0]]);
+        let d = m(&[vec![101.0]]);
+        // same absolute diff magnitude matters more near zero
+        assert!(canberra(&a, &b) > canberra(&c, &d));
+    }
+
+    #[test]
+    fn chi2_skips_zero_denominators() {
+        let a = m(&[vec![0.0, 1.0]]);
+        let b = m(&[vec![0.0, 3.0]]);
+        assert!((chi2(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_distance_range() {
+        let a = m(&[vec![1.0, 2.0, 3.0]]);
+        let b = m(&[vec![2.0, 4.0, 6.0]]); // perfectly correlated
+        assert!(correlation(&a, &b).abs() < 1e-12);
+        let c = m(&[vec![3.0, 2.0, 1.0]]); // anti-correlated
+        assert!((correlation(&a, &c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_like_ordering() {
+        // a closer to b than to c in all norms
+        let a = m(&[vec![1.0, 1.0]]);
+        let b = m(&[vec![1.1, 1.0]]);
+        let c = m(&[vec![5.0, 9.0]]);
+        for f in [l11, l21, frobenius, canberra, chi2] {
+            assert!(f(&a, &b) < f(&a, &c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equally shaped")]
+    fn shape_mismatch_panics() {
+        let a = m(&[vec![1.0]]);
+        let b = m(&[vec![1.0, 2.0]]);
+        let _ = l11(&a, &b);
+    }
+}

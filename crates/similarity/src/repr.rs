@@ -1,0 +1,198 @@
+//! Feature extraction and the raw MTS representation.
+//!
+//! Every representation starts from the same primitive: for each run and
+//! each selected feature, a vector of observations — the time-series
+//! samples for resource features, the per-query values for plan features
+//! (Appendix A, Table 7). Normalization happens *jointly across the
+//! compared runs* (global per-feature min/max), otherwise histograms and
+//! distances would not be comparable between workloads.
+
+use wp_linalg::Matrix;
+use wp_telemetry::{ExperimentRun, FeatureId};
+
+/// Which data representation a similarity computation uses (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Raw multivariate time-series (resource features only).
+    Mts,
+    /// Histogram-based fingerprinting (equi-width cumulative histograms).
+    HistFp,
+    /// Phase-level statistical fingerprinting (BCPD phases × statistics).
+    PhaseFp,
+}
+
+impl Representation {
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Representation::Mts => "MTS",
+            Representation::HistFp => "Hist-FP",
+            Representation::PhaseFp => "Phase-FP",
+        }
+    }
+}
+
+/// Per-run observation vectors for a fixed feature list: `series[f]` holds
+/// the observations of feature `f` (time samples or per-query values).
+#[derive(Debug, Clone)]
+pub struct RunFeatureData {
+    /// The features, in the order of `series`.
+    pub features: Vec<FeatureId>,
+    /// One observation vector per feature.
+    pub series: Vec<Vec<f64>>,
+}
+
+/// Extracts observation vectors for the given features from a run,
+/// applying a `ln(1 + x)` transform.
+///
+/// Telemetry features span eight orders of magnitude (estimated row
+/// counts in the tens of millions next to utilization fractions), so a
+/// joint min-max normalization of *raw* values would be dominated by the
+/// largest workload and collapse every other workload into the lowest
+/// histogram bin. The log transform keeps relative differences visible at
+/// every magnitude; use [`extract_raw`] to opt out.
+pub fn extract(run: &ExperimentRun, features: &[FeatureId]) -> RunFeatureData {
+    let mut data = extract_raw(run, features);
+    for series in &mut data.series {
+        for v in series {
+            *v = (1.0 + v.max(0.0)).ln();
+        }
+    }
+    data
+}
+
+/// Extracts observation vectors without any value transform.
+pub fn extract_raw(run: &ExperimentRun, features: &[FeatureId]) -> RunFeatureData {
+    let series = features
+        .iter()
+        .map(|f| match f {
+            FeatureId::Resource(rf) => run.resources.feature(*rf),
+            FeatureId::Plan(pf) => run.plans.feature(*pf),
+        })
+        .collect();
+    RunFeatureData {
+        features: features.to_vec(),
+        series,
+    }
+}
+
+/// Global per-feature `[min, max]` across all runs' observations.
+pub fn global_ranges(data: &[RunFeatureData]) -> Vec<(f64, f64)> {
+    assert!(!data.is_empty(), "need at least one run");
+    let nf = data[0].features.len();
+    let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); nf];
+    for run in data {
+        assert_eq!(run.features.len(), nf, "feature lists must match");
+        for (f, series) in run.series.iter().enumerate() {
+            for &v in series {
+                ranges[f].0 = ranges[f].0.min(v);
+                ranges[f].1 = ranges[f].1.max(v);
+            }
+        }
+    }
+    ranges
+}
+
+/// Normalizes one value into `[0, 1]` given a range; constant ranges map
+/// to `0.0`.
+pub fn norm01(v: f64, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    }
+}
+
+/// Builds the MTS representation: per run, a `samples × features` matrix
+/// of globally min-max-normalized observations.
+///
+/// All features must have the same observation count within a run (true
+/// for resource features, which share the sampling clock). Plan features
+/// have per-query observation counts instead, which is why the paper uses
+/// MTS with resource features only; mixing lengths panics.
+pub fn mts(data: &[RunFeatureData]) -> Vec<Matrix> {
+    let ranges = global_ranges(data);
+    data.iter()
+        .map(|run| {
+            let n = run.series.first().map_or(0, Vec::len);
+            for (i, s) in run.series.iter().enumerate() {
+                assert_eq!(
+                    s.len(),
+                    n,
+                    "MTS requires equal observation counts (feature {i})"
+                );
+            }
+            let mut m = Matrix::zeros(n, run.series.len());
+            for (f, s) in run.series.iter().enumerate() {
+                for (t, &v) in s.iter().enumerate() {
+                    m[(t, f)] = norm01(v, ranges[f]);
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rfd(series: Vec<Vec<f64>>) -> RunFeatureData {
+        let features = (0..series.len())
+            .map(FeatureId::from_global_index)
+            .collect();
+        RunFeatureData { features, series }
+    }
+
+    #[test]
+    fn global_ranges_span_all_runs() {
+        let a = rfd(vec![vec![0.0, 1.0], vec![5.0, 5.0]]);
+        let b = rfd(vec![vec![2.0, 3.0], vec![4.0, 6.0]]);
+        let r = global_ranges(&[a, b]);
+        assert_eq!(r[0], (0.0, 3.0));
+        assert_eq!(r[1], (4.0, 6.0));
+    }
+
+    #[test]
+    fn norm01_behaviour() {
+        assert_eq!(norm01(5.0, (0.0, 10.0)), 0.5);
+        assert_eq!(norm01(-1.0, (0.0, 10.0)), 0.0);
+        assert_eq!(norm01(11.0, (0.0, 10.0)), 1.0);
+        assert_eq!(norm01(7.0, (7.0, 7.0)), 0.0);
+    }
+
+    #[test]
+    fn mts_normalizes_jointly() {
+        let a = rfd(vec![vec![0.0, 10.0]]);
+        let b = rfd(vec![vec![5.0, 20.0]]);
+        let ms = mts(&[a, b]);
+        // global range is [0, 20]
+        assert_eq!(ms[0][(0, 0)], 0.0);
+        assert_eq!(ms[0][(1, 0)], 0.5);
+        assert_eq!(ms[1][(0, 0)], 0.25);
+        assert_eq!(ms[1][(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn mts_allows_different_lengths_across_runs() {
+        let a = rfd(vec![vec![0.0, 1.0, 2.0]]);
+        let b = rfd(vec![vec![0.0, 2.0]]);
+        let ms = mts(&[a, b]);
+        assert_eq!(ms[0].rows(), 3);
+        assert_eq!(ms[1].rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal observation counts")]
+    fn mts_rejects_ragged_features_within_run() {
+        let a = rfd(vec![vec![0.0, 1.0], vec![0.0]]);
+        let _ = mts(&[a]);
+    }
+
+    #[test]
+    fn representation_labels() {
+        assert_eq!(Representation::Mts.label(), "MTS");
+        assert_eq!(Representation::HistFp.label(), "Hist-FP");
+        assert_eq!(Representation::PhaseFp.label(), "Phase-FP");
+    }
+}

@@ -1,0 +1,170 @@
+//! Perturbation utilities for the robustness dimension (§5.2): "an
+//! approach's resilience to noise, outliers, and missing data. In
+//! real-world use cases, we often observe measurement irregularities."
+//!
+//! Each injector takes extracted [`RunFeatureData`] and returns a
+//! perturbed copy; the robustness experiment measures how each
+//! representation × measure combination degrades as the perturbation
+//! grows.
+
+use crate::repr::RunFeatureData;
+
+/// splitmix64 → uniform in `[0, 1)`.
+fn uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Approximate standard normal (sum of 12 uniforms, Irwin–Hall).
+fn gauss(state: &mut u64) -> f64 {
+    (0..12).map(|_| uniform(state)).sum::<f64>() - 6.0
+}
+
+/// Multiplicative Gaussian measurement noise: every observation is
+/// scaled by `1 + sigma·N(0,1)`.
+pub fn inject_noise(data: &RunFeatureData, sigma: f64, seed: u64) -> RunFeatureData {
+    assert!(sigma >= 0.0, "noise level must be non-negative");
+    let mut state = seed | 1;
+    let mut out = data.clone();
+    for series in &mut out.series {
+        for v in series {
+            *v *= 1.0 + sigma * gauss(&mut state);
+        }
+    }
+    out
+}
+
+/// Outlier injection: a `fraction` of observations is replaced by
+/// `magnitude ×` the series' maximum (measurement glitches, perf-counter
+/// wraparounds).
+pub fn inject_outliers(
+    data: &RunFeatureData,
+    fraction: f64,
+    magnitude: f64,
+    seed: u64,
+) -> RunFeatureData {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+    assert!(magnitude > 0.0, "magnitude must be positive");
+    let mut state = seed | 1;
+    let mut out = data.clone();
+    for series in &mut out.series {
+        if series.is_empty() {
+            continue;
+        }
+        let peak = series.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9);
+        for v in series.iter_mut() {
+            if uniform(&mut state) < fraction {
+                *v = peak * magnitude;
+            }
+        }
+    }
+    out
+}
+
+/// Missing data: drops a `fraction` of each feature's observations (the
+/// collector missed samples). The remaining observations keep their
+/// order; series lengths shrink, which fingerprint representations
+/// tolerate by construction while fixed-shape representations do not.
+pub fn drop_observations(data: &RunFeatureData, fraction: f64, seed: u64) -> RunFeatureData {
+    assert!((0.0..1.0).contains(&fraction), "fraction in [0, 1)");
+    let mut state = seed | 1;
+    let mut out = data.clone();
+    for series in &mut out.series {
+        let kept: Vec<f64> = series
+            .iter()
+            .copied()
+            .filter(|_| uniform(&mut state) >= fraction)
+            .collect();
+        // never drop a series to emptiness
+        if !kept.is_empty() {
+            *series = kept;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_telemetry::FeatureId;
+
+    fn data() -> RunFeatureData {
+        RunFeatureData {
+            features: vec![FeatureId::from_global_index(0), FeatureId::from_global_index(1)],
+            series: vec![
+                (0..100).map(|i| 10.0 + (i % 7) as f64).collect(),
+                (0..100).map(|i| 100.0 + (i % 13) as f64).collect(),
+            ],
+        }
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let d = data();
+        let p = inject_noise(&d, 0.0, 1);
+        assert_eq!(d.series, p.series);
+    }
+
+    #[test]
+    fn noise_perturbs_at_expected_scale() {
+        let d = data();
+        let p = inject_noise(&d, 0.1, 2);
+        let rel: Vec<f64> = d.series[0]
+            .iter()
+            .zip(&p.series[0])
+            .map(|(a, b)| ((b - a) / a).abs())
+            .collect();
+        let mean_rel = wp_linalg::stats::mean(&rel);
+        assert!(mean_rel > 0.02 && mean_rel < 0.25, "mean rel {mean_rel}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let d = data();
+        assert_eq!(inject_noise(&d, 0.1, 7).series, inject_noise(&d, 0.1, 7).series);
+        assert_ne!(inject_noise(&d, 0.1, 7).series, inject_noise(&d, 0.1, 8).series);
+    }
+
+    #[test]
+    fn outliers_replace_roughly_the_requested_fraction() {
+        let d = data();
+        let p = inject_outliers(&d, 0.2, 10.0, 3);
+        let n_outliers = p.series[0]
+            .iter()
+            .filter(|v| **v > 100.0) // peak 16 × 10 = 160
+            .count();
+        assert!((10..=35).contains(&n_outliers), "{n_outliers} outliers");
+    }
+
+    #[test]
+    fn dropping_shrinks_series_but_never_empties() {
+        let d = data();
+        let p = drop_observations(&d, 0.5, 4);
+        for (orig, dropped) in d.series.iter().zip(&p.series) {
+            assert!(dropped.len() < orig.len());
+            assert!(!dropped.is_empty());
+        }
+    }
+
+    #[test]
+    fn drop_preserves_order() {
+        let d = RunFeatureData {
+            features: vec![FeatureId::from_global_index(0)],
+            series: vec![(0..50).map(|i| i as f64).collect()],
+        };
+        let p = drop_observations(&d, 0.3, 5);
+        for w in p.series[0].windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn invalid_fraction_rejected() {
+        let _ = inject_outliers(&data(), 1.5, 2.0, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the similarity measures: metric-like
+//! properties (identity, symmetry, non-negativity), representation
+//! invariants, and ranking-metric bounds.
+
+use proptest::prelude::*;
+use wp_linalg::Matrix;
+use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::{dtw, lcss};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn norms_are_symmetric_nonnegative_zero_on_identity(
+        a in matrix(5, 3),
+        b in matrix(5, 3),
+    ) {
+        for norm in Norm::ALL {
+            let dab = norm.apply(&a, &b);
+            let dba = norm.apply(&b, &a);
+            prop_assert!(dab >= -1e-12, "{}: negative distance", norm.label());
+            prop_assert!((dab - dba).abs() < 1e-9, "{}: asymmetric", norm.label());
+            // Correlation distance of a matrix with itself is 0 only when
+            // non-constant; skip identity check for it.
+            if norm != Norm::Correlation {
+                prop_assert!(norm.apply(&a, &a).abs() < 1e-12, "{}: d(a,a) != 0", norm.label());
+            }
+        }
+    }
+
+    #[test]
+    fn l11_dominates_frobenius(a in matrix(4, 4), b in matrix(4, 4)) {
+        // ‖x‖₁ ≥ ‖x‖₂ element-wise over the difference
+        let l11 = Norm::L11.apply(&a, &b);
+        let fro = Norm::Frobenius.apply(&a, &b);
+        prop_assert!(l11 >= fro - 1e-9);
+    }
+
+    #[test]
+    fn l21_between_frobenius_and_l11(a in matrix(4, 4), b in matrix(4, 4)) {
+        let l11 = Norm::L11.apply(&a, &b);
+        let l21 = Norm::L21.apply(&a, &b);
+        let fro = Norm::Frobenius.apply(&a, &b);
+        prop_assert!(l21 >= fro - 1e-9);
+        prop_assert!(l21 <= l11 + 1e-9);
+    }
+
+    #[test]
+    fn dtw_zero_iff_equal_and_symmetric(
+        a in proptest::collection::vec(0.0..5.0f64, 2..20),
+        b in proptest::collection::vec(0.0..5.0f64, 2..20),
+    ) {
+        prop_assert!(dtw::dtw(&a, &a).abs() < 1e-12);
+        let dab = dtw::dtw(&a, &b);
+        let dba = dtw::dtw(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(dab >= 0.0);
+    }
+
+    #[test]
+    fn dtw_bounded_by_euclidean_for_equal_lengths(
+        pairs in proptest::collection::vec((0.0..5.0f64, 0.0..5.0f64), 2..20),
+    ) {
+        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        // the diagonal path is one admissible alignment, so DTW ≤ L2
+        let euclid: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        prop_assert!(dtw::dtw(&a, &b) <= euclid + 1e-9);
+    }
+
+    #[test]
+    fn lcss_distance_in_unit_interval(
+        a in proptest::collection::vec(0.0..5.0f64, 1..15),
+        b in proptest::collection::vec(0.0..5.0f64, 1..15),
+        eps in 0.0..2.0f64,
+    ) {
+        let d = lcss::lcss(&a, &b, eps);
+        prop_assert!((0.0..=1.0).contains(&d));
+        // larger tolerance can only reduce distance
+        let d2 = lcss::lcss(&a, &b, eps + 1.0);
+        prop_assert!(d2 <= d + 1e-12);
+    }
+
+    #[test]
+    fn distance_matrix_symmetric_zero_diagonal(ms in proptest::collection::vec(matrix(3, 2), 2..5)) {
+        let d = distance_matrix(&ms, Measure::Norm(Norm::L21));
+        for i in 0..ms.len() {
+            prop_assert_eq!(d[(i, i)], 0.0);
+            for j in 0..ms.len() {
+                prop_assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_metrics_bounded(
+        n_per in 2usize..4,
+        seed_vals in proptest::collection::vec(0.0..10.0f64, 16),
+    ) {
+        // build a distance matrix from random points in 1-D
+        let n = n_per * 2;
+        let pts: Vec<f64> = seed_vals.into_iter().take(n).collect();
+        prop_assume!(pts.len() == n);
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                d[(i, j)] = (pts[i] - pts[j]).abs();
+            }
+        }
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let acc = wp_similarity::one_nn_accuracy(&d, &labels);
+        let map = wp_similarity::mean_average_precision(&d, &labels);
+        let ndcg = wp_similarity::ndcg(&d, |i, j| if labels[i] == labels[j] { 1.0 } else { 0.0 });
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((0.0..=1.0).contains(&map));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ndcg));
+    }
+
+    #[test]
+    fn histfp_shape_and_bounds(
+        series_a in proptest::collection::vec(0.0..100.0f64, 5..40),
+        series_b in proptest::collection::vec(0.0..100.0f64, 5..40),
+        nbins in 2usize..16,
+    ) {
+        use wp_similarity::histfp::histfp;
+        use wp_similarity::repr::RunFeatureData;
+        use wp_telemetry::FeatureId;
+        let mk = |s: Vec<f64>| RunFeatureData {
+            features: vec![FeatureId::from_global_index(0)],
+            series: vec![s],
+        };
+        let fps = histfp(&[mk(series_a), mk(series_b)], nbins);
+        prop_assert_eq!(fps.len(), 2);
+        for fp in &fps {
+            prop_assert_eq!(fp.shape(), (nbins, 1));
+            for v in fp.as_slice() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(v));
+            }
+            // cumulative: last bin is 1
+            prop_assert!((fp[(nbins - 1, 0)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bcpd_segments_partition_any_series(
+        series in proptest::collection::vec(-10.0..10.0f64, 4..80),
+    ) {
+        use wp_similarity::bcpd::{segments, BcpdConfig};
+        let segs = segments(&series, &BcpdConfig::default());
+        let total: usize = segs.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, series.len());
+        prop_assert!(!segs.is_empty());
+    }
+}

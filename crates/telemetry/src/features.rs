@@ -1,0 +1,342 @@
+//! The 29-feature catalog of Table 2.
+//!
+//! Feature identity is load-bearing across the whole pipeline: feature
+//! selection ranks these identifiers, similarity computation selects
+//! matrix columns by them, and the experiment harness prints their Table 2
+//! names. Both enums are exhaustive and carry a stable column index.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource-utilization features (left column of Table 2), sampled as a
+/// time-series every ten seconds during workload execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResourceFeature {
+    /// Fraction of provisioned CPU in use.
+    CpuUtilization,
+    /// Effective CPU after hypervisor steal / throttling.
+    CpuEffective,
+    /// Fraction of provisioned memory in use.
+    MemUtilization,
+    /// Total I/O operations per second.
+    IopsTotal,
+    /// Ratio of read I/O to write I/O.
+    ReadWriteRatio,
+    /// Absolute number of lock requests in the sample window.
+    LockReqAbs,
+    /// Absolute lock wait time in the sample window.
+    LockWaitAbs,
+}
+
+impl ResourceFeature {
+    /// All resource features in Table 2 order.
+    pub const ALL: [ResourceFeature; 7] = [
+        ResourceFeature::CpuUtilization,
+        ResourceFeature::CpuEffective,
+        ResourceFeature::MemUtilization,
+        ResourceFeature::IopsTotal,
+        ResourceFeature::ReadWriteRatio,
+        ResourceFeature::LockReqAbs,
+        ResourceFeature::LockWaitAbs,
+    ];
+
+    /// Column index within a [`crate::ResourceSeries`] matrix.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|f| *f == self).unwrap()
+    }
+
+    /// The paper's Table 2 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceFeature::CpuUtilization => "CPU_UTILIZATION",
+            ResourceFeature::CpuEffective => "CPU_EFFECTIVE",
+            ResourceFeature::MemUtilization => "MEM_UTILIZATION",
+            ResourceFeature::IopsTotal => "IOPS_TOTAL",
+            ResourceFeature::ReadWriteRatio => "READ_WRITE_RATIO",
+            ResourceFeature::LockReqAbs => "LOCK_REQ_ABS",
+            ResourceFeature::LockWaitAbs => "LOCK_WAIT_ABS",
+        }
+    }
+}
+
+/// Query-plan statistics (right column of Table 2), captured per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlanFeature {
+    /// Optimizer's estimated output rows for the statement.
+    StatementEstRows,
+    /// Optimizer cost of the statement sub-tree.
+    StatementSubTreeCost,
+    /// CPU consumed compiling the plan.
+    CompileCpu,
+    /// Cardinality of the largest referenced table.
+    TableCardinality,
+    /// Memory desired for a serial plan.
+    SerialDesiredMemory,
+    /// Memory required for a serial plan.
+    SerialRequiredMemory,
+    /// Peak memory during compilation.
+    MaxCompileMemory,
+    /// Estimated rebinds of the plan operators.
+    EstimateRebinds,
+    /// Estimated rewinds of the plan operators.
+    EstimateRewinds,
+    /// Estimated pages served from the buffer pool.
+    EstimatedPagesCached,
+    /// Degree of parallelism the optimizer expects to be available.
+    EstimatedAvailableDegreeOfParallelism,
+    /// Memory grant the optimizer expects to be available.
+    EstimatedAvailableMemoryGrant,
+    /// Size of the cached plan.
+    CachedPlanSize,
+    /// Average returned row size.
+    AvgRowSize,
+    /// Memory consumed compiling the plan.
+    CompileMemory,
+    /// Estimated rows of the root operator.
+    EstimateRows,
+    /// Estimated I/O cost.
+    EstimateIo,
+    /// Time consumed compiling the plan.
+    CompileTime,
+    /// Memory actually granted at execution.
+    GrantedMemory,
+    /// Estimated CPU cost.
+    EstimateCpu,
+    /// Peak memory used at execution.
+    MaxUsedMemory,
+    /// Estimated rows read (scanned) by the plan.
+    EstimatedRowsRead,
+}
+
+impl PlanFeature {
+    /// All plan features in Table 2 order.
+    pub const ALL: [PlanFeature; 22] = [
+        PlanFeature::StatementEstRows,
+        PlanFeature::StatementSubTreeCost,
+        PlanFeature::CompileCpu,
+        PlanFeature::TableCardinality,
+        PlanFeature::SerialDesiredMemory,
+        PlanFeature::SerialRequiredMemory,
+        PlanFeature::MaxCompileMemory,
+        PlanFeature::EstimateRebinds,
+        PlanFeature::EstimateRewinds,
+        PlanFeature::EstimatedPagesCached,
+        PlanFeature::EstimatedAvailableDegreeOfParallelism,
+        PlanFeature::EstimatedAvailableMemoryGrant,
+        PlanFeature::CachedPlanSize,
+        PlanFeature::AvgRowSize,
+        PlanFeature::CompileMemory,
+        PlanFeature::EstimateRows,
+        PlanFeature::EstimateIo,
+        PlanFeature::CompileTime,
+        PlanFeature::GrantedMemory,
+        PlanFeature::EstimateCpu,
+        PlanFeature::MaxUsedMemory,
+        PlanFeature::EstimatedRowsRead,
+    ];
+
+    /// Column index within a [`crate::PlanStats`] matrix.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|f| *f == self).unwrap()
+    }
+
+    /// The paper's Table 2 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanFeature::StatementEstRows => "StatementEstRows",
+            PlanFeature::StatementSubTreeCost => "StatementSubTreeCost",
+            PlanFeature::CompileCpu => "CompileCPU",
+            PlanFeature::TableCardinality => "TableCardinality",
+            PlanFeature::SerialDesiredMemory => "SerialDesiredMemory",
+            PlanFeature::SerialRequiredMemory => "SerialRequiredMemory",
+            PlanFeature::MaxCompileMemory => "MaxCompileMemory",
+            PlanFeature::EstimateRebinds => "EstimateRebinds",
+            PlanFeature::EstimateRewinds => "EstimateRewinds",
+            PlanFeature::EstimatedPagesCached => "EstimatedPagesCached",
+            PlanFeature::EstimatedAvailableDegreeOfParallelism => {
+                "EstimatedAvailableDegreeOfParallelism"
+            }
+            PlanFeature::EstimatedAvailableMemoryGrant => "EstimatedAvailableMemoryGrant",
+            PlanFeature::CachedPlanSize => "CachedPlanSize",
+            PlanFeature::AvgRowSize => "AvgRowSize",
+            PlanFeature::CompileMemory => "CompileMemory",
+            PlanFeature::EstimateRows => "EstimateRows",
+            PlanFeature::EstimateIo => "EstimateIO",
+            PlanFeature::CompileTime => "CompileTime",
+            PlanFeature::GrantedMemory => "GrantedMemory",
+            PlanFeature::EstimateCpu => "EstimateCPU",
+            PlanFeature::MaxUsedMemory => "MaxUsedMemory",
+            PlanFeature::EstimatedRowsRead => "EstimatedRowsRead",
+        }
+    }
+}
+
+/// Total number of features in the catalog (7 resource + 22 plan).
+pub const N_FEATURES: usize = ResourceFeature::ALL.len() + PlanFeature::ALL.len();
+
+/// A unified feature identifier spanning both families.
+///
+/// The *global index* places resource features at `0..7` and plan features
+/// at `7..29`; the feature-selection matrices use this ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureId {
+    /// A resource-utilization feature.
+    Resource(ResourceFeature),
+    /// A query-plan statistic.
+    Plan(PlanFeature),
+}
+
+impl FeatureId {
+    /// All 29 features: resource features first, plan features after.
+    pub fn all() -> Vec<FeatureId> {
+        ResourceFeature::ALL
+            .iter()
+            .map(|&f| FeatureId::Resource(f))
+            .chain(PlanFeature::ALL.iter().map(|&f| FeatureId::Plan(f)))
+            .collect()
+    }
+
+    /// Global column index in `0..N_FEATURES`.
+    pub fn global_index(self) -> usize {
+        match self {
+            FeatureId::Resource(f) => f.index(),
+            FeatureId::Plan(f) => ResourceFeature::ALL.len() + f.index(),
+        }
+    }
+
+    /// Inverse of [`FeatureId::global_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= N_FEATURES`.
+    pub fn from_global_index(idx: usize) -> FeatureId {
+        if idx < ResourceFeature::ALL.len() {
+            FeatureId::Resource(ResourceFeature::ALL[idx])
+        } else {
+            FeatureId::Plan(PlanFeature::ALL[idx - ResourceFeature::ALL.len()])
+        }
+    }
+
+    /// The paper's Table 2 name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FeatureId::Resource(f) => f.name(),
+            FeatureId::Plan(f) => f.name(),
+        }
+    }
+
+    /// True for resource-utilization features.
+    pub fn is_resource(self) -> bool {
+        matches!(self, FeatureId::Resource(_))
+    }
+
+    /// True for query-plan features.
+    pub fn is_plan(self) -> bool {
+        matches!(self, FeatureId::Plan(_))
+    }
+
+    /// Looks a feature up by its Table 2 name.
+    pub fn by_name(name: &str) -> Option<FeatureId> {
+        FeatureId::all().into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// Which family of features an analysis draws from (§5.2.2 compares
+/// plan-only, resource-only, and combined feature sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Query-plan statistics only.
+    PlanOnly,
+    /// Resource-utilization features only.
+    ResourceOnly,
+    /// All 29 features.
+    Combined,
+}
+
+impl FeatureSet {
+    /// The feature identifiers contained in this set, in global order.
+    pub fn features(self) -> Vec<FeatureId> {
+        match self {
+            FeatureSet::PlanOnly => PlanFeature::ALL
+                .iter()
+                .map(|&f| FeatureId::Plan(f))
+                .collect(),
+            FeatureSet::ResourceOnly => ResourceFeature::ALL
+                .iter()
+                .map(|&f| FeatureId::Resource(f))
+                .collect(),
+            FeatureSet::Combined => FeatureId::all(),
+        }
+    }
+
+    /// Human-readable label used by the experiment harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::PlanOnly => "Plan",
+            FeatureSet::ResourceOnly => "Resource",
+            FeatureSet::Combined => "Combined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_29_features() {
+        assert_eq!(N_FEATURES, 29);
+        assert_eq!(FeatureId::all().len(), 29);
+        assert_eq!(ResourceFeature::ALL.len(), 7);
+        assert_eq!(PlanFeature::ALL.len(), 22);
+    }
+
+    #[test]
+    fn global_index_roundtrip() {
+        for (i, f) in FeatureId::all().into_iter().enumerate() {
+            assert_eq!(f.global_index(), i);
+            assert_eq!(FeatureId::from_global_index(i), f);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = FeatureId::all().iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn by_name_finds_table2_names() {
+        assert_eq!(
+            FeatureId::by_name("AvgRowSize"),
+            Some(FeatureId::Plan(PlanFeature::AvgRowSize))
+        );
+        assert_eq!(
+            FeatureId::by_name("LOCK_WAIT_ABS"),
+            Some(FeatureId::Resource(ResourceFeature::LockWaitAbs))
+        );
+        assert_eq!(FeatureId::by_name("NoSuchFeature"), None);
+    }
+
+    #[test]
+    fn feature_sets_partition() {
+        let plan = FeatureSet::PlanOnly.features();
+        let res = FeatureSet::ResourceOnly.features();
+        let all = FeatureSet::Combined.features();
+        assert_eq!(plan.len() + res.len(), all.len());
+        assert!(plan.iter().all(|f| f.is_plan()));
+        assert!(res.iter().all(|f| f.is_resource()));
+    }
+
+    #[test]
+    fn resource_indices_match_all_order() {
+        for (i, f) in ResourceFeature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        for (i, f) in PlanFeature::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Telemetry interchange: JSON export/import of [`ExperimentRun`]s and a
+//! CSV loader for resource-utilization series.
+//!
+//! The simulator is a stand-in for real collection infrastructure; this
+//! module is the seam where real telemetry enters the pipeline. A
+//! deployment that logs the Table 2 counters can serialize them in either
+//! format and run the identical feature-selection / similarity /
+//! prediction code paths.
+
+use crate::features::ResourceFeature;
+use crate::run::{ExperimentRun, ResourceSeries};
+use wp_linalg::Matrix;
+
+/// Serializes runs to pretty-printed JSON.
+pub fn runs_to_json(runs: &[ExperimentRun]) -> String {
+    serde_json::to_string_pretty(runs).expect("telemetry types serialize infallibly")
+}
+
+/// Parses runs from JSON produced by [`runs_to_json`] (or by any external
+/// collector emitting the same schema).
+pub fn runs_from_json(json: &str) -> Result<Vec<ExperimentRun>, String> {
+    serde_json::from_str(json).map_err(|e| format!("invalid telemetry JSON: {e}"))
+}
+
+/// Parses a resource-utilization CSV into a [`ResourceSeries`].
+///
+/// Expected layout: a header row naming the resource features (any order,
+/// Table 2 names), then one row per sample. Additional columns are
+/// ignored; all seven resource features must be present. Example:
+///
+/// ```csv
+/// CPU_UTILIZATION,CPU_EFFECTIVE,MEM_UTILIZATION,IOPS_TOTAL,READ_WRITE_RATIO,LOCK_REQ_ABS,LOCK_WAIT_ABS
+/// 0.52,0.47,0.61,1520,1.4,3300,120
+/// ```
+pub fn resource_series_from_csv(
+    csv: &str,
+    sample_interval_secs: f64,
+) -> Result<ResourceSeries, String> {
+    let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty CSV")?;
+    let columns: Vec<&str> = header.split(',').map(str::trim).collect();
+
+    // map each catalog feature to its CSV column
+    let mut positions = Vec::with_capacity(ResourceFeature::ALL.len());
+    for f in ResourceFeature::ALL {
+        let pos = columns
+            .iter()
+            .position(|c| *c == f.name())
+            .ok_or_else(|| format!("missing column '{}'", f.name()))?;
+        positions.push(pos);
+    }
+
+    let mut rows = Vec::new();
+    for (line_no, line) in lines.enumerate() {
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        let mut row = Vec::with_capacity(positions.len());
+        for (&pos, f) in positions.iter().zip(ResourceFeature::ALL.iter()) {
+            let cell = cells.get(pos).ok_or_else(|| {
+                format!("line {}: too few cells for '{}'", line_no + 2, f.name())
+            })?;
+            let v: f64 = cell.parse().map_err(|_| {
+                format!(
+                    "line {}: cannot parse '{}' for '{}'",
+                    line_no + 2,
+                    cell,
+                    f.name()
+                )
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("CSV has a header but no samples".into());
+    }
+    Ok(ResourceSeries::new(
+        Matrix::from_rows(&rows),
+        sample_interval_secs,
+    ))
+}
+
+/// Renders a resource series back to the CSV layout accepted by
+/// [`resource_series_from_csv`].
+pub fn resource_series_to_csv(series: &ResourceSeries) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = ResourceFeature::ALL.iter().map(|f| f.name()).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for r in 0..series.len() {
+        let row: Vec<String> = series.data.row(r).iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{PlanStats, RunKey};
+
+    fn sample_run() -> ExperimentRun {
+        let rows: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..7).map(|c| (i * 7 + c) as f64 * 0.5).collect())
+            .collect();
+        ExperimentRun {
+            key: RunKey {
+                workload: "TPC-C".into(),
+                sku: "cpu8".into(),
+                terminals: 8,
+                run_index: 1,
+                data_group: 1,
+            },
+            resources: ResourceSeries::new(Matrix::from_rows(&rows), 10.0),
+            plans: PlanStats::new(
+                Matrix::from_rows(&[vec![1.5; 22], vec![2.5; 22]]),
+                vec!["NewOrder".into(), "Payment".into()],
+            ),
+            throughput: 812.5,
+            latency_ms: 9.8,
+            per_query_latency_ms: vec![11.0, 7.0],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let runs = vec![sample_run(), sample_run()];
+        let json = runs_to_json(&runs);
+        let back = runs_from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].key, runs[0].key);
+        assert_eq!(back[0].resources, runs[0].resources);
+        assert_eq!(back[0].plans, runs[0].plans);
+        assert_eq!(back[0].throughput, runs[0].throughput);
+        assert_eq!(back[0].per_query_latency_ms, runs[0].per_query_latency_ms);
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        assert!(runs_from_json("not json").is_err());
+        // valid JSON with a broken matrix invariant must also fail
+        let bad = r#"[{"key":{"workload":"w","sku":"s","terminals":1,"run_index":0,
+            "data_group":0},
+            "resources":{"data":{"rows":2,"cols":7,"data":[1.0]},
+                         "sample_interval_secs":10.0},
+            "plans":{"data":{"rows":0,"cols":22,"data":[]},"query_names":[]},
+            "throughput":1.0,"latency_ms":1.0,"per_query_latency_ms":[]}]"#;
+        let err = runs_from_json(bad).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let series = sample_run().resources;
+        let csv = resource_series_to_csv(&series);
+        let back = resource_series_from_csv(&csv, 10.0).unwrap();
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn csv_accepts_permuted_and_extra_columns() {
+        let csv = "timestamp,LOCK_WAIT_ABS,LOCK_REQ_ABS,READ_WRITE_RATIO,IOPS_TOTAL,\
+                   MEM_UTILIZATION,CPU_EFFECTIVE,CPU_UTILIZATION\n\
+                   0,6,5,4,3,2,1,0.5\n\
+                   10,60,50,40,30,20,10,5\n";
+        let series = resource_series_from_csv(csv, 10.0).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.feature(ResourceFeature::CpuUtilization), vec![0.5, 5.0]);
+        assert_eq!(series.feature(ResourceFeature::LockWaitAbs), vec![6.0, 60.0]);
+    }
+
+    #[test]
+    fn csv_missing_column_is_an_error() {
+        let csv = "CPU_UTILIZATION\n0.5\n";
+        let err = resource_series_from_csv(csv, 10.0).unwrap_err();
+        assert!(err.contains("missing column"), "{err}");
+    }
+
+    #[test]
+    fn csv_bad_cell_reports_location() {
+        let csv = "CPU_UTILIZATION,CPU_EFFECTIVE,MEM_UTILIZATION,IOPS_TOTAL,\
+                   READ_WRITE_RATIO,LOCK_REQ_ABS,LOCK_WAIT_ABS\n\
+                   0.5,abc,0.6,100,1,2,3\n";
+        let err = resource_series_from_csv(csv, 10.0).unwrap_err();
+        assert!(err.contains("line 2") && err.contains("CPU_EFFECTIVE"), "{err}");
+    }
+
+    #[test]
+    fn empty_csv_rejected() {
+        assert!(resource_series_from_csv("", 10.0).is_err());
+        assert!(resource_series_from_csv(
+            "CPU_UTILIZATION,CPU_EFFECTIVE,MEM_UTILIZATION,IOPS_TOTAL,READ_WRITE_RATIO,LOCK_REQ_ABS,LOCK_WAIT_ABS\n",
+            10.0
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! Feature catalog, telemetry containers, and sampling utilities.
+//!
+//! The paper collects two kinds of telemetry from every experiment
+//! (Table 2): seven **resource-utilization** features sampled as a
+//! time-series during execution, and twenty-two **query-plan statistics**
+//! captured once per query. This crate defines the typed catalog of those
+//! 29 features, the containers that hold observations
+//! ([`ResourceSeries`], [`PlanStats`], [`ExperimentRun`]), and the
+//! systematic/random sampling used to turn one experiment into ten
+//! sub-experiments (§2.1, §6.2). [`io`] is the interchange seam where
+//! real (non-simulated) telemetry enters the pipeline (JSON and CSV).
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod io;
+pub mod run;
+pub mod sampling;
+
+pub use features::{FeatureId, FeatureSet, PlanFeature, ResourceFeature, N_FEATURES};
+pub use run::{ExperimentRun, PlanStats, ResourceSeries, RunKey};
+pub use sampling::{random_downsample, systematic_subsample};

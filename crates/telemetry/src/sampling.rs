@@ -1,0 +1,150 @@
+//! Sub-experiment sampling.
+//!
+//! §2.1: "we use systematic sampling to generate ten sub-experiments from
+//! one single experiment". §6.2 additionally uses "random sampling without
+//! replacement to down-sample a time-series to ten smaller-sized series"
+//! as data augmentation. Both samplers operate on sample-index lists so
+//! they can be applied to [`crate::ResourceSeries`] via
+//! [`crate::ResourceSeries::select_samples`].
+
+use crate::run::ResourceSeries;
+
+/// Systematic sampling: splits `n` samples into `k` interleaved
+/// sub-experiments; sub-experiment `i` takes samples `i, i+k, i+2k, …`.
+///
+/// Returns `k` index lists. Sub-experiments differ in length by at most
+/// one when `k ∤ n`.
+pub fn systematic_indices(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one sub-experiment");
+    let mut subs = vec![Vec::with_capacity(n / k + 1); k];
+    for i in 0..n {
+        subs[i % k].push(i);
+    }
+    subs
+}
+
+/// Applies [`systematic_indices`] to a resource series, producing `k`
+/// sub-series.
+pub fn systematic_subsample(series: &ResourceSeries, k: usize) -> Vec<ResourceSeries> {
+    systematic_indices(series.len(), k)
+        .iter()
+        .map(|idx| series.select_samples(idx))
+        .collect()
+}
+
+/// Random sampling **without replacement**: draws `m` of `n` indices using
+/// a seeded xorshift generator, returned in ascending order so temporal
+/// structure is preserved.
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+pub fn random_indices_without_replacement(n: usize, m: usize, seed: u64) -> Vec<usize> {
+    assert!(m <= n, "cannot draw {m} samples from {n}");
+    // Fisher-Yates on a scratch index vector driven by xorshift64*.
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..m {
+        let j = i + (next() as usize) % (n - i);
+        idx.swap(i, j);
+    }
+    let mut out = idx[..m].to_vec();
+    out.sort_unstable();
+    out
+}
+
+/// Down-samples a resource series to `k` random sub-series of `m` samples
+/// each (the paper's data-augmentation recipe: 10 smaller series per run).
+pub fn random_downsample(
+    series: &ResourceSeries,
+    k: usize,
+    m: usize,
+    seed: u64,
+) -> Vec<ResourceSeries> {
+    (0..k)
+        .map(|i| {
+            let idx =
+                random_indices_without_replacement(series.len(), m, seed.wrapping_add(i as u64));
+            series.select_samples(&idx)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_linalg::Matrix;
+
+    fn series(n: usize) -> ResourceSeries {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64; 7]).collect();
+        ResourceSeries::new(Matrix::from_rows(&rows), 10.0)
+    }
+
+    #[test]
+    fn systematic_partitions_everything() {
+        let subs = systematic_indices(25, 10);
+        assert_eq!(subs.len(), 10);
+        let total: usize = subs.iter().map(Vec::len).sum();
+        assert_eq!(total, 25);
+        // first 5 subs get 3 samples, the rest 2
+        assert_eq!(subs[0], vec![0, 10, 20]);
+        assert_eq!(subs[9], vec![9, 19]);
+    }
+
+    #[test]
+    fn systematic_subsample_on_series() {
+        let s = series(20);
+        let subs = systematic_subsample(&s, 10);
+        assert_eq!(subs.len(), 10);
+        assert!(subs.iter().all(|ss| ss.len() == 2));
+        assert_eq!(subs[3].data[(0, 0)], 3.0);
+        assert_eq!(subs[3].data[(1, 0)], 13.0);
+    }
+
+    #[test]
+    fn random_indices_are_sorted_unique_and_in_range() {
+        let idx = random_indices_without_replacement(100, 30, 42);
+        assert_eq!(idx.len(), 30);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1], "not strictly increasing: {idx:?}");
+        }
+        assert!(*idx.last().unwrap() < 100);
+    }
+
+    #[test]
+    fn random_indices_deterministic_per_seed() {
+        let a = random_indices_without_replacement(50, 10, 7);
+        let b = random_indices_without_replacement(50, 10, 7);
+        assert_eq!(a, b);
+        let c = random_indices_without_replacement(50, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_downsample_produces_k_series_of_m() {
+        let s = series(60);
+        let subs = random_downsample(&s, 10, 20, 1);
+        assert_eq!(subs.len(), 10);
+        assert!(subs.iter().all(|ss| ss.len() == 20));
+        // different draws differ
+        assert_ne!(subs[0].data, subs[1].data);
+    }
+
+    #[test]
+    fn full_draw_is_identity() {
+        let idx = random_indices_without_replacement(10, 10, 3);
+        assert_eq!(idx, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn oversampling_rejected() {
+        let _ = random_indices_without_replacement(5, 6, 0);
+    }
+}

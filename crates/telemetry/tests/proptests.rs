@@ -1,0 +1,76 @@
+//! Property-based tests for the telemetry containers and samplers.
+
+use proptest::prelude::*;
+use wp_linalg::Matrix;
+use wp_telemetry::sampling::{
+    random_indices_without_replacement, systematic_indices,
+};
+use wp_telemetry::{FeatureId, ResourceSeries, N_FEATURES};
+
+proptest! {
+    #[test]
+    fn systematic_indices_partition(n in 1usize..500, k in 1usize..20) {
+        let subs = systematic_indices(n, k);
+        prop_assert_eq!(subs.len(), k);
+        let mut seen = vec![false; n];
+        for sub in &subs {
+            for &i in sub {
+                prop_assert!(!seen[i], "index {i} duplicated");
+                seen[i] = true;
+            }
+            // strictly increasing within a sub-experiment
+            for w in sub.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // balanced: sizes differ by at most one
+        let sizes: Vec<usize> = subs.iter().map(Vec::len).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn random_draw_is_sorted_unique_subset(
+        n in 1usize..300,
+        frac in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let m = ((n as f64) * frac) as usize;
+        let idx = random_indices_without_replacement(n, m, seed);
+        prop_assert_eq!(idx.len(), m);
+        for w in idx.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        if let Some(&last) = idx.last() {
+            prop_assert!(last < n);
+        }
+    }
+
+    #[test]
+    fn feature_id_roundtrip_total(idx in 0usize..N_FEATURES) {
+        let f = FeatureId::from_global_index(idx);
+        prop_assert_eq!(f.global_index(), idx);
+        prop_assert_eq!(FeatureId::by_name(f.name()), Some(f));
+        prop_assert!(f.is_plan() != f.is_resource());
+    }
+
+    #[test]
+    fn resource_series_select_preserves_values(
+        n in 1usize..50,
+        pick in proptest::collection::vec(0usize..50, 1..20),
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..7).map(|c| (i * 7 + c) as f64).collect())
+            .collect();
+        let s = ResourceSeries::new(Matrix::from_rows(&rows), 10.0);
+        let idx: Vec<usize> = pick.into_iter().filter(|&i| i < n).collect();
+        prop_assume!(!idx.is_empty());
+        let sub = s.select_samples(&idx);
+        prop_assert_eq!(sub.len(), idx.len());
+        for (row, &src) in idx.iter().enumerate().map(|(r, s)| (r, s)) {
+            prop_assert_eq!(sub.data.row(row), s.data.row(src));
+        }
+    }
+}

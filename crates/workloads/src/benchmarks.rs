@@ -1,0 +1,765 @@
+//! Concrete workload models for the paper's five standardized benchmarks
+//! plus the production workload PW.
+//!
+//! The numbers below are calibrated so the *relationships* the paper
+//! reports hold in the synthetic telemetry:
+//!
+//! * TPC-C and Twitter are point-lookup workloads — their distinctive plan
+//!   features are `AvgRowSize`, `TableCardinality`, `CachedPlanSize`, and
+//!   compile-memory statistics, and their Figure 3 coupling profiles
+//!   overlap in six features.
+//! * TPC-H (and TPC-DS) are scan-heavy analytical workloads —
+//!   `READ_WRITE_RATIO`, `IOPS_TOTAL`, `SerialDesiredMemory`, and
+//!   `EstimateIO` dominate; exactly one coupled feature
+//!   (`StatementEstRows`) is shared with the point-lookup workloads.
+//! * YCSB is I/O-intensive and mixed — it prioritizes both I/O features
+//!   (`EstimateIO`, `EstimatedAvailableMemoryGrant`) and plan features
+//!   (`TableCardinality`, `SerialDesiredMemory`), per §4.3.1.
+//! * `EstimateRebinds`, `EstimateRewinds`, and the estimated degree of
+//!   parallelism carry no between-workload signal anywhere (§4.3.1 finds
+//!   them "usually considered unimportant").
+//! * `LOCK_WAIT_ABS` is given high *variance* but no coupling, which is
+//!   what makes variance-driven wrapper selectors pick it while Lasso
+//!   ignores it (§4.3.2).
+
+use wp_telemetry::{FeatureId, PlanFeature, ResourceFeature};
+
+use crate::spec::{
+    CostProfile, PlanSignatureBuilder, TransactionSpec, UslCoefficients, WorkloadKind,
+    WorkloadSpec,
+};
+
+use FeatureId::{Plan, Resource};
+
+/// Deterministic log-uniform variation helper for programmatically
+/// generated query sets (TPC-DS's 99 templates, PW's 500+).
+fn vary(seed: u64, lo: f64, hi: f64) -> f64 {
+    // splitmix64 → uniform in [0,1) → log-interpolate
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+fn txn(
+    name: &str,
+    weight: f64,
+    read_only: bool,
+    cost: CostProfile,
+    plan: Vec<f64>,
+) -> TransactionSpec {
+    TransactionSpec {
+        name: name.to_string(),
+        weight,
+        read_only,
+        cost,
+        plan_signature: plan,
+    }
+}
+
+/// TPC-C at scale factor 100 (Table 1: 9 tables, 92 columns, 1 index,
+/// 5 transaction types, 8 % read-only, transactional).
+pub fn tpcc() -> WorkloadSpec {
+    let card = 3.0e7; // order-line at SF 100
+    let plan = |est_rows: f64, cost: f64, avg_row: f64, plan_kb: f64, locksy: f64| {
+        PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, cost)
+            .set(PlanFeature::CompileCpu, 14.0 + cost * 2.0)
+            .set(PlanFeature::TableCardinality, card)
+            .set(PlanFeature::SerialDesiredMemory, 180.0 + est_rows * 0.05)
+            .set(PlanFeature::SerialRequiredMemory, 96.0)
+            .set(PlanFeature::MaxCompileMemory, 620.0 + plan_kb * 1.5)
+            .set(PlanFeature::EstimatedPagesCached, 2.0e4)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, 9.0e4)
+            .set(PlanFeature::CachedPlanSize, plan_kb)
+            .set(PlanFeature::AvgRowSize, avg_row)
+            .set(PlanFeature::CompileMemory, 310.0 + plan_kb)
+            .set(PlanFeature::EstimateRows, est_rows)
+            .set(PlanFeature::EstimateIo, 0.02 + locksy * 0.002)
+            .set(PlanFeature::CompileTime, 9.0 + plan_kb * 0.08)
+            .set(PlanFeature::GrantedMemory, 1024.0)
+            .set(PlanFeature::EstimateCpu, 0.4 + est_rows * 1e-4)
+            .set(PlanFeature::MaxUsedMemory, 900.0)
+            .set(PlanFeature::EstimatedRowsRead, est_rows * 3.0)
+            .build()
+    };
+    WorkloadSpec {
+        name: "TPC-C".into(),
+        kind: WorkloadKind::Transactional,
+        tables: 9,
+        columns: 92,
+        indexes: 1,
+        scale_factor: 100.0,
+        transactions: vec![
+            txn(
+                "NewOrder",
+                45.0,
+                false,
+                CostProfile {
+                    cpu_ms: 7.5,
+                    io_ops: 22.0,
+                    mem_mb: 4.0,
+                    lock_footprint: 26.0,
+                },
+                plan(12.0, 0.11, 290.0, 152.0, 26.0),
+            ),
+            txn(
+                "Payment",
+                43.0,
+                false,
+                CostProfile {
+                    cpu_ms: 3.2,
+                    io_ops: 9.0,
+                    mem_mb: 2.0,
+                    lock_footprint: 13.0,
+                },
+                plan(4.0, 0.05, 210.0, 96.0, 13.0),
+            ),
+            txn(
+                "OrderStatus",
+                4.0,
+                true,
+                CostProfile {
+                    cpu_ms: 2.1,
+                    io_ops: 6.0,
+                    mem_mb: 2.0,
+                    lock_footprint: 2.0,
+                },
+                plan(18.0, 0.04, 250.0, 88.0, 2.0),
+            ),
+            txn(
+                "Delivery",
+                4.0,
+                false,
+                CostProfile {
+                    cpu_ms: 11.8,
+                    io_ops: 32.0,
+                    mem_mb: 5.0,
+                    lock_footprint: 42.0,
+                },
+                plan(120.0, 0.32, 180.0, 204.0, 42.0),
+            ),
+            txn(
+                "StockLevel",
+                4.0,
+                true,
+                CostProfile {
+                    cpu_ms: 5.4,
+                    io_ops: 16.0,
+                    mem_mb: 3.0,
+                    lock_footprint: 3.0,
+                },
+                plan(380.0, 0.55, 96.0, 120.0, 3.0),
+            ),
+        ],
+        usl: UslCoefficients {
+            sigma: 0.08,
+            kappa: 0.004,
+        },
+        coupling: vec![
+            (Plan(PlanFeature::AvgRowSize), 1.0),
+            (Plan(PlanFeature::TableCardinality), 0.85),
+            (Plan(PlanFeature::CachedPlanSize), 0.72),
+            (Resource(ResourceFeature::CpuEffective), 0.60),
+            (Plan(PlanFeature::MaxCompileMemory), 0.50),
+            (Plan(PlanFeature::StatementEstRows), 0.40),
+            (Plan(PlanFeature::CompileMemory), 0.32),
+            (Resource(ResourceFeature::LockReqAbs), 0.08),
+        ],
+        phases: 2,
+    }
+}
+
+/// TPC-H at scale factor 10 (Table 1: 8 tables, 61 columns, 23 indexes,
+/// 22 read-only query templates, analytical; runs serially → 1 terminal).
+pub fn tpch() -> WorkloadSpec {
+    let lineitem = 6.0e7; // SF 10
+    let mut transactions = Vec::with_capacity(22);
+    for q in 1..=22u64 {
+        let est_rows = vary(q * 31, 5.0e4, 4.0e7);
+        let io = vary(q * 57, 180.0, 2800.0);
+        let mem = vary(q * 91, 400.0, 3600.0);
+        let cpu_ms = vary(q * 17, 900.0, 14000.0);
+        let plan = PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, io * 1.8)
+            .set(PlanFeature::CompileCpu, 110.0 + io * 0.05)
+            .set(PlanFeature::TableCardinality, lineitem)
+            .set(PlanFeature::SerialDesiredMemory, mem * 1024.0)
+            .set(PlanFeature::SerialRequiredMemory, mem * 240.0)
+            .set(PlanFeature::MaxCompileMemory, 2400.0)
+            .set(PlanFeature::EstimatedPagesCached, 4.0e5)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, 5.0e5)
+            .set(PlanFeature::CachedPlanSize, 340.0)
+            .set(PlanFeature::AvgRowSize, vary(q * 13, 36.0, 130.0))
+            .set(PlanFeature::CompileMemory, 1450.0)
+            .set(PlanFeature::EstimateRows, est_rows * 0.8)
+            .set(PlanFeature::EstimateIo, io)
+            .set(PlanFeature::CompileTime, 60.0)
+            .set(PlanFeature::GrantedMemory, mem * 820.0)
+            .set(PlanFeature::EstimateCpu, cpu_ms * 0.9)
+            .set(PlanFeature::MaxUsedMemory, mem * 760.0)
+            .set(PlanFeature::EstimatedRowsRead, lineitem * 0.8)
+            .build();
+        transactions.push(txn(
+            &format!("Q{q}"),
+            1.0,
+            true,
+            CostProfile {
+                cpu_ms,
+                io_ops: io * 10.0,
+                mem_mb: mem,
+                lock_footprint: 0.0,
+            },
+            plan,
+        ));
+    }
+    WorkloadSpec {
+        name: "TPC-H".into(),
+        kind: WorkloadKind::Analytical,
+        tables: 8,
+        columns: 61,
+        indexes: 23,
+        scale_factor: 10.0,
+        transactions,
+        usl: UslCoefficients {
+            sigma: 0.008,
+            kappa: 0.0002,
+        },
+        coupling: vec![
+            (Resource(ResourceFeature::ReadWriteRatio), 1.0),
+            (Resource(ResourceFeature::IopsTotal), 0.85),
+            (Plan(PlanFeature::SerialDesiredMemory), 0.72),
+            (Plan(PlanFeature::EstimateIo), 0.60),
+            (Plan(PlanFeature::MaxUsedMemory), 0.50),
+            (Plan(PlanFeature::GrantedMemory), 0.40),
+            (Plan(PlanFeature::StatementEstRows), 0.32),
+        ],
+        phases: 3,
+    }
+}
+
+/// TPC-DS at scale factor 1 (Table 1: 24 tables, 425 columns, 0 indexes,
+/// 99 read-only query templates, analytical).
+pub fn tpcds() -> WorkloadSpec {
+    let store_sales = 9.0e7; // star-schema joins touch the biggest fact tables
+    let mut transactions = Vec::with_capacity(99);
+    for q in 1..=99u64 {
+        let est_rows = vary(q * 101, 1.2e5, 7.0e7);
+        let io = vary(q * 103, 280.0, 3800.0);
+        let mem = vary(q * 107, 550.0, 4500.0);
+        let cpu_ms = vary(q * 109, 1200.0, 16000.0);
+        let plan = PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, io * 2.1)
+            .set(PlanFeature::CompileCpu, 320.0) // complex 99-template workload
+            .set(PlanFeature::TableCardinality, store_sales)
+            .set(PlanFeature::SerialDesiredMemory, mem * 1024.0)
+            .set(PlanFeature::SerialRequiredMemory, mem * 256.0)
+            .set(PlanFeature::MaxCompileMemory, 4100.0)
+            .set(PlanFeature::EstimatedPagesCached, 3.5e5)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, 5.0e5)
+            .set(PlanFeature::CachedPlanSize, 520.0)
+            .set(PlanFeature::AvgRowSize, vary(q * 113, 40.0, 140.0))
+            .set(PlanFeature::CompileMemory, 2300.0)
+            .set(PlanFeature::EstimateRows, est_rows * 0.85)
+            .set(PlanFeature::EstimateIo, io)
+            .set(PlanFeature::CompileTime, 140.0)
+            .set(PlanFeature::GrantedMemory, mem * 800.0)
+            .set(PlanFeature::EstimateCpu, cpu_ms * 0.9)
+            .set(PlanFeature::MaxUsedMemory, mem * 700.0)
+            .set(PlanFeature::EstimatedRowsRead, store_sales * 0.7)
+            .build();
+        transactions.push(txn(
+            &format!("Q{q}"),
+            1.0,
+            true,
+            CostProfile {
+                cpu_ms,
+                io_ops: io * 9.0,
+                mem_mb: mem,
+                lock_footprint: 0.0,
+            },
+            plan,
+        ));
+    }
+    WorkloadSpec {
+        name: "TPC-DS".into(),
+        kind: WorkloadKind::Analytical,
+        tables: 24,
+        columns: 425,
+        indexes: 0,
+        scale_factor: 1.0,
+        transactions,
+        usl: UslCoefficients {
+            sigma: 0.025,
+            kappa: 0.0006,
+        },
+        coupling: vec![
+            (Plan(PlanFeature::EstimateRows), 1.0),
+            (Plan(PlanFeature::EstimateIo), 0.85),
+            (Resource(ResourceFeature::ReadWriteRatio), 0.72),
+            (Plan(PlanFeature::SerialDesiredMemory), 0.60),
+            (Plan(PlanFeature::StatementSubTreeCost), 0.50),
+            (Plan(PlanFeature::MaxUsedMemory), 0.40),
+            (Resource(ResourceFeature::IopsTotal), 0.32),
+        ],
+        phases: 3,
+    }
+}
+
+/// Twitter at scale factor 1600 (Table 1: 5 tables, 18 columns, 4 indexes,
+/// 5 transaction types, 99 % read-only; categorized analytical by the
+/// paper because the point-lookup reads dominate its behaviour).
+pub fn twitter() -> WorkloadSpec {
+    let tweets = 1.8e7;
+    let plan = |est_rows: f64, avg_row: f64, plan_kb: f64| {
+        PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, 0.04)
+            .set(PlanFeature::CompileCpu, 8.0)
+            .set(PlanFeature::TableCardinality, tweets)
+            .set(PlanFeature::SerialDesiredMemory, 140.0)
+            .set(PlanFeature::SerialRequiredMemory, 72.0)
+            .set(PlanFeature::MaxCompileMemory, 540.0 + plan_kb)
+            .set(PlanFeature::EstimatedPagesCached, 3.0e4)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, 9.0e4)
+            .set(PlanFeature::CachedPlanSize, plan_kb)
+            .set(PlanFeature::AvgRowSize, avg_row)
+            .set(PlanFeature::CompileMemory, 260.0 + plan_kb * 0.8)
+            .set(PlanFeature::EstimateRows, est_rows)
+            .set(PlanFeature::EstimateIo, 0.01)
+            .set(PlanFeature::CompileTime, 6.0)
+            .set(PlanFeature::GrantedMemory, 768.0)
+            .set(PlanFeature::EstimateCpu, 0.2)
+            .set(PlanFeature::MaxUsedMemory, 620.0)
+            .set(PlanFeature::EstimatedRowsRead, est_rows * 1.2)
+            .build()
+    };
+    WorkloadSpec {
+        name: "Twitter".into(),
+        kind: WorkloadKind::Analytical,
+        tables: 5,
+        columns: 18,
+        indexes: 4,
+        scale_factor: 1600.0,
+        transactions: vec![
+            txn(
+                "GetTweet",
+                40.0,
+                true,
+                CostProfile {
+                    cpu_ms: 0.8,
+                    io_ops: 1.6,
+                    mem_mb: 0.4,
+                    lock_footprint: 1.0,
+                },
+                plan(1.0, 230.0, 64.0),
+            ),
+            txn(
+                "GetTweetsFromFollowing",
+                25.0,
+                true,
+                CostProfile {
+                    cpu_ms: 1.6,
+                    io_ops: 3.2,
+                    mem_mb: 1.0,
+                    lock_footprint: 1.0,
+                },
+                plan(20.0, 255.0, 112.0),
+            ),
+            txn(
+                "GetFollowers",
+                15.0,
+                true,
+                CostProfile {
+                    cpu_ms: 1.2,
+                    io_ops: 2.6,
+                    mem_mb: 0.9,
+                    lock_footprint: 1.0,
+                },
+                plan(50.0, 96.0, 98.0),
+            ),
+            txn(
+                "GetUserTweets",
+                19.0,
+                true,
+                CostProfile {
+                    cpu_ms: 1.3,
+                    io_ops: 2.4,
+                    mem_mb: 0.9,
+                    lock_footprint: 1.0,
+                },
+                plan(20.0, 240.0, 104.0),
+            ),
+            txn(
+                "InsertTweet",
+                1.0,
+                false,
+                CostProfile {
+                    cpu_ms: 1.0,
+                    io_ops: 3.4,
+                    mem_mb: 0.4,
+                    lock_footprint: 4.0,
+                },
+                plan(1.0, 210.0, 58.0),
+            ),
+        ],
+        usl: UslCoefficients {
+            sigma: 0.03,
+            kappa: 0.001,
+        },
+        coupling: vec![
+            (Plan(PlanFeature::AvgRowSize), 1.0),
+            (Plan(PlanFeature::TableCardinality), 0.85),
+            (Plan(PlanFeature::CachedPlanSize), 0.72),
+            (Plan(PlanFeature::MaxCompileMemory), 0.60),
+            (Plan(PlanFeature::CompileMemory), 0.50),
+            (Plan(PlanFeature::StatementEstRows), 0.40),
+            (Plan(PlanFeature::CompileTime), 0.32),
+        ],
+        phases: 1,
+    }
+}
+
+/// YCSB at scale factor 3200, skew 0.99 (Table 1: 1 table, 11 columns,
+/// 0 indexes, mixed). The transaction set follows the six YCSB operation
+/// types exercised by the paper's Example 1 / Figure 1 (Table 1 counts
+/// five; we keep all six and note the discrepancy in EXPERIMENTS.md).
+pub fn ycsb() -> WorkloadSpec {
+    ycsb_mix("YCSB", [35.0, 15.0, 20.0, 10.0, 5.0, 15.0])
+}
+
+/// A YCSB operation mixture with custom weights for
+/// `[Read, Scan, Update, Insert, Delete, ReadModifyWrite]` — the paper's
+/// Example 1 customer runs "a mixture of six different types of
+/// transactions from the YCSB workload", and providers observe other
+/// mixtures of the same operations (used as reference workloads in the
+/// Figure 1 experiment).
+pub fn ycsb_mix(name: &str, weights: [f64; 6]) -> WorkloadSpec {
+    let usertable = 2.8e7;
+    let plan = |est_rows: f64, io: f64, mem_grant: f64| {
+        PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, 0.03 + io * 0.01)
+            .set(PlanFeature::CompileCpu, 13.0)
+            .set(PlanFeature::TableCardinality, usertable)
+            .set(PlanFeature::SerialDesiredMemory, 200.0 + io * 30.0)
+            .set(PlanFeature::SerialRequiredMemory, 90.0)
+            .set(PlanFeature::MaxCompileMemory, 700.0)
+            .set(PlanFeature::EstimatedPagesCached, 2.2e4)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, mem_grant)
+            .set(PlanFeature::CachedPlanSize, 120.0)
+            .set(PlanFeature::AvgRowSize, 1100.0) // 10 × 100-byte fields
+            .set(PlanFeature::CompileMemory, 450.0)
+            .set(PlanFeature::EstimateRows, est_rows)
+            .set(PlanFeature::EstimateIo, io)
+            .set(PlanFeature::CompileTime, 10.0)
+            .set(PlanFeature::GrantedMemory, 900.0)
+            .set(PlanFeature::EstimateCpu, 0.35)
+            .set(PlanFeature::MaxUsedMemory, 800.0)
+            .set(PlanFeature::EstimatedRowsRead, est_rows * 1.1)
+            .build()
+    };
+    WorkloadSpec {
+        name: name.to_string(),
+        kind: WorkloadKind::Mixed,
+        tables: 1,
+        columns: 11,
+        indexes: 0,
+        scale_factor: 3200.0,
+        transactions: vec![
+            txn(
+                "Read",
+                weights[0],
+                true,
+                CostProfile {
+                    cpu_ms: 0.5,
+                    io_ops: 2.2,
+                    mem_mb: 0.3,
+                    lock_footprint: 1.0,
+                },
+                plan(1.0, 0.6, 1.1e5),
+            ),
+            txn(
+                "Scan",
+                weights[1],
+                true,
+                CostProfile {
+                    cpu_ms: 2.6,
+                    io_ops: 16.0,
+                    mem_mb: 2.2,
+                    lock_footprint: 1.0,
+                },
+                plan(900.0, 4.0, 2.4e5),
+            ),
+            txn(
+                "Update",
+                weights[2],
+                false,
+                CostProfile {
+                    cpu_ms: 0.6,
+                    io_ops: 3.4,
+                    mem_mb: 0.3,
+                    lock_footprint: 2.0,
+                },
+                plan(1.0, 0.9, 1.2e5),
+            ),
+            txn(
+                "Insert",
+                weights[3],
+                false,
+                CostProfile {
+                    cpu_ms: 0.6,
+                    io_ops: 3.2,
+                    mem_mb: 0.3,
+                    lock_footprint: 2.0,
+                },
+                plan(1.0, 0.9, 1.2e5),
+            ),
+            txn(
+                "Delete",
+                weights[4],
+                false,
+                CostProfile {
+                    cpu_ms: 0.5,
+                    io_ops: 2.8,
+                    mem_mb: 0.3,
+                    lock_footprint: 2.0,
+                },
+                plan(1.0, 0.8, 1.2e5),
+            ),
+            txn(
+                "ReadModifyWrite",
+                weights[5],
+                false,
+                CostProfile {
+                    cpu_ms: 1.1,
+                    io_ops: 4.6,
+                    mem_mb: 0.5,
+                    lock_footprint: 3.0,
+                },
+                plan(1.0, 1.4, 1.3e5),
+            ),
+        ],
+        usl: UslCoefficients {
+            sigma: 0.05,
+            kappa: 0.002,
+        },
+        coupling: vec![
+            (Plan(PlanFeature::EstimateIo), 1.0),
+            (Plan(PlanFeature::EstimatedAvailableMemoryGrant), 0.85),
+            (Resource(ResourceFeature::CpuEffective), 0.72),
+            (Plan(PlanFeature::TableCardinality), 0.60),
+            (Plan(PlanFeature::SerialDesiredMemory), 0.50),
+            (Resource(ResourceFeature::IopsTotal), 0.40),
+            (Plan(PlanFeature::AvgRowSize), 0.32),
+        ],
+        phases: 1,
+    }
+}
+
+/// The production workload PW (§2.1): a decision-support system querying
+/// telemetry data, 500+ mostly read-only templates of simple analytical
+/// queries. Only plan features are observable for PW in the paper (§5.2.3);
+/// the experiment harness enforces that restriction — the model itself
+/// still defines costs so the simulator can execute it.
+pub fn pw() -> WorkloadSpec {
+    let telemetry_table = 5.0e7;
+    let mut transactions = Vec::with_capacity(500);
+    for q in 1..=500u64 {
+        let est_rows = vary(q * 211, 4.0e4, 2.5e7);
+        let io = vary(q * 223, 150.0, 2200.0);
+        let mem = vary(q * 227, 350.0, 3000.0);
+        let write = q % 25 == 0; // 4 % write templates → "mostly" read-only
+        let plan = PlanSignatureBuilder::new()
+            .set(PlanFeature::StatementEstRows, est_rows)
+            .set(PlanFeature::StatementSubTreeCost, io * 1.9)
+            .set(PlanFeature::CompileCpu, 115.0)
+            .set(PlanFeature::TableCardinality, telemetry_table)
+            .set(PlanFeature::SerialDesiredMemory, mem * 1024.0)
+            .set(PlanFeature::SerialRequiredMemory, mem * 230.0)
+            .set(PlanFeature::MaxCompileMemory, 2350.0)
+            .set(PlanFeature::EstimatedPagesCached, 3.8e5)
+            .set(PlanFeature::EstimatedAvailableDegreeOfParallelism, 1.0)
+            .set(PlanFeature::EstimatedAvailableMemoryGrant, 4.2e5)
+            .set(PlanFeature::CachedPlanSize, 335.0)
+            .set(PlanFeature::AvgRowSize, vary(q * 229, 38.0, 132.0))
+            .set(PlanFeature::CompileMemory, 1420.0)
+            .set(PlanFeature::EstimateRows, est_rows * 0.8)
+            .set(PlanFeature::EstimateIo, io)
+            .set(PlanFeature::CompileTime, 58.0)
+            .set(PlanFeature::GrantedMemory, mem * 790.0)
+            .set(PlanFeature::EstimateCpu, vary(q * 233, 80.0, 2600.0))
+            .set(PlanFeature::MaxUsedMemory, mem * 700.0)
+            .set(PlanFeature::EstimatedRowsRead, telemetry_table * 0.5)
+            .build();
+        transactions.push(txn(
+            &format!("PWQ{q}"),
+            1.0,
+            !write,
+            CostProfile {
+                cpu_ms: vary(q * 239, 150.0, 3800.0),
+                io_ops: io * 9.0,
+                mem_mb: mem,
+                lock_footprint: if write { 6.0 } else { 0.0 },
+            },
+            plan,
+        ));
+    }
+    WorkloadSpec {
+        name: "PW".into(),
+        kind: WorkloadKind::Mixed,
+        tables: 31,
+        columns: 512,
+        indexes: 12,
+        scale_factor: 1.0,
+        transactions,
+        usl: UslCoefficients {
+            sigma: 0.03,
+            kappa: 0.0008,
+        },
+        coupling: vec![
+            (Resource(ResourceFeature::CpuEffective), 1.0),
+            (Plan(PlanFeature::TableCardinality), 0.85),
+            (Plan(PlanFeature::StatementEstRows), 0.72),
+            (Plan(PlanFeature::EstimateIo), 0.60),
+            (Resource(ResourceFeature::ReadWriteRatio), 0.50),
+            (Plan(PlanFeature::SerialDesiredMemory), 0.40),
+            (Plan(PlanFeature::EstimateRows), 0.32),
+        ],
+        phases: 2,
+    }
+}
+
+/// The five standardized benchmarks of Table 1 (PW excluded).
+pub fn standardized() -> Vec<WorkloadSpec> {
+    vec![tpcc(), tpch(), twitter(), ycsb(), tpcds()]
+}
+
+/// Every workload model including PW.
+pub fn all() -> Vec<WorkloadSpec> {
+    let mut v = standardized();
+    v.push(pw());
+    v
+}
+
+/// Looks a workload model up by its Table 1 name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_validate() {
+        for w in all() {
+            w.validate();
+        }
+    }
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        let c = tpcc();
+        assert_eq!((c.tables, c.columns, c.indexes), (9, 92, 1));
+        assert_eq!(c.transactions.len(), 5);
+        assert!((c.read_only_fraction() - 0.08).abs() < 1e-9);
+        assert_eq!(c.kind, WorkloadKind::Transactional);
+
+        let h = tpch();
+        assert_eq!((h.tables, h.columns, h.indexes), (8, 61, 23));
+        assert_eq!(h.transactions.len(), 22);
+        assert_eq!(h.read_only_fraction(), 1.0);
+
+        let t = twitter();
+        assert_eq!(t.transactions.len(), 5);
+        assert!((t.read_only_fraction() - 0.99).abs() < 1e-9);
+
+        let y = ycsb();
+        assert_eq!(y.tables, 1);
+        assert!((y.read_only_fraction() - 0.50).abs() < 1e-9);
+        assert_eq!(y.kind, WorkloadKind::Mixed);
+
+        let d = tpcds();
+        assert_eq!((d.tables, d.columns, d.indexes), (24, 425, 0));
+        assert_eq!(d.transactions.len(), 99);
+        assert_eq!(d.read_only_fraction(), 1.0);
+    }
+
+    #[test]
+    fn pw_is_mostly_read_only_with_many_templates() {
+        let p = pw();
+        assert!(p.transactions.len() >= 500);
+        assert!(p.read_only_fraction() > 0.9);
+    }
+
+    #[test]
+    fn tpcc_twitter_coupling_overlap_is_six() {
+        let c: std::collections::HashSet<_> =
+            tpcc().top_coupled_features(7).into_iter().collect();
+        let t: std::collections::HashSet<_> =
+            twitter().top_coupled_features(7).into_iter().collect();
+        assert_eq!(c.intersection(&t).count(), 6);
+    }
+
+    #[test]
+    fn tpch_overlaps_pointlookup_workloads_in_one_feature() {
+        let h: std::collections::HashSet<_> =
+            tpch().top_coupled_features(7).into_iter().collect();
+        let c: std::collections::HashSet<_> =
+            tpcc().top_coupled_features(7).into_iter().collect();
+        let t: std::collections::HashSet<_> =
+            twitter().top_coupled_features(7).into_iter().collect();
+        assert_eq!(h.intersection(&c).count(), 1);
+        assert_eq!(h.intersection(&t).count(), 1);
+    }
+
+    #[test]
+    fn ycsb_couples_io_and_plan_features() {
+        let top: Vec<_> = ycsb().top_coupled_features(7);
+        assert!(top.contains(&Plan(PlanFeature::EstimateIo)));
+        assert!(top.contains(&Plan(PlanFeature::EstimatedAvailableMemoryGrant)));
+        assert!(top.contains(&Resource(ResourceFeature::CpuEffective)));
+        assert!(top.contains(&Plan(PlanFeature::TableCardinality)));
+        assert!(top.contains(&Plan(PlanFeature::SerialDesiredMemory)));
+    }
+
+    #[test]
+    fn pw_top4_matches_paper() {
+        let top: Vec<_> = pw().top_coupled_features(4);
+        assert_eq!(
+            top,
+            vec![
+                Resource(ResourceFeature::CpuEffective),
+                Plan(PlanFeature::TableCardinality),
+                Plan(PlanFeature::StatementEstRows),
+                Plan(PlanFeature::EstimateIo),
+            ]
+        );
+    }
+
+    #[test]
+    fn vary_is_deterministic_and_in_range() {
+        let a = vary(42, 10.0, 100.0);
+        let b = vary(42, 10.0, 100.0);
+        assert_eq!(a, b);
+        assert!((10.0..=100.0).contains(&a));
+        assert_ne!(vary(1, 10.0, 100.0), vary(2, 10.0, 100.0));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("TPC-C").is_some());
+        assert!(by_name("TPC-X").is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 1 metadata rendering: the workload overview the paper prints.
+
+use crate::benchmarks;
+use crate::spec::WorkloadSpec;
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub workload: String,
+    /// Table count.
+    pub tables: usize,
+    /// Column count.
+    pub columns: usize,
+    /// Index count.
+    pub indexes: usize,
+    /// Number of transaction templates.
+    pub txn_types: usize,
+    /// Percentage of read-only transactions (0–100).
+    pub read_only_pct: f64,
+    /// Workload type label.
+    pub kind: &'static str,
+}
+
+/// Builds the Table 1 row for a workload model.
+pub fn table1_row(spec: &WorkloadSpec) -> Table1Row {
+    Table1Row {
+        workload: spec.name.clone(),
+        tables: spec.tables,
+        columns: spec.columns,
+        indexes: spec.indexes,
+        txn_types: spec.transactions.len(),
+        read_only_pct: spec.read_only_fraction() * 100.0,
+        kind: spec.kind.label(),
+    }
+}
+
+/// All Table 1 rows (five standardized benchmarks plus PW).
+pub fn table1() -> Vec<Table1Row> {
+    benchmarks::all().iter().map(table1_row).collect()
+}
+
+/// Renders Table 1 as aligned text.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<9} {:>7} {:>8} {:>8} {:>9} {:>14}  {}\n",
+        "Workload", "#Tables", "#Columns", "#Indexes", "TxnTypes", "%ReadOnlyTxns", "Type"
+    ));
+    for r in table1() {
+        out.push_str(&format!(
+            "{:<9} {:>7} {:>8} {:>8} {:>9} {:>13.1}%  {}\n",
+            r.workload, r.tables, r.columns, r.indexes, r.txn_types, r.read_only_pct, r.kind
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        let names: Vec<&str> = t.iter().map(|r| r.workload.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["TPC-C", "TPC-H", "Twitter", "YCSB", "TPC-DS", "PW"]
+        );
+    }
+
+    #[test]
+    fn tpcc_row_matches_paper() {
+        let t = table1();
+        let c = &t[0];
+        assert_eq!((c.tables, c.columns, c.indexes, c.txn_types), (9, 92, 1, 5));
+        assert!((c.read_only_pct - 8.0).abs() < 1e-9);
+        assert_eq!(c.kind, "Transactional");
+    }
+
+    #[test]
+    fn render_is_nonempty_and_aligned() {
+        let s = render_table1();
+        assert!(s.contains("TPC-DS"));
+        assert!(s.contains("Analytical"));
+        assert_eq!(s.lines().count(), 7);
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmark workload models, SKU catalog, and the telemetry simulator.
+//!
+//! The paper's study runs five BenchBase benchmarks on SQL Server across
+//! hardware configurations and collects resource-utilization series plus
+//! query-plan statistics. We cannot run SQL Server, so this crate builds
+//! the substitution documented in `DESIGN.md`: a deterministic simulator
+//! that models each benchmark as a transaction mix with cost profiles and
+//! plan-statistic signatures, derives throughput/latency from a
+//! Universal-Scalability-Law + roofline capacity model, and synthesizes
+//! telemetry with the same qualitative structure the paper reports.
+//!
+//! # Module map
+//!
+//! * [`sku`] — hardware configurations (SKUs).
+//! * [`spec`] — workload / transaction specifications and feature-coupling
+//!   profiles.
+//! * [`benchmarks`] — the concrete TPC-C, TPC-H, TPC-DS, Twitter, YCSB,
+//!   and PW models.
+//! * [`scaling`] — the closed-form performance model.
+//! * [`engine`] — the simulator that produces [`wp_telemetry::ExperimentRun`]s.
+//! * [`dataset`] — helpers that flatten runs into feature matrices for the
+//!   selection / similarity stages.
+//! * [`catalog`] — Table 1 metadata.
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod catalog;
+pub mod dataset;
+pub mod engine;
+pub mod scaling;
+pub mod sku;
+pub mod spec;
+
+pub use engine::{SimConfig, Simulator};
+pub use sku::Sku;
+pub use spec::{CostProfile, TransactionSpec, WorkloadKind, WorkloadSpec};

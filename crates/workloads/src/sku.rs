@@ -1,0 +1,115 @@
+//! Hardware configurations (stock keeping units).
+//!
+//! §6.1: "each of the hardware configurations is referred to as a stock
+//! keeping unit (SKU)". The paper's grid varies the CPU count
+//! (2/4/8/16) at fixed memory, plus two multi-dimensional SKUs for the
+//! §6.2.3 end-to-end experiment (S1 = 4 CPU / 32 GB, S2 = 8 CPU / 64 GB)
+//! and an 80-vcore machine for the production-workload study (§5.2.3).
+
+use serde::{Deserialize, Serialize};
+
+/// One hardware configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sku {
+    /// Stable label used in run keys (e.g. `"cpu8"`).
+    pub name: String,
+    /// Number of CPU cores.
+    pub cpus: usize,
+    /// Provisioned memory in GiB.
+    pub memory_gb: f64,
+    /// Disk capacity in I/O operations per second.
+    pub disk_iops: f64,
+}
+
+impl Sku {
+    /// Creates a SKU with the simulator's default disk (a mid-range cloud
+    /// SSD whose IOPS grow mildly with the core count, as provisioned IOPS
+    /// usually track instance size).
+    pub fn new(name: impl Into<String>, cpus: usize, memory_gb: f64) -> Self {
+        assert!(cpus > 0, "SKU needs at least one CPU");
+        assert!(memory_gb > 0.0, "SKU needs positive memory");
+        Self {
+            name: name.into(),
+            cpus,
+            memory_gb,
+            disk_iops: 8_000.0 + 1_500.0 * cpus as f64,
+        }
+    }
+
+    /// The paper's primary grid: 2, 4, 8, and 16 CPUs at 64 GiB.
+    pub fn paper_grid() -> Vec<Sku> {
+        [2usize, 4, 8, 16]
+            .iter()
+            .map(|&c| Sku::new(format!("cpu{c}"), c, 64.0))
+            .collect()
+    }
+
+    /// §6.2.3 SKU S1: 4 CPUs, 32 GiB.
+    pub fn s1() -> Sku {
+        Sku::new("S1", 4, 32.0)
+    }
+
+    /// §6.2.3 SKU S2: 8 CPUs, 64 GiB.
+    pub fn s2() -> Sku {
+        Sku::new("S2", 8, 64.0)
+    }
+
+    /// §5.2.3's 80-virtual-core setup.
+    pub fn vcore80() -> Sku {
+        Sku::new("vcore80", 80, 512.0)
+    }
+}
+
+impl std::fmt::Display for Sku {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} CPUs, {} GiB)",
+            self.name, self.cpus, self.memory_gb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_shape() {
+        let grid = Sku::paper_grid();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid.iter().map(|s| s.cpus).collect::<Vec<_>>(),
+            vec![2, 4, 8, 16]
+        );
+        assert!(grid.iter().all(|s| s.memory_gb == 64.0));
+    }
+
+    #[test]
+    fn disk_iops_grow_with_cpus() {
+        let grid = Sku::paper_grid();
+        for w in grid.windows(2) {
+            assert!(w[1].disk_iops > w[0].disk_iops);
+        }
+    }
+
+    #[test]
+    fn special_skus() {
+        assert_eq!(Sku::s1().cpus, 4);
+        assert_eq!(Sku::s1().memory_gb, 32.0);
+        assert_eq!(Sku::s2().cpus, 8);
+        assert_eq!(Sku::s2().memory_gb, 64.0);
+        assert_eq!(Sku::vcore80().cpus, 80);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Sku::s1().to_string(), "S1 (4 CPUs, 32 GiB)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_rejected() {
+        let _ = Sku::new("bad", 0, 1.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Workload and transaction specifications.
+//!
+//! A [`WorkloadSpec`] is the simulator's model of one benchmark: schema
+//! metadata (Table 1), a transaction mix with per-transaction cost
+//! profiles and plan-statistic signatures, scalability coefficients for
+//! the performance model, and a *feature-coupling profile* that encodes
+//! which telemetry features co-vary with the workload's performance
+//! fluctuations — the property the paper's per-experiment feature
+//! selection (Figure 3) measures.
+
+use serde::{Deserialize, Serialize};
+use wp_telemetry::{FeatureId, PlanFeature};
+
+/// Workload category as defined in §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Real-time, write-heavy (e.g. TPC-C).
+    Transactional,
+    /// Read-only, scan/aggregate heavy (e.g. TPC-H).
+    Analytical,
+    /// Both kinds of queries (e.g. YCSB, HTAP).
+    Mixed,
+}
+
+impl WorkloadKind {
+    /// Table 1 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Transactional => "Transactional",
+            WorkloadKind::Analytical => "Analytical",
+            WorkloadKind::Mixed => "Mixed",
+        }
+    }
+}
+
+/// Per-transaction resource demands at one concurrent stream on one CPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostProfile {
+    /// CPU work per execution, in milliseconds.
+    pub cpu_ms: f64,
+    /// I/O operations per execution.
+    pub io_ops: f64,
+    /// Working memory per concurrent execution, in MiB.
+    pub mem_mb: f64,
+    /// Locks acquired per execution (drives `LOCK_*` telemetry and the
+    /// transactional contention model).
+    pub lock_footprint: f64,
+}
+
+impl CostProfile {
+    /// Validates that all demands are non-negative and CPU work positive.
+    pub fn validate(&self) {
+        assert!(self.cpu_ms > 0.0, "cpu_ms must be positive");
+        assert!(self.io_ops >= 0.0, "io_ops must be non-negative");
+        assert!(self.mem_mb >= 0.0, "mem_mb must be non-negative");
+        assert!(self.lock_footprint >= 0.0, "lock_footprint non-negative");
+    }
+}
+
+/// One transaction (or query template) in the mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransactionSpec {
+    /// Template name (e.g. `"NewOrder"`, `"Q1"`).
+    pub name: String,
+    /// Fraction of the mix (weights are normalized at use).
+    pub weight: f64,
+    /// True for read-only templates.
+    pub read_only: bool,
+    /// Resource demands.
+    pub cost: CostProfile,
+    /// Base values of the 22 plan features (catalog order) before
+    /// SKU-dependent adjustment and run noise.
+    pub plan_signature: Vec<f64>,
+}
+
+impl TransactionSpec {
+    /// Validates weights, costs, and the plan-signature length.
+    pub fn validate(&self) {
+        assert!(self.weight > 0.0, "transaction weight must be positive");
+        self.cost.validate();
+        assert_eq!(
+            self.plan_signature.len(),
+            PlanFeature::ALL.len(),
+            "plan signature must cover all {} plan features",
+            PlanFeature::ALL.len()
+        );
+    }
+}
+
+/// Universal-Scalability-Law coefficients (Gunther): contention `sigma`
+/// penalizes serialization, coherency `kappa` penalizes crosstalk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UslCoefficients {
+    /// Serial/contention fraction.
+    pub sigma: f64,
+    /// Coherency (pairwise-exchange) coefficient.
+    pub kappa: f64,
+}
+
+/// The full workload model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (Table 1 row label).
+    pub name: String,
+    /// Workload category.
+    pub kind: WorkloadKind,
+    /// Table count (Table 1).
+    pub tables: usize,
+    /// Column count (Table 1).
+    pub columns: usize,
+    /// Index count (Table 1).
+    pub indexes: usize,
+    /// Scale factor used by the paper.
+    pub scale_factor: f64,
+    /// Transaction mix.
+    pub transactions: Vec<TransactionSpec>,
+    /// Scalability coefficients for the throughput model.
+    pub usl: UslCoefficients,
+    /// Features that co-vary with this workload's performance
+    /// fluctuations, with coupling strength (≈ the Figure 3 importance
+    /// ordering). Features not listed receive only independent noise.
+    pub coupling: Vec<(FeatureId, f64)>,
+    /// Number of distinct execution phases in the resource time-series
+    /// (drives the Phase-FP experiments; 1 = stationary).
+    pub phases: usize,
+}
+
+impl WorkloadSpec {
+    /// Validates the complete specification.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "workload needs a name");
+        assert!(
+            !self.transactions.is_empty(),
+            "workload needs at least one transaction"
+        );
+        for t in &self.transactions {
+            t.validate();
+        }
+        assert!(self.usl.sigma >= 0.0 && self.usl.kappa >= 0.0);
+        assert!(self.phases >= 1, "at least one phase required");
+        for (_, w) in &self.coupling {
+            assert!(*w >= 0.0, "coupling weights must be non-negative");
+        }
+    }
+
+    /// Sum of mix weights (used for normalization).
+    pub fn total_weight(&self) -> f64 {
+        self.transactions.iter().map(|t| t.weight).sum()
+    }
+
+    /// Fraction of executions that are read-only, in `[0, 1]`.
+    pub fn read_only_fraction(&self) -> f64 {
+        let total = self.total_weight();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.transactions
+            .iter()
+            .filter(|t| t.read_only)
+            .map(|t| t.weight)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Mix-weighted mean of a per-transaction quantity.
+    pub fn weighted_mean(&self, f: impl Fn(&TransactionSpec) -> f64) -> f64 {
+        let total = self.total_weight();
+        self.transactions
+            .iter()
+            .map(|t| f(t) * t.weight)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Mix-weighted mean CPU milliseconds per transaction.
+    pub fn mean_cpu_ms(&self) -> f64 {
+        self.weighted_mean(|t| t.cost.cpu_ms)
+    }
+
+    /// Mix-weighted mean I/O operations per transaction.
+    pub fn mean_io_ops(&self) -> f64 {
+        self.weighted_mean(|t| t.cost.io_ops)
+    }
+
+    /// Mix-weighted mean working memory per transaction (MiB).
+    pub fn mean_mem_mb(&self) -> f64 {
+        self.weighted_mean(|t| t.cost.mem_mb)
+    }
+
+    /// Mix-weighted mean lock footprint per transaction.
+    pub fn mean_lock_footprint(&self) -> f64 {
+        self.weighted_mean(|t| t.cost.lock_footprint)
+    }
+
+    /// The coupling weight of one feature (0 when not in the profile).
+    pub fn coupling_weight(&self, f: FeatureId) -> f64 {
+        self.coupling
+            .iter()
+            .find(|(cf, _)| *cf == f)
+            .map_or(0.0, |(_, w)| *w)
+    }
+
+    /// The top-k most strongly coupled features, strongest first.
+    pub fn top_coupled_features(&self, k: usize) -> Vec<FeatureId> {
+        let mut c = self.coupling.clone();
+        c.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        c.into_iter().take(k).map(|(f, _)| f).collect()
+    }
+}
+
+/// Builder for plan signatures: starts from a baseline where every plan
+/// feature has a small positive value and lets benchmark definitions set
+/// the distinctive ones.
+#[derive(Debug, Clone)]
+pub struct PlanSignatureBuilder {
+    values: Vec<f64>,
+}
+
+impl Default for PlanSignatureBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanSignatureBuilder {
+    /// Starts with the neutral baseline.
+    pub fn new() -> Self {
+        let mut values = vec![1.0; PlanFeature::ALL.len()];
+        // Universally near-zero features: the paper observes rebinds /
+        // rewinds are unimportant for every workload.
+        values[PlanFeature::EstimateRebinds.index()] = 0.0;
+        values[PlanFeature::EstimateRewinds.index()] = 0.0;
+        Self { values }
+    }
+
+    /// Sets one plan feature's base value.
+    pub fn set(mut self, f: PlanFeature, v: f64) -> Self {
+        self.values[f.index()] = v;
+        self
+    }
+
+    /// Finishes the signature.
+    pub fn build(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_telemetry::ResourceFeature;
+
+    fn txn(name: &str, weight: f64, read_only: bool) -> TransactionSpec {
+        TransactionSpec {
+            name: name.into(),
+            weight,
+            read_only,
+            cost: CostProfile {
+                cpu_ms: 1.0,
+                io_ops: 2.0,
+                mem_mb: 4.0,
+                lock_footprint: 3.0,
+            },
+            plan_signature: PlanSignatureBuilder::new().build(),
+        }
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            kind: WorkloadKind::Mixed,
+            tables: 1,
+            columns: 2,
+            indexes: 0,
+            scale_factor: 1.0,
+            transactions: vec![txn("read", 3.0, true), txn("write", 1.0, false)],
+            usl: UslCoefficients {
+                sigma: 0.05,
+                kappa: 0.001,
+            },
+            coupling: vec![
+                (FeatureId::Plan(PlanFeature::AvgRowSize), 1.0),
+                (FeatureId::Resource(ResourceFeature::CpuEffective), 0.5),
+            ],
+            phases: 1,
+        }
+    }
+
+    #[test]
+    fn validation_passes_for_wellformed_spec() {
+        spec().validate();
+    }
+
+    #[test]
+    fn read_only_fraction_weighted() {
+        assert!((spec().read_only_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_means() {
+        let s = spec();
+        assert!((s.mean_cpu_ms() - 1.0).abs() < 1e-12);
+        assert!((s.mean_io_ops() - 2.0).abs() < 1e-12);
+        assert!((s.mean_lock_footprint() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_lookup_and_topk() {
+        let s = spec();
+        assert_eq!(
+            s.coupling_weight(FeatureId::Plan(PlanFeature::AvgRowSize)),
+            1.0
+        );
+        assert_eq!(
+            s.coupling_weight(FeatureId::Plan(PlanFeature::EstimateIo)),
+            0.0
+        );
+        let top = s.top_coupled_features(1);
+        assert_eq!(top, vec![FeatureId::Plan(PlanFeature::AvgRowSize)]);
+    }
+
+    #[test]
+    fn plan_signature_builder_defaults() {
+        let sig = PlanSignatureBuilder::new()
+            .set(PlanFeature::AvgRowSize, 128.0)
+            .build();
+        assert_eq!(sig.len(), 22);
+        assert_eq!(sig[PlanFeature::AvgRowSize.index()], 128.0);
+        assert_eq!(sig[PlanFeature::EstimateRebinds.index()], 0.0);
+        assert_eq!(sig[PlanFeature::EstimateRewinds.index()], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn empty_mix_rejected() {
+        let mut s = spec();
+        s.transactions.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "plan signature must cover")]
+    fn short_signature_rejected() {
+        let mut s = spec();
+        s.transactions[0].plan_signature.pop();
+        s.validate();
+    }
+}

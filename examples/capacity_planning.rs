@@ -1,0 +1,76 @@
+//! Capacity planning (the paper's Example 1): a customer wants to move a
+//! YCSB-style workload to a bigger SKU while keeping their SLA, so the
+//! provider predicts the workload's latency on every candidate SKU from
+//! reference workloads' scaling behaviour — before migrating anything.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use wp_predict::predictor::{scaling_data_from_simulation, ScalingPredictor};
+use wp_predict::ModelStrategy;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn main() {
+    let sim = Simulator::new(7);
+    let terminals = 8;
+    let sla_latency_ms = 3.0;
+
+    // the customer's current SKU and the upgrade candidates
+    let current = Sku::new("cpu2", 2, 64.0);
+    let candidates = vec![
+        Sku::new("cpu4", 4, 64.0),
+        Sku::new("cpu8", 8, 64.0),
+        Sku::new("cpu16", 16, 64.0),
+    ];
+    // hourly price per SKU (synthetic price book)
+    let price = |sku: &Sku| 0.05 * sku.cpus as f64 + 0.002 * sku.memory_gb;
+
+    // the provider's reference workload on all SKUs: TPC-C (the most
+    // similar reference per the similarity stage — see the quickstart)
+    let reference = benchmarks::tpcc();
+    let mut all_skus = vec![current.clone()];
+    all_skus.extend(candidates.iter().cloned());
+    let data = scaling_data_from_simulation(&sim, &reference, &all_skus, terminals, 3, 10);
+    let predictor = ScalingPredictor::fit("TPC-C", ModelStrategy::Svm, &data);
+
+    // the customer's observation on the current SKU
+    let ycsb = benchmarks::ycsb();
+    let observed_runs: Vec<f64> = (0..3)
+        .map(|r| sim.simulate(&ycsb, &current, terminals, r, r % 3).throughput)
+        .collect();
+    let observed = wp_linalg::stats::mean(&observed_runs);
+
+    println!("capacity planning for a YCSB-style workload (SLA: {sla_latency_ms} ms)\n");
+    println!(
+        "{:>7} {:>10} {:>14} {:>13} {:>8}",
+        "SKU", "$/hour", "pred. req/s", "pred. ms", "SLA ok?"
+    );
+    println!("{}", "-".repeat(58));
+    let mut cheapest: Option<(&Sku, f64)> = None;
+    for sku in &candidates {
+        let thr = predictor
+            .predict(current.cpus as f64, sku.cpus as f64, observed)
+            .expect("pair model exists");
+        let latency_ms = terminals as f64 / thr * 1000.0;
+        let ok = latency_ms <= sla_latency_ms;
+        println!(
+            "{:>7} {:>10.3} {:>14.0} {:>13.2} {:>8}",
+            sku.name,
+            price(sku),
+            thr,
+            latency_ms,
+            if ok { "yes" } else { "no" }
+        );
+        if ok && cheapest.map_or(true, |(_, p)| price(sku) < p) {
+            cheapest = Some((sku, price(sku)));
+        }
+    }
+    match cheapest {
+        Some((sku, p)) => println!(
+            "\nrecommendation: {} at ${p:.3}/hour — the cheapest SKU predicted to meet the SLA",
+            sku.name
+        ),
+        None => println!("\nno candidate SKU is predicted to meet the SLA"),
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the complete three-stage pipeline on simulated
+//! telemetry in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wp_core::{Pipeline, PipelineConfig};
+use wp_workloads::{benchmarks, Sku};
+
+fn main() {
+    // A pipeline = feature selection + workload similarity + scaling
+    // prediction over a deterministic telemetry simulator.
+    let mut pipeline = Pipeline::new(42);
+    pipeline.config = PipelineConfig {
+        // fANOVA keeps the quickstart fast; the paper's default is
+        // RFE-LogReg (see `PipelineConfig::default()`)
+        selection: wp_featsel::Strategy::FAnova,
+        ..PipelineConfig::default()
+    };
+
+    // Reference workloads the provider has observed on both SKUs.
+    let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+
+    // The customer's workload, observed on the small SKU only.
+    let target = benchmarks::ycsb();
+    let from = Sku::new("cpu2", 2, 64.0);
+    let to = Sku::new("cpu8", 8, 64.0);
+
+    let outcome = pipeline.run(&references, &target, &from, &to, 8);
+
+    println!("selected features:");
+    for f in &outcome.selected_features {
+        println!("  - {}", f.name());
+    }
+    println!("\nsimilarity (normalized distance, ascending):");
+    for v in &outcome.similarity {
+        println!("  {:<8} {:.3}", v.workload, v.distance);
+    }
+    println!("\nmost similar reference: {}", outcome.most_similar);
+    println!(
+        "throughput: observed {:.0} req/s @2 CPUs -> predicted {:.0} req/s @8 CPUs \
+         (actual {:.0}, error {:.1}%)",
+        outcome.observed_throughput,
+        outcome.predicted_throughput,
+        outcome.actual_throughput,
+        outcome.mape * 100.0
+    );
+}

@@ -1,0 +1,113 @@
+//! Workload fingerprinting: characterize an *unknown* production workload
+//! by comparing its telemetry fingerprint with reference benchmarks —
+//! the paper's §5.2.3 study, where the production workload PW turns out
+//! to behave like TPC-H.
+//!
+//! ```sh
+//! cargo run --release --example workload_fingerprinting
+//! ```
+
+use wp_similarity::histfp::histfp;
+use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::repr::extract;
+use wp_telemetry::{FeatureSet, PlanFeature};
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn main() {
+    let sim = Simulator::new(99);
+    let sku = Sku::vcore80();
+
+    // The "unknown" workload — here PW, but any ExperimentRun works.
+    let unknown = benchmarks::pw();
+    let references = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::tpcds(),
+        benchmarks::twitter(),
+    ];
+
+    // Only plan features are available for the unknown workload (no
+    // resource tracking on its host), so fingerprint on those.
+    let features = FeatureSet::PlanOnly.features();
+
+    // simulate three runs of everything
+    let unknown_runs: Vec<_> = (0..3)
+        .map(|r| sim.simulate(&unknown, &sku, 16, r, r % 3))
+        .collect();
+    let mut all_runs: Vec<&wp_telemetry::ExperimentRun> = unknown_runs.iter().collect();
+    let ref_runs: Vec<(String, Vec<_>)> = references
+        .iter()
+        .map(|spec| {
+            let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" { 1 } else { 16 };
+            let runs: Vec<_> = (0..3)
+                .map(|r| sim.simulate(spec, &sku, terminals, r, r % 3))
+                .collect();
+            (spec.name.clone(), runs)
+        })
+        .collect();
+    let mut spans = Vec::new();
+    for (_, runs) in &ref_runs {
+        let start = all_runs.len();
+        all_runs.extend(runs.iter());
+        spans.push(start..all_runs.len());
+    }
+
+    // Hist-FP + Canberra norm (the paper's Figure 7 setup)
+    let data: Vec<_> = all_runs.iter().map(|r| extract(r, &features)).collect();
+    let fps = histfp(&data, 10);
+    let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::Canberra)));
+
+    println!("fingerprinting an unknown workload against reference benchmarks\n");
+    let mut verdicts: Vec<(String, f64)> = ref_runs
+        .iter()
+        .zip(&spans)
+        .map(|((name, _), span)| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for u in 0..unknown_runs.len() {
+                for r in span.clone() {
+                    total += d[(u, r)];
+                    n += 1;
+                }
+            }
+            (name.clone(), total / n as f64)
+        })
+        .collect();
+    verdicts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for (name, dist) in &verdicts {
+        let bar = "#".repeat((dist * 40.0) as usize);
+        println!("  {name:<8} {dist:.3}  {bar}");
+    }
+    println!(
+        "\nthe unknown workload behaves like {} — simple analytical queries",
+        verdicts[0].0
+    );
+
+    // peek at the plan statistics driving the verdict
+    println!("\nmean plan statistics (unknown vs best match):");
+    let best_runs = &ref_runs
+        .iter()
+        .find(|(n, _)| *n == verdicts[0].0)
+        .unwrap()
+        .1;
+    for f in [
+        PlanFeature::StatementEstRows,
+        PlanFeature::EstimateIo,
+        PlanFeature::AvgRowSize,
+        PlanFeature::SerialDesiredMemory,
+    ] {
+        let mean_of = |runs: &[wp_telemetry::ExperimentRun]| {
+            let vals: Vec<f64> = runs
+                .iter()
+                .flat_map(|r| r.plans.feature(f))
+                .collect();
+            wp_linalg::stats::mean(&vals)
+        };
+        println!(
+            "  {:<24} {:>14.1} {:>14.1}",
+            f.name(),
+            mean_of(&unknown_runs),
+            mean_of(best_runs)
+        );
+    }
+}

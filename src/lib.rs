@@ -1,0 +1,14 @@
+//! Umbrella crate for the workload-prediction workspace.
+//!
+//! This crate only exists to host the root-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface lives in [`wp_core`] and the substrate crates it re-exports.
+
+pub use wp_core as core;
+pub use wp_featsel as featsel;
+pub use wp_linalg as linalg;
+pub use wp_ml as ml;
+pub use wp_predict as predict;
+pub use wp_similarity as similarity;
+pub use wp_telemetry as telemetry;
+pub use wp_workloads as workloads;

@@ -1,0 +1,195 @@
+//! Cross-crate integration tests of the feature-selection stage on
+//! simulated telemetry, checking the paper's §4 insights.
+
+use wp_featsel::evaluate::subset_accuracy;
+use wp_featsel::lasso_path::LassoPath;
+use wp_featsel::wrapper::WrapperConfig;
+use wp_featsel::Strategy;
+use wp_telemetry::{FeatureId, PlanFeature, ResourceFeature};
+use wp_workloads::dataset::LabeledDataset;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+struct Setup {
+    ds: LabeledDataset,
+    runs: Vec<wp_telemetry::ExperimentRun>,
+    labels: Vec<usize>,
+}
+
+fn setup() -> Setup {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 120;
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = [
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+        benchmarks::ycsb(),
+    ];
+    let mut sets = Vec::new();
+    let mut runs = Vec::new();
+    let mut labels = Vec::new();
+    for (li, spec) in specs.iter().enumerate() {
+        let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+        for r in 0..3 {
+            sets.push(sim.observations(spec, &sku, terminals, r, r % 3, 10));
+            runs.push(sim.simulate(spec, &sku, terminals, r, r % 3));
+            labels.push(li);
+        }
+    }
+    Setup {
+        ds: LabeledDataset::from_observation_sets(&sets),
+        runs,
+        labels,
+    }
+}
+
+fn fast_config() -> WrapperConfig {
+    WrapperConfig {
+        cv_folds: 2,
+        logreg_iters: 80,
+        ..WrapperConfig::default()
+    }
+}
+
+#[test]
+fn top7_reaches_all_feature_accuracy_for_filter_strategies() {
+    // Insight 2 / §4.3.2: a good subset matches the all-feature accuracy
+    let s = setup();
+    let universe = FeatureId::all();
+    let all_acc = subset_accuracy(&s.runs, &s.labels, &universe);
+    for strategy in [Strategy::FAnova, Strategy::Pearson, Strategy::MiGain] {
+        let ranking = strategy.rank(&s.ds.features, &s.ds.labels, &universe, &fast_config());
+        let acc7 = subset_accuracy(&s.runs, &s.labels, &ranking.top_k(7));
+        assert!(
+            acc7 >= all_acc - 0.15,
+            "{}: top-7 {acc7} vs all {all_acc}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn single_feature_subsets_underfit() {
+    // too few features fail to capture workload characteristics for at
+    // least some strategies (the paper's 0.247 cells)
+    let s = setup();
+    let universe = FeatureId::all();
+    let mut worst = 1.0_f64;
+    for strategy in [Strategy::Variance, Strategy::Baseline, Strategy::MiGain] {
+        let ranking = strategy.rank(&s.ds.features, &s.ds.labels, &universe, &fast_config());
+        let acc1 = subset_accuracy(&s.runs, &s.labels, &ranking.top_k(1));
+        worst = worst.min(acc1);
+    }
+    let all_acc = subset_accuracy(&s.runs, &s.labels, &universe);
+    assert!(
+        worst < all_acc,
+        "some top-1 subset should underfit: worst {worst} vs all {all_acc}"
+    );
+}
+
+#[test]
+fn lasso_path_recovers_workload_coupling_profile() {
+    // Figure 3: the per-experiment Lasso path surfaces the features the
+    // workload's performance actually co-varies with
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 120;
+    let sku = Sku::new("cpu2", 2, 64.0);
+    let spec = benchmarks::tpcc();
+    let obs = sim.observations(&spec, &sku, 8, 0, 0, 30);
+    let path = LassoPath::compute(&obs.features, &obs.throughput, &FeatureId::all(), 30, 1e-3);
+    let top7: std::collections::HashSet<FeatureId> = path.top_k(7).into_iter().collect();
+    let expected: std::collections::HashSet<FeatureId> =
+        spec.top_coupled_features(7).into_iter().collect();
+    let overlap = top7.intersection(&expected).count();
+    assert!(
+        overlap >= 4,
+        "lasso top-7 should recover most of the coupling profile, got {overlap}/7: {top7:?}"
+    );
+}
+
+#[test]
+fn lock_wait_is_high_variance_but_uninformative_within_an_experiment() {
+    // §4.3.2: within one experiment, LOCK_WAIT_ABS has very high variance
+    // (so variance-driven selectors favour it) yet its coupling to the
+    // workload's performance is negligible (so Lasso ignores it).
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 120;
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let obs = sim.observations(&benchmarks::tpcc(), &sku, 32, 0, 0, 30);
+    let universe = FeatureId::all();
+    let lock_wait = FeatureId::Resource(ResourceFeature::LockWaitAbs);
+
+    // raw relative variance within the experiment: lock wait is extreme
+    let rel_var = |j: usize| {
+        let col = obs.features.col(j);
+        let m = wp_linalg::stats::mean(&col);
+        if m.abs() < 1e-12 {
+            0.0
+        } else {
+            wp_linalg::stats::stddev(&col) / m
+        }
+    };
+    let lw = rel_var(lock_wait.global_index());
+    let others_max = (0..29)
+        .filter(|&j| j != lock_wait.global_index())
+        .map(rel_var)
+        .fold(0.0_f64, f64::max);
+    assert!(
+        lw > others_max,
+        "LOCK_WAIT_ABS rel. variance {lw} should exceed all others ({others_max})"
+    );
+
+    // but the per-experiment Lasso path does not put it in the top-7
+    let path = LassoPath::compute(&obs.features, &obs.throughput, &universe, 30, 1e-3);
+    assert!(
+        !path.top_k(7).contains(&lock_wait),
+        "Lasso should not select LOCK_WAIT_ABS: {:?}",
+        path.top_k(7)
+    );
+}
+
+#[test]
+fn rebinds_and_rewinds_score_at_the_bottom_everywhere() {
+    // §4.3.1: rebinds/rewinds are unimportant for every selection
+    // strategy — their scores sit at the minimum of the score range
+    let s = setup();
+    let universe = FeatureId::all();
+    for strategy in [Strategy::FAnova, Strategy::MiGain, Strategy::Lasso] {
+        let ranking = strategy.rank(&s.ds.features, &s.ds.labels, &universe, &fast_config());
+        let min_score = ranking
+            .scores
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        for f in [
+            FeatureId::Plan(PlanFeature::EstimateRebinds),
+            FeatureId::Plan(PlanFeature::EstimateRewinds),
+        ] {
+            let score = ranking.scores[f.global_index()];
+            assert!(
+                (score - min_score).abs() < 1e-9,
+                "{}: {} score {score} not at minimum {min_score}",
+                strategy.label(),
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn wrapper_and_filter_agree_on_strong_features() {
+    // different families should still surface overlapping top sets
+    use wp_featsel::wrapper::Estimator;
+    let s = setup();
+    let universe = FeatureId::all();
+    let filter = Strategy::FAnova.rank(&s.ds.features, &s.ds.labels, &universe, &fast_config());
+    let wrapper = Strategy::Rfe(Estimator::LogisticRegression).rank(
+        &s.ds.features,
+        &s.ds.labels,
+        &universe,
+        &fast_config(),
+    );
+    let a: std::collections::HashSet<_> = filter.top_k(15).into_iter().collect();
+    let b: std::collections::HashSet<_> = wrapper.top_k(15).into_iter().collect();
+    let overlap = a.intersection(&b).count();
+    assert!(overlap >= 6, "top-15 overlap only {overlap}");
+}

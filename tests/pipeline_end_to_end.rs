@@ -1,0 +1,164 @@
+//! Cross-crate integration tests of the full prediction pipeline
+//! (simulator → feature selection → similarity → scaling prediction).
+
+use wp_core::pipeline::{find_most_similar, Pipeline, PipelineConfig};
+use wp_featsel::Strategy;
+use wp_telemetry::{ExperimentRun, FeatureId};
+use wp_workloads::{benchmarks, Sku};
+
+fn fast_pipeline(seed: u64) -> Pipeline {
+    let mut p = Pipeline::new(seed);
+    p.sim.config.samples = 60;
+    p.config = PipelineConfig {
+        selection: Strategy::FAnova, // cheap but accurate selector
+        ..PipelineConfig::default()
+    };
+    p
+}
+
+#[test]
+fn ycsb_end_to_end_matches_paper_findings() {
+    let p = fast_pipeline(wp_bench_seed());
+    let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let outcome = p.run(
+        &references,
+        &benchmarks::ycsb(),
+        &Sku::new("cpu2", 2, 64.0),
+        &Sku::new("cpu8", 8, 64.0),
+        8,
+    );
+    // §6.2.3: YCSB is most similar to TPC-C, and TPC-H is far away
+    assert_eq!(outcome.most_similar, "TPC-C", "{:?}", outcome.similarity);
+    let tpch = outcome
+        .similarity
+        .iter()
+        .find(|v| v.workload == "TPC-H")
+        .unwrap();
+    assert!(tpch.distance > 0.5, "TPC-H should be distant: {tpch:?}");
+    // the transferred scaling factor is in a plausible band
+    assert!(outcome.predicted_throughput > outcome.observed_throughput);
+    assert!(outcome.mape < 0.5, "mape {}", outcome.mape);
+}
+
+fn wp_bench_seed() -> u64 {
+    0xEDB7_2025
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let p1 = fast_pipeline(7);
+    let p2 = fast_pipeline(7);
+    let refs = vec![benchmarks::tpcc(), benchmarks::twitter()];
+    let a = p1.run(
+        &refs,
+        &benchmarks::ycsb(),
+        &Sku::new("cpu2", 2, 64.0),
+        &Sku::new("cpu4", 4, 64.0),
+        8,
+    );
+    let b = p2.run(
+        &refs,
+        &benchmarks::ycsb(),
+        &Sku::new("cpu2", 2, 64.0),
+        &Sku::new("cpu4", 4, 64.0),
+        8,
+    );
+    assert_eq!(a.predicted_throughput, b.predicted_throughput);
+    assert_eq!(a.selected_features, b.selected_features);
+    assert_eq!(a.most_similar, b.most_similar);
+}
+
+#[test]
+fn every_standardized_workload_identifies_itself() {
+    // each workload's extra runs must be most similar to its own
+    // reference runs — the foundation of the whole pipeline
+    let p = fast_pipeline(3);
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = benchmarks::standardized();
+    let reference_runs: Vec<(String, Vec<ExperimentRun>)> = specs
+        .iter()
+        .map(|spec| {
+            let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+            let runs = (0..3)
+                .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
+                .collect();
+            (spec.name.clone(), runs)
+        })
+        .collect();
+    for spec in &specs {
+        let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+        let target: Vec<ExperimentRun> = (3..5)
+            .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
+            .collect();
+        let verdicts =
+            find_most_similar(&target, &reference_runs, &FeatureId::all(), &p.config);
+        assert_eq!(
+            verdicts[0].workload, spec.name,
+            "{} misidentified: {verdicts:?}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn selection_strategy_changes_do_not_break_pipeline() {
+    use wp_featsel::wrapper::Estimator;
+    for strategy in [
+        Strategy::Variance,
+        Strategy::Pearson,
+        Strategy::MiGain,
+        Strategy::Lasso,
+        Strategy::Rfe(Estimator::Linear),
+    ] {
+        let mut p = fast_pipeline(11);
+        p.config.selection = strategy;
+        let refs = vec![benchmarks::tpcc(), benchmarks::twitter()];
+        let outcome = p.run(
+            &refs,
+            &benchmarks::ycsb(),
+            &Sku::new("cpu2", 2, 64.0),
+            &Sku::new("cpu4", 4, 64.0),
+            8,
+        );
+        assert_eq!(outcome.selected_features.len(), 7, "{}", strategy.label());
+        assert!(
+            outcome.predicted_throughput.is_finite(),
+            "{}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn multidimensional_sku_transfer_prefers_similar_reference() {
+    // §6.2.3 second suite: S1 (4 CPU/32 GiB) → S2 (8 CPU/64 GiB);
+    // TPC-C-based transfer must beat Twitter-based transfer for YCSB.
+    use wp_predict::predictor::{scaling_data_from_simulation, ScalingPredictor};
+    use wp_predict::ModelStrategy;
+    let p = fast_pipeline(wp_bench_seed());
+    let sim = &p.sim;
+    let (s1, s2) = (Sku::s1(), Sku::s2());
+    let ycsb = benchmarks::ycsb();
+    let observed = sim.simulate(&ycsb, &s1, 8, 0, 0).throughput;
+    let actual = sim.simulate(&ycsb, &s2, 8, 0, 0).throughput;
+
+    let mape_via = |reference: &wp_workloads::WorkloadSpec| {
+        let data = scaling_data_from_simulation(
+            sim,
+            reference,
+            &[s1.clone(), s2.clone()],
+            8,
+            3,
+            10,
+        );
+        let predictor = ScalingPredictor::fit(&reference.name, ModelStrategy::Svm, &data);
+        let predicted = predictor.predict(4.0, 8.0, observed).unwrap();
+        (actual - predicted).abs() / actual
+    };
+    let via_tpcc = mape_via(&benchmarks::tpcc());
+    let via_twitter = mape_via(&benchmarks::twitter());
+    assert!(
+        via_tpcc < via_twitter,
+        "TPC-C transfer ({via_tpcc:.3}) should beat Twitter ({via_twitter:.3})"
+    );
+}

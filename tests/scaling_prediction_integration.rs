@@ -1,0 +1,163 @@
+//! Cross-crate integration tests of the resource-prediction stage: the
+//! Table 6 invariants on simulated scaling data.
+
+use wp_predict::context::ModelContext;
+use wp_predict::evaluation::{baseline_nrmse, cv_nrmse};
+use wp_predict::predictor::scaling_data_from_simulation;
+use wp_predict::roofline::RooflineModel;
+use wp_predict::ModelStrategy;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn sim() -> Simulator {
+    let mut s = Simulator::new(0xEDB7_2025);
+    s.config.samples = 60;
+    s
+}
+
+fn grid() -> Vec<Sku> {
+    Sku::paper_grid()
+}
+
+#[test]
+fn every_learned_model_beats_the_linear_baseline() {
+    let sim = sim();
+    let data = scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 8, 3, 10);
+    let base = baseline_nrmse(&data);
+    for context in [ModelContext::Pairwise, ModelContext::Single] {
+        for strategy in [
+            ModelStrategy::Regression,
+            ModelStrategy::Svm,
+            ModelStrategy::Lmm,
+            ModelStrategy::GradientBoosting,
+            ModelStrategy::Mars,
+        ] {
+            let cell = cv_nrmse(&data, context, strategy, 5, 42);
+            assert!(
+                cell.nrmse < base,
+                "{} {} nrmse {} vs baseline {base}",
+                context.label(),
+                strategy.label(),
+                cell.nrmse
+            );
+        }
+    }
+}
+
+#[test]
+fn unscaled_nnet_is_the_worst_strategy() {
+    // Insight 6: the complex model loses on small scaling datasets
+    let sim = sim();
+    let data = scaling_data_from_simulation(&sim, &benchmarks::twitter(), &grid(), 8, 3, 10);
+    let nnet = cv_nrmse(&data, ModelContext::Pairwise, ModelStrategy::NNet, 5, 42).nrmse;
+    for strategy in [
+        ModelStrategy::Regression,
+        ModelStrategy::Svm,
+        ModelStrategy::GradientBoosting,
+    ] {
+        let simple = cv_nrmse(&data, ModelContext::Pairwise, strategy, 5, 42).nrmse;
+        assert!(
+            nnet > simple * 2.0,
+            "NNet ({nnet}) should be much worse than {} ({simple})",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn pairwise_context_beats_single_for_linear_models() {
+    // Insight 5: the transitions between specific SKU pairs deviate from
+    // a single smooth curve, penalizing single linear/LMM models
+    let sim = sim();
+    let data = scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 32, 3, 10);
+    for strategy in [ModelStrategy::Regression, ModelStrategy::Lmm] {
+        let pair = cv_nrmse(&data, ModelContext::Pairwise, strategy, 5, 42).nrmse;
+        let single = cv_nrmse(&data, ModelContext::Single, strategy, 5, 42).nrmse;
+        assert!(
+            pair < single,
+            "{}: pairwise {pair} vs single {single}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn contention_pushes_scaling_further_from_linear() {
+    // more terminals → heavier lock contention → the measured 2→16
+    // speedup falls further below the baseline's assumed 8×
+    let sim = sim();
+    let speedup = |terminals: usize| {
+        let data =
+            scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), terminals, 3, 10);
+        let first = wp_linalg::stats::mean(&data.values[0]);
+        let last = wp_linalg::stats::mean(data.values.last().unwrap());
+        last / first
+    };
+    let low_contention = speedup(4);
+    let high_contention = speedup(32);
+    assert!(low_contention < 8.0, "sub-linear even at 4 terminals");
+    assert!(
+        high_contention < low_contention,
+        "32-terminal speedup ({high_contention:.2}x) should trail 4-terminal ({low_contention:.2}x)"
+    );
+}
+
+#[test]
+fn baseline_is_far_worse_than_fitted_models_everywhere() {
+    let sim = sim();
+    for terminals in [4usize, 32] {
+        let data =
+            scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), terminals, 3, 10);
+        let base = baseline_nrmse(&data);
+        let model = cv_nrmse(&data, ModelContext::Pairwise, ModelStrategy::Regression, 5, 1);
+        assert!(
+            base > 2.0 * model.nrmse,
+            "terminals {terminals}: baseline {base} vs model {}",
+            model.nrmse
+        );
+    }
+}
+
+#[test]
+fn roofline_beats_plain_linear_past_the_knee() {
+    let sim = sim();
+    let spec = benchmarks::tpch();
+    let memory_gb = 4.0;
+    let measure = |cpus: usize| {
+        let sku = Sku::new(format!("m{cpus}"), cpus, memory_gb);
+        sim.simulate(&spec, &sku, 1, 0, 0).throughput
+    };
+    let train: Vec<f64> = [1, 2, 3].iter().map(|&c| measure(c)).collect();
+    let ceiling = measure(12);
+    let model = RooflineModel::fit(&[1.0, 2.0, 3.0], &train, ceiling);
+    let mut lin_err = 0.0;
+    let mut roof_err = 0.0;
+    for cpus in 5..=7usize {
+        let actual = measure(cpus);
+        lin_err += (model.predict_linear(cpus as f64) - actual).abs();
+        roof_err += (model.predict(cpus as f64) - actual).abs();
+    }
+    assert!(
+        roof_err < lin_err,
+        "roofline {roof_err} should beat linear {lin_err}"
+    );
+}
+
+#[test]
+fn scaling_data_throughput_is_monotone_in_cpus() {
+    let sim = sim();
+    for spec in [benchmarks::tpcc(), benchmarks::twitter(), benchmarks::ycsb()] {
+        let data = scaling_data_from_simulation(&sim, &spec, &grid(), 8, 3, 10);
+        let means: Vec<f64> = data
+            .values
+            .iter()
+            .map(|v| wp_linalg::stats::mean(v))
+            .collect();
+        for w in means.windows(2) {
+            assert!(
+                w[1] > w[0],
+                "{}: throughput not monotone: {means:?}",
+                spec.name
+            );
+        }
+    }
+}

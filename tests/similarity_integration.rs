@@ -1,0 +1,182 @@
+//! Cross-crate integration tests of the similarity stage on simulated
+//! telemetry: representation × measure combinations, the paper's
+//! reliability / discrimination / robustness dimensions.
+
+use wp_similarity::histfp::{histfp, histfp_raw};
+use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
+use wp_similarity::repr::{extract, mts};
+use wp_similarity::{mean_average_precision, ndcg, one_nn_accuracy};
+use wp_telemetry::{FeatureId, FeatureSet};
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+struct Corpus {
+    runs: Vec<wp_telemetry::ExperimentRun>,
+    labels: Vec<usize>,
+}
+
+fn corpus() -> Corpus {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 120;
+    let sku = Sku::new("cpu16", 16, 64.0);
+    let specs = [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let mut runs = Vec::new();
+    let mut labels = Vec::new();
+    for (li, spec) in specs.iter().enumerate() {
+        let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+        for r in 0..3 {
+            runs.push(sim.simulate(spec, &sku, terminals, r, r % 3));
+            labels.push(li);
+        }
+    }
+    Corpus { runs, labels }
+}
+
+fn fingerprint_and_score(
+    c: &Corpus,
+    features: &[FeatureId],
+    use_phase: bool,
+    measure: Measure,
+) -> (f64, f64) {
+    let data: Vec<_> = c.runs.iter().map(|r| extract(r, features)).collect();
+    let fps = if use_phase {
+        phasefp(&data, &PhaseFpConfig::default())
+    } else {
+        histfp(&data, 10)
+    };
+    let d = distance_matrix(&fps, measure);
+    (
+        one_nn_accuracy(&d, &c.labels),
+        mean_average_precision(&d, &c.labels),
+    )
+}
+
+#[test]
+fn histfp_with_every_norm_identifies_workloads() {
+    let c = corpus();
+    let features = FeatureId::all();
+    for norm in Norm::ALL {
+        let (acc, map) = fingerprint_and_score(&c, &features, false, Measure::Norm(norm));
+        assert!(acc >= 0.8, "{}: 1-NN accuracy {acc}", norm.label());
+        assert!(map >= 0.7, "{}: mAP {map}", norm.label());
+    }
+}
+
+#[test]
+fn plan_features_beat_resource_features_on_map() {
+    // Insight 4: plan-only or combined features usually beat resource-only
+    let c = corpus();
+    let plan = FeatureSet::PlanOnly.features();
+    let resource = FeatureSet::ResourceOnly.features();
+    let (_, map_plan) = fingerprint_and_score(&c, &plan, false, Measure::Norm(Norm::L21));
+    let (_, map_res) = fingerprint_and_score(&c, &resource, false, Measure::Norm(Norm::L21));
+    assert!(
+        map_plan >= map_res - 0.05,
+        "plan mAP {map_plan} vs resource mAP {map_res}"
+    );
+}
+
+#[test]
+fn mts_with_elastic_measures_identifies_workloads() {
+    let c = corpus();
+    let features = FeatureSet::ResourceOnly.features();
+    let data: Vec<_> = c.runs.iter().map(|r| extract(r, &features)).collect();
+    let fps = mts(&data);
+    for measure in [
+        Measure::Norm(Norm::L21),
+        Measure::DtwDependent,
+        Measure::DtwIndependent,
+    ] {
+        let d = distance_matrix(&fps, measure);
+        let acc = one_nn_accuracy(&d, &c.labels);
+        assert!(acc >= 0.7, "{}: accuracy {acc}", measure.label());
+    }
+}
+
+#[test]
+fn phasefp_identifies_workloads() {
+    let c = corpus();
+    let (acc, _) = fingerprint_and_score(
+        &c,
+        &FeatureId::all(),
+        true,
+        Measure::Norm(Norm::L11),
+    );
+    assert!(acc >= 0.7, "Phase-FP accuracy {acc}");
+}
+
+#[test]
+fn cumulative_beats_raw_histograms_on_shifted_distributions() {
+    // the Appendix A argument for cumulative histograms, verified on
+    // telemetry: cumulative form preserves "how far apart" two
+    // distributions are, raw frequency histograms lose it
+    use wp_similarity::repr::RunFeatureData;
+    let low = RunFeatureData {
+        features: vec![FeatureId::from_global_index(0)],
+        series: vec![vec![0.05; 50]],
+    };
+    let mid = RunFeatureData {
+        features: vec![FeatureId::from_global_index(0)],
+        series: vec![vec![0.45; 50]],
+    };
+    let high = RunFeatureData {
+        features: vec![FeatureId::from_global_index(0)],
+        series: vec![vec![0.95; 50]],
+    };
+    let sets = [low, mid, high];
+    let cum = histfp(&sets, 10);
+    let raw = histfp_raw(&sets, 10);
+    let l11 = |a: &wp_linalg::Matrix, b: &wp_linalg::Matrix| Norm::L11.apply(a, b);
+    // cumulative: low is closer to mid than to high
+    assert!(l11(&cum[0], &cum[1]) < l11(&cum[0], &cum[2]));
+    // raw: all three pairs look equally far apart (the failure mode)
+    let d01 = l11(&raw[0], &raw[1]);
+    let d02 = l11(&raw[0], &raw[2]);
+    assert!((d01 - d02).abs() < 1e-9);
+}
+
+#[test]
+fn ndcg_rewards_type_aware_ordering() {
+    let c = corpus();
+    let names = ["TPC-C", "TPC-H", "Twitter"];
+    let rel = |i: usize, j: usize| {
+        if c.labels[i] == c.labels[j] {
+            2.0
+        } else {
+            let pl = |l: usize| names[l] == "TPC-C" || names[l] == "Twitter";
+            if pl(c.labels[i]) && pl(c.labels[j]) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    };
+    let data: Vec<_> = c
+        .runs
+        .iter()
+        .map(|r| extract(r, &FeatureId::all()))
+        .collect();
+    let fps = histfp(&data, 10);
+    let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+    let score = ndcg(&d, rel);
+    assert!(score > 0.9, "NDCG {score}");
+}
+
+#[test]
+fn robustness_error_bars_are_smaller_for_plan_features() {
+    // §5.2.2: resource-only feature sets show higher spread across runs
+    let c = corpus();
+    let spread = |features: &[FeatureId]| {
+        let data: Vec<_> = c.runs.iter().map(|r| extract(r, features)).collect();
+        let fps = histfp(&data, 10);
+        let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+        let dn = wp_similarity::measure::normalize_distances(&d);
+        wp_similarity::eval::within_label_spread(&dn, &c.labels)
+    };
+    let plan = spread(&FeatureSet::PlanOnly.features());
+    let resource = spread(&FeatureSet::ResourceOnly.features());
+    assert!(
+        plan <= resource + 0.02,
+        "plan spread {plan} vs resource spread {resource}"
+    );
+}
