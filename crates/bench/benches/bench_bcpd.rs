@@ -2,7 +2,8 @@
 //! series length and hazard-rate sensitivity (a DESIGN.md ablation —
 //! lower hazard keeps longer run-length hypotheses alive and costs more).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::harness::{BenchmarkId, Criterion};
+use wp_bench::{criterion_group, criterion_main};
 use wp_similarity::bcpd::{detect_changepoints, BcpdConfig};
 
 fn stepped_series(n: usize) -> Vec<f64> {

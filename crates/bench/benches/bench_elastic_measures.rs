@@ -3,7 +3,8 @@
 //! lengths — these are the O(n²) measures whose cost the paper's MTS
 //! representation pays.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::harness::{BenchmarkId, Criterion};
+use wp_bench::{criterion_group, criterion_main};
 use wp_linalg::Matrix;
 use wp_similarity::{dtw, lcss};
 

@@ -2,7 +2,8 @@
 //! "Time (sec)" column in miniature: filters are orders of magnitude
 //! cheaper than wrappers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wp_bench::harness::Criterion;
+use wp_bench::{criterion_group, criterion_main};
 use wp_featsel::lasso_path::LassoPath;
 use wp_featsel::wrapper::WrapperConfig;
 use wp_featsel::Strategy;
@@ -15,9 +16,13 @@ fn dataset() -> LabeledDataset {
     sim.config.samples = 60;
     let sku = Sku::new("cpu16", 16, 64.0);
     let mut sets = Vec::new();
-    for (li, spec) in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()]
-        .iter()
-        .enumerate()
+    for (li, spec) in [
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ]
+    .iter()
+    .enumerate()
     {
         let terminals = if li == 1 { 1 } else { 8 };
         for r in 0..3 {
@@ -64,14 +69,7 @@ fn bench_strategies(c: &mut Criterion) {
 fn bench_lasso_path(c: &mut Criterion) {
     let mut sim = Simulator::new(6);
     sim.config.samples = 60;
-    let obs = sim.observations(
-        &benchmarks::tpcc(),
-        &Sku::new("cpu2", 2, 64.0),
-        8,
-        0,
-        0,
-        30,
-    );
+    let obs = sim.observations(&benchmarks::tpcc(), &Sku::new("cpu2", 2, 64.0), 8, 0, 0, 30);
     let universe = FeatureId::all();
     c.bench_function("lasso_path_30obs_40alphas", |b| {
         b.iter(|| {

@@ -4,7 +4,8 @@
 //! 10–40× faster than gradient boosting — these benches measure our
 //! equivalents.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wp_bench::harness::Criterion;
+use wp_bench::{criterion_group, criterion_main};
 use wp_linalg::Matrix;
 use wp_predict::context::{PairwiseScalingModel, SingleScalingModel};
 use wp_predict::ModelStrategy;
@@ -56,7 +57,7 @@ fn bench_contexts(c: &mut Criterion) {
     let groups: Vec<usize> = (0..30).map(|i| i % 3).collect();
     let flat_cpus: Vec<f64> = levels
         .iter()
-        .flat_map(|&l| std::iter::repeat(l).take(30))
+        .flat_map(|&l| std::iter::repeat_n(l, 30))
         .collect();
     let flat_vals: Vec<f64> = values.iter().flatten().copied().collect();
 

@@ -1,8 +1,11 @@
 //! Micro-benchmarks of the similarity stage: fingerprint construction
 //! (cumulative vs raw histograms — a DESIGN.md ablation), the matrix
-//! norms, and full distance-matrix computation.
+//! norms, and full distance-matrix computation — the latter both
+//! sequentially and on the wp-runtime pool, so the parallel speedup is
+//! visible next to the per-measure costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::harness::{BenchmarkId, Criterion};
+use wp_bench::{criterion_group, criterion_main};
 use wp_similarity::histfp::{histfp, histfp_raw};
 use wp_similarity::measure::{distance_matrix, Measure, Norm};
 use wp_similarity::repr::{extract, RunFeatureData};
@@ -63,5 +66,41 @@ fn bench_distance_matrix(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fingerprints, bench_norms, bench_distance_matrix);
+/// Sequential vs pooled distance matrix over MTS fingerprints with the
+/// elastic measures — the hot path the parallel runtime targets.
+fn bench_distance_matrix_parallel(c: &mut Criterion) {
+    // MTS needs equal per-feature lengths, i.e. resource features only.
+    let features = wp_telemetry::FeatureSet::ResourceOnly.features();
+    let sim = Simulator::new(1);
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = [benchmarks::tpcc(), benchmarks::twitter()];
+    let data: Vec<_> = (0..12)
+        .map(|i| {
+            let run = sim.simulate(&specs[i % 2], &sku, 8, i / 2, i % 3);
+            extract(&run, &features)
+        })
+        .collect();
+    let fps = wp_similarity::repr::mts(&data);
+    let mut g = c.benchmark_group("distance_matrix_dtw_independent_12runs");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            wp_runtime::with_thread_count(1, || {
+                distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent)
+            })
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprints,
+    bench_norms,
+    bench_distance_matrix,
+    bench_distance_matrix_parallel
+);
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! synthesis, observation-set generation, and the closed-form
 //! performance model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wp_bench::harness::{BenchmarkId, Criterion};
+use wp_bench::{criterion_group, criterion_main};
 use wp_workloads::{benchmarks, scaling, Simulator, Sku};
 
 fn bench_simulate(c: &mut Criterion) {
@@ -11,11 +12,9 @@ fn bench_simulate(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulate_run");
     for spec in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::tpcds()] {
         let terminals = if spec.transactions.len() > 10 { 1 } else { 8 };
-        g.bench_with_input(
-            BenchmarkId::from_parameter(&spec.name),
-            &spec,
-            |b, spec| b.iter(|| sim.simulate(std::hint::black_box(spec), &sku, terminals, 0, 0)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(&spec.name), &spec, |b, spec| {
+            b.iter(|| sim.simulate(std::hint::black_box(spec), &sku, terminals, 0, 0))
+        });
     }
     g.finish();
 }
@@ -37,5 +36,10 @@ fn bench_perf_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulate, bench_observations, bench_perf_model);
+criterion_group!(
+    benches,
+    bench_simulate,
+    bench_observations,
+    bench_perf_model
+);
 criterion_main!(benches);

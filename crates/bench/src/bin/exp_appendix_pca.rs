@@ -54,7 +54,10 @@ fn main() {
     // standardize so Euclidean 1-NN treats features comparably
     let (_, xs) = wp_linalg::StandardScaler::fit_transform(&ds.features);
 
-    println!("Appendix C: PCA projection vs feature selection ({} observations)\n", ds.len());
+    println!(
+        "Appendix C: PCA projection vs feature selection ({} observations)\n",
+        ds.len()
+    );
     println!("{:<26} {:>6} {:>6} {:>6}", "method", "k=3", "k=7", "k=15");
     println!("{}", "-".repeat(48));
 
@@ -81,11 +84,7 @@ fn main() {
         );
         let mut cells = Vec::new();
         for k in [3usize, 7, 15] {
-            let cols: Vec<usize> = ranking
-                .top_k(k)
-                .iter()
-                .map(|f| f.global_index())
-                .collect();
+            let cols: Vec<usize> = ranking.top_k(k).iter().map(|f| f.global_index()).collect();
             cells.push(one_nn_rows(&xs.select_cols(&cols), &ds.labels));
         }
         println!(
@@ -99,7 +98,8 @@ fn main() {
 
     // interpretability: how many original features load on component 0?
     let pca = Pca::fit(&ds.features, 3);
-    println!("\nexplained variance ratio (3 components): {:?}",
+    println!(
+        "\nexplained variance ratio (3 components): {:?}",
         pca.explained_variance_ratio()
             .iter()
             .map(|v| format!("{v:.3}"))

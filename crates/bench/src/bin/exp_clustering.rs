@@ -34,13 +34,20 @@ fn main() {
     let specs = standardized_workloads();
     let corpus = corpus_on_sku(&sim, &specs, &sku, 3);
     let run_refs: Vec<&wp_telemetry::ExperimentRun> = corpus.runs.iter().collect();
-    eprintln!("corpus: {} runs of {} workloads", corpus.runs.len(), specs.len());
+    eprintln!(
+        "corpus: {} runs of {} workloads",
+        corpus.runs.len(),
+        specs.len()
+    );
 
     let data = feature_data(&run_refs, &FeatureId::all());
     let fps = histfp(&data, 10);
     let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
 
-    println!("Workload clustering over {} runs (Hist-FP, L2,1, all features)\n", corpus.runs.len());
+    println!(
+        "Workload clustering over {} runs (Hist-FP, L2,1, all features)\n",
+        corpus.runs.len()
+    );
 
     // hierarchical, cut at the true workload count
     for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {

@@ -19,8 +19,8 @@
 
 use wp_bench::default_sim;
 use wp_predict::query_level::{QueryLevelPredictor, ReferenceScaling};
-use wp_workloads::{benchmarks, Simulator, Sku};
 use wp_workloads::spec::WorkloadSpec;
+use wp_workloads::{benchmarks, Simulator, Sku};
 
 fn reference(
     sim: &Simulator,
@@ -68,10 +68,8 @@ fn main() {
         let total_weight = ycsb.total_weight();
         let mut predicted_weighted = 0.0;
         for (qi, txn) in ycsb.transactions.iter().enumerate() {
-            let predicted = predictor.predict_query_latency(
-                from.plans.data.row(qi),
-                from.per_query_latency_ms[qi],
-            );
+            let predicted = predictor
+                .predict_query_latency(from.plans.data.row(qi), from.per_query_latency_ms[qi]);
             let actual = to.per_query_latency_ms[qi];
             per_type_errors[qi].push(((actual - predicted) / actual).abs());
             predicted_weighted += txn.weight / total_weight * predicted;
@@ -91,7 +89,10 @@ fn main() {
 
     println!("Figure 1: absolute percentage error of 10 latency predictions (YCSB, 2 -> 4 CPUs)\n");
     println!("references: TPC-C, Twitter, YCSB-B (another operation mixture)\n");
-    println!("{:<22} {:>8} {:>8} {:>8}", "predictor", "mean%", "min%", "max%");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "predictor", "mean%", "min%", "max%"
+    );
     println!("{}", "-".repeat(52));
     for (qi, txn) in ycsb.transactions.iter().enumerate() {
         let e = &per_type_errors[qi];

@@ -21,7 +21,11 @@ fn main() {
         selection: Strategy::Rfe(Estimator::LogisticRegression),
         ..PipelineConfig::default()
     };
-    let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let references = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let ycsb = benchmarks::ycsb();
     let terminals = 8;
 
@@ -45,14 +49,29 @@ fn main() {
     }
     println!("-> most similar: {}\n", outcome.most_similar);
 
-    println!("Figure 11: YCSB throughput scaling 2 -> 8 CPUs via {} pairwise SVM\n", outcome.most_similar);
-    println!("observed  YCSB @2 CPUs: {:>9.1} req/s", outcome.observed_throughput);
-    println!("predicted YCSB @8 CPUs: {:>9.1} req/s", outcome.predicted_throughput);
-    println!("actual    YCSB @8 CPUs: {:>9.1} req/s", outcome.actual_throughput);
+    println!(
+        "Figure 11: YCSB throughput scaling 2 -> 8 CPUs via {} pairwise SVM\n",
+        outcome.most_similar
+    );
+    println!(
+        "observed  YCSB @2 CPUs: {:>9.1} req/s",
+        outcome.observed_throughput
+    );
+    println!(
+        "predicted YCSB @8 CPUs: {:>9.1} req/s",
+        outcome.predicted_throughput
+    );
+    println!(
+        "actual    YCSB @8 CPUs: {:>9.1} req/s",
+        outcome.actual_throughput
+    );
     // per-run NRMSE-style summary
     let nrmse_like = (outcome.predicted_throughput - outcome.actual_throughput).abs()
         / outcome.actual_throughput;
-    println!("relative error: {:.4}  (MAPE {:.4})\n", nrmse_like, outcome.mape);
+    println!(
+        "relative error: {:.4}  (MAPE {:.4})\n",
+        nrmse_like, outcome.mape
+    );
 
     // ---- second suite: S1 -> S2 (multi-dimensional SKU change) ----
     println!("Second suite (§6.2.3): YCSB on S1 (4 CPU/32 GiB) -> S2 (8 CPU/64 GiB)\n");
@@ -72,15 +91,13 @@ fn main() {
         wp_linalg::stats::mean(&runs)
     };
     for reference in [benchmarks::tpcc(), benchmarks::twitter()] {
-        let rt = if reference.name == "TPC-H" { 1 } else { terminals };
-        let data = scaling_data_from_simulation(
-            sim,
-            &reference,
-            &[s1.clone(), s2.clone()],
-            rt,
-            3,
-            10,
-        );
+        let rt = if reference.name == "TPC-H" {
+            1
+        } else {
+            terminals
+        };
+        let data =
+            scaling_data_from_simulation(sim, &reference, &[s1.clone(), s2.clone()], rt, 3, 10);
         let predictor = ScalingPredictor::fit(reference.name.clone(), ModelStrategy::Svm, &data);
         let predicted = predictor.predict(4.0, 8.0, observed).unwrap();
         let mape = (actual - predicted).abs() / actual;

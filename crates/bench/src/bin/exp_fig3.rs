@@ -49,7 +49,12 @@ fn main() {
     panel(&sim, &benchmarks::tpcc(), 1, "(b) TPC-C, run 1");
     panel(&sim, &benchmarks::twitter(), 0, "(c) Twitter");
     panel(&sim, &benchmarks::tpch(), 0, "(d) TPC-H");
-    panel(&sim, &benchmarks::ycsb(), 0, "(e) YCSB (discussed in §4.3.1)");
+    panel(
+        &sim,
+        &benchmarks::ycsb(),
+        0,
+        "(e) YCSB (discussed in §4.3.1)",
+    );
 
     // overlap summary (the §4.3.1 observations)
     let overlap = |a: &WorkloadSpec, b: &WorkloadSpec| {
@@ -64,7 +69,16 @@ fn main() {
         let sb: std::collections::HashSet<_> = pb.top_k(7).into_iter().collect();
         sa.intersection(&sb).count()
     };
-    println!("top-7 overlap TPC-C ∩ Twitter: {}", overlap(&benchmarks::tpcc(), &benchmarks::twitter()));
-    println!("top-7 overlap TPC-C ∩ TPC-H:   {}", overlap(&benchmarks::tpcc(), &benchmarks::tpch()));
-    println!("top-7 overlap Twitter ∩ TPC-H: {}", overlap(&benchmarks::twitter(), &benchmarks::tpch()));
+    println!(
+        "top-7 overlap TPC-C ∩ Twitter: {}",
+        overlap(&benchmarks::tpcc(), &benchmarks::twitter())
+    );
+    println!(
+        "top-7 overlap TPC-C ∩ TPC-H:   {}",
+        overlap(&benchmarks::tpcc(), &benchmarks::tpch())
+    );
+    println!(
+        "top-7 overlap Twitter ∩ TPC-H: {}",
+        overlap(&benchmarks::twitter(), &benchmarks::tpch())
+    );
 }

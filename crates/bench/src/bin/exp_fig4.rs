@@ -14,7 +14,10 @@ fn main() {
     let result = run_table3(&sim, &sku, 3);
 
     println!("Figure 4: Generalized Accuracy Development Curves.\n");
-    println!("{:<16} {:<40} Pattern", "Strategy", "accuracy @ k=1,3,7,15,all");
+    println!(
+        "{:<16} {:<40} Pattern",
+        "Strategy", "accuracy @ k=1,3,7,15,all"
+    );
     println!("{}", "-".repeat(78));
     let mut counts = [0usize; 3];
     for row in &result.rows {

@@ -68,7 +68,11 @@ fn panel(title: &str, query: &str, corpus: &wp_bench::RunCorpus, sets: &[(&str, 
 fn main() {
     let sim = default_sim();
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let corpus = corpus_fixed_terminals(&sim, &specs, &sku, 8, 3);
 
     let plan_rank = rfe_logreg_ranking(&sim, &specs, &sku, FeatureSet::PlanOnly, 3);

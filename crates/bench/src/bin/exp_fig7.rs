@@ -27,7 +27,11 @@ fn main() {
 
     // simulate runs: PW + references on the 80-vcore machine
     let runs_of = |spec: &wp_workloads::WorkloadSpec| -> Vec<ExperimentRun> {
-        let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" { 1 } else { 16 };
+        let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" {
+            1
+        } else {
+            16
+        };
         (0..3)
             .map(|r| sim.simulate(spec, &sku, terminals, r, r % 3))
             .collect()

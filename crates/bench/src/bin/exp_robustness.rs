@@ -18,11 +18,7 @@ use wp_telemetry::{FeatureId, FeatureSet};
 use wp_workloads::benchmarks;
 use wp_workloads::sku::Sku;
 
-fn accuracy(
-    data: &[RunFeatureData],
-    labels: &[usize],
-    representation: Representation,
-) -> f64 {
+fn accuracy(data: &[RunFeatureData], labels: &[usize], representation: Representation) -> f64 {
     let fps = match representation {
         Representation::HistFp => histfp(data, 10),
         Representation::PhaseFp => phasefp(data, &PhaseFpConfig::default()),
@@ -35,17 +31,17 @@ fn accuracy(
 fn main() {
     let sim = default_sim();
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let corpus = corpus_fixed_terminals(&sim, &specs, &sku, 8, 3);
 
     // MTS needs equal-length series → resource features only; the
     // fingerprints get the same features for a like-for-like comparison.
     let features: Vec<FeatureId> = FeatureSet::ResourceOnly.features();
-    let clean: Vec<RunFeatureData> = corpus
-        .runs
-        .iter()
-        .map(|r| extract(r, &features))
-        .collect();
+    let clean: Vec<RunFeatureData> = corpus.runs.iter().map(|r| extract(r, &features)).collect();
 
     let representations = [
         Representation::HistFp,
@@ -56,7 +52,10 @@ fn main() {
     println!("Robustness ablation: 1-NN accuracy under perturbation (resource features, L2,1)\n");
 
     println!("-- multiplicative measurement noise --");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "repr", "clean", "5%", "15%", "30%");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "repr", "clean", "5%", "15%", "30%"
+    );
     for repr in representations {
         let mut cells = vec![accuracy(&clean, &corpus.labels, repr)];
         for sigma in [0.05, 0.15, 0.30] {
@@ -98,7 +97,9 @@ fn main() {
         );
     }
 
-    println!("\n-- missing data (dropped samples; fingerprints only, MTS requires aligned lengths) --");
+    println!(
+        "\n-- missing data (dropped samples; fingerprints only, MTS requires aligned lengths) --"
+    );
     println!("{:<10} {:>8} {:>8} {:>8}", "repr", "10%", "30%", "50%");
     for repr in [Representation::HistFp, Representation::PhaseFp] {
         let mut cells = Vec::new();

@@ -1,0 +1,84 @@
+//! Parallel-runtime speedup experiment — the acceptance benchmark for
+//! the wp-runtime pool.
+//!
+//! Simulates 60 workload runs, builds their MTS fingerprints, and times
+//! the Independent-DTW pairwise distance matrix sequentially
+//! (`WP_THREADS=1` via `with_thread_count`) and on the full pool. The
+//! two matrices must be bit-identical — the pool reduces in index
+//! order — and the wall-clock ratio is the realized speedup. Results
+//! land in `BENCH_runtime.json` alongside a human-readable summary on
+//! stdout.
+
+use std::time::Instant;
+
+use wp_bench::{default_sim, standardized_workloads};
+use wp_json::obj;
+use wp_similarity::measure::{distance_matrix, Measure};
+use wp_similarity::repr::{extract, mts};
+use wp_telemetry::FeatureSet;
+use wp_workloads::engine::paper_terminals;
+use wp_workloads::Sku;
+
+const N_RUNS: usize = 60;
+const OUT_PATH: &str = "BENCH_runtime.json";
+
+fn main() {
+    let mut sim = default_sim();
+    sim.config.samples = 120;
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = standardized_workloads();
+    let features = FeatureSet::ResourceOnly.features();
+
+    // 60 runs: cycle workloads, their paper terminal counts, and run
+    // indices so the fingerprints are heterogeneous.
+    let mut data = Vec::with_capacity(N_RUNS);
+    let mut i = 0;
+    'outer: loop {
+        for spec in &specs {
+            for &t in &paper_terminals(spec) {
+                if data.len() == N_RUNS {
+                    break 'outer;
+                }
+                let run = sim.simulate(spec, &sku, t, i, i % 3);
+                data.push(extract(&run, &features));
+            }
+        }
+        i += 1;
+    }
+    let fps = mts(&data);
+    println!(
+        "{} MTS fingerprints of {} samples x {} features",
+        fps.len(),
+        fps[0].rows(),
+        fps[0].cols()
+    );
+
+    let start = Instant::now();
+    let seq = wp_runtime::with_thread_count(1, || distance_matrix(&fps, Measure::DtwIndependent));
+    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let threads = wp_runtime::thread_count();
+    let start = Instant::now();
+    let par = distance_matrix(&fps, Measure::DtwIndependent);
+    let par_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(seq, par, "parallel distance matrix must be bit-identical");
+    let speedup = seq_ms / par_ms;
+    println!("sequential: {seq_ms:9.1} ms");
+    println!("parallel:   {par_ms:9.1} ms  ({threads} threads)");
+    println!("speedup:    {speedup:9.2}x  (bit-identical output)");
+
+    let doc = obj! {
+        "experiment" => "distance_matrix_dtw_independent",
+        "runs" => N_RUNS,
+        "samples_per_run" => fps[0].rows(),
+        "features" => fps[0].cols(),
+        "threads" => threads,
+        "seq_ms" => seq_ms,
+        "par_ms" => par_ms,
+        "speedup" => speedup,
+        "bit_identical" => true,
+    };
+    std::fs::write(OUT_PATH, doc.pretty() + "\n").expect("write BENCH_runtime.json");
+    println!("wrote {OUT_PATH}");
+}

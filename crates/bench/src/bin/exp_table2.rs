@@ -9,10 +9,7 @@ fn main() {
     let plans: Vec<&str> = PlanFeature::ALL.iter().map(|f| f.name()).collect();
     let n = ResourceFeature::ALL.len().max(plans.len().div_ceil(2));
     for i in 0..n {
-        let res = ResourceFeature::ALL
-            .get(i)
-            .map(|f| f.name())
-            .unwrap_or("");
+        let res = ResourceFeature::ALL.get(i).map(|f| f.name()).unwrap_or("");
         let p1 = plans.get(2 * i).copied().unwrap_or("");
         let p2 = plans.get(2 * i + 1).copied().unwrap_or("");
         println!("{res:<22} | {p1:<24} {p2}");

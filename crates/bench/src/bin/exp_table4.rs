@@ -38,11 +38,7 @@ fn relevance(corpus: &RunCorpus) -> impl Fn(usize, usize) -> f64 + '_ {
     }
 }
 
-fn score(
-    corpus: &RunCorpus,
-    fps: &[wp_linalg::Matrix],
-    measure: Measure,
-) -> (f64, f64) {
+fn score(corpus: &RunCorpus, fps: &[wp_linalg::Matrix], measure: Measure) -> (f64, f64) {
     let d = distance_matrix(fps, measure);
     let map = mean_average_precision(&d, &corpus.labels);
     let n = ndcg(&d, relevance(corpus));
@@ -54,7 +50,11 @@ type FamilySets = Vec<(&'static str, Vec<(String, Vec<FeatureId>)>)>;
 fn main() {
     let sim = default_sim();
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let corpus = corpus_fixed_terminals(&sim, &specs, &sku, 8, 3);
     eprintln!("corpus: {} runs", corpus.runs.len());
     let run_refs: Vec<&wp_telemetry::ExperimentRun> = corpus.runs.iter().collect();
@@ -72,7 +72,10 @@ fn main() {
 
     // ---- (a) MTS: resource features only ----
     println!("Table 4(a): MTS representation (resource features)\n");
-    println!("{:<18} {:>6} {:>12} {:>12} {:>12}", "Measure", "", "top-3", "top-5", "all");
+    println!(
+        "{:<18} {:>6} {:>12} {:>12} {:>12}",
+        "Measure", "", "top-3", "top-5", "all"
+    );
     println!("{}", "-".repeat(64));
     let res_sets = [
         subset(&res_rank, Some(3)),
@@ -132,8 +135,16 @@ fn main() {
     ];
 
     for (title, norms, use_phase) in [
-        ("Table 4(b): Hist-FP representation", vec![Norm::L21, Norm::L11, Norm::Frobenius, Norm::Canberra], false),
-        ("Table 4(c): Phase-FP representation", vec![Norm::L21, Norm::L11, Norm::Frobenius], true),
+        (
+            "Table 4(b): Hist-FP representation",
+            vec![Norm::L21, Norm::L11, Norm::Frobenius, Norm::Canberra],
+            false,
+        ),
+        (
+            "Table 4(c): Phase-FP representation",
+            vec![Norm::L21, Norm::L11, Norm::Frobenius],
+            true,
+        ),
     ] {
         println!("\n{title}\n");
         print!("{:<12} {:>6}", "Norm", "");

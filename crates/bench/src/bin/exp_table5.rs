@@ -12,7 +12,11 @@ use wp_workloads::sku::Sku;
 fn main() {
     let sim = default_sim();
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let config = WrapperConfig::default();
     let runs = 3;
     let ds = observation_dataset(&sim, &specs, &sku, runs, 10);

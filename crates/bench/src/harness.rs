@@ -1,0 +1,216 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Mirrors the subset of the Criterion API the bench files use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros) so the benches
+//! build and run with no registry dependency. Each benchmark is
+//! calibrated to a per-sample batch of iterations, warmed up, then
+//! timed over a fixed number of samples; mean and minimum per-iteration
+//! times are printed as they complete.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+/// Target wall-clock duration of one timed sample, in nanoseconds.
+const TARGET_SAMPLE_NANOS: u128 = 2_000_000;
+/// Cap on iterations per sample, so cheap bodies don't spin forever.
+const MAX_ITERS_PER_SAMPLE: u128 = 100_000;
+
+/// A benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter, rendered as
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a bare parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and collects per-iteration times.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration nanoseconds over each timed sample.
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one calibration pass sizes the per-sample batch, one
+    /// untimed batch warms caches, then `samples` batches are timed.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NANOS / once).clamp(1, MAX_ITERS_PER_SAMPLE);
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.recorded.push(nanos);
+        }
+    }
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, samples: usize, body: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    body(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.recorded.is_empty() {
+        println!("{label:<44} (no samples)");
+        return;
+    }
+    let mean = b.recorded.iter().sum::<f64>() / b.recorded.len() as f64;
+    let min = b.recorded.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<44} mean {:>11}   min {:>11}   ({} samples)",
+        fmt_nanos(mean),
+        fmt_nanos(min),
+        b.recorded.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.to_string(), self.samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.label, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints nothing).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver; one per `main`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Benchmarks `f` under a bare `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(None, &id.to_string(), DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            recorded: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert_eq!(b.recorded.len(), 5);
+        assert!(b.recorded.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("bins", 10).label, "bins/10");
+        assert_eq!(BenchmarkId::from_parameter("TPC-C").label, "TPC-C");
+    }
+
+    #[test]
+    fn nanos_format_scales_units() {
+        assert_eq!(fmt_nanos(12.0), "12.0 ns");
+        assert_eq!(fmt_nanos(12_500.0), "12.50 µs");
+        assert_eq!(fmt_nanos(3_200_000.0), "3.20 ms");
+    }
+}

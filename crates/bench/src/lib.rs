@@ -1,10 +1,12 @@
 //! Shared setup for the experiment harness binaries (`src/bin/exp_*`) and
-//! the Criterion benches.
+//! the micro-benchmarks.
 //!
 //! Every binary regenerates one table or figure from the paper; this
 //! library centralizes the corpus construction so all experiments see the
-//! same simulated telemetry.
+//! same simulated telemetry. [`harness`] provides the in-repo wall-clock
+//! benchmark driver behind the `benches/` files.
 
+pub mod harness;
 pub mod selection;
 pub mod table3;
 
@@ -128,11 +130,7 @@ pub fn feature_data(
 /// Restricts a feature list to one family and truncates to `k` (the
 /// Table 4 "plan 3/7/all, resource 3/5/all" sub-settings). `k = None`
 /// keeps the whole family.
-pub fn family_top_k(
-    ranked: &[FeatureId],
-    family: FeatureSet,
-    k: Option<usize>,
-) -> Vec<FeatureId> {
+pub fn family_top_k(ranked: &[FeatureId], family: FeatureSet, k: Option<usize>) -> Vec<FeatureId> {
     let keep: Vec<FeatureId> = ranked
         .iter()
         .copied()

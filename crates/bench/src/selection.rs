@@ -29,7 +29,13 @@ pub fn rfe_logreg_ranking(
             let idx: Vec<usize> = (0..ds.len()).filter(|i| (i / 10) % runs == r).collect();
             let x = ds.features.select_rows(&idx).select_cols(&cols);
             let labels: Vec<usize> = idx.iter().map(|&i| ds.labels[i]).collect();
-            rfe(&x, &labels, &universe, Estimator::LogisticRegression, &config)
+            rfe(
+                &x,
+                &labels,
+                &universe,
+                Estimator::LogisticRegression,
+                &config,
+            )
         })
         .collect();
     aggregate_rankings(&rankings)

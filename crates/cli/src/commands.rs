@@ -1,9 +1,9 @@
 //! Subcommand implementations.
 
-use serde_json::json;
 use wp_core::pipeline::{Pipeline, PipelineConfig};
 use wp_featsel::wrapper::{Estimator, WrapperConfig};
 use wp_featsel::Strategy;
+use wp_json::{obj, Json};
 use wp_telemetry::FeatureId;
 use wp_workloads::dataset::LabeledDataset;
 use wp_workloads::engine::{paper_terminals, Simulator};
@@ -61,7 +61,9 @@ pub fn parse_sku(s: &str) -> Result<Sku, String> {
             let (c, m) = custom
                 .split_once('x')
                 .ok_or_else(|| format!("unknown SKU '{custom}'"))?;
-            let cpus: usize = c.parse().map_err(|_| format!("bad CPU count in '{custom}'"))?;
+            let cpus: usize = c
+                .parse()
+                .map_err(|_| format!("bad CPU count in '{custom}'"))?;
             let mem: f64 = m.parse().map_err(|_| format!("bad memory in '{custom}'"))?;
             Ok(Sku::new(format!("cpu{cpus}m{mem}"), cpus, mem))
         }
@@ -89,7 +91,10 @@ pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
 fn workload_by_name(name: &str) -> Result<WorkloadSpec, String> {
     benchmarks::by_name(name).ok_or_else(|| {
         let names: Vec<String> = benchmarks::all().iter().map(|w| w.name.clone()).collect();
-        format!("unknown workload '{name}' (available: {})", names.join(", "))
+        format!(
+            "unknown workload '{name}' (available: {})",
+            names.join(", ")
+        )
     })
 }
 
@@ -112,31 +117,38 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let run = sim.simulate(&spec, &sku, terminals, run_index, run_index % 3);
 
     if args.switch("json") {
-        let resource_means: Vec<_> = wp_telemetry::ResourceFeature::ALL
+        let resource_means: Vec<Json> = wp_telemetry::ResourceFeature::ALL
             .iter()
             .map(|f| {
-                json!({
-                    "feature": f.name(),
-                    "mean": wp_linalg::stats::mean(&run.resources.feature(*f)),
-                })
+                obj! {
+                    "feature" => f.name(),
+                    "mean" => wp_linalg::stats::mean(&run.resources.feature(*f)),
+                }
             })
             .collect();
-        let doc = json!({
-            "workload": run.key.workload,
-            "sku": { "name": sku.name, "cpus": sku.cpus, "memory_gb": sku.memory_gb },
-            "terminals": terminals,
-            "run_index": run_index,
-            "throughput_tps": run.throughput,
-            "latency_ms": run.latency_ms,
-            "samples": run.resources.len(),
-            "queries": run.plans.len(),
-            "resource_means": resource_means,
-        });
-        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        let doc = obj! {
+            "workload" => run.key.workload.clone(),
+            "sku" => obj! {
+                "name" => sku.name.clone(),
+                "cpus" => sku.cpus,
+                "memory_gb" => sku.memory_gb,
+            },
+            "terminals" => terminals,
+            "run_index" => run_index,
+            "throughput_tps" => run.throughput,
+            "latency_ms" => run.latency_ms,
+            "samples" => run.resources.len(),
+            "queries" => run.plans.len(),
+            "resource_means" => resource_means,
+        };
+        println!("{}", doc.pretty());
         return Ok(());
     }
 
-    println!("{} on {} with {terminals} terminals (run {run_index})", run.key.workload, sku);
+    println!(
+        "{} on {} with {terminals} terminals (run {run_index})",
+        run.key.workload, sku
+    );
     println!("  throughput: {:>10.1} req/s", run.throughput);
     println!("  latency:    {:>10.2} ms", run.latency_ms);
     println!(
@@ -232,7 +244,10 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
         &selected,
         &pipeline.config,
     );
-    println!("similarity of {} on {} (top-{top} features, Hist-FP + L2,1):", target.name, sku);
+    println!(
+        "similarity of {} on {} (top-{top} features, Hist-FP + L2,1):",
+        target.name, sku
+    );
     for v in &verdicts {
         println!("  vs {:<8} {:.3}", v.workload, v.distance);
     }
@@ -245,8 +260,7 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
 fn cmd_export(args: &Args) -> Result<(), String> {
     let spec = workload_by_name(args.required("workload")?)?;
     let sku = parse_sku(args.required("sku")?)?;
-    let terminals: usize =
-        args.parsed_or("terminals", *paper_terminals(&spec).first().unwrap())?;
+    let terminals: usize = args.parsed_or("terminals", *paper_terminals(&spec).first().unwrap())?;
     let runs: usize = args.parsed_or("runs", 3)?;
     let sim = sim_with_seed(args)?;
     let records: Vec<_> = (0..runs)
@@ -271,11 +285,23 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         .collect();
     let outcome = pipeline.run(&references, &target, &from, &to, terminals);
 
-    println!("end-to-end prediction: {} from {} to {}", target.name, from, to);
+    println!(
+        "end-to-end prediction: {} from {} to {}",
+        target.name, from, to
+    );
     println!("  most similar reference: {}", outcome.most_similar);
-    println!("  observed  @{}: {:>10.1} req/s", from.name, outcome.observed_throughput);
-    println!("  predicted @{}: {:>10.1} req/s", to.name, outcome.predicted_throughput);
-    println!("  actual    @{}: {:>10.1} req/s (simulator ground truth)", to.name, outcome.actual_throughput);
+    println!(
+        "  observed  @{}: {:>10.1} req/s",
+        from.name, outcome.observed_throughput
+    );
+    println!(
+        "  predicted @{}: {:>10.1} req/s",
+        to.name, outcome.predicted_throughput
+    );
+    println!(
+        "  actual    @{}: {:>10.1} req/s (simulator ground truth)",
+        to.name, outcome.actual_throughput
+    );
     println!("  error: {:.1} %", outcome.mape * 100.0);
     Ok(())
 }

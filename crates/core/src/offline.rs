@@ -85,9 +85,10 @@ pub fn select_features_offline(corpus: &OfflineCorpus, config: &PipelineConfig) 
     let ds = corpus_dataset(corpus);
     let universe = FeatureId::all();
     assert_eq!(ds.features.cols(), N_FEATURES);
-    let ranking: Ranking = config
-        .selection
-        .rank(&ds.features, &ds.labels, &universe, &config.wrapper);
+    let ranking: Ranking =
+        config
+            .selection
+            .rank(&ds.features, &ds.labels, &universe, &config.wrapper);
     aggregate_rankings(&[ranking]).top_k(config.top_k)
 }
 
@@ -173,7 +174,11 @@ mod tests {
     /// JSON interchange, and deserializing — proving the external path.
     fn corpus_via_interchange(sim: &Simulator, from: &Sku, to: &Sku) -> OfflineCorpus {
         let mut corpus = OfflineCorpus::default();
-        for spec in [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()] {
+        for spec in [
+            benchmarks::tpcc(),
+            benchmarks::tpch(),
+            benchmarks::twitter(),
+        ] {
             let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
             let runs_from: Vec<ExperimentRun> = (0..3)
                 .map(|r| sim.simulate(&spec, from, terminals, r, r % 3))
@@ -221,7 +226,10 @@ mod tests {
         // sanity: the prediction lands near the simulator's ground truth
         let actual = wp_linalg::stats::mean(
             &(0..3)
-                .map(|r| sim.simulate(&benchmarks::ycsb(), &to, 8, r, r % 3).throughput)
+                .map(|r| {
+                    sim.simulate(&benchmarks::ycsb(), &to, 8, r, r % 3)
+                        .throughput
+                })
                 .collect::<Vec<_>>(),
         );
         let err = (outcome.predicted_throughput - actual).abs() / actual;

@@ -226,12 +226,10 @@ impl Pipeline {
     ) -> PipelineOutcome {
         assert!(!references.is_empty(), "need reference workloads");
         let cfg = &self.config;
-        let ref_terminals =
-            |spec: &WorkloadSpec| if spec.name == "TPC-H" { 1 } else { terminals };
+        let ref_terminals = |spec: &WorkloadSpec| if spec.name == "TPC-H" { 1 } else { terminals };
 
         // Stage 1 — feature selection on the reference corpus.
-        let selected =
-            select_features(&self.sim, references, from_sku, ref_terminals, cfg);
+        let selected = select_features(&self.sim, references, from_sku, ref_terminals, cfg);
 
         // Stage 2 — similarity between target and references on from_sku.
         let target_runs: Vec<ExperimentRun> = (0..cfg.runs)
@@ -249,8 +247,7 @@ impl Pipeline {
                 (spec.name.clone(), runs)
             })
             .collect();
-        let similarity =
-            find_most_similar(&target_runs, &reference_runs, &selected, cfg);
+        let similarity = find_most_similar(&target_runs, &reference_runs, &selected, cfg);
         let most_similar = similarity[0].workload.clone();
         let reference = references
             .iter()
@@ -258,9 +255,8 @@ impl Pipeline {
             .expect("verdict names come from references");
 
         // Stage 3 — scaling prediction.
-        let observed = wp_linalg::stats::mean(
-            &target_runs.iter().map(|r| r.throughput).collect::<Vec<_>>(),
-        );
+        let observed =
+            wp_linalg::stats::mean(&target_runs.iter().map(|r| r.throughput).collect::<Vec<_>>());
         let predicted = predict_scaling(
             &self.sim,
             reference,
@@ -311,7 +307,11 @@ mod tests {
     #[test]
     fn end_to_end_ycsb_prediction() {
         let p = fast_pipeline();
-        let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+        let references = vec![
+            benchmarks::tpcc(),
+            benchmarks::tpch(),
+            benchmarks::twitter(),
+        ];
         let outcome = p.run(
             &references,
             &benchmarks::ycsb(),
@@ -334,19 +334,21 @@ mod tests {
         let target: Vec<ExperimentRun> = (3..5)
             .map(|r| p.sim.simulate(&benchmarks::tpcc(), &sku, 8, r, r % 3))
             .collect();
-        let refs: Vec<(String, Vec<ExperimentRun>)> =
-            [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()]
-                .iter()
-                .map(|spec| {
-                    let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
-                    let runs = (0..3)
-                        .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
-                        .collect();
-                    (spec.name.clone(), runs)
-                })
+        let refs: Vec<(String, Vec<ExperimentRun>)> = [
+            benchmarks::tpcc(),
+            benchmarks::tpch(),
+            benchmarks::twitter(),
+        ]
+        .iter()
+        .map(|spec| {
+            let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+            let runs = (0..3)
+                .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
                 .collect();
-        let verdicts =
-            find_most_similar(&target, &refs, &FeatureId::all(), &p.config);
+            (spec.name.clone(), runs)
+        })
+        .collect();
+        let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config);
         assert_eq!(verdicts[0].workload, "TPC-C", "{verdicts:?}");
     }
 
@@ -357,19 +359,18 @@ mod tests {
         let target: Vec<ExperimentRun> = (0..2)
             .map(|r| p.sim.simulate(&benchmarks::ycsb(), &sku, 8, r, r % 3))
             .collect();
-        let refs: Vec<(String, Vec<ExperimentRun>)> =
-            [benchmarks::tpcc(), benchmarks::tpch()]
-                .iter()
-                .map(|spec| {
-                    let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
-                    (
-                        spec.name.clone(),
-                        (0..2)
-                            .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
-                            .collect(),
-                    )
-                })
-                .collect();
+        let refs: Vec<(String, Vec<ExperimentRun>)> = [benchmarks::tpcc(), benchmarks::tpch()]
+            .iter()
+            .map(|spec| {
+                let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+                (
+                    spec.name.clone(),
+                    (0..2)
+                        .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
+                        .collect(),
+                )
+            })
+            .collect();
         let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config);
         assert!(verdicts[0].distance <= verdicts[1].distance);
     }

@@ -26,12 +26,7 @@ pub fn subset_accuracy(runs: &[ExperimentRun], labels: &[usize], features: &[Fea
 }
 
 /// Accuracy of a ranking's top-k subset (Table 3 cells).
-pub fn topk_accuracy(
-    runs: &[ExperimentRun],
-    labels: &[usize],
-    ranking: &Ranking,
-    k: usize,
-) -> f64 {
+pub fn topk_accuracy(runs: &[ExperimentRun], labels: &[usize], ranking: &Ranking, k: usize) -> f64 {
     subset_accuracy(runs, labels, &ranking.top_k(k))
 }
 
@@ -81,10 +76,14 @@ mod tests {
     use wp_workloads::{benchmarks, Sku};
 
     fn runs_and_labels() -> (Vec<ExperimentRun>, Vec<usize>) {
-        let mut sim = Simulator::new(11);
+        let mut sim = Simulator::new(17);
         sim.config.samples = 60;
         let sku = Sku::new("cpu16", 16, 64.0);
-        let specs = [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+        let specs = [
+            benchmarks::tpcc(),
+            benchmarks::tpch(),
+            benchmarks::twitter(),
+        ];
         let mut runs = Vec::new();
         let mut labels = Vec::new();
         for (li, spec) in specs.iter().enumerate() {
@@ -128,7 +127,10 @@ mod tests {
         let peak = [(1, 0.5), (3, 0.9), (7, 0.95), (15, 0.8)];
         assert_eq!(classify_pattern(&peak, 0.01), AccuracyPattern::Peaking);
         let noisy = [(1, 0.9), (3, 0.5), (7, 0.8), (15, 0.85)];
-        assert_eq!(classify_pattern(&noisy, 0.01), AccuracyPattern::Inconclusive);
+        assert_eq!(
+            classify_pattern(&noisy, 0.01),
+            AccuracyPattern::Inconclusive
+        );
     }
 
     #[test]

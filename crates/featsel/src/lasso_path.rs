@@ -73,17 +73,16 @@ impl LassoPath {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     /// Throughput depends on features 0 and 2; 1 and 3 are noise.
     fn experiment() -> (Matrix, Vec<f64>, Vec<FeatureId>) {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::new(9);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for _ in 0..40 {
-            let f: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            y.push(100.0 + 10.0 * f[0] + 4.0 * f[2] + rng.gen_range(-0.1..0.1));
+            let f: Vec<f64> = (0..4).map(|_| rng.range(-1.0, 1.0)).collect();
+            y.push(100.0 + 10.0 * f[0] + 4.0 * f[2] + rng.range(-0.1, 0.1));
             rows.push(f);
         }
         let features = (0..4).map(FeatureId::from_global_index).collect();

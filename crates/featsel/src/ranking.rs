@@ -86,10 +86,13 @@ mod tests {
     fn from_scores_orders_descending() {
         let r = Ranking::from_scores(universe(3), vec![0.1, 0.9, 0.5]);
         assert_eq!(r.order, vec![1, 2, 0]);
-        assert_eq!(r.top_k(2), vec![
-            FeatureId::from_global_index(1),
-            FeatureId::from_global_index(2)
-        ]);
+        assert_eq!(
+            r.top_k(2),
+            vec![
+                FeatureId::from_global_index(1),
+                FeatureId::from_global_index(2)
+            ]
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ mod tests {
             Strategy::SfsBackward(Estimator::LogisticRegression).label(),
             "Bw SFS LogReg"
         );
-        assert_eq!(Strategy::Rfe(Estimator::DecisionTree).label(), "RFE DecTree");
+        assert_eq!(
+            Strategy::Rfe(Estimator::DecisionTree).label(),
+            "RFE DecTree"
+        );
         assert_eq!(Strategy::ElasticNet.label(), "Elastic Net");
     }
 

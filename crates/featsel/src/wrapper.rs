@@ -195,11 +195,16 @@ pub fn sfs_forward(
     let mut selected: Vec<usize> = Vec::with_capacity(p);
     let mut remaining: Vec<usize> = (0..p).collect();
     while !remaining.is_empty() {
-        let mut best: Option<(usize, f64)> = None;
-        for (ri, &cand) in remaining.iter().enumerate() {
+        // Score every candidate subset in parallel, then reduce in
+        // candidate order with a strict `>` so ties resolve to the
+        // lowest index — exactly what the sequential loop did.
+        let scores = wp_runtime::par_map_indexed(remaining.len(), |ri| {
             let mut cols = selected.clone();
-            cols.push(cand);
-            let score = cv_score(est, &x.select_cols(&cols), labels, config);
+            cols.push(remaining[ri]);
+            cv_score(est, &x.select_cols(&cols), labels, config)
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (ri, &score) in scores.iter().enumerate() {
             if best.is_none_or(|(_, b)| score > b) {
                 best = Some((ri, score));
             }
@@ -225,11 +230,14 @@ pub fn sfs_backward(
     let mut surviving: Vec<usize> = (0..p).collect();
     let mut removed: Vec<usize> = Vec::with_capacity(p);
     while surviving.len() > 1 {
-        let mut best: Option<(usize, f64)> = None;
-        for drop in 0..surviving.len() {
+        // Same parallel-score / ordered-argmax shape as `sfs_forward`.
+        let scores = wp_runtime::par_map_indexed(surviving.len(), |drop| {
             let mut cols = surviving.clone();
             cols.remove(drop);
-            let score = cv_score(est, &x.select_cols(&cols), labels, config);
+            cv_score(est, &x.select_cols(&cols), labels, config)
+        });
+        let mut best: Option<(usize, f64)> = None;
+        for (drop, &score) in scores.iter().enumerate() {
             if best.is_none_or(|(_, b)| score > b) {
                 best = Some((drop, score));
             }

@@ -1,13 +1,15 @@
-//! Property-based tests for the feature-selection strategies: every
+//! Randomized property tests for the feature-selection strategies: every
 //! strategy must produce a complete, stable ranking and respect basic
-//! information-ordering invariants on synthetic data.
+//! information-ordering invariants on synthetic data. Seeded [`Rng64`]
+//! case loops replace the former external property-testing dependency.
 
-use proptest::prelude::*;
 use wp_featsel::aggregate::aggregate_rankings;
 use wp_featsel::wrapper::WrapperConfig;
 use wp_featsel::{Ranking, Strategy};
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 use wp_telemetry::FeatureId;
+
+const CASES: usize = 12;
 
 /// Builds a dataset where column 0 separates two classes with gap
 /// `signal`, and the remaining columns are deterministic pseudo-noise.
@@ -45,78 +47,92 @@ fn is_permutation(r: &Ranking, p: usize) -> bool {
     sorted == (0..p).collect::<Vec<_>>()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn every_strategy_emits_a_permutation(
-        n in 12usize..40,
-        p in 2usize..6,
-    ) {
-        let n = n - n % 2; // balanced classes
+#[test]
+fn every_strategy_emits_a_permutation() {
+    let mut rng = Rng64::new(0x51);
+    for _ in 0..CASES {
+        let n = {
+            let n = 12 + rng.below(28);
+            n - n % 2 // balanced classes
+        };
+        let p = 2 + rng.below(4);
         let (x, labels) = dataset(n, p, 5.0);
         let u = universe(p);
         for strategy in Strategy::all() {
             let r = strategy.rank(&x, &labels, &u, &fast());
-            prop_assert!(is_permutation(&r, p), "{}", strategy.label());
-            prop_assert_eq!(r.top_k(p).len(), p);
+            assert!(is_permutation(&r, p), "{}", strategy.label());
+            assert_eq!(r.top_k(p).len(), p);
         }
     }
+}
 
-    #[test]
-    fn filters_put_a_strong_signal_first(
-        n in 20usize..60,
-        p in 3usize..8,
-    ) {
-        let n = n - n % 2;
+#[test]
+fn filters_put_a_strong_signal_first() {
+    let mut rng = Rng64::new(0x52);
+    for _ in 0..CASES {
+        let n = {
+            let n = 20 + rng.below(40);
+            n - n % 2
+        };
+        let p = 3 + rng.below(5);
         let (x, labels) = dataset(n, p, 50.0);
         let u = universe(p);
         for strategy in [Strategy::FAnova, Strategy::MiGain, Strategy::Pearson] {
             let r = strategy.rank(&x, &labels, &u, &fast());
-            prop_assert_eq!(r.order[0], 0, "{}: {:?}", strategy.label(), r.order);
+            assert_eq!(r.order[0], 0, "{}: {:?}", strategy.label(), r.order);
         }
     }
+}
 
-    #[test]
-    fn rankings_are_deterministic(
-        n in 16usize..40,
-        p in 2usize..5,
-    ) {
-        let n = n - n % 2;
+#[test]
+fn rankings_are_deterministic() {
+    let mut rng = Rng64::new(0x53);
+    for _ in 0..CASES {
+        let n = {
+            let n = 16 + rng.below(24);
+            n - n % 2
+        };
+        let p = 2 + rng.below(3);
         let (x, labels) = dataset(n, p, 5.0);
         let u = universe(p);
         for strategy in [Strategy::Lasso, Strategy::RandomForest, Strategy::Variance] {
             let a = strategy.rank(&x, &labels, &u, &fast());
             let b = strategy.rank(&x, &labels, &u, &fast());
-            prop_assert_eq!(a.order, b.order, "{}", strategy.label());
+            assert_eq!(a.order, b.order, "{}", strategy.label());
         }
     }
+}
 
-    #[test]
-    fn aggregation_of_identical_rankings_is_identity(
-        p in 2usize..10,
-        copies in 1usize..5,
-    ) {
+#[test]
+fn aggregation_of_identical_rankings_is_identity() {
+    let mut rng = Rng64::new(0x54);
+    for _ in 0..CASES {
+        let p = 2 + rng.below(8);
+        let copies = 1 + rng.below(4);
         let u = universe(p);
         let order: Vec<usize> = (0..p).rev().collect();
         let r = Ranking::from_order(u, order.clone());
         let agg = aggregate_rankings(&vec![r; copies]);
-        prop_assert_eq!(agg.order, order);
+        assert_eq!(agg.order, order);
     }
+}
 
-    #[test]
-    fn top_k_is_a_prefix_of_top_k_plus_one(
-        n in 16usize..40,
-        p in 3usize..7,
-    ) {
-        let n = n - n % 2;
+#[test]
+fn top_k_is_a_prefix_of_top_k_plus_one() {
+    let mut rng = Rng64::new(0x55);
+    for _ in 0..CASES {
+        let n = {
+            let n = 16 + rng.below(24);
+            n - n % 2
+        };
+        let p = 3 + rng.below(4);
         let (x, labels) = dataset(n, p, 5.0);
         let u = universe(p);
         let r = Strategy::FAnova.rank(&x, &labels, &u, &fast());
         for k in 1..p {
             let a = r.top_k(k);
             let b = r.top_k(k + 1);
-            prop_assert_eq!(&a[..], &b[..k]);
+            assert_eq!(&a[..], &b[..k]);
         }
     }
 }

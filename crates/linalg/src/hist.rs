@@ -138,9 +138,7 @@ mod tests {
         let c1 = vec![1.0, 1.0, 1.0, 1.0, 1.0];
         let c2 = vec![0.0, 1.0, 1.0, 1.0, 1.0];
         let c3 = vec![0.0, 0.0, 0.0, 0.0, 1.0];
-        let d = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let d = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert!(d(&c1, &c2) < d(&c1, &c3));
     }
 

@@ -17,17 +17,20 @@
 //! * [`hist`] — equi-width frequency and cumulative histograms (the raw
 //!   material of the paper's Hist-FP representation).
 //! * [`ops`] — slice-level vector kernels shared by the other modules.
+//! * [`rng`] — the workspace's seedable xorshift64* generator.
 
 #![warn(missing_docs)]
 
 pub mod hist;
 pub mod matrix;
 pub mod ops;
+pub mod rng;
 pub mod solve;
 pub mod stats;
 
 pub use hist::{cumulative_histogram, histogram, Histogram};
 pub use matrix::Matrix;
+pub use rng::Rng64;
 pub use solve::{cholesky_solve, lstsq, qr_solve, CholeskyError};
 pub use stats::{
     covariance, max, mean, median, min, pearson, quantile, stddev, variance, MinMaxScaler,

@@ -7,47 +7,30 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize};
-
 /// A dense, row-major `rows × cols` matrix of `f64`.
 ///
 /// Invariant: `data.len() == rows * cols` at all times.
-#[derive(Clone, PartialEq, Serialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
-impl<'de> Deserialize<'de> for Matrix {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        // deserialize through a mirror struct so the length invariant is
-        // re-validated on the way in
-        #[derive(Deserialize)]
-        struct Raw {
-            rows: usize,
-            cols: usize,
-            data: Vec<f64>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        if raw.data.len() != raw.rows * raw.cols {
-            return Err(D::Error::custom(format!(
-                "matrix buffer length {} does not match {}x{}",
-                raw.data.len(),
-                raw.rows,
-                raw.cols
-            )));
-        }
-        Ok(Matrix {
-            rows: raw.rows,
-            cols: raw.cols,
-            data: raw.data,
-        })
-    }
-}
-
 impl Matrix {
+    /// Builds a matrix from a flat row-major buffer, re-validating the
+    /// length invariant instead of panicking. Decoders that accept
+    /// untrusted dimensions (e.g. the telemetry JSON reader) come in
+    /// through here.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, String> {
+        if data.len() != rows * cols {
+            return Err(format!(
+                "matrix buffer length {} does not match {rows}x{cols}",
+                data.len()
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
@@ -102,7 +85,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Self {

@@ -64,7 +64,10 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 
 /// Minimum; `NaN` elements are ignored, empty slice gives `f64::INFINITY`.
 pub fn min(a: &[f64]) -> f64 {
-    a.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    a.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum; `NaN` elements are ignored, empty slice gives `f64::NEG_INFINITY`.

@@ -1,56 +1,78 @@
-//! Property-based tests for the linear-algebra substrate.
+//! Randomized property tests for the linear-algebra substrate.
+//!
+//! Seeded [`Rng64`] case loops stand in for an external property-testing
+//! framework: each test draws `CASES` random instances from a fixed seed,
+//! so failures are reproducible and the suite needs no registry crates.
 
-use proptest::prelude::*;
-use wp_linalg::{cholesky_solve, lstsq, Matrix};
+use wp_linalg::{cholesky_solve, lstsq, Matrix, Rng64};
 
-/// Strategy: a random matrix with bounded entries.
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-100.0..100.0f64, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+const CASES: usize = 64;
+
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.range(-100.0, 100.0)).collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
-proptest! {
-    #[test]
-    fn transpose_is_involution(m in matrix(4, 6)) {
-        prop_assert_eq!(m.transpose().transpose(), m);
-    }
+fn vector(rng: &mut Rng64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.range(lo, hi)).collect()
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in matrix(3, 4),
-        b in matrix(4, 2),
-        c in matrix(4, 2),
-    ) {
+#[test]
+fn transpose_is_involution() {
+    let mut rng = Rng64::new(0x11);
+    for _ in 0..CASES {
+        let m = matrix(&mut rng, 4, 6);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+}
+
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = Rng64::new(0x12);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 2);
+        let c = matrix(&mut rng, 4, 2);
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn gram_is_symmetric_psd_diagonal(m in matrix(5, 3)) {
-        let g = m.gram();
+#[test]
+fn gram_is_symmetric_psd_diagonal() {
+    let mut rng = Rng64::new(0x13);
+    for _ in 0..CASES {
+        let g = matrix(&mut rng, 5, 3).gram();
         for i in 0..3 {
-            prop_assert!(g[(i, i)] >= -1e-9, "diagonal must be non-negative");
+            assert!(g[(i, i)] >= -1e-9, "diagonal must be non-negative");
             for j in 0..3 {
-                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn frobenius_triangle_inequality(a in matrix(3, 3), b in matrix(3, 3)) {
+#[test]
+fn frobenius_triangle_inequality() {
+    let mut rng = Rng64::new(0x14);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 3);
+        let b = matrix(&mut rng, 3, 3);
         let lhs = a.add(&b).frobenius_norm();
         let rhs = a.frobenius_norm() + b.frobenius_norm();
-        prop_assert!(lhs <= rhs + 1e-9);
+        assert!(lhs <= rhs + 1e-9);
     }
+}
 
-    #[test]
-    fn cholesky_solve_recovers_solution(
-        b in matrix(4, 3),
-        x in proptest::collection::vec(-10.0..10.0f64, 3),
-    ) {
+#[test]
+fn cholesky_solve_recovers_solution() {
+    let mut rng = Rng64::new(0x15);
+    for _ in 0..CASES {
+        let b = matrix(&mut rng, 4, 3);
+        let x = vector(&mut rng, 3, -10.0, 10.0);
         // A = BᵀB + I is always SPD
         let mut a = b.gram();
         for i in 0..3 {
@@ -59,69 +81,96 @@ proptest! {
         let rhs = a.matvec(&x);
         let solved = cholesky_solve(&a, &rhs).unwrap();
         for (s, t) in solved.iter().zip(&x) {
-            prop_assert!((s - t).abs() < 1e-6, "{s} vs {t}");
+            assert!((s - t).abs() < 1e-6, "{s} vs {t}");
         }
     }
+}
 
-    #[test]
-    fn lstsq_residual_not_worse_than_zero_vector(
-        x in matrix(8, 3),
-        y in proptest::collection::vec(-10.0..10.0f64, 8),
-    ) {
+#[test]
+fn lstsq_residual_not_worse_than_zero_vector() {
+    let mut rng = Rng64::new(0x16);
+    for _ in 0..CASES {
+        let x = matrix(&mut rng, 8, 3);
+        let y = vector(&mut rng, 8, -10.0, 10.0);
         let beta = lstsq(&x, &y, 1e-9);
         let pred = x.matvec(&beta);
         let rss: f64 = y.iter().zip(&pred).map(|(a, b)| (a - b) * (a - b)).sum();
         let tss: f64 = y.iter().map(|a| a * a).sum();
-        // least squares can never beat... worse than predicting zero
-        prop_assert!(rss <= tss + 1e-6, "rss {rss} > tss {tss}");
+        // least squares can never be worse than predicting zero
+        assert!(rss <= tss + 1e-6, "rss {rss} > tss {tss}");
     }
+}
 
-    #[test]
-    fn minmax_scaler_output_in_unit_interval(m in matrix(6, 4)) {
+#[test]
+fn minmax_scaler_output_in_unit_interval() {
+    let mut rng = Rng64::new(0x17);
+    for _ in 0..CASES {
+        let m = matrix(&mut rng, 6, 4);
         let (_, t) = wp_linalg::MinMaxScaler::fit_transform(&m);
         for v in t.as_slice() {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v));
         }
     }
+}
 
-    #[test]
-    fn standard_scaler_centers_columns(m in matrix(10, 3)) {
+#[test]
+fn standard_scaler_centers_columns() {
+    let mut rng = Rng64::new(0x18);
+    for _ in 0..CASES {
+        let m = matrix(&mut rng, 10, 3);
         let (_, t) = wp_linalg::StandardScaler::fit_transform(&m);
         for j in 0..3 {
             let mean = wp_linalg::stats::mean(&t.col(j));
-            prop_assert!(mean.abs() < 1e-8, "column {j} mean {mean}");
+            assert!(mean.abs() < 1e-8, "column {j} mean {mean}");
         }
     }
+}
 
-    #[test]
-    fn histogram_cumulative_is_monotone(
-        values in proptest::collection::vec(-50.0..50.0f64, 1..60),
-        nbins in 1usize..20,
-    ) {
+#[test]
+fn histogram_cumulative_is_monotone() {
+    let mut rng = Rng64::new(0x19);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(59);
+        let values = vector(&mut rng, len, -50.0, 50.0);
+        let nbins = 1 + rng.below(19);
         let c = wp_linalg::cumulative_histogram(&values, nbins);
-        prop_assert_eq!(c.len(), nbins);
+        assert_eq!(c.len(), nbins);
         for w in c.windows(2) {
-            prop_assert!(w[1] >= w[0] - 1e-12);
+            assert!(w[1] >= w[0] - 1e-12);
         }
-        prop_assert!((c[nbins - 1] - 1.0).abs() < 1e-9);
+        assert!((c[nbins - 1] - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn quantile_between_min_and_max(
-        values in proptest::collection::vec(-50.0..50.0f64, 1..40),
-        q in 0.0..1.0f64,
-    ) {
+#[test]
+fn quantile_between_min_and_max() {
+    let mut rng = Rng64::new(0x1A);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(39);
+        let values = vector(&mut rng, len, -50.0, 50.0);
+        let q = rng.unit();
         let v = wp_linalg::quantile(&values, q);
-        prop_assert!(v >= wp_linalg::min(&values) - 1e-12);
-        prop_assert!(v <= wp_linalg::max(&values) + 1e-12);
+        assert!(v >= wp_linalg::min(&values) - 1e-12);
+        assert!(v <= wp_linalg::max(&values) + 1e-12);
     }
+}
 
-    #[test]
-    fn pearson_bounded(
-        a in proptest::collection::vec(-50.0..50.0f64, 5..30),
-    ) {
+#[test]
+fn pearson_bounded() {
+    let mut rng = Rng64::new(0x1B);
+    for _ in 0..CASES {
+        let len = 5 + rng.below(25);
+        let a = vector(&mut rng, len, -50.0, 50.0);
         let b: Vec<f64> = a.iter().map(|x| x * 2.0 + 1.0).collect();
         let r = wp_linalg::pearson(&a, &b);
-        prop_assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&r));
     }
+}
+
+#[test]
+fn try_from_vec_validates_length() {
+    let ok = Matrix::try_from_vec(2, 3, vec![0.0; 6]);
+    assert!(ok.is_ok());
+    let err = Matrix::try_from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+    assert!(err.contains("does not match"), "{err}");
 }

@@ -5,10 +5,7 @@
 //! the splitters here are deterministic given a seed so experiments are
 //! reproducible run-to-run.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 
 use crate::traits::Regressor;
 
@@ -25,7 +22,10 @@ impl KFold {
     /// Creates a shuffled k-fold splitter.
     pub fn new(k: usize, seed: u64) -> Self {
         assert!(k >= 2, "k-fold needs k >= 2");
-        Self { k, seed: Some(seed) }
+        Self {
+            k,
+            seed: Some(seed),
+        }
     }
 
     /// Produces `(train_indices, test_indices)` pairs, one per fold.
@@ -33,11 +33,14 @@ impl KFold {
     /// Every sample appears in exactly one test fold; fold sizes differ by
     /// at most one.
     pub fn split(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
-        assert!(n >= self.k, "cannot split {n} samples into {} folds", self.k);
+        assert!(
+            n >= self.k,
+            "cannot split {n} samples into {} folds",
+            self.k
+        );
         let mut idx: Vec<usize> = (0..n).collect();
         if let Some(seed) = self.seed {
-            let mut rng = StdRng::seed_from_u64(seed);
-            idx.shuffle(&mut rng);
+            Rng64::new(seed).shuffle(&mut idx);
         }
         let base = n / self.k;
         let extra = n % self.k;
@@ -71,29 +74,31 @@ pub struct FoldScore {
 /// evaluated on each held-out fold (e.g. [`crate::metrics::nrmse`]).
 ///
 /// `make_model` is called once per fold so each fold trains a fresh model.
+/// Folds are evaluated in parallel on the `wp_runtime` pool; scores come
+/// back in fold order, identical to the sequential loop.
 pub fn cross_validate<M: Regressor>(
-    make_model: impl Fn() -> M,
+    make_model: impl Fn() -> M + Sync,
     x: &Matrix,
     y: &[f64],
     kfold: &KFold,
-    metric: impl Fn(&[f64], &[f64]) -> f64,
+    metric: impl Fn(&[f64], &[f64]) -> f64 + Sync,
 ) -> Vec<FoldScore> {
     assert_eq!(x.rows(), y.len(), "cross_validate dimension mismatch");
-    let mut scores = Vec::with_capacity(kfold.k);
-    for (fold, (train, test)) in kfold.split(x.rows()).into_iter().enumerate() {
-        let x_train = x.select_rows(&train);
+    let folds = kfold.split(x.rows());
+    wp_runtime::par_map_indexed(folds.len(), |fold| {
+        let (train, test) = &folds[fold];
+        let x_train = x.select_rows(train);
         let y_train: Vec<f64> = train.iter().map(|&i| y[i]).collect();
-        let x_test = x.select_rows(&test);
+        let x_test = x.select_rows(test);
         let y_test: Vec<f64> = test.iter().map(|&i| y[i]).collect();
         let mut model = make_model();
         model.fit(&x_train, &y_train);
         let pred = model.predict(&x_test);
-        scores.push(FoldScore {
+        FoldScore {
             fold,
             score: metric(&y_test, &pred),
-        });
-    }
-    scores
+        }
+    })
 }
 
 /// Mean of fold scores.
@@ -111,8 +116,7 @@ pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>,
         "test fraction must be in [0, 1)"
     );
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    idx.shuffle(&mut rng);
+    Rng64::new(seed).shuffle(&mut idx);
     let n_test = ((n as f64) * test_fraction).round() as usize;
     let test = idx[..n_test].to_vec();
     let train = idx[n_test..].to_vec();
@@ -129,7 +133,7 @@ mod tests {
         let kf = KFold::new(5, 7);
         let folds = kf.split(23);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 23];
+        let mut seen = [false; 23];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 23);
             for &i in test {

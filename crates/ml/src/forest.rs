@@ -1,9 +1,7 @@
 //! Random forests: bootstrap-aggregated CART trees with per-split feature
 //! subsampling and mean-impurity-decrease feature importances (§4.1.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 
 use crate::traits::{check_fit_inputs, Classifier, Regressor};
 use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};
@@ -32,8 +30,18 @@ impl Default for ForestConfig {
     }
 }
 
-fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
-    (0..n).map(|_| rng.gen_range(0..n)).collect()
+fn bootstrap_indices(n: usize, rng: &mut Rng64) -> Vec<usize> {
+    (0..n).map(|_| rng.below(n)).collect()
+}
+
+/// Draws every tree's bootstrap sample up front from one sequential RNG
+/// stream, so tree training can fan out across threads while the forest
+/// stays bit-identical to the sequential fit.
+fn draw_bootstraps(n_trees: usize, n_rows: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = Rng64::new(seed);
+    (0..n_trees)
+        .map(|_| bootstrap_indices(n_rows, &mut rng))
+        .collect()
 }
 
 fn resolved_tree_config(base: &TreeConfig, n_features: usize, tree_seed: u64) -> TreeConfig {
@@ -102,22 +110,20 @@ impl RandomForestRegressor {
 impl Regressor for RandomForestRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
         check_fit_inputs(x, y.len());
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.trees = (0..self.config.n_trees)
-            .map(|t| {
-                let idx = bootstrap_indices(x.rows(), &mut rng);
-                let xb = x.select_rows(&idx);
-                let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
-                let cfg = resolved_tree_config(
-                    &self.config.tree,
-                    x.cols(),
-                    self.config.seed.wrapping_add(t as u64 + 1),
-                );
-                let mut tree = DecisionTreeRegressor::with_config(cfg);
-                tree.fit(&xb, &yb);
-                tree
-            })
-            .collect();
+        let bootstraps = draw_bootstraps(self.config.n_trees, x.rows(), self.config.seed);
+        self.trees = wp_runtime::par_map_indexed(self.config.n_trees, |t| {
+            let idx = &bootstraps[t];
+            let xb = x.select_rows(idx);
+            let yb: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            let cfg = resolved_tree_config(
+                &self.config.tree,
+                x.cols(),
+                self.config.seed.wrapping_add(t as u64 + 1),
+            );
+            let mut tree = DecisionTreeRegressor::with_config(cfg);
+            tree.fit(&xb, &yb);
+            tree
+        });
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
@@ -176,28 +182,25 @@ impl Classifier for RandomForestClassifier {
     fn fit(&mut self, x: &Matrix, labels: &[usize]) {
         check_fit_inputs(x, labels.len());
         self.n_classes = labels.iter().max().map_or(0, |m| m + 1);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        self.trees = (0..self.config.n_trees)
-            .map(|t| {
-                let idx = bootstrap_indices(x.rows(), &mut rng);
-                let xb = x.select_rows(&idx);
-                let yb: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-                let cfg = resolved_tree_config(
-                    &self.config.tree,
-                    x.cols(),
-                    self.config.seed.wrapping_add(t as u64 + 1),
-                );
-                let mut tree = DecisionTreeClassifier::with_config(cfg);
-                tree.fit(&xb, &yb);
-                tree
-            })
-            .collect();
+        let bootstraps = draw_bootstraps(self.config.n_trees, x.rows(), self.config.seed);
+        self.trees = wp_runtime::par_map_indexed(self.config.n_trees, |t| {
+            let idx = &bootstraps[t];
+            let xb = x.select_rows(idx);
+            let yb: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+            let cfg = resolved_tree_config(
+                &self.config.tree,
+                x.cols(),
+                self.config.seed.wrapping_add(t as u64 + 1),
+            );
+            let mut tree = DecisionTreeClassifier::with_config(cfg);
+            tree.fit(&xb, &yb);
+            tree
+        });
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         assert!(!self.trees.is_empty(), "predict called before fit");
-        let votes_per_tree: Vec<Vec<usize>> =
-            self.trees.iter().map(|t| t.predict(x)).collect();
+        let votes_per_tree: Vec<Vec<usize>> = self.trees.iter().map(|t| t.predict(x)).collect();
         (0..x.rows())
             .map(|r| {
                 let mut counts = vec![0usize; self.n_classes];
@@ -232,15 +235,13 @@ impl Classifier for RandomForestClassifier {
 mod tests {
     use super::*;
     use crate::metrics::{accuracy, rmse};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn friedman_like(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for _ in 0..n {
-            let f: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let f: Vec<f64> = (0..4).map(|_| rng.unit()).collect();
             y.push(10.0 * f[0] + 5.0 * f[1] * f[1] + f[2]);
             rows.push(f);
         }

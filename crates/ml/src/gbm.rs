@@ -5,10 +5,7 @@
 //! shrunken copy to the ensemble; optional stochastic row subsampling
 //! implements the "stochastic gradient boosting" variant.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 
 use crate::traits::{check_fit_inputs, Regressor};
 use crate::tree::{DecisionTreeRegressor, TreeConfig};
@@ -95,7 +92,7 @@ impl Regressor for GradientBoostingRegressor {
         );
         self.base_prediction = wp_linalg::stats::mean(y);
         self.stages = Vec::with_capacity(self.config.n_estimators);
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::new(self.config.seed);
         let mut current = vec![self.base_prediction; x.rows()];
         let n_sub = ((x.rows() as f64) * self.config.subsample).ceil() as usize;
 
@@ -104,7 +101,7 @@ impl Regressor for GradientBoostingRegressor {
             let residuals: Vec<f64> = y.iter().zip(&current).map(|(t, c)| t - c).collect();
             let (xs, rs): (Matrix, Vec<f64>) = if n_sub < x.rows() {
                 let mut idx: Vec<usize> = (0..x.rows()).collect();
-                idx.shuffle(&mut rng);
+                rng.shuffle(&mut idx);
                 idx.truncate(n_sub);
                 (
                     x.select_rows(&idx),
@@ -166,16 +163,15 @@ impl Regressor for GradientBoostingRegressor {
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use rand::Rng;
 
     fn noisy_sine(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for i in 0..n {
             let t = i as f64 / n as f64 * 6.0;
             rows.push(vec![t]);
-            y.push(t.sin() * 3.0 + rng.gen_range(-0.05..0.05));
+            y.push(t.sin() * 3.0 + rng.range(-0.05, 0.05));
         }
         (Matrix::from_rows(&rows), y)
     }

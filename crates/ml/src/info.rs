@@ -115,7 +115,9 @@ pub fn mutual_information_matrix(x: &Matrix, labels: &[usize], n_bins: usize) ->
 
 /// Column-wise [`f_statistic`] for every feature in a matrix.
 pub fn f_statistic_matrix(x: &Matrix, labels: &[usize]) -> Vec<f64> {
-    (0..x.cols()).map(|j| f_statistic(&x.col(j), labels)).collect()
+    (0..x.cols())
+        .map(|j| f_statistic(&x.col(j), labels))
+        .collect()
 }
 
 #[cfg(test)]

@@ -169,10 +169,7 @@ impl Regressor for ElasticNet {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        let scaler = self
-            .scaler
-            .as_ref()
-            .expect("predict called before fit");
+        let scaler = self.scaler.as_ref().expect("predict called before fit");
         let xs = scaler.transform(x);
         xs.iter_rows()
             .map(|row| {
@@ -284,17 +281,16 @@ pub fn lasso_path(x: &Matrix, y: &[f64], n_alphas: usize, eps: f64) -> Vec<PathP
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     /// y depends on features 0 and 1 only; features 2..5 are noise.
     fn sparse_problem(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut rows = Vec::with_capacity(n);
         let mut y = Vec::with_capacity(n);
         for _ in 0..n {
-            let f: Vec<f64> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            y.push(3.0 * f[0] - 2.0 * f[1] + 0.01 * rng.gen_range(-1.0..1.0));
+            let f: Vec<f64> = (0..5).map(|_| rng.range(-1.0, 1.0)).collect();
+            y.push(3.0 * f[0] - 2.0 * f[1] + 0.01 * rng.range(-1.0, 1.0));
             rows.push(f);
         }
         (Matrix::from_rows(&rows), y)
@@ -340,12 +336,12 @@ mod tests {
     fn elastic_net_l2_component_spreads_correlated_features() {
         // two identical columns: lasso may pick one arbitrarily, elastic net
         // splits the weight between them.
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng64::new(4);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for _ in 0..150 {
-            let v: f64 = rng.gen_range(-1.0..1.0);
-            rows.push(vec![v, v, rng.gen_range(-1.0..1.0)]);
+            let v: f64 = rng.range(-1.0, 1.0);
+            rows.push(vec![v, v, rng.range(-1.0, 1.0)]);
             y.push(2.0 * v);
         }
         let x = Matrix::from_rows(&rows);
@@ -361,16 +357,8 @@ mod tests {
         let (x, y) = sparse_problem(120, 5);
         let path = lasso_path(&x, &y, 20, 1e-3);
         assert_eq!(path.len(), 20);
-        let first_active = path[0]
-            .coefficients
-            .iter()
-            .filter(|c| **c != 0.0)
-            .count();
-        let last_active = path[19]
-            .coefficients
-            .iter()
-            .filter(|c| **c != 0.0)
-            .count();
+        let first_active = path[0].coefficients.iter().filter(|c| **c != 0.0).count();
+        let last_active = path[19].coefficients.iter().filter(|c| **c != 0.0).count();
         assert!(first_active <= 1, "alpha_max point should be all-zero-ish");
         assert!(last_active >= 2, "small alpha should activate true support");
         // alphas strictly decreasing

@@ -100,8 +100,7 @@ impl Regressor for RidgeRegression {
         }
         let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
         let beta = lstsq(&xc, &yc, self.alpha.max(1e-12));
-        self.intercept =
-            y_mean - beta.iter().zip(&x_means).map(|(b, m)| b * m).sum::<f64>();
+        self.intercept = y_mean - beta.iter().zip(&x_means).map(|(b, m)| b * m).sum::<f64>();
         self.coefficients = beta;
     }
 

@@ -140,12 +140,7 @@ impl LinearMixedModel {
                 let mut rhs = vec![0.0; q];
                 for &i in idx {
                     let z = self.z_row(x.row(i));
-                    let fixed_fit: f64 = xd
-                        .row(i)
-                        .iter()
-                        .zip(&beta)
-                        .map(|(a, b)| a * b)
-                        .sum();
+                    let fixed_fit: f64 = xd.row(i).iter().zip(&beta).map(|(a, b)| a * b).sum();
                     let r = y[i] - fixed_fit;
                     for a_i in 0..q {
                         rhs[a_i] += z[a_i] * r / sigma2;
@@ -178,12 +173,7 @@ impl LinearMixedModel {
             for i in 0..y.len() {
                 let g = groups[i];
                 let z = self.z_row(x.row(i));
-                let fit: f64 = xd
-                    .row(i)
-                    .iter()
-                    .zip(&beta)
-                    .map(|(a, c)| a * c)
-                    .sum::<f64>()
+                let fit: f64 = xd.row(i).iter().zip(&beta).map(|(a, c)| a * c).sum::<f64>()
                     + wp_linalg::ops::dot(&z, &b[g]);
                 ss += (y[i] - fit) * (y[i] - fit);
             }
@@ -259,7 +249,11 @@ impl Regressor for LinearMixedModel {
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         // Population-level prediction plus the single group's effects when
         // the model was fit un-grouped.
-        let group = if self.random.len() == 1 { Some(0) } else { None };
+        let group = if self.random.len() == 1 {
+            Some(0)
+        } else {
+            None
+        };
         self.predict_group(x, group)
     }
 }
@@ -268,21 +262,20 @@ impl Regressor for LinearMixedModel {
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     /// Three groups sharing slope 2.0 with intercepts −2, 0, +2.
     fn grouped_data(seed: u64) -> (Matrix, Vec<f64>, Vec<usize>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         let mut groups = Vec::new();
         for g in 0..3usize {
             let offset = (g as f64 - 1.0) * 2.0;
             for _ in 0..30 {
-                let x: f64 = rng.gen_range(0.0..10.0);
+                let x: f64 = rng.range(0.0, 10.0);
                 rows.push(vec![x]);
-                y.push(2.0 * x + offset + rng.gen_range(-0.05..0.05));
+                y.push(2.0 * x + offset + rng.range(-0.05, 0.05));
                 groups.push(g);
             }
         }

@@ -71,7 +71,10 @@ fn fit_binary(xs: &Matrix, targets: &[f64], config: &LogisticConfig) -> BinaryHe
             break;
         }
     }
-    BinaryHead { weights: w, bias: b }
+    BinaryHead {
+        weights: w,
+        bias: b,
+    }
 }
 
 /// One-vs-rest logistic regression classifier.
@@ -177,21 +180,20 @@ impl Classifier for LogisticRegression {
 mod tests {
     use super::*;
     use crate::metrics::accuracy;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     /// Three linearly separable blobs in 2-D plus a noise dimension.
     fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let centers = [(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)];
         let mut rows = Vec::new();
         let mut labels = Vec::new();
         for (c, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..n_per {
                 rows.push(vec![
-                    cx + rng.gen_range(-0.5..0.5),
-                    cy + rng.gen_range(-0.5..0.5),
-                    rng.gen_range(-1.0..1.0), // irrelevant feature
+                    cx + rng.range(-0.5, 0.5),
+                    cy + rng.range(-0.5, 0.5),
+                    rng.range(-1.0, 1.0), // irrelevant feature
                 ]);
                 labels.push(c);
             }

@@ -222,10 +222,7 @@ impl Regressor for Mars {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        assert!(
-            !self.coefficients.is_empty(),
-            "predict called before fit"
-        );
+        assert!(!self.coefficients.is_empty(), "predict called before fit");
         assert_eq!(x.cols(), self.n_features, "feature-count mismatch");
         let p = self.n_features;
         x.iter_rows()

@@ -7,9 +7,7 @@
 //! is reproduced precisely because the model family is too flexible for 30
 //! observations, so faithful behaviour matters more than accuracy here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use wp_linalg::{Matrix, StandardScaler};
+use wp_linalg::{Matrix, Rng64, StandardScaler};
 
 use crate::traits::{check_fit_inputs, Regressor};
 
@@ -101,13 +99,13 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(n_in: usize, n_out: usize, rng: &mut StdRng) -> Self {
+    fn new(n_in: usize, n_out: usize, rng: &mut Rng64) -> Self {
         // He-style initialization
         let scale = (2.0 / n_in as f64).sqrt();
         let mut w = Matrix::zeros(n_out, n_in);
         for r in 0..n_out {
             for c in 0..n_in {
-                w[(r, c)] = rng.gen_range(-scale..scale);
+                w[(r, c)] = rng.range(-scale, scale);
             }
         }
         Self {
@@ -184,14 +182,7 @@ impl MlpRegressor {
         acts
     }
 
-    fn adam_step(
-        t: usize,
-        lr: f64,
-        grad: f64,
-        m: &mut f64,
-        v: &mut f64,
-        param: &mut f64,
-    ) {
+    fn adam_step(t: usize, lr: f64, grad: f64, m: &mut f64, v: &mut f64, param: &mut f64) {
         const B1: f64 = 0.9;
         const B2: f64 = 0.999;
         const EPS: f64 = 1e-8;
@@ -220,7 +211,7 @@ impl Regressor for MlpRegressor {
             .map(|v| (v - self.y_offset) / self.y_scale)
             .collect();
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rng = Rng64::new(self.config.seed);
         let mut sizes = vec![x.cols()];
         sizes.extend(&self.config.hidden_layers);
         sizes.push(1);
@@ -239,8 +230,7 @@ impl Regressor for MlpRegressor {
                 .iter()
                 .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
                 .collect();
-            let mut gb: Vec<Vec<f64>> =
-                self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+            let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
 
             for (r, target) in yn.iter().enumerate() {
                 let acts = self.forward_all(xs.row(r));
@@ -268,10 +258,7 @@ impl Regressor for MlpRegressor {
                         }
                     }
                     for (c, nd) in new_delta.iter_mut().enumerate() {
-                        *nd *= self
-                            .config
-                            .activation
-                            .derivative_from_output(acts[li][c]);
+                        *nd *= self.config.activation.derivative_from_output(acts[li][c]);
                     }
                     delta = new_delta;
                 }

@@ -143,19 +143,18 @@ impl Pca {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     /// Data with variance concentrated along (1, 1, 0).
     fn correlated_data(n: usize) -> Matrix {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| {
-                let t: f64 = rng.gen_range(-3.0..3.0);
+                let t: f64 = rng.range(-3.0, 3.0);
                 vec![
-                    t + rng.gen_range(-0.1..0.1),
-                    t + rng.gen_range(-0.1..0.1),
-                    rng.gen_range(-0.3..0.3),
+                    t + rng.range(-0.1, 0.1),
+                    t + rng.range(-0.1, 0.1),
+                    rng.range(-0.3, 0.3),
                 ]
             })
             .collect();
@@ -182,7 +181,10 @@ mod tests {
         let ratio = pca.explained_variance_ratio();
         assert!(ratio[0] > 0.5, "{ratio:?}");
         let total: f64 = ratio.iter().sum();
-        assert!((total - 1.0).abs() < 0.05, "standardized total ≈ 1: {total}");
+        assert!(
+            (total - 1.0).abs() < 0.05,
+            "standardized total ≈ 1: {total}"
+        );
     }
 
     #[test]

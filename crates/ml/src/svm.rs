@@ -201,9 +201,7 @@ impl Regressor for SupportVectorRegressor {
                     .iter_rows()
                     .zip(&self.beta)
                     .filter(|(_, b)| **b != 0.0)
-                    .map(|(sv, b)| {
-                        b * (self.config.kernel.eval(sv, row, self.gamma) + 1.0)
-                    })
+                    .map(|(sv, b)| b * (self.config.kernel.eval(sv, row, self.gamma) + 1.0))
                     .sum();
                 fx * self.y_scale + self.y_offset
             })
@@ -215,8 +213,7 @@ impl Regressor for SupportVectorRegressor {
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use wp_linalg::Rng64;
 
     #[test]
     fn linear_svr_fits_line() {
@@ -230,13 +227,13 @@ mod tests {
 
     #[test]
     fn rbf_svr_fits_nonlinear_curve() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let mut rows = Vec::new();
         let mut y = Vec::new();
         for i in 0..100 {
             let t = i as f64 / 100.0 * 4.0;
             rows.push(vec![t]);
-            y.push((t * 2.0).sin() + rng.gen_range(-0.02..0.02));
+            y.push((t * 2.0).sin() + rng.range(-0.02, 0.02));
         }
         let x = Matrix::from_rows(&rows);
         let mut m = SupportVectorRegressor::rbf();
@@ -246,9 +243,7 @@ mod tests {
 
     #[test]
     fn epsilon_tube_induces_sparsity() {
-        let x = Matrix::from_rows(
-            &(0..50).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>(),
-        );
+        let x = Matrix::from_rows(&(0..50).map(|i| vec![i as f64 / 10.0]).collect::<Vec<_>>());
         let y: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
         let mut wide = SupportVectorRegressor::new(SvrConfig {
             epsilon: 0.5,

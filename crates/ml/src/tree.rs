@@ -5,7 +5,7 @@
 //! selectors, and as the weak learner inside the random forest and the
 //! gradient-boosting ensemble.
 
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 
 use crate::traits::{check_fit_inputs, Classifier, Regressor};
 
@@ -103,9 +103,7 @@ fn impurity(criterion: Criterion, y: &[f64], idx: &[usize]) -> f64 {
 /// Leaf prediction for the samples in `idx`.
 fn leaf_value(criterion: Criterion, y: &[f64], idx: &[usize]) -> f64 {
     match criterion {
-        Criterion::Variance => {
-            idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64
-        }
+        Criterion::Variance => idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64,
         Criterion::Gini { n_classes } => {
             let mut counts = vec![0usize; n_classes];
             for &i in idx {
@@ -130,29 +128,12 @@ struct SplitCandidate {
 }
 
 impl TreeCore {
-    fn fit(
-        &mut self,
-        x: &Matrix,
-        y: &[f64],
-        criterion: Criterion,
-        config: &TreeConfig,
-    ) {
+    fn fit(&mut self, x: &Matrix, y: &[f64], criterion: Criterion, config: &TreeConfig) {
         self.nodes.clear();
         self.importances = vec![0.0; x.cols()];
         let idx: Vec<usize> = (0..x.rows()).collect();
-        let mut rng_state = config.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
-        self.build(x, y, criterion, config, &idx, 0, &mut rng_state);
-    }
-
-    /// xorshift64* — cheap deterministic PRNG for feature subsampling so we
-    /// avoid threading a full `rand` RNG through the recursion.
-    fn next_rand(state: &mut u64) -> u64 {
-        let mut s = *state;
-        s ^= s >> 12;
-        s ^= s << 25;
-        s ^= s >> 27;
-        *state = s;
-        s.wrapping_mul(0x2545F4914F6CDD1D)
+        let mut rng = Rng64::new(config.seed);
+        self.build(x, y, criterion, config, &idx, 0, &mut rng);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -164,22 +145,20 @@ impl TreeCore {
         config: &TreeConfig,
         idx: &[usize],
         depth: usize,
-        rng_state: &mut u64,
+        rng: &mut Rng64,
     ) -> usize {
         let parent_impurity = impurity(criterion, y, idx);
         let stop = depth >= config.max_depth
             || idx.len() < config.min_samples_split
             || parent_impurity <= 1e-12;
         if !stop {
-            if let Some(split) =
-                self.best_split(x, y, criterion, config, idx, parent_impurity, rng_state)
+            if let Some(split) = self.best_split(x, y, criterion, config, idx, parent_impurity, rng)
             {
                 let node_id = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
                 self.importances[split.feature] += split.gain;
-                let left = self.build(x, y, criterion, config, &split.left, depth + 1, rng_state);
-                let right =
-                    self.build(x, y, criterion, config, &split.right, depth + 1, rng_state);
+                let left = self.build(x, y, criterion, config, &split.left, depth + 1, rng);
+                let right = self.build(x, y, criterion, config, &split.right, depth + 1, rng);
                 self.nodes[node_id] = Node::Split {
                     feature: split.feature,
                     threshold: split.threshold,
@@ -205,7 +184,7 @@ impl TreeCore {
         config: &TreeConfig,
         idx: &[usize],
         parent_impurity: f64,
-        rng_state: &mut u64,
+        rng: &mut Rng64,
     ) -> Option<SplitCandidate> {
         let n_features = x.cols();
         // Choose candidate features, optionally a random subset.
@@ -214,7 +193,7 @@ impl TreeCore {
                 let mut all: Vec<usize> = (0..n_features).collect();
                 // partial Fisher-Yates
                 for i in 0..k {
-                    let j = i + (Self::next_rand(rng_state) as usize) % (n_features - i);
+                    let j = i + rng.below(n_features - i);
                     all.swap(i, j);
                 }
                 all.truncate(k);
@@ -232,7 +211,8 @@ impl TreeCore {
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
             // Evaluate midpoints between consecutive distinct values.
-            for cut in config.min_samples_leaf..=sorted.len().saturating_sub(config.min_samples_leaf)
+            for cut in
+                config.min_samples_leaf..=sorted.len().saturating_sub(config.min_samples_leaf)
             {
                 if cut == 0 || cut == sorted.len() {
                     continue;
@@ -245,8 +225,7 @@ impl TreeCore {
                 let threshold = 0.5 * (lo + hi);
                 let left = &sorted[..cut];
                 let right = &sorted[cut..];
-                let child_impurity =
-                    impurity(criterion, y, left) + impurity(criterion, y, right);
+                let child_impurity = impurity(criterion, y, left) + impurity(criterion, y, right);
                 let gain = parent_impurity - child_impurity;
                 if gain > best.as_ref().map_or(1e-12, |b| b.gain) {
                     best = Some(SplitCandidate {
@@ -295,9 +274,7 @@ impl TreeCore {
     fn depth_of(&self, node: usize) -> usize {
         match &self.nodes[node] {
             Node::Leaf { .. } => 0,
-            Node::Split { left, right, .. } => {
-                1 + self.depth_of(*left).max(self.depth_of(*right))
-            }
+            Node::Split { left, right, .. } => 1 + self.depth_of(*left).max(self.depth_of(*right)),
         }
     }
 }
@@ -342,7 +319,9 @@ impl Regressor for DecisionTreeRegressor {
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         assert!(!self.core.nodes.is_empty(), "predict called before fit");
-        x.iter_rows().map(|row| self.core.predict_row(row)).collect()
+        x.iter_rows()
+            .map(|row| self.core.predict_row(row))
+            .collect()
     }
 
     fn feature_importances(&self) -> Option<Vec<f64>> {

@@ -1,76 +1,101 @@
-//! Property-based tests for the ML substrate: metric invariants, model
-//! sanity on generated data, and cross-validation bookkeeping.
+//! Randomized property tests for the ML substrate: metric invariants,
+//! model sanity on generated data, and cross-validation bookkeeping.
+//! Seeded [`Rng64`] case loops replace the former external
+//! property-testing dependency.
 
-use proptest::prelude::*;
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 use wp_ml::metrics::{accuracy, mae, mape, mse, nrmse, r2, rmse};
 use wp_ml::traits::Regressor;
 
-proptest! {
-    #[test]
-    fn rmse_zero_iff_equal(y in proptest::collection::vec(-100.0..100.0f64, 1..30)) {
-        prop_assert!(rmse(&y, &y).abs() < 1e-12);
-        prop_assert!(mae(&y, &y).abs() < 1e-12);
-        prop_assert!(mape(&y, &y).abs() < 1e-12);
-    }
+const CASES: usize = 48;
 
-    #[test]
-    fn rmse_dominates_mae(
-        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..30),
-    ) {
-        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+fn vector(rng: &mut Rng64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.range(lo, hi)).collect()
+}
+
+#[test]
+fn rmse_zero_iff_equal() {
+    let mut rng = Rng64::new(0x41);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(29);
+        let y = vector(&mut rng, n, -100.0, 100.0);
+        assert!(rmse(&y, &y).abs() < 1e-12);
+        assert!(mae(&y, &y).abs() < 1e-12);
+        assert!(mape(&y, &y).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn rmse_dominates_mae() {
+    let mut rng = Rng64::new(0x42);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(29);
+        let t = vector(&mut rng, n, -100.0, 100.0);
+        let p = vector(&mut rng, n, -100.0, 100.0);
         // RMSE ≥ MAE always (Jensen)
-        prop_assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
+        assert!(rmse(&t, &p) >= mae(&t, &p) - 1e-9);
     }
+}
 
-    #[test]
-    fn mse_is_rmse_squared(
-        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 1..30),
-    ) {
-        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-        prop_assert!((mse(&t, &p) - rmse(&t, &p).powi(2)).abs() < 1e-6);
+#[test]
+fn mse_is_rmse_squared() {
+    let mut rng = Rng64::new(0x43);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(29);
+        let t = vector(&mut rng, n, -100.0, 100.0);
+        let p = vector(&mut rng, n, -100.0, 100.0);
+        assert!((mse(&t, &p) - rmse(&t, &p).powi(2)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn r2_at_most_one(
-        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..30),
-    ) {
-        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-        prop_assert!(r2(&t, &p) <= 1.0 + 1e-12);
+#[test]
+fn r2_at_most_one() {
+    let mut rng = Rng64::new(0x44);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(28);
+        let t = vector(&mut rng, n, -100.0, 100.0);
+        let p = vector(&mut rng, n, -100.0, 100.0);
+        assert!(r2(&t, &p) <= 1.0 + 1e-12);
     }
+}
 
-    #[test]
-    fn accuracy_bounded(
-        labels in proptest::collection::vec(0usize..4, 1..30),
-        preds in proptest::collection::vec(0usize..4, 1..30),
-    ) {
-        let n = labels.len().min(preds.len());
-        let a = accuracy(&labels[..n], &preds[..n]);
-        prop_assert!((0.0..=1.0).contains(&a));
+#[test]
+fn accuracy_bounded() {
+    let mut rng = Rng64::new(0x45);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(29);
+        let labels: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
+        let preds: Vec<usize> = (0..n).map(|_| rng.below(4)).collect();
+        let a = accuracy(&labels, &preds);
+        assert!((0.0..=1.0).contains(&a));
     }
+}
 
-    #[test]
-    fn nrmse_scale_invariant(
-        pairs in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 3..30),
-        scale in 0.1..50.0f64,
-    ) {
-        let t: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        prop_assume!(wp_linalg::max(&t) - wp_linalg::min(&t) > 1e-6);
-        let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn nrmse_scale_invariant() {
+    let mut rng = Rng64::new(0x46);
+    for _ in 0..CASES {
+        let n = 3 + rng.below(27);
+        let t = vector(&mut rng, n, 0.0, 100.0);
+        if wp_linalg::max(&t) - wp_linalg::min(&t) <= 1e-6 {
+            continue;
+        }
+        let p = vector(&mut rng, n, 0.0, 100.0);
+        let scale = rng.range(0.1, 50.0);
         let ts: Vec<f64> = t.iter().map(|v| v * scale).collect();
         let ps: Vec<f64> = p.iter().map(|v| v * scale).collect();
-        prop_assert!((nrmse(&t, &p) - nrmse(&ts, &ps)).abs() < 1e-6);
+        assert!((nrmse(&t, &p) - nrmse(&ts, &ps)).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn ols_interpolates_noiseless_lines(
-        slope in -10.0..10.0f64,
-        intercept in -10.0..10.0f64,
-        xs in proptest::collection::vec(-50.0..50.0f64, 3..25),
-    ) {
+#[test]
+fn ols_interpolates_noiseless_lines() {
+    let mut rng = Rng64::new(0x47);
+    for _ in 0..CASES {
+        let slope = rng.range(-10.0, 10.0);
+        let intercept = rng.range(-10.0, 10.0);
+        let len = 3 + rng.below(22);
+        let xs = vector(&mut rng, len, -50.0, 50.0);
         // need at least two distinct x values for identifiability
         let distinct = {
             let mut v: Vec<i64> = xs.iter().map(|x| (x * 1e6) as i64).collect();
@@ -78,19 +103,24 @@ proptest! {
             v.dedup();
             v.len()
         };
-        prop_assume!(distinct >= 2);
+        if distinct < 2 {
+            continue;
+        }
         let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
         let y: Vec<f64> = xs.iter().map(|&v| slope * v + intercept).collect();
         let mut m = wp_ml::linreg::LinearRegression::new();
         m.fit(&x, &y);
         let pred = m.predict(&x);
-        prop_assert!(rmse(&y, &pred) < 1e-4, "rmse {}", rmse(&y, &pred));
+        assert!(rmse(&y, &pred) < 1e-4, "rmse {}", rmse(&y, &pred));
     }
+}
 
-    #[test]
-    fn tree_never_extrapolates_beyond_target_range(
-        xs in proptest::collection::vec(-50.0..50.0f64, 4..25),
-    ) {
+#[test]
+fn tree_never_extrapolates_beyond_target_range() {
+    let mut rng = Rng64::new(0x48);
+    for _ in 0..CASES {
+        let len = 4 + rng.below(21);
+        let xs = vector(&mut rng, len, -50.0, 50.0);
         let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
         let y: Vec<f64> = xs.iter().map(|&v| v * v).collect();
         let mut m = wp_ml::tree::DecisionTreeRegressor::new();
@@ -99,53 +129,75 @@ proptest! {
         let lo = wp_linalg::min(&y);
         let hi = wp_linalg::max(&y);
         for p in m.predict(&probe) {
-            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "tree prediction {p} outside [{lo}, {hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "tree prediction {p} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    #[test]
-    fn kfold_always_partitions(n in 4usize..60, k in 2usize..5, seed in 0u64..100) {
-        prop_assume!(n >= k);
+#[test]
+fn kfold_always_partitions() {
+    let mut rng = Rng64::new(0x49);
+    for _ in 0..CASES {
+        let n = 4 + rng.below(56);
+        let k = 2 + rng.below(3);
+        if n < k {
+            continue;
+        }
+        let seed = rng.next_u64() % 100;
         let folds = wp_ml::cv::KFold::new(k, seed).split(n);
         let mut seen = vec![0usize; n];
         for (train, test) in &folds {
-            prop_assert_eq!(train.len() + test.len(), n);
+            assert_eq!(train.len() + test.len(), n);
             for &i in test {
                 seen[i] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s == 1));
+        assert!(seen.iter().all(|&s| s == 1));
     }
+}
 
-    #[test]
-    fn lasso_coefficients_shrink_with_alpha(
-        xs in proptest::collection::vec(-5.0..5.0f64, 12..30),
-    ) {
+#[test]
+fn lasso_coefficients_shrink_with_alpha() {
+    let mut rng = Rng64::new(0x4A);
+    for _ in 0..CASES {
+        let len = 12 + rng.below(18);
+        let xs = vector(&mut rng, len, -5.0, 5.0);
+        if wp_linalg::stats::stddev(&xs) <= 0.1 {
+            continue;
+        }
         let x = Matrix::from_rows(&xs.iter().map(|&v| vec![v]).collect::<Vec<_>>());
         let y: Vec<f64> = xs.iter().map(|&v| 3.0 * v).collect();
-        prop_assume!(wp_linalg::stats::stddev(&xs) > 0.1);
         let norm_at = |alpha: f64| {
             let mut m = wp_ml::lasso::Lasso::new(alpha);
             m.fit(&x, &y);
             m.coefficients().iter().map(|c| c.abs()).sum::<f64>()
         };
-        prop_assert!(norm_at(1.0) <= norm_at(0.01) + 1e-9);
+        assert!(norm_at(1.0) <= norm_at(0.01) + 1e-9);
     }
+}
 
-    #[test]
-    fn mutual_information_nonnegative(
-        vals in proptest::collection::vec(0.0..10.0f64, 4..40),
-    ) {
+#[test]
+fn mutual_information_nonnegative() {
+    let mut rng = Rng64::new(0x4B);
+    for _ in 0..CASES {
+        let len = 4 + rng.below(36);
+        let vals = vector(&mut rng, len, 0.0, 10.0);
         let labels: Vec<usize> = (0..vals.len()).map(|i| i % 2).collect();
         let mi = wp_ml::info::mutual_information(&vals, &labels, 5);
-        prop_assert!(mi >= 0.0);
+        assert!(mi >= 0.0);
     }
+}
 
-    #[test]
-    fn f_statistic_nonnegative(
-        vals in proptest::collection::vec(-10.0..10.0f64, 4..40),
-    ) {
+#[test]
+fn f_statistic_nonnegative() {
+    let mut rng = Rng64::new(0x4C);
+    for _ in 0..CASES {
+        let len = 4 + rng.below(36);
+        let vals = vector(&mut rng, len, -10.0, 10.0);
         let labels: Vec<usize> = (0..vals.len()).map(|i| i % 3).collect();
-        prop_assert!(wp_ml::info::f_statistic(&vals, &labels) >= 0.0);
+        assert!(wp_ml::info::f_statistic(&vals, &labels) >= 0.0);
     }
 }

@@ -5,13 +5,19 @@
 
 /// Baseline throughput prediction: `value · to_cpus / from_cpus`.
 pub fn linear_scaling_throughput(from_cpus: f64, to_cpus: f64, value: f64) -> f64 {
-    assert!(from_cpus > 0.0 && to_cpus > 0.0, "CPU counts must be positive");
+    assert!(
+        from_cpus > 0.0 && to_cpus > 0.0,
+        "CPU counts must be positive"
+    );
     value * to_cpus / from_cpus
 }
 
 /// Baseline latency prediction: `value · from_cpus / to_cpus`.
 pub fn linear_scaling_latency(from_cpus: f64, to_cpus: f64, value: f64) -> f64 {
-    assert!(from_cpus > 0.0 && to_cpus > 0.0, "CPU counts must be positive");
+    assert!(
+        from_cpus > 0.0 && to_cpus > 0.0,
+        "CPU counts must be positive"
+    );
     value * from_cpus / to_cpus
 }
 

@@ -202,7 +202,8 @@ mod tests {
     #[test]
     fn pairwise_predicts_known_ratio() {
         let (levels, values, groups) = data();
-        let m = PairwiseScalingModel::fit(ModelStrategy::Regression, &levels, &values, Some(&groups));
+        let m =
+            PairwiseScalingModel::fit(ModelStrategy::Regression, &levels, &values, Some(&groups));
         let p = m.predict_value(2.0, 8.0, 105.0).unwrap();
         assert!((p - 105.0 * 2.25).abs() < 2.0, "p = {p}");
     }

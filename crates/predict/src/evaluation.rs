@@ -184,9 +184,8 @@ mod tests {
     fn data() -> ScalingData {
         let levels = vec![2.0, 4.0, 8.0, 16.0];
         let n = 30;
-        let jitter = |i: usize, l: usize| {
-            (((i * 31 + l * 17) * 2654435761) % 1000) as f64 / 1000.0 - 0.5
-        };
+        let jitter =
+            |i: usize, l: usize| (((i * 31 + l * 17) * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
         let groups: Vec<usize> = (0..n).map(|i| i % 3).collect();
         let values: Vec<Vec<f64>> = levels
             .iter()
@@ -218,11 +217,7 @@ mod tests {
         let d = data();
         let cell = pairwise_cv_nrmse(&d, ModelStrategy::Regression, 5, 1);
         let base = baseline_nrmse(&d);
-        assert!(
-            cell.nrmse < base,
-            "model {} vs baseline {base}",
-            cell.nrmse
-        );
+        assert!(cell.nrmse < base, "model {} vs baseline {base}", cell.nrmse);
         assert!(base > 1.0, "baseline should be far off: {base}");
     }
 
@@ -239,12 +234,7 @@ mod tests {
         let d = data();
         for s in [ModelStrategy::Svm, ModelStrategy::GradientBoosting] {
             let cell = pairwise_cv_nrmse(&d, s, 5, 2);
-            assert!(
-                cell.nrmse < 1.5,
-                "{}: nrmse {}",
-                s.label(),
-                cell.nrmse
-            );
+            assert!(cell.nrmse < 1.5, "{}: nrmse {}", s.label(), cell.nrmse);
             assert!(cell.train_seconds >= 0.0);
         }
     }

@@ -58,8 +58,8 @@ impl MultiDimScalingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wp_workloads::engine::Simulator;
     use wp_workloads::benchmarks;
+    use wp_workloads::engine::Simulator;
 
     /// A 3×3 (cpus × memory) SKU grid with a held-out corner.
     fn grid() -> Vec<Sku> {
@@ -102,7 +102,9 @@ mod tests {
         let (xs, ys, gs) = observations(&sim, &train);
         let model = MultiDimScalingModel::fit(ModelStrategy::GradientBoosting, &xs, &ys, Some(&gs));
         let predicted = model.predict(&held_out);
-        let actual = sim.simulate(&benchmarks::tpch(), &held_out, 1, 0, 0).throughput;
+        let actual = sim
+            .simulate(&benchmarks::tpch(), &held_out, 1, 0, 0)
+            .throughput;
         let err = (predicted - actual).abs() / actual;
         assert!(err < 0.5, "predicted {predicted} vs actual {actual}");
     }

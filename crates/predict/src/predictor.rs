@@ -72,12 +72,8 @@ impl ScalingPredictor {
         data: &ScalingData,
     ) -> Self {
         data.validate();
-        let model = PairwiseScalingModel::fit(
-            strategy,
-            &data.levels,
-            &data.values,
-            Some(&data.groups),
-        );
+        let model =
+            PairwiseScalingModel::fit(strategy, &data.levels, &data.values, Some(&data.groups));
         Self {
             reference_workload: reference_workload.into(),
             strategy,
@@ -120,8 +116,7 @@ mod tests {
     #[test]
     fn scaling_data_is_aligned_and_plausible() {
         let sim = sim();
-        let data =
-            scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 8, 3, 10);
+        let data = scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 8, 3, 10);
         assert_eq!(data.levels, vec![2.0, 4.0, 8.0]);
         assert_eq!(data.n_observations(), 30);
         // throughput grows with CPU level
@@ -136,8 +131,7 @@ mod tests {
     #[test]
     fn predictor_transfers_scaling_to_other_workload() {
         let sim = sim();
-        let ref_data =
-            scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 8, 3, 10);
+        let ref_data = scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), 8, 3, 10);
         let predictor = ScalingPredictor::fit("TPC-C", ModelStrategy::Svm, &ref_data);
 
         // target: YCSB, observed at 2 CPUs, predicted at 8
@@ -150,20 +144,20 @@ mod tests {
         let actual_mean = wp_linalg::stats::mean(&actual.throughput);
         let err = (predicted - actual_mean).abs() / actual_mean;
         assert!(err < 0.6, "prediction {predicted} vs actual {actual_mean}");
-        assert!(predicted > observed, "scaling up should increase throughput");
+        assert!(
+            predicted > observed,
+            "scaling up should increase throughput"
+        );
     }
 
     #[test]
     fn reference_prediction_close_to_truth() {
         let sim = sim();
-        let data =
-            scaling_data_from_simulation(&sim, &benchmarks::twitter(), &grid(), 8, 3, 10);
+        let data = scaling_data_from_simulation(&sim, &benchmarks::twitter(), &grid(), 8, 3, 10);
         let predictor = ScalingPredictor::fit("Twitter", ModelStrategy::Regression, &data);
         let from_mean = wp_linalg::stats::mean(&data.values[0]);
         let to_mean = wp_linalg::stats::mean(&data.values[2]);
-        let pred = predictor
-            .predict_reference(2.0, 8.0, from_mean)
-            .unwrap();
+        let pred = predictor.predict_reference(2.0, 8.0, from_mean).unwrap();
         let err = (pred - to_mean).abs() / to_mean;
         assert!(err < 0.2, "pred {pred} vs mean {to_mean}");
     }

@@ -108,11 +108,7 @@ impl QueryLevelPredictor {
         }
         let (ri, qi, _) = best.unwrap();
         let r = &self.references[ri];
-        (
-            &r.workload,
-            &r.transaction_names[qi],
-            r.isolated_factor[qi],
-        )
+        (&r.workload, &r.transaction_names[qi], r.isolated_factor[qi])
     }
 
     /// Predicts a query's latency on the destination SKU from its
@@ -137,15 +133,13 @@ impl QueryLevelPredictor {
                     .unwrap_or_else(|| panic!("unknown reference '{name}'"))
                     .workload_factor
             }
-            None => {
-                wp_linalg::stats::mean(
-                    &self
-                        .references
-                        .iter()
-                        .map(|r| r.workload_factor)
-                        .collect::<Vec<_>>(),
-                )
-            }
+            None => wp_linalg::stats::mean(
+                &self
+                    .references
+                    .iter()
+                    .map(|r| r.workload_factor)
+                    .collect::<Vec<_>>(),
+            ),
         };
         observed_latency_ms * factor
     }
@@ -154,8 +148,8 @@ impl QueryLevelPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wp_workloads::engine::Simulator;
     use wp_workloads::benchmarks;
+    use wp_workloads::engine::Simulator;
 
     fn setup() -> (Simulator, Sku, Sku) {
         let mut sim = Simulator::new(17);
@@ -276,13 +270,7 @@ mod tests {
     #[should_panic(expected = "unknown reference")]
     fn unknown_reference_panics() {
         let (sim, from, to) = setup();
-        let p = QueryLevelPredictor::new(vec![reference(
-            &sim,
-            &benchmarks::tpcc(),
-            &from,
-            &to,
-            8,
-        )]);
+        let p = QueryLevelPredictor::new(vec![reference(&sim, &benchmarks::tpcc(), &from, &to, 8)]);
         let _ = p.predict_workload_latency(Some("Nope"), 1.0);
     }
 }

@@ -6,9 +6,9 @@
 //! grows with CPUs while the workload is compute-bound and flattens once
 //! memory becomes the bottleneck.
 
+use wp_linalg::Matrix;
 use wp_ml::linreg::LinearRegression;
 use wp_ml::traits::Regressor;
-use wp_linalg::Matrix;
 
 /// A linear scaling model clipped at a performance ceiling.
 #[derive(Debug, Clone)]

@@ -219,9 +219,7 @@ mod tests {
         let grouped: Vec<f64> = x
             .iter_rows()
             .zip(&groups)
-            .map(|(row, &g)| {
-                m.predict_group(&Matrix::from_rows(&[row.to_vec()]), Some(g))[0]
-            })
+            .map(|(row, &g)| m.predict_group(&Matrix::from_rows(&[row.to_vec()]), Some(g))[0])
             .collect();
         let grp = nrmse(&y, &grouped);
         assert!(grp <= pop + 1e-9, "grouped {grp} vs population {pop}");
@@ -230,6 +228,9 @@ mod tests {
     #[test]
     fn labels_match_table6() {
         let labels: Vec<&str> = ModelStrategy::ALL.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["Regression", "SVM", "LMM", "GB", "MARS", "NNet"]);
+        assert_eq!(
+            labels,
+            vec!["Regression", "SVM", "LMM", "GB", "MARS", "NNet"]
+        );
     }
 }

@@ -260,7 +260,10 @@ mod tests {
 
     #[test]
     fn short_series_single_segment() {
-        assert_eq!(detect_changepoints(&[1.0, 2.0], &BcpdConfig::default()), vec![0]);
+        assert_eq!(
+            detect_changepoints(&[1.0, 2.0], &BcpdConfig::default()),
+            vec![0]
+        );
         assert_eq!(detect_changepoints(&[], &BcpdConfig::default()), vec![0]);
     }
 }

@@ -170,8 +170,14 @@ pub fn k_medoids(d: &Matrix, k: usize, max_iter: usize) -> Vec<usize> {
         let next = (0..n)
             .filter(|i| !medoids.contains(i))
             .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| d[(a, m)]).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| d[(b, m)]).fold(f64::INFINITY, f64::min);
+                let da = medoids
+                    .iter()
+                    .map(|&m| d[(a, m)])
+                    .fold(f64::INFINITY, f64::min);
+                let db = medoids
+                    .iter()
+                    .map(|&m| d[(b, m)])
+                    .fold(f64::INFINITY, f64::min);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap();
@@ -261,8 +267,7 @@ pub fn silhouette(d: &Matrix, labels: &[usize]) -> f64 {
             if members.is_empty() {
                 continue;
             }
-            let mean =
-                members.iter().map(|&j| d[(i, j)]).sum::<f64>() / members.len() as f64;
+            let mean = members.iter().map(|&j| d[(i, j)]).sum::<f64>() / members.len() as f64;
             b = b.min(mean);
         }
         if b.is_finite() {

@@ -60,9 +60,15 @@ pub fn dtw_dependent(a: &Matrix, b: &Matrix) -> f64 {
 
 /// Independent multivariate DTW: `Σ_k DTW(A₋ₖ, B₋ₖ)` — each dimension is
 /// warped on its own, which tolerates uncorrelated feature dynamics.
+///
+/// Dimensions are aligned in parallel on the [`wp_runtime`] pool; the
+/// per-dimension distances are summed in dimension order, so the result
+/// is bit-identical to a sequential loop.
 pub fn dtw_independent(a: &Matrix, b: &Matrix) -> f64 {
     assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
-    (0..a.cols()).map(|k| dtw(&a.col(k), &b.col(k))).sum()
+    wp_runtime::par_map_indexed(a.cols(), |k| dtw(&a.col(k), &b.col(k)))
+        .into_iter()
+        .sum()
 }
 
 #[cfg(test)]

@@ -74,13 +74,16 @@ pub fn lcss_dependent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
 
 /// Independent multivariate LCSS: mean of the per-dimension LCSS
 /// distances, each dimension aligned separately.
+/// Dimensions are aligned in parallel on the [`wp_runtime`] pool; the
+/// per-dimension distances are averaged in dimension order, so the
+/// result is bit-identical to a sequential loop.
 pub fn lcss_independent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
     assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
     if a.cols() == 0 {
         return 0.0;
     }
-    (0..a.cols())
-        .map(|k| lcss(&a.col(k), &b.col(k), epsilon))
+    wp_runtime::par_map_indexed(a.cols(), |k| lcss(&a.col(k), &b.col(k), epsilon))
+        .into_iter()
         .sum::<f64>()
         / a.cols() as f64
 }

@@ -127,19 +127,64 @@ impl Measure {
     }
 }
 
-/// Full pairwise distance matrix over a set of fingerprints (symmetric,
-/// zero diagonal).
-pub fn distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Matrix {
-    let n = fingerprints.len();
-    let mut d = Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in i + 1..n {
-            let v = measure.apply(&fingerprints[i], &fingerprints[j]);
-            d[(i, j)] = v;
-            d[(j, i)] = v;
+/// Checks that a fingerprint set is usable with `measure`: the set must
+/// be non-empty, norms need identically shaped fingerprints, and elastic
+/// measures need a shared feature count (column dimension).
+pub fn validate_fingerprints(fingerprints: &[Matrix], measure: Measure) -> Result<(), String> {
+    if fingerprints.is_empty() {
+        return Err("distance matrix needs at least one fingerprint".to_string());
+    }
+    let (rows0, cols0) = fingerprints[0].shape();
+    for (i, fp) in fingerprints.iter().enumerate().skip(1) {
+        let (rows, cols) = fp.shape();
+        match measure {
+            Measure::Norm(_) => {
+                if (rows, cols) != (rows0, cols0) {
+                    return Err(format!(
+                        "fingerprint {i} has shape {rows}x{cols} but fingerprint 0 has \
+                         {rows0}x{cols0}; norms need identical shapes"
+                    ));
+                }
+            }
+            _ => {
+                if cols != cols0 {
+                    return Err(format!(
+                        "fingerprint {i} has {cols} features but fingerprint 0 has {cols0}; \
+                         elastic measures need a shared feature count"
+                    ));
+                }
+            }
         }
     }
-    d
+    Ok(())
+}
+
+/// Full pairwise distance matrix over a set of fingerprints (symmetric,
+/// zero diagonal), validated first. Pairs are evaluated in parallel on
+/// the [`wp_runtime`] pool and written back in row-major order, so the
+/// result is bit-identical to a sequential double loop.
+pub fn try_distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Result<Matrix, String> {
+    validate_fingerprints(fingerprints, measure)?;
+    let n = fingerprints.len();
+    let mut d = Matrix::zeros(n, n);
+    for (i, j, v) in
+        wp_runtime::par_pairs(n, |i, j| measure.apply(&fingerprints[i], &fingerprints[j]))
+    {
+        d[(i, j)] = v;
+        d[(j, i)] = v;
+    }
+    Ok(d)
+}
+
+/// Full pairwise distance matrix over a set of fingerprints (symmetric,
+/// zero diagonal).
+///
+/// # Panics
+///
+/// Panics when [`validate_fingerprints`] rejects the input (empty set or
+/// shape mismatch).
+pub fn distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Matrix {
+    try_distance_matrix(fingerprints, measure).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Min-max normalizes a distance matrix's off-diagonal entries into
@@ -231,6 +276,41 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Norm::L21.label(), "L2,1-Norm");
         assert_eq!(Measure::DtwIndependent.label(), "Independent-DTW");
+    }
+
+    #[test]
+    fn empty_fingerprint_set_is_rejected() {
+        let err = try_distance_matrix(&[], Measure::Norm(Norm::L11)).unwrap_err();
+        assert!(err.contains("at least one fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn norm_shape_mismatch_is_rejected() {
+        let fps = vec![Matrix::zeros(3, 2), Matrix::zeros(4, 2)];
+        let err = try_distance_matrix(&fps, Measure::Norm(Norm::Frobenius)).unwrap_err();
+        assert!(err.contains("identical shapes"), "{err}");
+    }
+
+    #[test]
+    fn elastic_feature_count_mismatch_is_rejected() {
+        let fps = vec![Matrix::zeros(3, 2), Matrix::zeros(5, 3)];
+        let err = try_distance_matrix(&fps, Measure::DtwIndependent).unwrap_err();
+        assert!(err.contains("shared feature count"), "{err}");
+        // unequal row counts alone are fine for elastic measures
+        let ok = vec![Matrix::zeros(3, 2), Matrix::zeros(5, 2)];
+        assert!(try_distance_matrix(&ok, Measure::DtwIndependent).is_ok());
+    }
+
+    #[test]
+    fn parallel_distance_matrix_matches_sequential() {
+        let fps: Vec<Matrix> = (0..7).map(|i| fp(i as f64 * 0.7)).collect();
+        let par = wp_runtime::with_thread_count(4, || {
+            distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+        });
+        let seq = wp_runtime::with_thread_count(1, || {
+            distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+        });
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
 
     fn data() -> RunFeatureData {
         RunFeatureData {
-            features: vec![FeatureId::from_global_index(0), FeatureId::from_global_index(1)],
+            features: vec![
+                FeatureId::from_global_index(0),
+                FeatureId::from_global_index(1),
+            ],
             series: vec![
                 (0..100).map(|i| 10.0 + (i % 7) as f64).collect(),
                 (0..100).map(|i| 100.0 + (i % 13) as f64).collect(),
@@ -125,8 +128,14 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let d = data();
-        assert_eq!(inject_noise(&d, 0.1, 7).series, inject_noise(&d, 0.1, 7).series);
-        assert_ne!(inject_noise(&d, 0.1, 7).series, inject_noise(&d, 0.1, 8).series);
+        assert_eq!(
+            inject_noise(&d, 0.1, 7).series,
+            inject_noise(&d, 0.1, 7).series
+        );
+        assert_ne!(
+            inject_noise(&d, 0.1, 7).series,
+            inject_noise(&d, 0.1, 8).series
+        );
     }
 
     #[test]

@@ -1,109 +1,148 @@
-//! Property-based tests for the similarity measures: metric-like
+//! Randomized property tests for the similarity measures: metric-like
 //! properties (identity, symmetry, non-negativity), representation
-//! invariants, and ranking-metric bounds.
+//! invariants, and ranking-metric bounds. Seeded [`Rng64`] case loops
+//! replace the former external property-testing dependency.
 
-use proptest::prelude::*;
-use wp_linalg::Matrix;
+use wp_linalg::{Matrix, Rng64};
 use wp_similarity::measure::{distance_matrix, Measure, Norm};
 use wp_similarity::{dtw, lcss};
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(0.0..10.0f64, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+const CASES: usize = 48;
+
+fn matrix(rng: &mut Rng64, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.range(0.0, 10.0)).collect();
+    Matrix::from_vec(rows, cols, data)
 }
 
-proptest! {
-    #[test]
-    fn norms_are_symmetric_nonnegative_zero_on_identity(
-        a in matrix(5, 3),
-        b in matrix(5, 3),
-    ) {
+fn series(rng: &mut Rng64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.range(lo, hi)).collect()
+}
+
+#[test]
+fn norms_are_symmetric_nonnegative_zero_on_identity() {
+    let mut rng = Rng64::new(0x61);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 5, 3);
+        let b = matrix(&mut rng, 5, 3);
         for norm in Norm::ALL {
             let dab = norm.apply(&a, &b);
             let dba = norm.apply(&b, &a);
-            prop_assert!(dab >= -1e-12, "{}: negative distance", norm.label());
-            prop_assert!((dab - dba).abs() < 1e-9, "{}: asymmetric", norm.label());
+            assert!(dab >= -1e-12, "{}: negative distance", norm.label());
+            assert!((dab - dba).abs() < 1e-9, "{}: asymmetric", norm.label());
             // Correlation distance of a matrix with itself is 0 only when
             // non-constant; skip identity check for it.
             if norm != Norm::Correlation {
-                prop_assert!(norm.apply(&a, &a).abs() < 1e-12, "{}: d(a,a) != 0", norm.label());
+                assert!(
+                    norm.apply(&a, &a).abs() < 1e-12,
+                    "{}: d(a,a) != 0",
+                    norm.label()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn l11_dominates_frobenius(a in matrix(4, 4), b in matrix(4, 4)) {
+#[test]
+fn l11_dominates_frobenius() {
+    let mut rng = Rng64::new(0x62);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 4, 4);
+        let b = matrix(&mut rng, 4, 4);
         // ‖x‖₁ ≥ ‖x‖₂ element-wise over the difference
         let l11 = Norm::L11.apply(&a, &b);
         let fro = Norm::Frobenius.apply(&a, &b);
-        prop_assert!(l11 >= fro - 1e-9);
+        assert!(l11 >= fro - 1e-9);
     }
+}
 
-    #[test]
-    fn l21_between_frobenius_and_l11(a in matrix(4, 4), b in matrix(4, 4)) {
+#[test]
+fn l21_between_frobenius_and_l11() {
+    let mut rng = Rng64::new(0x63);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 4, 4);
+        let b = matrix(&mut rng, 4, 4);
         let l11 = Norm::L11.apply(&a, &b);
         let l21 = Norm::L21.apply(&a, &b);
         let fro = Norm::Frobenius.apply(&a, &b);
-        prop_assert!(l21 >= fro - 1e-9);
-        prop_assert!(l21 <= l11 + 1e-9);
+        assert!(l21 >= fro - 1e-9);
+        assert!(l21 <= l11 + 1e-9);
     }
+}
 
-    #[test]
-    fn dtw_zero_iff_equal_and_symmetric(
-        a in proptest::collection::vec(0.0..5.0f64, 2..20),
-        b in proptest::collection::vec(0.0..5.0f64, 2..20),
-    ) {
-        prop_assert!(dtw::dtw(&a, &a).abs() < 1e-12);
+#[test]
+fn dtw_zero_iff_equal_and_symmetric() {
+    let mut rng = Rng64::new(0x64);
+    for _ in 0..CASES {
+        let la = 2 + rng.below(18);
+        let a = series(&mut rng, la, 0.0, 5.0);
+        let lb = 2 + rng.below(18);
+        let b = series(&mut rng, lb, 0.0, 5.0);
+        assert!(dtw::dtw(&a, &a).abs() < 1e-12);
         let dab = dtw::dtw(&a, &b);
         let dba = dtw::dtw(&b, &a);
-        prop_assert!((dab - dba).abs() < 1e-9);
-        prop_assert!(dab >= 0.0);
+        assert!((dab - dba).abs() < 1e-9);
+        assert!(dab >= 0.0);
     }
+}
 
-    #[test]
-    fn dtw_bounded_by_euclidean_for_equal_lengths(
-        pairs in proptest::collection::vec((0.0..5.0f64, 0.0..5.0f64), 2..20),
-    ) {
-        let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+#[test]
+fn dtw_bounded_by_euclidean_for_equal_lengths() {
+    let mut rng = Rng64::new(0x65);
+    for _ in 0..CASES {
+        let len = 2 + rng.below(18);
+        let a = series(&mut rng, len, 0.0, 5.0);
+        let b = series(&mut rng, len, 0.0, 5.0);
         // the diagonal path is one admissible alignment, so DTW ≤ L2
-        let euclid: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
-        prop_assert!(dtw::dtw(&a, &b) <= euclid + 1e-9);
+        let euclid: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dtw::dtw(&a, &b) <= euclid + 1e-9);
     }
+}
 
-    #[test]
-    fn lcss_distance_in_unit_interval(
-        a in proptest::collection::vec(0.0..5.0f64, 1..15),
-        b in proptest::collection::vec(0.0..5.0f64, 1..15),
-        eps in 0.0..2.0f64,
-    ) {
+#[test]
+fn lcss_distance_in_unit_interval() {
+    let mut rng = Rng64::new(0x66);
+    for _ in 0..CASES {
+        let la = 1 + rng.below(14);
+        let a = series(&mut rng, la, 0.0, 5.0);
+        let lb = 1 + rng.below(14);
+        let b = series(&mut rng, lb, 0.0, 5.0);
+        let eps = rng.range(0.0, 2.0);
         let d = lcss::lcss(&a, &b, eps);
-        prop_assert!((0.0..=1.0).contains(&d));
+        assert!((0.0..=1.0).contains(&d));
         // larger tolerance can only reduce distance
         let d2 = lcss::lcss(&a, &b, eps + 1.0);
-        prop_assert!(d2 <= d + 1e-12);
+        assert!(d2 <= d + 1e-12);
     }
+}
 
-    #[test]
-    fn distance_matrix_symmetric_zero_diagonal(ms in proptest::collection::vec(matrix(3, 2), 2..5)) {
+#[test]
+fn distance_matrix_symmetric_zero_diagonal() {
+    let mut rng = Rng64::new(0x67);
+    for _ in 0..CASES {
+        let count = 2 + rng.below(3);
+        let ms: Vec<Matrix> = (0..count).map(|_| matrix(&mut rng, 3, 2)).collect();
         let d = distance_matrix(&ms, Measure::Norm(Norm::L21));
         for i in 0..ms.len() {
-            prop_assert_eq!(d[(i, i)], 0.0);
+            assert_eq!(d[(i, i)], 0.0);
             for j in 0..ms.len() {
-                prop_assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12);
+                assert!((d[(i, j)] - d[(j, i)]).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn ranking_metrics_bounded(
-        n_per in 2usize..4,
-        seed_vals in proptest::collection::vec(0.0..10.0f64, 16),
-    ) {
+#[test]
+fn ranking_metrics_bounded() {
+    let mut rng = Rng64::new(0x68);
+    for _ in 0..CASES {
         // build a distance matrix from random points in 1-D
-        let n = n_per * 2;
-        let pts: Vec<f64> = seed_vals.into_iter().take(n).collect();
-        prop_assume!(pts.len() == n);
+        let n = (2 + rng.below(2)) * 2;
+        let pts = series(&mut rng, n, 0.0, 10.0);
         let mut d = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..n {
@@ -114,44 +153,51 @@ proptest! {
         let acc = wp_similarity::one_nn_accuracy(&d, &labels);
         let map = wp_similarity::mean_average_precision(&d, &labels);
         let ndcg = wp_similarity::ndcg(&d, |i, j| if labels[i] == labels[j] { 1.0 } else { 0.0 });
-        prop_assert!((0.0..=1.0).contains(&acc));
-        prop_assert!((0.0..=1.0).contains(&map));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&ndcg));
+        assert!((0.0..=1.0).contains(&acc));
+        assert!((0.0..=1.0).contains(&map));
+        assert!((0.0..=1.0 + 1e-9).contains(&ndcg));
     }
+}
 
-    #[test]
-    fn histfp_shape_and_bounds(
-        series_a in proptest::collection::vec(0.0..100.0f64, 5..40),
-        series_b in proptest::collection::vec(0.0..100.0f64, 5..40),
-        nbins in 2usize..16,
-    ) {
-        use wp_similarity::histfp::histfp;
-        use wp_similarity::repr::RunFeatureData;
-        use wp_telemetry::FeatureId;
+#[test]
+fn histfp_shape_and_bounds() {
+    use wp_similarity::histfp::histfp;
+    use wp_similarity::repr::RunFeatureData;
+    use wp_telemetry::FeatureId;
+    let mut rng = Rng64::new(0x69);
+    for _ in 0..CASES {
+        let la = 5 + rng.below(35);
+        let series_a = series(&mut rng, la, 0.0, 100.0);
+        let lb = 5 + rng.below(35);
+        let series_b = series(&mut rng, lb, 0.0, 100.0);
+        let nbins = 2 + rng.below(14);
         let mk = |s: Vec<f64>| RunFeatureData {
             features: vec![FeatureId::from_global_index(0)],
             series: vec![s],
         };
         let fps = histfp(&[mk(series_a), mk(series_b)], nbins);
-        prop_assert_eq!(fps.len(), 2);
+        assert_eq!(fps.len(), 2);
         for fp in &fps {
-            prop_assert_eq!(fp.shape(), (nbins, 1));
+            assert_eq!(fp.shape(), (nbins, 1));
             for v in fp.as_slice() {
-                prop_assert!((0.0..=1.0 + 1e-12).contains(v));
+                assert!((0.0..=1.0 + 1e-12).contains(v));
             }
             // cumulative: last bin is 1
-            prop_assert!((fp[(nbins - 1, 0)] - 1.0).abs() < 1e-9);
+            assert!((fp[(nbins - 1, 0)] - 1.0).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn bcpd_segments_partition_any_series(
-        series in proptest::collection::vec(-10.0..10.0f64, 4..80),
-    ) {
-        use wp_similarity::bcpd::{segments, BcpdConfig};
-        let segs = segments(&series, &BcpdConfig::default());
-        let total: usize = segs.iter().map(|s| s.len()).sum();
-        prop_assert_eq!(total, series.len());
-        prop_assert!(!segs.is_empty());
+#[test]
+fn bcpd_segments_partition_any_series() {
+    use wp_similarity::bcpd::{segments, BcpdConfig};
+    let mut rng = Rng64::new(0x6A);
+    for _ in 0..CASES {
+        let len = 4 + rng.below(76);
+        let s = series(&mut rng, len, -10.0, 10.0);
+        let segs = segments(&s, &BcpdConfig::default());
+        let total: usize = segs.iter().map(|seg| seg.len()).sum();
+        assert_eq!(total, s.len());
+        assert!(!segs.is_empty());
     }
 }

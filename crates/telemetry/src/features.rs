@@ -5,11 +5,9 @@
 //! matrix columns by them, and the experiment harness prints their Table 2
 //! names. Both enums are exhaustive and carry a stable column index.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource-utilization features (left column of Table 2), sampled as a
 /// time-series every ten seconds during workload execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ResourceFeature {
     /// Fraction of provisioned CPU in use.
     CpuUtilization,
@@ -59,7 +57,7 @@ impl ResourceFeature {
 }
 
 /// Query-plan statistics (right column of Table 2), captured per query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PlanFeature {
     /// Optimizer's estimated output rows for the statement.
     StatementEstRows,
@@ -177,7 +175,7 @@ pub const N_FEATURES: usize = ResourceFeature::ALL.len() + PlanFeature::ALL.len(
 ///
 /// The *global index* places resource features at `0..7` and plan features
 /// at `7..29`; the feature-selection matrices use this ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FeatureId {
     /// A resource-utilization feature.
     Resource(ResourceFeature),
@@ -242,7 +240,7 @@ impl FeatureId {
 
 /// Which family of features an analysis draws from (§5.2.2 compares
 /// plan-only, resource-only, and combined feature sets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FeatureSet {
     /// Query-plan statistics only.
     PlanOnly,

@@ -8,18 +8,141 @@
 //! prediction code paths.
 
 use crate::features::ResourceFeature;
-use crate::run::{ExperimentRun, ResourceSeries};
+use crate::run::{ExperimentRun, PlanStats, ResourceSeries, RunKey};
+use wp_json::{obj, Json};
 use wp_linalg::Matrix;
 
 /// Serializes runs to pretty-printed JSON.
 pub fn runs_to_json(runs: &[ExperimentRun]) -> String {
-    serde_json::to_string_pretty(runs).expect("telemetry types serialize infallibly")
+    Json::Arr(runs.iter().map(run_to_json).collect()).pretty()
 }
 
 /// Parses runs from JSON produced by [`runs_to_json`] (or by any external
 /// collector emitting the same schema).
 pub fn runs_from_json(json: &str) -> Result<Vec<ExperimentRun>, String> {
-    serde_json::from_str(json).map_err(|e| format!("invalid telemetry JSON: {e}"))
+    let doc = Json::parse(json).map_err(|e| format!("invalid telemetry JSON: {e}"))?;
+    let runs = doc
+        .as_arr()
+        .ok_or("invalid telemetry JSON: top level must be an array")?;
+    runs.iter()
+        .enumerate()
+        .map(|(i, r)| run_from_json(r).map_err(|e| format!("invalid telemetry JSON: run {i}: {e}")))
+        .collect()
+}
+
+fn matrix_to_json(m: &Matrix) -> Json {
+    obj! {
+        "rows" => m.rows(),
+        "cols" => m.cols(),
+        "data" => m.as_slice().to_vec(),
+    }
+}
+
+fn run_to_json(run: &ExperimentRun) -> Json {
+    obj! {
+        "key" => obj! {
+            "workload" => run.key.workload.clone(),
+            "sku" => run.key.sku.clone(),
+            "terminals" => run.key.terminals,
+            "run_index" => run.key.run_index,
+            "data_group" => run.key.data_group,
+        },
+        "resources" => obj! {
+            "data" => matrix_to_json(&run.resources.data),
+            "sample_interval_secs" => run.resources.sample_interval_secs,
+        },
+        "plans" => obj! {
+            "data" => matrix_to_json(&run.plans.data),
+            "query_names" => run.plans.query_names.clone(),
+        },
+        "throughput" => run.throughput,
+        "latency_ms" => run.latency_ms,
+        "per_query_latency_ms" => run.per_query_latency_ms.clone(),
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn num_field(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' must be a number"))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_usize()
+        .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field '{key}' must be a string"))?
+        .to_string())
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    field(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("field '{key}' must be an array"))
+}
+
+fn f64_array(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    arr_field(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("field '{key}' must contain numbers"))
+        })
+        .collect()
+}
+
+fn string_array(v: &Json, key: &str) -> Result<Vec<String>, String> {
+    arr_field(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field '{key}' must contain strings"))
+        })
+        .collect()
+}
+
+fn matrix_from_json(v: &Json) -> Result<Matrix, String> {
+    Matrix::try_from_vec(
+        usize_field(v, "rows")?,
+        usize_field(v, "cols")?,
+        f64_array(v, "data")?,
+    )
+}
+
+fn run_from_json(v: &Json) -> Result<ExperimentRun, String> {
+    let key = field(v, "key")?;
+    let resources = field(v, "resources")?;
+    let plans = field(v, "plans")?;
+    Ok(ExperimentRun {
+        key: RunKey {
+            workload: str_field(key, "workload")?,
+            sku: str_field(key, "sku")?,
+            terminals: usize_field(key, "terminals")?,
+            run_index: usize_field(key, "run_index")?,
+            data_group: usize_field(key, "data_group")?,
+        },
+        resources: ResourceSeries {
+            data: matrix_from_json(field(resources, "data")?)?,
+            sample_interval_secs: num_field(resources, "sample_interval_secs")?,
+        },
+        plans: PlanStats {
+            data: matrix_from_json(field(plans, "data")?)?,
+            query_names: string_array(plans, "query_names")?,
+        },
+        throughput: num_field(v, "throughput")?,
+        latency_ms: num_field(v, "latency_ms")?,
+        per_query_latency_ms: f64_array(v, "per_query_latency_ms")?,
+    })
 }
 
 /// Parses a resource-utilization CSV into a [`ResourceSeries`].
@@ -55,9 +178,9 @@ pub fn resource_series_from_csv(
         let cells: Vec<&str> = line.split(',').map(str::trim).collect();
         let mut row = Vec::with_capacity(positions.len());
         for (&pos, f) in positions.iter().zip(ResourceFeature::ALL.iter()) {
-            let cell = cells.get(pos).ok_or_else(|| {
-                format!("line {}: too few cells for '{}'", line_no + 2, f.name())
-            })?;
+            let cell = cells
+                .get(pos)
+                .ok_or_else(|| format!("line {}: too few cells for '{}'", line_no + 2, f.name()))?;
             let v: f64 = cell.parse().map_err(|_| {
                 format!(
                     "line {}: cannot parse '{}' for '{}'",
@@ -165,8 +288,14 @@ mod tests {
                    10,60,50,40,30,20,10,5\n";
         let series = resource_series_from_csv(csv, 10.0).unwrap();
         assert_eq!(series.len(), 2);
-        assert_eq!(series.feature(ResourceFeature::CpuUtilization), vec![0.5, 5.0]);
-        assert_eq!(series.feature(ResourceFeature::LockWaitAbs), vec![6.0, 60.0]);
+        assert_eq!(
+            series.feature(ResourceFeature::CpuUtilization),
+            vec![0.5, 5.0]
+        );
+        assert_eq!(
+            series.feature(ResourceFeature::LockWaitAbs),
+            vec![6.0, 60.0]
+        );
     }
 
     #[test]
@@ -182,7 +311,10 @@ mod tests {
                    READ_WRITE_RATIO,LOCK_REQ_ABS,LOCK_WAIT_ABS\n\
                    0.5,abc,0.6,100,1,2,3\n";
         let err = resource_series_from_csv(csv, 10.0).unwrap_err();
-        assert!(err.contains("line 2") && err.contains("CPU_EFFECTIVE"), "{err}");
+        assert!(
+            err.contains("line 2") && err.contains("CPU_EFFECTIVE"),
+            "{err}"
+        );
     }
 
     #[test]

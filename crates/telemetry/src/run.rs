@@ -2,7 +2,6 @@
 //! and the [`ExperimentRun`] record that ties one benchmark execution on
 //! one hardware configuration together.
 
-use serde::{Deserialize, Serialize};
 use wp_linalg::Matrix;
 
 use crate::features::{PlanFeature, ResourceFeature};
@@ -10,7 +9,7 @@ use crate::features::{PlanFeature, ResourceFeature};
 /// A multivariate resource-utilization time-series: one row per sample
 /// (every ten seconds in the paper's setup), one column per
 /// [`ResourceFeature`] in catalog order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceSeries {
     /// `samples × 7` observation matrix.
     pub data: Matrix,
@@ -70,7 +69,7 @@ impl ResourceSeries {
 
 /// Per-query plan statistics: one row per query (transaction type), one
 /// column per [`PlanFeature`] in catalog order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanStats {
     /// `queries × 22` statistics matrix.
     pub data: Matrix,
@@ -125,7 +124,7 @@ impl PlanStats {
 }
 
 /// Identity of one experiment execution.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunKey {
     /// Benchmark name (e.g. `"TPC-C"`).
     pub workload: String,
@@ -151,7 +150,7 @@ impl std::fmt::Display for RunKey {
 
 /// One complete experiment record: identity, both telemetry families, and
 /// the measured performance numbers the prediction stage targets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentRun {
     /// Which workload/SKU/repetition this is.
     pub key: RunKey,
@@ -202,7 +201,10 @@ mod tests {
         let s = series(6);
         let sub = s.select_samples(&[0, 2, 4]);
         assert_eq!(sub.len(), 3);
-        assert_eq!(sub.feature(ResourceFeature::CpuUtilization), vec![0.0, 14.0, 28.0]);
+        assert_eq!(
+            sub.feature(ResourceFeature::CpuUtilization),
+            vec![0.0, 14.0, 28.0]
+        );
     }
 
     #[test]

@@ -41,17 +41,11 @@ pub fn systematic_subsample(series: &ResourceSeries, k: usize) -> Vec<ResourceSe
 /// Panics if `m > n`.
 pub fn random_indices_without_replacement(n: usize, m: usize, seed: u64) -> Vec<usize> {
     assert!(m <= n, "cannot draw {m} samples from {n}");
-    // Fisher-Yates on a scratch index vector driven by xorshift64*.
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    let mut next = move || {
-        state ^= state >> 12;
-        state ^= state << 25;
-        state ^= state >> 27;
-        state.wrapping_mul(0x2545F4914F6CDD1D)
-    };
+    // Partial Fisher-Yates on a scratch index vector.
+    let mut rng = wp_linalg::Rng64::new(seed);
     let mut idx: Vec<usize> = (0..n).collect();
     for i in 0..m {
-        let j = i + (next() as usize) % (n - i);
+        let j = i + rng.below(n - i);
         idx.swap(i, j);
     }
     let mut out = idx[..m].to_vec();

@@ -1,76 +1,92 @@
-//! Property-based tests for the telemetry containers and samplers.
+//! Randomized property tests for the telemetry containers and samplers.
+//!
+//! Seeded [`Rng64`] case loops replace the former external
+//! property-testing dependency; every case is reproducible from the
+//! fixed seeds below.
 
-use proptest::prelude::*;
-use wp_linalg::Matrix;
-use wp_telemetry::sampling::{
-    random_indices_without_replacement, systematic_indices,
-};
+use wp_linalg::{Matrix, Rng64};
+use wp_telemetry::sampling::{random_indices_without_replacement, systematic_indices};
 use wp_telemetry::{FeatureId, ResourceSeries, N_FEATURES};
 
-proptest! {
-    #[test]
-    fn systematic_indices_partition(n in 1usize..500, k in 1usize..20) {
+const CASES: usize = 64;
+
+#[test]
+fn systematic_indices_partition() {
+    let mut rng = Rng64::new(0x21);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(499);
+        let k = 1 + rng.below(19);
         let subs = systematic_indices(n, k);
-        prop_assert_eq!(subs.len(), k);
+        assert_eq!(subs.len(), k);
         let mut seen = vec![false; n];
         for sub in &subs {
             for &i in sub {
-                prop_assert!(!seen[i], "index {i} duplicated");
+                assert!(!seen[i], "index {i} duplicated");
                 seen[i] = true;
             }
             // strictly increasing within a sub-experiment
             for w in sub.windows(2) {
-                prop_assert!(w[1] > w[0]);
+                assert!(w[1] > w[0]);
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         // balanced: sizes differ by at most one
         let sizes: Vec<usize> = subs.iter().map(Vec::len).collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
-        prop_assert!(max - min <= 1);
+        assert!(max - min <= 1);
     }
+}
 
-    #[test]
-    fn random_draw_is_sorted_unique_subset(
-        n in 1usize..300,
-        frac in 0.0..1.0f64,
-        seed in 0u64..1000,
-    ) {
-        let m = ((n as f64) * frac) as usize;
+#[test]
+fn random_draw_is_sorted_unique_subset() {
+    let mut rng = Rng64::new(0x22);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(299);
+        let m = ((n as f64) * rng.unit()) as usize;
+        let seed = rng.next_u64() % 1000;
         let idx = random_indices_without_replacement(n, m, seed);
-        prop_assert_eq!(idx.len(), m);
+        assert_eq!(idx.len(), m);
         for w in idx.windows(2) {
-            prop_assert!(w[1] > w[0]);
+            assert!(w[1] > w[0]);
         }
         if let Some(&last) = idx.last() {
-            prop_assert!(last < n);
+            assert!(last < n);
         }
     }
+}
 
-    #[test]
-    fn feature_id_roundtrip_total(idx in 0usize..N_FEATURES) {
+#[test]
+fn feature_id_roundtrip_total() {
+    for idx in 0..N_FEATURES {
         let f = FeatureId::from_global_index(idx);
-        prop_assert_eq!(f.global_index(), idx);
-        prop_assert_eq!(FeatureId::by_name(f.name()), Some(f));
-        prop_assert!(f.is_plan() != f.is_resource());
+        assert_eq!(f.global_index(), idx);
+        assert_eq!(FeatureId::by_name(f.name()), Some(f));
+        assert!(f.is_plan() != f.is_resource());
     }
+}
 
-    #[test]
-    fn resource_series_select_preserves_values(
-        n in 1usize..50,
-        pick in proptest::collection::vec(0usize..50, 1..20),
-    ) {
+#[test]
+fn resource_series_select_preserves_values() {
+    let mut rng = Rng64::new(0x23);
+    for _ in 0..CASES {
+        let n = 1 + rng.below(49);
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..7).map(|c| (i * 7 + c) as f64).collect())
             .collect();
         let s = ResourceSeries::new(Matrix::from_rows(&rows), 10.0);
-        let idx: Vec<usize> = pick.into_iter().filter(|&i| i < n).collect();
-        prop_assume!(!idx.is_empty());
+        let picks = 1 + rng.below(19);
+        let idx: Vec<usize> = (0..picks)
+            .map(|_| rng.below(50))
+            .filter(|&i| i < n)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
         let sub = s.select_samples(&idx);
-        prop_assert_eq!(sub.len(), idx.len());
-        for (row, &src) in idx.iter().enumerate().map(|(r, s)| (r, s)) {
-            prop_assert_eq!(sub.data.row(row), s.data.row(src));
+        assert_eq!(sub.len(), idx.len());
+        for (row, &src) in idx.iter().enumerate() {
+            assert_eq!(sub.data.row(row), s.data.row(src));
         }
     }
 }

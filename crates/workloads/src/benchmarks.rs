@@ -25,8 +25,7 @@
 use wp_telemetry::{FeatureId, PlanFeature, ResourceFeature};
 
 use crate::spec::{
-    CostProfile, PlanSignatureBuilder, TransactionSpec, UslCoefficients, WorkloadKind,
-    WorkloadSpec,
+    CostProfile, PlanSignatureBuilder, TransactionSpec, UslCoefficients, WorkloadKind, WorkloadSpec,
 };
 
 use FeatureId::{Plan, Resource};
@@ -705,8 +704,7 @@ mod tests {
 
     #[test]
     fn tpcc_twitter_coupling_overlap_is_six() {
-        let c: std::collections::HashSet<_> =
-            tpcc().top_coupled_features(7).into_iter().collect();
+        let c: std::collections::HashSet<_> = tpcc().top_coupled_features(7).into_iter().collect();
         let t: std::collections::HashSet<_> =
             twitter().top_coupled_features(7).into_iter().collect();
         assert_eq!(c.intersection(&t).count(), 6);
@@ -714,10 +712,8 @@ mod tests {
 
     #[test]
     fn tpch_overlaps_pointlookup_workloads_in_one_feature() {
-        let h: std::collections::HashSet<_> =
-            tpch().top_coupled_features(7).into_iter().collect();
-        let c: std::collections::HashSet<_> =
-            tpcc().top_coupled_features(7).into_iter().collect();
+        let h: std::collections::HashSet<_> = tpch().top_coupled_features(7).into_iter().collect();
+        let c: std::collections::HashSet<_> = tpcc().top_coupled_features(7).into_iter().collect();
         let t: std::collections::HashSet<_> =
             twitter().top_coupled_features(7).into_iter().collect();
         assert_eq!(h.intersection(&c).count(), 1);

@@ -25,9 +25,8 @@
 //! All noise is seeded deterministically from the run identity, so every
 //! experiment in the repository is exactly reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use wp_linalg::Matrix;
+use wp_linalg::Rng64;
 use wp_telemetry::{
     ExperimentRun, FeatureId, PlanFeature, PlanStats, ResourceFeature, ResourceSeries, RunKey,
     N_FEATURES,
@@ -112,9 +111,9 @@ fn run_seed(master: u64, workload: &str, sku: &str, terminals: usize, run_index:
 }
 
 /// Standard normal via Box–Muller.
-fn gauss(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
+fn gauss(rng: &mut Rng64) -> f64 {
+    let u1: f64 = f64::EPSILON + (1.0 - f64::EPSILON) * rng.unit();
+    let u2: f64 = rng.unit();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -159,7 +158,7 @@ impl Simulator {
         terminals: usize,
         run_index: usize,
         data_group: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
     ) -> RunLatents {
         let perf = scaling::estimate(spec, sku, terminals);
         // Run-level intensity and jitter are *session* effects (tenant
@@ -167,7 +166,7 @@ impl Simulator {
         // session on different SKUs share them, which is why measured
         // scaling factors between SKU pairs are far cleaner than the raw
         // per-SKU noise (§6.2.3's accurate workload-level transfer).
-        let mut session_rng = StdRng::seed_from_u64(run_seed(
+        let mut session_rng = Rng64::new(run_seed(
             self.config.seed,
             &spec.name,
             "session",
@@ -201,11 +200,11 @@ impl Simulator {
             let jitter = if p == 0 {
                 0
             } else {
-                (rng.gen_range(-0.04..0.04) * n as f64) as isize
+                (rng.range(-0.04, 0.04) * n as f64) as isize
             };
             let start = (nominal as isize + jitter).clamp(0, n as isize - 1) as usize;
             phase_starts.push(start);
-            phase_mult.push(rng.gen_range(0.75..1.30));
+            phase_mult.push(rng.range(0.75, 1.30));
         }
         phase_starts[0] = 0;
 
@@ -280,8 +279,14 @@ impl Simulator {
         run_index: usize,
         data_group: usize,
     ) -> ExperimentRun {
-        let seed = run_seed(self.config.seed, &spec.name, &sku.name, terminals, run_index);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let seed = run_seed(
+            self.config.seed,
+            &spec.name,
+            &sku.name,
+            terminals,
+            run_index,
+        );
+        let mut rng = Rng64::new(seed);
         let lat = self.latents(spec, sku, terminals, run_index, data_group, &mut rng);
         let base = self.resource_base(spec, &lat);
         // Lock waiting depends on which transactions happened to collide,
@@ -331,8 +336,7 @@ impl Simulator {
         let resources = ResourceSeries::new(data, self.config.sample_interval_secs);
 
         // ---- plan statistics ----
-        let (plans, per_query_latency_ms) =
-            self.synth_plans(spec, sku, terminals, &lat, &mut rng);
+        let (plans, per_query_latency_ms) = self.synth_plans(spec, sku, terminals, &lat, &mut rng);
 
         ExperimentRun {
             key: RunKey {
@@ -356,7 +360,7 @@ impl Simulator {
         sku: &Sku,
         terminals: usize,
         lat: &RunLatents,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
     ) -> (PlanStats, Vec<f64>) {
         let nq = spec.transactions.len();
         let mut data = Matrix::zeros(nq, PlanFeature::ALL.len());
@@ -379,8 +383,7 @@ impl Simulator {
                     PlanFeature::EstimatedAvailableDegreeOfParallelism => {
                         v = (sku.cpus as f64 / conc).max(1.0);
                     }
-                    PlanFeature::EstimatedAvailableMemoryGrant
-                    | PlanFeature::GrantedMemory => {
+                    PlanFeature::EstimatedAvailableMemoryGrant | PlanFeature::GrantedMemory => {
                         v *= sku.memory_gb / 64.0 * (4.0 / conc).min(1.5);
                     }
                     PlanFeature::MaxUsedMemory => {
@@ -441,13 +444,19 @@ impl Simulator {
         n_obs: usize,
     ) -> ObservationSet {
         assert!(n_obs > 0, "need at least one observation");
-        let seed = run_seed(self.config.seed, &spec.name, &sku.name, terminals, run_index);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let seed = run_seed(
+            self.config.seed,
+            &spec.name,
+            &sku.name,
+            terminals,
+            run_index,
+        );
+        let mut rng = Rng64::new(seed);
         let lat = self.latents(spec, sku, terminals, run_index, data_group, &mut rng);
         let run = self.simulate(spec, sku, terminals, run_index, data_group);
 
         // an independent stream for within-run sub-experiment variation
-        let mut sub_rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let mut sub_rng = Rng64::new(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
         // measurement noise on aggregated features is much smaller than
         // on raw samples (averaging over ~samples/n_obs points)
         let agg_noise = 0.003;
@@ -463,10 +472,7 @@ impl Simulator {
             // resource features: mean over the sub-experiment's samples,
             // modulated by the shared sub-experiment intensity
             for (j, &f) in ResourceFeature::ALL.iter().enumerate() {
-                let mean = idx
-                    .iter()
-                    .map(|&t| run.resources.data[(t, j)])
-                    .sum::<f64>()
+                let mean = idx.iter().map(|&t| run.resources.data[(t, j)]).sum::<f64>()
                     / idx.len().max(1) as f64;
                 let w = Self::res_coupling(spec, f);
                 let latent = 1.0 + w * cs * delta_sub;
@@ -483,9 +489,7 @@ impl Simulator {
                     (query_mean * latent * (1.0 + agg_noise * gauss(&mut sub_rng))).max(0.0);
             }
             throughput.push(
-                lat.throughput
-                    * (1.0 + cs * delta_sub)
-                    * (1.0 + agg_noise * gauss(&mut sub_rng)),
+                lat.throughput * (1.0 + cs * delta_sub) * (1.0 + agg_noise * gauss(&mut sub_rng)),
             );
         }
 
@@ -723,7 +727,9 @@ mod tests {
         // TPC-C: 2 skus × 3 terminal counts × 3 runs = 18
         // TPC-H: 2 skus × 1 terminal count × 3 runs = 6
         assert_eq!(runs.len(), 24);
-        assert!(runs.iter().any(|r| r.key.workload == "TPC-H" && r.key.terminals == 1));
+        assert!(runs
+            .iter()
+            .any(|r| r.key.workload == "TPC-H" && r.key.terminals == 1));
         // data groups cycle 0,1,2
         assert!(runs.iter().any(|r| r.key.data_group == 2));
     }
@@ -744,7 +750,9 @@ mod tests {
     fn throughput_scales_with_cpus_in_telemetry() {
         let sim = quick_sim();
         let spec = benchmarks::ycsb();
-        let t2 = sim.simulate(&spec, &Sku::new("cpu2", 2, 64.0), 8, 0, 0).throughput;
+        let t2 = sim
+            .simulate(&spec, &Sku::new("cpu2", 2, 64.0), 8, 0, 0)
+            .throughput;
         let t16 = sim
             .simulate(&spec, &Sku::new("cpu16", 16, 64.0), 8, 0, 0)
             .throughput;

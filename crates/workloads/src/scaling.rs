@@ -10,13 +10,11 @@
 //! the transition between *specific* pairs of SKUs deviates from any
 //! single smooth curve.
 
-use serde::{Deserialize, Serialize};
-
 use crate::sku::Sku;
 use crate::spec::{WorkloadKind, WorkloadSpec};
 
 /// Which capacity bound the workload hits on a given SKU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bottleneck {
     /// CPU capacity (after USL efficiency) binds.
     Cpu,
@@ -89,7 +87,11 @@ pub fn estimate(spec: &WorkloadSpec, sku: &Sku, terminals: usize) -> PerfEstimat
     } else {
         f64::INFINITY
     };
-    let spill = if mem_slots < 1.0 { 1.0 / mem_slots } else { 1.0 };
+    let spill = if mem_slots < 1.0 {
+        1.0 / mem_slots
+    } else {
+        1.0
+    };
 
     // --- per-transaction latency -------------------------------------------
     // Intra-transaction parallelism: when there are fewer streams than
@@ -138,8 +140,7 @@ pub fn estimate(spec: &WorkloadSpec, sku: &Sku, terminals: usize) -> PerfEstimat
 
     let cpu_utilization = (throughput * cpu_ms / 1000.0 / cpus).clamp(0.0, 1.0);
     let working_set_mb = mem_mb * (throughput * base_latency_s).max(1.0);
-    let mem_utilization =
-        (working_set_mb / (sku.memory_gb * 1024.0) + 0.12).clamp(0.0, 1.0); // +buffer pool floor
+    let mem_utilization = (working_set_mb / (sku.memory_gb * 1024.0) + 0.12).clamp(0.0, 1.0); // +buffer pool floor
     let iops = throughput * io_ops;
 
     PerfEstimate {
@@ -172,9 +173,8 @@ pub fn per_transaction_latency_ms(
     let io_time = t.cost.io_ops / sku.disk_iops * 1000.0;
     // scale so the mix-weighted per-transaction latency equals the
     // workload latency (conservation of work in the closed loop)
-    let base_mix: f64 = spec.weighted_mean(|tt| {
-        tt.cost.cpu_ms / dop_eff + tt.cost.io_ops / sku.disk_iops * 1000.0
-    });
+    let base_mix: f64 =
+        spec.weighted_mean(|tt| tt.cost.cpu_ms / dop_eff + tt.cost.io_ops / sku.disk_iops * 1000.0);
     let scale = if base_mix > 0.0 {
         whole.latency_ms / base_mix
     } else {
@@ -190,11 +190,7 @@ pub fn per_transaction_latency_ms(
 /// 97, 105]); Figure 1 shows why it misses: the concurrent workload's
 /// contention environment reshapes per-query scaling in ways an isolated
 /// model cannot see.
-pub fn isolated_transaction_latency_ms(
-    spec: &WorkloadSpec,
-    txn_index: usize,
-    sku: &Sku,
-) -> f64 {
+pub fn isolated_transaction_latency_ms(spec: &WorkloadSpec, txn_index: usize, sku: &Sku) -> f64 {
     let t = &spec.transactions[txn_index];
     let dop_eff = usl_effective(sku.cpus as f64, spec.usl.sigma, spec.usl.kappa);
     t.cost.cpu_ms / dop_eff + t.cost.io_ops / sku.disk_iops * 1000.0
@@ -324,7 +320,11 @@ mod tests {
                 .sum()
         };
         let rel = (weighted - whole.latency_ms).abs() / whole.latency_ms;
-        assert!(rel < 0.05, "weighted {weighted} vs whole {}", whole.latency_ms);
+        assert!(
+            rel < 0.05,
+            "weighted {weighted} vs whole {}",
+            whole.latency_ms
+        );
     }
 
     #[test]

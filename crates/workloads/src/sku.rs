@@ -6,10 +6,8 @@
 //! §6.2.3 end-to-end experiment (S1 = 4 CPU / 32 GB, S2 = 8 CPU / 64 GB)
 //! and an 80-vcore machine for the production-workload study (§5.2.3).
 
-use serde::{Deserialize, Serialize};
-
 /// One hardware configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sku {
     /// Stable label used in run keys (e.g. `"cpu8"`).
     pub name: String,

@@ -8,11 +8,10 @@
 //! fluctuations — the property the paper's per-experiment feature
 //! selection (Figure 3) measures.
 
-use serde::{Deserialize, Serialize};
 use wp_telemetry::{FeatureId, PlanFeature};
 
 /// Workload category as defined in §2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Real-time, write-heavy (e.g. TPC-C).
     Transactional,
@@ -34,7 +33,7 @@ impl WorkloadKind {
 }
 
 /// Per-transaction resource demands at one concurrent stream on one CPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostProfile {
     /// CPU work per execution, in milliseconds.
     pub cpu_ms: f64,
@@ -58,7 +57,7 @@ impl CostProfile {
 }
 
 /// One transaction (or query template) in the mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransactionSpec {
     /// Template name (e.g. `"NewOrder"`, `"Q1"`).
     pub name: String,
@@ -89,7 +88,7 @@ impl TransactionSpec {
 
 /// Universal-Scalability-Law coefficients (Gunther): contention `sigma`
 /// penalizes serialization, coherency `kappa` penalizes crosstalk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UslCoefficients {
     /// Serial/contention fraction.
     pub sigma: f64,
@@ -98,7 +97,7 @@ pub struct UslCoefficients {
 }
 
 /// The full workload model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name (Table 1 row label).
     pub name: String,

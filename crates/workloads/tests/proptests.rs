@@ -1,10 +1,13 @@
-//! Property-based tests for the simulator: physical invariants that must
-//! hold for any SKU / terminal / seed combination.
+//! Randomized property tests for the simulator: physical invariants that
+//! must hold for any SKU / terminal / seed combination. Seeded [`Rng64`]
+//! case loops replace the former external property-testing dependency.
 
-use proptest::prelude::*;
+use wp_linalg::Rng64;
 use wp_workloads::engine::Simulator;
 use wp_workloads::scaling;
 use wp_workloads::{benchmarks, Sku};
+
+const CASES: usize = 24;
 
 fn workload(idx: usize) -> wp_workloads::WorkloadSpec {
     // keep to the small-transaction-count models so tests stay fast
@@ -15,101 +18,103 @@ fn workload(idx: usize) -> wp_workloads::WorkloadSpec {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn perf_estimate_is_physical(
-        widx in 0usize..3,
-        cpus in 1usize..64,
-        mem in 2.0..256.0f64,
-        terminals in 1usize..64,
-    ) {
-        let spec = workload(widx);
+#[test]
+fn perf_estimate_is_physical() {
+    let mut rng = Rng64::new(0x31);
+    for _ in 0..CASES {
+        let spec = workload(rng.below(3));
+        let cpus = 1 + rng.below(63);
+        let mem = rng.range(2.0, 256.0);
+        let terminals = 1 + rng.below(63);
         let sku = Sku::new("p", cpus, mem);
         let est = scaling::estimate(&spec, &sku, terminals);
-        prop_assert!(est.throughput_tps > 0.0);
-        prop_assert!(est.latency_ms > 0.0);
-        prop_assert!((0.0..=1.0).contains(&est.cpu_utilization));
-        prop_assert!((0.0..=1.0).contains(&est.mem_utilization));
-        prop_assert!(est.lock_wait_factor >= 1.0);
-        prop_assert!(est.effective_cpus > 0.0 && est.effective_cpus <= cpus as f64);
+        assert!(est.throughput_tps > 0.0);
+        assert!(est.latency_ms > 0.0);
+        assert!((0.0..=1.0).contains(&est.cpu_utilization));
+        assert!((0.0..=1.0).contains(&est.mem_utilization));
+        assert!(est.lock_wait_factor >= 1.0);
+        assert!(est.effective_cpus > 0.0 && est.effective_cpus <= cpus as f64);
         // Little's law consistency in the closed loop:
         // latency = terminals / throughput
         let littles = terminals as f64 / est.throughput_tps * 1000.0;
-        prop_assert!((littles - est.latency_ms).abs() / est.latency_ms < 1e-9);
+        assert!((littles - est.latency_ms).abs() / est.latency_ms < 1e-9);
     }
+}
 
-    #[test]
-    fn more_cpus_help_within_the_paper_grid(
-        widx in 0usize..3,
-        cpus in 1usize..8,
-        terminals in 1usize..32,
-    ) {
+#[test]
+fn more_cpus_help_within_the_paper_grid() {
+    let mut rng = Rng64::new(0x32);
+    for _ in 0..CASES {
         // Within the paper's 2–16 CPU grid, doubling CPUs must help.
         // (Beyond ~16 the USL coherency term makes contended workloads
         // retrograde — deliberate, and covered by usl_is_bounded_and_peaks.)
-        let spec = workload(widx);
+        let spec = workload(rng.below(3));
+        let cpus = 1 + rng.below(7);
+        let terminals = 1 + rng.below(31);
         let small = scaling::estimate(&spec, &Sku::new("a", cpus, 64.0), terminals);
         let big = scaling::estimate(&spec, &Sku::new("b", cpus * 2, 64.0), terminals);
-        prop_assert!(
+        assert!(
             big.throughput_tps >= small.throughput_tps * 0.99,
             "{} -> {}",
             small.throughput_tps,
             big.throughput_tps
         );
     }
+}
 
-    #[test]
-    fn simulated_telemetry_is_finite_and_bounded(
-        widx in 0usize..3,
-        seed in 0u64..50,
-        run_index in 0usize..4,
-    ) {
-        let spec = workload(widx);
+#[test]
+fn simulated_telemetry_is_finite_and_bounded() {
+    let mut rng = Rng64::new(0x33);
+    for _ in 0..CASES {
+        let spec = workload(rng.below(3));
+        let seed = rng.next_u64() % 50;
+        let run_index = rng.below(4);
         let mut sim = Simulator::new(seed);
         sim.config.samples = 30;
         let run = sim.simulate(&spec, &Sku::new("x", 4, 64.0), 8, run_index, run_index % 3);
-        prop_assert!(!run.resources.data.has_non_finite());
-        prop_assert!(!run.plans.data.has_non_finite());
-        prop_assert!(run.throughput > 0.0);
-        prop_assert!(run.latency_ms > 0.0);
-        prop_assert!(run.per_query_latency_ms.iter().all(|l| *l > 0.0));
+        assert!(!run.resources.data.has_non_finite());
+        assert!(!run.plans.data.has_non_finite());
+        assert!(run.throughput > 0.0);
+        assert!(run.latency_ms > 0.0);
+        assert!(run.per_query_latency_ms.iter().all(|l| *l > 0.0));
         for v in run.resources.data.as_slice() {
-            prop_assert!(*v >= 0.0, "resource telemetry must be non-negative");
+            assert!(*v >= 0.0, "resource telemetry must be non-negative");
         }
         for v in run.plans.data.as_slice() {
-            prop_assert!(*v >= 0.0, "plan telemetry must be non-negative");
+            assert!(*v >= 0.0, "plan telemetry must be non-negative");
         }
     }
+}
 
-    #[test]
-    fn observations_align_with_run_scale(
-        widx in 0usize..3,
-        n_obs in 2usize..15,
-    ) {
-        let spec = workload(widx);
+#[test]
+fn observations_align_with_run_scale() {
+    let mut rng = Rng64::new(0x34);
+    for _ in 0..CASES {
+        let spec = workload(rng.below(3));
+        let n_obs = 2 + rng.below(13);
         let mut sim = Simulator::new(9);
         sim.config.samples = 30;
         let sku = Sku::new("x", 4, 64.0);
         let run = sim.simulate(&spec, &sku, 8, 0, 0);
         let obs = sim.observations(&spec, &sku, 8, 0, 0, n_obs);
-        prop_assert_eq!(obs.features.rows(), n_obs);
-        prop_assert_eq!(obs.throughput.len(), n_obs);
+        assert_eq!(obs.features.rows(), n_obs);
+        assert_eq!(obs.throughput.len(), n_obs);
         // sub-experiment throughputs scatter around the run's throughput
         let mean = wp_linalg::stats::mean(&obs.throughput);
-        prop_assert!((mean - run.throughput).abs() / run.throughput < 0.25);
+        assert!((mean - run.throughput).abs() / run.throughput < 0.25);
     }
+}
 
-    #[test]
-    fn ycsb_mix_weights_control_read_fraction(
-        read in 1.0..50.0f64,
-        scan in 1.0..30.0f64,
-        update in 1.0..50.0f64,
-    ) {
+#[test]
+fn ycsb_mix_weights_control_read_fraction() {
+    let mut rng = Rng64::new(0x35);
+    for _ in 0..CASES {
+        let read = rng.range(1.0, 50.0);
+        let scan = rng.range(1.0, 30.0);
+        let update = rng.range(1.0, 50.0);
         let spec = benchmarks::ycsb_mix("custom", [read, scan, update, 5.0, 5.0, 5.0]);
         spec.validate();
         let expected = (read + scan) / (read + scan + update + 15.0);
-        prop_assert!((spec.read_only_fraction() - expected).abs() < 1e-9);
+        assert!((spec.read_only_fraction() - expected).abs() < 1e-9);
     }
 }

@@ -67,7 +67,11 @@ CPU_UTILIZATION,CPU_EFFECTIVE,MEM_UTILIZATION,IOPS_TOTAL,READ_WRITE_RATIO,LOCK_R
     // ---- 4. compare against reference telemetry (simulated here) ----
     let sim = Simulator::new(77);
     let sku = Sku::new("cpu8", 8, 64.0);
-    let references = [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let references = [
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let mut all_runs: Vec<ExperimentRun> = customer_runs;
     let mut spans = Vec::new();
     for spec in &references {

@@ -37,7 +37,10 @@ fn main() {
     // the customer's observation on the current SKU
     let ycsb = benchmarks::ycsb();
     let observed_runs: Vec<f64> = (0..3)
-        .map(|r| sim.simulate(&ycsb, &current, terminals, r, r % 3).throughput)
+        .map(|r| {
+            sim.simulate(&ycsb, &current, terminals, r, r % 3)
+                .throughput
+        })
         .collect();
     let observed = wp_linalg::stats::mean(&observed_runs);
 
@@ -62,7 +65,7 @@ fn main() {
             latency_ms,
             if ok { "yes" } else { "no" }
         );
-        if ok && cheapest.map_or(true, |(_, p)| price(sku) < p) {
+        if ok && cheapest.is_none_or(|(_, p)| price(sku) < p) {
             cheapest = Some((sku, price(sku)));
         }
     }

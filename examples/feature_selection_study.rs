@@ -17,7 +17,11 @@ use wp_workloads::{benchmarks, Simulator, Sku};
 fn main() {
     let sim = Simulator::new(1234);
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = [
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
 
     // labeled observation dataset + identification corpus
     let mut sets = Vec::new();
@@ -35,8 +39,14 @@ fn main() {
     let universe = FeatureId::all();
     let config = WrapperConfig::default();
 
-    println!("feature-selection strategies on {} observations:\n", ds.len());
-    println!("{:<16} {:>8} {:>8}  top-3 features", "strategy", "top-3", "top-7");
+    println!(
+        "feature-selection strategies on {} observations:\n",
+        ds.len()
+    );
+    println!(
+        "{:<16} {:>8} {:>8}  top-3 features",
+        "strategy", "top-3", "top-7"
+    );
     println!("{}", "-".repeat(90));
     for strategy in [
         Strategy::Variance,

@@ -20,7 +20,11 @@ fn main() {
     };
 
     // Reference workloads the provider has observed on both SKUs.
-    let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let references = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
 
     // The customer's workload, observed on the small SKU only.
     let target = benchmarks::ycsb();

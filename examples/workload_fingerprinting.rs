@@ -19,7 +19,7 @@ fn main() {
 
     // The "unknown" workload — here PW, but any ExperimentRun works.
     let unknown = benchmarks::pw();
-    let references = vec![
+    let references = [
         benchmarks::tpcc(),
         benchmarks::tpch(),
         benchmarks::tpcds(),
@@ -38,7 +38,11 @@ fn main() {
     let ref_runs: Vec<(String, Vec<_>)> = references
         .iter()
         .map(|spec| {
-            let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" { 1 } else { 16 };
+            let terminals = if spec.name == "TPC-H" || spec.name == "TPC-DS" {
+                1
+            } else {
+                16
+            };
             let runs: Vec<_> = (0..3)
                 .map(|r| sim.simulate(spec, &sku, terminals, r, r % 3))
                 .collect();
@@ -97,10 +101,7 @@ fn main() {
         PlanFeature::SerialDesiredMemory,
     ] {
         let mean_of = |runs: &[wp_telemetry::ExperimentRun]| {
-            let vals: Vec<f64> = runs
-                .iter()
-                .flat_map(|r| r.plans.feature(f))
-                .collect();
+            let vals: Vec<f64> = runs.iter().flat_map(|r| r.plans.feature(f)).collect();
             wp_linalg::stats::mean(&vals)
         };
         println!(

@@ -1,0 +1,150 @@
+//! Determinism guarantee of the wp-runtime pool: every parallelized hot
+//! path must produce bit-identical results whether it runs on one
+//! thread or many. Each test computes the same quantity under
+//! `with_thread_count(1)` and `with_thread_count(8)` and compares with
+//! exact equality — no tolerances.
+
+use wp_featsel::wrapper::{sfs_backward, sfs_forward, Estimator, WrapperConfig};
+use wp_linalg::{Matrix, Rng64};
+use wp_ml::cv::{cross_validate, KFold};
+use wp_ml::forest::{ForestConfig, RandomForestRegressor};
+use wp_ml::traits::Regressor;
+use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::repr::{extract, mts};
+use wp_telemetry::{FeatureId, FeatureSet};
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+fn on_one_thread<R>(f: impl FnOnce() -> R) -> R {
+    wp_runtime::with_thread_count(1, f)
+}
+
+fn on_eight_threads<R>(f: impl FnOnce() -> R) -> R {
+    wp_runtime::with_thread_count(8, f)
+}
+
+fn fingerprints(n_runs: usize) -> Vec<Matrix> {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 60;
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = [benchmarks::tpcc(), benchmarks::twitter()];
+    let features = FeatureSet::ResourceOnly.features();
+    let data: Vec<_> = (0..n_runs)
+        .map(|i| {
+            let run = sim.simulate(&specs[i % 2], &sku, 8, i / 2, i % 3);
+            extract(&run, &features)
+        })
+        .collect();
+    mts(&data)
+}
+
+#[test]
+fn distance_matrix_is_thread_count_invariant() {
+    let fps = fingerprints(8);
+    for measure in [
+        Measure::Norm(Norm::L21),
+        Measure::Norm(Norm::Canberra),
+        Measure::DtwIndependent,
+        Measure::DtwDependent,
+        Measure::LcssIndependent { epsilon: 0.1 },
+    ] {
+        let seq = on_one_thread(|| distance_matrix(&fps, measure));
+        let par = on_eight_threads(|| distance_matrix(&fps, measure));
+        assert_eq!(seq, par, "{}", measure.label());
+    }
+}
+
+#[test]
+fn wrapper_selection_is_thread_count_invariant() {
+    // Two separated classes plus deterministic pseudo-noise columns.
+    let n = 24;
+    let p = 5;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let mut row = vec![class as f64 * 4.0 + ((i * 13) % 5) as f64 * 0.05];
+        for j in 1..p {
+            row.push((((i * 31 + j * 17) * 2654435761) % 997) as f64 / 100.0);
+        }
+        rows.push(row);
+        labels.push(class);
+    }
+    let x = Matrix::from_rows(&rows);
+    let features: Vec<FeatureId> = (0..p).map(FeatureId::from_global_index).collect();
+    let config = WrapperConfig {
+        cv_folds: 2,
+        logreg_iters: 40,
+        ..WrapperConfig::default()
+    };
+    for est in [Estimator::Linear, Estimator::DecisionTree] {
+        let fwd_seq = on_one_thread(|| sfs_forward(&x, &labels, &features, est, &config));
+        let fwd_par = on_eight_threads(|| sfs_forward(&x, &labels, &features, est, &config));
+        assert_eq!(fwd_seq.order, fwd_par.order, "forward {}", est.label());
+        let bwd_seq = on_one_thread(|| sfs_backward(&x, &labels, &features, est, &config));
+        let bwd_par = on_eight_threads(|| sfs_backward(&x, &labels, &features, est, &config));
+        assert_eq!(bwd_seq.order, bwd_par.order, "backward {}", est.label());
+    }
+}
+
+#[test]
+fn cv_scores_are_thread_count_invariant() {
+    let mut rng = Rng64::new(0x71);
+    let n = 40;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| vec![rng.range(-5.0, 5.0), rng.range(-5.0, 5.0)])
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| 2.0 * r[0] - r[1] + rng.range(-0.1, 0.1))
+        .collect();
+    let x = Matrix::from_rows(&rows);
+    let kfold = KFold::new(5, 7);
+    let run = || {
+        cross_validate(
+            wp_ml::linreg::LinearRegression::new,
+            &x,
+            &y,
+            &kfold,
+            wp_ml::metrics::rmse,
+        )
+    };
+    let seq = on_one_thread(run);
+    let par = on_eight_threads(run);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.fold, b.fold);
+        assert_eq!(a.score.to_bits(), b.score.to_bits(), "fold {}", a.fold);
+    }
+}
+
+#[test]
+fn forest_predictions_are_thread_count_invariant() {
+    let mut rng = Rng64::new(0x72);
+    let n = 60;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            vec![
+                rng.range(0.0, 10.0),
+                rng.range(0.0, 10.0),
+                rng.range(0.0, 10.0),
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1] + r[2].sin()).collect();
+    let x = Matrix::from_rows(&rows);
+    let config = ForestConfig {
+        n_trees: 24,
+        seed: 3,
+        ..ForestConfig::default()
+    };
+    let fit_predict = || {
+        let mut forest = RandomForestRegressor::with_config(config.clone());
+        forest.fit(&x, &y);
+        forest.predict(&x)
+    };
+    let seq = on_one_thread(fit_predict);
+    let par = on_eight_threads(fit_predict);
+    let seq_bits: Vec<u64> = seq.iter().map(|v| v.to_bits()).collect();
+    let par_bits: Vec<u64> = par.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(seq_bits, par_bits);
+}

@@ -19,7 +19,11 @@ fn fast_pipeline(seed: u64) -> Pipeline {
 #[test]
 fn ycsb_end_to_end_matches_paper_findings() {
     let p = fast_pipeline(wp_bench_seed());
-    let references = vec![benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let references = vec![
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let outcome = p.run(
         &references,
         &benchmarks::ycsb(),
@@ -90,8 +94,7 @@ fn every_standardized_workload_identifies_itself() {
         let target: Vec<ExperimentRun> = (3..5)
             .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
             .collect();
-        let verdicts =
-            find_most_similar(&target, &reference_runs, &FeatureId::all(), &p.config);
+        let verdicts = find_most_similar(&target, &reference_runs, &FeatureId::all(), &p.config);
         assert_eq!(
             verdicts[0].workload, spec.name,
             "{} misidentified: {verdicts:?}",
@@ -143,14 +146,8 @@ fn multidimensional_sku_transfer_prefers_similar_reference() {
     let actual = sim.simulate(&ycsb, &s2, 8, 0, 0).throughput;
 
     let mape_via = |reference: &wp_workloads::WorkloadSpec| {
-        let data = scaling_data_from_simulation(
-            sim,
-            reference,
-            &[s1.clone(), s2.clone()],
-            8,
-            3,
-            10,
-        );
+        let data =
+            scaling_data_from_simulation(sim, reference, &[s1.clone(), s2.clone()], 8, 3, 10);
         let predictor = ScalingPredictor::fit(&reference.name, ModelStrategy::Svm, &data);
         let predicted = predictor.predict(4.0, 8.0, observed).unwrap();
         (actual - predicted).abs() / actual

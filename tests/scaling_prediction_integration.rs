@@ -108,7 +108,13 @@ fn baseline_is_far_worse_than_fitted_models_everywhere() {
         let data =
             scaling_data_from_simulation(&sim, &benchmarks::tpcc(), &grid(), terminals, 3, 10);
         let base = baseline_nrmse(&data);
-        let model = cv_nrmse(&data, ModelContext::Pairwise, ModelStrategy::Regression, 5, 1);
+        let model = cv_nrmse(
+            &data,
+            ModelContext::Pairwise,
+            ModelStrategy::Regression,
+            5,
+            1,
+        );
         assert!(
             base > 2.0 * model.nrmse,
             "terminals {terminals}: baseline {base} vs model {}",
@@ -145,7 +151,11 @@ fn roofline_beats_plain_linear_past_the_knee() {
 #[test]
 fn scaling_data_throughput_is_monotone_in_cpus() {
     let sim = sim();
-    for spec in [benchmarks::tpcc(), benchmarks::twitter(), benchmarks::ycsb()] {
+    for spec in [
+        benchmarks::tpcc(),
+        benchmarks::twitter(),
+        benchmarks::ycsb(),
+    ] {
         let data = scaling_data_from_simulation(&sim, &spec, &grid(), 8, 3, 10);
         let means: Vec<f64> = data
             .values

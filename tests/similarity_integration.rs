@@ -19,7 +19,11 @@ fn corpus() -> Corpus {
     let mut sim = Simulator::new(0xEDB7_2025);
     sim.config.samples = 120;
     let sku = Sku::new("cpu16", 16, 64.0);
-    let specs = [benchmarks::tpcc(), benchmarks::tpch(), benchmarks::twitter()];
+    let specs = [
+        benchmarks::tpcc(),
+        benchmarks::tpch(),
+        benchmarks::twitter(),
+    ];
     let mut runs = Vec::new();
     let mut labels = Vec::new();
     for (li, spec) in specs.iter().enumerate() {
@@ -96,12 +100,7 @@ fn mts_with_elastic_measures_identifies_workloads() {
 #[test]
 fn phasefp_identifies_workloads() {
     let c = corpus();
-    let (acc, _) = fingerprint_and_score(
-        &c,
-        &FeatureId::all(),
-        true,
-        Measure::Norm(Norm::L11),
-    );
+    let (acc, _) = fingerprint_and_score(&c, &FeatureId::all(), true, Measure::Norm(Norm::L11));
     assert!(acc >= 0.7, "Phase-FP accuracy {acc}");
 }
 
