@@ -21,6 +21,7 @@ usage:
   wp similar  --target <name> [--sku <sku>] [--top K] [--seed S]
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
+  wp serve    [--addr HOST:PORT] [--threads N] [--corpus FILE] [--samples N] [--seed S]
 
 skus: cpu2 | cpu4 | cpu8 | cpu16 | s1 | s2 | vcore80 | <cpus>x<gib> (e.g. 12x96)
 strategies: variance | pearson | fanova | migain | lasso | elasticnet |
@@ -39,6 +40,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "similar" => cmd_similar(&args),
         "predict" => cmd_predict(&args),
         "export" => cmd_export(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -267,6 +269,53 @@ fn cmd_export(args: &Args) -> Result<(), String> {
         .map(|r| sim.simulate(&spec, &sku, terminals, r, r % 3))
         .collect();
     println!("{}", wp_telemetry::io::runs_to_json(&records));
+    Ok(())
+}
+
+/// Serves the prediction pipeline over HTTP. Loads a corpus file in the
+/// `wp-server` interchange schema when `--corpus` is given, otherwise
+/// simulates the default TPC-C/TPC-H/Twitter reference corpus. Prints
+/// the bound address (so `--addr host:0` callers learn the OS-chosen
+/// port) and serves until the process is killed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
+    let threads: usize = args.parsed_or("threads", 4)?;
+    let samples: usize = args.parsed_or("samples", 120)?;
+    let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+
+    let (corpus, source) = match args.get("corpus") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read corpus file '{path}': {e}"))?;
+            (
+                wp_server::corpus::corpus_from_json(&text)?,
+                format!("corpus file '{path}'"),
+            )
+        }
+        None => (
+            wp_server::corpus::simulated_corpus(seed, samples),
+            format!("simulated default corpus (seed {seed}, {samples} samples/run)"),
+        ),
+    };
+    let names: Vec<String> = corpus.references.iter().map(|r| r.name.clone()).collect();
+
+    let config = wp_server::ServerConfig {
+        addr,
+        workers: threads.max(1),
+        ..wp_server::ServerConfig::default()
+    };
+    let handle = wp_server::Server::start(corpus, config)?;
+    println!(
+        "serving {} reference workloads ({}) from {source}",
+        names.len(),
+        names.join(", ")
+    );
+    println!("listening on http://{}", handle.addr());
+    // Piped stdout is block-buffered; the smoke script polls for the
+    // address line, so push it out before blocking in wait().
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.wait();
     Ok(())
 }
 

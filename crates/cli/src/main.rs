@@ -6,6 +6,7 @@
 //! wp select    --strategy fanova --top 7         rank telemetry features
 //! wp similar   --target YCSB --sku cpu2          find similar workloads
 //! wp predict   --target YCSB --from cpu2 --to cpu8   end-to-end prediction
+//! wp serve     --addr 127.0.0.1:0 --threads 4    HTTP prediction service
 //! ```
 //!
 //! Every command accepts `--seed <u64>` (default `0xEDB72025`) and

@@ -30,15 +30,22 @@ pub struct OfflineReference {
 }
 
 impl OfflineReference {
-    /// Validates alignment.
-    pub fn validate(&self) {
-        assert!(!self.runs_from.is_empty(), "{}: needs runs", self.name);
-        assert_eq!(
-            self.runs_from.len(),
-            self.runs_to.len(),
-            "{}: from/to runs must be aligned",
-            self.name
-        );
+    /// Validates alignment. Non-panicking so long-running consumers (the
+    /// `wp-server` HTTP service) can map a bad corpus to a client error
+    /// instead of killing a worker thread.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.runs_from.is_empty() {
+            return Err(format!("{}: needs runs", self.name));
+        }
+        if self.runs_from.len() != self.runs_to.len() {
+            return Err(format!(
+                "{}: from/to runs must be aligned ({} vs {})",
+                self.name,
+                self.runs_from.len(),
+                self.runs_to.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -50,12 +57,19 @@ pub struct OfflineCorpus {
 }
 
 impl OfflineCorpus {
-    /// Validates every reference.
-    pub fn validate(&self) {
-        assert!(!self.references.is_empty(), "corpus needs references");
-        for r in &self.references {
-            r.validate();
+    /// Validates every reference (see [`OfflineReference::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.references.is_empty() {
+            return Err("corpus needs references".to_string());
         }
+        let mut names = std::collections::HashSet::new();
+        for r in &self.references {
+            r.validate()?;
+            if !names.insert(r.name.as_str()) {
+                return Err(format!("{}: duplicate reference name", r.name));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -80,8 +94,13 @@ fn corpus_dataset(corpus: &OfflineCorpus) -> LabeledDataset {
 
 /// Stage 1 on offline telemetry: one ranking per run index (aggregated),
 /// falling back to a single pooled ranking when runs are too few.
-pub fn select_features_offline(corpus: &OfflineCorpus, config: &PipelineConfig) -> Vec<FeatureId> {
-    corpus.validate();
+///
+/// Returns `Err` when the corpus fails [`OfflineCorpus::validate`].
+pub fn select_features_offline(
+    corpus: &OfflineCorpus,
+    config: &PipelineConfig,
+) -> Result<Vec<FeatureId>, String> {
+    corpus.validate()?;
     let ds = corpus_dataset(corpus);
     let universe = FeatureId::all();
     assert_eq!(ds.features.cols(), N_FEATURES);
@@ -89,7 +108,7 @@ pub fn select_features_offline(corpus: &OfflineCorpus, config: &PipelineConfig) 
         config
             .selection
             .rank(&ds.features, &ds.labels, &universe, &config.wrapper);
-    aggregate_rankings(&[ranking]).top_k(config.top_k)
+    Ok(aggregate_rankings(&[ranking]).top_k(config.top_k))
 }
 
 /// Runs the full offline pipeline: select features on the corpus, find
@@ -100,18 +119,24 @@ pub fn select_features_offline(corpus: &OfflineCorpus, config: &PipelineConfig) 
 /// `from_cpus` / `to_cpus` label the SKU pair for the scaling model.
 /// The returned outcome's `actual_throughput` is `NaN` (unknown until the
 /// workload actually migrates) and `mape` is `NaN` accordingly.
+///
+/// Returns `Err` for an invalid corpus or an empty target-run set —
+/// request-sized problems a serving layer reports to the client rather
+/// than panicking over.
 pub fn run_offline(
     corpus: &OfflineCorpus,
     target_runs_from: &[ExperimentRun],
     from_cpus: f64,
     to_cpus: f64,
     config: &PipelineConfig,
-) -> PipelineOutcome {
-    corpus.validate();
-    assert!(!target_runs_from.is_empty(), "need target runs");
+) -> Result<PipelineOutcome, String> {
+    corpus.validate()?;
+    if target_runs_from.is_empty() {
+        return Err("need target runs".to_string());
+    }
 
     // Stage 1
-    let selected = select_features_offline(corpus, config);
+    let selected = select_features_offline(corpus, config)?;
 
     // Stage 2
     let reference_runs: Vec<(String, Vec<ExperimentRun>)> = corpus
@@ -152,7 +177,7 @@ pub fn run_offline(
         .predict_transfer(from_cpus, to_cpus, observed)
         .expect("pair model exists by construction");
 
-    PipelineOutcome {
+    Ok(PipelineOutcome {
         selected_features: selected,
         similarity,
         most_similar,
@@ -160,7 +185,7 @@ pub fn run_offline(
         predicted_throughput: predicted,
         actual_throughput: f64::NAN,
         mape: f64::NAN,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -216,7 +241,7 @@ mod tests {
         let target_runs: Vec<ExperimentRun> = (0..3)
             .map(|r| sim.simulate(&benchmarks::ycsb(), &from, 8, r, r % 3))
             .collect();
-        let outcome = run_offline(&corpus, &target_runs, 2.0, 8.0, &fast_config());
+        let outcome = run_offline(&corpus, &target_runs, 2.0, 8.0, &fast_config()).unwrap();
 
         assert_eq!(outcome.most_similar, "TPC-C", "{:?}", outcome.similarity);
         assert_eq!(outcome.selected_features.len(), 7);
@@ -242,18 +267,41 @@ mod tests {
         sim.config.samples = 40;
         let from = Sku::new("cpu4", 4, 64.0);
         let corpus = corpus_via_interchange(&sim, &from, &Sku::new("cpu8", 8, 64.0));
-        let features = select_features_offline(&corpus, &fast_config());
+        let features = select_features_offline(&corpus, &fast_config()).unwrap();
         assert_eq!(features.len(), 7);
     }
 
     #[test]
-    #[should_panic(expected = "from/to runs must be aligned")]
     fn misaligned_reference_rejected() {
         let mut sim = Simulator::new(3);
         sim.config.samples = 40;
         let from = Sku::new("cpu4", 4, 64.0);
         let mut corpus = corpus_via_interchange(&sim, &from, &Sku::new("cpu8", 8, 64.0));
         corpus.references[0].runs_to.pop();
-        corpus.validate();
+        let err = corpus.validate().unwrap_err();
+        assert!(err.contains("from/to runs must be aligned"), "{err}");
+        // the pipeline entry points surface the same error instead of
+        // panicking
+        let target = vec![sim.simulate(&benchmarks::ycsb(), &from, 8, 0, 0)];
+        assert!(run_offline(&corpus, &target, 4.0, 8.0, &fast_config()).is_err());
+        assert!(select_features_offline(&corpus, &fast_config()).is_err());
+    }
+
+    #[test]
+    fn empty_and_duplicate_corpora_rejected() {
+        assert!(OfflineCorpus::default().validate().is_err());
+        let mut sim = Simulator::new(3);
+        sim.config.samples = 40;
+        let from = Sku::new("cpu4", 4, 64.0);
+        let mut corpus = corpus_via_interchange(&sim, &from, &Sku::new("cpu8", 8, 64.0));
+        let dup = corpus.references[0].clone();
+        corpus.references.push(dup);
+        let err = corpus.validate().unwrap_err();
+        assert!(err.contains("duplicate reference name"), "{err}");
+        // an empty run list on one reference is also rejected
+        corpus.references.pop();
+        corpus.references[1].runs_from.clear();
+        corpus.references[1].runs_to.clear();
+        assert!(corpus.validate().is_err());
     }
 }

@@ -1,0 +1,218 @@
+//! Seeded fuzz tests for the `wp-json` writer/parser pair.
+//!
+//! Random [`Json`] trees are written and re-parsed, checking the two
+//! invariants the interchange format relies on:
+//!
+//! 1. write → parse → write is a fixed point (`compact` output is
+//!    canonical), and
+//! 2. parse is a left inverse of *any* valid writer — including an
+//!    aggressive ASCII-only writer that `\uXXXX`-escapes every
+//!    non-ASCII character, which forces the parser through the
+//!    control-character and UTF-16 surrogate-pair paths the normal
+//!    writer rarely produces.
+
+use wp_json::Json;
+use wp_linalg::Rng64;
+
+/// Characters the string generator draws from: ASCII, escapes, control
+/// characters, multi-byte BMP characters, and astral-plane characters
+/// (which need surrogate pairs in `\u` notation).
+const CHAR_POOL: &[char] = &[
+    'a',
+    'Z',
+    '7',
+    ' ',
+    '"',
+    '\\',
+    '/',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0000}',
+    '\u{0001}',
+    '\u{0008}',
+    '\u{000C}',
+    '\u{001F}',
+    'ü',
+    'é',
+    '統',
+    '計',
+    '\u{7FF}',
+    '\u{FFFD}',
+    '\u{1F600}',
+    '\u{10348}',
+    '\u{10FFFF}',
+];
+
+fn random_string(rng: &mut Rng64) -> String {
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| CHAR_POOL[rng.below(CHAR_POOL.len())])
+        .collect()
+}
+
+fn random_number(rng: &mut Rng64) -> f64 {
+    match rng.below(5) {
+        0 => rng.below(2_000_000) as f64 - 1_000_000.0,
+        1 => rng.unit(),
+        2 => rng.range(-1e18, 1e18),
+        3 => rng.range(-1e-12, 1e-12),
+        _ => loop {
+            // Raw bit patterns cover subnormals and extreme exponents;
+            // only finite values are representable in JSON.
+            let x = f64::from_bits(rng.next_u64());
+            if x.is_finite() {
+                break x;
+            }
+        },
+    }
+}
+
+fn random_value(rng: &mut Rng64, depth: usize) -> Json {
+    // Past the depth budget only leaves are generated.
+    let variant = if depth == 0 {
+        rng.below(4)
+    } else {
+        rng.below(6)
+    };
+    match variant {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 1),
+        2 => Json::Num(random_number(rng)),
+        3 => Json::Str(random_string(rng)),
+        4 => Json::Arr(
+            (0..rng.below(5))
+                .map(|_| random_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.below(5))
+                .map(|_| (random_string(rng), random_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn random_trees_round_trip_through_compact_and_pretty() {
+    let mut rng = Rng64::new(0xF022_2026);
+    for case in 0..400 {
+        let value = random_value(&mut rng, 4);
+        let compact = value.compact();
+        let parsed = Json::parse(&compact)
+            .unwrap_or_else(|e| panic!("case {case}: cannot parse {compact:?}: {e}"));
+        assert_eq!(
+            parsed, value,
+            "case {case}: value changed through {compact:?}"
+        );
+        assert_eq!(
+            parsed.compact(),
+            compact,
+            "case {case}: compact is not a fixed point"
+        );
+        let pretty = value.pretty();
+        let reparsed = Json::parse(&pretty)
+            .unwrap_or_else(|e| panic!("case {case}: cannot parse pretty form: {e}"));
+        assert_eq!(
+            reparsed, value,
+            "case {case}: pretty form changed the value"
+        );
+    }
+}
+
+/// Writes `s` as a JSON string token escaping *every* character outside
+/// printable ASCII as `\uXXXX` — astral-plane characters become UTF-16
+/// surrogate pairs, exactly the token stream the parser's pairing logic
+/// has to reassemble.
+fn write_ascii_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (' '..='~').contains(&c) => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
+            }
+        }
+    }
+    out.push('"');
+}
+
+/// A second, independent writer: semantically equal output to
+/// `Json::compact`, but with the ASCII-only string encoding above.
+fn write_ascii(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(_) => out.push_str(&v.compact()),
+        Json::Str(s) => write_ascii_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_ascii(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_ascii_string(out, k);
+                out.push(':');
+                write_ascii(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[test]
+fn ascii_escaped_form_parses_to_the_same_value() {
+    let mut rng = Rng64::new(0x5EED_CAFE);
+    for case in 0..400 {
+        let value = random_value(&mut rng, 4);
+        let mut escaped = String::new();
+        write_ascii(&mut escaped, &value);
+        assert!(
+            escaped.is_ascii(),
+            "case {case}: escaper leaked non-ASCII: {escaped:?}"
+        );
+        let parsed = Json::parse(&escaped)
+            .unwrap_or_else(|e| panic!("case {case}: cannot parse {escaped:?}: {e}"));
+        assert_eq!(
+            parsed, value,
+            "case {case}: \\u-escaped form decoded differently: {escaped:?}"
+        );
+        // And the canonical writer agrees byte-for-byte with what the
+        // directly-written tree produces.
+        assert_eq!(parsed.compact(), value.compact(), "case {case}");
+    }
+}
+
+#[test]
+fn surrogate_pair_and_control_escapes_decode_exactly() {
+    // Hand-picked tokens that pin the parser's `\u` paths: an astral
+    // smiley as a surrogate pair, a NUL, and a mixed string.
+    let cases = [
+        (r#""\ud83d\ude00""#, "\u{1F600}"),
+        (r#""\u0000""#, "\u{0000}"),
+        (r#""a\u001fb\ud800\udf48c""#, "a\u{001F}b\u{10348}c"),
+    ];
+    for (text, want) in cases {
+        let parsed = Json::parse(text).unwrap();
+        assert_eq!(parsed, Json::Str(want.to_string()), "{text}");
+    }
+    // Unpaired or malformed surrogates must be rejected, not mangled.
+    for bad in [r#""\ud83d""#, r#""\ud83dx""#, r#""\ud83dA""#] {
+        assert!(Json::parse(bad).is_err(), "{bad} should not parse");
+    }
+}

@@ -1,0 +1,495 @@
+//! `wp-loadgen` — a wrkr-style closed-loop load generator for
+//! `wp-server`.
+//!
+//! Closed loop means each connection keeps exactly one request in
+//! flight: send, wait for the full response, record the latency, send
+//! the next. `connections` threads each own one keep-alive connection
+//! and draw their request mix from a seeded [`Rng64`] stream, so the
+//! request *sequence* per connection is deterministic even though
+//! wall-clock timing is not.
+//!
+//! A run has two phases, following the standard load-testing
+//! methodology: a warmup phase whose latencies are discarded (caches
+//! fill, branch predictors settle), then a measurement phase that feeds
+//! the report. The report — throughput plus nearest-rank p50/p95/p99/max
+//! latency — is written to `BENCH_server.json` in the same flat-object
+//! shape as `BENCH_runtime.json`.
+
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use wp_json::{obj, Json};
+use wp_linalg::Rng64;
+use wp_telemetry::io::run_to_json;
+use wp_workloads::engine::Simulator;
+use wp_workloads::{benchmarks, Sku};
+
+/// One weighted request template in the generated mix.
+#[derive(Debug, Clone)]
+pub struct MixEntry {
+    /// HTTP method (`GET` or `POST`).
+    pub method: &'static str,
+    /// Request path, e.g. `/similar`.
+    pub path: &'static str,
+    /// Request body (empty for `GET`).
+    pub body: String,
+    /// Relative draw weight (integer lottery tickets).
+    pub weight: u32,
+}
+
+/// How a load run connects, paces, and seeds itself.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Concurrent closed-loop connections (threads).
+    pub connections: usize,
+    /// Warmup phase; latencies are discarded.
+    pub warmup: Duration,
+    /// Measurement phase; latencies feed the report.
+    pub measure: Duration,
+    /// Seed for the per-connection request-mix streams.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            connections: 4,
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(2),
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Connections the run used.
+    pub connections: usize,
+    /// Configured warmup length in seconds.
+    pub warmup_s: f64,
+    /// Configured measurement length in seconds.
+    pub measure_s: f64,
+    /// Requests completed during the measurement phase.
+    pub requests: u64,
+    /// Requests that failed (I/O error or non-2xx status), both phases.
+    pub errors: u64,
+    /// Measured requests divided by the measurement wall time.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds (nearest rank).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds (nearest rank).
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds (nearest rank).
+    pub p99_ms: f64,
+    /// Worst measured latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl Report {
+    /// Renders the report in the `BENCH_runtime.json` flat-object shape.
+    pub fn to_json(&self) -> String {
+        obj! {
+            "experiment" => "server_loadgen",
+            "connections" => self.connections as f64,
+            "warmup_s" => self.warmup_s,
+            "measure_s" => self.measure_s,
+            "requests" => self.requests as f64,
+            "errors" => self.errors as f64,
+            "throughput_rps" => self.throughput_rps,
+            "p50_ms" => self.p50_ms,
+            "p95_ms" => self.p95_ms,
+            "p99_ms" => self.p99_ms,
+            "max_ms" => self.max_ms,
+        }
+        .pretty()
+    }
+}
+
+/// The default request mix: every endpoint of the service, weighted
+/// towards the compute-bearing `POST`s. Bodies carry `samples`-long
+/// simulated YCSB target runs (two per body) drawn from `seed`, in the
+/// `wp_telemetry::io` interchange schema.
+pub fn default_mix(seed: u64, samples: usize) -> Vec<MixEntry> {
+    let mut sim = Simulator::new(seed);
+    sim.config.samples = samples;
+    let spec = benchmarks::ycsb();
+    let sku = Sku::new("cpu2", 2, 64.0);
+    let runs: Vec<Json> = (0..2)
+        .map(|r| run_to_json(&sim.simulate(&spec, &sku, 8, r, r % 3)))
+        .collect();
+    let runs_body = obj! { "runs" => runs.clone() }.compact();
+    let predict_body = obj! {
+        "runs" => runs,
+        "from_cpus" => 2.0,
+        "to_cpus" => 8.0,
+    }
+    .compact();
+    vec![
+        MixEntry {
+            method: "GET",
+            path: "/healthz",
+            body: String::new(),
+            weight: 1,
+        },
+        MixEntry {
+            method: "GET",
+            path: "/corpus",
+            body: String::new(),
+            weight: 1,
+        },
+        MixEntry {
+            method: "GET",
+            path: "/stats",
+            body: String::new(),
+            weight: 1,
+        },
+        MixEntry {
+            method: "POST",
+            path: "/fingerprint",
+            body: runs_body.clone(),
+            weight: 3,
+        },
+        MixEntry {
+            method: "POST",
+            path: "/similar",
+            body: runs_body,
+            weight: 3,
+        },
+        MixEntry {
+            method: "POST",
+            path: "/predict",
+            body: predict_body,
+            weight: 3,
+        },
+    ]
+}
+
+/// Runs the closed loop against `config.addr` and aggregates a
+/// [`Report`]. Fails only on setup errors (no connection can be
+/// established, empty mix); per-request failures are counted in
+/// `Report::errors`.
+pub fn run_load(config: &LoadConfig, mix: &[MixEntry]) -> Result<Report, String> {
+    if mix.is_empty() {
+        return Err("request mix is empty".to_string());
+    }
+    let total_weight: u32 = mix.iter().map(|e| e.weight).sum();
+    if total_weight == 0 {
+        return Err("request mix has zero total weight".to_string());
+    }
+    let connections = config.connections.max(1);
+    // Fail fast before spawning if the server is not there at all.
+    TcpStream::connect(&config.addr)
+        .map_err(|e| format!("cannot connect to {}: {e}", config.addr))?;
+
+    let start = Instant::now();
+    let warmup_end = start + config.warmup;
+    let measure_end = warmup_end + config.measure;
+
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let addr = config.addr.clone();
+                let seed = config.seed.wrapping_add(c as u64);
+                s.spawn(move || {
+                    connection_loop(&addr, mix, total_weight, seed, warmup_end, measure_end)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((Vec::new(), 1)))
+            .collect()
+    });
+
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for (lat, err) in results {
+        latencies_ns.extend(lat);
+        errors += err;
+    }
+    latencies_ns.sort_unstable();
+    let measure_s = config.measure.as_secs_f64();
+    let to_ms = |ns: u64| ns as f64 / 1e6;
+    Ok(Report {
+        connections,
+        warmup_s: config.warmup.as_secs_f64(),
+        measure_s,
+        requests: latencies_ns.len() as u64,
+        errors,
+        throughput_rps: if measure_s > 0.0 {
+            latencies_ns.len() as f64 / measure_s
+        } else {
+            0.0
+        },
+        p50_ms: to_ms(percentile(&latencies_ns, 50.0)),
+        p95_ms: to_ms(percentile(&latencies_ns, 95.0)),
+        p99_ms: to_ms(percentile(&latencies_ns, 99.0)),
+        max_ms: to_ms(latencies_ns.last().copied().unwrap_or(0)),
+    })
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (0 if empty).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One connection's closed loop. Returns measured latencies (ns) and the
+/// error count across both phases.
+fn connection_loop(
+    addr: &str,
+    mix: &[MixEntry],
+    total_weight: u32,
+    seed: u64,
+    warmup_end: Instant,
+    measure_end: Instant,
+) -> (Vec<u64>, u64) {
+    let mut rng = Rng64::new(seed);
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut conn: Option<Connection> = None;
+    loop {
+        let now = Instant::now();
+        if now >= measure_end {
+            break;
+        }
+        let entry = draw(mix, total_weight, &mut rng);
+        let c = match conn
+            .take()
+            .map(Ok)
+            .unwrap_or_else(|| Connection::open(addr))
+        {
+            Ok(c) => c,
+            Err(_) => {
+                errors += 1;
+                continue;
+            }
+        };
+        let started = Instant::now();
+        match c.request(entry) {
+            Ok((status, keep_alive, reusable)) => {
+                let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                if (200..300).contains(&status) {
+                    if started >= warmup_end {
+                        latencies.push(elapsed_ns);
+                    }
+                } else {
+                    errors += 1;
+                }
+                if keep_alive {
+                    conn = Some(reusable);
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    (latencies, errors)
+}
+
+/// Weighted draw from the mix (integer lottery over `total_weight`).
+fn draw<'m>(mix: &'m [MixEntry], total_weight: u32, rng: &mut Rng64) -> &'m MixEntry {
+    let mut ticket = rng.below(total_weight as usize) as u32;
+    for entry in mix {
+        if ticket < entry.weight {
+            return entry;
+        }
+        ticket -= entry.weight;
+    }
+    &mix[mix.len() - 1]
+}
+
+/// One keep-alive client connection with buffered reader/writer halves.
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Self, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone stream: {e}"))?,
+        );
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the full response. Returns
+    /// `(status, server_keeps_alive, self)` so the caller can decide
+    /// whether to reuse the connection.
+    fn request(mut self, entry: &MixEntry) -> Result<(u16, bool, Self), String> {
+        write!(
+            self.writer,
+            "{} {} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            entry.method,
+            entry.path,
+            entry.body.len(),
+            entry.body
+        )
+        .and_then(|()| self.writer.flush())
+        .map_err(|e| format!("write failed: {e}"))?;
+        let (status, keep_alive) = read_response(&mut self.reader)?;
+        Ok((status, keep_alive, self))
+    }
+}
+
+/// Reads one HTTP/1.1 response (status line, headers, `Content-Length`
+/// body). Returns the status code and whether the server keeps the
+/// connection open.
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, bool), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read failed: {e}"))?;
+    if line.is_empty() {
+        return Err("connection closed before response".to_string());
+    }
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {line:?}"))?;
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read failed: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| format!("bad content-length: {value:?}"))?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body read failed: {e}"))?;
+    Ok((status, keep_alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn default_mix_is_deterministic_and_covers_all_endpoints() {
+        let a = default_mix(9, 30);
+        let b = default_mix(9, 30);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.path, y.path);
+            assert_eq!(x.body, y.body, "bodies must be seed-deterministic");
+        }
+        let posts = a.iter().filter(|e| e.method == "POST").count();
+        assert_eq!(posts, 3);
+        for entry in &a {
+            if entry.method == "POST" {
+                let doc = Json::parse(&entry.body).unwrap();
+                assert!(doc.get("runs").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_draw_respects_weights() {
+        let mix = vec![
+            MixEntry {
+                method: "GET",
+                path: "/a",
+                body: String::new(),
+                weight: 1,
+            },
+            MixEntry {
+                method: "GET",
+                path: "/b",
+                body: String::new(),
+                weight: 9,
+            },
+        ];
+        let mut rng = Rng64::new(3);
+        let mut b_count = 0;
+        for _ in 0..1000 {
+            if draw(&mix, 10, &mut rng).path == "/b" {
+                b_count += 1;
+            }
+        }
+        assert!((850..=950).contains(&b_count), "b_count={b_count}");
+    }
+
+    #[test]
+    fn report_serializes_in_bench_shape() {
+        let report = Report {
+            connections: 2,
+            warmup_s: 1.0,
+            measure_s: 2.0,
+            requests: 100,
+            errors: 0,
+            throughput_rps: 50.0,
+            p50_ms: 1.5,
+            p95_ms: 3.0,
+            p99_ms: 4.0,
+            max_ms: 5.0,
+        };
+        let doc = Json::parse(&report.to_json()).unwrap();
+        assert_eq!(
+            doc.get("experiment").unwrap().as_str(),
+            Some("server_loadgen")
+        );
+        for key in [
+            "connections",
+            "warmup_s",
+            "measure_s",
+            "requests",
+            "errors",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+        ] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+    }
+}

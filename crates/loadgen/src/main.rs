@@ -1,0 +1,115 @@
+//! `wp-loadgen` binary: run the closed loop against a `wp-server`
+//! address and write `BENCH_server.json`.
+//!
+//! ```text
+//! wp-loadgen --addr 127.0.0.1:8080 [--connections 4] [--warmup 1]
+//!            [--duration 2] [--seed 42] [--samples 60]
+//!            [--out BENCH_server.json]
+//! ```
+//!
+//! Exits non-zero when any request failed (I/O error or non-2xx) or
+//! when the measurement phase completed zero requests, so CI can gate
+//! on it directly.
+
+use std::time::Duration;
+
+use wp_loadgen::{default_mix, run_load, LoadConfig};
+
+const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
+[--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] [--out FILE]";
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("wp-loadgen: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut config = LoadConfig::default();
+    let mut addr_set = false;
+    let mut samples = 60usize;
+    let mut out = "BENCH_server.json".to_string();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let parse_f64 = |v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| format!("{flag}: not a non-negative number: {v:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                config.addr = value;
+                addr_set = true;
+            }
+            "--connections" => {
+                config.connections = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--connections: not a positive integer: {value:?}"))?;
+            }
+            "--warmup" => config.warmup = Duration::from_secs_f64(parse_f64(&value)?),
+            "--duration" => config.measure = Duration::from_secs_f64(parse_f64(&value)?),
+            "--seed" => {
+                config.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: not an integer: {value:?}"))?;
+            }
+            "--samples" => {
+                samples = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--samples: not a positive integer: {value:?}"))?;
+            }
+            "--out" => out = value,
+            _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    if !addr_set {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+
+    let mix = default_mix(config.seed, samples);
+    println!(
+        "wp-loadgen: {} connections against http://{} ({}s warmup + {}s measurement)",
+        config.connections.max(1),
+        config.addr,
+        config.warmup.as_secs_f64(),
+        config.measure.as_secs_f64()
+    );
+    let report = run_load(&config, &mix)?;
+    let json = report.to_json();
+    std::fs::write(&out, format!("{json}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wp-loadgen: {} requests, {} errors, {:.1} req/s; p50 {:.3} ms, p95 {:.3} ms, \
+         p99 {:.3} ms, max {:.3} ms -> {out}",
+        report.requests,
+        report.errors,
+        report.throughput_rps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.max_ms
+    );
+    if report.errors > 0 {
+        return Err(format!("{} request(s) failed", report.errors));
+    }
+    if report.requests == 0 {
+        return Err("measurement phase completed zero requests".to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! A small `RwLock`-guarded LRU cache.
+//!
+//! The service caches two kinds of derived state: per-reference
+//! fingerprint feature data (computed once, read on every `/similar` and
+//! `/predict`) and whole response bodies for the pure `POST` endpoints
+//! (keyed by request body, so a repeated request is served from memory).
+//! Everything cached is a deterministic function of its key, which is
+//! what makes a hit *bit-identical* to a recompute — the cache can only
+//! ever change latency, never bytes.
+//!
+//! Reads take the shared lock: lookups update recency through a per-entry
+//! atomic timestamp (a seqlock-style trick — the recency clock is advanced
+//! without the exclusive lock), so concurrent workers never serialize on
+//! hits. Only insertions (and the evictions they trigger) take the
+//! exclusive lock.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: AtomicU64,
+}
+
+struct Inner<K, V> {
+    capacity: usize,
+    map: HashMap<K, Entry<V>>,
+}
+
+/// Shared LRU cache; cheap to clone handles via `Arc` at the call sites.
+pub struct LruCache<K, V> {
+    inner: RwLock<Inner<K, V>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: RwLock::new(Inner {
+                capacity: capacity.max(1),
+                map: HashMap::new(),
+            }),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency. Counts a hit or miss.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let inner = self.inner.read().expect("cache lock poisoned");
+        match inner.map.get(key) {
+            Some(entry) => {
+                entry.last_used.fetch_max(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry when
+    /// at capacity.
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.write().expect("cache lock poisoned");
+        if !inner.map.contains_key(&key) && inner.map.len() >= inner.capacity {
+            // O(capacity) scan; capacities here are tens of entries.
+            if let Some(evict) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&evict);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+    }
+
+    /// Computes-and-caches: returns the cached value or runs `f`, stores
+    /// its result, and returns it.
+    pub fn get_or_insert_with(&self, key: &K, f: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let value = Arc::new(f());
+        self.insert(key.clone(), Arc::clone(&value));
+        value
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("cache lock poisoned").map.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let cache: LruCache<String, u32> = LruCache::new(4);
+        assert!(cache.get(&"a".to_string()).is_none());
+        cache.insert("a".to_string(), Arc::new(7));
+        assert_eq!(*cache.get(&"a".to_string()).unwrap(), 7);
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        // touch 1 so 2 becomes the LRU entry
+        assert!(cache.get(&1).is_some());
+        cache.insert(3, Arc::new(30));
+        assert!(cache.get(&2).is_none(), "2 should have been evicted");
+        assert!(cache.get(&1).is_some());
+        assert!(cache.get(&3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.insert(2, Arc::new(21));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(*cache.get(&1).unwrap(), 10);
+        assert_eq!(*cache.get(&2).unwrap(), 21);
+    }
+
+    #[test]
+    fn get_or_insert_with_runs_once() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with(&5, || {
+            calls += 1;
+            55
+        });
+        assert_eq!(*v, 55);
+        let v = cache.get_or_insert_with(&5, || {
+            calls += 1;
+            99
+        });
+        assert_eq!(*v, 55, "second call must hit");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn concurrent_reads_share_the_lock() {
+        let cache: Arc<LruCache<u32, u32>> = Arc::new(LruCache::new(8));
+        for i in 0..8 {
+            cache.insert(i, Arc::new(i * i));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for round in 0..100u32 {
+                        let k = round % 8;
+                        assert_eq!(*cache.get(&k).unwrap(), k * k);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.counters().0, 400);
+    }
+}

@@ -1,0 +1,235 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! Just enough of the protocol for a JSON service driven by a known
+//! client set: request-line + header parsing, `Content-Length` bodies,
+//! keep-alive, and response writing. No chunked transfer encoding, no
+//! `Expect: 100-continue`, no TLS — requests using unsupported framing
+//! are rejected with an error the caller maps to a `4xx`.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on accepted request bodies (16 MiB): a full 360-sample
+/// telemetry corpus posts in well under 1 MiB, so anything larger is a
+/// client bug, not a workload.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw body bytes interpreted as UTF-8.
+    pub body: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Reads one request off `reader`.
+///
+/// Returns `Ok(None)` on a clean EOF before the first byte (the peer
+/// closed an idle keep-alive connection) and `Err` on malformed framing.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String> {
+    let Some(request_line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or("empty request line")?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or("request line missing target")?;
+    let version = parts.next().ok_or("request line missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version '{version}'"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let line = read_line(reader)?.ok_or("connection closed mid-headers")?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header '{line}'"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length '{value}'"))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Err("chunked transfer encoding is not supported".to_string());
+            }
+            _ => {}
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds limit"));
+    }
+    let mut raw = vec![0u8; content_length];
+    reader
+        .read_exact(&mut raw)
+        .map_err(|e| format!("reading body: {e}"))?;
+    let body = String::from_utf8(raw).map_err(|_| "body is not valid UTF-8".to_string())?;
+
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one CRLF (or bare LF) terminated line as UTF-8, without the
+/// terminator. `Ok(None)` on EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, String> {
+    let mut raw = Vec::new();
+    let n = reader
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| format!("reading header line: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+        raw.pop();
+    }
+    if raw.len() > 8 * 1024 {
+        return Err("header line exceeds 8 KiB".to_string());
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|_| "header line is not valid UTF-8".to_string())
+}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response with explicit `Content-Length`.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Option<Request>, String> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = parse("POST /similar HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn query_string_is_stripped() {
+        let req = parse("GET /stats?pretty=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/stats");
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_framing_is_rejected() {
+        assert!(parse("GET\r\n\r\n").is_err());
+        assert!(parse("GET / SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        assert!(parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        assert!(parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+        // body shorter than Content-Length
+        assert!(parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(reason(400), "Bad Request");
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(418), "Unknown");
+    }
+}

@@ -1,0 +1,310 @@
+//! `wp-server` — an in-process HTTP/1.1 prediction service over the
+//! workload-prediction pipeline.
+//!
+//! The serving shape production systems put around this kind of pipeline:
+//! a pre-built [`OfflineCorpus`] plus the features selected on it are held
+//! in memory, and the three pipeline stages are exposed as five JSON
+//! endpoints:
+//!
+//! | Endpoint | Method | Purpose |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness + corpus summary |
+//! | `/corpus` | GET | reference workloads, run counts, selected features |
+//! | `/fingerprint` | POST | telemetry runs → Hist-FP / Phase-FP fingerprints |
+//! | `/similar` | POST | runs → ranked nearest reference workloads |
+//! | `/predict` | POST | runs + SKU pair → scaling prediction |
+//! | `/stats` | GET | per-endpoint nanosecond timings + cache counters |
+//!
+//! Everything is `std`-only (hermetic build): connections are accepted by
+//! a fixed-size worker pool over one shared [`TcpListener`], request
+//! bodies use the `wp_telemetry::io` interchange schema, derived state
+//! lives in `RwLock`-guarded LRU caches (a cache hit is bit-identical to
+//! a recompute — handlers are deterministic functions of the request
+//! body), and shutdown is a control-channel message per worker that
+//! drains in-flight requests before the threads exit.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod corpus;
+pub mod http;
+pub mod service;
+pub mod stats;
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wp_core::offline::OfflineCorpus;
+use wp_core::pipeline::PipelineConfig;
+use wp_featsel::Strategy;
+
+use service::ServiceState;
+
+/// How a [`Server`] binds, sizes its pool, and computes.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` asks the OS for a free port (the bound
+    /// address is on the returned handle).
+    pub addr: String,
+    /// Worker threads accepting and serving connections.
+    pub workers: usize,
+    /// When set, pins the `wp-runtime` thread count used *inside* request
+    /// handlers (`None` inherits `WP_THREADS` / available parallelism).
+    pub compute_threads: Option<usize>,
+    /// Capacity of each LRU cache (reference data, response bodies).
+    pub cache_capacity: usize,
+    /// Pipeline configuration. The default swaps feature selection to
+    /// fANOVA so startup (stage 1 runs once) stays sub-second; the
+    /// measure/bins/scaling-model defaults follow the paper's §6.2.3.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            compute_threads: None,
+            cache_capacity: 64,
+            pipeline: PipelineConfig {
+                selection: Strategy::FAnova,
+                ..PipelineConfig::default()
+            },
+        }
+    }
+}
+
+/// The service; construct with [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Validates the corpus, selects features (stage 1, once), binds the
+    /// listener, and spawns the worker pool.
+    pub fn start(corpus: OfflineCorpus, config: ServerConfig) -> Result<ServerHandle, String> {
+        let state = Arc::new(ServiceState::new(
+            corpus,
+            config.pipeline.clone(),
+            config.compute_threads,
+            config.cache_capacity,
+        )?);
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        // Workers poll accept so they can notice the shutdown message
+        // without a wake-up connection.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
+
+        let n = config.workers.max(1);
+        let mut controls = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = std::sync::mpsc::channel::<()>();
+            controls.push(tx);
+            let listener = listener
+                .try_clone()
+                .map_err(|e| format!("cannot clone listener: {e}"))?;
+            let state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("wp-server-{i}"))
+                    .spawn(move || worker_loop(&listener, &state, &rx))
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            state,
+            controls,
+            workers,
+        })
+    }
+}
+
+/// A running server: its bound address, shared state (for inspection),
+/// and the worker pool.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    controls: Vec<Sender<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (stats, caches) — read-only inspection.
+    pub fn state(&self) -> &ServiceState {
+        &self.state
+    }
+
+    /// Graceful shutdown: signals every worker over its control channel
+    /// and joins them. In-flight requests finish; idle keep-alive
+    /// connections are closed after their next request.
+    pub fn shutdown(self) {
+        for tx in &self.controls {
+            // A dead worker has already dropped its receiver; that is
+            // exactly the state shutdown wants.
+            let _ = tx.send(());
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until every worker exits (i.e. until [`Self::shutdown`] is
+    /// triggered from another handle-less path — used by the CLI, which
+    /// serves until the process is killed).
+    pub fn wait(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Accept-and-serve loop of one pool worker.
+fn worker_loop(listener: &TcpListener, state: &Arc<ServiceState>, control: &Receiver<()>) {
+    loop {
+        match control.try_recv() {
+            Ok(()) | Err(TryRecvError::Disconnected) => return,
+            Err(TryRecvError::Empty) => {}
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.stats.record_connection();
+                let done = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(stream, state, control)
+                }))
+                .unwrap_or(false);
+                if done {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Serves one connection until close / error / shutdown. Returns `true`
+/// when a shutdown message was consumed and the worker should exit.
+fn handle_connection(stream: TcpStream, state: &ServiceState, control: &Receiver<()>) -> bool {
+    // The listener is nonblocking; the accepted stream must not be.
+    if stream.set_nonblocking(false).is_err() {
+        return false;
+    }
+    let _ = stream.set_nodelay(true);
+    // Bound the damage a stalled peer can do to a pool worker.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return false,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        let request = match http::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return false, // clean close
+            Err(msg) => {
+                // Framing errors: answer 400 and drop the connection (the
+                // stream position is unknown).
+                let body = wp_json::obj! { "error" => msg }.compact();
+                let _ = http::write_response(&mut writer, 400, &body, false);
+                return false;
+            }
+        };
+
+        let started = Instant::now();
+        let (status, body) = service::handle(state, &request);
+        let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        state.stats.record(&request.path, elapsed_ns, status >= 400);
+
+        let shutdown_requested = matches!(control.try_recv(), Ok(()));
+        let keep_alive = request.keep_alive && !shutdown_requested;
+        if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
+            return shutdown_requested;
+        }
+        if shutdown_requested {
+            return true;
+        }
+        if !request.keep_alive {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn small_server(workers: usize) -> ServerHandle {
+        let corpus = corpus::simulated_corpus(0xEDB7_2025, 40);
+        let config = ServerConfig {
+            workers,
+            compute_threads: Some(1),
+            ..ServerConfig::default()
+        };
+        Server::start(corpus, config).unwrap()
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_healthz_and_shuts_down() {
+        let server = small_server(2);
+        let addr = server.addr();
+        let resp = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        assert_eq!(server.state().stats.total_requests(), 1);
+        server.shutdown();
+        // the port is released after shutdown: a fresh bind succeeds
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "{rebind:?}");
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_per_connection() {
+        let server = small_server(1);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        for _ in 0..3 {
+            stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap();
+            let resp = String::from_utf8_lossy(&buf[..n]);
+            assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        }
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_corpus_is_rejected_at_startup() {
+        let err = match Server::start(OfflineCorpus::default(), ServerConfig::default()) {
+            Ok(_) => panic!("empty corpus must not start"),
+            Err(e) => e,
+        };
+        assert!(err.contains("corpus needs references"), "{err}");
+    }
+}

@@ -1,0 +1,553 @@
+//! Request routing and endpoint handlers.
+//!
+//! Handlers are pure functions of the shared [`ServiceState`]: the
+//! pre-built corpus, the features selected at startup, two LRU caches
+//! (per-reference fingerprint data and whole response bodies), and the
+//! request counters. Every computed response is a deterministic function
+//! of the request body, so a cache hit is byte-identical to a recompute.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use wp_core::offline::OfflineCorpus;
+use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
+use wp_json::{obj, Json};
+use wp_linalg::Matrix;
+use wp_predict::context::PairwiseScalingModel;
+use wp_similarity::histfp::histfp;
+use wp_similarity::measure::{normalize_distances, try_distance_matrix};
+use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
+use wp_similarity::repr::{extract, RunFeatureData};
+use wp_telemetry::io::run_from_json;
+use wp_telemetry::{ExperimentRun, FeatureId};
+
+use crate::cache::LruCache;
+use crate::http::Request;
+use crate::stats::ServerStats;
+
+/// An error mapped to an HTTP status + JSON `{"error": ...}` body.
+#[derive(Debug)]
+pub struct ServiceError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ServiceError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Everything a worker needs to answer requests; shared via `Arc`.
+pub struct ServiceState {
+    /// The reference corpus, validated at startup.
+    pub corpus: OfflineCorpus,
+    /// Features selected on the corpus at startup (stage 1, done once).
+    pub selected: Vec<FeatureId>,
+    /// Pipeline configuration (measure, bins, scaling-model strategy).
+    pub config: PipelineConfig,
+    /// When set, pins the `wp-runtime` thread count for request
+    /// computation (the pool override is thread-local, so it is applied
+    /// around every handler invocation).
+    pub compute_threads: Option<usize>,
+    /// Per-reference extracted fingerprint feature data.
+    pub ref_data: LruCache<String, Vec<RunFeatureData>>,
+    /// Whole-response cache for the `POST` endpoints, keyed by
+    /// `path + body`.
+    pub responses: LruCache<String, String>,
+    /// Request accounting.
+    pub stats: ServerStats,
+}
+
+impl ServiceState {
+    /// Builds the state: validates the corpus and runs feature selection.
+    pub fn new(
+        corpus: OfflineCorpus,
+        config: PipelineConfig,
+        compute_threads: Option<usize>,
+        cache_capacity: usize,
+    ) -> Result<Self, String> {
+        let selected = {
+            let select = || wp_core::offline::select_features_offline(&corpus, &config);
+            match compute_threads {
+                Some(n) => wp_runtime::with_thread_count(n, select)?,
+                None => select()?,
+            }
+        };
+        Ok(Self {
+            corpus,
+            selected,
+            config,
+            compute_threads,
+            ref_data: LruCache::new(cache_capacity),
+            responses: LruCache::new(cache_capacity),
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// The extracted feature data of one reference's source runs, cached.
+    fn reference_data(&self, index: usize) -> Arc<Vec<RunFeatureData>> {
+        let r = &self.corpus.references[index];
+        self.ref_data.get_or_insert_with(&r.name, || {
+            r.runs_from
+                .iter()
+                .map(|run| extract(run, &self.selected))
+                .collect()
+        })
+    }
+}
+
+/// Routes one request to its handler and renders the response.
+///
+/// Returns `(status, body)`; the body is always a compact JSON document.
+pub fn handle(state: &ServiceState, req: &Request) -> (u16, String) {
+    let run = || route(state, req);
+    let result = match state.compute_threads {
+        Some(n) => wp_runtime::with_thread_count(n, run),
+        None => run(),
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => (e.status, obj! { "error" => e.message.clone() }.compact()),
+    }
+}
+
+fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz(state)),
+        ("GET", "/corpus") => Ok(corpus_info(state)),
+        ("GET", "/stats") => Ok(state.stats.to_json(state.responses.counters()).compact()),
+        ("POST", "/fingerprint") => cached(state, req, fingerprint),
+        ("POST", "/similar") => cached(state, req, similar),
+        ("POST", "/predict") => cached(state, req, predict),
+        (_, "/healthz" | "/corpus" | "/stats") => Err(ServiceError {
+            status: 405,
+            message: format!("{} only supports GET", req.path),
+        }),
+        (_, "/fingerprint" | "/similar" | "/predict") => Err(ServiceError {
+            status: 405,
+            message: format!("{} only supports POST", req.path),
+        }),
+        _ => Err(ServiceError {
+            status: 404,
+            message: format!("no such endpoint '{}'", req.path),
+        }),
+    }
+}
+
+/// Serves a `POST` endpoint through the response cache: identical bodies
+/// get the stored bytes back; misses compute, store, and return.
+fn cached(
+    state: &ServiceState,
+    req: &Request,
+    f: impl FnOnce(&ServiceState, &str) -> Result<String, ServiceError>,
+) -> Result<String, ServiceError> {
+    let key = format!("{}\n{}", req.path, req.body);
+    if let Some(hit) = state.responses.get(&key) {
+        return Ok(hit.as_ref().clone());
+    }
+    let body = f(state, &req.body)?;
+    state.responses.insert(key, Arc::new(body.clone()));
+    Ok(body)
+}
+
+fn healthz(state: &ServiceState) -> String {
+    obj! {
+        "status" => "ok",
+        "references" => state.corpus.references.len(),
+        "selected_features" => state.selected.len(),
+    }
+    .compact()
+}
+
+fn corpus_info(state: &ServiceState) -> String {
+    let references: Vec<Json> = state
+        .corpus
+        .references
+        .iter()
+        .map(|r| {
+            obj! {
+                "name" => r.name.clone(),
+                "runs_from" => r.runs_from.len(),
+                "runs_to" => r.runs_to.len(),
+            }
+        })
+        .collect();
+    let features: Vec<Json> = state
+        .selected
+        .iter()
+        .map(|f| Json::from(f.name()))
+        .collect();
+    obj! {
+        "references" => references,
+        "selected_features" => Json::Arr(features),
+        "measure" => state.config.measure.label(),
+        "nbins" => state.config.nbins,
+    }
+    .compact()
+}
+
+/// Parses the `"runs"` array shared by every `POST` body.
+fn parse_target_runs(body: &str) -> Result<(Json, Vec<ExperimentRun>), ServiceError> {
+    let doc = Json::parse(body)
+        .map_err(|e| ServiceError::bad_request(format!("invalid JSON body: {e}")))?;
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServiceError::bad_request("body needs a 'runs' array"))?;
+    if runs.is_empty() {
+        return Err(ServiceError::bad_request("'runs' must not be empty"));
+    }
+    let parsed: Vec<ExperimentRun> = runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            run_from_json(r).map_err(|e| ServiceError::bad_request(format!("runs[{i}]: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok((doc, parsed))
+}
+
+fn matrix_to_json(m: &Matrix) -> Json {
+    obj! {
+        "rows" => m.rows(),
+        "cols" => m.cols(),
+        "data" => m.as_slice().to_vec(),
+    }
+}
+
+/// `POST /fingerprint` — fingerprints the posted runs on the selected
+/// features. Optional body fields: `"representation"` (`"hist"`, the
+/// default, or `"phase"`) and `"nbins"` (Hist-FP only).
+fn fingerprint(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+    let (doc, runs) = parse_target_runs(body)?;
+    let representation = match doc.get("representation").and_then(Json::as_str) {
+        None | Some("hist") => "Hist-FP",
+        Some("phase") => "Phase-FP",
+        Some(other) => {
+            return Err(ServiceError::bad_request(format!(
+                "unknown representation '{other}' (use 'hist' or 'phase')"
+            )))
+        }
+    };
+    let nbins = match doc.get("nbins") {
+        None => state.config.nbins,
+        Some(v) => v
+            .as_usize()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| ServiceError::bad_request("'nbins' must be a positive integer"))?,
+    };
+    let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, &state.selected)).collect();
+    let fps = if representation == "Hist-FP" {
+        histfp(&data, nbins)
+    } else {
+        phasefp(&data, &PhaseFpConfig::default())
+    };
+    let features: Vec<Json> = state
+        .selected
+        .iter()
+        .map(|f| Json::from(f.name()))
+        .collect();
+    Ok(obj! {
+        "representation" => representation,
+        "features" => Json::Arr(features),
+        "fingerprints" => Json::Arr(fps.iter().map(matrix_to_json).collect()),
+    }
+    .compact())
+}
+
+/// Stage 2 over the cached reference data — the same computation as
+/// `wp_core::pipeline::find_most_similar` (fingerprints jointly
+/// normalized over target + reference runs, distances averaged per
+/// reference, min-max normalized, ascending), with the per-reference
+/// feature extraction served from the LRU cache.
+fn similar_verdicts(
+    state: &ServiceState,
+    target_runs: &[ExperimentRun],
+) -> Result<Vec<SimilarityVerdict>, ServiceError> {
+    let mut data: Vec<RunFeatureData> = target_runs
+        .iter()
+        .map(|r| extract(r, &state.selected))
+        .collect();
+    let mut ref_spans: Vec<Range<usize>> = Vec::with_capacity(state.corpus.references.len());
+    for i in 0..state.corpus.references.len() {
+        let cached = state.reference_data(i);
+        let start = data.len();
+        data.extend(cached.iter().cloned());
+        ref_spans.push(start..data.len());
+    }
+    let fps = histfp(&data, state.config.nbins);
+    let d = try_distance_matrix(&fps, state.config.measure)
+        .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
+    let d = normalize_distances(&d);
+
+    let n_target = target_runs.len();
+    let mut verdicts: Vec<SimilarityVerdict> = state
+        .corpus
+        .references
+        .iter()
+        .zip(&ref_spans)
+        .map(|(r, span)| {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for t in 0..n_target {
+                for j in span.clone() {
+                    total += d[(t, j)];
+                    count += 1;
+                }
+            }
+            SimilarityVerdict {
+                workload: r.name.clone(),
+                distance: total / count.max(1) as f64,
+            }
+        })
+        .collect();
+    verdicts.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Ok(verdicts)
+}
+
+fn verdicts_to_json(verdicts: &[SimilarityVerdict]) -> Json {
+    Json::Arr(
+        verdicts
+            .iter()
+            .map(|v| {
+                obj! {
+                    "workload" => v.workload.clone(),
+                    "distance" => v.distance,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// `POST /similar` — ranks the reference workloads by similarity to the
+/// posted runs.
+fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+    let (_, runs) = parse_target_runs(body)?;
+    let verdicts = similar_verdicts(state, &runs)?;
+    Ok(obj! {
+        "most_similar" => verdicts[0].workload.clone(),
+        "verdicts" => verdicts_to_json(&verdicts),
+    }
+    .compact())
+}
+
+/// `POST /predict` — full stage 2 + 3: most similar reference, then a
+/// pairwise scaling model fit on that reference's aligned run pairs,
+/// transferred to the posted runs' observed throughput. Optional body
+/// fields `"from_cpus"` / `"to_cpus"` label the SKU pair (defaults 2 and
+/// 8, the default corpus' pair).
+fn predict(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+    let (doc, runs) = parse_target_runs(body)?;
+    let cpus = |key: &str, default: f64| -> Result<f64, ServiceError> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| ServiceError::bad_request(format!("'{key}' must be positive"))),
+        }
+    };
+    let from_cpus = cpus("from_cpus", 2.0)?;
+    let to_cpus = cpus("to_cpus", 8.0)?;
+
+    let verdicts = similar_verdicts(state, &runs)?;
+    let reference = state
+        .corpus
+        .references
+        .iter()
+        .find(|r| r.name == verdicts[0].workload)
+        .expect("verdict names come from the corpus");
+
+    let from_values: Vec<f64> = reference.runs_from.iter().map(|r| r.throughput).collect();
+    let to_values: Vec<f64> = reference.runs_to.iter().map(|r| r.throughput).collect();
+    let groups: Vec<usize> = reference
+        .runs_from
+        .iter()
+        .map(|r| r.key.data_group)
+        .collect();
+    let model = PairwiseScalingModel::fit(
+        state.config.model,
+        &[from_cpus, to_cpus],
+        &[from_values, to_values],
+        Some(&groups),
+    );
+    let observed = wp_linalg::stats::mean(&runs.iter().map(|r| r.throughput).collect::<Vec<_>>());
+    let predicted = model
+        .predict_transfer(from_cpus, to_cpus, observed)
+        .ok_or_else(|| ServiceError::bad_request("no model for the requested SKU pair"))?;
+
+    Ok(obj! {
+        "most_similar" => verdicts[0].workload.clone(),
+        "from_cpus" => from_cpus,
+        "to_cpus" => to_cpus,
+        "observed_throughput" => observed,
+        "predicted_throughput" => predicted,
+        "verdicts" => verdicts_to_json(&verdicts),
+    }
+    .compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::simulated_corpus;
+    use wp_featsel::Strategy;
+    use wp_workloads::engine::Simulator;
+    use wp_workloads::{benchmarks, Sku};
+
+    fn test_state() -> ServiceState {
+        let corpus = simulated_corpus(0xEDB7_2025, 40);
+        let config = PipelineConfig {
+            selection: Strategy::FAnova,
+            ..PipelineConfig::default()
+        };
+        ServiceState::new(corpus, config, Some(1), 16).unwrap()
+    }
+
+    fn target_body(state_seed: u64) -> String {
+        let mut sim = Simulator::new(state_seed);
+        sim.config.samples = 40;
+        let runs: Vec<ExperimentRun> = (0..2)
+            .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+            .collect();
+        let json = wp_telemetry::io::runs_to_json(&runs);
+        format!("{{\"runs\":{json}}}")
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.to_string(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn similar_matches_core_find_most_similar() {
+        let state = test_state();
+        let mut sim = Simulator::new(0xEDB7_2025);
+        sim.config.samples = 40;
+        let target: Vec<ExperimentRun> = (0..2)
+            .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+            .collect();
+        let via_service = similar_verdicts(&state, &target).unwrap();
+
+        let reference_runs: Vec<(String, Vec<ExperimentRun>)> = state
+            .corpus
+            .references
+            .iter()
+            .map(|r| (r.name.clone(), r.runs_from.clone()))
+            .collect();
+        let via_core = wp_core::pipeline::find_most_similar(
+            &target,
+            &reference_runs,
+            &state.selected,
+            &state.config,
+        );
+        assert_eq!(via_service.len(), via_core.len());
+        for (a, b) in via_service.iter().zip(&via_core) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_similar_response_is_byte_identical() {
+        let state = test_state();
+        let req = request("POST", "/similar", &target_body(3));
+        let (s1, cold) = handle(&state, &req);
+        let (s2, warm) = handle(&state, &req);
+        assert_eq!(s1, 200);
+        assert_eq!(s2, 200);
+        assert_eq!(cold, warm);
+        let (hits, _) = state.responses.counters();
+        assert!(hits >= 1, "second request must hit the response cache");
+    }
+
+    #[test]
+    fn endpoints_and_errors() {
+        let state = test_state();
+        let (s, body) = handle(&state, &request("GET", "/healthz", ""));
+        assert_eq!(s, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (s, body) = handle(&state, &request("GET", "/corpus", ""));
+        assert_eq!(s, 200);
+        assert!(body.contains("TPC-C"), "{body}");
+
+        let (s, _) = handle(&state, &request("GET", "/stats", ""));
+        assert_eq!(s, 200);
+
+        let (s, body) = handle(&state, &request("POST", "/similar", "{not json"));
+        assert_eq!(s, 400);
+        assert!(body.contains("error"), "{body}");
+
+        let (s, _) = handle(&state, &request("POST", "/similar", "{\"runs\":[]}"));
+        assert_eq!(s, 400);
+
+        let (s, _) = handle(&state, &request("GET", "/similar", ""));
+        assert_eq!(s, 405);
+        let (s, _) = handle(&state, &request("POST", "/healthz", ""));
+        assert_eq!(s, 405);
+        let (s, _) = handle(&state, &request("GET", "/nope", ""));
+        assert_eq!(s, 404);
+    }
+
+    #[test]
+    fn fingerprint_and_predict_succeed() {
+        let state = test_state();
+        let body = target_body(5);
+
+        let (s, resp) = handle(&state, &request("POST", "/fingerprint", &body));
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(
+            doc.get("representation").and_then(Json::as_str),
+            Some("Hist-FP")
+        );
+        let fps = doc.get("fingerprints").and_then(Json::as_arr).unwrap();
+        assert_eq!(fps.len(), 2);
+        assert_eq!(
+            fps[0].get("rows").and_then(Json::as_usize),
+            Some(state.config.nbins)
+        );
+
+        // phase representation
+        let phase_body = body.replacen('{', "{\"representation\":\"phase\",", 1);
+        let (s, resp) = handle(&state, &request("POST", "/fingerprint", &phase_body));
+        assert_eq!(s, 200, "{resp}");
+
+        let (s, resp) = handle(&state, &request("POST", "/predict", &body));
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        let observed = doc
+            .get("observed_throughput")
+            .and_then(Json::as_f64)
+            .unwrap();
+        let predicted = doc
+            .get("predicted_throughput")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(observed > 0.0);
+        assert!(
+            predicted > observed,
+            "scaling 2 -> 8 CPUs must predict more than observed ({predicted} vs {observed})"
+        );
+
+        // bad SKU labels are a client error
+        let bad = body.replacen('{', "{\"from_cpus\":-1,", 1);
+        let (s, _) = handle(&state, &request("POST", "/predict", &bad));
+        assert_eq!(s, 400);
+    }
+}

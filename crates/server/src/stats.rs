@@ -1,0 +1,139 @@
+//! Per-endpoint request accounting, surfaced by `GET /stats`.
+//!
+//! Every request is timed with `Instant` at nanosecond resolution and
+//! recorded into lock-free atomic counters — the stats path adds no lock
+//! to the request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wp_json::{obj, Json};
+
+/// The routes the service accounts for, in display order.
+pub const ENDPOINTS: [&str; 7] = [
+    "/healthz",
+    "/corpus",
+    "/fingerprint",
+    "/similar",
+    "/predict",
+    "/stats",
+    "other",
+];
+
+#[derive(Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Atomic accounting for every endpoint plus the response-cache counters.
+#[derive(Default)]
+pub struct ServerStats {
+    endpoints: [EndpointCounters; ENDPOINTS.len()],
+    connections: AtomicU64,
+}
+
+impl ServerStats {
+    /// Index of a path in [`ENDPOINTS`], with unknown paths pooled under
+    /// `"other"`.
+    fn slot(path: &str) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == path)
+            .unwrap_or(ENDPOINTS.len() - 1)
+    }
+
+    /// Records one handled request: its route, wall time, and whether the
+    /// response was an error (status >= 400).
+    pub fn record(&self, path: &str, elapsed_ns: u64, is_error: bool) {
+        let c = &self.endpoints[Self::slot(path)];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        c.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        c.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+        if is_error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|c| c.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot as the `/stats` JSON document.
+    ///
+    /// `cache` is `(hits, misses)` from the response cache.
+    pub fn to_json(&self, cache: (u64, u64)) -> Json {
+        let endpoints: Vec<Json> = ENDPOINTS
+            .iter()
+            .zip(&self.endpoints)
+            .map(|(name, c)| {
+                let requests = c.requests.load(Ordering::Relaxed);
+                let total_ns = c.total_ns.load(Ordering::Relaxed);
+                let mean_ns = total_ns.checked_div(requests).unwrap_or(0);
+                obj! {
+                    "endpoint" => *name,
+                    "requests" => requests as f64,
+                    "errors" => c.errors.load(Ordering::Relaxed) as f64,
+                    "total_ns" => total_ns as f64,
+                    "mean_ns" => mean_ns as f64,
+                    "max_ns" => c.max_ns.load(Ordering::Relaxed) as f64,
+                }
+            })
+            .collect();
+        obj! {
+            "connections" => self.connections.load(Ordering::Relaxed) as f64,
+            "total_requests" => self.total_requests() as f64,
+            "cache" => obj! {
+                "hits" => cache.0 as f64,
+                "misses" => cache.1 as f64,
+            },
+            "endpoints" => endpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_endpoint() {
+        let stats = ServerStats::default();
+        stats.record("/similar", 1_000, false);
+        stats.record("/similar", 3_000, true);
+        stats.record("/nope", 10, true);
+        assert_eq!(stats.total_requests(), 3);
+
+        let doc = stats.to_json((5, 2));
+        let endpoints = doc.get("endpoints").unwrap().as_arr().unwrap();
+        let similar = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").unwrap().as_str() == Some("/similar"))
+            .unwrap();
+        assert_eq!(similar.get("requests").unwrap().as_f64(), Some(2.0));
+        assert_eq!(similar.get("errors").unwrap().as_f64(), Some(1.0));
+        assert_eq!(similar.get("total_ns").unwrap().as_f64(), Some(4000.0));
+        assert_eq!(similar.get("mean_ns").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(similar.get("max_ns").unwrap().as_f64(), Some(3000.0));
+
+        let other = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").unwrap().as_str() == Some("other"))
+            .unwrap();
+        assert_eq!(other.get("requests").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            doc.get("cache").unwrap().get("hits").unwrap().as_f64(),
+            Some(5.0)
+        );
+    }
+}

@@ -38,7 +38,12 @@ fn matrix_to_json(m: &Matrix) -> Json {
     }
 }
 
-fn run_to_json(run: &ExperimentRun) -> Json {
+/// Serializes one run as a [`Json`] value in the interchange schema.
+///
+/// Building block for embedding runs inside larger documents (the
+/// `wp-server` request/response bodies and corpus files); [`runs_to_json`]
+/// is the plain-array convenience over it.
+pub fn run_to_json(run: &ExperimentRun) -> Json {
     obj! {
         "key" => obj! {
             "workload" => run.key.workload.clone(),
@@ -119,7 +124,9 @@ fn matrix_from_json(v: &Json) -> Result<Matrix, String> {
     )
 }
 
-fn run_from_json(v: &Json) -> Result<ExperimentRun, String> {
+/// Parses one run from its [`Json`] interchange form (inverse of
+/// [`run_to_json`]).
+pub fn run_from_json(v: &Json) -> Result<ExperimentRun, String> {
     let key = field(v, "key")?;
     let resources = field(v, "resources")?;
     let plans = field(v, "plans")?;
