@@ -7,7 +7,7 @@
 use wp_bench::harness::{BenchmarkId, Criterion};
 use wp_bench::{criterion_group, criterion_main};
 use wp_similarity::histfp::{histfp, histfp_raw};
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::{extract, RunFeatureData};
 use wp_telemetry::FeatureId;
 use wp_workloads::{benchmarks, Simulator, Sku};
@@ -60,7 +60,9 @@ fn bench_distance_matrix(c: &mut Criterion) {
         let data = telemetry(n);
         let fps = histfp(&data, 10);
         g.bench_with_input(BenchmarkId::new("l21_runs", n), &fps, |b, fps| {
-            b.iter(|| distance_matrix(std::hint::black_box(fps), Measure::Norm(Norm::L21)))
+            b.iter(|| {
+                try_distance_matrix(std::hint::black_box(fps), Measure::Norm(Norm::L21)).unwrap()
+            })
         });
     }
     g.finish();
@@ -86,12 +88,12 @@ fn bench_distance_matrix_parallel(c: &mut Criterion) {
     g.bench_function("sequential", |b| {
         b.iter(|| {
             wp_runtime::with_thread_count(1, || {
-                distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent)
+                try_distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent).unwrap()
             })
         })
     });
     g.bench_function("parallel", |b| {
-        b.iter(|| distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent))
+        b.iter(|| try_distance_matrix(std::hint::black_box(&fps), Measure::DtwIndependent).unwrap())
     });
     g.finish();
 }

@@ -6,7 +6,7 @@
 use wp_bench::{corpus_on_sku, default_sim, feature_data, standardized_workloads};
 use wp_similarity::cluster::{best_k, hierarchical, k_medoids, silhouette, Linkage};
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_telemetry::FeatureId;
 use wp_workloads::sku::Sku;
 
@@ -42,7 +42,8 @@ fn main() {
 
     let data = feature_data(&run_refs, &FeatureId::all());
     let fps = histfp(&data, 10);
-    let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+    let d =
+        try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("fingerprints share a shape");
 
     println!(
         "Workload clustering over {} runs (Hist-FP, L2,1, all features)\n",

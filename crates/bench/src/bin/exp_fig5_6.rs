@@ -7,7 +7,7 @@
 use wp_bench::selection::rfe_logreg_ranking;
 use wp_bench::{corpus_fixed_terminals, default_sim, feature_data};
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
 use wp_telemetry::{FeatureId, FeatureSet};
 use wp_workloads::benchmarks;
 use wp_workloads::sku::Sku;
@@ -23,7 +23,9 @@ fn similarity_bars(
     let run_refs: Vec<&wp_telemetry::ExperimentRun> = corpus.runs.iter().collect();
     let data = feature_data(&run_refs, features);
     let fps = histfp(&data, 10);
-    let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::L21)));
+    let d = normalize_distances(
+        &try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("fingerprints share a shape"),
+    );
     let qlabel = corpus.names.iter().position(|n| n == query).unwrap();
     let qruns: Vec<usize> = (0..corpus.runs.len())
         .filter(|&i| corpus.labels[i] == qlabel)

@@ -6,7 +6,7 @@
 use wp_bench::selection::rfe_logreg_ranking;
 use wp_bench::{default_sim, feature_data};
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
 use wp_telemetry::{ExperimentRun, FeatureSet};
 use wp_workloads::benchmarks;
 use wp_workloads::sku::Sku;
@@ -62,7 +62,10 @@ fn main() {
         }
         let data = feature_data(&all, &features);
         let fps = histfp(&data, 10);
-        let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::Canberra)));
+        let d = normalize_distances(
+            &try_distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+                .expect("fingerprints share a shape"),
+        );
 
         println!("feature set: {label}");
         let mut verdicts: Vec<(String, f64)> = ref_runs

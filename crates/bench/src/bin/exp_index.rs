@@ -1,0 +1,95 @@
+//! Workload-similarity index benchmark — the acceptance experiment for
+//! the `wp-index` pruning cascade.
+//!
+//! Two scenarios, each across growing corpus sizes:
+//!
+//! * **Hist-FP / L2,1-Norm** — the pipeline's default similarity setting
+//!   (pivot + PAA pruning).
+//! * **MTS / Dependent-DTW (band 8)** — the elastic-measure setting
+//!   (LB_Kim + LB_Keogh pruning against the banded distance).
+//!
+//! Every (scenario, size) cell verifies that the indexed top-k is
+//! byte-identical to brute force, then reports the latency of both
+//! approaches and the cascade's pruning counters. Results land in
+//! `BENCH_index.json`; the run fails if any corpus of size >= 64 prunes
+//! half or fewer of its exact distance computations.
+
+use wp_bench::default_sim;
+use wp_bench::indexbench::{fingerprints, run_scenario, ScenarioResult};
+use wp_index::IndexConfig;
+use wp_json::{obj, Json};
+use wp_similarity::{Measure, Norm};
+
+const SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+const N_QUERIES: usize = 8;
+const K: usize = 5;
+const OUT_PATH: &str = "BENCH_index.json";
+
+fn main() {
+    let mut sim = default_sim();
+    sim.config.samples = 60;
+
+    let scenarios: [(&str, Measure, IndexConfig); 2] = [
+        ("Hist-FP", Measure::Norm(Norm::L21), IndexConfig::default()),
+        (
+            "MTS",
+            Measure::DtwDependent,
+            IndexConfig {
+                band: Some(8),
+                ..IndexConfig::default()
+            },
+        ),
+    ];
+
+    println!(
+        "{:<8} {:<16} {:>6} {:>10} {:>11} {:>8} {:>8}",
+        "repr", "measure", "n", "brute ms", "indexed ms", "speedup", "pruned"
+    );
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    for (scenario, measure, config) in &scenarios {
+        for &n in &SIZES {
+            let (corpus, queries) = fingerprints(&sim, n, N_QUERIES, scenario);
+            let r = run_scenario(scenario, *measure, *config, &corpus, &queries, K);
+            println!(
+                "{:<8} {:<16} {:>6} {:>10.3} {:>11.3} {:>7.2}x {:>7.1}%",
+                r.scenario,
+                r.measure,
+                r.corpus_size,
+                r.brute_ms,
+                r.indexed_ms,
+                r.speedup(),
+                r.stats.pruned_fraction() * 100.0
+            );
+            results.push(r);
+        }
+    }
+
+    // Acceptance gate: at corpus size >= 64, the cascade must discard
+    // more than half of the would-be exact distance computations.
+    let mut ok = true;
+    for r in results.iter().filter(|r| r.corpus_size >= 64) {
+        if r.stats.pruned_fraction() <= 0.5 {
+            eprintln!(
+                "FAIL: {} / {} at n={} pruned only {:.1}% (need > 50%)",
+                r.scenario,
+                r.measure,
+                r.corpus_size,
+                r.stats.pruned_fraction() * 100.0
+            );
+            ok = false;
+        }
+    }
+
+    let doc = obj! {
+        "experiment" => "index_cascade",
+        "queries" => N_QUERIES,
+        "k" => K,
+        "exact_topk_verified" => true,
+        "results" => Json::Arr(results.iter().map(ScenarioResult::to_json).collect()),
+    };
+    std::fs::write(OUT_PATH, doc.pretty() + "\n").expect("write BENCH_index.json");
+    println!("wrote {OUT_PATH}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,7 @@
 
 use wp_bench::{corpus_fixed_terminals, default_sim};
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
 use wp_similarity::repr::{extract, mts, RunFeatureData};
 use wp_similarity::robustness::{drop_observations, inject_noise, inject_outliers};
@@ -24,7 +24,8 @@ fn accuracy(data: &[RunFeatureData], labels: &[usize], representation: Represent
         Representation::PhaseFp => phasefp(data, &PhaseFpConfig::default()),
         Representation::Mts => mts(data),
     };
-    let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+    let d =
+        try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("fingerprints share a shape");
     one_nn_accuracy(&d, labels)
 }
 

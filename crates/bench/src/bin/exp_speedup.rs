@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use wp_bench::{default_sim, standardized_workloads};
 use wp_json::obj;
-use wp_similarity::measure::{distance_matrix, Measure};
+use wp_similarity::measure::{try_distance_matrix, Measure};
 use wp_similarity::repr::{extract, mts};
 use wp_telemetry::FeatureSet;
 use wp_workloads::engine::paper_terminals;
@@ -54,12 +54,14 @@ fn main() {
     );
 
     let start = Instant::now();
-    let seq = wp_runtime::with_thread_count(1, || distance_matrix(&fps, Measure::DtwIndependent));
+    let seq = wp_runtime::with_thread_count(1, || {
+        try_distance_matrix(&fps, Measure::DtwIndependent).unwrap()
+    });
     let seq_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let threads = wp_runtime::thread_count();
     let start = Instant::now();
-    let par = distance_matrix(&fps, Measure::DtwIndependent);
+    let par = try_distance_matrix(&fps, Measure::DtwIndependent).unwrap();
     let par_ms = start.elapsed().as_secs_f64() * 1e3;
 
     assert_eq!(seq, par, "parallel distance matrix must be bit-identical");

@@ -13,7 +13,7 @@
 use wp_bench::selection::rfe_logreg_ranking;
 use wp_bench::{corpus_fixed_terminals, default_sim, feature_data, RunCorpus};
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
 use wp_similarity::repr::mts;
 use wp_similarity::{mean_average_precision, ndcg};
@@ -39,7 +39,7 @@ fn relevance(corpus: &RunCorpus) -> impl Fn(usize, usize) -> f64 + '_ {
 }
 
 fn score(corpus: &RunCorpus, fps: &[wp_linalg::Matrix], measure: Measure) -> (f64, f64) {
-    let d = distance_matrix(fps, measure);
+    let d = try_distance_matrix(fps, measure).expect("fingerprints validated by construction");
     let map = mean_average_precision(&d, &corpus.labels);
     let n = ndcg(&d, relevance(corpus));
     (map, n)

@@ -7,6 +7,7 @@
 //! benchmark driver behind the `benches/` files.
 
 pub mod harness;
+pub mod indexbench;
 pub mod selection;
 pub mod table3;
 

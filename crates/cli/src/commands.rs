@@ -22,6 +22,7 @@ usage:
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
   wp serve    [--addr HOST:PORT] [--threads N] [--corpus FILE] [--samples N] [--seed S]
+  wp index-bench [--size N] [--queries N] [--k K] [--samples N] [--json] [--seed S]
 
 skus: cpu2 | cpu4 | cpu8 | cpu16 | s1 | s2 | vcore80 | <cpus>x<gib> (e.g. 12x96)
 strategies: variance | pearson | fanova | migain | lasso | elasticnet |
@@ -41,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "export" => cmd_export(&args),
         "serve" => cmd_serve(&args),
+        "index-bench" => cmd_index_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -245,7 +247,7 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
         &reference_runs,
         &selected,
         &pipeline.config,
-    );
+    )?;
     println!(
         "similarity of {} on {} (top-{top} features, Hist-FP + L2,1):",
         target.name, sku
@@ -316,6 +318,74 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
+    Ok(())
+}
+
+/// Benchmarks the `wp-index` pruning cascade against brute-force top-k
+/// at one corpus size: the pipeline's Hist-FP/L2,1 setting and the
+/// elastic MTS/Dependent-DTW (band 8) setting. Both runs verify that the
+/// indexed top-k is byte-identical to brute force before reporting.
+fn cmd_index_bench(args: &Args) -> Result<(), String> {
+    use wp_bench::indexbench::{fingerprints, run_scenario};
+    use wp_index::IndexConfig;
+    use wp_similarity::Measure;
+    use wp_similarity::Norm;
+
+    let size: usize = args.parsed_or("size", 128)?;
+    let queries: usize = args.parsed_or("queries", 8)?;
+    let k: usize = args.parsed_or("k", 5)?;
+    let samples: usize = args.parsed_or("samples", 60)?;
+    if size == 0 || queries == 0 || k == 0 {
+        return Err("--size, --queries, and --k must be positive".to_string());
+    }
+    let mut sim = sim_with_seed(args)?;
+    sim.config.samples = samples;
+
+    let scenarios: [(&str, Measure, IndexConfig); 2] = [
+        ("Hist-FP", Measure::Norm(Norm::L21), IndexConfig::default()),
+        (
+            "MTS",
+            Measure::DtwDependent,
+            IndexConfig {
+                band: Some(8),
+                ..IndexConfig::default()
+            },
+        ),
+    ];
+    let results: Vec<_> = scenarios
+        .iter()
+        .map(|(scenario, measure, config)| {
+            let (corpus, qs) = fingerprints(&sim, size, queries, scenario);
+            run_scenario(scenario, *measure, *config, &corpus, &qs, k)
+        })
+        .collect();
+
+    if args.switch("json") {
+        let doc = obj! {
+            "experiment" => "index_cascade",
+            "corpus_size" => size,
+            "queries" => queries,
+            "k" => k,
+            "exact_topk_verified" => true,
+            "results" => Json::Arr(results.iter().map(|r| r.to_json()).collect()),
+        };
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+
+    println!("index cascade vs brute force ({size} fingerprints, {queries} queries, k={k}):");
+    for r in &results {
+        println!(
+            "  {:<8} {:<16} brute {:>8.3} ms  indexed {:>8.3} ms  speedup {:>5.2}x  pruned {:>5.1}%",
+            r.scenario,
+            r.measure,
+            r.brute_ms,
+            r.indexed_ms,
+            r.speedup(),
+            r.stats.pruned_fraction() * 100.0
+        );
+    }
+    println!("top-k verified byte-identical to brute force for both scenarios");
     Ok(())
 }
 
@@ -392,5 +462,27 @@ mod tests {
     fn workloads_subcommand_runs() {
         let argv: Vec<String> = vec!["workloads".into()];
         assert!(run(&argv).is_ok());
+    }
+
+    #[test]
+    fn index_bench_subcommand_runs_and_validates() {
+        let argv: Vec<String> = [
+            "index-bench",
+            "--size",
+            "8",
+            "--queries",
+            "2",
+            "--samples",
+            "20",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(run(&argv).is_ok());
+        let bad: Vec<String> = ["index-bench", "--k", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&bad).is_err());
     }
 }

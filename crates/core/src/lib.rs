@@ -22,8 +22,10 @@
 
 pub mod offline;
 pub mod pipeline;
+pub mod retrieval;
 
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutcome, SimilarityVerdict};
+pub use retrieval::{CorpusIndex, RunHit};
 
 // Re-export the substrate crates so a downstream user needs only wp-core.
 pub use wp_featsel as featsel;

@@ -145,7 +145,7 @@ pub fn run_offline(
         .map(|r| (r.name.clone(), r.runs_from.clone()))
         .collect();
     let similarity: Vec<SimilarityVerdict> =
-        find_most_similar(target_runs_from, &reference_runs, &selected, config);
+        find_most_similar(target_runs_from, &reference_runs, &selected, config)?;
     let most_similar = similarity[0].workload.clone();
     let reference = corpus
         .references

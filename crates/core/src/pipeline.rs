@@ -6,7 +6,7 @@ use wp_featsel::Strategy;
 use wp_predict::predictor::{scaling_data_from_simulation, ScalingPredictor};
 use wp_predict::ModelStrategy;
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::extract;
 use wp_telemetry::{ExperimentRun, FeatureId};
 use wp_workloads::dataset::LabeledDataset;
@@ -120,14 +120,22 @@ pub fn select_features(
 /// executions on the *same* hardware; distances are computed between
 /// Hist-FP fingerprints on the selected features and averaged over run
 /// pairs, then min-max normalized across references.
+///
+/// Errors on an empty target/reference set or fingerprints the measure
+/// cannot compare. For a corpus that is queried repeatedly, the indexed
+/// variant in [`crate::retrieval`] avoids the full pairwise matrix.
 pub fn find_most_similar(
     target_runs: &[ExperimentRun],
     reference_runs: &[(String, Vec<ExperimentRun>)],
     features: &[FeatureId],
     config: &PipelineConfig,
-) -> Vec<SimilarityVerdict> {
-    assert!(!target_runs.is_empty(), "need target runs");
-    assert!(!reference_runs.is_empty(), "need reference runs");
+) -> Result<Vec<SimilarityVerdict>, String> {
+    if target_runs.is_empty() {
+        return Err("need target runs".to_string());
+    }
+    if reference_runs.is_empty() {
+        return Err("need reference runs".to_string());
+    }
 
     // Build one fingerprint per run, jointly normalized.
     let mut all_runs: Vec<&ExperimentRun> = target_runs.iter().collect();
@@ -139,7 +147,7 @@ pub fn find_most_similar(
     }
     let data: Vec<_> = all_runs.iter().map(|r| extract(r, features)).collect();
     let fps = histfp(&data, config.nbins);
-    let d = normalize_distances(&distance_matrix(&fps, config.measure));
+    let d = normalize_distances(&try_distance_matrix(&fps, config.measure)?);
 
     let n_target = target_runs.len();
     let mut verdicts: Vec<SimilarityVerdict> = reference_runs
@@ -165,7 +173,7 @@ pub fn find_most_similar(
             .partial_cmp(&b.distance)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    verdicts
+    Ok(verdicts)
 }
 
 /// Stage 3: fit a scaling predictor on the chosen reference workload and
@@ -247,7 +255,8 @@ impl Pipeline {
                 (spec.name.clone(), runs)
             })
             .collect();
-        let similarity = find_most_similar(&target_runs, &reference_runs, &selected, cfg);
+        let similarity = find_most_similar(&target_runs, &reference_runs, &selected, cfg)
+            .expect("simulated runs always produce comparable fingerprints");
         let most_similar = similarity[0].workload.clone();
         let reference = references
             .iter()
@@ -348,7 +357,7 @@ mod tests {
             (spec.name.clone(), runs)
         })
         .collect();
-        let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config);
+        let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config).unwrap();
         assert_eq!(verdicts[0].workload, "TPC-C", "{verdicts:?}");
     }
 
@@ -371,7 +380,7 @@ mod tests {
                 )
             })
             .collect();
-        let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config);
+        let verdicts = find_most_similar(&target, &refs, &FeatureId::all(), &p.config).unwrap();
         assert!(verdicts[0].distance <= verdicts[1].distance);
     }
 

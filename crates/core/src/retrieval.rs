@@ -1,0 +1,421 @@
+//! Indexed similarity retrieval over a fixed reference corpus.
+//!
+//! [`crate::pipeline::find_most_similar`] follows the paper's §5 recipe
+//! to the letter: fingerprints are *jointly* normalized over the target
+//! and reference runs, and distances are min-max normalized over the
+//! full pairwise matrix — both steps depend on the query, so every call
+//! recomputes everything, including all reference-to-reference
+//! distances. That is fine for one-shot experiments and wrong for a
+//! serving path.
+//!
+//! [`CorpusIndex`] is the serving-path variant: histogram ranges are
+//! *frozen over the corpus* at build time
+//! ([`wp_similarity::histfp::histfp_with_ranges`]), so every reference
+//! fingerprint is computed exactly once, a query fingerprint depends
+//! only on the query, and top-k retrieval goes through the
+//! [`wp_index::Index`] pruning cascade instead of a full scan. The
+//! trade-off is explicit: distances are the *raw* measure values (no
+//! query-dependent min-max pass), so they are comparable across queries
+//! but not bit-identical to the joint-normalization path.
+
+use wp_index::{Hit, Index, IndexConfig, SearchStats};
+use wp_similarity::histfp::histfp_with_ranges;
+use wp_similarity::repr::{extract, global_ranges, RunFeatureData};
+use wp_telemetry::{ExperimentRun, FeatureId};
+
+use crate::offline::OfflineCorpus;
+use crate::pipeline::{PipelineConfig, SimilarityVerdict};
+
+/// One retrieved corpus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHit {
+    /// Name of the reference workload the run belongs to.
+    pub reference: String,
+    /// Position of the run within that reference's source runs.
+    pub run: usize,
+    /// Exact measure distance between the query and the run fingerprint.
+    pub distance: f64,
+}
+
+/// A [`wp_index::Index`] over the fingerprints of every reference run,
+/// plus the frozen state a query needs to be fingerprinted the same way:
+/// the selected features, the per-feature histogram ranges, and the bin
+/// count.
+pub struct CorpusIndex {
+    index: Index,
+    /// Maps a corpus position to `(reference, run-within-reference)`.
+    run_refs: Vec<(usize, usize)>,
+    names: Vec<String>,
+    features: Vec<FeatureId>,
+    ranges: Vec<(f64, f64)>,
+    nbins: usize,
+}
+
+impl CorpusIndex {
+    /// Builds the index over `corpus` (one entry per `runs_from` run of
+    /// every reference) using the features selected at startup and the
+    /// pipeline's measure and bin count. Fingerprint summaries are
+    /// computed in parallel on the deterministic `wp_runtime` pool.
+    pub fn build(
+        corpus: &OfflineCorpus,
+        features: &[FeatureId],
+        config: &PipelineConfig,
+        index_config: IndexConfig,
+    ) -> Result<Self, String> {
+        corpus.validate()?;
+        let refs: Vec<(String, &[ExperimentRun])> = corpus
+            .references
+            .iter()
+            .map(|r| (r.name.clone(), r.runs_from.as_slice()))
+            .collect();
+        Self::from_reference_runs(&refs, features, config, index_config)
+    }
+
+    /// Builds the index from bare `(name, runs)` pairs — the shape
+    /// [`crate::pipeline::find_most_similar`] takes.
+    pub fn from_reference_runs(
+        reference_runs: &[(String, &[ExperimentRun])],
+        features: &[FeatureId],
+        config: &PipelineConfig,
+        index_config: IndexConfig,
+    ) -> Result<Self, String> {
+        if reference_runs.is_empty() {
+            return Err("need reference runs".to_string());
+        }
+        let mut run_refs = Vec::new();
+        let mut data: Vec<RunFeatureData> = Vec::new();
+        for (ri, (_, runs)) in reference_runs.iter().enumerate() {
+            if runs.is_empty() {
+                return Err(format!("reference '{}' has no runs", reference_runs[ri].0));
+            }
+            for (pos, run) in runs.iter().enumerate() {
+                run_refs.push((ri, pos));
+                data.push(extract(run, features));
+            }
+        }
+        let ranges = global_ranges(&data);
+        let fps = histfp_with_ranges(&data, &ranges, config.nbins);
+        let index = Index::build(fps, config.measure, index_config)?;
+        Ok(Self {
+            index,
+            run_refs,
+            names: reference_runs.iter().map(|(n, _)| n.clone()).collect(),
+            features: features.to_vec(),
+            ranges,
+            nbins: config.nbins,
+        })
+    }
+
+    /// Adds a new reference (or more runs of a known one) to the corpus
+    /// without rebuilding: each run is fingerprinted under the *frozen*
+    /// ranges and appended via [`Index::insert`]. Values outside the
+    /// frozen ranges clamp into the boundary bins.
+    pub fn insert_reference(&mut self, name: &str, runs: &[ExperimentRun]) -> Result<(), String> {
+        if runs.is_empty() {
+            return Err(format!("reference '{name}' has no runs"));
+        }
+        let ri = match self.names.iter().position(|n| n == name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name.to_string());
+                self.names.len() - 1
+            }
+        };
+        let next_pos = self
+            .run_refs
+            .iter()
+            .filter(|(r, _)| *r == ri)
+            .map(|(_, pos)| pos + 1)
+            .max()
+            .unwrap_or(0);
+        let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, &self.features)).collect();
+        for (offset, fp) in histfp_with_ranges(&data, &self.ranges, self.nbins)
+            .into_iter()
+            .enumerate()
+        {
+            self.index.insert(fp)?;
+            self.run_refs.push((ri, next_pos + offset));
+        }
+        Ok(())
+    }
+
+    /// Number of indexed runs.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no runs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The underlying fingerprint index.
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// Fingerprints one query run under the frozen corpus ranges.
+    fn query_fingerprint(&self, run: &ExperimentRun) -> wp_linalg::Matrix {
+        let data = extract(run, &self.features);
+        histfp_with_ranges(std::slice::from_ref(&data), &self.ranges, self.nbins)
+            .pop()
+            .expect("one run in, one fingerprint out")
+    }
+
+    /// The `k` corpus runs nearest to `run` — exact top-k through the
+    /// pruning cascade, ascending by `(distance, corpus position)`.
+    pub fn nearest_runs(&self, run: &ExperimentRun, k: usize) -> Result<Vec<RunHit>, String> {
+        let fp = self.query_fingerprint(run);
+        let hits = self.index.search_k(&fp, k)?;
+        Ok(self.to_run_hits(&hits))
+    }
+
+    fn to_run_hits(&self, hits: &[Hit]) -> Vec<RunHit> {
+        hits.iter()
+            .map(|h| {
+                let (ri, pos) = self.run_refs[h.index];
+                RunHit {
+                    reference: self.names[ri].clone(),
+                    run: pos,
+                    distance: h.distance,
+                }
+            })
+            .collect()
+    }
+
+    /// Ranks the references by their nearest runs: each target run
+    /// retrieves its top-k corpus runs, hit distances are averaged per
+    /// reference, and references without a retrieved run are omitted.
+    /// Ascending by `(mean distance, name)`; distances are raw measure
+    /// values (see the module docs for how this differs from
+    /// [`crate::pipeline::find_most_similar`]).
+    pub fn rank_references(
+        &self,
+        target_runs: &[ExperimentRun],
+        k: usize,
+    ) -> Result<Vec<SimilarityVerdict>, String> {
+        self.rank_references_with_stats(target_runs, k)
+            .map(|(v, _)| v)
+    }
+
+    /// [`CorpusIndex::rank_references`] plus the cascade counters summed
+    /// over all per-run searches.
+    pub fn rank_references_with_stats(
+        &self,
+        target_runs: &[ExperimentRun],
+        k: usize,
+    ) -> Result<(Vec<SimilarityVerdict>, SearchStats), String> {
+        if target_runs.is_empty() {
+            return Err("need target runs".to_string());
+        }
+        if k == 0 {
+            return Err("k must be positive".to_string());
+        }
+        let mut total = vec![0.0; self.names.len()];
+        let mut count = vec![0usize; self.names.len()];
+        let mut stats = SearchStats::default();
+        for run in target_runs {
+            let fp = self.query_fingerprint(run);
+            let (hits, s) = self.index.search_k_with_stats(&fp, k)?;
+            stats.merge(&s);
+            for h in hits {
+                let (ri, _) = self.run_refs[h.index];
+                total[ri] += h.distance;
+                count[ri] += 1;
+            }
+        }
+        let mut verdicts: Vec<SimilarityVerdict> = self
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(ri, _)| count[*ri] > 0)
+            .map(|(ri, name)| SimilarityVerdict {
+                workload: name.clone(),
+                distance: total[ri] / count[ri] as f64,
+            })
+            .collect();
+        verdicts.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| a.workload.cmp(&b.workload))
+        });
+        Ok((verdicts, stats))
+    }
+}
+
+/// Indexed counterpart of [`crate::pipeline::find_most_similar`]: builds
+/// a transient [`CorpusIndex`] over `reference_runs` and ranks the
+/// references by the target runs' top-k nearest corpus runs. Prefer
+/// holding a [`CorpusIndex`] when the same corpus serves many queries —
+/// that is the whole point of the index.
+pub fn find_most_similar_indexed(
+    target_runs: &[ExperimentRun],
+    reference_runs: &[(String, Vec<ExperimentRun>)],
+    features: &[FeatureId],
+    config: &PipelineConfig,
+    k: usize,
+) -> Result<Vec<SimilarityVerdict>, String> {
+    let refs: Vec<(String, &[ExperimentRun])> = reference_runs
+        .iter()
+        .map(|(n, runs)| (n.clone(), runs.as_slice()))
+        .collect();
+    let index = CorpusIndex::from_reference_runs(&refs, features, config, IndexConfig::default())?;
+    index.rank_references(target_runs, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_workloads::benchmarks;
+    use wp_workloads::engine::Simulator;
+    use wp_workloads::sku::Sku;
+
+    fn sim_runs(sim: &Simulator, name: &str, first_run: usize, n: usize) -> Vec<ExperimentRun> {
+        let spec = match name {
+            "TPC-C" => benchmarks::tpcc(),
+            "TPC-H" => benchmarks::tpch(),
+            "Twitter" => benchmarks::twitter(),
+            _ => benchmarks::ycsb(),
+        };
+        let terminals = if name == "TPC-H" { 1 } else { 8 };
+        let sku = Sku::new("cpu2", 2, 64.0);
+        (first_run..first_run + n)
+            .map(|r| sim.simulate(&spec, &sku, terminals, r, r % 3))
+            .collect()
+    }
+
+    fn reference_runs(sim: &Simulator) -> Vec<(String, Vec<ExperimentRun>)> {
+        ["TPC-C", "TPC-H", "Twitter"]
+            .iter()
+            .map(|n| (n.to_string(), sim_runs(sim, n, 0, 3)))
+            .collect()
+    }
+
+    fn small_sim() -> Simulator {
+        let mut sim = Simulator::new(0xEDB7_2025);
+        sim.config.samples = 40;
+        sim
+    }
+
+    #[test]
+    fn ranks_the_same_workload_first() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        let index = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(index.len(), 9);
+        for name in ["TPC-C", "Twitter"] {
+            let target = sim_runs(&sim, name, 3, 2);
+            let verdicts = index.rank_references(&target, 3).unwrap();
+            assert_eq!(verdicts[0].workload, name, "{verdicts:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_search_matches_brute_force_over_the_corpus() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        let index = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        let target = sim_runs(&sim, "YCSB", 0, 1);
+        let fp = index.query_fingerprint(&target[0]);
+        let corpus_fps: Vec<wp_linalg::Matrix> = (0..index.len())
+            .map(|i| index.index().fingerprint(i).clone())
+            .collect();
+        let brute = wp_index::brute_force_k(&corpus_fps, config.measure, None, &fp, 4);
+        let hits = index.index().search_k(&fp, 4).unwrap();
+        assert_eq!(hits.len(), brute.len());
+        for (h, b) in hits.iter().zip(&brute) {
+            assert_eq!(h.index, b.index);
+            assert_eq!(h.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn insert_reference_extends_retrieval() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs[..2]
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        let mut index = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        index.insert_reference("Twitter", &refs[2].1).unwrap();
+        assert_eq!(index.len(), 9);
+        let target = sim_runs(&sim, "Twitter", 3, 2);
+        let verdicts = index.rank_references(&target, 3).unwrap();
+        assert_eq!(verdicts[0].workload, "Twitter", "{verdicts:?}");
+        // nearest_runs resolves to the inserted reference's runs
+        let hits = index.nearest_runs(&target[0], 2).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].distance <= hits[1].distance);
+    }
+
+    #[test]
+    fn find_most_similar_indexed_agrees_with_exact_on_the_winner() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let config = PipelineConfig::default();
+        let target = sim_runs(&sim, "TPC-C", 3, 2);
+        let indexed =
+            find_most_similar_indexed(&target, &refs, &FeatureId::all(), &config, 9).unwrap();
+        let exact =
+            crate::pipeline::find_most_similar(&target, &refs, &FeatureId::all(), &config).unwrap();
+        assert_eq!(indexed[0].workload, exact[0].workload);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        assert!(CorpusIndex::from_reference_runs(
+            &[],
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default()
+        )
+        .is_err());
+        let index = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        assert!(index.rank_references(&[], 3).is_err());
+        let target = sim_runs(&sim, "YCSB", 0, 1);
+        assert!(index.rank_references(&target, 0).is_err());
+    }
+}

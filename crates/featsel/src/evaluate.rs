@@ -5,7 +5,7 @@
 //! norm on Hist-FP fingerprints built from those features.
 
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::extract;
 use wp_telemetry::{ExperimentRun, FeatureId};
 
@@ -21,7 +21,8 @@ pub fn subset_accuracy(runs: &[ExperimentRun], labels: &[usize], features: &[Fea
     assert!(!features.is_empty(), "need at least one feature");
     let data: Vec<_> = runs.iter().map(|r| extract(r, features)).collect();
     let fps = histfp(&data, EVAL_BINS);
-    let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+    let d =
+        try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("fingerprints share a shape");
     wp_similarity::eval::one_nn_accuracy(&d, labels)
 }
 

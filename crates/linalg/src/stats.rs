@@ -112,6 +112,21 @@ pub fn quantile(a: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Nearest-rank percentile over an ascending-sorted integer sample,
+/// `p ∈ [0, 100]`; `0` for an empty slice.
+///
+/// This is the convention shared by the serving layer (`wp-server`'s
+/// `/stats` latency summaries) and the load generator's report: the
+/// value at rank `⌈p/100 · n⌉` (1-based), so every reported percentile
+/// is an actually observed sample, never an interpolation.
+pub fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Column-wise means of a matrix.
 pub fn col_means(m: &Matrix) -> Vec<f64> {
     let mut out = vec![0.0; m.cols()];
@@ -304,6 +319,18 @@ mod tests {
         assert_eq!(quantile(&a, 1.0), 5.0);
         assert_eq!(quantile(&a, 0.5), 3.0);
         assert!((quantile(&a, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 50.0), 50);
+        assert_eq!(nearest_rank(&sorted, 95.0), 95);
+        assert_eq!(nearest_rank(&sorted, 99.0), 99);
+        assert_eq!(nearest_rank(&sorted, 100.0), 100);
+        assert_eq!(nearest_rank(&sorted, 0.0), 1);
+        assert_eq!(nearest_rank(&[7], 50.0), 7);
+        assert_eq!(nearest_rank(&[], 99.0), 0);
     }
 
     #[test]

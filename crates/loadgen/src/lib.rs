@@ -236,12 +236,12 @@ pub fn run_load(config: &LoadConfig, mix: &[MixEntry]) -> Result<Report, String>
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample (0 if empty).
+///
+/// Delegates to [`wp_linalg::stats::nearest_rank`] so the load
+/// generator's report and the server's `/stats` endpoint agree on the
+/// percentile convention.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    wp_linalg::stats::nearest_rank(sorted, p)
 }
 
 /// One connection's closed loop. Returns measured latencies (ns) and the

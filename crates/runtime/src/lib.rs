@@ -35,7 +35,7 @@
 //! worker executes nested `par_*` calls sequentially, so e.g. the
 //! per-channel parallelism inside `dtw_independent` does not
 //! oversubscribe the machine when invoked from an already-parallel
-//! `distance_matrix`.
+//! `try_distance_matrix`.
 //!
 //! # Panics
 //!

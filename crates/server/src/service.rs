@@ -11,6 +11,8 @@ use std::sync::Arc;
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
+use wp_core::retrieval::CorpusIndex;
+use wp_index::IndexConfig;
 use wp_json::{obj, Json};
 use wp_linalg::Matrix;
 use wp_predict::context::PairwiseScalingModel;
@@ -55,6 +57,10 @@ pub struct ServiceState {
     /// computation (the pool override is thread-local, so it is applied
     /// around every handler invocation).
     pub compute_threads: Option<usize>,
+    /// Pruning-cascade index over the corpus run fingerprints, built
+    /// once at startup with histogram ranges frozen over the corpus
+    /// (serves `POST /similar` with `"mode": "indexed"`).
+    pub index: CorpusIndex,
     /// Per-reference extracted fingerprint feature data.
     pub ref_data: LruCache<String, Vec<RunFeatureData>>,
     /// Whole-response cache for the `POST` endpoints, keyed by
@@ -72,17 +78,23 @@ impl ServiceState {
         compute_threads: Option<usize>,
         cache_capacity: usize,
     ) -> Result<Self, String> {
-        let selected = {
-            let select = || wp_core::offline::select_features_offline(&corpus, &config);
+        let (selected, index) = {
+            let startup = || -> Result<(Vec<FeatureId>, CorpusIndex), String> {
+                let selected = wp_core::offline::select_features_offline(&corpus, &config)?;
+                let index =
+                    CorpusIndex::build(&corpus, &selected, &config, IndexConfig::default())?;
+                Ok((selected, index))
+            };
             match compute_threads {
-                Some(n) => wp_runtime::with_thread_count(n, select)?,
-                None => select()?,
+                Some(n) => wp_runtime::with_thread_count(n, startup)?,
+                None => startup()?,
             }
         };
         Ok(Self {
             corpus,
             selected,
             config,
+            index,
             compute_threads,
             ref_data: LruCache::new(cache_capacity),
             responses: LruCache::new(cache_capacity),
@@ -331,14 +343,51 @@ fn verdicts_to_json(verdicts: &[SimilarityVerdict]) -> Json {
 
 /// `POST /similar` — ranks the reference workloads by similarity to the
 /// posted runs.
+///
+/// Optional body field `"mode"` selects the ranking path:
+///
+/// * `"exact"` (the default) — the paper's joint-normalization recipe,
+///   bit-identical to `wp_core::pipeline::find_most_similar`.
+/// * `"indexed"` — top-k retrieval through the startup-built
+///   [`CorpusIndex`] pruning cascade (frozen histogram ranges, raw
+///   measure distances). `"k"` (default 5) bounds the corpus runs
+///   retrieved per posted run. The response carries `"mode"` and `"k"`
+///   so clients can tell the paths apart.
 fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
-    let (_, runs) = parse_target_runs(body)?;
-    let verdicts = similar_verdicts(state, &runs)?;
-    Ok(obj! {
-        "most_similar" => verdicts[0].workload.clone(),
-        "verdicts" => verdicts_to_json(&verdicts),
+    let (doc, runs) = parse_target_runs(body)?;
+    match doc.get("mode").and_then(Json::as_str) {
+        None | Some("exact") => {
+            let verdicts = similar_verdicts(state, &runs)?;
+            Ok(obj! {
+                "most_similar" => verdicts[0].workload.clone(),
+                "verdicts" => verdicts_to_json(&verdicts),
+            }
+            .compact())
+        }
+        Some("indexed") => {
+            let k = match doc.get("k") {
+                None => 5,
+                Some(v) => v
+                    .as_usize()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| ServiceError::bad_request("'k' must be a positive integer"))?,
+            };
+            let verdicts = state
+                .index
+                .rank_references(&runs, k)
+                .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
+            Ok(obj! {
+                "mode" => "indexed",
+                "k" => k,
+                "most_similar" => verdicts[0].workload.clone(),
+                "verdicts" => verdicts_to_json(&verdicts),
+            }
+            .compact())
+        }
+        Some(other) => Err(ServiceError::bad_request(format!(
+            "unknown mode '{other}' (use 'exact' or 'indexed')"
+        ))),
     }
-    .compact())
 }
 
 /// `POST /predict` — full stage 2 + 3: most similar reference, then a
@@ -454,12 +503,69 @@ mod tests {
             &reference_runs,
             &state.selected,
             &state.config,
-        );
+        )
+        .unwrap();
         assert_eq!(via_service.len(), via_core.len());
         for (a, b) in via_service.iter().zip(&via_core) {
             assert_eq!(a.workload, b.workload);
             assert_eq!(a.distance.to_bits(), b.distance.to_bits());
         }
+    }
+
+    #[test]
+    fn indexed_similar_is_deterministic_and_agrees_on_the_winner() {
+        let state = test_state();
+        let body = target_body(3);
+        let indexed_body = body.replacen('{', "{\"mode\":\"indexed\",\"k\":3,", 1);
+
+        let (s, exact) = handle(&state, &request("POST", "/similar", &body));
+        assert_eq!(s, 200, "{exact}");
+        let (s, first) = handle(&state, &request("POST", "/similar", &indexed_body));
+        assert_eq!(s, 200, "{first}");
+        let doc = Json::parse(&first).unwrap();
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("indexed"));
+        assert_eq!(doc.get("k").and_then(Json::as_usize), Some(3));
+
+        // both paths agree on the most similar reference for a clear-cut
+        // target (YCSB → TPC-C per §6.2.3)
+        let exact_doc = Json::parse(&exact).unwrap();
+        assert_eq!(
+            doc.get("most_similar").and_then(Json::as_str),
+            exact_doc.get("most_similar").and_then(Json::as_str),
+            "exact: {exact}\nindexed: {first}"
+        );
+
+        // recompute without the response cache: byte-identical
+        let fresh = test_state();
+        let (s, second) = handle(&fresh, &request("POST", "/similar", &indexed_body));
+        assert_eq!(s, 200);
+        assert_eq!(first, second);
+
+        // explicit exact mode matches the default path's verdicts
+        let exact_body = body.replacen('{', "{\"mode\":\"exact\",", 1);
+        let (s, explicit) = handle(&state, &request("POST", "/similar", &exact_body));
+        assert_eq!(s, 200);
+        assert_eq!(explicit, exact);
+
+        // bad mode / bad k are client errors
+        let (s, _) = handle(
+            &state,
+            &request(
+                "POST",
+                "/similar",
+                &body.replacen('{', "{\"mode\":\"x\",", 1),
+            ),
+        );
+        assert_eq!(s, 400);
+        let (s, _) = handle(
+            &state,
+            &request(
+                "POST",
+                "/similar",
+                &body.replacen('{', "{\"mode\":\"indexed\",\"k\":0,", 1),
+            ),
+        );
+        assert_eq!(s, 400);
     }
 
     #[test]

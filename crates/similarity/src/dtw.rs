@@ -6,22 +6,46 @@
 //! per-dimension distances (Shokoohi-Yekta et al. 2016). Both return the
 //! square root of the accumulated squared cost so distances scale like
 //! the data.
+//!
+//! Every variant also exists in a `*_banded` form taking an optional
+//! Sakoe-Chiba window `w`: the warping path is restricted to cells with
+//! `|i - j| <= max(w, |m - n|)` (the widening to the length difference
+//! keeps the path connected for unequal-length series). `None` — or any
+//! window at least as wide as the longer series — reproduces the
+//! unconstrained distance bit-for-bit. The band is what makes the
+//! LB_Keogh envelopes in `wp-index` tight: the envelope of a series under
+//! window `w` lower-bounds exactly the `w`-banded distance.
 
 use wp_linalg::Matrix;
 
-/// Univariate DTW: accumulated squared distance along the optimal path.
-fn dtw_sq(a: &[f64], b: &[f64]) -> f64 {
+/// Effective Sakoe-Chiba half-width for series of lengths `m` and `n`:
+/// the requested window, widened to the length difference so the DP
+/// corridor always connects `(0, 0)` to `(m-1, n-1)`. `None` means
+/// unconstrained.
+fn effective_window(window: Option<usize>, m: usize, n: usize) -> usize {
+    match window {
+        Some(w) => w.max(m.abs_diff(n)),
+        None => m.max(n),
+    }
+}
+
+/// Univariate banded DTW: accumulated squared distance along the optimal
+/// path restricted to the Sakoe-Chiba corridor.
+fn dtw_sq_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return if m == n { 0.0 } else { f64::INFINITY };
     }
-    // rolling single-row DP
+    let w = effective_window(window, m, n);
+    // rolling single-row DP; cells outside the corridor stay +inf
     let mut prev = vec![f64::INFINITY; n + 1];
     let mut cur = vec![f64::INFINITY; n + 1];
     prev[0] = 0.0;
     for i in 1..=m {
-        cur[0] = f64::INFINITY;
-        for j in 1..=n {
+        cur.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(n);
+        for j in lo..=hi {
             let d = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
             cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
         }
@@ -32,24 +56,37 @@ fn dtw_sq(a: &[f64], b: &[f64]) -> f64 {
 
 /// Univariate DTW distance.
 pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
-    dtw_sq(a, b).sqrt()
+    dtw_banded(a, b, None)
+}
+
+/// Univariate DTW distance under an optional Sakoe-Chiba window.
+pub fn dtw_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
+    dtw_sq_banded(a, b, window).sqrt()
 }
 
 /// Dependent multivariate DTW: one warping path, point distance
 /// `Σ_k (A_ik − B_jk)²` across all `K` features.
 pub fn dtw_dependent(a: &Matrix, b: &Matrix) -> f64 {
+    dtw_dependent_banded(a, b, None)
+}
+
+/// [`dtw_dependent`] under an optional Sakoe-Chiba window.
+pub fn dtw_dependent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f64 {
     assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
     let (m, n) = (a.rows(), b.rows());
     if m == 0 || n == 0 {
         return if m == n { 0.0 } else { f64::INFINITY };
     }
+    let w = effective_window(window, m, n);
     let mut prev = vec![f64::INFINITY; n + 1];
     let mut cur = vec![f64::INFINITY; n + 1];
     prev[0] = 0.0;
     for i in 1..=m {
-        cur[0] = f64::INFINITY;
+        cur.fill(f64::INFINITY);
         let arow = a.row(i - 1);
-        for j in 1..=n {
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(n);
+        for j in lo..=hi {
             let d = wp_linalg::ops::sq_dist(arow, b.row(j - 1));
             cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
         }
@@ -65,8 +102,14 @@ pub fn dtw_dependent(a: &Matrix, b: &Matrix) -> f64 {
 /// per-dimension distances are summed in dimension order, so the result
 /// is bit-identical to a sequential loop.
 pub fn dtw_independent(a: &Matrix, b: &Matrix) -> f64 {
+    dtw_independent_banded(a, b, None)
+}
+
+/// [`dtw_independent`] under an optional Sakoe-Chiba window (the same
+/// window constrains every dimension's path).
+pub fn dtw_independent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f64 {
     assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
-    wp_runtime::par_map_indexed(a.cols(), |k| dtw(&a.col(k), &b.col(k)))
+    wp_runtime::par_map_indexed(a.cols(), |k| dtw_banded(&a.col(k), &b.col(k), window))
         .into_iter()
         .sum()
 }
@@ -150,6 +193,8 @@ mod tests {
     fn empty_series_edge_cases() {
         assert_eq!(dtw(&[], &[]), 0.0);
         assert!(dtw(&[], &[1.0]).is_infinite());
+        assert_eq!(dtw_banded(&[], &[], Some(0)), 0.0);
+        assert!(dtw_banded(&[], &[1.0], Some(0)).is_infinite());
     }
 
     #[test]
@@ -158,5 +203,78 @@ mod tests {
         let a = Matrix::zeros(2, 2);
         let b = Matrix::zeros(2, 3);
         let _ = dtw_dependent(&a, &b);
+    }
+
+    /// Deterministic pseudo-random series for the banded tests.
+    fn series(seed: u64, len: usize) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1_000) as f64 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_band_is_bit_identical_to_unbanded() {
+        for seed in 0..8u64 {
+            let a = series(seed, 23);
+            let b = series(seed + 100, 31);
+            let full = a.len().max(b.len());
+            for w in [full, full + 5, usize::MAX / 2] {
+                assert_eq!(dtw(&a, &b).to_bits(), dtw_banded(&a, &b, Some(w)).to_bits());
+            }
+            assert_eq!(dtw(&a, &b).to_bits(), dtw_banded(&a, &b, None).to_bits());
+        }
+    }
+
+    #[test]
+    fn banded_matrix_variants_match_unbanded_at_full_width() {
+        let a = Matrix::from_rows(
+            &(0..9)
+                .map(|i| vec![series(i, 3)[0], i as f64])
+                .collect::<Vec<_>>(),
+        );
+        let b = Matrix::from_rows(
+            &(0..13)
+                .map(|i| vec![series(i + 7, 3)[0], (i % 4) as f64])
+                .collect::<Vec<_>>(),
+        );
+        let w = a.rows().max(b.rows());
+        assert_eq!(
+            dtw_dependent(&a, &b).to_bits(),
+            dtw_dependent_banded(&a, &b, Some(w)).to_bits()
+        );
+        assert_eq!(
+            dtw_independent(&a, &b).to_bits(),
+            dtw_independent_banded(&a, &b, Some(w)).to_bits()
+        );
+    }
+
+    #[test]
+    fn narrower_band_never_decreases_distance() {
+        for seed in 0..6u64 {
+            let a = series(seed, 40);
+            let b = series(seed + 50, 40);
+            let mut last = f64::INFINITY;
+            // widening the window can only relax the optimum
+            for w in [0, 1, 2, 5, 10, 40] {
+                let d = dtw_banded(&a, &b, Some(w));
+                assert!(d <= last + 1e-12, "w={w}: {d} > {last}");
+                last = d;
+            }
+            assert_eq!(last.to_bits(), dtw(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn band_widens_to_length_difference_for_unequal_lengths() {
+        // |m-n| = 3 > w = 0: the corridor must still reach the corner.
+        let a = series(1, 10);
+        let b = series(2, 13);
+        assert!(dtw_banded(&a, &b, Some(0)).is_finite());
     }
 }

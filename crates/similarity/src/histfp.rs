@@ -35,6 +35,46 @@ pub fn histfp(data: &[RunFeatureData], nbins: usize) -> Vec<Matrix> {
         .collect()
 }
 
+/// [`histfp`] with caller-supplied per-feature `(lo, hi)` bin ranges
+/// instead of ranges derived from `data` itself.
+///
+/// This is what makes fingerprints *corpus-stable*: `wp-index` freezes
+/// the ranges over the reference corpus at build time, so a query run's
+/// fingerprint does not depend on which other runs it is compared
+/// against (values outside the frozen range clamp into the boundary
+/// bins). Plain [`histfp`] re-derives ranges per call, which is the
+/// paper's joint-normalization semantics but is query-dependent.
+///
+/// # Panics
+///
+/// Panics when `nbins == 0` or a run has a different feature count than
+/// `ranges`.
+pub fn histfp_with_ranges(
+    data: &[RunFeatureData],
+    ranges: &[(f64, f64)],
+    nbins: usize,
+) -> Vec<Matrix> {
+    assert!(nbins > 0, "need at least one bin");
+    data.iter()
+        .map(|run| {
+            assert_eq!(
+                run.series.len(),
+                ranges.len(),
+                "run feature count must match the frozen ranges"
+            );
+            let mut m = Matrix::zeros(nbins, run.series.len());
+            for (f, series) in run.series.iter().enumerate() {
+                let (lo, hi) = ranges[f];
+                let cum = histogram(series, lo, hi, nbins).cumulative();
+                for (b, &v) in cum.iter().enumerate() {
+                    m[(b, f)] = v;
+                }
+            }
+            m
+        })
+        .collect()
+}
+
 /// Raw (non-cumulative) variant, kept for the ablation bench comparing
 /// cumulative vs frequency histograms.
 pub fn histfp_raw(data: &[RunFeatureData], nbins: usize) -> Vec<Matrix> {
@@ -116,6 +156,28 @@ mod tests {
             .map(|i| (fps[0][(i, 0)] - fps[1][(i, 0)]).abs())
             .sum();
         assert!(diff < 1.0, "diff {diff}");
+    }
+
+    #[test]
+    fn frozen_ranges_match_global_ranges_on_same_data() {
+        let runs = vec![
+            rfd(vec![vec![0.0, 1.0, 2.0], vec![5.0, 6.0, 7.0]]),
+            rfd(vec![vec![0.5, 1.5, 2.5], vec![5.5, 6.5, 7.5]]),
+        ];
+        let ranges = crate::repr::global_ranges(&runs);
+        assert_eq!(histfp(&runs, 10), histfp_with_ranges(&runs, &ranges, 10));
+    }
+
+    #[test]
+    fn frozen_ranges_make_fingerprints_query_independent() {
+        let q = rfd(vec![vec![0.2, 0.4, 0.6]]);
+        let other = rfd(vec![vec![-10.0, 10.0, 0.0]]);
+        let ranges = [(0.0, 1.0)];
+        // the fingerprint of q does not change when computed alongside a
+        // wildly ranged other run
+        let alone = histfp_with_ranges(std::slice::from_ref(&q), &ranges, 8);
+        let together = histfp_with_ranges(&[q, other], &ranges, 8);
+        assert_eq!(alone[0], together[0]);
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod repr;
 pub mod robustness;
 
 pub use eval::{mean_average_precision, ndcg, one_nn_accuracy};
-pub use measure::{distance_matrix, Measure, Norm};
+pub use measure::{try_distance_matrix, Measure, Norm};
 pub use repr::Representation;

@@ -115,6 +115,21 @@ impl Measure {
         }
     }
 
+    /// Applies the measure with an optional Sakoe-Chiba window.
+    ///
+    /// The window only constrains the DTW variants; every other measure
+    /// ignores it. `band = None` is bit-identical to [`Measure::apply`].
+    /// This is the exact measure `wp-index` serves when it is configured
+    /// with a band — its LB_Keogh envelopes lower-bound the *banded*
+    /// distance, so bound and exact fallback must agree on the window.
+    pub fn apply_banded(self, a: &Matrix, b: &Matrix, band: Option<usize>) -> f64 {
+        match self {
+            Measure::DtwDependent => dtw::dtw_dependent_banded(a, b, band),
+            Measure::DtwIndependent => dtw::dtw_independent_banded(a, b, band),
+            other => other.apply(a, b),
+        }
+    }
+
     /// Display label matching the paper's tables.
     pub fn label(self) -> String {
         match self {
@@ -176,17 +191,6 @@ pub fn try_distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Result<
     Ok(d)
 }
 
-/// Full pairwise distance matrix over a set of fingerprints (symmetric,
-/// zero diagonal).
-///
-/// # Panics
-///
-/// Panics when [`validate_fingerprints`] rejects the input (empty set or
-/// shape mismatch).
-pub fn distance_matrix(fingerprints: &[Matrix], measure: Measure) -> Matrix {
-    try_distance_matrix(fingerprints, measure).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// Min-max normalizes a distance matrix's off-diagonal entries into
 /// `[0, 1]` (the paper reports "mean normalized distances").
 pub fn normalize_distances(d: &Matrix) -> Matrix {
@@ -235,7 +239,7 @@ mod tests {
     #[test]
     fn distance_matrix_symmetric_zero_diagonal() {
         let fps = vec![fp(0.0), fp(1.0), fp(3.0)];
-        let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+        let d = try_distance_matrix(&fps, Measure::Norm(Norm::L21)).unwrap();
         for i in 0..3 {
             assert_eq!(d[(i, i)], 0.0);
             for j in 0..3 {
@@ -249,7 +253,7 @@ mod tests {
     #[test]
     fn normalize_maps_offdiagonal_to_unit_interval() {
         let fps = vec![fp(0.0), fp(1.0), fp(5.0)];
-        let d = distance_matrix(&fps, Measure::Norm(Norm::Frobenius));
+        let d = try_distance_matrix(&fps, Measure::Norm(Norm::Frobenius)).unwrap();
         let n = normalize_distances(&d);
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -305,12 +309,43 @@ mod tests {
     fn parallel_distance_matrix_matches_sequential() {
         let fps: Vec<Matrix> = (0..7).map(|i| fp(i as f64 * 0.7)).collect();
         let par = wp_runtime::with_thread_count(4, || {
-            distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+            try_distance_matrix(&fps, Measure::Norm(Norm::Canberra)).unwrap()
         });
         let seq = wp_runtime::with_thread_count(1, || {
-            distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+            try_distance_matrix(&fps, Measure::Norm(Norm::Canberra)).unwrap()
         });
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn apply_banded_without_band_matches_apply() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.5], vec![2.0, 0.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, 0.9], vec![1.5, 0.4], vec![2.5, 0.1]]);
+        for m in Measure::mts_suite() {
+            assert_eq!(
+                m.apply(&a, &b).to_bits(),
+                m.apply_banded(&a, &b, None).to_bits(),
+                "{}",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_banded_only_constrains_dtw() {
+        let a = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![0.0], vec![5.0]]);
+        let b = Matrix::from_rows(&[vec![5.0], vec![0.0], vec![5.0], vec![0.0]]);
+        // norms ignore the band entirely
+        let l21 = Measure::Norm(Norm::L21);
+        assert_eq!(
+            l21.apply(&a, &b).to_bits(),
+            l21.apply_banded(&a, &b, Some(0)).to_bits()
+        );
+        // a zero-width band pins the diagonal path: distance can only grow
+        assert!(
+            Measure::DtwDependent.apply_banded(&a, &b, Some(0))
+                >= Measure::DtwDependent.apply(&a, &b)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::extract;
 use wp_telemetry::io::{resource_series_from_csv, runs_from_json, runs_to_json};
 use wp_telemetry::{ExperimentRun, FeatureId, PlanStats, RunKey};
@@ -86,7 +86,9 @@ CPU_UTILIZATION,CPU_EFFECTIVE,MEM_UTILIZATION,IOPS_TOTAL,READ_WRITE_RATIO,LOCK_R
     let features = FeatureId::all();
     let data: Vec<_> = all_runs.iter().map(|r| extract(r, &features)).collect();
     let fps = histfp(&data, 10);
-    let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::L21)));
+    let d = normalize_distances(
+        &try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("fingerprints share a shape"),
+    );
 
     println!("\ncustomer workload vs references (normalized L2,1 on Hist-FP):");
     let mut verdicts: Vec<(String, f64)> = spans

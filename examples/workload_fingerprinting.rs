@@ -8,7 +8,7 @@
 //! ```
 
 use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{distance_matrix, normalize_distances, Measure, Norm};
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::extract;
 use wp_telemetry::{FeatureSet, PlanFeature};
 use wp_workloads::{benchmarks, Simulator, Sku};
@@ -59,7 +59,10 @@ fn main() {
     // Hist-FP + Canberra norm (the paper's Figure 7 setup)
     let data: Vec<_> = all_runs.iter().map(|r| extract(r, &features)).collect();
     let fps = histfp(&data, 10);
-    let d = normalize_distances(&distance_matrix(&fps, Measure::Norm(Norm::Canberra)));
+    let d = normalize_distances(
+        &try_distance_matrix(&fps, Measure::Norm(Norm::Canberra))
+            .expect("fingerprints share a shape"),
+    );
 
     println!("fingerprinting an unknown workload against reference benchmarks\n");
     let mut verdicts: Vec<(String, f64)> = ref_runs

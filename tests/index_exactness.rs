@@ -1,0 +1,211 @@
+//! Seeded exactness property test for the `wp-index` pruning cascade:
+//! for every measure in the MTS suite, across corpus sizes, k values,
+//! and `WP_THREADS` ∈ {1, 8}, `Index::search_k` must return the same
+//! top-k as brute force — identical corpus positions and bit-identical
+//! distances. This is the CI gate for the index subsystem (the cascade
+//! may only change *how fast* a neighbor is found, never *which*).
+
+use wp_index::{brute_force_k, Hit, Index, IndexConfig};
+use wp_linalg::Matrix;
+use wp_similarity::histfp::histfp;
+use wp_similarity::repr::{extract, mts};
+use wp_similarity::Measure;
+use wp_telemetry::FeatureSet;
+use wp_workloads::{benchmarks, Simulator, Sku};
+
+/// Simulated MTS fingerprints: seed-deterministic, heterogeneous across
+/// the standardized workloads so distances have real structure.
+fn mts_fingerprints(seed: u64, n: usize) -> Vec<Matrix> {
+    let mut sim = Simulator::new(seed);
+    sim.config.samples = 30;
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = benchmarks::standardized();
+    let features = FeatureSet::ResourceOnly.features();
+    let mut data = Vec::with_capacity(n);
+    let mut r = 0;
+    while data.len() < n {
+        for spec in &specs {
+            if data.len() == n {
+                break;
+            }
+            let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+            data.push(extract(
+                &sim.simulate(spec, &sku, terminals, r, r % 3),
+                &features,
+            ));
+        }
+        r += 1;
+    }
+    mts(&data)
+}
+
+/// Hist-FP fingerprints over the same telemetry (for the norm measures,
+/// where PAA and pivot pruning fire instead of the DTW/LCSS bounds).
+fn hist_fingerprints(seed: u64, n: usize) -> Vec<Matrix> {
+    let mut sim = Simulator::new(seed);
+    sim.config.samples = 30;
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let specs = benchmarks::standardized();
+    let features = FeatureSet::ResourceOnly.features();
+    let mut data = Vec::with_capacity(n);
+    let mut r = 0;
+    while data.len() < n {
+        for spec in &specs {
+            if data.len() == n {
+                break;
+            }
+            let terminals = if spec.name == "TPC-H" { 1 } else { 8 };
+            data.push(extract(
+                &sim.simulate(spec, &sku, terminals, r, r % 3),
+                &features,
+            ));
+        }
+        r += 1;
+    }
+    histfp(&data, 10)
+}
+
+fn assert_identical(measure: Measure, n: usize, k: usize, got: &[Hit], want: &[Hit]) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{} n={n} k={k}: result count",
+        measure.label()
+    );
+    for (rank, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.index,
+            w.index,
+            "{} n={n} k={k} rank {rank}: wrong neighbor",
+            measure.label()
+        );
+        assert_eq!(
+            g.distance.to_bits(),
+            w.distance.to_bits(),
+            "{} n={n} k={k} rank {rank}: distance bits",
+            measure.label()
+        );
+    }
+}
+
+/// The property: indexed top-k == brute-force top-k, byte for byte, for
+/// every measure, corpus size, k, and pinned thread count.
+fn check_all_measures(threads: usize) {
+    wp_runtime::with_thread_count(threads, || {
+        for seed in [0xEDB7_2025u64, 7] {
+            for &n in &[9, 25] {
+                let corpus = mts_fingerprints(seed, n);
+                let queries = mts_fingerprints(seed ^ 0x5EED, 4);
+                for measure in Measure::mts_suite() {
+                    let config = IndexConfig::default();
+                    let index = Index::build(corpus.clone(), measure, config).unwrap();
+                    for &k in &[1usize, 3, n, n + 5] {
+                        for q in &queries {
+                            let got = index.search_k(q, k).unwrap();
+                            let want = brute_force_k(&corpus, measure, config.band, q, k);
+                            assert_identical(measure, n, k, &got, &want);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn indexed_topk_matches_brute_force_single_threaded() {
+    check_all_measures(1);
+}
+
+#[test]
+fn indexed_topk_matches_brute_force_eight_threads() {
+    check_all_measures(8);
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    // the two pinned runs above must also agree with each other
+    let corpus = mts_fingerprints(42, 20);
+    let queries = mts_fingerprints(43, 3);
+    for measure in Measure::mts_suite() {
+        let run = |threads: usize| {
+            wp_runtime::with_thread_count(threads, || {
+                let index = Index::build(corpus.clone(), measure, IndexConfig::default()).unwrap();
+                queries
+                    .iter()
+                    .map(|q| index.search_k(q, 5).unwrap())
+                    .collect::<Vec<_>>()
+            })
+        };
+        let one = run(1);
+        let eight = run(8);
+        for (a, b) in one.iter().zip(&eight) {
+            assert_identical(measure, 20, 5, a, b);
+        }
+    }
+}
+
+#[test]
+fn banded_dtw_index_stays_exact() {
+    // a Sakoe-Chiba band changes the measure itself; the index must
+    // match brute force computed under the *same* band
+    let corpus = mts_fingerprints(11, 16);
+    let queries = mts_fingerprints(12, 3);
+    for band in [Some(2), Some(8), None] {
+        for measure in [Measure::DtwDependent, Measure::DtwIndependent] {
+            let config = IndexConfig {
+                band,
+                ..IndexConfig::default()
+            };
+            let index = Index::build(corpus.clone(), measure, config).unwrap();
+            for q in &queries {
+                let got = index.search_k(q, 4).unwrap();
+                let want = brute_force_k(&corpus, measure, band, q, 4);
+                assert_identical(measure, 16, 4, &got, &want);
+            }
+        }
+    }
+}
+
+#[test]
+fn hist_fingerprint_norm_search_is_exact_and_prunes() {
+    // the pipeline's serving configuration: Hist-FP + norm measures,
+    // where pivot and PAA pruning carry the cascade
+    use wp_similarity::Norm;
+    let corpus = hist_fingerprints(0xEDB7_2025, 64);
+    let queries = hist_fingerprints(5, 4);
+    for norm in [Norm::L11, Norm::L21, Norm::Frobenius, Norm::Canberra] {
+        let measure = Measure::Norm(norm);
+        let index = Index::build(corpus.clone(), measure, IndexConfig::default()).unwrap();
+        let mut total = wp_index::SearchStats::default();
+        for q in &queries {
+            let (got, stats) = index.search_k_with_stats(q, 5).unwrap();
+            total.merge(&stats);
+            let want = brute_force_k(&corpus, measure, None, q, 5);
+            assert_identical(measure, 64, 5, &got, &want);
+        }
+        assert!(
+            total.pruned() > 0,
+            "{}: cascade never fired on a 64-entry corpus",
+            measure.label()
+        );
+    }
+}
+
+#[test]
+fn insertions_preserve_exactness() {
+    let corpus = mts_fingerprints(3, 18);
+    let queries = mts_fingerprints(4, 2);
+    for measure in Measure::mts_suite() {
+        let mut index =
+            Index::build(corpus[..9].to_vec(), measure, IndexConfig::default()).unwrap();
+        for fp in &corpus[9..] {
+            index.insert(fp.clone()).unwrap();
+        }
+        for q in &queries {
+            let got = index.search_k(q, 6).unwrap();
+            let want = brute_force_k(&corpus, measure, None, q, 6);
+            assert_identical(measure, 18, 6, &got, &want);
+        }
+    }
+}

@@ -9,7 +9,7 @@ use wp_linalg::{Matrix, Rng64};
 use wp_ml::cv::{cross_validate, KFold};
 use wp_ml::forest::{ForestConfig, RandomForestRegressor};
 use wp_ml::traits::Regressor;
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::repr::{extract, mts};
 use wp_telemetry::{FeatureId, FeatureSet};
 use wp_workloads::{benchmarks, Simulator, Sku};
@@ -47,8 +47,8 @@ fn distance_matrix_is_thread_count_invariant() {
         Measure::DtwDependent,
         Measure::LcssIndependent { epsilon: 0.1 },
     ] {
-        let seq = on_one_thread(|| distance_matrix(&fps, measure));
-        let par = on_eight_threads(|| distance_matrix(&fps, measure));
+        let seq = on_one_thread(|| try_distance_matrix(&fps, measure).unwrap());
+        let par = on_eight_threads(|| try_distance_matrix(&fps, measure).unwrap());
         assert_eq!(seq, par, "{}", measure.label());
     }
 }

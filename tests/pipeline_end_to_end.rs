@@ -94,7 +94,8 @@ fn every_standardized_workload_identifies_itself() {
         let target: Vec<ExperimentRun> = (3..5)
             .map(|r| p.sim.simulate(spec, &sku, terminals, r, r % 3))
             .collect();
-        let verdicts = find_most_similar(&target, &reference_runs, &FeatureId::all(), &p.config);
+        let verdicts =
+            find_most_similar(&target, &reference_runs, &FeatureId::all(), &p.config).unwrap();
         assert_eq!(
             verdicts[0].workload, spec.name,
             "{} misidentified: {verdicts:?}",

@@ -3,7 +3,7 @@
 //! reliability / discrimination / robustness dimensions.
 
 use wp_similarity::histfp::{histfp, histfp_raw};
-use wp_similarity::measure::{distance_matrix, Measure, Norm};
+use wp_similarity::measure::{try_distance_matrix, Measure, Norm};
 use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
 use wp_similarity::repr::{extract, mts};
 use wp_similarity::{mean_average_precision, ndcg, one_nn_accuracy};
@@ -48,7 +48,7 @@ fn fingerprint_and_score(
     } else {
         histfp(&data, 10)
     };
-    let d = distance_matrix(&fps, measure);
+    let d = try_distance_matrix(&fps, measure).unwrap();
     (
         one_nn_accuracy(&d, &c.labels),
         mean_average_precision(&d, &c.labels),
@@ -91,7 +91,7 @@ fn mts_with_elastic_measures_identifies_workloads() {
         Measure::DtwDependent,
         Measure::DtwIndependent,
     ] {
-        let d = distance_matrix(&fps, measure);
+        let d = try_distance_matrix(&fps, measure).unwrap();
         let acc = one_nn_accuracy(&d, &c.labels);
         assert!(acc >= 0.7, "{}: accuracy {acc}", measure.label());
     }
@@ -156,7 +156,7 @@ fn ndcg_rewards_type_aware_ordering() {
         .map(|r| extract(r, &FeatureId::all()))
         .collect();
     let fps = histfp(&data, 10);
-    let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+    let d = try_distance_matrix(&fps, Measure::Norm(Norm::L21)).unwrap();
     let score = ndcg(&d, rel);
     assert!(score > 0.9, "NDCG {score}");
 }
@@ -168,7 +168,7 @@ fn robustness_error_bars_are_smaller_for_plan_features() {
     let spread = |features: &[FeatureId]| {
         let data: Vec<_> = c.runs.iter().map(|r| extract(r, features)).collect();
         let fps = histfp(&data, 10);
-        let d = distance_matrix(&fps, Measure::Norm(Norm::L21));
+        let d = try_distance_matrix(&fps, Measure::Norm(Norm::L21)).unwrap();
         let dn = wp_similarity::measure::normalize_distances(&d);
         wp_similarity::eval::within_label_spread(&dn, &c.labels)
     };
