@@ -22,7 +22,13 @@ usage:
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
   wp serve    [--addr HOST:PORT] [--threads N] [--corpus FILE] [--samples N] [--seed S]
+              [--faults SPEC]
+  wp chaos    [--plan SPEC] [--requests N] [--connections N] [--seed S] [--samples N]
+              [--timeout SECONDS] [--retries N] [--out FILE] [--verify-determinism]
   wp index-bench [--size N] [--queries N] [--k K] [--samples N] [--json] [--seed S]
+
+fault SPEC: seed=7,reset=0.05,latency=0.2,latency_ms=1..5,error=0.15,
+            error:/similar=0.3,slow=0.1,truncate=0.05 (also read from WP_FAULTS)
 
 skus: cpu2 | cpu4 | cpu8 | cpu16 | s1 | s2 | vcore80 | <cpus>x<gib> (e.g. 12x96)
 strategies: variance | pearson | fanova | migain | lasso | elasticnet |
@@ -42,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "predict" => cmd_predict(&args),
         "export" => cmd_export(&args),
         "serve" => cmd_serve(&args),
+        "chaos" => cmd_chaos(&args),
         "index-bench" => cmd_index_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -279,11 +286,18 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 /// simulates the default TPC-C/TPC-H/Twitter reference corpus. Prints
 /// the bound address (so `--addr host:0` callers learn the OS-chosen
 /// port) and serves until the process is killed.
+///
+/// `--faults SPEC` (or the `WP_FAULTS` environment variable) arms the
+/// seeded fault-injection layer — see `wp chaos` for the spec format.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let threads: usize = args.parsed_or("threads", 4)?;
     let samples: usize = args.parsed_or("samples", 120)?;
     let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+    let faults = match args.get("faults") {
+        Some(spec) => wp_faults::FaultPlan::parse(spec)?,
+        None => wp_faults::FaultPlan::from_env()?.unwrap_or_default(),
+    };
 
     let (corpus, source) = match args.get("corpus") {
         Some(path) => {
@@ -301,9 +315,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let names: Vec<String> = corpus.references.iter().map(|r| r.name.clone()).collect();
 
+    if faults.is_enabled() {
+        println!("fault injection armed: {}", faults.render());
+    }
     let config = wp_server::ServerConfig {
         addr,
         workers: threads.max(1),
+        faults,
         ..wp_server::ServerConfig::default()
     };
     let handle = wp_server::Server::start(corpus, config)?;
@@ -318,6 +336,179 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
+    Ok(())
+}
+
+/// The fault plan `wp chaos` runs when neither `--plan` nor `WP_FAULTS`
+/// says otherwise: a moderate storm of resets, injected latency, `503`s,
+/// slow writes, and truncated responses. No stalls — the default run
+/// should finish in seconds, not wait out client timeouts.
+const DEFAULT_CHAOS_PLAN: &str =
+    "seed=7,reset=0.05,latency=0.2,latency_ms=1..5,error=0.15,slow=0.1,truncate=0.08";
+
+/// Repeats a standalone request until a 2xx lands (the server under
+/// chaos may reset, stall, or 503 any individual attempt).
+fn fetch_until_ok(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: std::time::Duration,
+    attempts: u32,
+) -> Result<String, String> {
+    let mut last = String::new();
+    for _ in 0..attempts {
+        match wp_loadgen::fetch(addr, method, path, body, timeout) {
+            Ok((status, b)) if (200..300).contains(&status) => return Ok(b),
+            Ok((status, _)) => last = format!("status {status}"),
+            Err(class) => last = class.label().to_string(),
+        }
+    }
+    Err(format!(
+        "no 2xx from {method} {path} in {attempts} attempts (last: {last})"
+    ))
+}
+
+/// Runs a seeded chaos experiment: a fault-injected `wp-server` is
+/// hammered by the resilient closed loop in fixed-request mode, and the
+/// run's invariants are asserted:
+///
+/// 1. every logical request resolves to a classification — successes
+///    plus errors add up to the configured request count, nothing hangs;
+/// 2. the response cache stays correct under faults — two retried
+///    `POST /similar` with the same body return byte-identical bodies;
+/// 3. the server survives the storm — `/healthz` still answers 200.
+///
+/// The error taxonomy (never the timings) goes to `--out`
+/// (`BENCH_chaos.json`). With the default single connection the
+/// taxonomy is a pure function of `(plan, seed)`; `--verify-determinism`
+/// replays the whole experiment against a fresh server and asserts the
+/// two taxonomies are byte-identical.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use std::time::Duration;
+    use wp_faults::FaultPlan;
+
+    let spec = match args.get("plan") {
+        Some(s) => s.to_string(),
+        None => match FaultPlan::from_env()? {
+            Some(plan) => plan.render(),
+            None => DEFAULT_CHAOS_PLAN.to_string(),
+        },
+    };
+    let plan = FaultPlan::parse(&spec)?;
+    if !plan.is_enabled() {
+        return Err(format!("fault plan '{spec}' injects nothing"));
+    }
+    let requests: u64 = args.parsed_or("requests", 60)?;
+    let connections: usize = args.parsed_or("connections", 1)?;
+    let samples: usize = args.parsed_or("samples", 40)?;
+    let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+    let retries: u32 = args.parsed_or("retries", 3)?;
+    let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 2.0)?);
+    let out = args.get("out").unwrap_or("BENCH_chaos.json").to_string();
+    if requests == 0 {
+        return Err("--requests must be positive".to_string());
+    }
+
+    let mix = wp_loadgen::default_mix(seed, samples);
+    let similar_body = mix
+        .iter()
+        .find(|e| e.path == "/similar")
+        .map(|e| e.body.clone())
+        .expect("default mix serves /similar");
+
+    let run_once = || -> Result<(wp_loadgen::Report, String), String> {
+        let corpus = wp_server::corpus::simulated_corpus(seed, samples);
+        let server = wp_server::Server::start(
+            corpus,
+            wp_server::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                faults: plan.clone(),
+                ..wp_server::ServerConfig::default()
+            },
+        )?;
+        let addr = server.addr().to_string();
+        let config = wp_loadgen::LoadConfig {
+            addr: addr.clone(),
+            connections,
+            seed,
+            timeout,
+            retries,
+            requests_per_connection: Some(requests),
+            ..wp_loadgen::LoadConfig::default()
+        };
+        let report = wp_loadgen::run_load(&config, &mix)?;
+
+        // Invariant 1: nothing hangs, everything is classified.
+        let total = connections.max(1) as u64 * requests;
+        if report.requests + report.errors != total {
+            server.shutdown();
+            return Err(format!(
+                "classification leak: {} ok + {} failed != {total} issued",
+                report.requests, report.errors
+            ));
+        }
+        // Invariant 2: cache hits stay byte-identical under faults.
+        let a = fetch_until_ok(&addr, "POST", "/similar", &similar_body, timeout, 25)?;
+        let b = fetch_until_ok(&addr, "POST", "/similar", &similar_body, timeout, 25)?;
+        if a != b {
+            server.shutdown();
+            return Err(
+                "cache divergence: identical /similar bodies got different responses".into(),
+            );
+        }
+        // Invariant 3: the server outlives the storm.
+        let health = fetch_until_ok(&addr, "GET", "/healthz", "", timeout, 25)?;
+        if !health.contains("\"status\":\"ok\"") {
+            server.shutdown();
+            return Err(format!("unhealthy after chaos: {health}"));
+        }
+        server.shutdown();
+
+        let mut doc = Json::parse(&report.taxonomy_json())
+            .map_err(|e| format!("taxonomy JSON does not parse: {e}"))?;
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.insert(1, ("plan".to_string(), Json::from(plan.render().as_str())));
+        }
+        Ok((report, doc.pretty()))
+    };
+
+    println!("chaos plan: {}", plan.render());
+    println!(
+        "{} connection(s) x {requests} requests, timeout {:.1}s, {retries} retries",
+        connections.max(1),
+        timeout.as_secs_f64()
+    );
+    let (report, taxonomy) = run_once()?;
+
+    if args.switch("verify-determinism") {
+        let (_, replay) = run_once()?;
+        if taxonomy != replay {
+            return Err(format!(
+                "non-deterministic taxonomy:\nrun 1: {taxonomy}\nrun 2: {replay}"
+            ));
+        }
+        println!("determinism verified: replay produced a byte-identical taxonomy");
+    }
+
+    std::fs::write(&out, format!("{taxonomy}\n"))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let t = &report.taxonomy;
+    println!(
+        "{} ok, {} failed; attempts: {} reset, {} timeout, {} 5xx, {} 4xx, {} malformed",
+        report.requests,
+        report.errors,
+        t.resets,
+        t.timeouts,
+        t.server_errors,
+        t.client_errors,
+        t.malformed
+    );
+    println!(
+        "{} retries recovered {} request(s); taxonomy -> {out}",
+        t.retries, t.recovered
+    );
     Ok(())
 }
 

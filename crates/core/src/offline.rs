@@ -30,9 +30,13 @@ pub struct OfflineReference {
 }
 
 impl OfflineReference {
-    /// Validates alignment. Non-panicking so long-running consumers (the
-    /// `wp-server` HTTP service) can map a bad corpus to a client error
-    /// instead of killing a worker thread.
+    /// Validates alignment and telemetry sanity. Non-panicking so
+    /// long-running consumers (the `wp-server` HTTP service) can map a
+    /// bad corpus to a client error instead of killing a worker thread.
+    ///
+    /// Rejected adversarial shapes, each with a structured message:
+    /// zero-length resource series, non-finite (`NaN`/`inf`) samples or
+    /// throughput, and mismatched from/to SKU pair counts.
     pub fn validate(&self) -> Result<(), String> {
         if self.runs_from.is_empty() {
             return Err(format!("{}: needs runs", self.name));
@@ -44,6 +48,28 @@ impl OfflineReference {
                 self.runs_from.len(),
                 self.runs_to.len()
             ));
+        }
+        for (side, runs) in [("runs_from", &self.runs_from), ("runs_to", &self.runs_to)] {
+            for (i, run) in runs.iter().enumerate() {
+                if run.resources.is_empty() {
+                    return Err(format!(
+                        "{}: {side}[{i}] has a zero-length resource series",
+                        self.name
+                    ));
+                }
+                if !run.resources.data.as_slice().iter().all(|x| x.is_finite()) {
+                    return Err(format!(
+                        "{}: {side}[{i}] has a non-finite resource sample",
+                        self.name
+                    ));
+                }
+                if !run.throughput.is_finite() {
+                    return Err(format!(
+                        "{}: {side}[{i}] has a non-finite throughput",
+                        self.name
+                    ));
+                }
+            }
         }
         Ok(())
     }

@@ -168,6 +168,69 @@ fn pearson_bounded() {
 }
 
 #[test]
+fn nearest_rank_returns_an_observed_sample() {
+    let mut rng = Rng64::new(0x1C);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(200);
+        let mut sorted: Vec<u64> = (0..len).map(|_| rng.below(10_000) as u64).collect();
+        sorted.sort_unstable();
+        let p = rng.unit() * 100.0;
+        let v = wp_linalg::stats::nearest_rank(&sorted, p);
+        // Never an interpolation: the convention shared by the server's
+        // /stats endpoint and the load generator's report promises every
+        // reported percentile is a sample that actually happened.
+        assert!(sorted.contains(&v), "{v} not in {sorted:?} (p={p})");
+    }
+}
+
+#[test]
+fn nearest_rank_is_monotone_in_p() {
+    let mut rng = Rng64::new(0x1D);
+    for _ in 0..CASES {
+        let len = 1 + rng.below(100);
+        let mut sorted: Vec<u64> = (0..len).map(|_| rng.below(1_000) as u64).collect();
+        sorted.sort_unstable();
+        let mut a = rng.unit() * 100.0;
+        let mut b = rng.unit() * 100.0;
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let lo = wp_linalg::stats::nearest_rank(&sorted, a);
+        let hi = wp_linalg::stats::nearest_rank(&sorted, b);
+        assert!(lo <= hi, "p{a} gave {lo} > p{b} gave {hi} over {sorted:?}");
+    }
+}
+
+#[test]
+fn nearest_rank_edge_cases() {
+    let mut rng = Rng64::new(0x1E);
+    // empty: the documented zero sentinel, at every percentile
+    for p in [0.0, 50.0, 100.0] {
+        assert_eq!(wp_linalg::stats::nearest_rank(&[], p), 0);
+    }
+    for _ in 0..CASES {
+        let x = rng.below(10_000) as u64;
+        let p = rng.unit() * 100.0;
+        // single element: every percentile is that element
+        assert_eq!(wp_linalg::stats::nearest_rank(&[x], p), x);
+        // all-equal: ties collapse to the common value
+        let ties = vec![x; 1 + rng.below(50)];
+        assert_eq!(wp_linalg::stats::nearest_rank(&ties, p), x);
+    }
+    // p=0 is the minimum (rank clamps to 1), p=100 the maximum
+    for _ in 0..CASES {
+        let len = 1 + rng.below(50);
+        let mut sorted: Vec<u64> = (0..len).map(|_| rng.below(1_000) as u64).collect();
+        sorted.sort_unstable();
+        assert_eq!(wp_linalg::stats::nearest_rank(&sorted, 0.0), sorted[0]);
+        assert_eq!(
+            wp_linalg::stats::nearest_rank(&sorted, 100.0),
+            *sorted.last().unwrap()
+        );
+    }
+}
+
+#[test]
 fn try_from_vec_validates_length() {
     let ok = Matrix::try_from_vec(2, 3, vec![0.0; 6]);
     assert!(ok.is_ok());

@@ -14,6 +14,19 @@
 //! the report. The report — throughput plus nearest-rank p50/p95/p99/max
 //! latency — is written to `BENCH_server.json` in the same flat-object
 //! shape as `BENCH_runtime.json`.
+//!
+//! # Resilience
+//!
+//! The client is built to survive a faulty server (see `wp-faults`):
+//! every request runs under a read timeout, every failed attempt is
+//! classified into an error taxonomy ([`ErrorClass`]), and transient
+//! failures are retried up to [`LoadConfig::retries`] times with
+//! deterministic exponential backoff (jitter comes from a *separate*
+//! seeded stream so retry timing never shifts the request-mix draws).
+//! [`LoadConfig::requests_per_connection`] switches the run from
+//! time-bounded phases to a fixed request count, which makes the
+//! taxonomy a deterministic function of `(seed, fault plan)` for
+//! single-connection runs — the property the chaos suite asserts.
 
 #![warn(missing_docs)]
 
@@ -47,12 +60,26 @@ pub struct LoadConfig {
     pub addr: String,
     /// Concurrent closed-loop connections (threads).
     pub connections: usize,
-    /// Warmup phase; latencies are discarded.
+    /// Warmup phase; latencies are discarded. Ignored in fixed-request
+    /// mode.
     pub warmup: Duration,
-    /// Measurement phase; latencies feed the report.
+    /// Measurement phase; latencies feed the report. Ignored in
+    /// fixed-request mode.
     pub measure: Duration,
     /// Seed for the per-connection request-mix streams.
     pub seed: u64,
+    /// Per-request read timeout; an attempt exceeding it is classified
+    /// [`ErrorClass::Timeout`].
+    pub timeout: Duration,
+    /// Retry budget per logical request: a retryable failure (reset,
+    /// timeout, malformed response, 5xx) is retried up to this many
+    /// times with exponential backoff before counting as an error.
+    pub retries: u32,
+    /// When set, each connection issues exactly this many logical
+    /// requests instead of running the warmup/measure clock. Used by
+    /// chaos runs, where the deterministic request count (not wall
+    /// time) is what makes the error taxonomy reproducible.
+    pub requests_per_connection: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -63,7 +90,108 @@ impl Default for LoadConfig {
             warmup: Duration::from_secs(1),
             measure: Duration::from_secs(2),
             seed: 42,
+            timeout: Duration::from_secs(30),
+            retries: 3,
+            requests_per_connection: None,
         }
+    }
+}
+
+/// Classification of one failed request attempt.
+///
+/// Everything except [`ErrorClass::ClientError`] is considered
+/// transient and retryable: resets and timeouts are classic network
+/// weather, a malformed (truncated / garbled) response means the bytes
+/// on the wire can't be trusted, and a 5xx is the server asking for a
+/// retry (`wp-server`'s injected `503` even says `Retry-After: 0`). A
+/// 4xx means the request itself is wrong and retrying cannot help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Connection refused / reset / broken mid-request.
+    Reset,
+    /// The read timeout elapsed before a full response arrived.
+    Timeout,
+    /// The server answered 5xx.
+    ServerError,
+    /// The server answered 4xx — the request is at fault; not retried.
+    ClientError,
+    /// The response violated HTTP framing (truncated, bad status line,
+    /// bad `Content-Length`, non-UTF-8 body).
+    Malformed,
+}
+
+impl ErrorClass {
+    /// Whether a retry can plausibly succeed.
+    pub fn retryable(self) -> bool {
+        !matches!(self, ErrorClass::ClientError)
+    }
+
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorClass::Reset => "reset",
+            ErrorClass::Timeout => "timeout",
+            ErrorClass::ServerError => "server_error",
+            ErrorClass::ClientError => "client_error",
+            ErrorClass::Malformed => "malformed",
+        }
+    }
+}
+
+/// Per-class failure counters plus retry accounting for one run.
+///
+/// `resets + timeouts + server_errors + client_errors + malformed`
+/// counts failed *attempts*; `retries` counts extra attempts made;
+/// `recovered` counts logical requests that failed at least once and
+/// then succeeded within the retry budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Taxonomy {
+    /// Attempts that ended in a connection reset / refusal.
+    pub resets: u64,
+    /// Attempts that exceeded the read timeout.
+    pub timeouts: u64,
+    /// Attempts answered with a 5xx status.
+    pub server_errors: u64,
+    /// Attempts answered with a 4xx status (not retried).
+    pub client_errors: u64,
+    /// Attempts whose response violated HTTP framing.
+    pub malformed: u64,
+    /// Retry attempts performed (attempts beyond each request's first).
+    pub retries: u64,
+    /// Logical requests that succeeded after at least one failure.
+    pub recovered: u64,
+}
+
+impl Taxonomy {
+    /// `true` when no fault of any kind was observed (the legacy
+    /// clean-run case; [`Report::to_json`] keys off this).
+    pub fn is_clean(&self) -> bool {
+        *self == Taxonomy::default()
+    }
+
+    /// Total failed attempts across all classes.
+    pub fn failed_attempts(&self) -> u64 {
+        self.resets + self.timeouts + self.server_errors + self.client_errors + self.malformed
+    }
+
+    fn count(&mut self, class: ErrorClass) {
+        match class {
+            ErrorClass::Reset => self.resets += 1,
+            ErrorClass::Timeout => self.timeouts += 1,
+            ErrorClass::ServerError => self.server_errors += 1,
+            ErrorClass::ClientError => self.client_errors += 1,
+            ErrorClass::Malformed => self.malformed += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &Taxonomy) {
+        self.resets += other.resets;
+        self.timeouts += other.timeouts;
+        self.server_errors += other.server_errors;
+        self.client_errors += other.client_errors;
+        self.malformed += other.malformed;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
     }
 }
 
@@ -74,11 +202,12 @@ pub struct Report {
     pub connections: usize,
     /// Configured warmup length in seconds.
     pub warmup_s: f64,
-    /// Configured measurement length in seconds.
+    /// Configured measurement length in seconds (actual elapsed time in
+    /// fixed-request mode).
     pub measure_s: f64,
     /// Requests completed during the measurement phase.
     pub requests: u64,
-    /// Requests that failed (I/O error or non-2xx status), both phases.
+    /// Logical requests that failed (no 2xx within the retry budget).
     pub errors: u64,
     /// Measured requests divided by the measurement wall time.
     pub throughput_rps: f64,
@@ -90,12 +219,19 @@ pub struct Report {
     pub p99_ms: f64,
     /// Worst measured latency, milliseconds.
     pub max_ms: f64,
+    /// Failure classification and retry accounting.
+    pub taxonomy: Taxonomy,
 }
 
 impl Report {
     /// Renders the report in the `BENCH_runtime.json` flat-object shape.
+    ///
+    /// A clean run (no failed attempt, no retry) emits exactly the key
+    /// set this report always had, byte-for-byte — so fault-free
+    /// `BENCH_server.json` files are unchanged by the resilience work.
+    /// Any observed fault appends the taxonomy counters.
     pub fn to_json(&self) -> String {
-        obj! {
+        let mut doc = obj! {
             "experiment" => "server_loadgen",
             "connections" => self.connections as f64,
             "warmup_s" => self.warmup_s,
@@ -107,6 +243,44 @@ impl Report {
             "p95_ms" => self.p95_ms,
             "p99_ms" => self.p99_ms,
             "max_ms" => self.max_ms,
+        };
+        if !self.taxonomy.is_clean() {
+            if let Json::Obj(pairs) = &mut doc {
+                let t = &self.taxonomy;
+                for (key, value) in [
+                    ("resets", t.resets),
+                    ("timeouts", t.timeouts),
+                    ("server_errors", t.server_errors),
+                    ("client_errors", t.client_errors),
+                    ("malformed", t.malformed),
+                    ("retries", t.retries),
+                    ("recovered", t.recovered),
+                ] {
+                    pairs.push((key.to_string(), Json::from(value as f64)));
+                }
+            }
+        }
+        doc.pretty()
+    }
+
+    /// Renders only the timing-free counters: requests, errors, and the
+    /// taxonomy. For a fixed-request single-connection run these are a
+    /// pure function of `(seed, fault plan)` — two identical chaos runs
+    /// produce byte-identical output. Written to `BENCH_chaos.json`.
+    pub fn taxonomy_json(&self) -> String {
+        let t = &self.taxonomy;
+        obj! {
+            "experiment" => "server_chaos",
+            "connections" => self.connections as f64,
+            "requests" => self.requests as f64,
+            "errors" => self.errors as f64,
+            "resets" => t.resets as f64,
+            "timeouts" => t.timeouts as f64,
+            "server_errors" => t.server_errors as f64,
+            "client_errors" => t.client_errors as f64,
+            "malformed" => t.malformed as f64,
+            "retries" => t.retries as f64,
+            "recovered" => t.recovered as f64,
         }
         .pretty()
     }
@@ -174,7 +348,7 @@ pub fn default_mix(seed: u64, samples: usize) -> Vec<MixEntry> {
 /// Runs the closed loop against `config.addr` and aggregates a
 /// [`Report`]. Fails only on setup errors (no connection can be
 /// established, empty mix); per-request failures are counted in
-/// `Report::errors`.
+/// `Report::errors` and classified in `Report::taxonomy`.
 pub fn run_load(config: &LoadConfig, mix: &[MixEntry]) -> Result<Report, String> {
     if mix.is_empty() {
         return Err("request mix is empty".to_string());
@@ -192,30 +366,57 @@ pub fn run_load(config: &LoadConfig, mix: &[MixEntry]) -> Result<Report, String>
     let warmup_end = start + config.warmup;
     let measure_end = warmup_end + config.measure;
 
-    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|s| {
+    let results: Vec<ConnResult> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
                 let addr = config.addr.clone();
                 let seed = config.seed.wrapping_add(c as u64);
                 s.spawn(move || {
-                    connection_loop(&addr, mix, total_weight, seed, warmup_end, measure_end)
+                    let mut client = Client {
+                        addr,
+                        timeout: config.timeout,
+                        retries: config.retries,
+                        // A dedicated jitter stream: backoff must never
+                        // advance the request-mix rng.
+                        jitter: Rng64::new(seed ^ 0x5EED_BACC_0FF5),
+                        conn: None,
+                    };
+                    match config.requests_per_connection {
+                        Some(n) => fixed_loop(&mut client, mix, total_weight, seed, n),
+                        None => timed_loop(
+                            &mut client,
+                            mix,
+                            total_weight,
+                            seed,
+                            warmup_end,
+                            measure_end,
+                        ),
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or((Vec::new(), 1)))
+            .map(|h| h.join().unwrap_or_else(|_| ConnResult::panicked()))
             .collect()
     });
+    let elapsed = start.elapsed();
 
     let mut latencies_ns: Vec<u64> = Vec::new();
     let mut errors = 0u64;
-    for (lat, err) in results {
-        latencies_ns.extend(lat);
-        errors += err;
+    let mut taxonomy = Taxonomy::default();
+    for r in results {
+        latencies_ns.extend(r.latencies);
+        errors += r.errors;
+        taxonomy.merge(&r.taxonomy);
     }
     latencies_ns.sort_unstable();
-    let measure_s = config.measure.as_secs_f64();
+    // Fixed-request mode has no configured measurement window; report
+    // the actual elapsed time so throughput still means something.
+    let measure_s = match config.requests_per_connection {
+        Some(_) => elapsed.as_secs_f64(),
+        None => config.measure.as_secs_f64(),
+    };
     let to_ms = |ns: u64| ns as f64 / 1e6;
     Ok(Report {
         connections,
@@ -232,7 +433,34 @@ pub fn run_load(config: &LoadConfig, mix: &[MixEntry]) -> Result<Report, String>
         p95_ms: to_ms(percentile(&latencies_ns, 95.0)),
         p99_ms: to_ms(percentile(&latencies_ns, 99.0)),
         max_ms: to_ms(latencies_ns.last().copied().unwrap_or(0)),
+        taxonomy,
     })
+}
+
+/// Performs one standalone request on a fresh connection and returns
+/// `(status, body)`. Used by health probes and the chaos harness's
+/// cache-equality checks, where the response *bytes* matter.
+pub fn fetch(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<(u16, String), ErrorClass> {
+    let mut conn = Connection::open(addr, timeout).map_err(|_| ErrorClass::Reset)?;
+    let entry = MixEntry {
+        method: if method.eq_ignore_ascii_case("POST") {
+            "POST"
+        } else {
+            "GET"
+        },
+        path: "",
+        body: body.to_string(),
+        weight: 1,
+    };
+    conn.send(&entry, path)?;
+    let (status, _keep_alive, response_body) = conn.read_response()?;
+    Ok((status, response_body))
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample (0 if empty).
@@ -244,56 +472,165 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     wp_linalg::stats::nearest_rank(sorted, p)
 }
 
-/// One connection's closed loop. Returns measured latencies (ns) and the
-/// error count across both phases.
-fn connection_loop(
-    addr: &str,
+/// Deterministic exponential backoff with seeded jitter: 5 ms doubling
+/// per retry, capped at 80 ms, plus up to half the base again in
+/// jitter. Small enough for tests, shaped like the real thing.
+pub fn backoff_delay(retry: u32, jitter: &mut Rng64) -> Duration {
+    let base_ms = (5u64 << retry.min(4)).min(80);
+    Duration::from_millis(base_ms + jitter.below((base_ms / 2 + 1) as usize) as u64)
+}
+
+/// What one connection thread hands back.
+struct ConnResult {
+    latencies: Vec<u64>,
+    errors: u64,
+    taxonomy: Taxonomy,
+}
+
+impl ConnResult {
+    fn panicked() -> Self {
+        Self {
+            latencies: Vec::new(),
+            errors: 1,
+            taxonomy: Taxonomy::default(),
+        }
+    }
+}
+
+/// One connection's resilient client state.
+struct Client {
+    addr: String,
+    timeout: Duration,
+    retries: u32,
+    jitter: Rng64,
+    conn: Option<Connection>,
+}
+
+impl Client {
+    /// One logical request: up to `1 + retries` attempts with backoff.
+    /// Returns the latency of the successful attempt, or `None` when
+    /// the budget is exhausted (or the failure is non-retryable).
+    fn logical_request(&mut self, entry: &MixEntry, taxonomy: &mut Taxonomy) -> Option<u64> {
+        let mut failed_before = false;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                taxonomy.retries += 1;
+                std::thread::sleep(backoff_delay(attempt - 1, &mut self.jitter));
+            }
+            match self.attempt(entry) {
+                Ok(latency_ns) => {
+                    if failed_before {
+                        taxonomy.recovered += 1;
+                    }
+                    return Some(latency_ns);
+                }
+                Err(class) => {
+                    taxonomy.count(class);
+                    failed_before = true;
+                    if !class.retryable() {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One attempt: reuse or open the connection, send, read a full
+    /// response. Any failure drops the connection (its stream position
+    /// is no longer trustworthy).
+    fn attempt(&mut self, entry: &MixEntry) -> Result<u64, ErrorClass> {
+        let result = (|| {
+            let conn = match self.conn.as_mut() {
+                Some(c) => c,
+                None => {
+                    let opened = Connection::open(&self.addr, self.timeout)
+                        .map_err(|_| ErrorClass::Reset)?;
+                    self.conn.insert(opened)
+                }
+            };
+            let started = Instant::now();
+            conn.send(entry, entry.path)?;
+            let (status, keep_alive, _body) = conn.read_response()?;
+            let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            if !keep_alive {
+                self.conn = None;
+            }
+            match status {
+                200..=299 => Ok(elapsed_ns),
+                500..=599 => Err(ErrorClass::ServerError),
+                400..=499 => Err(ErrorClass::ClientError),
+                _ => Err(ErrorClass::Malformed),
+            }
+        })();
+        if let Err(class) = result {
+            // 4xx/5xx arrived on an intact stream; everything else
+            // leaves the connection unusable.
+            if !matches!(class, ErrorClass::ServerError | ErrorClass::ClientError) {
+                self.conn = None;
+            }
+        }
+        result
+    }
+}
+
+/// Fixed-request closed loop (chaos mode): exactly `n` logical requests
+/// drawn from the mix, all successful latencies recorded.
+fn fixed_loop(
+    client: &mut Client,
+    mix: &[MixEntry],
+    total_weight: u32,
+    seed: u64,
+    n: u64,
+) -> ConnResult {
+    let mut rng = Rng64::new(seed);
+    let mut result = ConnResult {
+        latencies: Vec::new(),
+        errors: 0,
+        taxonomy: Taxonomy::default(),
+    };
+    for _ in 0..n {
+        let entry = draw(mix, total_weight, &mut rng);
+        match client.logical_request(entry, &mut result.taxonomy) {
+            Some(latency) => result.latencies.push(latency),
+            None => result.errors += 1,
+        }
+    }
+    result
+}
+
+/// Time-bounded closed loop (benchmark mode): warmup latencies are
+/// discarded, measurement latencies feed the report.
+fn timed_loop(
+    client: &mut Client,
     mix: &[MixEntry],
     total_weight: u32,
     seed: u64,
     warmup_end: Instant,
     measure_end: Instant,
-) -> (Vec<u64>, u64) {
+) -> ConnResult {
     let mut rng = Rng64::new(seed);
-    let mut latencies = Vec::new();
-    let mut errors = 0u64;
-    let mut conn: Option<Connection> = None;
+    let mut result = ConnResult {
+        latencies: Vec::new(),
+        errors: 0,
+        taxonomy: Taxonomy::default(),
+    };
     loop {
-        let now = Instant::now();
-        if now >= measure_end {
+        let started = Instant::now();
+        if started >= measure_end {
             break;
         }
         let entry = draw(mix, total_weight, &mut rng);
-        let c = match conn
-            .take()
-            .map(Ok)
-            .unwrap_or_else(|| Connection::open(addr))
-        {
-            Ok(c) => c,
-            Err(_) => {
-                errors += 1;
-                continue;
-            }
-        };
-        let started = Instant::now();
-        match c.request(entry) {
-            Ok((status, keep_alive, reusable)) => {
-                let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-                if (200..300).contains(&status) {
-                    if started >= warmup_end {
-                        latencies.push(elapsed_ns);
-                    }
-                } else {
-                    errors += 1;
-                }
-                if keep_alive {
-                    conn = Some(reusable);
+        match client.logical_request(entry, &mut result.taxonomy) {
+            Some(latency) => {
+                if started >= warmup_end {
+                    result.latencies.push(latency);
                 }
             }
-            Err(_) => errors += 1,
+            None => result.errors += 1,
         }
     }
-    (latencies, errors)
+    result
 }
 
 /// Weighted draw from the mix (integer lottery over `total_weight`).
@@ -315,11 +652,11 @@ struct Connection {
 }
 
 impl Connection {
-    fn open(addr: &str) -> Result<Self, String> {
+    fn open(addr: &str, timeout: Duration) -> Result<Self, String> {
         let stream =
             TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_read_timeout(Some(timeout));
         let reader = BufReader::new(
             stream
                 .try_clone()
@@ -331,71 +668,89 @@ impl Connection {
         })
     }
 
-    /// Sends one request and reads the full response. Returns
-    /// `(status, server_keeps_alive, self)` so the caller can decide
-    /// whether to reuse the connection.
-    fn request(mut self, entry: &MixEntry) -> Result<(u16, bool, Self), String> {
+    /// Writes one request; classifies write failures as [`ErrorClass::Reset`].
+    fn send(&mut self, entry: &MixEntry, path: &str) -> Result<(), ErrorClass> {
         write!(
             self.writer,
             "{} {} HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
             entry.method,
-            entry.path,
+            path,
             entry.body.len(),
             entry.body
         )
         .and_then(|()| self.writer.flush())
-        .map_err(|e| format!("write failed: {e}"))?;
-        let (status, keep_alive) = read_response(&mut self.reader)?;
-        Ok((status, keep_alive, self))
+        .map_err(|_| ErrorClass::Reset)
+    }
+
+    /// Reads one HTTP/1.1 response (status line, headers,
+    /// `Content-Length` body). Returns the status code, whether the
+    /// server keeps the connection open, and the body.
+    ///
+    /// Failures are classified: a socket-level timeout is
+    /// [`ErrorClass::Timeout`], a reset/refusal is [`ErrorClass::Reset`],
+    /// and anything that breaks HTTP framing — notably a connection
+    /// closed mid-response, which a truncating server produces — is
+    /// [`ErrorClass::Malformed`]. (EOF and an empty header line are
+    /// *different* events: `read_line` returning zero bytes is a closed
+    /// socket, not a blank line.)
+    fn read_response(&mut self) -> Result<(u16, bool, String), ErrorClass> {
+        let line = read_response_line(&mut self.reader)?.ok_or(ErrorClass::Reset)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or(ErrorClass::Malformed)?;
+
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        loop {
+            // EOF here is a truncated response, not an empty header.
+            let header = read_response_line(&mut self.reader)?.ok_or(ErrorClass::Malformed)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let value = value.trim();
+                match name.to_ascii_lowercase().as_str() {
+                    "content-length" => {
+                        content_length = value.parse().map_err(|_| ErrorClass::Malformed)?;
+                    }
+                    "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                    _ => {}
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| classify_io(&e))?;
+        let body = String::from_utf8(body).map_err(|_| ErrorClass::Malformed)?;
+        Ok((status, keep_alive, body))
     }
 }
 
-/// Reads one HTTP/1.1 response (status line, headers, `Content-Length`
-/// body). Returns the status code and whether the server keeps the
-/// connection open.
-fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, bool), String> {
+/// Reads one line; `Ok(None)` on a clean EOF before any byte, classified
+/// I/O errors otherwise.
+fn read_response_line(reader: &mut BufReader<TcpStream>) -> Result<Option<String>, ErrorClass> {
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| format!("read failed: {e}"))?;
-    if line.is_empty() {
-        return Err("connection closed before response".to_string());
+    let n = reader.read_line(&mut line).map_err(|e| classify_io(&e))?;
+    if n == 0 {
+        return Ok(None);
     }
-    let status: u16 = line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("malformed status line: {line:?}"))?;
+    Ok(Some(line))
+}
 
-    let mut content_length = 0usize;
-    let mut keep_alive = true;
-    loop {
-        let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| format!("read failed: {e}"))?;
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            let value = value.trim();
-            match name.to_ascii_lowercase().as_str() {
-                "content-length" => {
-                    content_length = value
-                        .parse()
-                        .map_err(|_| format!("bad content-length: {value:?}"))?;
-                }
-                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
-                _ => {}
-            }
-        }
+/// Maps an I/O error to the taxonomy: timeouts are distinguishable by
+/// kind, truncation surfaces as `UnexpectedEof`, everything else on an
+/// established connection is treated as a reset.
+fn classify_io(e: &std::io::Error) -> ErrorClass {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ErrorClass::Timeout,
+        ErrorKind::UnexpectedEof => ErrorClass::Malformed,
+        _ => ErrorClass::Reset,
     }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("body read failed: {e}"))?;
-    Ok((status, keep_alive))
 }
 
 #[cfg(test)]
@@ -458,9 +813,8 @@ mod tests {
         assert!((850..=950).contains(&b_count), "b_count={b_count}");
     }
 
-    #[test]
-    fn report_serializes_in_bench_shape() {
-        let report = Report {
+    fn sample_report(taxonomy: Taxonomy) -> Report {
+        Report {
             connections: 2,
             warmup_s: 1.0,
             measure_s: 2.0,
@@ -471,8 +825,13 @@ mod tests {
             p95_ms: 3.0,
             p99_ms: 4.0,
             max_ms: 5.0,
-        };
-        let doc = Json::parse(&report.to_json()).unwrap();
+            taxonomy,
+        }
+    }
+
+    #[test]
+    fn report_serializes_in_bench_shape() {
+        let doc = Json::parse(&sample_report(Taxonomy::default()).to_json()).unwrap();
         assert_eq!(
             doc.get("experiment").unwrap().as_str(),
             Some("server_loadgen")
@@ -491,5 +850,100 @@ mod tests {
         ] {
             assert!(doc.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn clean_report_omits_taxonomy_keys() {
+        let clean = sample_report(Taxonomy::default()).to_json();
+        assert!(!clean.contains("resets"), "{clean}");
+        assert!(!clean.contains("recovered"), "{clean}");
+
+        let faulted = sample_report(Taxonomy {
+            timeouts: 2,
+            retries: 2,
+            recovered: 2,
+            ..Taxonomy::default()
+        })
+        .to_json();
+        let doc = Json::parse(&faulted).unwrap();
+        assert_eq!(doc.get("timeouts").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("recovered").and_then(Json::as_f64), Some(2.0));
+        // the legacy prefix is unchanged
+        assert!(faulted.contains("\"throughput_rps\""), "{faulted}");
+    }
+
+    #[test]
+    fn taxonomy_json_is_timing_free() {
+        let mut report = sample_report(Taxonomy {
+            resets: 1,
+            server_errors: 3,
+            retries: 4,
+            recovered: 4,
+            ..Taxonomy::default()
+        });
+        let a = report.taxonomy_json();
+        // perturb every timing field: the taxonomy document must not move
+        report.throughput_rps = 123.456;
+        report.p50_ms = 9.9;
+        report.max_ms = 77.7;
+        report.measure_s = 0.001;
+        let b = report.taxonomy_json();
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("experiment").and_then(Json::as_str),
+            Some("server_chaos")
+        );
+        assert_eq!(doc.get("server_errors").and_then(Json::as_f64), Some(3.0));
+        assert!(doc.get("p50_ms").is_none());
+    }
+
+    #[test]
+    fn error_class_retryability_and_labels() {
+        for class in [
+            ErrorClass::Reset,
+            ErrorClass::Timeout,
+            ErrorClass::ServerError,
+            ErrorClass::Malformed,
+        ] {
+            assert!(class.retryable(), "{class:?}");
+        }
+        assert!(!ErrorClass::ClientError.retryable());
+        assert_eq!(ErrorClass::Reset.label(), "reset");
+        assert_eq!(ErrorClass::ServerError.label(), "server_error");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for retry in 0..8 {
+            let da = backoff_delay(retry, &mut a);
+            let db = backoff_delay(retry, &mut b);
+            assert_eq!(da, db, "same jitter stream must give the same delay");
+            assert!(da >= Duration::from_millis(5));
+            assert!(da <= Duration::from_millis(120), "{da:?}");
+        }
+    }
+
+    #[test]
+    fn taxonomy_counting_and_merge() {
+        let mut t = Taxonomy::default();
+        assert!(t.is_clean());
+        t.count(ErrorClass::Reset);
+        t.count(ErrorClass::Timeout);
+        t.count(ErrorClass::ServerError);
+        t.count(ErrorClass::ClientError);
+        t.count(ErrorClass::Malformed);
+        assert!(!t.is_clean());
+        assert_eq!(t.failed_attempts(), 5);
+        let mut merged = Taxonomy {
+            retries: 2,
+            recovered: 1,
+            ..Taxonomy::default()
+        };
+        merged.merge(&t);
+        assert_eq!(merged.failed_attempts(), 5);
+        assert_eq!(merged.retries, 2);
     }
 }

@@ -4,8 +4,13 @@
 //! ```text
 //! wp-loadgen --addr 127.0.0.1:8080 [--connections 4] [--warmup 1]
 //!            [--duration 2] [--seed 42] [--samples 60]
+//!            [--timeout 30] [--retries 3] [--requests N]
 //!            [--out BENCH_server.json]
 //! ```
+//!
+//! `--requests N` switches to fixed-request mode: each connection
+//! issues exactly `N` logical requests instead of running the
+//! warmup/measure clock (used by chaos runs).
 //!
 //! Exits non-zero when any request failed (I/O error or non-2xx) or
 //! when the measurement phase completed zero requests, so CI can gate
@@ -16,7 +21,8 @@ use std::time::Duration;
 use wp_loadgen::{default_mix, run_load, LoadConfig};
 
 const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
-[--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] [--out FILE]";
+[--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] \
+[--timeout SECONDS] [--retries N] [--requests N] [--out FILE]";
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -63,6 +69,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             "--warmup" => config.warmup = Duration::from_secs_f64(parse_f64(&value)?),
             "--duration" => config.measure = Duration::from_secs_f64(parse_f64(&value)?),
+            "--timeout" => config.timeout = Duration::from_secs_f64(parse_f64(&value)?),
+            "--retries" => {
+                config.retries = value
+                    .parse::<u32>()
+                    .map_err(|_| format!("--retries: not a non-negative integer: {value:?}"))?;
+            }
+            "--requests" => {
+                config.requests_per_connection = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| format!("--requests: not a positive integer: {value:?}"))?,
+                );
+            }
             "--seed" => {
                 config.seed = value
                     .parse::<u64>()

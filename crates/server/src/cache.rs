@@ -178,6 +178,79 @@ mod tests {
         assert_eq!(calls, 1);
     }
 
+    /// Eight threads hammer one hot key through `get_or_insert_with`
+    /// while a churn thread floods the cache past capacity. Invariants:
+    /// every hit is byte-identical to the deterministic recompute (the
+    /// cache may change latency, never bytes), and after an eviction the
+    /// stale entry is genuinely gone — the next lookup recomputes
+    /// instead of serving a ghost.
+    #[test]
+    fn hot_key_stays_correct_under_eviction_pressure() {
+        let compute = |key: &String| -> String { format!("value-of::{key}") };
+        let cache: Arc<LruCache<String, String>> = Arc::new(LruCache::new(4));
+        let hot = "hot".to_string();
+
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let hot = hot.clone();
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let v = cache.get_or_insert_with(&hot, || compute(&hot));
+                        assert_eq!(
+                            *v,
+                            compute(&hot),
+                            "a cache hit must be byte-identical to a recompute"
+                        );
+                    }
+                });
+            }
+            // churn: 4x capacity of distinct keys, repeatedly, so the hot
+            // key is evicted over and over while readers race it
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for round in 0..200 {
+                    for i in 0..16 {
+                        let k = format!("churn-{round}-{i}");
+                        cache.insert(k.clone(), Arc::new(compute(&k)));
+                    }
+                }
+            });
+        });
+
+        assert!(cache.len() <= 4, "len {} exceeds capacity", cache.len());
+        let (hits, misses) = cache.counters();
+        assert_eq!(
+            hits + misses,
+            8 * 500,
+            "every get_or_insert_with resolves to exactly one hit or miss"
+        );
+        assert!(misses >= 1, "the cold start alone is a miss");
+    }
+
+    /// After an entry is evicted, a lookup must miss — the value cannot
+    /// be served from beyond the grave even though `Arc` clones of it
+    /// may still be alive in readers' hands.
+    #[test]
+    fn evicted_entry_is_not_served() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, Arc::new(10));
+        let held = cache.get(&1).unwrap(); // reader still holds the Arc
+        cache.insert(2, Arc::new(20));
+        assert!(cache.get(&1).is_some()); // 1 now fresher than 2
+        cache.insert(3, Arc::new(30)); // capacity 2: evicts LRU key 2
+        assert!(cache.get(&2).is_none(), "2 was the least recently used");
+        assert_eq!(*held, 10, "outstanding Arc stays valid across evictions");
+        cache.insert(4, Arc::new(40)); // 1 untouched since → evicted next
+        assert!(
+            cache.get(&1).is_none(),
+            "1 must not be served post-eviction"
+        );
+        assert_eq!(*cache.get(&3).unwrap(), 30);
+        assert_eq!(*cache.get(&4).unwrap(), 40);
+        assert_eq!(*held, 10);
+    }
+
     #[test]
     fn concurrent_reads_share_the_lock() {
         let cache: Arc<LruCache<u32, u32>> = Arc::new(LruCache::new(8));

@@ -10,6 +10,7 @@
 //! |---|---|---|
 //! | `/healthz` | GET | liveness + corpus summary |
 //! | `/corpus` | GET | reference workloads, run counts, selected features |
+//! | `/corpus` | POST | dry-run validation of a corpus document |
 //! | `/fingerprint` | POST | telemetry runs → Hist-FP / Phase-FP fingerprints |
 //! | `/similar` | POST | runs → ranked nearest reference workloads |
 //! | `/predict` | POST | runs + SKU pair → scaling prediction |
@@ -31,7 +32,7 @@ pub mod http;
 pub mod service;
 pub mod stats;
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -41,6 +42,7 @@ use std::time::{Duration, Instant};
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::PipelineConfig;
+use wp_faults::{FaultInjector, FaultPlan, RequestFaults, WriteFault};
 use wp_featsel::Strategy;
 
 use service::ServiceState;
@@ -62,6 +64,10 @@ pub struct ServerConfig {
     /// fANOVA so startup (stage 1 runs once) stays sub-second; the
     /// measure/bins/scaling-model defaults follow the paper's §6.2.3.
     pub pipeline: PipelineConfig,
+    /// Seeded fault-injection plan (chaos testing). The default plan is
+    /// disabled: no injector is constructed and the serving path is the
+    /// exact pre-fault code.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +81,7 @@ impl Default for ServerConfig {
                 selection: Strategy::FAnova,
                 ..PipelineConfig::default()
             },
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -85,7 +92,19 @@ pub struct Server;
 impl Server {
     /// Validates the corpus, selects features (stage 1, once), binds the
     /// listener, and spawns the worker pool.
-    pub fn start(corpus: OfflineCorpus, config: ServerConfig) -> Result<ServerHandle, String> {
+    ///
+    /// When the fault plan enables corpus corruption, the corruption is
+    /// applied *before* validation — a corrupted corpus is expected to
+    /// fail startup with the same structured error a genuinely broken
+    /// corpus file would produce.
+    pub fn start(mut corpus: OfflineCorpus, config: ServerConfig) -> Result<ServerHandle, String> {
+        if config.faults.corrupt > 0.0 {
+            wp_faults::apply_corpus_corruption(&config.faults, &mut corpus);
+        }
+        let injector = config
+            .faults
+            .is_enabled()
+            .then(|| Arc::new(FaultInjector::new(config.faults.clone())));
         let state = Arc::new(ServiceState::new(
             corpus,
             config.pipeline.clone(),
@@ -113,10 +132,11 @@ impl Server {
                 .try_clone()
                 .map_err(|e| format!("cannot clone listener: {e}"))?;
             let state = Arc::clone(&state);
+            let injector = injector.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("wp-server-{i}"))
-                    .spawn(move || worker_loop(&listener, &state, &rx))
+                    .spawn(move || worker_loop(&listener, &state, &rx, injector.as_deref()))
                     .map_err(|e| format!("cannot spawn worker: {e}"))?,
             );
         }
@@ -174,7 +194,12 @@ impl ServerHandle {
 }
 
 /// Accept-and-serve loop of one pool worker.
-fn worker_loop(listener: &TcpListener, state: &Arc<ServiceState>, control: &Receiver<()>) {
+fn worker_loop(
+    listener: &TcpListener,
+    state: &Arc<ServiceState>,
+    control: &Receiver<()>,
+    injector: Option<&FaultInjector>,
+) {
     loop {
         match control.try_recv() {
             Ok(()) | Err(TryRecvError::Disconnected) => return,
@@ -183,8 +208,14 @@ fn worker_loop(listener: &TcpListener, state: &Arc<ServiceState>, control: &Rece
         match listener.accept() {
             Ok((stream, _)) => {
                 state.stats.record_connection();
+                if injector.is_some_and(FaultInjector::reset_connection) {
+                    // Injected reset: drop the socket before reading a
+                    // byte. The client sees ECONNRESET / EOF.
+                    drop(stream);
+                    continue;
+                }
                 let done = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(stream, state, control)
+                    handle_connection(stream, state, control, injector)
                 }))
                 .unwrap_or(false);
                 if done {
@@ -201,7 +232,12 @@ fn worker_loop(listener: &TcpListener, state: &Arc<ServiceState>, control: &Rece
 
 /// Serves one connection until close / error / shutdown. Returns `true`
 /// when a shutdown message was consumed and the worker should exit.
-fn handle_connection(stream: TcpStream, state: &ServiceState, control: &Receiver<()>) -> bool {
+fn handle_connection(
+    stream: TcpStream,
+    state: &ServiceState,
+    control: &Receiver<()>,
+    injector: Option<&FaultInjector>,
+) -> bool {
     // The listener is nonblocking; the accepted stream must not be.
     if stream.set_nonblocking(false).is_err() {
         return false;
@@ -228,21 +264,89 @@ fn handle_connection(stream: TcpStream, state: &ServiceState, control: &Receiver
             }
         };
 
+        // All fault decisions for this request are drawn here, in one
+        // shot, keyed by a global request ordinal — never during the
+        // handler or the write, where thread timing could reorder draws.
+        let faults = match injector {
+            Some(i) => i.request_faults(&request.path),
+            None => RequestFaults::CLEAN,
+        };
+        if let Some(pause) = faults.pre_latency {
+            std::thread::sleep(pause);
+        }
+
         let started = Instant::now();
-        let (status, body) = service::handle(state, &request);
+        let (status, body) = if faults.error_503 {
+            (
+                503,
+                wp_json::obj! { "error" => "injected overload" }.compact(),
+            )
+        } else {
+            service::handle(state, &request)
+        };
         let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         state.stats.record(&request.path, elapsed_ns, status >= 400);
 
+        if let Some(pause) = faults.stall {
+            // Hold the finished response past the client's patience.
+            std::thread::sleep(pause);
+        }
+
         let shutdown_requested = matches!(control.try_recv(), Ok(()));
         let keep_alive = request.keep_alive && !shutdown_requested;
-        if http::write_response(&mut writer, status, &body, keep_alive).is_err() {
-            return shutdown_requested;
+        let extra: &[(&str, &str)] = if status == 503 {
+            &[("Retry-After", "0")]
+        } else {
+            &[]
+        };
+        let bytes = http::render_response(status, &body, keep_alive, extra);
+        match write_faulted(&mut writer, &bytes, &faults.write) {
+            Ok(true) => return shutdown_requested, // fault closed the connection
+            Ok(false) => {}
+            Err(_) => return shutdown_requested,
         }
         if shutdown_requested {
             return true;
         }
         if !request.keep_alive {
             return false;
+        }
+    }
+}
+
+/// Writes one rendered response, applying the drawn write fault.
+/// `Ok(true)` means the fault requires the connection to close.
+fn write_faulted(
+    writer: &mut impl Write,
+    bytes: &[u8],
+    fault: &WriteFault,
+) -> std::io::Result<bool> {
+    match fault {
+        WriteFault::Clean => {
+            writer.write_all(bytes)?;
+            writer.flush()?;
+            Ok(false)
+        }
+        WriteFault::Slow {
+            chunks, pause_ms, ..
+        } => {
+            // Dribble the same bytes out in chunks with pauses between
+            // them: correct data, pathological pacing.
+            let n = (*chunks).max(1);
+            let step = bytes.len().div_ceil(n);
+            for chunk in bytes.chunks(step.max(1)) {
+                writer.write_all(chunk)?;
+                writer.flush()?;
+                std::thread::sleep(Duration::from_millis(*pause_ms));
+            }
+            Ok(false)
+        }
+        WriteFault::Truncate => {
+            // Half the response, then a hard close mid-body (or even
+            // mid-headers for small responses).
+            writer.write_all(&bytes[..bytes.len() / 2])?;
+            writer.flush()?;
+            Ok(true)
         }
     }
 }

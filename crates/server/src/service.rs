@@ -133,11 +133,16 @@ fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/corpus") => Ok(corpus_info(state)),
+        ("POST", "/corpus") => validate_corpus(&req.body),
         ("GET", "/stats") => Ok(state.stats.to_json(state.responses.counters()).compact()),
         ("POST", "/fingerprint") => cached(state, req, fingerprint),
         ("POST", "/similar") => cached(state, req, similar),
         ("POST", "/predict") => cached(state, req, predict),
-        (_, "/healthz" | "/corpus" | "/stats") => Err(ServiceError {
+        (_, "/corpus") => Err(ServiceError {
+            status: 405,
+            message: format!("{} only supports GET and POST", req.path),
+        }),
+        (_, "/healthz" | "/stats") => Err(ServiceError {
             status: 405,
             message: format!("{} only supports GET", req.path),
         }),
@@ -202,6 +207,27 @@ fn corpus_info(state: &ServiceState) -> String {
         "nbins" => state.config.nbins,
     }
     .compact()
+}
+
+/// `POST /corpus` — dry-run validation of a corpus document. The body
+/// goes through the same parse + [`OfflineCorpus::validate`] gate as a
+/// corpus loaded at startup; any defect (NaN samples, zero-length
+/// series, mismatched from/to pair counts, …) is a structured `400`
+/// naming the offending reference and run. Nothing is loaded — the
+/// serving corpus is immutable after startup.
+fn validate_corpus(body: &str) -> Result<String, ServiceError> {
+    let corpus = crate::corpus::corpus_from_json(body).map_err(ServiceError::bad_request)?;
+    let runs: usize = corpus
+        .references
+        .iter()
+        .map(|r| r.runs_from.len() + r.runs_to.len())
+        .sum();
+    Ok(obj! {
+        "ok" => true,
+        "references" => corpus.references.len(),
+        "runs" => runs,
+    }
+    .compact())
 }
 
 /// Parses the `"runs"` array shared by every `POST` body.

@@ -193,10 +193,15 @@ fn loadgen_completes_a_short_run_with_zero_errors() {
         warmup: Duration::from_millis(200),
         measure: Duration::from_millis(500),
         seed: 7,
+        ..wp_loadgen::LoadConfig::default()
     };
     let mix = wp_loadgen::default_mix(config.seed, 40);
     let report = wp_loadgen::run_load(&config, &mix).expect("load run");
     assert_eq!(report.errors, 0, "no request may fail: {report:?}");
+    assert!(
+        report.taxonomy.is_clean(),
+        "a healthy server must not trip the fault taxonomy: {report:?}"
+    );
     assert!(report.requests > 0, "measurement phase saw no requests");
     assert!(report.throughput_rps > 0.0);
     assert!(report.p50_ms <= report.p95_ms && report.p95_ms <= report.p99_ms);
