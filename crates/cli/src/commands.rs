@@ -22,9 +22,11 @@ usage:
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
   wp serve    [--addr HOST:PORT] [--threads N] [--corpus FILE] [--samples N] [--seed S]
-              [--faults SPEC]
+              [--faults SPEC] [--obs]
   wp chaos    [--plan SPEC] [--requests N] [--connections N] [--seed S] [--samples N]
               [--timeout SECONDS] [--retries N] [--out FILE] [--verify-determinism]
+              [--obs]
+  wp trace    [--samples N] [--seed S] [--json]
   wp index-bench [--size N] [--queries N] [--k K] [--samples N] [--json] [--seed S]
 
 fault SPEC: seed=7,reset=0.05,latency=0.2,latency_ms=1..5,error=0.15,
@@ -35,6 +37,13 @@ strategies: variance | pearson | fanova | migain | lasso | elasticnet |
             randomforest | rfe-linear | rfe-dectree | rfe-logreg | baseline";
 
 const DEFAULT_SEED: u64 = 0xEDB7_2025;
+
+/// True when the `WP_OBS` environment variable asks for observability
+/// (set to anything but `""` or `"0"`), mirroring how `WP_FAULTS` arms
+/// fault injection without touching the command line.
+fn obs_from_env() -> bool {
+    std::env::var("WP_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Dispatches a full command line (without the program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -49,6 +58,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "export" => cmd_export(&args),
         "serve" => cmd_serve(&args),
         "chaos" => cmd_chaos(&args),
+        "trace" => cmd_trace(&args),
         "index-bench" => cmd_index_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -289,11 +299,17 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 ///
 /// `--faults SPEC` (or the `WP_FAULTS` environment variable) arms the
 /// seeded fault-injection layer — see `wp chaos` for the spec format.
+///
+/// `--obs` (or a non-empty, non-`"0"` `WP_OBS` environment variable)
+/// enables the `wp-obs` registry and routes `GET /metrics`. Without it
+/// the server's responses are byte-identical to a build without the
+/// observability layer.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let threads: usize = args.parsed_or("threads", 4)?;
     let samples: usize = args.parsed_or("samples", 120)?;
     let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+    let obs = args.switch("obs") || obs_from_env();
     let faults = match args.get("faults") {
         Some(spec) => wp_faults::FaultPlan::parse(spec)?,
         None => wp_faults::FaultPlan::from_env()?.unwrap_or_default(),
@@ -318,10 +334,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if faults.is_enabled() {
         println!("fault injection armed: {}", faults.render());
     }
+    if obs {
+        println!("observability on: GET /metrics serves the Prometheus text exposition");
+    }
     let config = wp_server::ServerConfig {
         addr,
         workers: threads.max(1),
         faults,
+        obs,
         ..wp_server::ServerConfig::default()
     };
     let handle = wp_server::Server::start(corpus, config)?;
@@ -336,6 +356,79 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     handle.wait();
+    Ok(())
+}
+
+/// Runs the serving pipeline once, in process, with observability
+/// enabled, and prints the recorded trace: every counter, gauge, and
+/// span (count / total time / mean / max) the instrumented crates
+/// emitted. The same simulated corpus and request mix that back
+/// `wp serve` and `wp-loadgen` drive the handlers, plus one repeated
+/// `POST` so the response cache registers a hit. `--json` prints the
+/// snapshot as a JSON document instead of the table.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let samples: usize = args.parsed_or("samples", 60)?;
+    let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+
+    wp_obs::enable();
+    wp_obs::reset();
+
+    let corpus = wp_server::corpus::simulated_corpus(seed, samples);
+    let defaults = wp_server::ServerConfig::default();
+    let state = wp_server::service::ServiceState::new(
+        corpus,
+        defaults.pipeline,
+        None,
+        defaults.cache_capacity,
+    )?;
+
+    let mut mix = wp_loadgen::default_mix(seed, samples);
+    // Replay the first POST verbatim so the response cache shows a hit.
+    if let Some(repeat) = mix.iter().find(|e| e.method == "POST").cloned() {
+        mix.push(repeat);
+    }
+    // The default mix ranks exhaustively; add one indexed retrieval so
+    // the pruning-cascade counters show up in the trace.
+    if let Some(similar) = mix.iter().find(|e| e.path == "/similar").cloned() {
+        mix.push(wp_loadgen::MixEntry {
+            body: similar
+                .body
+                .replacen('{', "{\"mode\":\"indexed\",\"k\":3,", 1),
+            ..similar
+        });
+    }
+    let driven = mix.len();
+    for entry in &mix {
+        let req = wp_server::http::Request {
+            method: entry.method.to_string(),
+            path: entry.path.to_string(),
+            body: entry.body.clone(),
+            keep_alive: false,
+        };
+        let started = std::time::Instant::now();
+        let (status, body) = wp_server::service::handle(&state, &req);
+        // Same accounting the live server does around each request, so
+        // the per-endpoint span series show up in the trace.
+        state.stats.record(
+            &req.path,
+            started.elapsed().as_nanos() as u64,
+            status >= 400,
+        );
+        if status >= 400 {
+            return Err(format!(
+                "trace request {} {} failed with {status}: {body}",
+                entry.method, entry.path
+            ));
+        }
+    }
+
+    let snap = wp_obs::snapshot();
+    if args.switch("json") {
+        println!("{}", snap.to_json().pretty());
+        return Ok(());
+    }
+    println!("trace of {driven} requests over the simulated corpus (seed {seed}, {samples} samples/run):");
+    print!("{}", snap.render_summary());
     Ok(())
 }
 
@@ -384,6 +477,12 @@ fn fetch_until_ok(
 /// taxonomy is a pure function of `(plan, seed)`; `--verify-determinism`
 /// replays the whole experiment against a fresh server and asserts the
 /// two taxonomies are byte-identical.
+///
+/// `--obs` additionally enables the `wp-obs` registry (reset before
+/// each run) and appends the span/counter snapshot of the last run as
+/// an `"obs"` section of the output document. The section carries
+/// timings, so it is deliberately excluded from the determinism
+/// comparison — only the taxonomy is replay-compared.
 fn cmd_chaos(args: &Args) -> Result<(), String> {
     use std::time::Duration;
     use wp_faults::FaultPlan;
@@ -406,8 +505,12 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let retries: u32 = args.parsed_or("retries", 3)?;
     let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 2.0)?);
     let out = args.get("out").unwrap_or("BENCH_chaos.json").to_string();
+    let obs = args.switch("obs") || obs_from_env();
     if requests == 0 {
         return Err("--requests must be positive".to_string());
+    }
+    if obs {
+        wp_obs::enable();
     }
 
     let mix = wp_loadgen::default_mix(seed, samples);
@@ -418,6 +521,11 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         .expect("default mix serves /similar");
 
     let run_once = || -> Result<(wp_loadgen::Report, String), String> {
+        if obs {
+            // Each run starts from a zeroed registry, so the appended
+            // snapshot describes exactly one experiment (the last one).
+            wp_obs::reset();
+        }
         let corpus = wp_server::corpus::simulated_corpus(seed, samples);
         let server = wp_server::Server::start(
             corpus,
@@ -492,8 +600,19 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         println!("determinism verified: replay produced a byte-identical taxonomy");
     }
 
-    std::fs::write(&out, format!("{taxonomy}\n"))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    // The obs snapshot rides along *after* the determinism comparison:
+    // its span timings are wall-clock and may not replay byte-identical.
+    let output = if obs {
+        let mut doc =
+            Json::parse(&taxonomy).map_err(|e| format!("taxonomy JSON does not parse: {e}"))?;
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("obs".to_string(), wp_obs::snapshot().to_json()));
+        }
+        doc.pretty()
+    } else {
+        taxonomy.clone()
+    };
+    std::fs::write(&out, format!("{output}\n")).map_err(|e| format!("cannot write {out}: {e}"))?;
     let t = &report.taxonomy;
     println!(
         "{} ok, {} failed; attempts: {} reset, {} timeout, {} 5xx, {} 4xx, {} malformed",
@@ -653,6 +772,25 @@ mod tests {
     fn workloads_subcommand_runs() {
         let argv: Vec<String> = vec!["workloads".into()];
         assert!(run(&argv).is_ok());
+    }
+
+    #[test]
+    fn trace_subcommand_runs_and_reports_spans() {
+        let argv: Vec<String> = ["trace", "--samples", "20", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&argv).is_ok());
+        // The command left the registry populated: the endpoint series
+        // it drove must be visible in a snapshot.
+        let text = wp_obs::snapshot().render_prometheus();
+        let parsed = wp_obs::parse_prometheus(&text).expect("exposition must parse");
+        assert!(parsed
+            .iter()
+            .any(|(name, v)| name.starts_with("wp_server_requests_total{") && *v > 0.0));
+        assert!(parsed
+            .iter()
+            .any(|(name, v)| name.starts_with("wp_server_request_count{") && *v > 0.0));
     }
 
     #[test]

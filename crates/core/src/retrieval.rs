@@ -19,12 +19,19 @@
 //! but not bit-identical to the joint-normalization path.
 
 use wp_index::{Hit, Index, IndexConfig, SearchStats};
+use wp_obs::LazySpan;
 use wp_similarity::histfp::histfp_with_ranges;
 use wp_similarity::repr::{extract, global_ranges, RunFeatureData};
 use wp_telemetry::{ExperimentRun, FeatureId};
 
 use crate::offline::OfflineCorpus;
 use crate::pipeline::{PipelineConfig, SimilarityVerdict};
+
+/// Wall time of one [`CorpusIndex::rank_references_with_stats`] call —
+/// the serve path behind `POST /similar` `"mode":"indexed"`.
+static OBS_RANK_SPAN: LazySpan = LazySpan::new("wp_core_retrieval_rank");
+/// Wall time of fingerprinting one query run under the frozen ranges.
+static OBS_FP_SPAN: LazySpan = LazySpan::new("wp_core_retrieval_fingerprint");
 
 /// One retrieved corpus run.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +163,7 @@ impl CorpusIndex {
 
     /// Fingerprints one query run under the frozen corpus ranges.
     fn query_fingerprint(&self, run: &ExperimentRun) -> wp_linalg::Matrix {
+        let _span = OBS_FP_SPAN.start();
         let data = extract(run, &self.features);
         histfp_with_ranges(std::slice::from_ref(&data), &self.ranges, self.nbins)
             .pop()
@@ -205,6 +213,7 @@ impl CorpusIndex {
         target_runs: &[ExperimentRun],
         k: usize,
     ) -> Result<(Vec<SimilarityVerdict>, SearchStats), String> {
+        let _span = OBS_RANK_SPAN.start();
         if target_runs.is_empty() {
             return Err("need target runs".to_string());
         }

@@ -113,6 +113,13 @@ impl Strategy {
         features: &[FeatureId],
         config: &WrapperConfig,
     ) -> Ranking {
+        // Cold path (stage 1 runs once per corpus): the label allocation
+        // only happens when observability is enabled.
+        let _span = if wp_obs::is_enabled() {
+            wp_obs::time_labeled("wp_featsel_rank", "strategy", &self.label())
+        } else {
+            wp_obs::SpanGuard::inert()
+        };
         match self {
             Strategy::Variance => filter::variance(x, features),
             Strategy::FAnova => filter::fanova(x, labels, features),

@@ -51,10 +51,26 @@ mod bounds;
 use std::cmp::Ordering;
 
 use wp_linalg::Matrix;
+use wp_obs::LazyCounter;
 use wp_similarity::measure::validate_fingerprints;
 use wp_similarity::Measure;
 
 use bounds::Envelope;
+
+/// Searches answered through the cascade.
+static OBS_SEARCHES: LazyCounter = LazyCounter::new("wp_index_searches_total");
+/// Candidates considered across all searches.
+static OBS_CANDIDATES: LazyCounter = LazyCounter::new("wp_index_candidates_total");
+/// Candidates that survived every bound and paid for an exact distance.
+static OBS_EXACT: LazyCounter = LazyCounter::new("wp_index_exact_total");
+/// Candidates discarded, by the cascade stage whose bound fired.
+static OBS_PRUNED: [LazyCounter; 5] = [
+    LazyCounter::new("wp_index_pruned_total{stage=\"pivot\"}"),
+    LazyCounter::new("wp_index_pruned_total{stage=\"paa\"}"),
+    LazyCounter::new("wp_index_pruned_total{stage=\"kim\"}"),
+    LazyCounter::new("wp_index_pruned_total{stage=\"keogh\"}"),
+    LazyCounter::new("wp_index_pruned_total{stage=\"lcss\"}"),
+];
 
 /// Tuning knobs for [`Index::build`]. The defaults are safe for every
 /// measure; none of them affect *which* results a search returns, only
@@ -125,6 +141,28 @@ impl SearchStats {
             0.0
         } else {
             self.pruned() as f64 / self.candidates as f64
+        }
+    }
+
+    /// Flushes this search's counters into the global `wp-obs` registry
+    /// (no-op while observability is disabled). Called once per search,
+    /// so the serve path surfaces pruning behavior without threading the
+    /// stats through every caller.
+    fn record_obs(&self) {
+        if !wp_obs::is_enabled() {
+            return;
+        }
+        OBS_SEARCHES.add(1);
+        OBS_CANDIDATES.add(self.candidates as u64);
+        OBS_EXACT.add(self.exact as u64);
+        for (counter, pruned) in OBS_PRUNED.iter().zip([
+            self.pruned_pivot,
+            self.pruned_paa,
+            self.pruned_kim,
+            self.pruned_keogh,
+            self.pruned_lcss,
+        ]) {
+            counter.add(pruned as u64);
         }
     }
 
@@ -407,6 +445,7 @@ impl Index {
             .into_iter()
             .map(|(distance, index)| Hit { index, distance })
             .collect();
+        stats.record_obs();
         Ok((hits, stats))
     }
 

@@ -45,8 +45,12 @@ impl Histogram {
 }
 
 /// Builds a normalized equi-width histogram of `values` over `[lo, hi]`
-/// with `nbins` bins. Values outside the range are clamped into the
-/// boundary bins; a degenerate range (`hi <= lo`) puts everything in bin 0.
+/// with `nbins` bins. Finite values outside the range are clamped into
+/// the boundary bins; a degenerate range (`hi <= lo`) puts everything in
+/// bin 0. Non-finite samples (NaN, ±∞) are skipped and frequencies are
+/// normalized over the *finite* count — `NaN.clamp(0.0, 1.0) as usize`
+/// is `0`, so counting them would silently pile corrupt samples into
+/// bin 0 and skew every downstream fingerprint distance.
 ///
 /// # Panics
 ///
@@ -54,18 +58,23 @@ impl Histogram {
 pub fn histogram(values: &[f64], lo: f64, hi: f64, nbins: usize) -> Histogram {
     assert!(nbins > 0, "histogram needs at least one bin");
     let mut bins = vec![0.0; nbins];
-    if !values.is_empty() {
-        let range = hi - lo;
-        for &v in values {
-            let idx = if range > 0.0 {
-                let t = ((v - lo) / range).clamp(0.0, 1.0);
-                ((t * nbins as f64) as usize).min(nbins - 1)
-            } else {
-                0
-            };
-            bins[idx] += 1.0;
+    let range = hi - lo;
+    let mut finite = 0usize;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
         }
-        let total = values.len() as f64;
+        finite += 1;
+        let idx = if range > 0.0 {
+            let t = ((v - lo) / range).clamp(0.0, 1.0);
+            ((t * nbins as f64) as usize).min(nbins - 1)
+        } else {
+            0
+        };
+        bins[idx] += 1.0;
+    }
+    if finite > 0 {
+        let total = finite as f64;
         for b in &mut bins {
             *b /= total;
         }
@@ -145,6 +154,35 @@ mod tests {
     #[test]
     fn cumulative_histogram_empty_input() {
         assert_eq!(cumulative_histogram(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_samples_are_skipped_not_binned() {
+        // NaN used to land in bin 0 (NaN.clamp(0.0,1.0) as usize == 0)
+        // and inflate the denominator; both corrupt Hist-FP shapes
+        let h = histogram(
+            &[f64::NAN, 0.9, f64::INFINITY, 0.9, f64::NEG_INFINITY],
+            0.0,
+            1.0,
+            2,
+        );
+        assert_eq!(h.bins[0], 0.0, "no ghost mass in bin 0: {:?}", h.bins);
+        assert_eq!(
+            h.bins[1], 1.0,
+            "finite samples normalize to 1: {:?}",
+            h.bins
+        );
+        // bit-identical to the histogram of only the finite samples
+        assert_eq!(h, histogram(&[0.9, 0.9], 0.0, 1.0, 2));
+    }
+
+    #[test]
+    fn all_non_finite_input_yields_zero_bins() {
+        let h = histogram(&[f64::NAN, f64::INFINITY], 0.0, 1.0, 4);
+        assert_eq!(h.bins, vec![0.0; 4]);
+        // degenerate range + NaN: still no bin-0 ghost
+        let h = histogram(&[f64::NAN], 3.0, 3.0, 2);
+        assert_eq!(h.bins, vec![0.0, 0.0]);
     }
 
     #[test]

@@ -5,24 +5,33 @@
 //! wp-loadgen --addr 127.0.0.1:8080 [--connections 4] [--warmup 1]
 //!            [--duration 2] [--seed 42] [--samples 60]
 //!            [--timeout 30] [--retries 3] [--requests N]
-//!            [--out BENCH_server.json]
+//!            [--out BENCH_server.json] [--metrics-out FILE]
 //! ```
 //!
 //! `--requests N` switches to fixed-request mode: each connection
 //! issues exactly `N` logical requests instead of running the
 //! warmup/measure clock (used by chaos runs).
 //!
-//! Exits non-zero when any request failed (I/O error or non-2xx) or
-//! when the measurement phase completed zero requests, so CI can gate
-//! on it directly.
+//! `--metrics-out FILE` additionally scrapes `GET /metrics` after the
+//! run (the server must be running with `--obs`), verifies the
+//! Prometheus exposition parses and that the request/connection series
+//! actually counted this run's traffic, and writes the parsed series to
+//! `FILE` as a `"server_obs"` experiment document. The regular report
+//! (`--out`) is unchanged by this flag.
+//!
+//! Exits non-zero when any request failed (I/O error or non-2xx), when
+//! the measurement phase completed zero requests, or when the metrics
+//! scrape fails validation, so CI can gate on it directly.
 
 use std::time::Duration;
 
+use wp_json::{obj, Json};
 use wp_loadgen::{default_mix, run_load, LoadConfig};
 
 const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
 [--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] \
-[--timeout SECONDS] [--retries N] [--requests N] [--out FILE]";
+[--timeout SECONDS] [--retries N] [--requests N] [--out FILE] \
+[--metrics-out FILE]";
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -39,6 +48,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut addr_set = false;
     let mut samples = 60usize;
     let mut out = "BENCH_server.json".to_string();
+    let mut metrics_out: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
@@ -97,6 +107,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     .ok_or_else(|| format!("--samples: not a positive integer: {value:?}"))?;
             }
             "--out" => out = value,
+            "--metrics-out" => metrics_out = Some(value),
             _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
         }
     }
@@ -132,5 +143,94 @@ fn run(args: Vec<String>) -> Result<(), String> {
     if report.requests == 0 {
         return Err("measurement phase completed zero requests".to_string());
     }
+    if let Some(path) = metrics_out {
+        let indexed_body = mix
+            .iter()
+            .find(|e| e.path == "/similar")
+            .map(|e| e.body.replacen('{', "{\"mode\":\"indexed\",\"k\":3,", 1));
+        scrape_metrics(
+            &config.addr,
+            config.timeout,
+            report.requests,
+            indexed_body.as_deref(),
+            &path,
+        )?;
+    }
+    Ok(())
+}
+
+/// Scrapes `GET /metrics`, validates the exposition against the run
+/// that just finished, and writes the parsed series to `path` as a
+/// self-describing experiment document. Fails loudly — a server without
+/// `--obs` answers 404, a mis-rendered exposition fails the parse, and
+/// a registry that did not see this run's traffic fails the floors.
+///
+/// The default mix ranks exhaustively, so when an indexed `/similar`
+/// body is supplied, one is issued first: the scrape then asserts the
+/// pruning-cascade counters moved too.
+fn scrape_metrics(
+    addr: &str,
+    timeout: Duration,
+    requests: u64,
+    indexed_body: Option<&str>,
+    path: &str,
+) -> Result<(), String> {
+    if let Some(body) = indexed_body {
+        let (status, _) = wp_loadgen::fetch(addr, "POST", "/similar", body, timeout)
+            .map_err(|class| format!("indexed /similar probe failed: {}", class.label()))?;
+        if !(200..300).contains(&status) {
+            return Err(format!("indexed /similar probe answered {status}"));
+        }
+    }
+    let (status, body) = wp_loadgen::fetch(addr, "GET", "/metrics", "", timeout)
+        .map_err(|class| format!("GET /metrics failed: {}", class.label()))?;
+    if status != 200 {
+        return Err(format!(
+            "GET /metrics answered {status} — is the server running with --obs?"
+        ));
+    }
+    let series = wp_obs::parse_prometheus(&body)?;
+    let sum_of = |family: &str| -> f64 {
+        series
+            .iter()
+            .filter(|(name, _)| name == family || name.starts_with(&format!("{family}{{")))
+            .map(|(_, v)| v)
+            .sum()
+    };
+    // The scrape itself is one more request, hence strictly-greater.
+    let counted = sum_of("wp_server_requests_total");
+    if counted < requests as f64 {
+        return Err(format!(
+            "wp_server_requests_total counted {counted} requests, \
+             but this run alone issued {requests}"
+        ));
+    }
+    let mut floors = vec!["wp_server_connections_total", "wp_server_request_count"];
+    if indexed_body.is_some() {
+        floors.push("wp_index_searches_total");
+    }
+    for family in floors {
+        if sum_of(family) <= 0.0 {
+            return Err(format!("metrics series {family} is missing or zero"));
+        }
+    }
+
+    let doc = obj! {
+        "experiment" => "server_obs",
+        "addr" => addr,
+        "loadgen_requests" => requests as f64,
+        "series" => Json::Arr(
+            series
+                .iter()
+                .map(|(name, value)| obj! { "name" => name.clone(), "value" => *value })
+                .collect(),
+        ),
+    };
+    std::fs::write(path, format!("{}\n", doc.pretty()))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wp-loadgen: /metrics scrape ok ({} series, {counted} requests counted) -> {path}",
+        series.len()
+    );
     Ok(())
 }

@@ -45,6 +45,17 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use wp_obs::{LazyCounter, LazyGauge, LazySpan};
+
+/// Tasks (`f(i)` evaluations) scheduled through [`par_map_indexed`].
+static OBS_TASKS: LazyCounter = LazyCounter::new("wp_runtime_tasks_total");
+/// `par_map_indexed` invocations (batches), including sequential ones.
+static OBS_BATCHES: LazyCounter = LazyCounter::new("wp_runtime_batches_total");
+/// Thread count resolved by the most recent batch.
+static OBS_THREADS: LazyGauge = LazyGauge::new("wp_runtime_threads");
+/// Wall time of each batch, scheduling included.
+static OBS_BATCH_SPAN: LazySpan = LazySpan::new("wp_runtime_batch");
+
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -104,7 +115,12 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = thread_count().min(n);
+    OBS_BATCHES.add(1);
+    OBS_TASKS.add(n as u64);
+    let _span = OBS_BATCH_SPAN.start();
+    let available = thread_count();
+    OBS_THREADS.set(available as u64);
+    let threads = available.min(n);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }

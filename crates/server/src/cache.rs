@@ -19,6 +19,31 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use wp_obs::LazyCounter;
+
+/// `wp-obs` counters for one named cache instance. The series names are
+/// `const` so hot-path recording never allocates; the cache only touches
+/// them when observability is enabled.
+pub struct CacheObs {
+    /// Lookups served from memory.
+    pub hits: LazyCounter,
+    /// Lookups that missed.
+    pub misses: LazyCounter,
+    /// Entries displaced by a capacity eviction.
+    pub evictions: LazyCounter,
+}
+
+impl CacheObs {
+    /// Counters for the cache labeled `name`; meant for `static` use.
+    pub const fn new(hits: &'static str, misses: &'static str, evictions: &'static str) -> Self {
+        Self {
+            hits: LazyCounter::new(hits),
+            misses: LazyCounter::new(misses),
+            evictions: LazyCounter::new(evictions),
+        }
+    }
+}
+
 struct Entry<V> {
     value: Arc<V>,
     last_used: AtomicU64,
@@ -35,6 +60,7 @@ pub struct LruCache<K, V> {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    obs: Option<&'static CacheObs>,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -48,7 +74,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// [`LruCache::new`], additionally mirroring hit/miss/eviction counts
+    /// into the given `wp-obs` counters (inert while obs is disabled).
+    pub fn with_obs(capacity: usize, obs: &'static CacheObs) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.obs = Some(obs);
+        cache
     }
 
     /// Looks `key` up, refreshing its recency. Counts a hit or miss.
@@ -59,10 +94,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             Some(entry) => {
                 entry.last_used.fetch_max(tick, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.obs {
+                    obs.hits.add(1);
+                }
                 Some(Arc::clone(&entry.value))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = self.obs {
+                    obs.misses.add(1);
+                }
                 None
             }
         }
@@ -82,6 +123,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 inner.map.remove(&evict);
+                if let Some(obs) = self.obs {
+                    obs.evictions.add(1);
+                }
             }
         }
         inner.map.insert(

@@ -13,6 +13,12 @@ use std::io::{BufRead, Write};
 /// client bug, not a workload.
 pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
+/// Upper bound on one request-line or header line (terminator excluded).
+/// Enforced *while* reading: a peer streaming bytes without a newline is
+/// rejected after at most this much buffering, not after exhausting
+/// memory.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
 /// One parsed request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -46,7 +52,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     loop {
@@ -61,9 +67,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| format!("bad Content-Length '{value}'"))?;
+                // Duplicates that agree are harmless repetition;
+                // duplicates that disagree are a request-smuggling shape
+                // (RFC 9112 §6.3) and must not be resolved by picking one.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(format!(
+                        "conflicting duplicate Content-Length headers ({} vs {parsed})",
+                        content_length.unwrap_or(0),
+                    ));
+                }
+                content_length = Some(parsed);
             }
             "connection" => {
                 let v = value.to_ascii_lowercase();
@@ -80,6 +96,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String
         }
     }
 
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(format!("body of {content_length} bytes exceeds limit"));
     }
@@ -99,18 +116,53 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String
 
 /// Reads one CRLF (or bare LF) terminated line as UTF-8, without the
 /// terminator. `Ok(None)` on EOF before any byte.
+///
+/// The [`MAX_LINE_BYTES`] cap is enforced incrementally against the
+/// buffered prefix, so a peer streaming a newline-less byte flood is
+/// rejected after buffering at most one cap's worth of data. The
+/// accept/reject verdict depends only on the byte stream, never on how
+/// the transport chunks it: a line is rejected exactly when more than
+/// `MAX_LINE_BYTES + 2` bytes precede its newline (`+ 2` leaves room for
+/// the `\r` of a maximal CRLF line) or when the trimmed content exceeds
+/// `MAX_LINE_BYTES`.
 fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, String> {
     let mut raw = Vec::new();
-    let n = reader
-        .read_until(b'\n', &mut raw)
-        .map_err(|e| format!("reading header line: {e}"))?;
-    if n == 0 {
-        return Ok(None);
+    loop {
+        let chunk = reader
+            .fill_buf()
+            .map_err(|e| format!("reading header line: {e}"))?;
+        if chunk.is_empty() {
+            // EOF: before any byte it is a clean close; mid-line, the
+            // partial line is handed up (the caller decides what an
+            // unterminated line means).
+            if raw.is_empty() {
+                return Ok(None);
+            }
+            break;
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if raw.len() + pos > MAX_LINE_BYTES + 2 {
+                    return Err("header line exceeds 8 KiB".to_string());
+                }
+                raw.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = chunk.len();
+                if raw.len() + len > MAX_LINE_BYTES + 2 {
+                    return Err("header line exceeds 8 KiB".to_string());
+                }
+                raw.extend_from_slice(chunk);
+                reader.consume(len);
+            }
+        }
     }
-    while matches!(raw.last(), Some(b'\n' | b'\r')) {
+    while raw.last() == Some(&b'\r') {
         raw.pop();
     }
-    if raw.len() > 8 * 1024 {
+    if raw.len() > MAX_LINE_BYTES {
         return Err("header line exceeds 8 KiB".to_string());
     }
     String::from_utf8(raw)
@@ -142,8 +194,22 @@ pub fn render_response(
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> Vec<u8> {
+    render_response_typed(status, body, keep_alive, "application/json", extra_headers)
+}
+
+/// [`render_response`] with an explicit `Content-Type` — the `/metrics`
+/// endpoint serves Prometheus text exposition, everything else JSON.
+/// With `content_type = "application/json"` the output is byte-identical
+/// to [`render_response`].
+pub fn render_response_typed(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -239,6 +305,57 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_duplicate_content_length_is_rejected() {
+        // last-wins would read 3 bytes of an 11-byte body and leave the
+        // rest to be parsed as the next request — a smuggling primitive
+        let err = parse(
+            "POST / HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 3\r\n\r\n{\"runs\":[]}",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("conflicting duplicate Content-Length"),
+            "{err}"
+        );
+        // agreeing duplicates are harmless and still accepted
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, "abc");
+    }
+
+    #[test]
+    fn header_lines_are_capped() {
+        // exactly at the cap (plus CRLF) parses...
+        let ok = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_LINE_BYTES - 7)
+        );
+        assert!(parse(&ok).unwrap().is_some());
+        // ...one line over the cap does not
+        let over = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_LINE_BYTES)
+        );
+        let err = parse(&over).unwrap_err();
+        assert!(err.contains("exceeds 8 KiB"), "{err}");
+    }
+
+    #[test]
+    fn newline_less_flood_is_rejected_without_unbounded_buffering() {
+        // a peer streaming bytes with no '\n': read_line must reject
+        // after roughly one cap's worth, not buffer the whole stream
+        let flood = 1024 * 1024u64;
+        let mut reader = BufReader::new(std::io::Read::take(std::io::repeat(b'A'), flood));
+        let err = read_request(&mut reader).unwrap_err();
+        assert!(err.contains("exceeds 8 KiB"), "{err}");
+        let consumed = flood - reader.into_inner().limit();
+        assert!(
+            consumed <= 4 * MAX_LINE_BYTES as u64,
+            "cap must bound buffering: consumed {consumed} bytes of a 1 MiB flood"
+        );
+    }
+
+    #[test]
     fn response_is_well_formed() {
         let mut out = Vec::new();
         write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
@@ -254,5 +371,18 @@ mod tests {
         assert_eq!(reason(400), "Bad Request");
         assert_eq!(reason(404), "Not Found");
         assert_eq!(reason(418), "Unknown");
+    }
+
+    #[test]
+    fn typed_render_matches_json_render_and_carries_the_type() {
+        let json = render_response(200, "{}", true, &[]);
+        let typed = render_response_typed(200, "{}", true, "application/json", &[]);
+        assert_eq!(json, typed);
+        let text = render_response_typed(200, "m 1\n", false, "text/plain; version=0.0.4", &[]);
+        let head = String::from_utf8(text).unwrap();
+        assert!(
+            head.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{head}"
+        );
     }
 }

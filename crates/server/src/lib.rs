@@ -68,6 +68,13 @@ pub struct ServerConfig {
     /// disabled: no injector is constructed and the serving path is the
     /// exact pre-fault code.
     pub faults: FaultPlan,
+    /// Observability: when `true`, [`Server::start`] enables the global
+    /// `wp-obs` registry and the service routes `GET /metrics`
+    /// (Prometheus text exposition). Disabled (the default), every
+    /// instrumentation site is a single relaxed load and all responses —
+    /// `/metrics` included, as a 404 — are byte-identical to a server
+    /// built before the observability layer existed.
+    pub obs: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +89,7 @@ impl Default for ServerConfig {
                 ..PipelineConfig::default()
             },
             faults: FaultPlan::default(),
+            obs: false,
         }
     }
 }
@@ -105,12 +113,17 @@ impl Server {
             .faults
             .is_enabled()
             .then(|| Arc::new(FaultInjector::new(config.faults.clone())));
-        let state = Arc::new(ServiceState::new(
+        if config.obs {
+            wp_obs::enable();
+        }
+        let mut state = ServiceState::new(
             corpus,
             config.pipeline.clone(),
             config.compute_threads,
             config.cache_capacity,
-        )?);
+        )?;
+        state.obs = config.obs;
+        let state = Arc::new(state);
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         let addr = listener
@@ -299,7 +312,18 @@ fn handle_connection(
         } else {
             &[]
         };
-        let bytes = http::render_response(status, &body, keep_alive, extra);
+        // The one non-JSON response in the service: a successful metrics
+        // scrape is Prometheus text. The branch only exists with obs on.
+        let content_type = if state.obs
+            && status == 200
+            && request.method == "GET"
+            && request.path == "/metrics"
+        {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
+        let bytes = http::render_response_typed(status, &body, keep_alive, content_type, extra);
         match write_faulted(&mut writer, &bytes, &faults.write) {
             Ok(true) => return shutdown_requested, // fault closed the connection
             Ok(false) => {}

@@ -23,9 +23,20 @@ use wp_similarity::repr::{extract, RunFeatureData};
 use wp_telemetry::io::run_from_json;
 use wp_telemetry::{ExperimentRun, FeatureId};
 
-use crate::cache::LruCache;
+use crate::cache::{CacheObs, LruCache};
 use crate::http::Request;
 use crate::stats::ServerStats;
+
+static RESPONSES_OBS: CacheObs = CacheObs::new(
+    "wp_server_cache_hits_total{cache=\"responses\"}",
+    "wp_server_cache_misses_total{cache=\"responses\"}",
+    "wp_server_cache_evictions_total{cache=\"responses\"}",
+);
+static REF_DATA_OBS: CacheObs = CacheObs::new(
+    "wp_server_cache_hits_total{cache=\"ref_data\"}",
+    "wp_server_cache_misses_total{cache=\"ref_data\"}",
+    "wp_server_cache_evictions_total{cache=\"ref_data\"}",
+);
 
 /// An error mapped to an HTTP status + JSON `{"error": ...}` body.
 #[derive(Debug)]
@@ -68,6 +79,10 @@ pub struct ServiceState {
     pub responses: LruCache<String, String>,
     /// Request accounting.
     pub stats: ServerStats,
+    /// Whether this instance serves `GET /metrics`. Off by default; when
+    /// off, routing is byte-identical to a build without the endpoint
+    /// (`/metrics` stays an ordinary 404).
+    pub obs: bool,
 }
 
 impl ServiceState {
@@ -96,9 +111,10 @@ impl ServiceState {
             config,
             index,
             compute_threads,
-            ref_data: LruCache::new(cache_capacity),
-            responses: LruCache::new(cache_capacity),
+            ref_data: LruCache::with_obs(cache_capacity, &REF_DATA_OBS),
+            responses: LruCache::with_obs(cache_capacity, &RESPONSES_OBS),
             stats: ServerStats::default(),
+            obs: false,
         })
     }
 
@@ -131,6 +147,13 @@ pub fn handle(state: &ServiceState, req: &Request) -> (u16, String) {
 
 fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
     match (req.method.as_str(), req.path.as_str()) {
+        // Observability surface: only routed when enabled, so a disabled
+        // server's response to `/metrics` is the pre-existing 404.
+        ("GET", "/metrics") if state.obs => Ok(wp_obs::snapshot().render_prometheus()),
+        (_, "/metrics") if state.obs => Err(ServiceError {
+            status: 405,
+            message: format!("{} only supports GET", req.path),
+        }),
         ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/corpus") => Ok(corpus_info(state)),
         ("POST", "/corpus") => validate_corpus(&req.body),

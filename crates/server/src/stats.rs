@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use wp_json::{obj, Json};
 use wp_linalg::stats::nearest_rank;
+use wp_obs::{LazyCounter, LazySpan};
 
 /// The routes the service accounts for, in display order.
 pub const ENDPOINTS: [&str; 7] = [
@@ -28,6 +29,43 @@ pub const ENDPOINTS: [&str; 7] = [
 
 /// Latency samples retained per endpoint for the percentile snapshot.
 const RING_SIZE: usize = 1024;
+
+/// `wp-obs` series for one endpoint. Names are baked-in literals —
+/// parallel to [`ENDPOINTS`] — so the request path never allocates a
+/// label string.
+struct EndpointObs {
+    requests: LazyCounter,
+    errors: LazyCounter,
+    latency: LazySpan,
+}
+
+macro_rules! endpoint_obs {
+    ($label:literal) => {
+        EndpointObs {
+            requests: LazyCounter::new(concat!(
+                "wp_server_requests_total{endpoint=\"",
+                $label,
+                "\"}"
+            )),
+            errors: LazyCounter::new(concat!("wp_server_errors_total{endpoint=\"", $label, "\"}")),
+            latency: LazySpan::new(concat!("wp_server_request{endpoint=\"", $label, "\"}")),
+        }
+    };
+}
+
+/// One entry per [`ENDPOINTS`] slot, same order.
+static OBS_ENDPOINTS: [EndpointObs; ENDPOINTS.len()] = [
+    endpoint_obs!("/healthz"),
+    endpoint_obs!("/corpus"),
+    endpoint_obs!("/fingerprint"),
+    endpoint_obs!("/similar"),
+    endpoint_obs!("/predict"),
+    endpoint_obs!("/stats"),
+    endpoint_obs!("other"),
+];
+
+/// Connections accepted by the worker pool.
+static OBS_CONNECTIONS: LazyCounter = LazyCounter::new("wp_server_connections_total");
 
 struct EndpointCounters {
     requests: AtomicU64,
@@ -87,7 +125,8 @@ impl ServerStats {
     /// Records one handled request: its route, wall time, and whether the
     /// response was an error (status >= 400).
     pub fn record(&self, path: &str, elapsed_ns: u64, is_error: bool) {
-        let c = &self.endpoints[Self::slot(path)];
+        let i = Self::slot(path);
+        let c = &self.endpoints[i];
         c.requests.fetch_add(1, Ordering::Relaxed);
         c.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         c.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
@@ -96,11 +135,18 @@ impl ServerStats {
         if is_error {
             c.errors.fetch_add(1, Ordering::Relaxed);
         }
+        let obs = &OBS_ENDPOINTS[i];
+        obs.requests.add(1);
+        obs.latency.observe_ns(elapsed_ns);
+        if is_error {
+            obs.errors.add(1);
+        }
     }
 
     /// Records one accepted connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        OBS_CONNECTIONS.add(1);
     }
 
     /// Total requests across all endpoints.

@@ -145,6 +145,55 @@ fn fire(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
     response
 }
 
+/// Regression: a request line streamed without a newline must be
+/// rejected at the parser's 8 KiB cap, not buffered until the peer
+/// relents. Before the incremental cap, the server accepted (and held in
+/// memory) the entire flood and only measured the line afterwards — this
+/// test then saw every write succeed; now the server answers 400 and
+/// closes after roughly one cap's worth, so the flood's writes start
+/// failing long before it completes.
+#[test]
+fn newline_less_header_flood_is_rejected_early() {
+    let server = start_server();
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    const FLOOD: usize = 8 * 1024 * 1024;
+    let chunk = [b'A'; 4096];
+    let mut sent = 0usize;
+    while sent < FLOOD {
+        match stream.write(&chunk) {
+            Ok(n) => sent += n,
+            Err(_) => break, // server already rejected and closed
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    assert!(
+        sent < FLOOD / 2,
+        "server kept reading a newline-less stream: accepted {sent} of {FLOOD} bytes"
+    );
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response); // a reset counts as closed
+    if !response.is_empty() {
+        let head = String::from_utf8_lossy(&response);
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    // the flood must not have wedged the worker
+    let health = fire(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(
+        String::from_utf8_lossy(&health).starts_with("HTTP/1.1 200"),
+        "server unhealthy after the flood"
+    );
+    server.shutdown();
+}
+
 #[test]
 fn live_server_answers_or_closes_on_every_mutant() {
     let server = start_server();

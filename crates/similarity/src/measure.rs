@@ -2,8 +2,13 @@
 //! matrices.
 
 use wp_linalg::Matrix;
+use wp_obs::LazyCounter;
 
 use crate::{dtw, lcss, norms};
+
+/// Exact pairwise distance evaluations through [`Measure::apply`] /
+/// [`Measure::apply_banded`] — the pipeline's hottest operation.
+static OBS_DISTANCE_CALLS: LazyCounter = LazyCounter::new("wp_similarity_distance_calls_total");
 
 /// A matrix norm usable with any representation (§5.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +111,7 @@ impl Measure {
 
     /// Applies the measure to a pair of fingerprints.
     pub fn apply(self, a: &Matrix, b: &Matrix) -> f64 {
+        OBS_DISTANCE_CALLS.add(1);
         match self {
             Measure::Norm(n) => n.apply(a, b),
             Measure::DtwDependent => dtw::dtw_dependent(a, b),
@@ -124,8 +130,16 @@ impl Measure {
     /// distance, so bound and exact fallback must agree on the window.
     pub fn apply_banded(self, a: &Matrix, b: &Matrix, band: Option<usize>) -> f64 {
         match self {
-            Measure::DtwDependent => dtw::dtw_dependent_banded(a, b, band),
-            Measure::DtwIndependent => dtw::dtw_independent_banded(a, b, band),
+            // `other.apply` below counts itself; count only the banded
+            // DTW paths here so no call is recorded twice.
+            Measure::DtwDependent => {
+                OBS_DISTANCE_CALLS.add(1);
+                dtw::dtw_dependent_banded(a, b, band)
+            }
+            Measure::DtwIndependent => {
+                OBS_DISTANCE_CALLS.add(1);
+                dtw::dtw_independent_banded(a, b, band)
+            }
             other => other.apply(a, b),
         }
     }
