@@ -1,18 +1,23 @@
 //! Workload-similarity index benchmark — the acceptance experiment for
 //! the `wp-index` pruning cascade.
 //!
-//! Two scenarios, each across growing corpus sizes:
+//! Three scenarios, each across growing corpus sizes:
 //!
 //! * **Hist-FP / L2,1-Norm** — the pipeline's default similarity setting
 //!   (pivot + PAA pruning).
 //! * **MTS / Dependent-DTW (band 8)** — the elastic-measure setting
-//!   (LB_Kim + LB_Keogh pruning against the banded distance).
+//!   (LB_Kim + LB_Keogh pruning, early-abandoning exact fallback).
+//! * **MTS / Independent-DTW (band 8)** — the per-dimension elastic
+//!   setting, the same kernel family `exp_speedup` gates on.
 //!
 //! Every (scenario, size) cell verifies that the indexed top-k is
 //! byte-identical to brute force, then reports the latency of both
 //! approaches and the cascade's pruning counters. Results land in
-//! `BENCH_index.json`; the run fails if any corpus of size >= 64 prunes
-//! half or fewer of its exact distance computations.
+//! `BENCH_index.json`. The run fails if any corpus of size >= 64 prunes
+//! half or fewer of its exact distance computations, or if a DTW
+//! scenario at size >= 64 never fires LB_Kim or LB_Keogh (a dead
+//! lower-bound cascade prunes only via early abandoning, which still
+//! pays for partial warping tables).
 
 use wp_bench::default_sim;
 use wp_bench::indexbench::{fingerprints, run_scenario, ScenarioResult};
@@ -29,11 +34,19 @@ fn main() {
     let mut sim = default_sim();
     sim.config.samples = 60;
 
-    let scenarios: [(&str, Measure, IndexConfig); 2] = [
+    let scenarios: [(&str, Measure, IndexConfig); 3] = [
         ("Hist-FP", Measure::Norm(Norm::L21), IndexConfig::default()),
         (
             "MTS",
             Measure::DtwDependent,
+            IndexConfig {
+                band: Some(8),
+                ..IndexConfig::default()
+            },
+        ),
+        (
+            "MTS",
+            Measure::DtwIndependent,
             IndexConfig {
                 band: Some(8),
                 ..IndexConfig::default()
@@ -64,8 +77,11 @@ fn main() {
         }
     }
 
-    // Acceptance gate: at corpus size >= 64, the cascade must discard
-    // more than half of the would-be exact distance computations.
+    // Acceptance gates, both at corpus size >= 64: the cascade must
+    // discard more than half of the would-be exact distance
+    // computations, and on DTW scenarios the cheap lower bounds
+    // (LB_Kim, LB_Keogh) must actually fire — pruning carried entirely
+    // by early abandoning means the bound stages are dead weight.
     let mut ok = true;
     for r in results.iter().filter(|r| r.corpus_size >= 64) {
         if r.stats.pruned_fraction() <= 0.5 {
@@ -75,6 +91,14 @@ fn main() {
                 r.measure,
                 r.corpus_size,
                 r.stats.pruned_fraction() * 100.0
+            );
+            ok = false;
+        }
+        if r.measure.contains("DTW") && r.stats.pruned_kim + r.stats.pruned_keogh == 0 {
+            eprintln!(
+                "FAIL: {} / {} at n={}: LB_Kim and LB_Keogh never pruned \
+                 a candidate (dead lower-bound cascade)",
+                r.scenario, r.measure, r.corpus_size
             );
             ok = false;
         }

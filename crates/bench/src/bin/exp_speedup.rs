@@ -1,18 +1,33 @@
-//! Parallel-runtime speedup experiment — the acceptance benchmark for
-//! the wp-runtime pool.
+//! Distance-matrix speedup experiment — the acceptance benchmark for
+//! the optimized DTW path (wavefront kernels + the wp-runtime pool).
 //!
 //! Simulates 60 workload runs, builds their MTS fingerprints, and times
-//! the Independent-DTW pairwise distance matrix sequentially
-//! (`WP_THREADS=1` via `with_thread_count`) and on the full pool. The
-//! two matrices must be bit-identical — the pool reduces in index
-//! order — and the wall-clock ratio is the realized speedup. Results
-//! land in `BENCH_runtime.json` alongside a human-readable summary on
-//! stdout.
+//! the Independent-DTW pairwise distance matrix three ways:
+//!
+//! 1. **naive sequential** — the textbook rolling-row kernels from
+//!    [`wp_similarity::dtw::naive`] in a plain double loop (the
+//!    pre-optimization implementation, kept as the reference oracle);
+//! 2. **optimized sequential** — the production anti-diagonal wavefront
+//!    kernels with `WP_THREADS=1`, isolating the kernel speedup;
+//! 3. **optimized parallel** — the production path on the full pool,
+//!    what the pipeline actually runs.
+//!
+//! All three matrices must be bit-identical. The headline `speedup` is
+//! naive-sequential over optimized-parallel — the user-visible win on
+//! the production path — and is what the CI `perf` job gates on.
+//!
+//! The run **fails** (non-zero exit) when:
+//! * any matrix differs from the naive reference (`bit_identical`), or
+//! * the parallel run is meaningfully slower than the sequential run of
+//!   the same kernels *on a multi-core machine* — a pool scheduling
+//!   regression. On a single-core machine parallelism cannot win, so
+//!   the check is reported but not enforced.
 
 use std::time::Instant;
 
 use wp_bench::{default_sim, standardized_workloads};
 use wp_json::obj;
+use wp_linalg::Matrix;
 use wp_similarity::measure::{try_distance_matrix, Measure};
 use wp_similarity::repr::{extract, mts};
 use wp_telemetry::FeatureSet;
@@ -21,6 +36,26 @@ use wp_workloads::Sku;
 
 const N_RUNS: usize = 60;
 const OUT_PATH: &str = "BENCH_runtime.json";
+
+/// Tolerated parallel-vs-sequential slowdown before the run fails on a
+/// multi-core machine (scheduling jitter, not a regression).
+const PAR_REGRESSION_TOLERANCE: f64 = 1.10;
+
+/// The naive baseline: sequential double loop over the reference
+/// rolling-row kernels. No pool, no wavefront, no scratch reuse — the
+/// implementation the optimized path is measured against.
+fn naive_distance_matrix(fps: &[Matrix]) -> Matrix {
+    let n = fps.len();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = wp_similarity::dtw::naive::dtw_independent(&fps[i], &fps[j]);
+            d[(i, j)] = v;
+            d[(j, i)] = v;
+        }
+    }
+    d
+}
 
 fn main() {
     let mut sim = default_sim();
@@ -54,21 +89,37 @@ fn main() {
     );
 
     let start = Instant::now();
-    let seq = wp_runtime::with_thread_count(1, || {
+    let naive = naive_distance_matrix(&fps);
+    let naive_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let opt_seq = wp_runtime::with_thread_count(1, || {
         try_distance_matrix(&fps, Measure::DtwIndependent).unwrap()
     });
-    let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+    let opt_seq_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let threads = wp_runtime::thread_count();
     let start = Instant::now();
     let par = try_distance_matrix(&fps, Measure::DtwIndependent).unwrap();
     let par_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    assert_eq!(seq, par, "parallel distance matrix must be bit-identical");
-    let speedup = seq_ms / par_ms;
-    println!("sequential: {seq_ms:9.1} ms");
-    println!("parallel:   {par_ms:9.1} ms  ({threads} threads)");
-    println!("speedup:    {speedup:9.2}x  (bit-identical output)");
+    assert_eq!(
+        naive, opt_seq,
+        "wavefront kernels must be bit-identical to the naive reference"
+    );
+    assert_eq!(
+        opt_seq, par,
+        "parallel distance matrix must be bit-identical to sequential"
+    );
+
+    let speedup = naive_ms / par_ms;
+    let kernel_speedup = naive_ms / opt_seq_ms;
+    let parallel_speedup = opt_seq_ms / par_ms;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("naive sequential:     {naive_ms:9.1} ms  (rolling-row reference)");
+    println!("optimized sequential: {opt_seq_ms:9.1} ms  ({kernel_speedup:.2}x kernel)");
+    println!("optimized parallel:   {par_ms:9.1} ms  ({threads} threads, {cores} cores)");
+    println!("speedup:              {speedup:9.2}x  (bit-identical output)");
 
     let doc = obj! {
         "experiment" => "distance_matrix_dtw_independent",
@@ -76,11 +127,34 @@ fn main() {
         "samples_per_run" => fps[0].rows(),
         "features" => fps[0].cols(),
         "threads" => threads,
-        "seq_ms" => seq_ms,
+        "cores" => cores,
+        "naive_seq_ms" => naive_ms,
+        "seq_ms" => opt_seq_ms,
         "par_ms" => par_ms,
         "speedup" => speedup,
+        "kernel_speedup" => kernel_speedup,
+        "parallel_speedup" => parallel_speedup,
         "bit_identical" => true,
     };
     std::fs::write(OUT_PATH, doc.pretty() + "\n").expect("write BENCH_runtime.json");
     println!("wrote {OUT_PATH}");
+
+    // A parallel run slower than the same kernels run sequentially is a
+    // pool regression — fail loudly so local runs catch what CI catches.
+    // Only enforceable where parallelism can win at all: with a single
+    // core (or a single-thread configuration) the pool's overhead is
+    // expected, so report it and move on.
+    if par_ms > opt_seq_ms * PAR_REGRESSION_TOLERANCE {
+        if cores > 1 && threads > 1 {
+            eprintln!(
+                "FAIL: parallel run ({par_ms:.1} ms on {threads} threads) is slower than \
+                 sequential ({opt_seq_ms:.1} ms) on a {cores}-core machine — pool regression"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "note: parallel ({par_ms:.1} ms) not faster than sequential ({opt_seq_ms:.1} ms); \
+             expected with {cores} core(s) / {threads} thread(s), not treated as a regression"
+        );
+    }
 }

@@ -142,7 +142,57 @@ pub(crate) struct Envelope {
     pub(crate) upper: Matrix,
 }
 
+/// Streaming (Lemire) envelope: one monotonic deque per extremum keeps
+/// the window minimum/maximum as the window slides, so each element is
+/// pushed and popped at most once — O(rows) per column instead of the
+/// O(rows·w) rescans of [`naive_envelope`]. Element-wise identical to
+/// the naive scan (both report the exact window extremum; no arithmetic
+/// is involved, only comparisons).
 pub(crate) fn envelope(fp: &Matrix, w: usize) -> Envelope {
+    let (rows, cols) = fp.shape();
+    let mut lower = Matrix::zeros(rows, cols);
+    let mut upper = Matrix::zeros(rows, cols);
+    // deques hold row indices; values at minq indices are increasing,
+    // at maxq indices decreasing — the front is the window extremum
+    let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for k in 0..cols {
+        minq.clear();
+        maxq.clear();
+        let mut arrived = 0usize; // rows pushed into the deques so far
+        for i in 0..rows {
+            let hi = (i + w).min(rows - 1);
+            while arrived <= hi {
+                let v = fp[(arrived, k)];
+                while matches!(minq.back(), Some(&b) if fp[(b, k)] > v) {
+                    minq.pop_back();
+                }
+                minq.push_back(arrived);
+                while matches!(maxq.back(), Some(&b) if fp[(b, k)] < v) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(arrived);
+                arrived += 1;
+            }
+            let lo = i.saturating_sub(w);
+            while matches!(minq.front(), Some(&f) if f < lo) {
+                minq.pop_front();
+            }
+            while matches!(maxq.front(), Some(&f) if f < lo) {
+                maxq.pop_front();
+            }
+            lower[(i, k)] = fp[(minq[0], k)];
+            upper[(i, k)] = fp[(maxq[0], k)];
+        }
+    }
+    Envelope { lower, upper }
+}
+
+/// Reference O(rows·w) envelope: rescans the full window per row. Kept
+/// as the oracle the streaming implementation is property-tested
+/// against.
+#[cfg(test)]
+pub(crate) fn naive_envelope(fp: &Matrix, w: usize) -> Envelope {
     let (rows, cols) = fp.shape();
     let mut lower = Matrix::zeros(rows, cols);
     let mut upper = Matrix::zeros(rows, cols);
@@ -351,6 +401,36 @@ mod tests {
             let ind = Measure::LcssIndependent { epsilon: eps }.apply(&a, &b);
             assert!(lb_lcss_dependent(&a, &mm, eps, b.rows()) <= dep + 1e-9);
             assert!(lb_lcss_independent(&a, &mm, eps, b.rows()) <= ind + 1e-9);
+        }
+    }
+
+    #[test]
+    fn streaming_envelope_matches_naive_elementwise() {
+        // the Lemire deque envelope must agree with the O(rows·w)
+        // rescan on every element, for random series, shapes, and band
+        // widths (including w = 0, w >= rows, and single-row series)
+        for seed in 0..30u64 {
+            for &(rows, cols) in &[(1usize, 1usize), (2, 3), (13, 2), (40, 4), (64, 1)] {
+                let fp = mat(seed.wrapping_add(rows as u64 * 101), rows, cols);
+                for w in [0usize, 1, 2, 5, rows / 2, rows, rows + 7] {
+                    let fast = envelope(&fp, w);
+                    let slow = naive_envelope(&fp, w);
+                    for i in 0..rows {
+                        for k in 0..cols {
+                            assert_eq!(
+                                fast.lower[(i, k)].to_bits(),
+                                slow.lower[(i, k)].to_bits(),
+                                "lower seed={seed} {rows}x{cols} w={w} at ({i},{k})"
+                            );
+                            assert_eq!(
+                                fast.upper[(i, k)].to_bits(),
+                                slow.upper[(i, k)].to_bits(),
+                                "upper seed={seed} {rows}x{cols} w={w} at ({i},{k})"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -25,8 +25,9 @@
 //!   ├───────────────────────┤
 //!   │ 5. ε-envelope   O(T·K)│  LCSS: matchable-point count
 //!   ├───────────────────────┤
-//!   │ 6. exact measure      │  only for survivors
-//!   └───────────────────────┘
+//!   │ 6. exact measure      │  only for survivors; DTW survivors run
+//!   └───────────────────────┘  the early-abandoning kernel, which may
+//!                              still bail mid-table (stage "ea")
 //! ```
 //!
 //! **Exactness.** A candidate is pruned only when a lower bound on its
@@ -64,12 +65,13 @@ static OBS_CANDIDATES: LazyCounter = LazyCounter::new("wp_index_candidates_total
 /// Candidates that survived every bound and paid for an exact distance.
 static OBS_EXACT: LazyCounter = LazyCounter::new("wp_index_exact_total");
 /// Candidates discarded, by the cascade stage whose bound fired.
-static OBS_PRUNED: [LazyCounter; 5] = [
+static OBS_PRUNED: [LazyCounter; 6] = [
     LazyCounter::new("wp_index_pruned_total{stage=\"pivot\"}"),
     LazyCounter::new("wp_index_pruned_total{stage=\"paa\"}"),
     LazyCounter::new("wp_index_pruned_total{stage=\"kim\"}"),
     LazyCounter::new("wp_index_pruned_total{stage=\"keogh\"}"),
     LazyCounter::new("wp_index_pruned_total{stage=\"lcss\"}"),
+    LazyCounter::new("wp_index_pruned_total{stage=\"ea\"}"),
 ];
 
 /// Tuning knobs for [`Index::build`]. The defaults are safe for every
@@ -85,6 +87,13 @@ pub struct IndexConfig {
     pub paa_segments: usize,
     /// Number of triangle-inequality pivots for metric norms.
     pub pivots: usize,
+    /// Run the early-abandoning DTW kernel for cascade survivors,
+    /// passing the current k-th best distance as the abandon threshold.
+    /// Never changes results (the kernel abandons only when the distance
+    /// provably exceeds the threshold *strictly*, and a threshold tie
+    /// loses to the smaller corpus index already in the top-k); on by
+    /// default, switchable off for A/B benchmarking.
+    pub early_abandon: bool,
 }
 
 impl Default for IndexConfig {
@@ -93,6 +102,7 @@ impl Default for IndexConfig {
             band: None,
             paa_segments: 8,
             pivots: 4,
+            early_abandon: true,
         }
     }
 }
@@ -123,15 +133,27 @@ pub struct SearchStats {
     pub pruned_keogh: usize,
     /// Discarded by the LCSS ε-envelope match-count bound.
     pub pruned_lcss: usize,
-    /// Exact distance computations (including the query-to-pivot
-    /// distances, which double as exact candidate distances).
+    /// Discarded mid-table by the early-abandoning DTW kernel: the
+    /// partial warping table already proved the distance exceeds the
+    /// k-th best, so the evaluation stopped without a full exact
+    /// computation.
+    pub pruned_ea: usize,
+    /// Completed exact distance computations (including the
+    /// query-to-pivot distances, which double as exact candidate
+    /// distances).
     pub exact: usize,
 }
 
 impl SearchStats {
-    /// Total candidates discarded without an exact computation.
+    /// Total candidates discarded without a *completed* exact
+    /// computation (early-abandoned evaluations count as pruned).
     pub fn pruned(&self) -> usize {
-        self.pruned_pivot + self.pruned_paa + self.pruned_kim + self.pruned_keogh + self.pruned_lcss
+        self.pruned_pivot
+            + self.pruned_paa
+            + self.pruned_kim
+            + self.pruned_keogh
+            + self.pruned_lcss
+            + self.pruned_ea
     }
 
     /// Fraction of candidates discarded without an exact computation,
@@ -161,6 +183,7 @@ impl SearchStats {
             self.pruned_kim,
             self.pruned_keogh,
             self.pruned_lcss,
+            self.pruned_ea,
         ]) {
             counter.add(pruned as u64);
         }
@@ -174,6 +197,7 @@ impl SearchStats {
         self.pruned_kim += other.pruned_kim;
         self.pruned_keogh += other.pruned_keogh;
         self.pruned_lcss += other.pruned_lcss;
+        self.pruned_ea += other.pruned_ea;
         self.exact += other.exact;
     }
 }
@@ -437,9 +461,20 @@ impl Index {
             if self.prune(entry, query, &q_pivot, qpaa.as_ref(), threshold, &mut stats) {
                 continue;
             }
-            let d = self.exact(query, &entry.fp);
-            stats.exact += 1;
-            push_best(&mut best, k, d, i);
+            // Survivors pay for the exact measure — through the
+            // early-abandoning kernel when the measure supports it, with
+            // the same k-th best as the abandon threshold. Abandoning is
+            // tie-safe: it only fires when the distance *strictly*
+            // exceeds the threshold, and a candidate that merely ties
+            // completes and then loses to the smaller corpus index
+            // already in the top-k.
+            match self.exact_or_abandon(query, &entry.fp, threshold) {
+                Some(d) => {
+                    stats.exact += 1;
+                    push_best(&mut best, k, d, i);
+                }
+                None => stats.pruned_ea += 1,
+            }
         }
         let hits = best
             .into_iter()
@@ -533,6 +568,32 @@ impl Index {
     /// The exact (banded, if configured) measure the index serves.
     fn exact(&self, query: &Matrix, fp: &Matrix) -> f64 {
         self.measure.apply_banded(query, fp, self.config.band)
+    }
+
+    /// Exact distance through the early-abandoning DTW kernel when
+    /// enabled and applicable; `None` when the kernel proved the
+    /// distance strictly exceeds `threshold`. Completed evaluations are
+    /// bit-identical to [`Index::exact`]. An infinite threshold (top-k
+    /// not yet full) never abandons; the EA kernel is still preferred
+    /// there because it evaluates dimensions sequentially — one
+    /// candidate is a poor unit of nested parallelism inside the
+    /// already-sequential scan loop.
+    fn exact_or_abandon(&self, query: &Matrix, fp: &Matrix, threshold: f64) -> Option<f64> {
+        use wp_similarity::dtw;
+        if self.config.early_abandon {
+            match self.measure {
+                Measure::DtwDependent => {
+                    return dtw::dtw_dependent_banded_ea(query, fp, self.config.band, threshold)
+                        .exact();
+                }
+                Measure::DtwIndependent => {
+                    return dtw::dtw_independent_banded_ea(query, fp, self.config.band, threshold)
+                        .exact();
+                }
+                _ => {}
+            }
+        }
+        Some(self.exact(query, fp))
     }
 
     fn validate_query(&self, query: &Matrix) -> Result<(), String> {

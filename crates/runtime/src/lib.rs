@@ -47,6 +47,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use wp_obs::{LazyCounter, LazyGauge, LazySpan};
 
+pub mod scratch;
+
 /// Tasks (`f(i)` evaluations) scheduled through [`par_map_indexed`].
 static OBS_TASKS: LazyCounter = LazyCounter::new("wp_runtime_tasks_total");
 /// `par_map_indexed` invocations (batches), including sequential ones.
@@ -125,6 +127,13 @@ where
         return (0..n).map(f).collect();
     }
 
+    // Workers claim *chunks* of contiguous indices rather than single
+    // tasks: one atomic RMW per chunk instead of per task keeps the
+    // claim counter off the critical path for fine-grained workloads
+    // (distance-matrix cells take microseconds each), and contiguous
+    // ranges preserve the cache locality a sequential scan would have.
+    // 8 chunks per worker still load-balances uneven task costs.
+    let chunk = (n / (threads * 8)).max(1);
     let next = AtomicUsize::new(0);
     let mut shards: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
     std::thread::scope(|scope| {
@@ -136,11 +145,13 @@ where
                     IN_WORKER.with(|w| w.set(true));
                     let mut local = Vec::with_capacity(n / threads + 1);
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(i)));
+                        }
                     }
                     local
                 })

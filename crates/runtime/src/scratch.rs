@@ -1,0 +1,87 @@
+//! Worker-local scratch storage.
+//!
+//! Hot kernels (banded DTW, LCSS alignment) need a handful of working
+//! buffers per invocation. Allocating them per call puts the global
+//! allocator on the critical path of every distance evaluation — and
+//! under the pool that contention is shared across workers. This module
+//! gives every thread (pool workers and the caller's thread alike) a
+//! typed slot that survives across calls: the first use allocates, every
+//! later use on the same thread reuses the grown buffers.
+//!
+//! Scratch contents are *working memory only*: kernels must never let
+//! results depend on leftover state, so reuse cannot affect
+//! bit-identity. The type is keyed by [`std::any::TypeId`], one slot per
+//! type per thread.
+//!
+//! Reentrancy: the slot is moved out of the thread-local map for the
+//! duration of the callback, so a nested [`with`] for the *same* type
+//! sees a fresh `T::default()` (and the outer value is restored when the
+//! outer call returns). Nested calls for different types are unaffected.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+thread_local! {
+    static SLOTS: RefCell<BTreeMap<TypeId, Box<dyn Any>>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Runs `f` with a mutable reference to this thread's scratch value of
+/// type `T`, creating it with `T::default()` on first use.
+///
+/// The value persists on the thread after `f` returns, so buffers grown
+/// inside it are reused by the next call — including calls made by pool
+/// workers, each of which owns an independent slot.
+pub fn with<T: Default + 'static, R>(f: impl FnOnce(&mut T) -> R) -> R {
+    let taken = SLOTS.with(|slots| slots.borrow_mut().remove(&TypeId::of::<T>()));
+    let mut value: Box<T> = match taken {
+        Some(any) => any.downcast().expect("scratch slot holds its keyed type"),
+        None => Box::new(T::default()),
+    };
+    let result = f(&mut value);
+    SLOTS.with(|slots| slots.borrow_mut().insert(TypeId::of::<T>(), value));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Buf(Vec<u8>);
+
+    #[test]
+    fn scratch_persists_across_calls_on_one_thread() {
+        with(|b: &mut Buf| b.0.extend_from_slice(&[1, 2, 3]));
+        let len = with(|b: &mut Buf| b.0.len());
+        assert_eq!(len, 3);
+        with(|b: &mut Buf| b.0.clear());
+    }
+
+    #[test]
+    fn threads_have_independent_slots() {
+        #[derive(Default)]
+        struct Counter(u32);
+        with(|c: &mut Counter| c.0 += 10);
+        let other = std::thread::spawn(|| with(|c: &mut Counter| c.0))
+            .join()
+            .unwrap();
+        assert_eq!(other, 0, "fresh thread starts from default");
+        assert_eq!(with(|c: &mut Counter| c.0), 10);
+    }
+
+    #[test]
+    fn nested_same_type_gets_a_fresh_value() {
+        #[derive(Default)]
+        struct Nest(u32);
+        let (outer_before, inner, outer_after) = with(|n: &mut Nest| {
+            n.0 = 7;
+            let inner = with(|m: &mut Nest| {
+                m.0 += 1;
+                m.0
+            });
+            (7, inner, n.0)
+        });
+        assert_eq!((outer_before, inner, outer_after), (7, 1, 7));
+    }
+}

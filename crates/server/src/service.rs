@@ -400,8 +400,10 @@ fn verdicts_to_json(verdicts: &[SimilarityVerdict]) -> Json {
 /// * `"indexed"` — top-k retrieval through the startup-built
 ///   [`CorpusIndex`] pruning cascade (frozen histogram ranges, raw
 ///   measure distances). `"k"` (default 5) bounds the corpus runs
-///   retrieved per posted run. The response carries `"mode"` and `"k"`
-///   so clients can tell the paths apart.
+///   retrieved per posted run. The response carries `"mode"`, `"k"`,
+///   and a `"pruning"` object with the cascade's per-stage counters
+///   (summed over the posted runs), so clients can both tell the paths
+///   apart and see how much work the lower bounds saved.
 fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     match doc.get("mode").and_then(Json::as_str) {
@@ -421,15 +423,25 @@ fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| ServiceError::bad_request("'k' must be a positive integer"))?,
             };
-            let verdicts = state
+            let (verdicts, stats) = state
                 .index
-                .rank_references(&runs, k)
+                .rank_references_with_stats(&runs, k)
                 .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
             Ok(obj! {
                 "mode" => "indexed",
                 "k" => k,
                 "most_similar" => verdicts[0].workload.clone(),
                 "verdicts" => verdicts_to_json(&verdicts),
+                "pruning" => obj! {
+                    "candidates" => stats.candidates,
+                    "pruned_pivot" => stats.pruned_pivot,
+                    "pruned_paa" => stats.pruned_paa,
+                    "pruned_kim" => stats.pruned_kim,
+                    "pruned_keogh" => stats.pruned_keogh,
+                    "pruned_lcss" => stats.pruned_lcss,
+                    "pruned_ea" => stats.pruned_ea,
+                    "exact" => stats.exact,
+                },
             }
             .compact())
         }
@@ -574,6 +586,19 @@ mod tests {
         let doc = Json::parse(&first).unwrap();
         assert_eq!(doc.get("mode").and_then(Json::as_str), Some("indexed"));
         assert_eq!(doc.get("k").and_then(Json::as_usize), Some(3));
+
+        // the cascade counters come back with the response, and every
+        // candidate is accounted for: candidates == Σ pruned + exact
+        let pruning = doc.get("pruning").expect("indexed response has pruning");
+        let stat = |key: &str| pruning.get(key).and_then(Json::as_usize).unwrap();
+        assert!(stat("candidates") > 0, "{first}");
+        let pruned = stat("pruned_pivot")
+            + stat("pruned_paa")
+            + stat("pruned_kim")
+            + stat("pruned_keogh")
+            + stat("pruned_lcss")
+            + stat("pruned_ea");
+        assert_eq!(stat("candidates"), pruned + stat("exact"), "{first}");
 
         // both paths agree on the most similar reference for a clear-cut
         // target (YCSB → TPC-C per §6.2.3)

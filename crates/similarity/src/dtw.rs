@@ -1,4 +1,4 @@
-//! Dynamic Time Warping (§5.1.2).
+//! Dynamic Time Warping (§5.1.2) — UCR-suite-style kernels.
 //!
 //! The dependent variant builds one warping path over the multivariate
 //! series using squared Euclidean point distances across all dimensions;
@@ -15,8 +15,61 @@
 //! unconstrained distance bit-for-bit. The band is what makes the
 //! LB_Keogh envelopes in `wp-index` tight: the envelope of a series under
 //! window `w` lower-bounds exactly the `w`-banded distance.
+//!
+//! # Kernel layout
+//!
+//! The production kernels evaluate the recurrence along *anti-diagonals*
+//! (`i + j = const`). Cells on one anti-diagonal have no data
+//! dependencies on each other — each needs only the two previous
+//! diagonals — so the inner loop is a straight elementwise map the
+//! compiler can autovectorize, where the textbook row-by-row layout
+//! serializes every cell on its left neighbor (`cur[j-1]`, a loop-carried
+//! `min`+`add` chain). The band keeps only three short diagonal slices
+//! live, and [`wp_runtime::scratch`] provides per-thread reusable buffers
+//! so no allocation happens per call. Cell *values* are unchanged: every
+//! cell still computes `d + min(up, left, diag)` over the same IEEE
+//! operands (all non-negative or `+inf`, so `f64::min` is associative and
+//! commutative here), which keeps the result bit-identical to the
+//! reference implementation in [`naive`] — property-tested below.
+//!
+//! # Early abandoning
+//!
+//! The `*_ea` variants thread a caller-supplied upper bound (the current
+//! k-th best distance of a top-k search) through the recurrence: every
+//! warping path crosses at least one of any two consecutive
+//! anti-diagonals, so once the minimum over both exceeds the bound the
+//! final distance provably does too and the kernel returns
+//! [`DtwResult::Abandoned`] without finishing the table. Whenever the
+//! true distance is within the bound the result is bit-identical to the
+//! full computation.
 
 use wp_linalg::Matrix;
+
+/// Outcome of an early-abandoning DTW evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DtwResult {
+    /// The distance, bit-identical to the non-abandoning kernel.
+    Exact(f64),
+    /// The kernel proved the distance strictly exceeds the threshold and
+    /// stopped early; no value is available (none is needed — the caller
+    /// only ever discards abandoned candidates).
+    Abandoned,
+}
+
+impl DtwResult {
+    /// The exact distance, if the evaluation completed.
+    pub fn exact(self) -> Option<f64> {
+        match self {
+            DtwResult::Exact(d) => Some(d),
+            DtwResult::Abandoned => None,
+        }
+    }
+
+    /// True when the kernel abandoned past the threshold.
+    pub fn is_abandoned(self) -> bool {
+        matches!(self, DtwResult::Abandoned)
+    }
+}
 
 /// Effective Sakoe-Chiba half-width for series of lengths `m` and `n`:
 /// the requested window, widened to the length difference so the DP
@@ -29,29 +82,239 @@ fn effective_window(window: Option<usize>, m: usize, n: usize) -> usize {
     }
 }
 
-/// Univariate banded DTW: accumulated squared distance along the optimal
-/// path restricted to the Sakoe-Chiba corridor.
+/// Three rotating anti-diagonal buffers (padded by one slot on each
+/// side) — the only working memory a banded DTW needs. Each buffer
+/// carries the slot span it last wrote, so rotation can invalidate
+/// exactly the stale cells (everything outside a buffer's span is
+/// `+inf` by invariant). Span tracking, rather than edge sentinels,
+/// keeps the invariant through *empty* diagonals: an even band width
+/// leaves every other anti-diagonal without in-band cells (the parity
+/// of `i - j` matches the parity of `i + j`), and the warping path
+/// skips them with a diagonal step.
+#[derive(Default)]
+struct DiagRows {
+    d0: Vec<f64>,
+    d1: Vec<f64>,
+    d2: Vec<f64>,
+    /// Written slot range (start, end-exclusive) of each buffer.
+    s0: (usize, usize),
+    s1: (usize, usize),
+    s2: (usize, usize),
+}
+
+impl DiagRows {
+    /// Resets all three buffers to `+inf` over `len` slots.
+    fn reset(&mut self, len: usize) {
+        for d in [&mut self.d0, &mut self.d1, &mut self.d2] {
+            d.clear();
+            d.resize(len, f64::INFINITY);
+        }
+        self.s0 = (0, 0);
+        self.s1 = (0, 0);
+        self.s2 = (0, 0);
+    }
+
+    /// Rotates `d2 <- d1 <- d0`, reusing the oldest buffer (three
+    /// diagonals back) as the new output `d0` and erasing its stale
+    /// span so leftover values can never leak in as neighbors.
+    fn rotate(&mut self) {
+        std::mem::swap(&mut self.d1, &mut self.d2);
+        std::mem::swap(&mut self.s1, &mut self.s2);
+        std::mem::swap(&mut self.d0, &mut self.d1);
+        std::mem::swap(&mut self.s0, &mut self.s1);
+        for slot in self.s0.0..self.s0.1 {
+            self.d0[slot] = f64::INFINITY;
+        }
+        self.s0 = (0, 0);
+    }
+}
+
+/// Per-thread DTW working memory, provided via [`wp_runtime::scratch`]
+/// so repeated distance evaluations (the index cascade, distance
+/// matrices) never touch the allocator.
+#[derive(Default)]
+struct DtwScratch {
+    rows: DiagRows,
+    /// Column gather for the left series (independent variant).
+    acol: Vec<f64>,
+    /// *Reversed* gather for the right series: along anti-diagonal
+    /// `i + j = s` the `b` index decreases as `i` increases, so storing
+    /// `b` reversed makes both inner-loop accesses unit-stride.
+    brev: Vec<f64>,
+}
+
+/// The anti-diagonal index range on diagonal `s` for an `m x n` table
+/// under band half-width `w`: intersects `0..m`, the diagonal itself,
+/// and `|i - j| <= w`. Both endpoints are non-decreasing in `s` and move
+/// by at most one per step — the invariant the sentinel slots rely on.
+#[inline]
+fn diag_range(s: usize, m: usize, n: usize, w: usize) -> (usize, usize) {
+    let lo = s
+        .saturating_sub(n - 1)
+        .max(if s <= w { 0 } else { (s - w).div_ceil(2) });
+    let hi = (m - 1).min(s).min((s + w) / 2);
+    (lo, hi)
+}
+
+/// Banded DTW on the anti-diagonal layout: accumulated squared distance
+/// along the optimal corridor-restricted path, or `None` when `ea`
+/// proves the distance exceeds its threshold.
+///
+/// `brev` is the right-hand series *reversed*. `ea = (base, limit)`
+/// abandons once `base + sqrt(min over two consecutive diagonals)`
+/// strictly exceeds `limit` — `base` carries the already-accumulated
+/// per-dimension sum of the independent variant (0 otherwise), and the
+/// comparison happens after the square root / addition so the proof
+/// survives floating-point rounding: the computed total is a monotone
+/// function of this partial term.
+fn dtw_sq_diag(
+    a: &[f64],
+    brev: &[f64],
+    w: usize,
+    ea: Option<(f64, f64)>,
+    rows: &mut DiagRows,
+) -> Option<f64> {
+    let (m, n) = (a.len(), brev.len());
+    debug_assert!(m >= 1 && n >= 1 && w >= m.abs_diff(n));
+    rows.reset(m + 2);
+    let seed = {
+        let x = a[0] - brev[n - 1];
+        x * x
+    };
+    rows.d0[1] = seed;
+    rows.s0 = (1, 2);
+    if m == 1 && n == 1 {
+        return Some(seed);
+    }
+    let mut prev_min = seed;
+    for s in 1..=(m + n - 2) {
+        rows.rotate();
+        let (lo, hi) = diag_range(s, m, n, w);
+        if lo > hi {
+            // No in-band cells on this diagonal (parity gap): paths
+            // cross it with a diagonal step, so the diagonal before and
+            // after still bound every path — drop this one from the EA
+            // minimum.
+            prev_min = f64::INFINITY;
+            continue;
+        }
+        let cnt = hi - lo + 1;
+        // cell i on this diagonal pairs a[i] with b[s-i] = brev[i+n-1-s]
+        let boff = lo + n - 1 - s;
+        let av = &a[lo..lo + cnt];
+        let bv = &brev[boff..boff + cnt];
+        // slot layout: cell i lives at index i+1; sentinels stay +inf
+        let up = &rows.d1[lo..lo + cnt];
+        let left = &rows.d1[lo + 1..lo + 1 + cnt];
+        let diag = &rows.d2[lo..lo + cnt];
+        let out = &mut rows.d0[lo + 1..lo + 1 + cnt];
+        if let Some((base, limit)) = ea {
+            let mut dmin = f64::INFINITY;
+            for t in 0..cnt {
+                let x = av[t] - bv[t];
+                let v = x * x + up[t].min(left[t]).min(diag[t]);
+                out[t] = v;
+                dmin = dmin.min(v);
+            }
+            // Every warping path visits diagonal s or s+1 (steps advance
+            // i+j by 1 or 2), and DP values are non-decreasing along a
+            // path, so min(diag s-1, diag s) lower-bounds the final cell.
+            if base + prev_min.min(dmin).sqrt() > limit {
+                return None;
+            }
+            prev_min = dmin;
+        } else {
+            for t in 0..cnt {
+                let x = av[t] - bv[t];
+                out[t] = x * x + up[t].min(left[t]).min(diag[t]);
+            }
+        }
+        rows.s0 = (lo + 1, hi + 2);
+    }
+    Some(rows.d0[m])
+}
+
+/// Dependent-variant kernel: same wavefront, point cost summed over all
+/// feature dimensions with [`wp_linalg::ops::sq_dist`] (the identical
+/// expression the naive path uses, so the summation order matches).
+fn dtw_sq_diag_dependent(
+    a: &Matrix,
+    b: &Matrix,
+    w: usize,
+    ea: Option<(f64, f64)>,
+    rows: &mut DiagRows,
+) -> Option<f64> {
+    let (m, n) = (a.rows(), b.rows());
+    debug_assert!(m >= 1 && n >= 1 && w >= m.abs_diff(n));
+    rows.reset(m + 2);
+    let seed = wp_linalg::ops::sq_dist(a.row(0), b.row(0));
+    rows.d0[1] = seed;
+    rows.s0 = (1, 2);
+    if m == 1 && n == 1 {
+        return Some(seed);
+    }
+    let mut prev_min = seed;
+    for s in 1..=(m + n - 2) {
+        rows.rotate();
+        let (lo, hi) = diag_range(s, m, n, w);
+        if lo > hi {
+            prev_min = f64::INFINITY;
+            continue;
+        }
+        let cnt = hi - lo + 1;
+        let up = &rows.d1[lo..lo + cnt];
+        let left = &rows.d1[lo + 1..lo + 1 + cnt];
+        let diag = &rows.d2[lo..lo + cnt];
+        let out = &mut rows.d0[lo + 1..lo + 1 + cnt];
+        let mut dmin = f64::INFINITY;
+        for t in 0..cnt {
+            let i = lo + t;
+            let d = wp_linalg::ops::sq_dist(a.row(i), b.row(s - i));
+            let v = d + up[t].min(left[t]).min(diag[t]);
+            out[t] = v;
+            dmin = dmin.min(v);
+        }
+        if let Some((base, limit)) = ea {
+            if base + prev_min.min(dmin).sqrt() > limit {
+                return None;
+            }
+            prev_min = dmin;
+        }
+        rows.s0 = (lo + 1, hi + 2);
+    }
+    Some(rows.d0[m])
+}
+
+/// Gathers column `k` of a row-major matrix into `out`.
+fn gather_col(m: &Matrix, k: usize, out: &mut Vec<f64>) {
+    let (rows, cols) = m.shape();
+    let data = m.as_slice();
+    out.clear();
+    out.extend((0..rows).map(|i| data[i * cols + k]));
+}
+
+/// Gathers column `k` reversed (last row first) — the layout
+/// [`dtw_sq_diag`] wants for the right-hand series.
+fn gather_col_rev(m: &Matrix, k: usize, out: &mut Vec<f64>) {
+    let (rows, cols) = m.shape();
+    let data = m.as_slice();
+    out.clear();
+    out.extend((0..rows).rev().map(|i| data[i * cols + k]));
+}
+
+/// Univariate banded squared DTW through the scratch-backed wavefront
+/// kernel. Handles the empty edge cases the kernel excludes.
 fn dtw_sq_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return if m == n { 0.0 } else { f64::INFINITY };
     }
     let w = effective_window(window, m, n);
-    // rolling single-row DP; cells outside the corridor stay +inf
-    let mut prev = vec![f64::INFINITY; n + 1];
-    let mut cur = vec![f64::INFINITY; n + 1];
-    prev[0] = 0.0;
-    for i in 1..=m {
-        cur.fill(f64::INFINITY);
-        let lo = i.saturating_sub(w).max(1);
-        let hi = (i + w).min(n);
-        for j in lo..=hi {
-            let d = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
-            cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[n]
+    wp_runtime::scratch::with(|s: &mut DtwScratch| {
+        s.brev.clear();
+        s.brev.extend(b.iter().rev());
+        dtw_sq_diag(a, &s.brev, w, None, &mut s.rows).expect("no threshold, never abandons")
+    })
 }
 
 /// Univariate DTW distance.
@@ -62,6 +325,26 @@ pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
 /// Univariate DTW distance under an optional Sakoe-Chiba window.
 pub fn dtw_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
     dtw_sq_banded(a, b, window).sqrt()
+}
+
+/// Early-abandoning [`dtw_banded`]: returns [`DtwResult::Abandoned`]
+/// once the distance provably exceeds `threshold` (strictly); otherwise
+/// the exact distance, bit-identical to the full computation.
+pub fn dtw_banded_ea(a: &[f64], b: &[f64], window: Option<usize>, threshold: f64) -> DtwResult {
+    let (m, n) = (a.len(), b.len());
+    if m == 0 || n == 0 {
+        let d = if m == n { 0.0 } else { f64::INFINITY };
+        return DtwResult::Exact(d);
+    }
+    let w = effective_window(window, m, n);
+    wp_runtime::scratch::with(|s: &mut DtwScratch| {
+        s.brev.clear();
+        s.brev.extend(b.iter().rev());
+        match dtw_sq_diag(a, &s.brev, w, Some((0.0, threshold)), &mut s.rows) {
+            Some(sq) => DtwResult::Exact(sq.sqrt()),
+            None => DtwResult::Abandoned,
+        }
+    })
 }
 
 /// Dependent multivariate DTW: one warping path, point distance
@@ -78,21 +361,44 @@ pub fn dtw_dependent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f6
         return if m == n { 0.0 } else { f64::INFINITY };
     }
     let w = effective_window(window, m, n);
-    let mut prev = vec![f64::INFINITY; n + 1];
-    let mut cur = vec![f64::INFINITY; n + 1];
-    prev[0] = 0.0;
-    for i in 1..=m {
-        cur.fill(f64::INFINITY);
-        let arow = a.row(i - 1);
-        let lo = i.saturating_sub(w).max(1);
-        let hi = (i + w).min(n);
-        for j in lo..=hi {
-            let d = wp_linalg::ops::sq_dist(arow, b.row(j - 1));
-            cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
-        }
-        std::mem::swap(&mut prev, &mut cur);
+    wp_runtime::scratch::with(|s: &mut DtwScratch| {
+        dtw_sq_diag_dependent(a, b, w, None, &mut s.rows)
+            .expect("no threshold, never abandons")
+            .sqrt()
+    })
+}
+
+/// Early-abandoning [`dtw_dependent_banded`]; see [`dtw_banded_ea`].
+pub fn dtw_dependent_banded_ea(
+    a: &Matrix,
+    b: &Matrix,
+    window: Option<usize>,
+    threshold: f64,
+) -> DtwResult {
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    if m == 0 || n == 0 {
+        let d = if m == n { 0.0 } else { f64::INFINITY };
+        return DtwResult::Exact(d);
     }
-    prev[n].sqrt()
+    let w = effective_window(window, m, n);
+    wp_runtime::scratch::with(|s: &mut DtwScratch| {
+        match dtw_sq_diag_dependent(a, b, w, Some((0.0, threshold)), &mut s.rows) {
+            Some(sq) => DtwResult::Exact(sq.sqrt()),
+            None => DtwResult::Abandoned,
+        }
+    })
+}
+
+/// One dimension of the independent distance: column `k` warped on its
+/// own through the wavefront kernel (squared; `ea` as in
+/// [`dtw_sq_diag`]).
+fn dtw_sq_col(a: &Matrix, b: &Matrix, k: usize, w: usize, ea: Option<(f64, f64)>) -> Option<f64> {
+    wp_runtime::scratch::with(|s: &mut DtwScratch| {
+        gather_col(a, k, &mut s.acol);
+        gather_col_rev(b, k, &mut s.brev);
+        dtw_sq_diag(&s.acol, &s.brev, w, ea, &mut s.rows)
+    })
 }
 
 /// Independent multivariate DTW: `Σ_k DTW(A₋ₖ, B₋ₖ)` — each dimension is
@@ -109,9 +415,141 @@ pub fn dtw_independent(a: &Matrix, b: &Matrix) -> f64 {
 /// window constrains every dimension's path).
 pub fn dtw_independent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f64 {
     assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
-    wp_runtime::par_map_indexed(a.cols(), |k| dtw_banded(&a.col(k), &b.col(k), window))
-        .into_iter()
-        .sum()
+    let (m, n) = (a.rows(), b.rows());
+    if m == 0 || n == 0 {
+        if a.cols() == 0 {
+            return 0.0;
+        }
+        let per_dim = if m == n { 0.0 } else { f64::INFINITY };
+        return per_dim * a.cols() as f64;
+    }
+    let w = effective_window(window, m, n);
+    wp_runtime::par_map_indexed(a.cols(), |k| {
+        dtw_sq_col(a, b, k, w, None)
+            .expect("no threshold, never abandons")
+            .sqrt()
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Early-abandoning [`dtw_independent_banded`]: dimensions are evaluated
+/// sequentially, each kernel seeing the sum accumulated so far, so the
+/// whole evaluation stops as soon as the partial sum alone exceeds
+/// `threshold`. Completed evaluations are bit-identical to the full
+/// distance (same per-dimension kernel, same summation order).
+pub fn dtw_independent_banded_ea(
+    a: &Matrix,
+    b: &Matrix,
+    window: Option<usize>,
+    threshold: f64,
+) -> DtwResult {
+    assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    if m == 0 || n == 0 {
+        if a.cols() == 0 {
+            return DtwResult::Exact(0.0);
+        }
+        let per_dim = if m == n { 0.0 } else { f64::INFINITY };
+        return DtwResult::Exact(per_dim * a.cols() as f64);
+    }
+    let w = effective_window(window, m, n);
+    let mut total = 0.0f64;
+    for k in 0..a.cols() {
+        match dtw_sq_col(a, b, k, w, Some((total, threshold))) {
+            Some(sq) => total += sq.sqrt(),
+            None => return DtwResult::Abandoned,
+        }
+    }
+    DtwResult::Exact(total)
+}
+
+/// Reference implementations: the textbook rolling two-row evaluation of
+/// the same recurrences, kept as the oracle the optimized wavefront
+/// kernels are property-tested against (and as the sequential baseline
+/// `exp_speedup` measures the production path's speedup over).
+pub mod naive {
+    use wp_linalg::Matrix;
+
+    use super::effective_window;
+
+    /// Univariate banded squared DTW, rolling-row layout.
+    fn dtw_sq_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
+        let (m, n) = (a.len(), b.len());
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        let w = effective_window(window, m, n);
+        // rolling single-row DP; cells outside the corridor stay +inf
+        let mut prev = vec![f64::INFINITY; n + 1];
+        let mut cur = vec![f64::INFINITY; n + 1];
+        prev[0] = 0.0;
+        for i in 1..=m {
+            cur.fill(f64::INFINITY);
+            let lo = i.saturating_sub(w).max(1);
+            let hi = (i + w).min(n);
+            for j in lo..=hi {
+                let d = (a[i - 1] - b[j - 1]) * (a[i - 1] - b[j - 1]);
+                cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n]
+    }
+
+    /// Reference univariate DTW distance.
+    pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+        dtw_banded(a, b, None)
+    }
+
+    /// Reference univariate banded DTW distance.
+    pub fn dtw_banded(a: &[f64], b: &[f64], window: Option<usize>) -> f64 {
+        dtw_sq_banded(a, b, window).sqrt()
+    }
+
+    /// Reference dependent multivariate DTW.
+    pub fn dtw_dependent(a: &Matrix, b: &Matrix) -> f64 {
+        dtw_dependent_banded(a, b, None)
+    }
+
+    /// Reference banded dependent multivariate DTW.
+    pub fn dtw_dependent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f64 {
+        assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+        let (m, n) = (a.rows(), b.rows());
+        if m == 0 || n == 0 {
+            return if m == n { 0.0 } else { f64::INFINITY };
+        }
+        let w = effective_window(window, m, n);
+        let mut prev = vec![f64::INFINITY; n + 1];
+        let mut cur = vec![f64::INFINITY; n + 1];
+        prev[0] = 0.0;
+        for i in 1..=m {
+            cur.fill(f64::INFINITY);
+            let arow = a.row(i - 1);
+            let lo = i.saturating_sub(w).max(1);
+            let hi = (i + w).min(n);
+            for j in lo..=hi {
+                let d = wp_linalg::ops::sq_dist(arow, b.row(j - 1));
+                cur[j] = d + prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[n].sqrt()
+    }
+
+    /// Reference independent multivariate DTW (sequential over
+    /// dimensions — this is the baseline, it must not use the pool).
+    pub fn dtw_independent(a: &Matrix, b: &Matrix) -> f64 {
+        dtw_independent_banded(a, b, None)
+    }
+
+    /// Reference banded independent multivariate DTW.
+    pub fn dtw_independent_banded(a: &Matrix, b: &Matrix, window: Option<usize>) -> f64 {
+        assert_eq!(a.cols(), b.cols(), "feature-count mismatch");
+        (0..a.cols())
+            .map(|k| dtw_banded(&a.col(k), &b.col(k), window))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +633,11 @@ mod tests {
         assert!(dtw(&[], &[1.0]).is_infinite());
         assert_eq!(dtw_banded(&[], &[], Some(0)), 0.0);
         assert!(dtw_banded(&[], &[1.0], Some(0)).is_infinite());
+        assert_eq!(dtw_banded_ea(&[], &[], None, 0.5), DtwResult::Exact(0.0));
+        assert!(dtw_banded_ea(&[], &[1.0], None, 0.5)
+            .exact()
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]
@@ -216,6 +659,14 @@ mod tests {
                 (s % 1_000) as f64 / 500.0 - 1.0
             })
             .collect()
+    }
+
+    fn mat(seed: u64, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_rows(
+            &(0..rows)
+                .map(|i| series(seed.wrapping_add(i as u64 * 131), cols))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
@@ -276,5 +727,100 @@ mod tests {
         let a = series(1, 10);
         let b = series(2, 13);
         assert!(dtw_banded(&a, &b, Some(0)).is_finite());
+    }
+
+    #[test]
+    fn wavefront_kernel_is_bit_identical_to_naive() {
+        // the core property: the production anti-diagonal kernel must
+        // reproduce the rolling-row reference bit for bit, across
+        // lengths (equal, unequal, tiny), seeds, and window widths
+        for seed in 0..12u64 {
+            for (la, lb) in [(1, 1), (1, 7), (17, 17), (23, 31), (40, 12)] {
+                let a = series(seed, la);
+                let b = series(seed + 777, lb);
+                for window in [None, Some(0), Some(1), Some(3), Some(9), Some(64)] {
+                    assert_eq!(
+                        dtw_banded(&a, &b, window).to_bits(),
+                        naive::dtw_banded(&a, &b, window).to_bits(),
+                        "seed={seed} la={la} lb={lb} window={window:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_matrix_kernels_are_bit_identical_to_naive() {
+        for seed in 0..8u64 {
+            for (ra, rb, c) in [(1, 1, 2), (9, 13, 3), (20, 20, 1), (16, 5, 4)] {
+                let a = mat(seed, ra, c);
+                let b = mat(seed + 991, rb, c);
+                for window in [None, Some(0), Some(2), Some(8)] {
+                    assert_eq!(
+                        dtw_dependent_banded(&a, &b, window).to_bits(),
+                        naive::dtw_dependent_banded(&a, &b, window).to_bits(),
+                        "dependent seed={seed} {ra}x{c} vs {rb}x{c} w={window:?}"
+                    );
+                    assert_eq!(
+                        dtw_independent_banded(&a, &b, window).to_bits(),
+                        naive::dtw_independent_banded(&a, &b, window).to_bits(),
+                        "independent seed={seed} {ra}x{c} vs {rb}x{c} w={window:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandoning_agrees_with_full_dtw_under_threshold() {
+        // contract: threshold >= true distance ⇒ Exact with identical
+        // bits; threshold < true distance ⇒ Abandoned, or Exact with
+        // identical bits (the bound is not required to fire)
+        fn check(full: f64, ea: &dyn Fn(f64) -> DtwResult) {
+            for threshold in [full, full * 1.5, f64::INFINITY] {
+                match ea(threshold) {
+                    DtwResult::Exact(d) => assert_eq!(d.to_bits(), full.to_bits()),
+                    DtwResult::Abandoned => {
+                        panic!("abandoned although threshold {threshold} >= {full}")
+                    }
+                }
+            }
+            for threshold in [0.0, full * 0.5, full * 0.99] {
+                match ea(threshold) {
+                    DtwResult::Exact(d) => assert_eq!(d.to_bits(), full.to_bits()),
+                    DtwResult::Abandoned => {} // correct: distance > threshold
+                }
+            }
+        }
+        for seed in 0..10u64 {
+            let a = mat(seed, 18, 3);
+            let b = mat(seed + 333, 22, 3);
+            for window in [None, Some(4)] {
+                check(dtw_dependent_banded(&a, &b, window), &|t| {
+                    dtw_dependent_banded_ea(&a, &b, window, t)
+                });
+                check(dtw_independent_banded(&a, &b, window), &|t| {
+                    dtw_independent_banded_ea(&a, &b, window, t)
+                });
+                check(dtw_banded(&a.col(0), &b.col(0), window), &|t| {
+                    dtw_banded_ea(&a.col(0), &b.col(0), window, t)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandoning_fires_on_distant_series() {
+        // far-apart series with a tiny threshold must actually abandon —
+        // otherwise the EA path is dead weight
+        let a = mat(1, 30, 2);
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            rows.push(vec![100.0 + i as f64, -50.0]);
+        }
+        let b = Matrix::from_rows(&rows);
+        assert!(dtw_dependent_banded_ea(&a, &b, None, 1.0).is_abandoned());
+        assert!(dtw_independent_banded_ea(&a, &b, None, 1.0).is_abandoned());
+        assert!(dtw_banded_ea(&a.col(0), &b.col(0), None, 1.0).is_abandoned());
     }
 }

@@ -8,26 +8,56 @@
 
 use wp_linalg::Matrix;
 
+/// Per-thread rolling DP rows for the match-length recurrences,
+/// provided via [`wp_runtime::scratch`] so repeated distance
+/// evaluations reuse grown buffers instead of allocating per call.
+#[derive(Default)]
+struct LcssRows {
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+/// Per-thread column gathers for the independent variant (kept as a
+/// separate scratch type from [`LcssRows`], which the nested
+/// [`lcss_len`] call takes out while these stay borrowed).
+#[derive(Default)]
+struct LcssCols {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+/// Gathers column `k` of a row-major matrix into `out`.
+fn gather_col(m: &Matrix, k: usize, out: &mut Vec<f64>) {
+    let (rows, cols) = m.shape();
+    let data = m.as_slice();
+    out.clear();
+    out.extend((0..rows).map(|i| data[i * cols + k]));
+}
+
 /// Univariate LCSS match length with tolerance `epsilon`.
 fn lcss_len(a: &[f64], b: &[f64], epsilon: f64) -> usize {
     let (m, n) = (a.len(), b.len());
     if m == 0 || n == 0 {
         return 0;
     }
-    let mut prev = vec![0usize; n + 1];
-    let mut cur = vec![0usize; n + 1];
-    for i in 1..=m {
-        for j in 1..=n {
-            cur[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
-                prev[j - 1] + 1
-            } else {
-                prev[j].max(cur[j - 1])
-            };
+    wp_runtime::scratch::with(|rows: &mut LcssRows| {
+        rows.prev.clear();
+        rows.prev.resize(n + 1, 0);
+        rows.cur.clear();
+        rows.cur.resize(n + 1, 0);
+        for i in 1..=m {
+            for j in 1..=n {
+                rows.cur[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
+                    rows.prev[j - 1] + 1
+                } else {
+                    rows.prev[j].max(rows.cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut rows.prev, &mut rows.cur);
+            rows.cur[0] = 0;
         }
-        std::mem::swap(&mut prev, &mut cur);
-        cur[0] = 0;
-    }
-    prev[n]
+        rows.prev[n]
+    })
 }
 
 /// Univariate LCSS distance: `1 − len / min(m, n)`, in `[0, 1]`.
@@ -56,20 +86,25 @@ pub fn lcss_dependent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
             .zip(b.row(j))
             .all(|(x, y)| (x - y).abs() <= epsilon)
     };
-    let mut prev = vec![0usize; n + 1];
-    let mut cur = vec![0usize; n + 1];
-    for i in 1..=m {
-        for j in 1..=n {
-            cur[j] = if matches(i - 1, j - 1) {
-                prev[j - 1] + 1
-            } else {
-                prev[j].max(cur[j - 1])
-            };
+    let len = wp_runtime::scratch::with(|rows: &mut LcssRows| {
+        rows.prev.clear();
+        rows.prev.resize(n + 1, 0);
+        rows.cur.clear();
+        rows.cur.resize(n + 1, 0);
+        for i in 1..=m {
+            for j in 1..=n {
+                rows.cur[j] = if matches(i - 1, j - 1) {
+                    rows.prev[j - 1] + 1
+                } else {
+                    rows.prev[j].max(rows.cur[j - 1])
+                };
+            }
+            std::mem::swap(&mut rows.prev, &mut rows.cur);
+            rows.cur[0] = 0;
         }
-        std::mem::swap(&mut prev, &mut cur);
-        cur[0] = 0;
-    }
-    1.0 - prev[n] as f64 / denom as f64
+        rows.prev[n]
+    });
+    1.0 - len as f64 / denom as f64
 }
 
 /// Independent multivariate LCSS: mean of the per-dimension LCSS
@@ -82,9 +117,15 @@ pub fn lcss_independent(a: &Matrix, b: &Matrix, epsilon: f64) -> f64 {
     if a.cols() == 0 {
         return 0.0;
     }
-    wp_runtime::par_map_indexed(a.cols(), |k| lcss(&a.col(k), &b.col(k), epsilon))
-        .into_iter()
-        .sum::<f64>()
+    wp_runtime::par_map_indexed(a.cols(), |k| {
+        wp_runtime::scratch::with(|cols: &mut LcssCols| {
+            gather_col(a, k, &mut cols.a);
+            gather_col(b, k, &mut cols.b);
+            lcss(&cols.a, &cols.b, epsilon)
+        })
+    })
+    .into_iter()
+    .sum::<f64>()
         / a.cols() as f64
 }
 

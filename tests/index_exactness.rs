@@ -193,6 +193,96 @@ fn hist_fingerprint_norm_search_is_exact_and_prunes() {
 }
 
 #[test]
+fn search_stats_stay_consistent_per_stage() {
+    // every candidate is accounted for exactly once: it either fell to
+    // one cascade stage or completed an exact computation, so
+    // candidates == Σ per-stage pruned + exact for every measure, k,
+    // and query — and pivot distances (exact by construction) keep the
+    // identity through the reuse path
+    let corpus = mts_fingerprints(0x5747_5AE5, 40);
+    let queries = mts_fingerprints(6, 3);
+    for measure in Measure::mts_suite() {
+        let index = Index::build(corpus.clone(), measure, IndexConfig::default()).unwrap();
+        let mut total = wp_index::SearchStats::default();
+        for &k in &[1usize, 5, 40] {
+            for q in &queries {
+                let (_, stats) = index.search_k_with_stats(q, k).unwrap();
+                assert_eq!(
+                    stats.candidates,
+                    stats.pruned() + stats.exact,
+                    "{} k={k}: stage counts do not cover the corpus: {stats:?}",
+                    measure.label()
+                );
+                assert_eq!(
+                    stats.pruned(),
+                    stats.pruned_pivot
+                        + stats.pruned_paa
+                        + stats.pruned_kim
+                        + stats.pruned_keogh
+                        + stats.pruned_lcss
+                        + stats.pruned_ea,
+                    "{} k={k}: pruned() disagrees with the per-stage sum",
+                    measure.label()
+                );
+                total.merge(&stats);
+            }
+        }
+        assert_eq!(
+            total.candidates,
+            total.pruned() + total.exact,
+            "{}: merged stats lost candidates: {total:?}",
+            measure.label()
+        );
+    }
+}
+
+#[test]
+fn early_abandoning_never_changes_results() {
+    // EA is a pure evaluation-strategy switch: the returned (index,
+    // distance) pairs must be byte-identical with it on and off, across
+    // bands (where it can actually fire) and corpus sizes
+    let corpus = mts_fingerprints(21, 48);
+    let queries = mts_fingerprints(22, 4);
+    for band in [None, Some(3)] {
+        for measure in [Measure::DtwDependent, Measure::DtwIndependent] {
+            let on = IndexConfig {
+                band,
+                early_abandon: true,
+                ..IndexConfig::default()
+            };
+            let off = IndexConfig {
+                early_abandon: false,
+                ..on
+            };
+            let with_ea = Index::build(corpus.clone(), measure, on).unwrap();
+            let without = Index::build(corpus.clone(), measure, off).unwrap();
+            let mut ea_stats = wp_index::SearchStats::default();
+            for &k in &[1usize, 4, 9] {
+                for q in &queries {
+                    let (got, stats) = with_ea.search_k_with_stats(q, k).unwrap();
+                    let want = without.search_k(q, k).unwrap();
+                    assert_identical(measure, 48, k, &got, &want);
+                    ea_stats.merge(&stats);
+                    assert_eq!(
+                        stats.candidates,
+                        stats.pruned() + stats.exact,
+                        "{} band={band:?} k={k}: {stats:?}",
+                        measure.label()
+                    );
+                }
+            }
+            // the switch must not be dead weight: across this corpus at
+            // least one evaluation abandons mid-table
+            assert!(
+                ea_stats.pruned_ea > 0,
+                "{} band={band:?}: early abandoning never fired ({ea_stats:?})",
+                measure.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn insertions_preserve_exactness() {
     let corpus = mts_fingerprints(3, 18);
     let queries = mts_fingerprints(4, 2);
