@@ -26,6 +26,9 @@ usage:
   wp chaos    [--plan SPEC] [--requests N] [--connections N] [--seed S] [--samples N]
               [--timeout SECONDS] [--retries N] [--out FILE] [--verify-determinism]
               [--obs]
+  wp stream   [--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N]
+              [--shift-after N] [--samples N] [--seed S] [--timeout SECONDS]
+              [--faults SPEC] [--out FILE] [--verify-determinism] [--obs]
   wp trace    [--samples N] [--seed S] [--json]
   wp index-bench [--size N] [--queries N] [--k K] [--samples N] [--json] [--seed S]
 
@@ -58,6 +61,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "export" => cmd_export(&args),
         "serve" => cmd_serve(&args),
         "chaos" => cmd_chaos(&args),
+        "stream" => cmd_stream(&args),
         "trace" => cmd_trace(&args),
         "index-bench" => cmd_index_bench(&args),
         "help" | "--help" | "-h" => {
@@ -380,6 +384,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         defaults.pipeline,
         None,
         defaults.cache_capacity,
+        defaults.stream,
     )?;
 
     let mut mix = wp_loadgen::default_mix(seed, samples);
@@ -627,6 +632,181 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     println!(
         "{} retries recovered {} request(s); taxonomy -> {out}",
         t.retries, t.recovered
+    );
+    Ok(())
+}
+
+/// Runs the streaming-ingest experiment: an in-process `wp-server` is
+/// fed seeded multi-tenant telemetry by the `wp-loadgen` streamer at a
+/// target batch rate, with every tenant's stream shape-shifting at
+/// `--shift-after` (default two-thirds through) so the drift detector
+/// has a scripted change to find. Sustained ingest throughput, latency
+/// percentiles, and the drift/eviction counters go to `--out`
+/// (`BENCH_stream.json`).
+///
+/// Invariants asserted on every run: the server stays healthy, and the
+/// generation counter equals the server's own accepted-batch ledger (a
+/// rejected or faulted batch must never half-apply). On a fault-free
+/// run the ledger must also match the client's accepted count exactly,
+/// and with a shape-shift scheduled at least one drift event must fire.
+///
+/// `--verify-determinism` replays the whole experiment against a fresh
+/// server and asserts the two `/drift` event logs — ordinals,
+/// distances, thresholds, phase counts — are byte-identical, then
+/// stamps `"deterministic": true` into the report.
+///
+/// `--faults SPEC` arms the server's fault plan while streaming (the
+/// chaos-under-streaming mode): rejected batches are then expected, and
+/// the ledger/liveness invariants are what the run is about. Scope the
+/// plan to the ingest path (e.g. `error:/ingest=0.3`) to keep the
+/// post-run probes clean.
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    use std::time::Duration;
+    use wp_faults::FaultPlan;
+
+    let rate: f64 = args.parsed_or("rate", 40.0)?;
+    let tenants: usize = args.parsed_or("tenants", 2)?;
+    let batches: u64 = args.parsed_or("batches", 12)?;
+    let runs_per_batch: usize = args.parsed_or("runs-per-batch", 2)?;
+    let samples: usize = args.parsed_or("samples", 30)?;
+    let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+    let shift_after: u64 = args.parsed_or("shift-after", (batches * 2 / 3).max(1))?;
+    let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 10.0)?);
+    let out = args.get("out").unwrap_or("BENCH_stream.json").to_string();
+    let obs = args.switch("obs") || obs_from_env();
+    if batches == 0 || tenants == 0 {
+        return Err("--batches and --tenants must be positive".to_string());
+    }
+    let plan = match args.get("faults") {
+        Some(s) => Some(FaultPlan::parse(s)?),
+        None => FaultPlan::from_env()?,
+    };
+    let faulted = plan.as_ref().is_some_and(FaultPlan::is_enabled);
+    if obs {
+        wp_obs::enable();
+    }
+
+    // A shift scheduled past the end never fires: the stationary run.
+    let shift = (shift_after < batches).then_some(shift_after);
+    let run_once = || -> Result<(wp_loadgen::StreamReport, String), String> {
+        if obs {
+            wp_obs::reset();
+        }
+        let corpus = wp_server::corpus::simulated_corpus(seed, samples);
+        let server = wp_server::Server::start(
+            corpus,
+            wp_server::ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                faults: plan.clone().unwrap_or_default(),
+                obs,
+                ..wp_server::ServerConfig::default()
+            },
+        )?;
+        let addr = server.addr().to_string();
+        let config = wp_loadgen::StreamerConfig {
+            addr: addr.clone(),
+            rate_hz: rate,
+            tenants,
+            batches,
+            runs_per_batch,
+            samples,
+            seed,
+            shift_after: shift,
+            timeout,
+        };
+        let report = wp_loadgen::run_stream(&config)?;
+
+        // Liveness: the server outlives the stream.
+        let health = fetch_until_ok(&addr, "GET", "/healthz", "", timeout, 25)?;
+        if !health.contains("\"status\":\"ok\"") {
+            server.shutdown();
+            return Err(format!("unhealthy after streaming: {health}"));
+        }
+        // Ledger consistency: the corpus generation counts exactly the
+        // batches the server accepted — a faulted batch either fully
+        // applied or left no trace.
+        let stats_body = fetch_until_ok(&addr, "GET", "/stats", "", timeout, 25)?;
+        let stats = Json::parse(&stats_body).map_err(|e| format!("/stats does not parse: {e}"))?;
+        let stream_counter = |key: &str| -> f64 {
+            stats
+                .get("stream")
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_f64)
+                .unwrap_or(-1.0)
+        };
+        let generation = stream_counter("generation");
+        if generation != stream_counter("ingested_batches") {
+            server.shutdown();
+            return Err(format!(
+                "ledger divergence: generation {generation} != accepted batches {}",
+                stream_counter("ingested_batches")
+            ));
+        }
+        if !faulted {
+            if report.errors > 0 {
+                server.shutdown();
+                return Err(format!(
+                    "{} batch(es) failed on a fault-free run",
+                    report.errors
+                ));
+            }
+            if generation != report.batches_accepted as f64 {
+                server.shutdown();
+                return Err(format!(
+                    "ledger divergence: server generation {generation}, \
+                     client accepted {}",
+                    report.batches_accepted
+                ));
+            }
+            if shift.is_some() && report.drift_events == 0 {
+                server.shutdown();
+                return Err("shape-shift scheduled but no drift event fired".to_string());
+            }
+        }
+        let drift_log = fetch_until_ok(&addr, "GET", "/drift", "", timeout, 25)?;
+        server.shutdown();
+        Ok((report, drift_log))
+    };
+
+    println!(
+        "streaming {tenants} tenant(s) x {batches} batches ({runs_per_batch} runs each) \
+         at {rate} Hz{}",
+        match shift {
+            Some(s) => format!(", shape-shift at batch {s}"),
+            None => ", stationary".to_string(),
+        }
+    );
+    if let Some(p) = plan.as_ref().filter(|p| p.is_enabled()) {
+        println!("fault plan: {}", p.render());
+    }
+    let (mut report, drift_log) = run_once()?;
+
+    if args.switch("verify-determinism") {
+        let (_, replay) = run_once()?;
+        if drift_log != replay {
+            return Err(format!(
+                "non-deterministic drift log:\nrun 1: {drift_log}\nrun 2: {replay}"
+            ));
+        }
+        println!("determinism verified: replay produced a byte-identical drift log");
+        report.deterministic = Some(true);
+    }
+
+    std::fs::write(&out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{}/{} batches accepted at {:.1} batches/s; p50 {:.3} ms, p95 {:.3} ms, \
+         p99 {:.3} ms; {} drift event(s), {} evicted run(s), generation {} -> {out}",
+        report.batches_accepted,
+        report.batches_sent,
+        report.ingest_rps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.drift_events,
+        report.evicted_runs,
+        report.generation
     );
     Ok(())
 }

@@ -79,7 +79,8 @@ impl CorpusIndex {
     }
 
     /// Builds the index from bare `(name, runs)` pairs — the shape
-    /// [`crate::pipeline::find_most_similar`] takes.
+    /// [`crate::pipeline::find_most_similar`] takes. Histogram ranges are
+    /// frozen over the given runs.
     pub fn from_reference_runs(
         reference_runs: &[(String, &[ExperimentRun])],
         features: &[FeatureId],
@@ -89,28 +90,88 @@ impl CorpusIndex {
         if reference_runs.is_empty() {
             return Err("need reference runs".to_string());
         }
+        let mut data: Vec<RunFeatureData> = Vec::new();
+        for (name, runs) in reference_runs {
+            if runs.is_empty() {
+                return Err(format!("reference '{name}' has no runs"));
+            }
+            for run in runs.iter() {
+                data.push(extract(run, features));
+            }
+        }
+        let ranges = global_ranges(&data);
+        Self::from_reference_runs_with_ranges(
+            reference_runs,
+            features,
+            &ranges,
+            config,
+            index_config,
+        )
+    }
+
+    /// [`CorpusIndex::from_reference_runs`] with *explicitly* frozen
+    /// histogram ranges instead of ranges computed over the given runs.
+    ///
+    /// This is the constructor a *mutable* corpus needs: the streaming
+    /// ingest path freezes ranges once over the startup corpus, then
+    /// every later mutation — incremental [`CorpusIndex::insert_reference`]
+    /// calls and full rebuilds after a windowed eviction — bins under the
+    /// same ranges, so an incrementally evolved index and a from-scratch
+    /// rebuild over the same references answer queries byte-identically.
+    pub fn from_reference_runs_with_ranges(
+        reference_runs: &[(String, &[ExperimentRun])],
+        features: &[FeatureId],
+        ranges: &[(f64, f64)],
+        config: &PipelineConfig,
+        index_config: IndexConfig,
+    ) -> Result<Self, String> {
+        if reference_runs.is_empty() {
+            return Err("need reference runs".to_string());
+        }
+        if ranges.len() != features.len() {
+            return Err(format!(
+                "need one frozen range per feature ({} ranges, {} features)",
+                ranges.len(),
+                features.len()
+            ));
+        }
         let mut run_refs = Vec::new();
         let mut data: Vec<RunFeatureData> = Vec::new();
-        for (ri, (_, runs)) in reference_runs.iter().enumerate() {
+        for (ri, (name, runs)) in reference_runs.iter().enumerate() {
             if runs.is_empty() {
-                return Err(format!("reference '{}' has no runs", reference_runs[ri].0));
+                return Err(format!("reference '{name}' has no runs"));
             }
             for (pos, run) in runs.iter().enumerate() {
                 run_refs.push((ri, pos));
                 data.push(extract(run, features));
             }
         }
-        let ranges = global_ranges(&data);
-        let fps = histfp_with_ranges(&data, &ranges, config.nbins);
+        let fps = histfp_with_ranges(&data, ranges, config.nbins);
         let index = Index::build(fps, config.measure, index_config)?;
         Ok(Self {
             index,
             run_refs,
             names: reference_runs.iter().map(|(n, _)| n.clone()).collect(),
             features: features.to_vec(),
-            ranges,
+            ranges: ranges.to_vec(),
             nbins: config.nbins,
         })
+    }
+
+    /// The frozen per-feature histogram ranges every query and insertion
+    /// is binned under.
+    pub fn ranges(&self) -> &[(f64, f64)] {
+        &self.ranges
+    }
+
+    /// The features fingerprints are extracted on.
+    pub fn features(&self) -> &[FeatureId] {
+        &self.features
+    }
+
+    /// Reference names in corpus-position order.
+    pub fn reference_names(&self) -> &[String] {
+        &self.names
     }
 
     /// Adds a new reference (or more runs of a known one) to the corpus
@@ -385,6 +446,86 @@ mod tests {
         let hits = index.nearest_runs(&target[0], 2).unwrap();
         assert_eq!(hits.len(), 2);
         assert!(hits[0].distance <= hits[1].distance);
+    }
+
+    /// A corpus grown by N incremental [`CorpusIndex::insert_reference`]
+    /// calls must answer `rank_references` byte-identically to an index
+    /// rebuilt from scratch over the same references under the same
+    /// frozen ranges — the contract the streaming ingest path leans on.
+    #[test]
+    fn incremental_inserts_match_a_from_scratch_rebuild_byte_for_byte() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+
+        // Freeze ranges over the full reference set, then grow one index
+        // incrementally (first reference at build time, the rest via
+        // insert_reference, one call per reference) and build the other
+        // in one shot over everything.
+        let full = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        let frozen = full.ranges().to_vec();
+        let mut incremental = CorpusIndex::from_reference_runs_with_ranges(
+            &refs_sliced[..1],
+            &FeatureId::all(),
+            &frozen,
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        for (name, runs) in &refs[1..] {
+            incremental.insert_reference(name, runs).unwrap();
+        }
+        assert_eq!(incremental.len(), full.len());
+        assert_eq!(incremental.reference_names(), full.reference_names());
+
+        for (w, (target_name, k)) in [("TPC-C", 3), ("Twitter", 2), ("TPC-H", 5), ("YCSB", 9)]
+            .into_iter()
+            .enumerate()
+        {
+            let target = sim_runs(&sim, target_name, 3 + w, 2);
+            let a = incremental.rank_references(&target, k).unwrap();
+            let b = full.rank_references(&target, k).unwrap();
+            assert_eq!(a.len(), b.len(), "target {target_name}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.workload, y.workload, "target {target_name}");
+                assert_eq!(
+                    x.distance.to_bits(),
+                    y.distance.to_bits(),
+                    "target {target_name}: {} vs {}",
+                    x.distance,
+                    y.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_ranges_rejects_a_feature_count_mismatch() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        let err = CorpusIndex::from_reference_runs_with_ranges(
+            &refs_sliced,
+            &FeatureId::all(),
+            &[(0.0, 1.0); 3],
+            &config,
+            IndexConfig::default(),
+        );
+        assert!(err.is_err(), "wrong range count must be rejected");
     }
 
     #[test]

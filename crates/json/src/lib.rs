@@ -129,6 +129,11 @@ impl From<u32> for Json {
         Json::Num(f64::from(v))
     }
 }
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
 impl From<&str> for Json {
     fn from(v: &str) -> Json {
         Json::Str(v.to_string())

@@ -480,6 +480,253 @@ pub fn backoff_delay(retry: u32, jitter: &mut Rng64) -> Duration {
     Duration::from_millis(base_ms + jitter.below((base_ms / 2 + 1) as usize) as u64)
 }
 
+/// How the streamer mode replays telemetry: multi-tenant `/ingest`
+/// batches paced at a target rate, in the style of a multi-channel
+/// telemetry simulator (each tenant is one channel emitting its own
+/// seeded workload).
+#[derive(Debug, Clone)]
+pub struct StreamerConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Target batch rate across all tenants, batches per second. The
+    /// loop paces against absolute deadlines, so a slow request eats
+    /// into the next slot instead of stretching the schedule.
+    pub rate_hz: f64,
+    /// Telemetry channels; tenant `i` streams as `tenant-i`.
+    pub tenants: usize,
+    /// Batches sent per tenant.
+    pub batches: u64,
+    /// Runs per batch.
+    pub runs_per_batch: usize,
+    /// Samples per simulated run.
+    pub samples: usize,
+    /// Seed for the per-tenant telemetry streams.
+    pub seed: u64,
+    /// When set, every tenant's stream shape-shifts to an analytics
+    /// workload from this batch index on — the scripted drift scenario.
+    pub shift_after: Option<u64>,
+    /// Per-request read timeout.
+    pub timeout: Duration,
+}
+
+impl Default for StreamerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            rate_hz: 40.0,
+            tenants: 2,
+            batches: 12,
+            runs_per_batch: 2,
+            samples: 30,
+            seed: 0xEDB7_2025,
+            shift_after: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Aggregated result of one streaming-ingest run.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Tenants (channels) that streamed.
+    pub tenants: usize,
+    /// Configured target batch rate.
+    pub rate_hz: f64,
+    /// Ingest batches sent.
+    pub batches_sent: u64,
+    /// Batches the server accepted (2xx).
+    pub batches_accepted: u64,
+    /// Batches that failed (no 2xx within the retry budget).
+    pub errors: u64,
+    /// Wall time of the ingest loop, seconds.
+    pub elapsed_s: f64,
+    /// Sustained ingest throughput: accepted batches per second.
+    pub ingest_rps: f64,
+    /// Median ingest latency, milliseconds (nearest rank).
+    pub p50_ms: f64,
+    /// 95th-percentile ingest latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile ingest latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst ingest latency, milliseconds.
+    pub max_ms: f64,
+    /// Drift events the server's stream engine recorded.
+    pub drift_events: u64,
+    /// Runs evicted from tenant windows.
+    pub evicted_runs: u64,
+    /// Corpus generation after the run (== accepted batches server-side).
+    pub generation: u64,
+    /// Set by harnesses that replay the run and compare drift logs
+    /// byte-for-byte; `None` when no verification was attempted.
+    pub deterministic: Option<bool>,
+}
+
+impl StreamReport {
+    /// Renders the report in the `BENCH_runtime.json` flat-object shape
+    /// (written to `BENCH_stream.json`). The `deterministic` key only
+    /// appears when a verification pass ran.
+    pub fn to_json(&self) -> String {
+        let mut doc = obj! {
+            "experiment" => "server_stream",
+            "tenants" => self.tenants as f64,
+            "rate_hz" => self.rate_hz,
+            "batches_sent" => self.batches_sent as f64,
+            "batches_accepted" => self.batches_accepted as f64,
+            "errors" => self.errors as f64,
+            "elapsed_s" => self.elapsed_s,
+            "ingest_rps" => self.ingest_rps,
+            "p50_ms" => self.p50_ms,
+            "p95_ms" => self.p95_ms,
+            "p99_ms" => self.p99_ms,
+            "max_ms" => self.max_ms,
+            "drift_events" => self.drift_events as f64,
+            "evicted_runs" => self.evicted_runs as f64,
+            "generation" => self.generation as f64,
+        };
+        if let Some(verdict) = self.deterministic {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("deterministic".to_string(), Json::Bool(verdict)));
+            }
+        }
+        doc.pretty()
+    }
+}
+
+/// Deterministic `/ingest` bodies for one tenant: `batches` batches of
+/// `runs_per_batch` simulated runs each, in the `wp_telemetry::io`
+/// schema. Until `shift_after`, the tenant replays its home OLTP
+/// workload (keyed by tenant index); from `shift_after` on, the stream
+/// shape-shifts to TPC-H so the server's drift detector has a real
+/// change to find. Same config → byte-identical bodies.
+pub fn stream_bodies(config: &StreamerConfig, tenant: usize) -> Vec<String> {
+    let mut sim = Simulator::new(
+        config
+            .seed
+            .wrapping_add((tenant as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    sim.config.samples = config.samples;
+    let sku = Sku::new("cpu2", 2, 64.0);
+    let mut bodies = Vec::with_capacity(config.batches as usize);
+    let mut run_index = 0usize;
+    for batch in 0..config.batches {
+        let shifted = config.shift_after.is_some_and(|s| batch >= s);
+        let (spec, terminals) = if shifted {
+            (benchmarks::tpch(), 1)
+        } else {
+            match tenant % 3 {
+                0 => (benchmarks::tpcc(), 8),
+                1 => (benchmarks::twitter(), 8),
+                _ => (benchmarks::ycsb(), 8),
+            }
+        };
+        let runs: Vec<Json> = (0..config.runs_per_batch)
+            .map(|_| {
+                let run = sim.simulate(&spec, &sku, terminals, run_index, run_index % 3);
+                run_index += 1;
+                run_to_json(&run)
+            })
+            .collect();
+        bodies.push(
+            obj! {
+                "tenant" => format!("tenant-{tenant}"),
+                "runs" => runs,
+            }
+            .compact(),
+        );
+    }
+    bodies
+}
+
+/// Replays seeded multi-tenant telemetry into `POST /ingest` at the
+/// target rate, then reads the server's `/stats` stream section for the
+/// drift/eviction/generation counters. Fails only on setup errors or
+/// when the post-run stats probe cannot complete; rejected batches are
+/// counted in `StreamReport::errors`.
+pub fn run_stream(config: &StreamerConfig) -> Result<StreamReport, String> {
+    if config.tenants == 0 || config.batches == 0 || config.runs_per_batch == 0 {
+        return Err("streamer needs tenants, batches, and runs per batch".to_string());
+    }
+    if !(config.rate_hz.is_finite() && config.rate_hz > 0.0) {
+        return Err(format!("invalid target rate: {}", config.rate_hz));
+    }
+    let bodies: Vec<Vec<String>> = (0..config.tenants)
+        .map(|t| stream_bodies(config, t))
+        .collect();
+    let mut client = Client {
+        addr: config.addr.clone(),
+        timeout: config.timeout,
+        retries: 0,
+        jitter: Rng64::new(config.seed ^ 0x5EED_BACC_0FF5),
+        conn: None,
+    };
+    let interval = Duration::from_secs_f64(1.0 / config.rate_hz);
+    let start = Instant::now();
+    let mut next = start;
+    let mut taxonomy = Taxonomy::default();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut sent = 0u64;
+    let mut errors = 0u64;
+    // Batch-major interleave: every tenant advances one batch per round,
+    // the way independent telemetry channels interleave on the wire.
+    for batch in 0..config.batches as usize {
+        for tenant_bodies in &bodies {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            }
+            next += interval;
+            let entry = MixEntry {
+                method: "POST",
+                path: "/ingest",
+                body: tenant_bodies[batch].clone(),
+                weight: 1,
+            };
+            sent += 1;
+            match client.logical_request(&entry, &mut taxonomy) {
+                Some(latency) => latencies_ns.push(latency),
+                None => errors += 1,
+            }
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+
+    let (status, stats_body) = fetch(&config.addr, "GET", "/stats", "", config.timeout)
+        .map_err(|class| format!("post-run /stats probe failed: {}", class.label()))?;
+    if status != 200 {
+        return Err(format!("post-run /stats probe answered {status}"));
+    }
+    let stats = Json::parse(&stats_body).map_err(|e| format!("/stats body is not JSON: {e}"))?;
+    let stream = stats
+        .get("stream")
+        .ok_or("no stream section in /stats — server too old?")?;
+    let counter =
+        |key: &str| -> u64 { stream.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64 };
+
+    let to_ms = |ns: u64| ns as f64 / 1e6;
+    Ok(StreamReport {
+        tenants: config.tenants,
+        rate_hz: config.rate_hz,
+        batches_sent: sent,
+        batches_accepted: latencies_ns.len() as u64,
+        errors,
+        elapsed_s,
+        ingest_rps: if elapsed_s > 0.0 {
+            latencies_ns.len() as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_ms: to_ms(percentile(&latencies_ns, 50.0)),
+        p95_ms: to_ms(percentile(&latencies_ns, 95.0)),
+        p99_ms: to_ms(percentile(&latencies_ns, 99.0)),
+        max_ms: to_ms(latencies_ns.last().copied().unwrap_or(0)),
+        drift_events: counter("drift_events"),
+        evicted_runs: counter("evicted_runs"),
+        generation: counter("generation"),
+        deterministic: None,
+    })
+}
+
 /// What one connection thread hands back.
 struct ConnResult {
     latencies: Vec<u64>,

@@ -6,11 +6,23 @@
 //!            [--duration 2] [--seed 42] [--samples 60]
 //!            [--timeout 30] [--retries 3] [--requests N]
 //!            [--out BENCH_server.json] [--metrics-out FILE]
+//! wp-loadgen --mode streamer --addr 127.0.0.1:8080 [--rate 40]
+//!            [--tenants 2] [--batches 12] [--runs-per-batch 2]
+//!            [--shift-after N] [--seed N] [--samples 30]
+//!            [--timeout 30] [--out BENCH_stream.json]
 //! ```
 //!
 //! `--requests N` switches to fixed-request mode: each connection
 //! issues exactly `N` logical requests instead of running the
 //! warmup/measure clock (used by chaos runs).
+//!
+//! `--mode streamer` replays seeded multi-tenant telemetry into
+//! `POST /ingest` at the target batch rate and reports sustained ingest
+//! throughput, latency percentiles, and the server's drift/eviction
+//! counters to `BENCH_stream.json`. `--shift-after N` makes every
+//! tenant's stream shape-shift at batch `N` (the scripted drift
+//! scenario); without it the streams are stationary and a healthy
+//! detector stays silent.
 //!
 //! `--metrics-out FILE` additionally scrapes `GET /metrics` after the
 //! run (the server must be running with `--obs`), verifies the
@@ -26,12 +38,14 @@
 use std::time::Duration;
 
 use wp_json::{obj, Json};
-use wp_loadgen::{default_mix, run_load, LoadConfig};
+use wp_loadgen::{default_mix, run_load, run_stream, LoadConfig, StreamerConfig};
 
 const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
 [--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] \
 [--timeout SECONDS] [--retries N] [--requests N] [--out FILE] \
-[--metrics-out FILE]";
+[--metrics-out FILE]\n       wp-loadgen --mode streamer --addr HOST:PORT \
+[--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N] \
+[--shift-after N] [--seed N] [--samples N] [--timeout SECONDS] [--out FILE]";
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -43,7 +57,121 @@ fn main() {
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    // `--mode` picks the loop; the streamer has its own flag set.
+    if let Some(i) = args.iter().position(|a| a == "--mode") {
+        let mode = args
+            .get(i + 1)
+            .ok_or(format!("--mode needs a value\n{USAGE}"))?
+            .clone();
+        args.drain(i..=i + 1);
+        return match mode.as_str() {
+            "closed-loop" => run_closed_loop(args),
+            "streamer" => run_streamer(args),
+            _ => Err(format!("unknown mode {mode:?}\n{USAGE}")),
+        };
+    }
+    run_closed_loop(args)
+}
+
+/// The streamer loop: parse its flags, replay telemetry, write the
+/// stream report.
+fn run_streamer(args: Vec<String>) -> Result<(), String> {
+    let mut config = StreamerConfig::default();
+    let mut addr_set = false;
+    let mut out = "BENCH_stream.json".to_string();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let parse_pos = |v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{flag}: not a positive integer: {v:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                config.addr = value;
+                addr_set = true;
+            }
+            "--rate" => {
+                config.rate_hz = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| format!("--rate: not a positive number: {value:?}"))?;
+            }
+            "--tenants" => config.tenants = parse_pos(&value)?,
+            "--batches" => config.batches = parse_pos(&value)? as u64,
+            "--runs-per-batch" => config.runs_per_batch = parse_pos(&value)?,
+            "--samples" => config.samples = parse_pos(&value)?,
+            "--shift-after" => {
+                config.shift_after = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("--shift-after: not an integer: {value:?}"))?,
+                );
+            }
+            "--seed" => {
+                config.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: not an integer: {value:?}"))?;
+            }
+            "--timeout" => {
+                config.timeout = std::time::Duration::from_secs_f64(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or_else(|| {
+                            format!("--timeout: not a non-negative number: {value:?}")
+                        })?,
+                );
+            }
+            "--out" => out = value,
+            _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    if !addr_set {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+
+    println!(
+        "wp-loadgen: streaming {} tenants x {} batches at {} Hz into http://{}/ingest",
+        config.tenants, config.batches, config.rate_hz, config.addr
+    );
+    let report = run_stream(&config)?;
+    std::fs::write(&out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wp-loadgen: {}/{} batches accepted, {:.1} batches/s sustained; p50 {:.3} ms, \
+         p95 {:.3} ms, p99 {:.3} ms; {} drift event(s), {} evicted run(s) -> {out}",
+        report.batches_accepted,
+        report.batches_sent,
+        report.ingest_rps,
+        report.p50_ms,
+        report.p95_ms,
+        report.p99_ms,
+        report.drift_events,
+        report.evicted_runs
+    );
+    if report.errors > 0 {
+        return Err(format!("{} ingest batch(es) failed", report.errors));
+    }
+    if report.batches_accepted == 0 {
+        return Err("no ingest batch was accepted".to_string());
+    }
+    Ok(())
+}
+
+fn run_closed_loop(args: Vec<String>) -> Result<(), String> {
     let mut config = LoadConfig::default();
     let mut addr_set = false;
     let mut samples = 60usize;

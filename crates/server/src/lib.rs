@@ -14,6 +14,8 @@
 //! | `/fingerprint` | POST | telemetry runs → Hist-FP / Phase-FP fingerprints |
 //! | `/similar` | POST | runs → ranked nearest reference workloads |
 //! | `/predict` | POST | runs + SKU pair → scaling prediction |
+//! | `/ingest` | POST | streaming telemetry batches → live corpus evolution |
+//! | `/drift` | GET | drift-event log of the streaming engine |
 //! | `/stats` | GET | per-endpoint nanosecond timings + cache counters |
 //!
 //! Everything is `std`-only (hermetic build): connections are accepted by
@@ -44,6 +46,7 @@ use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::PipelineConfig;
 use wp_faults::{FaultInjector, FaultPlan, RequestFaults, WriteFault};
 use wp_featsel::Strategy;
+use wp_stream::StreamConfig;
 
 use service::ServiceState;
 
@@ -75,6 +78,9 @@ pub struct ServerConfig {
     /// `/metrics` included, as a 404 — are byte-identical to a server
     /// built before the observability layer existed.
     pub obs: bool,
+    /// Streaming-ingest engine configuration: per-tenant window sizes,
+    /// drift thresholds, and the determinism seed for `POST /ingest`.
+    pub stream: StreamConfig,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +96,7 @@ impl Default for ServerConfig {
             },
             faults: FaultPlan::default(),
             obs: false,
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -121,6 +128,7 @@ impl Server {
             config.pipeline.clone(),
             config.compute_threads,
             config.cache_capacity,
+            config.stream.clone(),
         )?;
         state.obs = config.obs;
         let state = Arc::new(state);

@@ -7,11 +7,10 @@
 //! of the request body, so a cache hit is byte-identical to a recompute.
 
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
-use wp_core::retrieval::CorpusIndex;
 use wp_index::IndexConfig;
 use wp_json::{obj, Json};
 use wp_linalg::Matrix;
@@ -20,6 +19,7 @@ use wp_similarity::histfp::histfp;
 use wp_similarity::measure::{normalize_distances, try_distance_matrix};
 use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
 use wp_similarity::repr::{extract, RunFeatureData};
+use wp_stream::{StreamConfig, StreamEngine};
 use wp_telemetry::io::run_from_json;
 use wp_telemetry::{ExperimentRun, FeatureId};
 
@@ -68,10 +68,12 @@ pub struct ServiceState {
     /// computation (the pool override is thread-local, so it is applied
     /// around every handler invocation).
     pub compute_threads: Option<usize>,
-    /// Pruning-cascade index over the corpus run fingerprints, built
-    /// once at startup with histogram ranges frozen over the corpus
-    /// (serves `POST /similar` with `"mode": "indexed"`).
-    pub index: CorpusIndex,
+    /// The live corpus: the pruning-cascade index over the startup corpus
+    /// plus every streamed tenant reference, evolved by `POST /ingest`
+    /// with histogram ranges frozen over the startup corpus. Serves
+    /// `POST /similar` with `"mode": "indexed"` (read lock) and ingest
+    /// (write lock).
+    pub stream: RwLock<StreamEngine>,
     /// Per-reference extracted fingerprint feature data.
     pub ref_data: LruCache<String, Vec<RunFeatureData>>,
     /// Whole-response cache for the `POST` endpoints, keyed by
@@ -86,19 +88,27 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    /// Builds the state: validates the corpus and runs feature selection.
+    /// Builds the state: validates the corpus, runs feature selection,
+    /// and boots the streaming engine (which freezes histogram ranges
+    /// over the startup corpus).
     pub fn new(
         corpus: OfflineCorpus,
         config: PipelineConfig,
         compute_threads: Option<usize>,
         cache_capacity: usize,
+        stream_config: StreamConfig,
     ) -> Result<Self, String> {
-        let (selected, index) = {
-            let startup = || -> Result<(Vec<FeatureId>, CorpusIndex), String> {
+        let (selected, engine) = {
+            let startup = || -> Result<(Vec<FeatureId>, StreamEngine), String> {
                 let selected = wp_core::offline::select_features_offline(&corpus, &config)?;
-                let index =
-                    CorpusIndex::build(&corpus, &selected, &config, IndexConfig::default())?;
-                Ok((selected, index))
+                let engine = StreamEngine::new(
+                    &corpus,
+                    &selected,
+                    &config,
+                    IndexConfig::default(),
+                    stream_config.clone(),
+                )?;
+                Ok((selected, engine))
             };
             match compute_threads {
                 Some(n) => wp_runtime::with_thread_count(n, startup)?,
@@ -109,13 +119,18 @@ impl ServiceState {
             corpus,
             selected,
             config,
-            index,
+            stream: RwLock::new(engine),
             compute_threads,
             ref_data: LruCache::with_obs(cache_capacity, &REF_DATA_OBS),
             responses: LruCache::with_obs(cache_capacity, &RESPONSES_OBS),
             stats: ServerStats::default(),
             obs: false,
         })
+    }
+
+    /// The current corpus generation (bumped by every accepted ingest).
+    pub fn generation(&self) -> u64 {
+        self.stream.read().expect("stream lock").generation()
     }
 
     /// The extracted feature data of one reference's source runs, cached.
@@ -157,19 +172,23 @@ fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
         ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/corpus") => Ok(corpus_info(state)),
         ("POST", "/corpus") => validate_corpus(&req.body),
-        ("GET", "/stats") => Ok(state.stats.to_json(state.responses.counters()).compact()),
+        ("GET", "/stats") => Ok(stats_doc(state)),
+        ("GET", "/drift") => Ok(drift_log(state)),
         ("POST", "/fingerprint") => cached(state, req, fingerprint),
         ("POST", "/similar") => cached(state, req, similar),
         ("POST", "/predict") => cached(state, req, predict),
+        // Ingest mutates the corpus, so it never goes through the
+        // response cache.
+        ("POST", "/ingest") => ingest(state, &req.body),
         (_, "/corpus") => Err(ServiceError {
             status: 405,
             message: format!("{} only supports GET and POST", req.path),
         }),
-        (_, "/healthz" | "/stats") => Err(ServiceError {
+        (_, "/healthz" | "/stats" | "/drift") => Err(ServiceError {
             status: 405,
             message: format!("{} only supports GET", req.path),
         }),
-        (_, "/fingerprint" | "/similar" | "/predict") => Err(ServiceError {
+        (_, "/fingerprint" | "/similar" | "/predict" | "/ingest") => Err(ServiceError {
             status: 405,
             message: format!("{} only supports POST", req.path),
         }),
@@ -182,18 +201,68 @@ fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
 
 /// Serves a `POST` endpoint through the response cache: identical bodies
 /// get the stored bytes back; misses compute, store, and return.
+///
+/// The key carries the corpus generation alongside the request bytes, so
+/// an answer computed against one corpus is never served after an ingest
+/// mutated it — stale entries age out of the LRU instead of being
+/// returned.
 fn cached(
     state: &ServiceState,
     req: &Request,
     f: impl FnOnce(&ServiceState, &str) -> Result<String, ServiceError>,
 ) -> Result<String, ServiceError> {
-    let key = format!("{}\n{}", req.path, req.body);
+    let key = format!("g{}\n{}\n{}", state.generation(), req.path, req.body);
     if let Some(hit) = state.responses.get(&key) {
         return Ok(hit.as_ref().clone());
     }
     let body = f(state, &req.body)?;
     state.responses.insert(key, Arc::new(body.clone()));
     Ok(body)
+}
+
+/// `GET /stats` — request accounting plus a `"stream"` section with the
+/// live-corpus state and ingest counters.
+fn stats_doc(state: &ServiceState) -> String {
+    let stream = state.stream.read().expect("stream lock").stats_json();
+    let mut doc = state.stats.to_json(state.responses.counters());
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("stream".to_string(), stream));
+    }
+    doc.compact()
+}
+
+/// `GET /drift` — the drift-event log: every event the engine detected,
+/// in detection order, plus the current corpus generation. The log is a
+/// deterministic function of the ingest stream, so two replays of the
+/// same seeded stream must return byte-identical documents.
+fn drift_log(state: &ServiceState) -> String {
+    state
+        .stream
+        .read()
+        .expect("stream lock")
+        .events_json()
+        .compact()
+}
+
+/// `POST /ingest` — one batch of telemetry for one tenant:
+/// `{"tenant": "...", "runs": [...]}` in the `wp_telemetry::io` run
+/// schema. Validation is all-or-nothing: any invalid run rejects the
+/// batch with a 400 and the corpus is untouched. An accepted batch
+/// updates the tenant's sliding window, evolves the corpus index, runs
+/// drift detection, and bumps the corpus generation (invalidating the
+/// response cache).
+fn ingest(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+    let (doc, runs) = parse_target_runs(body)?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServiceError::bad_request("body needs a 'tenant' string"))?
+        .to_string();
+    let mut engine = state.stream.write().expect("stream lock");
+    let outcome = engine
+        .ingest(&tenant, runs)
+        .map_err(ServiceError::bad_request)?;
+    Ok(outcome.to_json().compact())
 }
 
 fn healthz(state: &ServiceState) -> String {
@@ -396,14 +465,17 @@ fn verdicts_to_json(verdicts: &[SimilarityVerdict]) -> Json {
 /// Optional body field `"mode"` selects the ranking path:
 ///
 /// * `"exact"` (the default) — the paper's joint-normalization recipe,
-///   bit-identical to `wp_core::pipeline::find_most_similar`.
-/// * `"indexed"` — top-k retrieval through the startup-built
-///   [`CorpusIndex`] pruning cascade (frozen histogram ranges, raw
-///   measure distances). `"k"` (default 5) bounds the corpus runs
-///   retrieved per posted run. The response carries `"mode"`, `"k"`,
-///   and a `"pruning"` object with the cascade's per-stage counters
-///   (summed over the posted runs), so clients can both tell the paths
-///   apart and see how much work the lower bounds saved.
+///   bit-identical to `wp_core::pipeline::find_most_similar`. Ranks the
+///   *startup* references only: the recipe is defined over the offline
+///   corpus, and its joint normalization would change answers
+///   retroactively if streamed references joined it.
+/// * `"indexed"` — top-k retrieval through the *live* corpus index
+///   (startup references plus every streamed tenant, frozen histogram
+///   ranges, raw measure distances). `"k"` (default 5) bounds the corpus
+///   runs retrieved per posted run. The response carries `"mode"`,
+///   `"k"`, and a `"pruning"` object with the cascade's per-stage
+///   counters (summed over the posted runs), so clients can both tell
+///   the paths apart and see how much work the lower bounds saved.
 fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     match doc.get("mode").and_then(Json::as_str) {
@@ -423,8 +495,9 @@ fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| ServiceError::bad_request("'k' must be a positive integer"))?,
             };
-            let (verdicts, stats) = state
-                .index
+            let engine = state.stream.read().expect("stream lock");
+            let (verdicts, stats) = engine
+                .index()
                 .rank_references_with_stats(&runs, k)
                 .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
             Ok(obj! {
@@ -521,7 +594,23 @@ mod tests {
             selection: Strategy::FAnova,
             ..PipelineConfig::default()
         };
-        ServiceState::new(corpus, config, Some(1), 16).unwrap()
+        ServiceState::new(corpus, config, Some(1), 16, StreamConfig::default()).unwrap()
+    }
+
+    fn ingest_body(tenant: &str, workload: &str, first_run: usize, n: usize) -> String {
+        let mut sim = Simulator::new(0xEDB7_2025);
+        sim.config.samples = 40;
+        let spec = match workload {
+            "TPC-H" => benchmarks::tpch(),
+            "YCSB" => benchmarks::ycsb(),
+            _ => benchmarks::tpcc(),
+        };
+        let terminals = if workload == "TPC-H" { 1 } else { 8 };
+        let runs: Vec<ExperimentRun> = (first_run..first_run + n)
+            .map(|r| sim.simulate(&spec, &Sku::new("cpu2", 2, 64.0), terminals, r, r % 3))
+            .collect();
+        let json = wp_telemetry::io::runs_to_json(&runs);
+        format!("{{\"tenant\":\"{tenant}\",\"runs\":{json}}}")
     }
 
     fn target_body(state_seed: u64) -> String {
@@ -653,6 +742,114 @@ mod tests {
         assert_eq!(cold, warm);
         let (hits, _) = state.responses.counters();
         assert!(hits >= 1, "second request must hit the response cache");
+    }
+
+    /// Satellite regression: before generation-aware cache keys, a
+    /// `/similar` answer cached against the startup corpus kept being
+    /// served after an ingest changed the corpus. The indexed answer for
+    /// YCSB runs must switch to the live YCSB tenant once it streams in.
+    #[test]
+    fn cached_similar_answer_is_not_served_across_an_ingest() {
+        let state = test_state();
+        let indexed_body = target_body(3).replacen('{', "{\"mode\":\"indexed\",\"k\":3,", 1);
+        let req = request("POST", "/similar", &indexed_body);
+
+        let (s, before) = handle(&state, &req);
+        assert_eq!(s, 200, "{before}");
+        // Warm the cache and prove it hits.
+        let (_, warm) = handle(&state, &req);
+        assert_eq!(before, warm);
+        let (hits, _) = state.responses.counters();
+        assert!(hits >= 1);
+
+        // Stream a YCSB tenant into the corpus (2 batches => live).
+        for batch in 0..2 {
+            let (s, resp) = handle(
+                &state,
+                &request(
+                    "POST",
+                    "/ingest",
+                    &ingest_body("ycsb-live", "YCSB", 10 + batch * 2, 2),
+                ),
+            );
+            assert_eq!(s, 200, "{resp}");
+        }
+        assert_eq!(state.generation(), 2);
+
+        // The same request bytes must now be answered by the new corpus,
+        // not the cached pre-ingest bytes.
+        let (s, after) = handle(&state, &req);
+        assert_eq!(s, 200, "{after}");
+        assert_ne!(before, after, "stale cached answer served after ingest");
+        let doc = Json::parse(&after).unwrap();
+        assert_eq!(
+            doc.get("most_similar").and_then(Json::as_str),
+            Some("live:ycsb-live"),
+            "{after}"
+        );
+    }
+
+    #[test]
+    fn ingest_drift_and_stats_endpoints() {
+        let state = test_state();
+
+        // Reject before accept: bad shapes never mutate the corpus.
+        let (s, _) = handle(&state, &request("POST", "/ingest", "{not json"));
+        assert_eq!(s, 400);
+        let (s, resp) = handle(&state, &request("POST", "/ingest", "{\"runs\":[]}"));
+        assert_eq!(s, 400, "{resp}");
+        let no_tenant = ingest_body("t", "TPC-C", 0, 1).replacen("\"tenant\":\"t\",", "", 1);
+        let (s, resp) = handle(&state, &request("POST", "/ingest", &no_tenant));
+        assert_eq!(s, 400, "{resp}");
+        assert!(resp.contains("tenant"), "{resp}");
+        assert_eq!(state.generation(), 0);
+
+        // Accept a batch; the outcome reports the corpus evolution.
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/ingest", &ingest_body("t1", "TPC-C", 0, 2)),
+        );
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("accepted_runs").and_then(Json::as_usize), Some(2));
+        assert_eq!(doc.get("generation").and_then(Json::as_usize), Some(1));
+        assert_eq!(doc.get("live_references").and_then(Json::as_usize), Some(1));
+
+        // Engine-level rejection (tenant name fails validation) leaves
+        // the corpus untouched and shows up in the stream counters.
+        let bad_name =
+            ingest_body("t", "TPC-C", 0, 1).replacen("\"tenant\":\"t\"", "\"tenant\":\"t !\"", 1);
+        let (s, resp) = handle(&state, &request("POST", "/ingest", &bad_name));
+        assert_eq!(s, 400, "{resp}");
+        assert_eq!(state.generation(), 1);
+
+        // Wrong methods.
+        let (s, _) = handle(&state, &request("GET", "/ingest", ""));
+        assert_eq!(s, 405);
+        let (s, _) = handle(&state, &request("POST", "/drift", ""));
+        assert_eq!(s, 405);
+
+        // The drift log and /stats stream section are visible.
+        let (s, resp) = handle(&state, &request("GET", "/drift", ""));
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("generation").and_then(Json::as_usize), Some(1));
+        assert!(doc.get("events").and_then(Json::as_arr).is_some(), "{resp}");
+
+        let (s, resp) = handle(&state, &request("GET", "/stats", ""));
+        assert_eq!(s, 200);
+        let doc = Json::parse(&resp).unwrap();
+        let stream = doc.get("stream").expect("stats has a stream section");
+        assert_eq!(
+            stream.get("ingested_batches").and_then(Json::as_usize),
+            Some(1),
+            "{resp}"
+        );
+        assert_eq!(
+            stream.get("rejected_batches").and_then(Json::as_usize),
+            Some(1),
+            "{resp}"
+        );
     }
 
     #[test]

@@ -17,12 +17,14 @@ use wp_linalg::stats::nearest_rank;
 use wp_obs::{LazyCounter, LazySpan};
 
 /// The routes the service accounts for, in display order.
-pub const ENDPOINTS: [&str; 7] = [
+pub const ENDPOINTS: [&str; 9] = [
     "/healthz",
     "/corpus",
     "/fingerprint",
     "/similar",
     "/predict",
+    "/ingest",
+    "/drift",
     "/stats",
     "other",
 ];
@@ -60,6 +62,8 @@ static OBS_ENDPOINTS: [EndpointObs; ENDPOINTS.len()] = [
     endpoint_obs!("/fingerprint"),
     endpoint_obs!("/similar"),
     endpoint_obs!("/predict"),
+    endpoint_obs!("/ingest"),
+    endpoint_obs!("/drift"),
     endpoint_obs!("/stats"),
     endpoint_obs!("other"),
 ];

@@ -19,10 +19,13 @@ use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::time::Duration;
 
+use wp_json::Json;
 use wp_linalg::Rng64;
 use wp_server::corpus::simulated_corpus;
 use wp_server::http::read_request;
 use wp_server::{Server, ServerConfig, ServerHandle};
+use wp_workloads::engine::Simulator;
+use wp_workloads::{benchmarks, Sku};
 
 const SEED: u64 = 0xF022_11E5;
 
@@ -191,6 +194,121 @@ fn newline_less_header_flood_is_rejected_early() {
         String::from_utf8_lossy(&health).starts_with("HTTP/1.1 200"),
         "server unhealthy after the flood"
     );
+    server.shutdown();
+}
+
+/// One well-formed `/ingest` body the ingest mutators start from.
+fn ingest_template() -> String {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 30;
+    let spec = benchmarks::tpcc();
+    let runs: Vec<_> = (0..2)
+        .map(|r| sim.simulate(&spec, &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+        .collect();
+    format!(
+        "{{\"tenant\":\"fuzz\",\"runs\":{}}}",
+        wp_telemetry::io::runs_to_json(&runs)
+    )
+}
+
+/// POSTs `body` to `/ingest` with correct framing; `None` means the
+/// server closed without a response (acceptable rejection).
+fn post_ingest(addr: SocketAddr, body: &[u8]) -> Option<u16> {
+    let mut request = format!(
+        "POST /ingest HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    let response = fire(addr, &request);
+    if response.is_empty() {
+        return None;
+    }
+    String::from_utf8_lossy(&response)
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+}
+
+/// The streaming engine's generation counter, read over HTTP.
+fn generation(addr: SocketAddr) -> u64 {
+    let response = fire(addr, b"GET /drift HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let text = String::from_utf8_lossy(&response);
+    let body = text.split("\r\n\r\n").nth(1).expect("drift response body");
+    Json::parse(body)
+        .expect("drift body is JSON")
+        .get("generation")
+        .and_then(Json::as_f64)
+        .expect("drift body has a generation") as u64
+}
+
+/// Satellite invariant for `POST /ingest`: hostile bodies — truncated
+/// batches, non-finite or negative samples, shape-shifted matrices,
+/// oversized payloads — produce clean 400s (or a close), never a panic
+/// and never a *partial* corpus mutation. The generation counter counts
+/// exactly the accepted batches, so any mutant that half-applied before
+/// erroring would show up as a generation/accepted mismatch.
+#[test]
+fn ingest_mutants_never_partially_mutate_the_corpus() {
+    let server = start_server();
+    let addr = server.addr();
+    let template = ingest_template();
+
+    // Targeted poisons: still valid JSON, but with a non-finite
+    // throughput, a negative sample interval, a non-finite sample inside
+    // the resource matrix, and a row/column shape lie. All must die in
+    // validation, before any mutation.
+    let poisoned = [
+        template.replacen("\"throughput\":", "\"throughput\":1e999,\"x\":", 1),
+        template.replacen(
+            "\"sample_interval_secs\":",
+            "\"sample_interval_secs\":-1,\"x\":",
+            1,
+        ),
+        template.replacen("          1,\n", "          1e999,\n", 1),
+        template.replacen("\"cols\": 7", "\"cols\": 8", 1),
+    ];
+    for (i, body) in poisoned.iter().enumerate() {
+        assert_ne!(body.as_str(), template, "poison {i} failed to splice");
+        let status = post_ingest(addr, body.as_bytes());
+        assert_eq!(status, Some(400), "poisoned body {i}: {status:?}");
+    }
+    assert_eq!(generation(addr), 0, "a poisoned body mutated the corpus");
+
+    // Seeded byte-level mutants of the valid body: bit flips, splices,
+    // truncations. Each must answer 200 (a mutant that stayed valid) or
+    // 400 — and the generation ledger must match the 200s exactly.
+    let mut accepted = 0u64;
+    let mut rng = Rng64::new(SEED ^ 0x1236_5417);
+    for case in 0..120 {
+        let bytes = mutate(&mut rng, template.as_bytes());
+        match post_ingest(addr, &bytes) {
+            None => {} // closed at the framing layer
+            Some(200) => accepted += 1,
+            Some(400) => {}
+            Some(s) => panic!("ingest mutant {case}: unexpected status {s}"),
+        }
+    }
+    assert_eq!(
+        generation(addr),
+        accepted,
+        "generation ledger diverged from accepted batches"
+    );
+
+    // A Content-Length past the body cap is bounced before buffering.
+    let huge = format!(
+        "POST /ingest HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        64 * 1024 * 1024
+    );
+    let response = fire(addr, huge.as_bytes());
+    if !response.is_empty() {
+        let head = String::from_utf8_lossy(&response);
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+
+    // The barrage left a working ingest path behind.
+    assert_eq!(post_ingest(addr, template.as_bytes()), Some(200));
+    assert_eq!(generation(addr), accepted + 1);
     server.shutdown();
 }
 
