@@ -21,14 +21,15 @@ usage:
   wp similar  --target <name> [--sku <sku>] [--top K] [--seed S]
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
-  wp serve    [--addr HOST:PORT] [--threads N] [--corpus FILE] [--samples N] [--seed S]
-              [--faults SPEC] [--obs]
+  wp serve    [--addr HOST:PORT] [--threads N] [--backend workers|reactor]
+              [--corpus FILE] [--samples N] [--seed S] [--faults SPEC] [--obs]
   wp chaos    [--plan SPEC] [--requests N] [--connections N] [--seed S] [--samples N]
               [--timeout SECONDS] [--retries N] [--out FILE] [--verify-determinism]
-              [--obs]
+              [--backend workers|reactor] [--obs]
   wp stream   [--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N]
               [--shift-after N] [--samples N] [--seed S] [--timeout SECONDS]
-              [--faults SPEC] [--out FILE] [--verify-determinism] [--obs]
+              [--faults SPEC] [--out FILE] [--verify-determinism]
+              [--backend workers|reactor] [--obs]
   wp trace    [--samples N] [--seed S] [--json]
   wp index-bench [--size N] [--queries N] [--k K] [--samples N] [--json] [--seed S]
 
@@ -40,6 +41,17 @@ strategies: variance | pearson | fanova | migain | lasso | elasticnet |
             randomforest | rfe-linear | rfe-dectree | rfe-logreg | baseline";
 
 const DEFAULT_SEED: u64 = 0xEDB7_2025;
+
+/// Parses the `--backend` flag shared by `serve`, `chaos`, and
+/// `stream`: `workers` (the default blocking pool) or `reactor` (the
+/// event-driven tier).
+fn backend_from(args: &Args) -> Result<wp_server::Backend, String> {
+    match args.get("backend") {
+        None => Ok(wp_server::Backend::default()),
+        Some(name) => wp_server::Backend::parse(name)
+            .ok_or_else(|| format!("unknown backend '{name}' (expected workers|reactor)")),
+    }
+}
 
 /// True when the `WP_OBS` environment variable asks for observability
 /// (set to anything but `""` or `"0"`), mirroring how `WP_FAULTS` arms
@@ -308,12 +320,18 @@ fn cmd_export(args: &Args) -> Result<(), String> {
 /// enables the `wp-obs` registry and routes `GET /metrics`. Without it
 /// the server's responses are byte-identical to a build without the
 /// observability layer.
+///
+/// `--backend reactor` swaps the blocking worker pool for the
+/// `wp-reactor` event loop: the same endpoints, byte-identical
+/// responses, but thousands of keep-alive connections multiplexed over
+/// `--threads` event-loop threads instead of one thread per connection.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:8080").to_string();
     let threads: usize = args.parsed_or("threads", 4)?;
     let samples: usize = args.parsed_or("samples", 120)?;
     let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
     let obs = args.switch("obs") || obs_from_env();
+    let backend = backend_from(args)?;
     let faults = match args.get("faults") {
         Some(spec) => wp_faults::FaultPlan::parse(spec)?,
         None => wp_faults::FaultPlan::from_env()?.unwrap_or_default(),
@@ -344,6 +362,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let config = wp_server::ServerConfig {
         addr,
         workers: threads.max(1),
+        backend,
         faults,
         obs,
         ..wp_server::ServerConfig::default()
@@ -354,7 +373,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         names.len(),
         names.join(", ")
     );
+    // Keep this line's exact shape: the CI smoke jobs poll for it and
+    // strip the prefix to learn the OS-assigned port.
     println!("listening on http://{}", handle.addr());
+    println!("backend: {}", handle.backend());
     // Piped stdout is block-buffered; the smoke script polls for the
     // address line, so push it out before blocking in wait().
     use std::io::Write as _;
@@ -488,6 +510,10 @@ fn fetch_until_ok(
 /// an `"obs"` section of the output document. The section carries
 /// timings, so it is deliberately excluded from the determinism
 /// comparison — only the taxonomy is replay-compared.
+///
+/// `--backend reactor` runs the storm against the event-driven serving
+/// tier instead of the worker pool; the invariants and the determinism
+/// contract are identical.
 fn cmd_chaos(args: &Args) -> Result<(), String> {
     use std::time::Duration;
     use wp_faults::FaultPlan;
@@ -511,6 +537,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 2.0)?);
     let out = args.get("out").unwrap_or("BENCH_chaos.json").to_string();
     let obs = args.switch("obs") || obs_from_env();
+    let backend = backend_from(args)?;
     if requests == 0 {
         return Err("--requests must be positive".to_string());
     }
@@ -537,6 +564,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             wp_server::ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 2,
+                backend,
                 faults: plan.clone(),
                 ..wp_server::ServerConfig::default()
             },
@@ -660,6 +688,10 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 /// the ledger/liveness invariants are what the run is about. Scope the
 /// plan to the ingest path (e.g. `error:/ingest=0.3`) to keep the
 /// post-run probes clean.
+///
+/// `--backend reactor` streams into the event-driven serving tier; the
+/// ledger invariants and the `/drift` determinism contract hold
+/// unchanged because ingest ordering is serialized in both backends.
 fn cmd_stream(args: &Args) -> Result<(), String> {
     use std::time::Duration;
     use wp_faults::FaultPlan;
@@ -674,6 +706,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 10.0)?);
     let out = args.get("out").unwrap_or("BENCH_stream.json").to_string();
     let obs = args.switch("obs") || obs_from_env();
+    let backend = backend_from(args)?;
     if batches == 0 || tenants == 0 {
         return Err("--batches and --tenants must be positive".to_string());
     }
@@ -698,6 +731,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             wp_server::ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 2,
+                backend,
                 faults: plan.clone().unwrap_or_default(),
                 obs,
                 ..wp_server::ServerConfig::default()

@@ -727,6 +727,339 @@ pub fn run_stream(config: &StreamerConfig) -> Result<StreamReport, String> {
     })
 }
 
+/// How the stepped-load scaling mode ramps concurrency.
+///
+/// The step schedule answers the serving-tier question the closed loop
+/// cannot: *how does latency and throughput move as concurrent
+/// keep-alive connections grow?* Each step opens `connections` closed
+/// loops, measures for [`StepConfig::step_duration`], and tears them
+/// down; the first step is preceded by a warmup whose latencies are
+/// discarded. Every response is validated byte-for-byte against a
+/// prefetched expected answer, so the curve only counts *correct* work.
+#[derive(Debug, Clone)]
+pub struct StepConfig {
+    /// Server address, e.g. `127.0.0.1:8080`.
+    pub addr: String,
+    /// Connection counts, one step each, in ramp order.
+    pub steps: Vec<usize>,
+    /// Warmup before the first step; latencies discarded.
+    pub warmup: Duration,
+    /// Measurement window per step.
+    pub step_duration: Duration,
+    /// Seed for the per-connection request-mix streams.
+    pub seed: u64,
+    /// Samples per simulated run in the request bodies.
+    pub samples: usize,
+    /// Per-request read timeout.
+    pub timeout: Duration,
+}
+
+impl Default for StepConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            steps: vec![32, 64, 128, 256, 512, 1024],
+            warmup: Duration::from_secs(1),
+            step_duration: Duration::from_secs(2),
+            seed: 42,
+            samples: 30,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One rung of the scaling curve.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Concurrent closed-loop connections during this step.
+    pub connections: usize,
+    /// Validated responses completed in the measurement window.
+    pub requests: u64,
+    /// Transport failures (connect, reset, timeout) in the window.
+    pub errors: u64,
+    /// Responses that arrived but did not match the expected bytes
+    /// (wrong status or wrong body).
+    pub validation_failures: u64,
+    /// Validated requests divided by the window length.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds (nearest rank).
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst measured latency, milliseconds.
+    pub max_ms: f64,
+}
+
+/// The full scaling curve (written to `BENCH_scaling.json`).
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Configured warmup length in seconds.
+    pub warmup_s: f64,
+    /// Configured per-step measurement window in seconds.
+    pub step_s: f64,
+    /// One entry per configured step, in ramp order.
+    pub steps: Vec<StepResult>,
+}
+
+impl StepReport {
+    /// Renders the curve: a flat header plus a `steps` array in the
+    /// `BENCH_runtime.json` style.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<Json> = self
+            .steps
+            .iter()
+            .map(|s| {
+                obj! {
+                    "connections" => s.connections as f64,
+                    "requests" => s.requests as f64,
+                    "errors" => s.errors as f64,
+                    "validation_failures" => s.validation_failures as f64,
+                    "throughput_rps" => s.throughput_rps,
+                    "p50_ms" => s.p50_ms,
+                    "p95_ms" => s.p95_ms,
+                    "p99_ms" => s.p99_ms,
+                    "max_ms" => s.max_ms,
+                }
+            })
+            .collect();
+        obj! {
+            "experiment" => "server_scaling",
+            "warmup_s" => self.warmup_s,
+            "step_s" => self.step_s,
+            "steps" => Json::Arr(steps),
+        }
+        .pretty()
+    }
+}
+
+/// The byte-validatable request mix: [`default_mix`] minus `/stats`,
+/// whose body changes with every request served and so can never match
+/// a prefetched answer.
+pub fn validated_mix(seed: u64, samples: usize) -> Vec<MixEntry> {
+    default_mix(seed, samples)
+        .into_iter()
+        .filter(|e| e.path != "/stats")
+        .collect()
+}
+
+/// Runs the stepped-load ramp against `config.addr`.
+///
+/// Before the ramp, every mix entry is probed once and its response
+/// stored: handlers are deterministic functions of the request body and
+/// the corpus generation, and the mix never ingests, so one probe pins
+/// the full expected byte set. During the ramp every response is
+/// compared against it — a mismatch counts as a validation failure, not
+/// a request.
+pub fn run_steps(config: &StepConfig) -> Result<StepReport, String> {
+    if config.steps.is_empty() {
+        return Err("step schedule is empty".to_string());
+    }
+    let mix = validated_mix(config.seed, config.samples);
+    let total_weight: u32 = mix.iter().map(|e| e.weight).sum();
+    let max_conns = *config.steps.iter().max().expect("non-empty steps");
+    // One fd per connection plus headroom for the process's own files.
+    wp_reactor::raise_nofile_limit(max_conns as u64 * 2 + 256);
+
+    let mut expected: Vec<String> = Vec::with_capacity(mix.len());
+    for entry in &mix {
+        let (status, body) = fetch(
+            &config.addr,
+            entry.method,
+            entry.path,
+            &entry.body,
+            config.timeout,
+        )
+        .map_err(|class| format!("prefetch {} failed: {}", entry.path, class.label()))?;
+        if status != 200 {
+            return Err(format!("prefetch {} answered {status}", entry.path));
+        }
+        expected.push(body);
+    }
+
+    let mut steps = Vec::with_capacity(config.steps.len());
+    for (step_index, &connections) in config.steps.iter().enumerate() {
+        let connections = connections.max(1);
+        let warmup = if step_index == 0 {
+            config.warmup
+        } else {
+            Duration::ZERO
+        };
+        let start = Instant::now();
+        let warmup_end = start + warmup;
+        let end = warmup_end + config.step_duration;
+
+        let results: Vec<StepWorker> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..connections)
+                .map(|c| {
+                    // Distinct per-(step, connection) mix streams.
+                    let seed = config
+                        .seed
+                        .wrapping_add((step_index as u64) << 32)
+                        .wrapping_add(c as u64);
+                    let mix = &mix;
+                    let expected = &expected;
+                    let addr = &config.addr;
+                    let timeout = config.timeout;
+                    // Small stacks: a 1024-connection step would reserve
+                    // gigabytes at the default thread stack size.
+                    std::thread::Builder::new()
+                        .stack_size(256 * 1024)
+                        .spawn_scoped(s, move || {
+                            step_worker(
+                                addr,
+                                timeout,
+                                mix,
+                                total_weight,
+                                expected,
+                                seed,
+                                warmup_end,
+                                end,
+                            )
+                        })
+                        .expect("spawn step worker")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(StepWorker {
+                        latencies: Vec::new(),
+                        errors: 1,
+                        validation_failures: 0,
+                    })
+                })
+                .collect()
+        });
+
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut errors = 0u64;
+        let mut validation_failures = 0u64;
+        for r in results {
+            latencies_ns.extend(r.latencies);
+            errors += r.errors;
+            validation_failures += r.validation_failures;
+        }
+        latencies_ns.sort_unstable();
+        let window_s = config.step_duration.as_secs_f64();
+        let to_ms = |ns: u64| ns as f64 / 1e6;
+        steps.push(StepResult {
+            connections,
+            requests: latencies_ns.len() as u64,
+            errors,
+            validation_failures,
+            throughput_rps: if window_s > 0.0 {
+                latencies_ns.len() as f64 / window_s
+            } else {
+                0.0
+            },
+            p50_ms: to_ms(percentile(&latencies_ns, 50.0)),
+            p95_ms: to_ms(percentile(&latencies_ns, 95.0)),
+            p99_ms: to_ms(percentile(&latencies_ns, 99.0)),
+            max_ms: to_ms(latencies_ns.last().copied().unwrap_or(0)),
+        });
+    }
+    Ok(StepReport {
+        warmup_s: config.warmup.as_secs_f64(),
+        step_s: config.step_duration.as_secs_f64(),
+        steps,
+    })
+}
+
+/// What one stepped-load connection thread hands back.
+struct StepWorker {
+    latencies: Vec<u64>,
+    errors: u64,
+    validation_failures: u64,
+}
+
+/// One validated closed loop: send, read, byte-compare, repeat until the
+/// step deadline. No retries — in the scaling run the server is
+/// fault-free, so any failure is signal, not weather.
+#[allow(clippy::too_many_arguments)]
+fn step_worker(
+    addr: &str,
+    timeout: Duration,
+    mix: &[MixEntry],
+    total_weight: u32,
+    expected: &[String],
+    seed: u64,
+    warmup_end: Instant,
+    end: Instant,
+) -> StepWorker {
+    let mut rng = Rng64::new(seed);
+    let mut out = StepWorker {
+        latencies: Vec::new(),
+        errors: 0,
+        validation_failures: 0,
+    };
+    let mut conn: Option<Connection> = None;
+    loop {
+        let started = Instant::now();
+        if started >= end {
+            break;
+        }
+        let idx = draw_index(mix, total_weight, &mut rng);
+        let entry = &mix[idx];
+        let measured = started >= warmup_end;
+        let c = match conn.as_mut() {
+            Some(c) => c,
+            None => match open_with_retry(addr, timeout, end) {
+                Some(opened) => conn.insert(opened),
+                None => {
+                    // Could not (re)connect before the deadline. Only a
+                    // measured-window failure taints the step.
+                    if measured {
+                        out.errors += 1;
+                    }
+                    break;
+                }
+            },
+        };
+        let result = c.send(entry, entry.path).and_then(|()| c.read_response());
+        let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        match result {
+            Ok((status, keep_alive, body)) => {
+                if !keep_alive {
+                    conn = None;
+                }
+                if status != 200 || body != expected[idx] {
+                    if measured {
+                        out.validation_failures += 1;
+                    }
+                } else if measured {
+                    out.latencies.push(elapsed_ns);
+                }
+            }
+            Err(_) => {
+                conn = None;
+                if measured {
+                    out.errors += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Opens a connection, absorbing transient refusals (listen-backlog
+/// pressure while a big step ramps) with short sleeps until `deadline`.
+fn open_with_retry(addr: &str, timeout: Duration, deadline: Instant) -> Option<Connection> {
+    const PAUSE: Duration = Duration::from_millis(50);
+    loop {
+        match Connection::open(addr, timeout) {
+            Ok(conn) => return Some(conn),
+            Err(_) => {
+                if Instant::now() + PAUSE >= deadline {
+                    return None;
+                }
+                std::thread::sleep(PAUSE);
+            }
+        }
+    }
+}
+
 /// What one connection thread hands back.
 struct ConnResult {
     latencies: Vec<u64>,
@@ -882,14 +1215,20 @@ fn timed_loop(
 
 /// Weighted draw from the mix (integer lottery over `total_weight`).
 fn draw<'m>(mix: &'m [MixEntry], total_weight: u32, rng: &mut Rng64) -> &'m MixEntry {
+    &mix[draw_index(mix, total_weight, rng)]
+}
+
+/// [`draw`], returning the entry's index (the stepped-load validator
+/// keys its expected-bytes table by mix position).
+fn draw_index(mix: &[MixEntry], total_weight: u32, rng: &mut Rng64) -> usize {
     let mut ticket = rng.below(total_weight as usize) as u32;
-    for entry in mix {
+    for (i, entry) in mix.iter().enumerate() {
         if ticket < entry.weight {
-            return entry;
+            return i;
         }
         ticket -= entry.weight;
     }
-    &mix[mix.len() - 1]
+    mix.len() - 1
 }
 
 /// One keep-alive client connection with buffered reader/writer halves.

@@ -10,6 +10,9 @@
 //!            [--tenants 2] [--batches 12] [--runs-per-batch 2]
 //!            [--shift-after N] [--seed N] [--samples 30]
 //!            [--timeout 30] [--out BENCH_stream.json]
+//! wp-loadgen --mode step --addr 127.0.0.1:8080 [--steps 32,64,...,1024]
+//!            [--warmup 1] [--step-duration 2] [--seed 42] [--samples 30]
+//!            [--timeout 30] [--out BENCH_scaling.json]
 //! ```
 //!
 //! `--requests N` switches to fixed-request mode: each connection
@@ -23,6 +26,13 @@
 //! tenant's stream shape-shift at batch `N` (the scripted drift
 //! scenario); without it the streams are stationary and a healthy
 //! detector stays silent.
+//!
+//! `--mode step` runs the stepped-load scaling ramp: one closed-loop
+//! phase per connection count in `--steps`, every response validated
+//! byte-for-byte against a prefetched expected answer, and the
+//! throughput/latency curve written to `BENCH_scaling.json`. Exits
+//! non-zero when any step saw a transport error, a validation mismatch,
+//! or zero completed requests.
 //!
 //! `--metrics-out FILE` additionally scrapes `GET /metrics` after the
 //! run (the server must be running with `--obs`), verifies the
@@ -38,14 +48,19 @@
 use std::time::Duration;
 
 use wp_json::{obj, Json};
-use wp_loadgen::{default_mix, run_load, run_stream, LoadConfig, StreamerConfig};
+use wp_loadgen::{
+    default_mix, run_load, run_steps, run_stream, LoadConfig, StepConfig, StreamerConfig,
+};
 
 const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
 [--warmup SECONDS] [--duration SECONDS] [--seed N] [--samples N] \
 [--timeout SECONDS] [--retries N] [--requests N] [--out FILE] \
 [--metrics-out FILE]\n       wp-loadgen --mode streamer --addr HOST:PORT \
 [--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N] \
-[--shift-after N] [--seed N] [--samples N] [--timeout SECONDS] [--out FILE]";
+[--shift-after N] [--seed N] [--samples N] [--timeout SECONDS] [--out FILE]\n       \
+wp-loadgen --mode step --addr HOST:PORT [--steps N,N,...] \
+[--warmup SECONDS] [--step-duration SECONDS] [--seed N] [--samples N] \
+[--timeout SECONDS] [--out FILE]";
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -68,6 +83,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         return match mode.as_str() {
             "closed-loop" => run_closed_loop(args),
             "streamer" => run_streamer(args),
+            "step" => run_step_mode(args),
             _ => Err(format!("unknown mode {mode:?}\n{USAGE}")),
         };
     }
@@ -167,6 +183,103 @@ fn run_streamer(args: Vec<String>) -> Result<(), String> {
     }
     if report.batches_accepted == 0 {
         return Err("no ingest batch was accepted".to_string());
+    }
+    Ok(())
+}
+
+/// The stepped-load scaling ramp: parse its flags, run the steps, write
+/// the curve, and gate on validated-clean results.
+fn run_step_mode(args: Vec<String>) -> Result<(), String> {
+    let mut config = StepConfig::default();
+    let mut addr_set = false;
+    let mut out = "BENCH_scaling.json".to_string();
+
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return Ok(());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+        let parse_f64 = |v: &str| -> Result<f64, String> {
+            v.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite() && *x >= 0.0)
+                .ok_or_else(|| format!("{flag}: not a non-negative number: {v:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                config.addr = value;
+                addr_set = true;
+            }
+            "--steps" => {
+                config.steps = value
+                    .split(',')
+                    .map(|part| {
+                        part.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|n| *n > 0)
+                            .ok_or_else(|| format!("--steps: not a positive integer: {part:?}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if config.steps.is_empty() {
+                    return Err("--steps: empty schedule".to_string());
+                }
+            }
+            "--warmup" => config.warmup = Duration::from_secs_f64(parse_f64(&value)?),
+            "--step-duration" => config.step_duration = Duration::from_secs_f64(parse_f64(&value)?),
+            "--timeout" => config.timeout = Duration::from_secs_f64(parse_f64(&value)?),
+            "--seed" => {
+                config.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: not an integer: {value:?}"))?;
+            }
+            "--samples" => {
+                config.samples = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--samples: not a positive integer: {value:?}"))?;
+            }
+            "--out" => out = value,
+            _ => return Err(format!("unknown flag {flag:?}\n{USAGE}")),
+        }
+    }
+    if !addr_set {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+
+    println!(
+        "wp-loadgen: stepped load {:?} against http://{} ({}s warmup, {}s per step)",
+        config.steps,
+        config.addr,
+        config.warmup.as_secs_f64(),
+        config.step_duration.as_secs_f64()
+    );
+    let report = run_steps(&config)?;
+    std::fs::write(&out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let mut failed = false;
+    for step in &report.steps {
+        println!(
+            "wp-loadgen: step {:>5} conns: {} requests, {} errors, {} validation failures, \
+             {:.1} req/s; p50 {:.3} ms, p99 {:.3} ms",
+            step.connections,
+            step.requests,
+            step.errors,
+            step.validation_failures,
+            step.throughput_rps,
+            step.p50_ms,
+            step.p99_ms
+        );
+        failed |= step.errors > 0 || step.validation_failures > 0 || step.requests == 0;
+    }
+    println!("wp-loadgen: scaling curve -> {out}");
+    if failed {
+        return Err("a step saw errors, validation failures, or zero requests".to_string());
     }
     Ok(())
 }

@@ -1,0 +1,679 @@
+//! The event-loop shards: accept, per-connection state machines,
+//! deadline wheel, and drain-on-shutdown.
+//!
+//! Connection lifecycle (half-duplex — a pipelined successor request
+//! is parsed only after the current response is fully written):
+//!
+//! ```text
+//!           accept
+//!             │
+//!             ▼          bytes          framed           delay=0
+//!     ┌─► Idle/Reading ───────► parse ────────► respond ────────┐
+//!     │        │                  │                │delay>0     │
+//!     │        │idle deadline     │Reject          ▼            ▼
+//!     │        ▼                  │              Delay ────► Writing ◄─┐
+//!     │   timeout response        └──────────────────────────►  │      │pause
+//!     │   (or silent close)                                     │      │
+//!     │                                           keep-alive    │  WritePause
+//!     └─────────────────────────────────────────────────────────┤
+//!                                                               │close/truncate
+//!                                                               ▼
+//!                                                             closed
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::poller::{Event, Poller, INTEREST_NONE, INTEREST_READ, INTEREST_WRITE};
+use crate::slab::Slab;
+use crate::wheel::DeadlineWheel;
+use crate::{App, Parse, ReactorConfig, Response, WriteMode};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Wheel resolution: 5ms ticks over 2048 slots gives a ~10s horizon;
+/// longer deadlines (the 30s idle default) ride the lazy re-insert.
+const WHEEL_TICK: Duration = Duration::from_millis(5);
+const WHEEL_SLOTS: usize = 2048;
+
+/// Upper bound on one poll sleep, so the shutdown flag is observed on
+/// a bounded cadence even if a wake byte is lost.
+const MAX_WAIT: Duration = Duration::from_millis(500);
+
+/// Per-readiness-event read budget: keeps one firehose connection from
+/// starving the rest of the shard (level-triggered polling re-reports
+/// the remainder).
+const READ_BUDGET: usize = 256 * 1024;
+
+pub(crate) fn start<A: App>(
+    listener: TcpListener,
+    app: Arc<A>,
+    config: ReactorConfig,
+) -> std::io::Result<ReactorHandle> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = config.threads.max(1);
+    let mut wakers = Vec::with_capacity(threads);
+    let mut joins = Vec::with_capacity(threads);
+    let mut backend = "poll";
+    for id in 0..threads {
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        let shard_listener = listener.try_clone()?;
+        let mut poller = Poller::new(config.force_poll)?;
+        backend = poller.backend_name();
+        poller.add(shard_listener.as_raw_fd(), TOKEN_LISTENER, INTEREST_READ)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, INTEREST_READ)?;
+        let shard = Shard {
+            id,
+            app: Arc::clone(&app),
+            listener: shard_listener,
+            wake: wake_rx,
+            poller,
+            conns: Slab::new(),
+            wheel: DeadlineWheel::new(WHEEL_TICK, WHEEL_SLOTS, Instant::now()),
+            idle_timeout: config.idle_timeout,
+            drain_timeout: config.drain_timeout,
+            draining: false,
+            drain_deadline: None,
+            shutdown: Arc::clone(&shutdown),
+        };
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("wp-reactor-{id}"))
+                .spawn(move || shard.run())?,
+        );
+        wakers.push(wake_tx);
+    }
+    Ok(ReactorHandle {
+        shutdown,
+        wakers,
+        joins,
+        backend,
+    })
+}
+
+/// Owns the shard threads. `shutdown` drains gracefully; `wait` parks
+/// until the reactor exits on its own (it never does unless shut down
+/// from elsewhere or every shard dies).
+pub struct ReactorHandle {
+    shutdown: Arc<AtomicBool>,
+    wakers: Vec<UnixStream>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+    backend: &'static str,
+}
+
+impl ReactorHandle {
+    /// Which readiness backend the shards run on ("epoll" or "poll").
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// Signals every shard, then joins them. Idle connections close
+    /// immediately; in-flight ones get the drain window to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.wakers {
+            let _ = (&*waker).write(&[1]);
+        }
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+
+    pub fn wait(mut self) {
+        for join in self.joins.drain(..) {
+            let _ = join.join();
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Keep-alive, no buffered request bytes.
+    Idle,
+    /// Partial request bytes buffered.
+    Reading,
+    /// Response rendered, injected latency pending.
+    Delay,
+    /// Response bytes draining to the socket.
+    Writing,
+    /// Between fault-injected write chunks.
+    WritePause,
+}
+
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    eof: bool,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// End of the current write segment (chunked writes advance it).
+    segment_end: usize,
+    /// Total bytes that will ever be written (truncation stops short).
+    write_end: usize,
+    /// Chunk length for paced writes; 0 means a single segment.
+    chunk: usize,
+    pause: Duration,
+    keep_alive: bool,
+    phase: Phase,
+    interest: u8,
+    deadline: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Instant) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            eof: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            segment_end: 0,
+            write_end: 0,
+            chunk: 0,
+            pause: Duration::ZERO,
+            keep_alive: false,
+            phase: Phase::Idle,
+            interest: INTEREST_READ,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Loads a response and its delivery plan; the caller sets the
+    /// phase (Delay or Writing).
+    fn load_response(&mut self, response: Response) {
+        let len = response.bytes.len();
+        self.write_buf = response.bytes;
+        self.write_pos = 0;
+        self.keep_alive = response.keep_alive;
+        self.pause = Duration::ZERO;
+        self.chunk = 0;
+        self.write_end = len;
+        self.segment_end = len;
+        match response.write {
+            WriteMode::Full => {}
+            WriteMode::Chunked { chunks, pause } => {
+                self.chunk = len.div_ceil(chunks.max(1) as usize).max(1);
+                self.segment_end = self.chunk.min(len);
+                self.pause = pause;
+            }
+            WriteMode::TruncateHalf => {
+                self.write_end = len / 2;
+                self.segment_end = self.write_end;
+                self.keep_alive = false;
+            }
+        }
+    }
+
+    /// Loads raw bytes (reject/timeout responses) that always close.
+    fn load_final_bytes(&mut self, bytes: Vec<u8>) {
+        self.load_response(Response::new(bytes, false));
+    }
+}
+
+enum WriteStep {
+    Blocked,
+    Finished,
+    Pause,
+    Closed,
+}
+
+struct Shard<A: App> {
+    id: usize,
+    app: Arc<A>,
+    listener: TcpListener,
+    wake: UnixStream,
+    poller: Poller,
+    conns: Slab<Conn>,
+    wheel: DeadlineWheel,
+    idle_timeout: Duration,
+    drain_timeout: Duration,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<A: App> Shard<A> {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(1024);
+        loop {
+            let now = Instant::now();
+            if self.shutdown.load(Ordering::SeqCst) && !self.draining {
+                self.begin_drain(now);
+            }
+            if self.draining {
+                let expired = self.drain_deadline.is_some_and(|d| now >= d);
+                if self.conns.is_empty() || expired {
+                    for token in self.conns.keys() {
+                        self.close(token);
+                    }
+                    return;
+                }
+            }
+            let timeout = self.wait_budget(now);
+            events.clear();
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                // A transient poller failure must not spin the loop.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let now = Instant::now();
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(now),
+                    TOKEN_WAKE => self.drain_wake(),
+                    token => self.on_event(token as usize, *ev, now),
+                }
+            }
+            events = batch;
+            self.fire_timers(Instant::now());
+        }
+    }
+
+    fn wait_budget(&self, now: Instant) -> Duration {
+        let mut budget = MAX_WAIT;
+        if let Some(next) = self.wheel.next_deadline() {
+            budget = budget.min(next.saturating_duration_since(now));
+        }
+        if let Some(drain) = self.drain_deadline {
+            budget = budget.min(drain.saturating_duration_since(now));
+        }
+        budget
+    }
+
+    fn drain_wake(&mut self) {
+        let mut sink = [0u8; 64];
+        loop {
+            match self.wake.read(&mut sink) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_ready(&mut self, now: Instant) {
+        if self.draining {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if !self.app.on_accept() {
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let deadline = now + self.idle_timeout;
+                    let fd = stream.as_raw_fd();
+                    let token = self.conns.insert(Conn::new(stream, deadline));
+                    if self.poller.add(fd, token as u64, INTEREST_READ).is_err() {
+                        self.conns.remove(token);
+                        continue;
+                    }
+                    self.wheel.insert(token, deadline);
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // EMFILE and friends: back off, level-triggered polling
+                // re-reports the pending accept next iteration.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn on_event(&mut self, token: usize, ev: Event, now: Instant) {
+        let Some(phase) = self.conns.get(token).map(|c| c.phase) else {
+            return; // closed earlier in this batch
+        };
+        match phase {
+            Phase::Idle | Phase::Reading => {
+                if ev.readable && self.read_some(token, now) {
+                    self.drive(token, now);
+                }
+            }
+            Phase::Writing => {
+                if ev.writable {
+                    self.drive(token, now);
+                }
+            }
+            // Timer-driven phases: a hangup here surfaces when the
+            // write resumes and fails.
+            Phase::Delay | Phase::WritePause => {}
+        }
+    }
+
+    /// Appends available bytes to the read buffer. Returns false when
+    /// the connection was closed on a read error.
+    fn read_some(&mut self, token: usize, now: Instant) -> bool {
+        let mut scratch = [0u8; 16 * 1024];
+        let mut failed = false;
+        let mut progressed = false;
+        {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return false;
+            };
+            let mut budget = READ_BUDGET;
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.read_buf.extend_from_slice(&scratch[..n]);
+                        progressed = true;
+                        budget = budget.saturating_sub(n);
+                        if budget == 0 {
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if progressed && !failed {
+                // Activity refreshes the idle deadline; the stale wheel
+                // entry re-inserts itself when it fires early.
+                conn.deadline = Some(now + self.idle_timeout);
+            }
+        }
+        if failed {
+            self.close(token);
+            return false;
+        }
+        true
+    }
+
+    /// The state pump: parse → respond → write, looping across
+    /// keep-alive boundaries until the connection blocks, waits on a
+    /// timer, or closes.
+    fn drive(&mut self, token: usize, now: Instant) {
+        loop {
+            let Some(phase) = self.conns.get(token).map(|c| c.phase) else {
+                return;
+            };
+            match phase {
+                Phase::Idle | Phase::Reading => {
+                    if !self.parse_step(token, now) {
+                        return;
+                    }
+                }
+                Phase::Writing => match self.pump_write(token) {
+                    WriteStep::Finished => {
+                        let keep = self.conns.get(token).map(|c| c.keep_alive).unwrap_or(false);
+                        if !keep || self.draining {
+                            self.close(token);
+                            return;
+                        }
+                        let deadline = now + self.idle_timeout;
+                        if let Some(conn) = self.conns.get_mut(token) {
+                            conn.phase = Phase::Idle;
+                            conn.deadline = Some(deadline);
+                            conn.write_buf = Vec::new();
+                            conn.write_pos = 0;
+                        }
+                        self.wheel.insert(token, deadline);
+                        self.set_interest(token, INTEREST_READ);
+                        // Loop: a pipelined request may already be
+                        // buffered.
+                    }
+                    WriteStep::Blocked => {
+                        // Cap how long an unread response may pin the
+                        // connection (a never-reading client).
+                        let deadline = now + self.idle_timeout;
+                        if let Some(conn) = self.conns.get_mut(token) {
+                            if conn.deadline.is_none() {
+                                conn.deadline = Some(deadline);
+                            }
+                        }
+                        self.wheel.insert(token, deadline);
+                        self.set_interest(token, INTEREST_WRITE);
+                        return;
+                    }
+                    WriteStep::Pause => {
+                        let deadline =
+                            now + self.conns.get(token).map(|c| c.pause).unwrap_or_default();
+                        if let Some(conn) = self.conns.get_mut(token) {
+                            conn.phase = Phase::WritePause;
+                            conn.deadline = Some(deadline);
+                        }
+                        self.wheel.insert(token, deadline);
+                        self.set_interest(token, INTEREST_NONE);
+                        return;
+                    }
+                    WriteStep::Closed => {
+                        self.close(token);
+                        return;
+                    }
+                },
+                Phase::Delay | Phase::WritePause => return,
+            }
+        }
+    }
+
+    /// Parses at most one request and stages its response. Returns
+    /// true when `drive` should keep pumping (a response is staged or
+    /// the connection advanced), false when it should yield.
+    fn parse_step(&mut self, token: usize, now: Instant) -> bool {
+        let app = Arc::clone(&self.app);
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(token) else {
+                return false;
+            };
+            if conn.read_buf.is_empty() && !conn.eof {
+                conn.phase = Phase::Idle;
+                None
+            } else {
+                let eof = conn.eof;
+                Some(app.parse(self.id, &conn.read_buf, eof))
+            }
+        };
+        let Some(outcome) = outcome else {
+            self.set_interest(token, INTEREST_READ);
+            return false;
+        };
+        match outcome {
+            Parse::Incomplete => {
+                let eof = self.conns.get(token).map(|c| c.eof).unwrap_or(true);
+                if eof {
+                    // Contract violation fallback: nothing more will
+                    // arrive, so an incomplete frame can only close.
+                    self.close(token);
+                    return false;
+                }
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.phase = Phase::Reading;
+                }
+                self.set_interest(token, INTEREST_READ);
+                false
+            }
+            Parse::Close => {
+                self.close(token);
+                false
+            }
+            Parse::Reject { response } => {
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.read_buf.clear();
+                    conn.load_final_bytes(response);
+                    conn.phase = Phase::Writing;
+                    conn.deadline = None;
+                }
+                true
+            }
+            Parse::Complete { request, consumed } => {
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.read_buf.drain(..consumed.min(conn.read_buf.len()));
+                }
+                let force_close = self.draining;
+                let shard = self.id;
+                let response = match catch_unwind(AssertUnwindSafe(|| {
+                    app.respond(shard, request, force_close)
+                })) {
+                    Ok(response) => response,
+                    Err(_) => {
+                        // A panicking handler forfeits the
+                        // connection, like a panicking worker
+                        // thread in the blocking pool.
+                        self.close(token);
+                        return false;
+                    }
+                };
+                let delay = response.delay;
+                if let Some(conn) = self.conns.get_mut(token) {
+                    conn.load_response(response);
+                    if delay.is_zero() {
+                        conn.phase = Phase::Writing;
+                        conn.deadline = None;
+                    } else {
+                        conn.phase = Phase::Delay;
+                        conn.deadline = Some(now + delay);
+                    }
+                }
+                if !delay.is_zero() {
+                    self.wheel.insert(token, now + delay);
+                    self.set_interest(token, INTEREST_NONE);
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    fn pump_write(&mut self, token: usize) -> WriteStep {
+        let Some(conn) = self.conns.get_mut(token) else {
+            return WriteStep::Closed;
+        };
+        loop {
+            if conn.write_pos >= conn.segment_end {
+                if conn.write_pos >= conn.write_end {
+                    return WriteStep::Finished;
+                }
+                conn.segment_end = (conn.segment_end + conn.chunk.max(1)).min(conn.write_end);
+                if !conn.pause.is_zero() {
+                    return WriteStep::Pause;
+                }
+                continue;
+            }
+            match conn
+                .stream
+                .write(&conn.write_buf[conn.write_pos..conn.segment_end])
+            {
+                Ok(0) => return WriteStep::Closed,
+                Ok(n) => conn.write_pos += n,
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return WriteStep::Blocked
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return WriteStep::Closed,
+            }
+        }
+    }
+
+    fn fire_timers(&mut self, now: Instant) {
+        let mut expired = Vec::new();
+        self.wheel.expired(now, &mut expired);
+        for token in expired {
+            let Some((deadline, phase)) = self.conns.get(token).map(|c| (c.deadline, c.phase))
+            else {
+                continue;
+            };
+            let Some(deadline) = deadline else { continue };
+            if deadline > now {
+                // Re-armed or clamped-to-horizon entry: push it back
+                // out to its real deadline.
+                self.wheel.insert(token, deadline);
+                continue;
+            }
+            match phase {
+                Phase::Delay | Phase::WritePause => {
+                    if let Some(conn) = self.conns.get_mut(token) {
+                        conn.phase = Phase::Writing;
+                        conn.deadline = None;
+                    }
+                    self.drive(token, now);
+                }
+                Phase::Idle | Phase::Reading => {
+                    let partial = self
+                        .conns
+                        .get(token)
+                        .map(|c| !c.read_buf.is_empty())
+                        .unwrap_or(false);
+                    match self.app.on_idle_timeout(self.id, partial) {
+                        None => self.close(token),
+                        Some(bytes) => {
+                            if let Some(conn) = self.conns.get_mut(token) {
+                                conn.read_buf.clear();
+                                conn.load_final_bytes(bytes);
+                                conn.phase = Phase::Writing;
+                                conn.deadline = None;
+                            }
+                            self.drive(token, now);
+                        }
+                    }
+                }
+                // A write that blocked past the idle budget: the
+                // client is not reading — give up on it.
+                Phase::Writing => self.close(token),
+            }
+        }
+    }
+
+    fn set_interest(&mut self, token: usize, want: u8) {
+        let Some((fd, current)) = self
+            .conns
+            .get(token)
+            .map(|c| (c.stream.as_raw_fd(), c.interest))
+        else {
+            return;
+        };
+        if current == want {
+            return;
+        }
+        if self.poller.modify(fd, token as u64, want).is_err() {
+            self.close(token);
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(token) {
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, token: usize) {
+        if let Some(conn) = self.conns.remove(token) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+        }
+    }
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining = true;
+        self.drain_deadline = Some(now + self.drain_timeout);
+        let _ = self.poller.remove(self.listener.as_raw_fd());
+        for token in self.conns.keys() {
+            let idle = self
+                .conns
+                .get(token)
+                .map(|c| c.phase == Phase::Idle && c.read_buf.is_empty())
+                .unwrap_or(false);
+            if idle {
+                self.close(token);
+            }
+        }
+    }
+}

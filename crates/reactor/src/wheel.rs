@@ -1,0 +1,142 @@
+//! A fixed-tick deadline wheel. Each slot holds the connection tokens
+//! whose deadline falls inside that tick, so arming a timeout is a
+//! `Vec::push` and the event loop learns its next wake-up time without
+//! a heap or a sorted structure.
+//!
+//! Entries are hints, not facts: the connection itself stores the
+//! authoritative `deadline`, and the loop re-checks it when an entry
+//! fires. Deadlines beyond the wheel horizon are clamped to the last
+//! slot and lazily re-inserted when they fire early; stale entries for
+//! re-armed or recycled tokens fall out the same way. That makes a
+//! token's fire event mean exactly "check this token's deadline now" —
+//! always safe, never a missed timeout.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+pub(crate) struct DeadlineWheel {
+    slots: Vec<Vec<usize>>,
+    tick: Duration,
+    origin: Instant,
+    /// Absolute tick index of the next slot that has not fired yet.
+    cursor: u64,
+}
+
+impl DeadlineWheel {
+    pub(crate) fn new(tick: Duration, slots: usize, origin: Instant) -> Self {
+        assert!(!tick.is_zero() && slots > 0);
+        DeadlineWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick,
+            origin,
+            cursor: 0,
+        }
+    }
+
+    /// Absolute tick at which a deadline is guaranteed to have passed.
+    fn tick_for_deadline(&self, deadline: Instant) -> u64 {
+        let nanos = deadline.saturating_duration_since(self.origin).as_nanos();
+        let tick = self.tick.as_nanos();
+        (nanos.div_ceil(tick)).min(u64::MAX as u128) as u64
+    }
+
+    /// Last tick whose slot time has fully elapsed by `now`.
+    fn tick_for_now(&self, now: Instant) -> u64 {
+        let nanos = now.saturating_duration_since(self.origin).as_nanos();
+        ((nanos / self.tick.as_nanos()).min(u64::MAX as u128)) as u64
+    }
+
+    /// Arms an entry so `token` fires no later than `deadline` (earlier
+    /// when the deadline lies past the wheel horizon — the fire check
+    /// re-inserts it then).
+    pub(crate) fn insert(&mut self, token: usize, deadline: Instant) {
+        let len = self.slots.len() as u64;
+        let idx = self
+            .tick_for_deadline(deadline)
+            .clamp(self.cursor, self.cursor + len - 1);
+        self.slots[(idx % len) as usize].push(token);
+    }
+
+    /// Drains every slot whose tick has elapsed into `out`.
+    pub(crate) fn expired(&mut self, now: Instant, out: &mut Vec<usize>) {
+        let target = self.tick_for_now(now);
+        if target < self.cursor {
+            return;
+        }
+        let len = self.slots.len() as u64;
+        let steps = (target - self.cursor + 1).min(len);
+        for _ in 0..steps {
+            let slot = (self.cursor % len) as usize;
+            out.append(&mut self.slots[slot]);
+            self.cursor += 1;
+        }
+        // Anything further ahead had no slot to live in, so nothing to
+        // drain: jump the cursor straight to the present.
+        self.cursor = self.cursor.max(target + 1);
+    }
+
+    /// Wall-clock instant of the next nonempty slot, if any.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        let len = self.slots.len() as u64;
+        (self.cursor..self.cursor + len)
+            .find(|idx| !self.slots[(idx % len) as usize].is_empty())
+            .map(|idx| self.origin + self.tick.mul_f64(idx as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_the_deadline_not_before() {
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(Duration::from_millis(5), 16, origin);
+        wheel.insert(7, origin + Duration::from_millis(12));
+
+        let mut out = Vec::new();
+        wheel.expired(origin + Duration::from_millis(11), &mut out);
+        assert!(out.is_empty(), "deadline has not passed yet");
+        wheel.expired(origin + Duration::from_millis(15), &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn horizon_clamp_fires_early_for_reinsert() {
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(Duration::from_millis(5), 8, origin);
+        // 10s is far past the 40ms horizon: the entry must still fire
+        // (early), so the caller can re-insert it.
+        wheel.insert(3, origin + Duration::from_secs(10));
+        let next = wheel.next_deadline().expect("entry is armed");
+        assert!(next <= origin + Duration::from_millis(40));
+
+        let mut out = Vec::new();
+        wheel.expired(origin + Duration::from_millis(40), &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn cursor_recovers_after_a_long_stall() {
+        let origin = Instant::now();
+        let mut wheel = DeadlineWheel::new(Duration::from_millis(5), 8, origin);
+        wheel.insert(1, origin + Duration::from_millis(5));
+
+        let mut out = Vec::new();
+        // The loop slept far past the whole wheel; one drain pass must
+        // still surface the entry and leave the cursor in the present.
+        wheel.expired(origin + Duration::from_secs(2), &mut out);
+        assert_eq!(out, vec![1]);
+
+        out.clear();
+        wheel.insert(2, origin + Duration::from_millis(2005));
+        wheel.expired(origin + Duration::from_millis(2010), &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn next_deadline_is_none_when_empty() {
+        let wheel = DeadlineWheel::new(Duration::from_millis(5), 8, Instant::now());
+        assert!(wheel.next_deadline().is_none());
+    }
+}

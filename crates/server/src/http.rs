@@ -20,7 +20,7 @@ pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 pub const MAX_LINE_BYTES: usize = 8 * 1024;
 
 /// One parsed request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, …).
     pub method: String,
@@ -112,6 +112,102 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, String
         body,
         keep_alive,
     }))
+}
+
+/// Outcome of one incremental parse attempt over buffered bytes.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The buffer does not yet hold one full request — read more.
+    Incomplete,
+    /// One request framed; the first `consumed` buffer bytes belong to
+    /// it (any remainder starts a pipelined successor).
+    Request {
+        /// The framed request.
+        request: Request,
+        /// Buffer bytes consumed by it.
+        consumed: usize,
+    },
+    /// Clean close: EOF with no buffered bytes.
+    Closed,
+    /// Framing error, with exactly the message [`read_request`] reports
+    /// for the same byte stream.
+    Invalid(String),
+}
+
+/// Marker smuggled through `io::Error` to tell a truncated buffer apart
+/// from a real framing error inside [`read_request`].
+const NEED_MORE: &str = "incremental parse suspended: need more bytes";
+
+/// A `BufRead` over a byte slice that reports the end of the slice as
+/// a sentinel error instead of EOF (unless `eof` is set), so the
+/// blocking parser can be suspended and re-run as bytes arrive.
+struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    eof: bool,
+}
+
+impl SliceReader<'_> {
+    fn need_more() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::WouldBlock, NEED_MORE)
+    }
+}
+
+impl std::io::Read for SliceReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let rest = &self.buf[self.pos..];
+        if rest.is_empty() {
+            return if self.eof {
+                Ok(0)
+            } else {
+                Err(Self::need_more())
+            };
+        }
+        let n = rest.len().min(out.len());
+        out[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for SliceReader<'_> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.buf.len() && !self.eof {
+            return Err(Self::need_more());
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.buf.len());
+    }
+}
+
+/// Incremental counterpart of [`read_request`] for nonblocking I/O:
+/// tries to frame one request out of `buf`, reporting
+/// [`Parsed::Incomplete`] when more bytes are needed. `eof` marks that
+/// the peer will send nothing further, which resolves every pending
+/// case (clean close, a final body, or a mid-frame truncation error).
+///
+/// It literally runs [`read_request`] over the buffer, suspending it
+/// when the bytes run out, so accept/reject verdicts and error strings
+/// are identical to the blocking path by construction. Re-running from
+/// scratch as the buffer grows is sound because the parser's verdicts
+/// depend only on the byte stream, never on how it is chunked (see
+/// [`read_line`]'s cap contract) — a prefix that parses to an error
+/// still parses to that same error with more bytes appended, and a
+/// prefix that suspends has rejected nothing yet.
+pub fn parse_request(buf: &[u8], eof: bool) -> Parsed {
+    let mut reader = SliceReader { buf, pos: 0, eof };
+    match read_request(&mut reader) {
+        Ok(Some(request)) => Parsed::Request {
+            request,
+            consumed: reader.pos,
+        },
+        Ok(None) => Parsed::Closed,
+        Err(msg) if msg.contains(NEED_MORE) => Parsed::Incomplete,
+        Err(msg) => Parsed::Invalid(msg),
+    }
 }
 
 /// Reads one CRLF (or bare LF) terminated line as UTF-8, without the
@@ -353,6 +449,118 @@ mod tests {
             consumed <= 4 * MAX_LINE_BYTES as u64,
             "cap must bound buffering: consumed {consumed} bytes of a 1 MiB flood"
         );
+    }
+
+    /// Feeds `bytes` to `parse_request` one byte at a time and asserts
+    /// every prefix is `Incomplete` until the blocking parser's verdict
+    /// appears, which must match it exactly.
+    fn assert_incremental_matches_blocking(bytes: &[u8]) {
+        let blocking = read_request(&mut BufReader::new(bytes));
+        for end in 0..=bytes.len() {
+            let eof = end == bytes.len();
+            match parse_request(&bytes[..end], eof) {
+                Parsed::Incomplete => {
+                    assert!(!eof, "parse must resolve at EOF: {bytes:?}");
+                }
+                Parsed::Request { request, consumed } => {
+                    let expected = blocking
+                        .as_ref()
+                        .expect("blocking parser accepted")
+                        .as_ref()
+                        .expect("blocking parser framed a request");
+                    assert_eq!(request.method, expected.method);
+                    assert_eq!(request.path, expected.path);
+                    assert_eq!(request.body, expected.body);
+                    assert_eq!(request.keep_alive, expected.keep_alive);
+                    assert!(consumed <= end);
+                    return;
+                }
+                Parsed::Invalid(msg) => {
+                    assert_eq!(
+                        &msg,
+                        blocking.as_ref().expect_err("blocking parser rejected")
+                    );
+                    return;
+                }
+                Parsed::Closed => {
+                    assert!(eof && bytes.is_empty());
+                    return;
+                }
+            }
+        }
+        panic!("no verdict for {bytes:?}");
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_parse_byte_by_byte() {
+        let cases: &[&[u8]] = &[
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+            b"POST /similar HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+            b"GET / HTTP/1.0\r\n\r\n",
+            b"GET /stats?pretty=1 HTTP/1.1\r\nConnection: close\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET / SPDY/3\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 3\r\n\r\n{\"runs\":[]}",
+            b"GET / HTTP/1.1\r\nX-Tail: v\r\n\r", // EOF inside the final CRLF
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc", // body truncated at EOF
+            b"",
+        ];
+        for case in cases {
+            assert_incremental_matches_blocking(case);
+        }
+    }
+
+    #[test]
+    fn incremental_parse_reports_pipelined_frame_boundaries() {
+        let first = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let second = b"POST /similar HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}";
+        let mut stream = first.to_vec();
+        stream.extend_from_slice(second);
+        let Parsed::Request { request, consumed } = parse_request(&stream, false) else {
+            panic!("first request frames without EOF");
+        };
+        assert_eq!(request.path, "/healthz");
+        assert_eq!(consumed, first.len());
+        let Parsed::Request { request, consumed } = parse_request(&stream[consumed..], false)
+        else {
+            panic!("second request frames from the remainder");
+        };
+        assert_eq!(request.path, "/similar");
+        assert_eq!(request.body, "{}");
+        assert_eq!(consumed, second.len());
+    }
+
+    #[test]
+    fn incremental_parse_caps_headers_before_the_newline_arrives() {
+        // A newline-less flood must be rejected from the buffered
+        // prefix alone — never Incomplete forever.
+        let flood = vec![b'A'; MAX_LINE_BYTES + 3];
+        match parse_request(&flood, false) {
+            Parsed::Invalid(msg) => assert!(msg.contains("exceeds 8 KiB"), "{msg}"),
+            other => panic!("flood not rejected: {other:?}"),
+        }
+        // Just below the cap the verdict is still open.
+        let under = vec![b'A'; 64];
+        assert!(matches!(parse_request(&under, false), Parsed::Incomplete));
+    }
+
+    #[test]
+    fn incremental_parse_closed_only_on_clean_eof() {
+        assert!(matches!(parse_request(b"", true), Parsed::Closed));
+        assert!(matches!(parse_request(b"", false), Parsed::Incomplete));
+        match parse_request(b"GET / HTTP/1.1\r\n", true) {
+            Parsed::Invalid(msg) => assert!(msg.contains("connection closed mid-headers"), "{msg}"),
+            other => panic!("mid-frame EOF must be invalid: {other:?}"),
+        }
+        // A partial *line* at EOF is handed up and judged as-is, the
+        // same verdict the blocking parser reaches on that stream.
+        match parse_request(b"GET / HT", true) {
+            Parsed::Invalid(msg) => assert!(msg.contains("unsupported version"), "{msg}"),
+            other => panic!("mid-line EOF must be invalid: {other:?}"),
+        }
     }
 
     #[test]

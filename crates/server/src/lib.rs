@@ -18,13 +18,24 @@
 //! | `/drift` | GET | drift-event log of the streaming engine |
 //! | `/stats` | GET | per-endpoint nanosecond timings + cache counters |
 //!
-//! Everything is `std`-only (hermetic build): connections are accepted by
-//! a fixed-size worker pool over one shared [`TcpListener`], request
-//! bodies use the `wp_telemetry::io` interchange schema, derived state
-//! lives in `RwLock`-guarded LRU caches (a cache hit is bit-identical to
-//! a recompute — handlers are deterministic functions of the request
-//! body), and shutdown is a control-channel message per worker that
-//! drains in-flight requests before the threads exit.
+//! Everything is `std`-only (hermetic build). Two serving backends share
+//! the same parser, router, and fault sites, selected by
+//! [`ServerConfig::backend`]:
+//!
+//! * [`Backend::Workers`] — a fixed-size blocking worker pool over one
+//!   shared [`TcpListener`]: one thread per in-flight connection, reads
+//!   in short ticks so idle keep-alive connections time out and
+//!   shutdown wakes promptly. The reference implementation.
+//! * [`Backend::Reactor`] — the `wp-reactor` event loop: a few shard
+//!   threads multiplex thousands of keep-alive connections as
+//!   readiness-driven state machines, each connection pinned to its
+//!   accepting shard's [`service::ShardState`] replica.
+//!
+//! Both backends produce byte-identical responses for every endpoint:
+//! request bodies use the `wp_telemetry::io` interchange schema, derived
+//! state lives in LRU caches (a cache hit is bit-identical to a
+//! recompute — handlers are deterministic functions of the request
+//! body), and shutdown drains in-flight requests before threads exit.
 
 #![warn(missing_docs)]
 
@@ -34,7 +45,7 @@ pub mod http;
 pub mod service;
 pub mod stats;
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -50,14 +61,52 @@ use wp_stream::StreamConfig;
 
 use service::ServiceState;
 
+/// Which serving tier answers connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Blocking worker pool: `workers` threads, one connection at a time
+    /// each. Simple and portable; the reference backend.
+    #[default]
+    Workers,
+    /// `wp-reactor` event loop: `workers` shard threads multiplexing all
+    /// connections via readiness (epoll on Linux, poll elsewhere).
+    Reactor,
+}
+
+impl Backend {
+    /// Parses a CLI-facing backend name.
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name {
+            "workers" => Some(Backend::Workers),
+            "reactor" => Some(Backend::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Workers => "workers",
+            Backend::Reactor => "reactor",
+        }
+    }
+}
+
 /// How a [`Server`] binds, sizes its pool, and computes.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port `0` asks the OS for a free port (the bound
     /// address is on the returned handle).
     pub addr: String,
-    /// Worker threads accepting and serving connections.
+    /// Serving backend (worker pool or event-loop reactor).
+    pub backend: Backend,
+    /// Worker threads (pool size for [`Backend::Workers`], event-loop
+    /// shard count for [`Backend::Reactor`]).
     pub workers: usize,
+    /// Close keep-alive connections that sit idle longer than this; a
+    /// connection stalled mid-request gets a `408`-style `400` response
+    /// first. Applies to both backends.
+    pub idle_timeout: Duration,
     /// When set, pins the `wp-runtime` thread count used *inside* request
     /// handlers (`None` inherits `WP_THREADS` / available parallelism).
     pub compute_threads: Option<usize>,
@@ -87,7 +136,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".to_string(),
+            backend: Backend::Workers,
             workers: 4,
+            idle_timeout: Duration::from_secs(30),
             compute_threads: None,
             cache_capacity: 64,
             pipeline: PipelineConfig {
@@ -123,12 +174,20 @@ impl Server {
         if config.obs {
             wp_obs::enable();
         }
-        let mut state = ServiceState::new(
+        let n = config.workers.max(1);
+        // The reactor pins connections to shards, so each shard gets its
+        // own engine replica; the pool routes everything through shard 0.
+        let shards = match config.backend {
+            Backend::Workers => 1,
+            Backend::Reactor => n,
+        };
+        let mut state = ServiceState::sharded(
             corpus,
             config.pipeline.clone(),
             config.compute_threads,
             config.cache_capacity,
             config.stream.clone(),
+            shards,
         )?;
         state.obs = config.obs;
         let state = Arc::new(state);
@@ -137,13 +196,35 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| format!("cannot read bound address: {e}"))?;
+
+        if config.backend == Backend::Reactor {
+            let app = Arc::new(ReactorApp {
+                state: Arc::clone(&state),
+                injector,
+            });
+            let handle = wp_reactor::Reactor::start(
+                listener,
+                app,
+                wp_reactor::ReactorConfig {
+                    threads: n,
+                    idle_timeout: config.idle_timeout,
+                    drain_timeout: Duration::from_secs(5),
+                    force_poll: false,
+                },
+            )
+            .map_err(|e| format!("cannot start reactor: {e}"))?;
+            return Ok(ServerHandle {
+                addr,
+                state,
+                runner: Runner::Reactor(handle),
+            });
+        }
+
         // Workers poll accept so they can notice the shutdown message
         // without a wake-up connection.
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("cannot set nonblocking accept: {e}"))?;
-
-        let n = config.workers.max(1);
         let mut controls = Vec::with_capacity(n);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
@@ -154,29 +235,39 @@ impl Server {
                 .map_err(|e| format!("cannot clone listener: {e}"))?;
             let state = Arc::clone(&state);
             let injector = injector.clone();
+            let idle = config.idle_timeout;
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("wp-server-{i}"))
-                    .spawn(move || worker_loop(&listener, &state, &rx, injector.as_deref()))
+                    .spawn(move || worker_loop(&listener, &state, &rx, injector.as_deref(), idle))
                     .map_err(|e| format!("cannot spawn worker: {e}"))?,
             );
         }
         Ok(ServerHandle {
             addr,
             state,
-            controls,
-            workers,
+            runner: Runner::Pool { controls, workers },
         })
     }
 }
 
+/// The backend-specific running half of a [`ServerHandle`].
+enum Runner {
+    /// Blocking pool: one control channel + join handle per worker.
+    Pool {
+        controls: Vec<Sender<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    /// Event loop: the reactor owns its shard threads.
+    Reactor(wp_reactor::ReactorHandle),
+}
+
 /// A running server: its bound address, shared state (for inspection),
-/// and the worker pool.
+/// and the backend runner.
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServiceState>,
-    controls: Vec<Sender<()>>,
-    workers: Vec<JoinHandle<()>>,
+    runner: Runner,
 }
 
 impl ServerHandle {
@@ -190,29 +281,162 @@ impl ServerHandle {
         &self.state
     }
 
-    /// Graceful shutdown: signals every worker over its control channel
-    /// and joins them. In-flight requests finish; idle keep-alive
-    /// connections are closed after their next request.
-    pub fn shutdown(self) {
-        for tx in &self.controls {
-            // A dead worker has already dropped its receiver; that is
-            // exactly the state shutdown wants.
-            let _ = tx.send(());
-        }
-        for w in self.workers {
-            let _ = w.join();
+    /// The running backend: `"workers"`, or the reactor's poller name
+    /// (`"epoll"` / `"poll"`).
+    pub fn backend(&self) -> &'static str {
+        match &self.runner {
+            Runner::Pool { .. } => "workers",
+            Runner::Reactor(handle) => handle.backend(),
         }
     }
 
-    /// Blocks until every worker exits (i.e. until [`Self::shutdown`] is
-    /// triggered from another handle-less path — used by the CLI, which
-    /// serves until the process is killed).
+    /// Graceful shutdown. Pool: signals every worker over its control
+    /// channel and joins them; idle keep-alive connections are closed at
+    /// their next read tick. Reactor: wakes every shard, drains in-flight
+    /// connections (closing idle ones immediately), and joins.
+    pub fn shutdown(self) {
+        match self.runner {
+            Runner::Pool { controls, workers } => {
+                for tx in &controls {
+                    // A dead worker has already dropped its receiver; that
+                    // is exactly the state shutdown wants.
+                    let _ = tx.send(());
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            Runner::Reactor(handle) => handle.shutdown(),
+        }
+    }
+
+    /// Blocks until every serving thread exits (i.e. until
+    /// [`Self::shutdown`] is triggered from another handle-less path —
+    /// used by the CLI, which serves until the process is killed).
     pub fn wait(self) {
-        for w in self.workers {
-            let _ = w.join();
+        match self.runner {
+            Runner::Pool { workers, .. } => {
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            Runner::Reactor(handle) => handle.wait(),
         }
     }
 }
+
+/// The shared serving logic, exposed to `wp-reactor` as its [`App`]:
+/// parsing via the incremental parser, routing via the shard-pinned
+/// service, and all per-request fault sites mapped onto reactor
+/// state-machine transitions.
+///
+/// Fault parity with the pool: the pool sleeps `pre_latency` before the
+/// handler and `stall` after it (both before any byte is written), so
+/// here both fold into the response's pre-write delay — the bytes are
+/// identical and the client-observed latency matches; only the handler's
+/// position inside the delay window differs.
+///
+/// [`App`]: wp_reactor::App
+struct ReactorApp {
+    state: Arc<ServiceState>,
+    injector: Option<Arc<FaultInjector>>,
+}
+
+impl wp_reactor::App for ReactorApp {
+    type Request = http::Request;
+
+    fn on_accept(&self) -> bool {
+        self.state.stats.record_connection();
+        !self
+            .injector
+            .as_deref()
+            .is_some_and(FaultInjector::reset_connection)
+    }
+
+    fn parse(&self, _shard: usize, buf: &[u8], eof: bool) -> wp_reactor::Parse<http::Request> {
+        match http::parse_request(buf, eof) {
+            http::Parsed::Incomplete => wp_reactor::Parse::Incomplete,
+            http::Parsed::Request { request, consumed } => {
+                wp_reactor::Parse::Complete { request, consumed }
+            }
+            http::Parsed::Closed => wp_reactor::Parse::Close,
+            http::Parsed::Invalid(msg) => {
+                // Same answer the pool gives a framing error: 400, close.
+                let body = wp_json::obj! { "error" => msg }.compact();
+                wp_reactor::Parse::Reject {
+                    response: http::render_response(400, &body, false, &[]),
+                }
+            }
+        }
+    }
+
+    fn respond(
+        &self,
+        shard: usize,
+        request: http::Request,
+        force_close: bool,
+    ) -> wp_reactor::Response {
+        let faults = match self.injector.as_deref() {
+            Some(i) => i.request_faults(&request.path),
+            None => RequestFaults::CLEAN,
+        };
+        let started = Instant::now();
+        let (status, body) = if faults.error_503 {
+            (
+                503,
+                wp_json::obj! { "error" => "injected overload" }.compact(),
+            )
+        } else {
+            service::handle_on(&self.state, shard, &request)
+        };
+        let elapsed_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.state
+            .stats
+            .record(&request.path, elapsed_ns, status >= 400);
+
+        let keep_alive = request.keep_alive && !force_close;
+        let extra: &[(&str, &str)] = if status == 503 {
+            &[("Retry-After", "0")]
+        } else {
+            &[]
+        };
+        let content_type = if self.state.obs
+            && status == 200
+            && request.method == "GET"
+            && request.path == "/metrics"
+        {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
+        let bytes = http::render_response_typed(status, &body, keep_alive, content_type, extra);
+        let mut response = wp_reactor::Response::new(bytes, keep_alive);
+        response.delay =
+            faults.pre_latency.unwrap_or(Duration::ZERO) + faults.stall.unwrap_or(Duration::ZERO);
+        response.write = match faults.write {
+            WriteFault::Clean => wp_reactor::WriteMode::Full,
+            WriteFault::Slow { chunks, pause_ms } => wp_reactor::WriteMode::Chunked {
+                chunks: chunks.max(1).min(u32::MAX as usize) as u32,
+                pause: Duration::from_millis(pause_ms),
+            },
+            WriteFault::Truncate => wp_reactor::WriteMode::TruncateHalf,
+        };
+        response
+    }
+
+    fn on_idle_timeout(&self, _shard: usize, partial: bool) -> Option<Vec<u8>> {
+        partial.then(|| {
+            let body =
+                wp_json::obj! { "error" => "timed out waiting for a complete request" }.compact();
+            http::render_response(400, &body, false, &[])
+        })
+    }
+}
+
+/// How long a pool worker blocks in one `accept`/`read` attempt before
+/// re-checking its control channel and the connection's idle deadline.
+/// Bounds shutdown latency for workers parked on idle connections.
+const WORKER_TICK: Duration = Duration::from_millis(25);
 
 /// Accept-and-serve loop of one pool worker.
 fn worker_loop(
@@ -220,6 +444,7 @@ fn worker_loop(
     state: &Arc<ServiceState>,
     control: &Receiver<()>,
     injector: Option<&FaultInjector>,
+    idle_timeout: Duration,
 ) {
     loop {
         match control.try_recv() {
@@ -236,7 +461,7 @@ fn worker_loop(
                     continue;
                 }
                 let done = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(stream, state, control, injector)
+                    handle_connection(stream, state, control, injector, idle_timeout)
                 }))
                 .unwrap_or(false);
                 if done {
@@ -244,6 +469,12 @@ fn worker_loop(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Park in the poller until a connection arrives (or the
+                // tick elapses and the control channel is re-checked),
+                // instead of a busy accept/sleep cycle.
+                #[cfg(unix)]
+                let _ = wp_reactor::wait_readable(listener, WORKER_TICK);
+                #[cfg(not(unix))]
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
@@ -251,37 +482,86 @@ fn worker_loop(
     }
 }
 
-/// Serves one connection until close / error / shutdown. Returns `true`
-/// when a shutdown message was consumed and the worker should exit.
+/// Serves one connection until close / error / timeout / shutdown.
+/// Returns `true` when a shutdown message was consumed and the worker
+/// should exit.
+///
+/// Reads are ticked: the socket read timeout is [`WORKER_TICK`], and
+/// every dry tick re-checks the control channel (deterministic shutdown
+/// wake even while parked on an idle keep-alive connection) and the idle
+/// deadline. A connection idle past [`ServerConfig::idle_timeout`] with
+/// an empty buffer is closed silently; one stalled mid-request gets a
+/// `400` first — the same semantics the reactor backend's deadline wheel
+/// enforces.
 fn handle_connection(
-    stream: TcpStream,
+    mut stream: TcpStream,
     state: &ServiceState,
     control: &Receiver<()>,
     injector: Option<&FaultInjector>,
+    idle_timeout: Duration,
 ) -> bool {
     // The listener is nonblocking; the accepted stream must not be.
     if stream.set_nonblocking(false).is_err() {
         return false;
     }
     let _ = stream.set_nodelay(true);
-    // Bound the damage a stalled peer can do to a pool worker.
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let mut reader = BufReader::new(match stream.try_clone() {
+    let _ = stream.set_read_timeout(Some(WORKER_TICK));
+    let mut writer = BufWriter::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return false,
     });
-    let mut writer = BufWriter::new(stream);
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 16 * 1024];
+    let mut eof = false;
+    let mut idle_deadline = Instant::now() + idle_timeout;
 
     loop {
-        let request = match http::read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return false, // clean close
-            Err(msg) => {
+        let request = match http::parse_request(&buf, eof) {
+            http::Parsed::Request { request, consumed } => {
+                buf.drain(..consumed);
+                request
+            }
+            http::Parsed::Closed => return false, // clean close
+            http::Parsed::Invalid(msg) => {
                 // Framing errors: answer 400 and drop the connection (the
                 // stream position is unknown).
                 let body = wp_json::obj! { "error" => msg }.compact();
                 let _ = http::write_response(&mut writer, 400, &body, false);
                 return false;
+            }
+            http::Parsed::Incomplete => {
+                match stream.read(&mut scratch) {
+                    Ok(0) => eof = true,
+                    Ok(n) => {
+                        buf.extend_from_slice(&scratch[..n]);
+                        idle_deadline = Instant::now() + idle_timeout;
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        match control.try_recv() {
+                            // Shutdown while waiting for a request: the
+                            // connection is between frames, drop it.
+                            Ok(()) | Err(TryRecvError::Disconnected) => return true,
+                            Err(TryRecvError::Empty) => {}
+                        }
+                        if Instant::now() >= idle_deadline {
+                            if !buf.is_empty() {
+                                // Stalled mid-request: say so, then close.
+                                let body = wp_json::obj! {
+                                    "error" => "timed out waiting for a complete request"
+                                }
+                                .compact();
+                                let _ = http::write_response(&mut writer, 400, &body, false);
+                            }
+                            return false;
+                        }
+                    }
+                    Err(_) => return false,
+                }
+                continue;
             }
         };
 
@@ -343,6 +623,7 @@ fn handle_connection(
         if !request.keep_alive {
             return false;
         }
+        idle_deadline = Instant::now() + idle_timeout;
     }
 }
 

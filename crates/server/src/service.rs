@@ -1,13 +1,28 @@
 //! Request routing and endpoint handlers.
 //!
 //! Handlers are pure functions of the shared [`ServiceState`]: the
-//! pre-built corpus, the features selected at startup, two LRU caches
-//! (per-reference fingerprint data and whole response bodies), and the
-//! request counters. Every computed response is a deterministic function
-//! of the request body, so a cache hit is byte-identical to a recompute.
+//! pre-built corpus, the features selected at startup, and per-shard
+//! live state — a streaming engine replica plus two LRU caches
+//! (per-reference fingerprint data and whole response bodies). Every
+//! computed response is a deterministic function of the request body,
+//! so a cache hit is byte-identical to a recompute.
+//!
+//! ## Sharding
+//!
+//! The reactor backend pins each connection to one event-loop shard, so
+//! hot-path reads (`/similar` indexed mode, the response cache, the
+//! corpus generation) touch only that shard's [`ShardState`] — no
+//! cross-shard `RwLock` contention. The streaming engine is replicated
+//! per shard: `POST /ingest` applies an accepted batch to every replica
+//! under a global ingest-order mutex, which keeps the replicas
+//! deterministic mirrors of each other (the engine's evolution is a
+//! pure function of the accepted-batch sequence). Shard 0 is the source
+//! of truth: it sees rejected batches too, and `/stats` + `/drift`
+//! always read it, so those documents are identical to the single-
+//! engine behaviour. The blocking workers backend uses one shard.
 
 use std::ops::Range;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
@@ -56,6 +71,24 @@ impl ServiceError {
     }
 }
 
+/// Per-shard live state: one streaming-engine replica plus the two LRU
+/// caches. A reactor shard serves its connections entirely from its own
+/// `ShardState`, so the locks below are effectively uncontended on the
+/// hot read path.
+pub struct ShardState {
+    /// The live corpus: the pruning-cascade index over the startup corpus
+    /// plus every streamed tenant reference, evolved by `POST /ingest`
+    /// with histogram ranges frozen over the startup corpus. Serves
+    /// `POST /similar` with `"mode": "indexed"` (read lock) and ingest
+    /// (write lock).
+    pub stream: RwLock<StreamEngine>,
+    /// Per-reference extracted fingerprint feature data.
+    pub ref_data: LruCache<String, Vec<RunFeatureData>>,
+    /// Whole-response cache for the `POST` endpoints, keyed by
+    /// `generation + path + body`.
+    pub responses: LruCache<String, String>,
+}
+
 /// Everything a worker needs to answer requests; shared via `Arc`.
 pub struct ServiceState {
     /// The reference corpus, validated at startup.
@@ -68,18 +101,13 @@ pub struct ServiceState {
     /// computation (the pool override is thread-local, so it is applied
     /// around every handler invocation).
     pub compute_threads: Option<usize>,
-    /// The live corpus: the pruning-cascade index over the startup corpus
-    /// plus every streamed tenant reference, evolved by `POST /ingest`
-    /// with histogram ranges frozen over the startup corpus. Serves
-    /// `POST /similar` with `"mode": "indexed"` (read lock) and ingest
-    /// (write lock).
-    pub stream: RwLock<StreamEngine>,
-    /// Per-reference extracted fingerprint feature data.
-    pub ref_data: LruCache<String, Vec<RunFeatureData>>,
-    /// Whole-response cache for the `POST` endpoints, keyed by
-    /// `path + body`.
-    pub responses: LruCache<String, String>,
-    /// Request accounting.
+    /// One [`ShardState`] per serving shard (always at least one).
+    /// Shard 0 is the source of truth for `/stats` and `/drift`.
+    pub shards: Vec<ShardState>,
+    /// Serializes `POST /ingest` across shards so every engine replica
+    /// sees the identical accepted-batch sequence.
+    ingest_order: Mutex<()>,
+    /// Request accounting (shared across shards — `/stats` is global).
     pub stats: ServerStats,
     /// Whether this instance serves `GET /metrics`. Off by default; when
     /// off, routing is byte-identical to a build without the endpoint
@@ -88,9 +116,9 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    /// Builds the state: validates the corpus, runs feature selection,
-    /// and boots the streaming engine (which freezes histogram ranges
-    /// over the startup corpus).
+    /// Builds single-shard state: validates the corpus, runs feature
+    /// selection, and boots the streaming engine (which freezes
+    /// histogram ranges over the startup corpus).
     pub fn new(
         corpus: OfflineCorpus,
         config: PipelineConfig,
@@ -98,17 +126,44 @@ impl ServiceState {
         cache_capacity: usize,
         stream_config: StreamConfig,
     ) -> Result<Self, String> {
-        let (selected, engine) = {
-            let startup = || -> Result<(Vec<FeatureId>, StreamEngine), String> {
+        Self::sharded(
+            corpus,
+            config,
+            compute_threads,
+            cache_capacity,
+            stream_config,
+            1,
+        )
+    }
+
+    /// [`ServiceState::new`] with `shards` independent engine replicas
+    /// and cache sets (feature selection still runs once). Replicas are
+    /// built from the same startup corpus, so they start identical and
+    /// stay identical under the serialized ingest protocol.
+    pub fn sharded(
+        corpus: OfflineCorpus,
+        config: PipelineConfig,
+        compute_threads: Option<usize>,
+        cache_capacity: usize,
+        stream_config: StreamConfig,
+        shards: usize,
+    ) -> Result<Self, String> {
+        let shards = shards.max(1);
+        let (selected, engines) = {
+            let startup = || -> Result<(Vec<FeatureId>, Vec<StreamEngine>), String> {
                 let selected = wp_core::offline::select_features_offline(&corpus, &config)?;
-                let engine = StreamEngine::new(
-                    &corpus,
-                    &selected,
-                    &config,
-                    IndexConfig::default(),
-                    stream_config.clone(),
-                )?;
-                Ok((selected, engine))
+                let engines = (0..shards)
+                    .map(|_| {
+                        StreamEngine::new(
+                            &corpus,
+                            &selected,
+                            &config,
+                            IndexConfig::default(),
+                            stream_config.clone(),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((selected, engines))
             };
             match compute_threads {
                 Some(n) => wp_runtime::with_thread_count(n, startup)?,
@@ -119,24 +174,55 @@ impl ServiceState {
             corpus,
             selected,
             config,
-            stream: RwLock::new(engine),
             compute_threads,
-            ref_data: LruCache::with_obs(cache_capacity, &REF_DATA_OBS),
-            responses: LruCache::with_obs(cache_capacity, &RESPONSES_OBS),
+            shards: engines
+                .into_iter()
+                .map(|engine| ShardState {
+                    stream: RwLock::new(engine),
+                    ref_data: LruCache::with_obs(cache_capacity, &REF_DATA_OBS),
+                    responses: LruCache::with_obs(cache_capacity, &RESPONSES_OBS),
+                })
+                .collect(),
+            ingest_order: Mutex::new(()),
             stats: ServerStats::default(),
             obs: false,
         })
     }
 
-    /// The current corpus generation (bumped by every accepted ingest).
-    pub fn generation(&self) -> u64 {
-        self.stream.read().expect("stream lock").generation()
+    /// The shard state serving `shard` (indices wrap, so any caller-
+    /// provided shard id is valid).
+    pub fn shard(&self, shard: usize) -> &ShardState {
+        &self.shards[shard % self.shards.len()]
     }
 
-    /// The extracted feature data of one reference's source runs, cached.
-    fn reference_data(&self, index: usize) -> Arc<Vec<RunFeatureData>> {
+    /// The current corpus generation (bumped by every accepted ingest).
+    pub fn generation(&self) -> u64 {
+        self.generation_on(0)
+    }
+
+    /// The corpus generation as seen by one shard's replica. Identical
+    /// across shards outside the ingest critical section.
+    pub fn generation_on(&self, shard: usize) -> u64 {
+        self.shard(shard)
+            .stream
+            .read()
+            .expect("stream lock")
+            .generation()
+    }
+
+    /// Hit/miss counters of the response cache, summed over shards.
+    pub fn response_cache_counters(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(h, m), s| {
+            let (hits, misses) = s.responses.counters();
+            (h + hits, m + misses)
+        })
+    }
+
+    /// The extracted feature data of one reference's source runs, served
+    /// from the shard's cache.
+    fn reference_data(&self, shard: usize, index: usize) -> Arc<Vec<RunFeatureData>> {
         let r = &self.corpus.references[index];
-        self.ref_data.get_or_insert_with(&r.name, || {
+        self.shard(shard).ref_data.get_or_insert_with(&r.name, || {
             r.runs_from
                 .iter()
                 .map(|run| extract(run, &self.selected))
@@ -148,8 +234,17 @@ impl ServiceState {
 /// Routes one request to its handler and renders the response.
 ///
 /// Returns `(status, body)`; the body is always a compact JSON document.
+/// Single-shard entry point — the blocking workers backend and in-process
+/// callers route everything through shard 0.
 pub fn handle(state: &ServiceState, req: &Request) -> (u16, String) {
-    let run = || route(state, req);
+    handle_on(state, 0, req)
+}
+
+/// [`handle`] pinned to one serving shard: reads come from that shard's
+/// engine replica and caches. Responses are byte-identical across shards
+/// for the same corpus generation.
+pub fn handle_on(state: &ServiceState, shard: usize, req: &Request) -> (u16, String) {
+    let run = || route(state, shard, req);
     let result = match state.compute_threads {
         Some(n) => wp_runtime::with_thread_count(n, run),
         None => run(),
@@ -160,7 +255,7 @@ pub fn handle(state: &ServiceState, req: &Request) -> (u16, String) {
     }
 }
 
-fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
+fn route(state: &ServiceState, shard: usize, req: &Request) -> Result<String, ServiceError> {
     match (req.method.as_str(), req.path.as_str()) {
         // Observability surface: only routed when enabled, so a disabled
         // server's response to `/metrics` is the pre-existing 404.
@@ -174,9 +269,9 @@ fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
         ("POST", "/corpus") => validate_corpus(&req.body),
         ("GET", "/stats") => Ok(stats_doc(state)),
         ("GET", "/drift") => Ok(drift_log(state)),
-        ("POST", "/fingerprint") => cached(state, req, fingerprint),
-        ("POST", "/similar") => cached(state, req, similar),
-        ("POST", "/predict") => cached(state, req, predict),
+        ("POST", "/fingerprint") => cached(state, shard, req, fingerprint),
+        ("POST", "/similar") => cached(state, shard, req, similar),
+        ("POST", "/predict") => cached(state, shard, req, predict),
         // Ingest mutates the corpus, so it never goes through the
         // response cache.
         ("POST", "/ingest") => ingest(state, &req.body),
@@ -208,23 +303,35 @@ fn route(state: &ServiceState, req: &Request) -> Result<String, ServiceError> {
 /// returned.
 fn cached(
     state: &ServiceState,
+    shard: usize,
     req: &Request,
-    f: impl FnOnce(&ServiceState, &str) -> Result<String, ServiceError>,
+    f: impl FnOnce(&ServiceState, usize, &str) -> Result<String, ServiceError>,
 ) -> Result<String, ServiceError> {
-    let key = format!("g{}\n{}\n{}", state.generation(), req.path, req.body);
-    if let Some(hit) = state.responses.get(&key) {
+    let key = format!(
+        "g{}\n{}\n{}",
+        state.generation_on(shard),
+        req.path,
+        req.body
+    );
+    let responses = &state.shard(shard).responses;
+    if let Some(hit) = responses.get(&key) {
         return Ok(hit.as_ref().clone());
     }
-    let body = f(state, &req.body)?;
-    state.responses.insert(key, Arc::new(body.clone()));
+    let body = f(state, shard, &req.body)?;
+    responses.insert(key, Arc::new(body.clone()));
     Ok(body)
 }
 
 /// `GET /stats` — request accounting plus a `"stream"` section with the
 /// live-corpus state and ingest counters.
 fn stats_doc(state: &ServiceState) -> String {
-    let stream = state.stream.read().expect("stream lock").stats_json();
-    let mut doc = state.stats.to_json(state.responses.counters());
+    let stream = state
+        .shard(0)
+        .stream
+        .read()
+        .expect("stream lock")
+        .stats_json();
+    let mut doc = state.stats.to_json(state.response_cache_counters());
     if let Json::Obj(pairs) = &mut doc {
         pairs.push(("stream".to_string(), stream));
     }
@@ -237,6 +344,7 @@ fn stats_doc(state: &ServiceState) -> String {
 /// same seeded stream must return byte-identical documents.
 fn drift_log(state: &ServiceState) -> String {
     state
+        .shard(0)
         .stream
         .read()
         .expect("stream lock")
@@ -251,6 +359,9 @@ fn drift_log(state: &ServiceState) -> String {
 /// updates the tenant's sliding window, evolves the corpus index, runs
 /// drift detection, and bumps the corpus generation (invalidating the
 /// response cache).
+/// An accepted batch is applied to shard 0 first (which also records
+/// rejections), then replayed verbatim into every replica under the
+/// ingest-order mutex, so all engines stay byte-identical mirrors.
 fn ingest(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     let tenant = doc
@@ -258,10 +369,24 @@ fn ingest(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
         .and_then(Json::as_str)
         .ok_or_else(|| ServiceError::bad_request("body needs a 'tenant' string"))?
         .to_string();
-    let mut engine = state.stream.write().expect("stream lock");
-    let outcome = engine
-        .ingest(&tenant, runs)
-        .map_err(ServiceError::bad_request)?;
+    let _order = state.ingest_order.lock().expect("ingest order lock");
+    let outcome = {
+        let mut engine = state.shards[0].stream.write().expect("stream lock");
+        engine
+            .ingest(&tenant, runs.clone())
+            .map_err(ServiceError::bad_request)?
+    };
+    // The batch was accepted by the source of truth; replicas must agree
+    // (same engine, same input sequence), so a divergence is a bug.
+    for shard in &state.shards[1..] {
+        let mut engine = shard.stream.write().expect("stream lock");
+        engine
+            .ingest(&tenant, runs.clone())
+            .map_err(|e| ServiceError {
+                status: 500,
+                message: format!("shard replica diverged on ingest: {e}"),
+            })?;
+    }
     Ok(outcome.to_json().compact())
 }
 
@@ -354,7 +479,7 @@ fn matrix_to_json(m: &Matrix) -> Json {
 /// `POST /fingerprint` — fingerprints the posted runs on the selected
 /// features. Optional body fields: `"representation"` (`"hist"`, the
 /// default, or `"phase"`) and `"nbins"` (Hist-FP only).
-fn fingerprint(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+fn fingerprint(state: &ServiceState, _shard: usize, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     let representation = match doc.get("representation").and_then(Json::as_str) {
         None | Some("hist") => "Hist-FP",
@@ -398,6 +523,7 @@ fn fingerprint(state: &ServiceState, body: &str) -> Result<String, ServiceError>
 /// feature extraction served from the LRU cache.
 fn similar_verdicts(
     state: &ServiceState,
+    shard: usize,
     target_runs: &[ExperimentRun],
 ) -> Result<Vec<SimilarityVerdict>, ServiceError> {
     let mut data: Vec<RunFeatureData> = target_runs
@@ -406,7 +532,7 @@ fn similar_verdicts(
         .collect();
     let mut ref_spans: Vec<Range<usize>> = Vec::with_capacity(state.corpus.references.len());
     for i in 0..state.corpus.references.len() {
-        let cached = state.reference_data(i);
+        let cached = state.reference_data(shard, i);
         let start = data.len();
         data.extend(cached.iter().cloned());
         ref_spans.push(start..data.len());
@@ -476,11 +602,11 @@ fn verdicts_to_json(verdicts: &[SimilarityVerdict]) -> Json {
 ///   `"k"`, and a `"pruning"` object with the cascade's per-stage
 ///   counters (summed over the posted runs), so clients can both tell
 ///   the paths apart and see how much work the lower bounds saved.
-fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+fn similar(state: &ServiceState, shard: usize, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     match doc.get("mode").and_then(Json::as_str) {
         None | Some("exact") => {
-            let verdicts = similar_verdicts(state, &runs)?;
+            let verdicts = similar_verdicts(state, shard, &runs)?;
             Ok(obj! {
                 "most_similar" => verdicts[0].workload.clone(),
                 "verdicts" => verdicts_to_json(&verdicts),
@@ -495,7 +621,7 @@ fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| ServiceError::bad_request("'k' must be a positive integer"))?,
             };
-            let engine = state.stream.read().expect("stream lock");
+            let engine = state.shard(shard).stream.read().expect("stream lock");
             let (verdicts, stats) = engine
                 .index()
                 .rank_references_with_stats(&runs, k)
@@ -529,7 +655,7 @@ fn similar(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
 /// transferred to the posted runs' observed throughput. Optional body
 /// fields `"from_cpus"` / `"to_cpus"` label the SKU pair (defaults 2 and
 /// 8, the default corpus' pair).
-fn predict(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
+fn predict(state: &ServiceState, shard: usize, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
     let cpus = |key: &str, default: f64| -> Result<f64, ServiceError> {
         match doc.get(key) {
@@ -543,7 +669,7 @@ fn predict(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
     let from_cpus = cpus("from_cpus", 2.0)?;
     let to_cpus = cpus("to_cpus", 8.0)?;
 
-    let verdicts = similar_verdicts(state, &runs)?;
+    let verdicts = similar_verdicts(state, shard, &runs)?;
     let reference = state
         .corpus
         .references
@@ -640,7 +766,7 @@ mod tests {
         let target: Vec<ExperimentRun> = (0..2)
             .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
             .collect();
-        let via_service = similar_verdicts(&state, &target).unwrap();
+        let via_service = similar_verdicts(&state, 0, &target).unwrap();
 
         let reference_runs: Vec<(String, Vec<ExperimentRun>)> = state
             .corpus
@@ -740,7 +866,7 @@ mod tests {
         assert_eq!(s1, 200);
         assert_eq!(s2, 200);
         assert_eq!(cold, warm);
-        let (hits, _) = state.responses.counters();
+        let (hits, _) = state.response_cache_counters();
         assert!(hits >= 1, "second request must hit the response cache");
     }
 
@@ -759,7 +885,7 @@ mod tests {
         // Warm the cache and prove it hits.
         let (_, warm) = handle(&state, &req);
         assert_eq!(before, warm);
-        let (hits, _) = state.responses.counters();
+        let (hits, _) = state.response_cache_counters();
         assert!(hits >= 1);
 
         // Stream a YCSB tenant into the corpus (2 batches => live).
@@ -850,6 +976,55 @@ mod tests {
             Some(1),
             "{resp}"
         );
+    }
+
+    /// Tentpole invariant: engine replicas evolve in lockstep, so every
+    /// shard answers every endpoint byte-identically after ingests.
+    #[test]
+    fn sharded_replicas_stay_byte_identical_across_ingest() {
+        let corpus = simulated_corpus(0xEDB7_2025, 40);
+        let config = PipelineConfig {
+            selection: Strategy::FAnova,
+            ..PipelineConfig::default()
+        };
+        let state =
+            ServiceState::sharded(corpus, config, Some(1), 16, StreamConfig::default(), 3).unwrap();
+        assert_eq!(state.shards.len(), 3);
+
+        for batch in 0..2 {
+            let (s, resp) = handle_on(
+                &state,
+                batch % 3,
+                &request(
+                    "POST",
+                    "/ingest",
+                    &ingest_body("ycsb-live", "YCSB", 10 + batch * 2, 2),
+                ),
+            );
+            assert_eq!(s, 200, "{resp}");
+        }
+        for shard in 0..3 {
+            assert_eq!(state.generation_on(shard), 2, "shard {shard} generation");
+        }
+
+        let indexed_body = target_body(3).replacen('{', "{\"mode\":\"indexed\",\"k\":3,", 1);
+        let mut answers = Vec::new();
+        for shard in 0..3 {
+            // Twice per shard: the second answer exercises its cache.
+            for _ in 0..2 {
+                let (s, resp) =
+                    handle_on(&state, shard, &request("POST", "/similar", &indexed_body));
+                assert_eq!(s, 200, "{resp}");
+                answers.push(resp);
+            }
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "shards disagreed on an indexed /similar answer"
+        );
+        // Each shard missed once then hit once.
+        let (hits, misses) = state.response_cache_counters();
+        assert_eq!((hits, misses), (3, 3));
     }
 
     #[test]

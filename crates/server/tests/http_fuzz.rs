@@ -22,8 +22,8 @@ use std::time::Duration;
 use wp_json::Json;
 use wp_linalg::Rng64;
 use wp_server::corpus::simulated_corpus;
-use wp_server::http::read_request;
-use wp_server::{Server, ServerConfig, ServerHandle};
+use wp_server::http::{parse_request, read_request, Parsed};
+use wp_server::{Backend, Server, ServerConfig, ServerHandle};
 use wp_workloads::engine::Simulator;
 use wp_workloads::{benchmarks, Sku};
 
@@ -116,10 +116,73 @@ fn parser_accepts_only_requests_it_can_frame() {
     );
 }
 
+/// The incremental entry point (`parse_request`, what the reactor and
+/// the ticked worker loop drive) must agree byte-for-byte with the
+/// blocking parser it wraps — same framing, same verdicts, same error
+/// strings — no matter how the bytes are sliced. Each mutant is parsed
+/// three ways: blocking over the whole buffer, incrementally at EOF, and
+/// incrementally one byte at a time (every call before the last with
+/// `eof = false`, which must never produce a *different* final verdict,
+/// only `Incomplete` along the way).
+#[test]
+fn incremental_parser_matches_blocking_parser_on_mutants() {
+    for (case, bytes) in mutants().take(2000) {
+        let blocking = read_request(&mut BufReader::new(bytes.as_slice()));
+        let at_eof = parse_request(&bytes, true);
+        match (&blocking, &at_eof) {
+            (Ok(Some(req)), Parsed::Request { request, consumed }) => {
+                assert_eq!(req, request, "case {case}: framed requests differ");
+                assert!(
+                    *consumed <= bytes.len(),
+                    "case {case}: consumed {consumed} of {} bytes",
+                    bytes.len()
+                );
+            }
+            (Ok(None), Parsed::Closed) => {}
+            (Err(b), Parsed::Invalid(i)) => {
+                assert_eq!(b, i, "case {case}: error strings differ");
+            }
+            other => panic!("case {case}: verdicts diverge: {other:?}"),
+        }
+
+        // Byte-at-a-time replay: before the final byte the parser may
+        // only say Incomplete or commit to the same verdict it reaches
+        // at EOF; it must never invent a different one.
+        let mut early = None;
+        for end in 0..bytes.len() {
+            match parse_request(&bytes[..end], false) {
+                Parsed::Incomplete => {}
+                verdict => {
+                    early = Some(verdict);
+                    break;
+                }
+            }
+        }
+        if let Some(verdict) = early {
+            match (verdict, parse_request(&bytes, true)) {
+                (Parsed::Request { request: a, .. }, Parsed::Request { request: b, .. }) => {
+                    assert_eq!(a, b, "case {case}: early frame differs from EOF frame")
+                }
+                (Parsed::Invalid(a), Parsed::Invalid(b)) => {
+                    assert_eq!(a, b, "case {case}: early error differs from EOF error")
+                }
+                (early, full) => {
+                    panic!("case {case}: early verdict {early:?} contradicts EOF verdict {full:?}")
+                }
+            }
+        }
+    }
+}
+
 fn start_server() -> ServerHandle {
+    start_backend(Backend::Workers)
+}
+
+fn start_backend(backend: Backend) -> ServerHandle {
     let corpus = simulated_corpus(0xEDB7_2025, 60);
     let config = ServerConfig {
         workers: 2,
+        backend,
         compute_threads: Some(1),
         ..ServerConfig::default()
     };
@@ -314,7 +377,19 @@ fn ingest_mutants_never_partially_mutate_the_corpus() {
 
 #[test]
 fn live_server_answers_or_closes_on_every_mutant() {
-    let server = start_server();
+    mutant_barrage(Backend::Workers);
+}
+
+/// Same socket-level barrage, reactor backend: the event-driven state
+/// machines must uphold the same answer-or-close contract the blocking
+/// workers do.
+#[test]
+fn live_reactor_answers_or_closes_on_every_mutant() {
+    mutant_barrage(Backend::Reactor);
+}
+
+fn mutant_barrage(backend: Backend) {
+    let server = start_backend(backend);
     let addr = server.addr();
 
     for (case, bytes) in mutants().take(250) {
