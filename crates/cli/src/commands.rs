@@ -20,6 +20,8 @@ usage:
   wp select   [--strategy <name>] [--top K] [--sku <sku>] [--seed S]
   wp similar  --target <name> [--sku <sku>] [--top K] [--seed S]
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
+  wp recommend --slo REQS (--target <name> | --scenario <zoo> [--step N])
+              [--samples N] [--seed S] [--json]
   wp export   --workload <name> --sku <sku> [--terminals N] [--runs N] [--seed S]
   wp serve    [--addr HOST:PORT] [--threads N] [--backend workers|reactor]
               [--corpus FILE] [--samples N] [--seed S] [--faults SPEC] [--obs]
@@ -27,7 +29,7 @@ usage:
               [--timeout SECONDS] [--retries N] [--out FILE] [--verify-determinism]
               [--backend workers|reactor] [--obs]
   wp stream   [--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N]
-              [--shift-after N] [--samples N] [--seed S] [--timeout SECONDS]
+              [--shift-after N] [--zoo] [--samples N] [--seed S] [--timeout SECONDS]
               [--faults SPEC] [--out FILE] [--verify-determinism]
               [--backend workers|reactor] [--obs]
   wp trace    [--samples N] [--seed S] [--json]
@@ -37,6 +39,7 @@ fault SPEC: seed=7,reset=0.05,latency=0.2,latency_ms=1..5,error=0.15,
             error:/similar=0.3,slow=0.1,truncate=0.05 (also read from WP_FAULTS)
 
 skus: cpu2 | cpu4 | cpu8 | cpu16 | s1 | s2 | vcore80 | <cpus>x<gib> (e.g. 12x96)
+zoo scenarios: {tpcc,twitter,ycsb}-{recurring,shifting} (time-evolving mixes)
 strategies: variance | pearson | fanova | migain | lasso | elasticnet |
             randomforest | rfe-linear | rfe-dectree | rfe-logreg | baseline";
 
@@ -70,6 +73,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "select" => cmd_select(&args),
         "similar" => cmd_similar(&args),
         "predict" => cmd_predict(&args),
+        "recommend" => cmd_recommend(&args),
         "export" => cmd_export(&args),
         "serve" => cmd_serve(&args),
         "chaos" => cmd_chaos(&args),
@@ -692,6 +696,10 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 /// `--backend reactor` streams into the event-driven serving tier; the
 /// ledger invariants and the `/drift` determinism contract hold
 /// unchanged because ingest ordering is serialized in both backends.
+///
+/// `--zoo` streams the scenario zoo instead of frozen benchmark mixes:
+/// each tenant replays one `wp_workloads::zoo` scenario (recurring or
+/// shifting transaction mixes), advancing one evolution step per batch.
 fn cmd_stream(args: &Args) -> Result<(), String> {
     use std::time::Duration;
     use wp_faults::FaultPlan;
@@ -703,6 +711,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let samples: usize = args.parsed_or("samples", 30)?;
     let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
     let shift_after: u64 = args.parsed_or("shift-after", (batches * 2 / 3).max(1))?;
+    let zoo = args.switch("zoo");
     let timeout = Duration::from_secs_f64(args.parsed_or("timeout", 10.0)?);
     let out = args.get("out").unwrap_or("BENCH_stream.json").to_string();
     let obs = args.switch("obs") || obs_from_env();
@@ -747,6 +756,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             samples,
             seed,
             shift_after: shift,
+            zoo,
             timeout,
         };
         let report = wp_loadgen::run_stream(&config)?;
@@ -913,6 +923,178 @@ fn cmd_index_bench(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the what-if SKU advisor end to end, in process: simulates
+/// observed 2-CPU telemetry for a benchmark workload (`--target`) or a
+/// scenario-zoo step (`--scenario` + `--step`), posts it to the
+/// `POST /recommend` handler over the simulated reference corpus, and
+/// prints the SKU ladder — per-SKU predicted throughput with its
+/// CV-residual confidence interval and modeling context — plus the
+/// recommendation. The pick is then graded against simulator ground
+/// truth: the cheapest ladder SKU whose *actual* mean throughput meets
+/// the SLO.
+fn cmd_recommend(args: &Args) -> Result<(), String> {
+    let slo: f64 = args
+        .required("slo")?
+        .parse()
+        .map_err(|_| "--slo: cannot parse".to_string())?;
+    if !(slo.is_finite() && slo > 0.0) {
+        return Err("--slo must be a positive throughput (req/s)".to_string());
+    }
+    let samples: usize = args.parsed_or("samples", 60)?;
+    let seed: u64 = args.parsed_or("seed", DEFAULT_SEED)?;
+    let step: usize = args.parsed_or("step", 0)?;
+
+    let (spec, label) = match (args.get("target"), args.get("scenario")) {
+        (Some(_), Some(_)) => return Err("give --target or --scenario, not both".to_string()),
+        (Some(name), None) => (workload_by_name(name)?, name.to_string()),
+        (None, Some(name)) => {
+            let scenario = wp_workloads::zoo::by_name(seed, name).ok_or_else(|| {
+                let names: Vec<String> = wp_workloads::zoo::paper_zoo(seed)
+                    .iter()
+                    .map(|s| s.name.clone())
+                    .collect();
+                format!(
+                    "unknown scenario '{name}' (available: {})",
+                    names.join(", ")
+                )
+            })?;
+            (scenario.spec_at(step), format!("{name} @ step {step}"))
+        }
+        (None, None) => return Err("missing --target or --scenario".to_string()),
+    };
+    let terminals = *paper_terminals(&spec).first().unwrap();
+
+    // Observed telemetry: three runs on the 2-CPU SKU.
+    let mut sim = Simulator::new(seed);
+    sim.config.samples = samples;
+    let observed_sku = Sku::new("cpu2", 2, 64.0);
+    let observed: Vec<_> = (0..3)
+        .map(|r| sim.simulate(&spec, &observed_sku, terminals, r, r % 3))
+        .collect();
+    let body = format!(
+        "{{\"slo\":{slo},\"runs\":{}}}",
+        wp_telemetry::io::runs_to_json(&observed)
+    );
+
+    let corpus = wp_server::corpus::simulated_corpus(seed, samples);
+    let defaults = wp_server::ServerConfig::default();
+    let state = wp_server::service::ServiceState::new(
+        corpus,
+        defaults.pipeline,
+        None,
+        defaults.cache_capacity,
+        defaults.stream,
+    )?;
+    let req = wp_server::http::Request {
+        method: "POST".to_string(),
+        path: "/recommend".to_string(),
+        body,
+        keep_alive: false,
+    };
+    let (status, response) = wp_server::service::handle(&state, &req);
+    if status != 200 {
+        return Err(format!("/recommend failed with {status}: {response}"));
+    }
+    let doc = Json::parse(&response).map_err(|e| format!("response does not parse: {e}"))?;
+
+    // Ground truth: the simulator's actual mean throughput on each
+    // ladder SKU, and the cheapest SKU that really meets the SLO.
+    let actuals: Vec<(String, f64)> = Sku::paper_grid()
+        .iter()
+        .map(|sku| {
+            let mean = wp_linalg::stats::mean(
+                &(0..3)
+                    .map(|r| sim.simulate(&spec, sku, terminals, r, r % 3).throughput)
+                    .collect::<Vec<_>>(),
+            );
+            (sku.name.clone(), mean)
+        })
+        .collect();
+    let truth = actuals
+        .iter()
+        .find(|(_, t)| *t >= slo)
+        .map(|(n, _)| n.clone());
+
+    if args.switch("json") {
+        let mut full = doc.clone();
+        if let Json::Obj(pairs) = &mut full {
+            pairs.push((
+                "ground_truth".to_string(),
+                obj! {
+                    "cheapest_meeting_sku" => truth
+                        .as_deref()
+                        .map_or(Json::Null, Json::from),
+                    "actual_throughput" => Json::Arr(
+                        actuals
+                            .iter()
+                            .map(|(n, t)| obj! { "sku" => n.clone(), "throughput" => *t })
+                            .collect(),
+                    ),
+                },
+            ));
+        }
+        println!("{}", full.pretty());
+        return Ok(());
+    }
+
+    let str_of = |d: &Json, key: &str| d.get(key).and_then(Json::as_str).map(str::to_string);
+    let num_of = |d: &Json, key: &str| d.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    println!(
+        "what-if recommendation for {label} (observed on {}, {} terminals, SLO {slo} req/s):",
+        observed_sku, terminals
+    );
+    println!(
+        "  most similar reference: {} ({} context)",
+        str_of(&doc, "most_similar").unwrap_or_default(),
+        str_of(&doc, "context").unwrap_or_default()
+    );
+    println!(
+        "  observed: {:>10.1} req/s @ {:.2} ms",
+        num_of(&doc, "observed_throughput"),
+        num_of(&doc, "observed_latency_ms")
+    );
+    if let Some(Json::Arr(candidates)) = doc.get("candidates") {
+        for c in candidates {
+            println!(
+                "  {:<6} {:>10.1} req/s  [{:>9.1}, {:>9.1}]  {:>7.2} ms  {:<8} {}",
+                str_of(c, "sku").unwrap_or_default(),
+                num_of(c, "predicted_throughput"),
+                num_of(c, "ci_lower"),
+                num_of(c, "ci_upper"),
+                num_of(c, "predicted_latency_ms"),
+                str_of(c, "context").unwrap_or_default(),
+                if c.get("meets_slo") == Some(&Json::Bool(true)) {
+                    "meets SLO"
+                } else {
+                    "below SLO"
+                }
+            );
+        }
+    }
+    let picked = str_of(&doc, "recommended");
+    println!(
+        "  recommended: {}",
+        picked
+            .as_deref()
+            .unwrap_or("none (SLO unreachable on the ladder)")
+    );
+    println!(
+        "  ground truth: {} (simulator actuals: {})",
+        truth.as_deref().unwrap_or("none"),
+        actuals
+            .iter()
+            .map(|(n, t)| format!("{n} {t:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if picked == truth {
+        println!("  verdict: recommendation matches ground truth");
+    } else {
+        println!("  verdict: recommendation differs from ground truth");
+    }
+    Ok(())
+}
+
 fn cmd_predict(args: &Args) -> Result<(), String> {
     let target = workload_by_name(args.required("target")?)?;
     let from = parse_sku(args.required("from")?)?;
@@ -1005,6 +1187,60 @@ mod tests {
         assert!(parsed
             .iter()
             .any(|(name, v)| name.starts_with("wp_server_request_count{") && *v > 0.0));
+    }
+
+    #[test]
+    fn recommend_subcommand_runs_for_targets_and_scenarios() {
+        let ok: Vec<String> = [
+            "recommend",
+            "--slo",
+            "10",
+            "--target",
+            "YCSB",
+            "--samples",
+            "20",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run(&ok), Ok(()));
+
+        let zoo: Vec<String> = [
+            "recommend",
+            "--slo",
+            "10",
+            "--scenario",
+            "ycsb-shifting",
+            "--step",
+            "4",
+            "--samples",
+            "20",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run(&zoo), Ok(()));
+
+        // Errors: missing SLO, bad SLO, unknown scenario, both sources.
+        let cases: [&[&str]; 4] = [
+            &["recommend", "--target", "YCSB"],
+            &["recommend", "--slo", "-4", "--target", "YCSB"],
+            &["recommend", "--slo", "10", "--scenario", "nope"],
+            &[
+                "recommend",
+                "--slo",
+                "10",
+                "--target",
+                "YCSB",
+                "--scenario",
+                "ycsb-shifting",
+            ],
+        ];
+        for argv in cases {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            assert!(run(&argv).is_err(), "{argv:?} should fail");
+        }
     }
 
     #[test]

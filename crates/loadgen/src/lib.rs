@@ -505,6 +505,11 @@ pub struct StreamerConfig {
     /// When set, every tenant's stream shape-shifts to an analytics
     /// workload from this batch index on — the scripted drift scenario.
     pub shift_after: Option<u64>,
+    /// Stream the scenario zoo instead of frozen benchmark mixes: tenant
+    /// `i` replays `wp_workloads::zoo` scenario `i` (recurring/shifting
+    /// time-evolving transaction mixes), one evolution step per batch.
+    /// A `shift_after` still overrides with the TPC-H shape-shift.
+    pub zoo: bool,
     /// Per-request read timeout.
     pub timeout: Duration,
 }
@@ -520,6 +525,7 @@ impl Default for StreamerConfig {
             samples: 30,
             seed: 0xEDB7_2025,
             shift_after: None,
+            zoo: false,
             timeout: Duration::from_secs(30),
         }
     }
@@ -595,7 +601,9 @@ impl StreamReport {
 /// Deterministic `/ingest` bodies for one tenant: `batches` batches of
 /// `runs_per_batch` simulated runs each, in the `wp_telemetry::io`
 /// schema. Until `shift_after`, the tenant replays its home OLTP
-/// workload (keyed by tenant index); from `shift_after` on, the stream
+/// workload (keyed by tenant index) — or, with `zoo` set, one step of
+/// its `wp_workloads::zoo` scenario per batch, so the mix recurs or
+/// drifts instead of freezing. From `shift_after` on, the stream
 /// shape-shifts to TPC-H so the server's drift detector has a real
 /// change to find. Same config → byte-identical bodies.
 pub fn stream_bodies(config: &StreamerConfig, tenant: usize) -> Vec<String> {
@@ -606,12 +614,18 @@ pub fn stream_bodies(config: &StreamerConfig, tenant: usize) -> Vec<String> {
     );
     sim.config.samples = config.samples;
     let sku = Sku::new("cpu2", 2, 64.0);
+    let scenario = config.zoo.then(|| {
+        let zoo = wp_workloads::zoo::paper_zoo(config.seed);
+        zoo[tenant % zoo.len()].clone()
+    });
     let mut bodies = Vec::with_capacity(config.batches as usize);
     let mut run_index = 0usize;
     for batch in 0..config.batches {
         let shifted = config.shift_after.is_some_and(|s| batch >= s);
         let (spec, terminals) = if shifted {
             (benchmarks::tpch(), 1)
+        } else if let Some(scenario) = &scenario {
+            (scenario.spec_at(batch as usize), 8)
         } else {
             match tenant % 3 {
                 0 => (benchmarks::tpcc(), 8),
@@ -1371,6 +1385,38 @@ mod tests {
                 assert!(doc.get("runs").is_some());
             }
         }
+    }
+
+    #[test]
+    fn zoo_stream_bodies_are_deterministic_and_actually_evolve() {
+        let config = StreamerConfig {
+            zoo: true,
+            batches: 6,
+            runs_per_batch: 1,
+            samples: 20,
+            ..StreamerConfig::default()
+        };
+        let a = stream_bodies(&config, 0);
+        let b = stream_bodies(&config, 0);
+        assert_eq!(a, b, "zoo bodies must be seed-deterministic");
+        assert_eq!(a.len(), 6);
+        // An evolving mix moves the simulated throughput batch to batch;
+        // the frozen (non-zoo) stream only moves it via the run index.
+        let throughput = |body: &str| {
+            Json::parse(body)
+                .unwrap()
+                .get("runs")
+                .and_then(Json::as_arr)
+                .and_then(|runs| runs[0].get("throughput").and_then(Json::as_f64))
+                .unwrap()
+        };
+        assert_ne!(
+            throughput(&a[0]).to_bits(),
+            throughput(&a[3]).to_bits(),
+            "zoo stream did not evolve the telemetry"
+        );
+        // Distinct tenants replay distinct scenarios.
+        assert_ne!(a, stream_bodies(&config, 1));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!            [--out BENCH_server.json] [--metrics-out FILE]
 //! wp-loadgen --mode streamer --addr 127.0.0.1:8080 [--rate 40]
 //!            [--tenants 2] [--batches 12] [--runs-per-batch 2]
-//!            [--shift-after N] [--seed N] [--samples 30]
+//!            [--shift-after N] [--zoo] [--seed N] [--samples 30]
 //!            [--timeout 30] [--out BENCH_stream.json]
 //! wp-loadgen --mode step --addr 127.0.0.1:8080 [--steps 32,64,...,1024]
 //!            [--warmup 1] [--step-duration 2] [--seed 42] [--samples 30]
@@ -25,7 +25,9 @@
 //! counters to `BENCH_stream.json`. `--shift-after N` makes every
 //! tenant's stream shape-shift at batch `N` (the scripted drift
 //! scenario); without it the streams are stationary and a healthy
-//! detector stays silent.
+//! detector stays silent. `--zoo` replays the scenario zoo instead:
+//! each tenant streams one `wp_workloads::zoo` scenario (recurring or
+//! shifting transaction mixes), advancing one evolution step per batch.
 //!
 //! `--mode step` runs the stepped-load scaling ramp: one closed-loop
 //! phase per connection count in `--steps`, every response validated
@@ -57,7 +59,7 @@ const USAGE: &str = "usage: wp-loadgen --addr HOST:PORT [--connections N] \
 [--timeout SECONDS] [--retries N] [--requests N] [--out FILE] \
 [--metrics-out FILE]\n       wp-loadgen --mode streamer --addr HOST:PORT \
 [--rate HZ] [--tenants N] [--batches N] [--runs-per-batch N] \
-[--shift-after N] [--seed N] [--samples N] [--timeout SECONDS] [--out FILE]\n       \
+[--shift-after N] [--zoo] [--seed N] [--samples N] [--timeout SECONDS] [--out FILE]\n       \
 wp-loadgen --mode step --addr HOST:PORT [--steps N,N,...] \
 [--warmup SECONDS] [--step-duration SECONDS] [--seed N] [--samples N] \
 [--timeout SECONDS] [--out FILE]";
@@ -102,6 +104,11 @@ fn run_streamer(args: Vec<String>) -> Result<(), String> {
         if flag == "--help" || flag == "-h" {
             println!("{USAGE}");
             return Ok(());
+        }
+        // `--zoo` is a bare switch: no value to consume.
+        if flag == "--zoo" {
+            config.zoo = true;
+            continue;
         }
         let value = it
             .next()

@@ -150,7 +150,14 @@ impl PairwiseScalingModel {
     /// TPC-C) usable for workload B (e.g. YCSB) whose absolute throughput
     /// is different: the model contributes the ratio, the new workload
     /// contributes the level.
+    ///
+    /// A same-level transfer (`from == to` after rounding) is the
+    /// identity: no pair model exists (fitting skips `i == j`), and the
+    /// only consistent scaling factor is 1.
     pub fn predict_transfer(&self, from: f64, to: f64, value: f64) -> Option<f64> {
+        if level_key(from) == level_key(to) {
+            return Some(value);
+        }
         let key = (level_key(from), level_key(to));
         let m = self.models.get(&key)?;
         let x_ref = self.train_means[&key];

@@ -1,0 +1,112 @@
+//! Property tests for the scaling-model contexts, on seeded `Rng64`
+//! grids: the pairwise transfer must be the identity on same-level
+//! pairs, compose to (approximately) the identity on round trips, and
+//! the single-context model must stay finite and monotone on data that
+//! scales monotonically.
+
+use wp_linalg::Rng64;
+use wp_predict::context::{PairwiseScalingModel, SingleScalingModel};
+use wp_predict::strategies::ModelStrategy;
+
+/// Aligned observations at `levels`, scaled by a known per-level factor
+/// with multiplicative noise of amplitude `noise`.
+fn seeded_grid(seed: u64, levels: &[f64], n: usize, noise: f64) -> Vec<Vec<f64>> {
+    let mut rng = Rng64::new(seed);
+    let base: Vec<f64> = (0..n).map(|_| rng.range(80.0, 120.0)).collect();
+    levels
+        .iter()
+        .map(|&l| {
+            // sub-linear scaling factor, USL-flavored
+            let factor = l / (1.0 + 0.08 * (l - 1.0));
+            base.iter()
+                .map(|b| b * factor * (1.0 + noise * (rng.unit() - 0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn transfer_is_identity_when_from_equals_to() {
+    let levels = [2.0, 4.0, 8.0, 16.0];
+    for seed in 1..=8u64 {
+        let values = seeded_grid(seed, &levels, 10, 0.04);
+        let m = PairwiseScalingModel::fit(ModelStrategy::Regression, &levels, &values, None);
+        let mut rng = Rng64::new(seed ^ 0xABCD);
+        for &l in &levels {
+            let v = rng.range(1.0, 5000.0);
+            assert_eq!(
+                m.predict_transfer(l, l, v),
+                Some(v),
+                "seed {seed}: transfer {l} -> {l} is not the identity"
+            );
+        }
+        // The identity holds even for a level no pair model covers:
+        // scaling to the same hardware never needs a model.
+        assert_eq!(m.predict_transfer(5.0, 5.0, 123.0), Some(123.0));
+        // ...but an uncovered cross-level pair still has no answer.
+        assert_eq!(m.predict_transfer(5.0, 8.0, 123.0), None);
+    }
+}
+
+#[test]
+fn round_trip_transfer_composes_to_near_identity() {
+    let levels = [2.0, 4.0, 8.0, 16.0];
+    for seed in 1..=8u64 {
+        let values = seeded_grid(seed, &levels, 12, 0.02);
+        let m = PairwiseScalingModel::fit(ModelStrategy::Regression, &levels, &values, None);
+        let mut rng = Rng64::new(seed.wrapping_mul(0x9E37_79B9));
+        for &a in &levels {
+            for &b in &levels {
+                let v = rng.range(50.0, 2000.0);
+                let there = m.predict_transfer(a, b, v).expect("covered pair");
+                let back = m.predict_transfer(b, a, there).expect("covered pair");
+                let rel = (back / v - 1.0).abs();
+                assert!(
+                    rel < 0.05,
+                    "seed {seed}: {a} -> {b} -> {a} drifted by {:.2}% ({v} -> {back})",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_model_predictions_are_finite_and_monotone_on_scaling_grids() {
+    for seed in 1..=8u64 {
+        let levels = [2.0, 4.0, 8.0, 16.0];
+        let values = seeded_grid(seed, &levels, 10, 0.04);
+        let mut cpus = Vec::new();
+        let mut obs = Vec::new();
+        for (li, &l) in levels.iter().enumerate() {
+            for &v in &values[li] {
+                cpus.push(l);
+                obs.push(v);
+            }
+        }
+        let m = SingleScalingModel::fit(ModelStrategy::Regression, &cpus, &obs, None);
+        // Finite everywhere on a dense sweep, and monotone non-decreasing:
+        // the generating process scales up with CPUs, and a linear fit of
+        // monotone data must carry a non-negative slope.
+        let mut last = f64::NEG_INFINITY;
+        for step in 0..=56 {
+            let c = 2.0 + 0.25 * step as f64; // 2.0 ..= 16.0
+            let p = m.predict(c);
+            assert!(p.is_finite(), "seed {seed}: prediction at {c} not finite");
+            assert!(
+                p >= last,
+                "seed {seed}: prediction dropped at {c} CPUs ({p} < {last})"
+            );
+            last = p;
+        }
+        // The fit tracks the grid's scale: the 16-CPU prediction lands
+        // within the observed 16-CPU spread, widened by the noise band.
+        let hi = values[3].iter().cloned().fold(f64::MIN, f64::max);
+        let lo = values[3].iter().cloned().fold(f64::MAX, f64::min);
+        let p16 = m.predict(16.0);
+        assert!(
+            p16 > lo * 0.8 && p16 < hi * 1.2,
+            "seed {seed}: 16-CPU prediction {p16} outside [{lo}, {hi}] band"
+        );
+    }
+}

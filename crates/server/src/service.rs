@@ -29,7 +29,9 @@ use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
 use wp_index::IndexConfig;
 use wp_json::{obj, Json};
 use wp_linalg::Matrix;
-use wp_predict::context::PairwiseScalingModel;
+use wp_predict::context::{PairwiseScalingModel, SingleScalingModel};
+use wp_predict::evaluation::{pairwise_cv_nrmse, single_cv_nrmse, ScalingData};
+use wp_predict::strategies::ModelStrategy;
 use wp_similarity::histfp::histfp;
 use wp_similarity::measure::{normalize_distances, try_distance_matrix};
 use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
@@ -37,6 +39,7 @@ use wp_similarity::repr::{extract, RunFeatureData};
 use wp_stream::{StreamConfig, StreamEngine};
 use wp_telemetry::io::run_from_json;
 use wp_telemetry::{ExperimentRun, FeatureId};
+use wp_workloads::Sku;
 
 use crate::cache::{CacheObs, LruCache};
 use crate::http::Request;
@@ -52,6 +55,19 @@ static REF_DATA_OBS: CacheObs = CacheObs::new(
     "wp_server_cache_misses_total{cache=\"ref_data\"}",
     "wp_server_cache_evictions_total{cache=\"ref_data\"}",
 );
+static OBS_RECOMMEND_TOTAL: wp_obs::LazyCounter =
+    wp_obs::LazyCounter::new("wp_server_recommend_requests_total");
+static OBS_RECOMMEND_FALLBACK: wp_obs::LazyCounter =
+    wp_obs::LazyCounter::new("wp_server_recommend_single_fallback_total");
+static OBS_RECOMMEND_SPAN: wp_obs::LazySpan = wp_obs::LazySpan::new("wp_server_recommend");
+
+/// CPU level of the default corpus' observed side (`runs_from`).
+const CORPUS_FROM_CPUS: f64 = 2.0;
+/// CPU level of the default corpus' scaled side (`runs_to`).
+const CORPUS_TO_CPUS: f64 = 8.0;
+/// Fold seed for the CV-residual confidence intervals: fixed, so the
+/// interval is a deterministic function of the corpus and the request.
+const CV_SEED: u64 = 0xEDB7_2025;
 
 /// An error mapped to an HTTP status + JSON `{"error": ...}` body.
 #[derive(Debug)]
@@ -272,6 +288,7 @@ fn route(state: &ServiceState, shard: usize, req: &Request) -> Result<String, Se
         ("POST", "/fingerprint") => cached(state, shard, req, fingerprint),
         ("POST", "/similar") => cached(state, shard, req, similar),
         ("POST", "/predict") => cached(state, shard, req, predict),
+        ("POST", "/recommend") => cached(state, shard, req, recommend),
         // Ingest mutates the corpus, so it never goes through the
         // response cache.
         ("POST", "/ingest") => ingest(state, &req.body),
@@ -283,10 +300,12 @@ fn route(state: &ServiceState, shard: usize, req: &Request) -> Result<String, Se
             status: 405,
             message: format!("{} only supports GET", req.path),
         }),
-        (_, "/fingerprint" | "/similar" | "/predict" | "/ingest") => Err(ServiceError {
-            status: 405,
-            message: format!("{} only supports POST", req.path),
-        }),
+        (_, "/fingerprint" | "/similar" | "/predict" | "/recommend" | "/ingest") => {
+            Err(ServiceError {
+                status: 405,
+                message: format!("{} only supports POST", req.path),
+            })
+        }
         _ => Err(ServiceError {
             status: 404,
             message: format!("no such endpoint '{}'", req.path),
@@ -706,6 +725,251 @@ fn predict(state: &ServiceState, shard: usize, body: &str) -> Result<String, Ser
     .compact())
 }
 
+/// Relative cross-validated residuals of the two modeling contexts over
+/// one reference's aligned scaling observations, used as CI half-widths
+/// by `/recommend`.
+///
+/// The corpus keeps only a handful of runs per reference, so k-fold test
+/// folds often hold a single point and `wp_ml::metrics::nrmse` degrades
+/// to an *absolute* RMSE there (a zero test range has nothing to divide
+/// by). To keep the residual a *relative* error either way, the values
+/// are normalized before CV: per level for the pairwise transfer (the
+/// transfer is scale-free across levels) and by one global mean for the
+/// single curve (which must keep its shape across levels).
+fn cv_residuals(
+    strategy: ModelStrategy,
+    from_values: &[f64],
+    to_values: &[f64],
+    groups: &[usize],
+) -> (f64, f64) {
+    let n = from_values.len();
+    if n < 2 {
+        return (0.0, 0.0);
+    }
+    let folds = n.min(5);
+    let levels = vec![CORPUS_FROM_CPUS, CORPUS_TO_CPUS];
+    let scale = |values: &[f64], by: f64| -> Vec<f64> {
+        if by == 0.0 {
+            values.to_vec()
+        } else {
+            values.iter().map(|v| v / by).collect()
+        }
+    };
+
+    let pair_data = ScalingData {
+        levels: levels.clone(),
+        values: vec![
+            scale(from_values, wp_linalg::stats::mean(from_values)),
+            scale(to_values, wp_linalg::stats::mean(to_values)),
+        ],
+        groups: groups.to_vec(),
+    };
+    let pairwise = pairwise_cv_nrmse(&pair_data, strategy, folds, CV_SEED).nrmse;
+
+    let all: Vec<f64> = from_values.iter().chain(to_values).copied().collect();
+    let global = wp_linalg::stats::mean(&all);
+    let single_data = ScalingData {
+        levels,
+        values: vec![scale(from_values, global), scale(to_values, global)],
+        groups: groups.to_vec(),
+    };
+    let single = single_cv_nrmse(&single_data, strategy, folds, CV_SEED).nrmse;
+
+    let clamp = |x: f64| if x.is_finite() && x >= 0.0 { x } else { 0.0 };
+    (clamp(pairwise), clamp(single))
+}
+
+/// `POST /recommend` — the what-if SKU advisor. Body:
+///
+/// * `"slo"` (required) — the throughput target, in req/s. Positive and
+///   finite.
+/// * `"runs"` *or* `"tenant"` (exactly one) — the observed telemetry:
+///   either inline runs in the `wp_telemetry::io` schema, or the name of
+///   a streamed tenant whose current sliding window is consulted.
+/// * `"observed_cpus"` (optional, default 2) — the SKU the telemetry was
+///   observed on.
+///
+/// The handler ranks the posted runs against the startup references
+/// (stage 2), fits the pairwise and single scaling contexts on the most
+/// similar reference's aligned run pairs, and predicts throughput across
+/// the `Sku::paper_grid` ladder. SKUs the pairwise model covers use the
+/// transfer (`"context": "pairwise"`); the rest fall back to the single-
+/// context curve, scaled through the observed operating point
+/// (`"context": "single"` — the response's top-level `"context"` says
+/// `"pairwise+single"` when any candidate fell back). Every prediction
+/// carries a confidence interval `predicted * (1 ± nrmse)`, the half-
+/// width being the context's cross-validated relative residual on the
+/// reference. The recommendation is the cheapest (fewest-CPU) SKU whose
+/// predicted throughput meets the SLO, or `null` when none does.
+fn recommend(state: &ServiceState, shard: usize, body: &str) -> Result<String, ServiceError> {
+    let _span = OBS_RECOMMEND_SPAN.start();
+    let doc = Json::parse(body)
+        .map_err(|e| ServiceError::bad_request(format!("invalid JSON body: {e}")))?;
+    let slo = doc
+        .get("slo")
+        .ok_or_else(|| ServiceError::bad_request("body needs a 'slo' throughput target"))?
+        .as_f64()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .ok_or_else(|| {
+            ServiceError::bad_request("'slo' must be a positive finite throughput (req/s)")
+        })?;
+    let observed_cpus = match doc.get("observed_cpus") {
+        None => CORPUS_FROM_CPUS,
+        Some(v) => v
+            .as_f64()
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| ServiceError::bad_request("'observed_cpus' must be positive"))?,
+    };
+    let (runs, source) = match (doc.get("tenant"), doc.get("runs")) {
+        (Some(_), Some(_)) => {
+            return Err(ServiceError::bad_request(
+                "give 'runs' or 'tenant', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ServiceError::bad_request(
+                "body needs a 'runs' array or a 'tenant' name",
+            ))
+        }
+        (Some(t), None) => {
+            let name = t
+                .as_str()
+                .ok_or_else(|| ServiceError::bad_request("'tenant' must be a string"))?;
+            let window = {
+                let engine = state.shard(shard).stream.read().expect("stream lock");
+                engine.tenant_runs(name).map(<[ExperimentRun]>::to_vec)
+            };
+            let runs = window
+                .filter(|w| !w.is_empty())
+                .ok_or_else(|| ServiceError::bad_request(format!("unknown tenant '{name}'")))?;
+            (runs, format!("tenant:{name}"))
+        }
+        (None, Some(_)) => {
+            let (_, runs) = parse_target_runs(body)?;
+            (runs, "inline".to_string())
+        }
+    };
+
+    let observed = wp_linalg::stats::mean(&runs.iter().map(|r| r.throughput).collect::<Vec<_>>());
+    let observed_latency =
+        wp_linalg::stats::mean(&runs.iter().map(|r| r.latency_ms).collect::<Vec<_>>());
+    if !(observed.is_finite() && observed > 0.0) {
+        return Err(ServiceError::bad_request(
+            "observed throughput must be positive",
+        ));
+    }
+
+    let verdicts = similar_verdicts(state, shard, &runs)?;
+    let reference = state
+        .corpus
+        .references
+        .iter()
+        .find(|r| r.name == verdicts[0].workload)
+        .expect("verdict names come from the corpus");
+    let from_values: Vec<f64> = reference.runs_from.iter().map(|r| r.throughput).collect();
+    let to_values: Vec<f64> = reference.runs_to.iter().map(|r| r.throughput).collect();
+    let groups: Vec<usize> = reference
+        .runs_from
+        .iter()
+        .map(|r| r.key.data_group)
+        .collect();
+
+    let pairwise = PairwiseScalingModel::fit(
+        state.config.model,
+        &[CORPUS_FROM_CPUS, CORPUS_TO_CPUS],
+        &[from_values.clone(), to_values.clone()],
+        Some(&groups),
+    );
+    let single = {
+        let mut cpus = vec![CORPUS_FROM_CPUS; from_values.len()];
+        cpus.extend(std::iter::repeat_n(CORPUS_TO_CPUS, to_values.len()));
+        let mut values = from_values.clone();
+        values.extend_from_slice(&to_values);
+        let mut single_groups = groups.clone();
+        single_groups.extend_from_slice(&groups);
+        SingleScalingModel::fit(state.config.model, &cpus, &values, Some(&single_groups))
+    };
+    let (pairwise_nrmse, single_nrmse) =
+        cv_residuals(state.config.model, &from_values, &to_values, &groups);
+
+    // The single curve's value at the observed operating point anchors
+    // the fallback: predicted = observed * curve(to) / curve(observed).
+    let single_anchor = single.predict(observed_cpus);
+    let mut any_single = false;
+    let mut recommended: Option<&str> = None;
+    let mut candidates = Vec::new();
+    let ladder = Sku::paper_grid();
+    for sku in &ladder {
+        let to = sku.cpus as f64;
+        let (raw, context, residual) = match pairwise.predict_transfer(observed_cpus, to, observed)
+        {
+            Some(p) => (p, "pairwise", pairwise_nrmse),
+            None => {
+                any_single = true;
+                let top = single.predict(to);
+                let p = if single_anchor.is_finite()
+                    && single_anchor > 0.0
+                    && top.is_finite()
+                    && top > 0.0
+                {
+                    observed * top / single_anchor
+                } else {
+                    0.0
+                };
+                (p, "single", single_nrmse)
+            }
+        };
+        let predicted = if raw.is_finite() && raw > 0.0 {
+            raw
+        } else {
+            0.0
+        };
+        // Latency scales inversely with throughput at fixed offered load.
+        let latency = if predicted > 0.0 {
+            observed_latency * observed / predicted
+        } else {
+            0.0
+        };
+        let meets = predicted >= slo;
+        if meets && recommended.is_none() {
+            recommended = Some(sku.name.as_str());
+        }
+        candidates.push(obj! {
+            "sku" => sku.name.clone(),
+            "cpus" => sku.cpus,
+            "context" => context,
+            "predicted_throughput" => predicted,
+            "predicted_latency_ms" => latency,
+            "ci_lower" => (predicted * (1.0 - residual)).max(0.0),
+            "ci_upper" => predicted * (1.0 + residual),
+            "meets_slo" => meets,
+        });
+    }
+    OBS_RECOMMEND_TOTAL.add(1);
+    if any_single {
+        OBS_RECOMMEND_FALLBACK.add(1);
+    }
+
+    Ok(obj! {
+        "recommended" => recommended.map_or(Json::Null, Json::from),
+        "slo" => slo,
+        "source" => source,
+        "observed_cpus" => observed_cpus,
+        "observed_throughput" => observed,
+        "observed_latency_ms" => observed_latency,
+        "most_similar" => verdicts[0].workload.clone(),
+        "context" => if any_single { "pairwise+single" } else { "pairwise" },
+        "cv" => obj! {
+            "pairwise_nrmse" => pairwise_nrmse,
+            "single_nrmse" => single_nrmse,
+            "folds" => from_values.len().min(5),
+            "seed" => CV_SEED,
+        },
+        "candidates" => Json::Arr(candidates),
+    }
+    .compact())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1101,5 +1365,209 @@ mod tests {
         let bad = body.replacen('{', "{\"from_cpus\":-1,", 1);
         let (s, _) = handle(&state, &request("POST", "/predict", &bad));
         assert_eq!(s, 400);
+    }
+
+    fn recommend_body(state_seed: u64, slo: f64) -> String {
+        target_body(state_seed).replacen('{', &format!("{{\"slo\":{slo},"), 1)
+    }
+
+    #[test]
+    fn recommend_picks_the_cheapest_slo_meeting_sku_with_cis() {
+        let state = test_state();
+
+        // A trivially low SLO is met in place: the cheapest SKU wins.
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/recommend", &recommend_body(5, 1.0)),
+        );
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert_eq!(doc.get("recommended").and_then(Json::as_str), Some("cpu2"));
+        assert_eq!(doc.get("source").and_then(Json::as_str), Some("inline"));
+        // 4- and 16-CPU SKUs are outside the corpus pair: mixed context.
+        assert_eq!(
+            doc.get("context").and_then(Json::as_str),
+            Some("pairwise+single"),
+            "{resp}"
+        );
+        let candidates = doc.get("candidates").and_then(Json::as_arr).unwrap();
+        assert_eq!(candidates.len(), 4);
+        let context_of = |name: &str| {
+            candidates
+                .iter()
+                .find(|c| c.get("sku").and_then(Json::as_str) == Some(name))
+                .and_then(|c| c.get("context"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(context_of("cpu2").as_deref(), Some("pairwise"));
+        assert_eq!(context_of("cpu8").as_deref(), Some("pairwise"));
+        assert_eq!(context_of("cpu4").as_deref(), Some("single"));
+        assert_eq!(context_of("cpu16").as_deref(), Some("single"));
+
+        // Ladder sanity: predictions positive, CI brackets the point, and
+        // the identity transfer returns the observed throughput on cpu2.
+        let observed = doc
+            .get("observed_throughput")
+            .and_then(Json::as_f64)
+            .unwrap();
+        for c in candidates {
+            let p = c
+                .get("predicted_throughput")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let lo = c.get("ci_lower").and_then(Json::as_f64).unwrap();
+            let hi = c.get("ci_upper").and_then(Json::as_f64).unwrap();
+            assert!(p > 0.0, "{resp}");
+            assert!(lo <= p && p <= hi, "{resp}");
+            assert!(
+                c.get("predicted_latency_ms")
+                    .and_then(Json::as_f64)
+                    .unwrap()
+                    > 0.0,
+                "{resp}"
+            );
+            if c.get("sku").and_then(Json::as_str) == Some("cpu2") {
+                assert_eq!(p.to_bits(), observed.to_bits(), "{resp}");
+            }
+        }
+
+        // An SLO between cpu2's and the ladder-max prediction forces an
+        // upgrade: the recommendation is the *first* (cheapest) candidate
+        // that meets it, and cheaper candidates all miss it.
+        let preds: Vec<(String, f64)> = candidates
+            .iter()
+            .map(|c| {
+                (
+                    c.get("sku").and_then(Json::as_str).unwrap().to_string(),
+                    c.get("predicted_throughput")
+                        .and_then(Json::as_f64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let max_pred = preds.iter().map(|(_, p)| *p).fold(f64::MIN, f64::max);
+        let slo = observed + (max_pred - observed) * 0.5;
+        assert!(slo > observed, "ladder must predict speedup somewhere");
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/recommend", &recommend_body(5, slo)),
+        );
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        let pick = doc.get("recommended").and_then(Json::as_str).unwrap();
+        assert_ne!(pick, "cpu2", "{resp}");
+        let expected = preds
+            .iter()
+            .find(|(_, p)| *p >= slo)
+            .map(|(n, _)| n.as_str())
+            .unwrap();
+        assert_eq!(pick, expected, "{resp}");
+
+        // An impossible SLO recommends nothing.
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/recommend", &recommend_body(5, max_pred * 100.0)),
+        );
+        assert_eq!(s, 200, "{resp}");
+        let doc = Json::parse(&resp).unwrap();
+        assert!(matches!(doc.get("recommended"), Some(Json::Null)), "{resp}");
+    }
+
+    #[test]
+    fn recommend_validates_inputs() {
+        let state = test_state();
+        let runs_only = target_body(5);
+        let cases: Vec<(String, &str)> = vec![
+            (runs_only.clone(), "missing slo"),
+            (runs_only.replacen('{', "{\"slo\":-3,", 1), "negative slo"),
+            (runs_only.replacen('{', "{\"slo\":0,", 1), "zero slo"),
+            (
+                runs_only.replacen('{', "{\"slo\":\"fast\",", 1),
+                "non-numeric slo",
+            ),
+            (
+                runs_only.replacen('{', "{\"slo\":1e999,", 1),
+                "infinite slo",
+            ),
+            (
+                recommend_body(5, 10.0).replacen('{', "{\"observed_cpus\":0,", 1),
+                "zero observed_cpus",
+            ),
+            (
+                recommend_body(5, 10.0).replacen('{', "{\"tenant\":\"t\",", 1),
+                "both runs and tenant",
+            ),
+            ("{\"slo\":10}".to_string(), "neither runs nor tenant"),
+            (
+                "{\"slo\":10,\"tenant\":\"ghost\"}".to_string(),
+                "unknown tenant",
+            ),
+            ("{\"slo\":10,\"tenant\":7}".to_string(), "non-string tenant"),
+            ("{\"slo\":10,\"runs\":[]}".to_string(), "empty runs"),
+            ("{not json".to_string(), "malformed JSON"),
+        ];
+        for (body, label) in cases {
+            let (s, resp) = handle(&state, &request("POST", "/recommend", &body));
+            assert_eq!(s, 400, "{label}: {resp}");
+            assert!(resp.contains("error"), "{label}: {resp}");
+        }
+        let (s, _) = handle(&state, &request("GET", "/recommend", ""));
+        assert_eq!(s, 405);
+    }
+
+    /// A `"tenant"` recommendation reads the live window, and an ingest
+    /// that grows the window must invalidate the cached answer — the
+    /// generation-prefixed key turns the post-ingest request into a miss.
+    #[test]
+    fn recommend_by_tenant_is_not_served_stale_across_ingest() {
+        let state = test_state();
+        let req = request("POST", "/recommend", "{\"slo\":5,\"tenant\":\"t-ycsb\"}");
+
+        // Unknown until the tenant streams in.
+        let (s, resp) = handle(&state, &req);
+        assert_eq!(s, 400, "{resp}");
+
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/ingest", &ingest_body("t-ycsb", "YCSB", 0, 2)),
+        );
+        assert_eq!(s, 200, "{resp}");
+
+        let (s, before) = handle(&state, &req);
+        assert_eq!(s, 200, "{before}");
+        let doc = Json::parse(&before).unwrap();
+        assert_eq!(
+            doc.get("source").and_then(Json::as_str),
+            Some("tenant:t-ycsb"),
+            "{before}"
+        );
+        // Warm: identical bytes, served by the cache.
+        let (_, misses_before) = state.response_cache_counters();
+        let (s, warm) = handle(&state, &req);
+        assert_eq!(s, 200);
+        assert_eq!(before, warm);
+        let (hits, misses) = state.response_cache_counters();
+        assert!(hits >= 1);
+        assert_eq!(misses, misses_before, "warm request must not recompute");
+
+        // Grow the window; the same request bytes must be recomputed
+        // against the new telemetry, not replayed from the cache.
+        let (s, resp) = handle(
+            &state,
+            &request("POST", "/ingest", &ingest_body("t-ycsb", "YCSB", 2, 2)),
+        );
+        assert_eq!(s, 200, "{resp}");
+        let (s, after) = handle(&state, &req);
+        assert_eq!(s, 200, "{after}");
+        let (_, misses_after) = state.response_cache_counters();
+        assert!(
+            misses_after > misses,
+            "post-ingest recommendation served stale from the cache"
+        );
+        assert_ne!(
+            before, after,
+            "a doubled window must move the observed operating point"
+        );
     }
 }

@@ -17,12 +17,13 @@ use wp_linalg::stats::nearest_rank;
 use wp_obs::{LazyCounter, LazySpan};
 
 /// The routes the service accounts for, in display order.
-pub const ENDPOINTS: [&str; 9] = [
+pub const ENDPOINTS: [&str; 10] = [
     "/healthz",
     "/corpus",
     "/fingerprint",
     "/similar",
     "/predict",
+    "/recommend",
     "/ingest",
     "/drift",
     "/stats",
@@ -62,6 +63,7 @@ static OBS_ENDPOINTS: [EndpointObs; ENDPOINTS.len()] = [
     endpoint_obs!("/fingerprint"),
     endpoint_obs!("/similar"),
     endpoint_obs!("/predict"),
+    endpoint_obs!("/recommend"),
     endpoint_obs!("/ingest"),
     endpoint_obs!("/drift"),
     endpoint_obs!("/stats"),

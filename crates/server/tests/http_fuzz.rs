@@ -375,6 +375,119 @@ fn ingest_mutants_never_partially_mutate_the_corpus() {
     server.shutdown();
 }
 
+/// POSTs `body` to `path` with correct framing; `None` means the server
+/// closed without a response (acceptable rejection).
+fn post_json(addr: SocketAddr, path: &str, body: &[u8]) -> Option<u16> {
+    let mut request = format!(
+        "POST {path} HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    let response = fire(addr, &request);
+    if response.is_empty() {
+        return None;
+    }
+    String::from_utf8_lossy(&response)
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+}
+
+/// One well-formed `/recommend` body the recommend mutators start from.
+fn recommend_template() -> String {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 30;
+    let runs: Vec<_> = (0..2)
+        .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+        .collect();
+    format!(
+        "{{\"slo\":50.0,\"runs\":{}}}",
+        wp_telemetry::io::runs_to_json(&runs)
+    )
+}
+
+/// Satellite invariant for `POST /recommend`: hostile bodies — malformed
+/// JSON, non-finite/negative/absent SLOs, unknown or ill-typed tenant
+/// names, truncated payloads — are clean 400s on *both* backends, never
+/// a panic, a hang, or a 200 that smuggles a recommendation out of
+/// garbage. Byte-level mutants of a valid body may stay valid (200) or
+/// die in validation (400); anything else fails the test. `/recommend`
+/// is read-only, so the generation ledger must never move.
+#[test]
+fn recommend_mutants_never_yield_garbage_recommendations() {
+    for backend in [Backend::Workers, Backend::Reactor] {
+        let server = start_backend(backend);
+        let addr = server.addr();
+        let template = recommend_template();
+
+        // Anchor: the unmutated template is a real recommendation.
+        assert_eq!(
+            post_json(addr, "/recommend", template.as_bytes()),
+            Some(200),
+            "{backend:?}: template must recommend"
+        );
+
+        // Targeted poisons, each a must-400 (never 200, never a panic).
+        let poisons = [
+            "{not json".to_string(),
+            "{}".to_string(),
+            template.replacen("\"slo\":50.0", "\"slo\":-5", 1),
+            template.replacen("\"slo\":50.0", "\"slo\":0", 1),
+            template.replacen("\"slo\":50.0", "\"slo\":1e999", 1),
+            template.replacen("\"slo\":50.0", "\"slo\":null", 1),
+            template.replacen("\"slo\":50.0", "\"slo\":\"fast\"", 1),
+            template.replacen("\"slo\":50.0,", "", 1),
+            template.replacen('{', "{\"tenant\":\"also\",", 1),
+            template.replacen('{', "{\"observed_cpus\":-2,", 1),
+            "{\"slo\":5,\"tenant\":\"no-such-tenant\"}".to_string(),
+            "{\"slo\":5,\"tenant\":7}".to_string(),
+            "{\"slo\":5,\"tenant\":\"bad name!\"}".to_string(),
+            "{\"slo\":5,\"runs\":[]}".to_string(),
+        ];
+        for (i, body) in poisons.iter().enumerate() {
+            assert_ne!(body.as_str(), template, "poison {i} failed to splice");
+            let status = post_json(addr, "/recommend", body.as_bytes());
+            assert_eq!(status, Some(400), "{backend:?}: poison {i}: {status:?}");
+        }
+
+        // Truncations framed honestly (Content-Length matches the cut):
+        // always malformed JSON, always 400.
+        for cut in [1, 10, template.len() / 2, template.len() - 1] {
+            let status = post_json(addr, "/recommend", &template.as_bytes()[..cut]);
+            assert_eq!(status, Some(400), "{backend:?}: truncation at {cut}");
+        }
+
+        // Seeded byte-level mutants: 200 (still valid), 400, or closed.
+        let mut rng = Rng64::new(SEED ^ 0x7EC0_33E4);
+        for case in 0..120 {
+            let bytes = mutate(&mut rng, template.as_bytes());
+            match post_json(addr, "/recommend", &bytes) {
+                None | Some(200) | Some(400) => {}
+                Some(s) => panic!("{backend:?}: recommend mutant {case}: status {s}"),
+            }
+        }
+
+        // Read-only endpoint: nothing above may have touched the corpus,
+        // and the barrage must leave a working recommender behind.
+        assert_eq!(
+            generation(addr),
+            0,
+            "{backend:?}: /recommend mutated the corpus"
+        );
+        assert_eq!(
+            post_json(addr, "/recommend", template.as_bytes()),
+            Some(200)
+        );
+        let health = fire(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(
+            String::from_utf8_lossy(&health).starts_with("HTTP/1.1 200"),
+            "{backend:?}: server unhealthy after the recommend barrage"
+        );
+        server.shutdown();
+    }
+}
+
 #[test]
 fn live_server_answers_or_closes_on_every_mutant() {
     mutant_barrage(Backend::Workers);

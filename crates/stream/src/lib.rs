@@ -614,6 +614,14 @@ impl StreamEngine {
         self.tenants.len()
     }
 
+    /// The current sliding-window runs of one tracked tenant (live or
+    /// still warming up), oldest first. `None` for unknown tenants.
+    /// This is the observed telemetry `/recommend` consults when a
+    /// request names a streaming tenant instead of inlining runs.
+    pub fn tenant_runs(&self, tenant: &str) -> Option<&[ExperimentRun]> {
+        self.tenants.get(tenant).map(|w| w.runs.as_slice())
+    }
+
     /// A from-scratch rebuild over the startup references plus the
     /// current live windows, under the same frozen ranges — what the
     /// incremental index must stay byte-equivalent to.

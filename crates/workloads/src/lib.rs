@@ -21,6 +21,7 @@
 //! * [`dataset`] — helpers that flatten runs into feature matrices for the
 //!   selection / similarity stages.
 //! * [`catalog`] — Table 1 metadata.
+//! * [`zoo`] — seeded time-evolving transaction mixes (the scenario zoo).
 
 #![warn(missing_docs)]
 
@@ -31,6 +32,7 @@ pub mod engine;
 pub mod scaling;
 pub mod sku;
 pub mod spec;
+pub mod zoo;
 
 pub use engine::{SimConfig, Simulator};
 pub use sku::Sku;

@@ -1,0 +1,236 @@
+//! The scenario zoo: seeded, time-evolving transaction mixes.
+//!
+//! Production tenants do not replay a frozen benchmark mix — their
+//! template distributions recur on business cycles and drift as
+//! applications change (Sibyl's recurring vs. shifting query workloads,
+//! LearnedWMP's template-distribution fingerprints). A [`Scenario`]
+//! models exactly that: a base [`WorkloadSpec`] whose transaction
+//! weights are re-derived per *step* (one step = one telemetry batch)
+//! by a seeded evolution rule, so every step yields a valid spec the
+//! simulator can run and two parties with the same seed see the same
+//! drifting tenant.
+
+use wp_linalg::Rng64;
+
+use crate::benchmarks;
+use crate::spec::WorkloadSpec;
+
+/// How a scenario's transaction mix evolves from step to step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixEvolution {
+    /// The mix never changes — the control scenario.
+    Stationary,
+    /// Weights oscillate around the base mix on a fixed period
+    /// (recurring templates): each transaction rides its own seeded
+    /// phase of a triangle wave, so the mix breathes but always returns.
+    Recurring {
+        /// Steps per full oscillation (>= 2).
+        period: usize,
+    },
+    /// Weights drift monotonically from the base mix toward a seeded
+    /// target mix over `ramp` steps, then stay there (shifting
+    /// templates — the scripted change a drift detector must find).
+    Shifting {
+        /// Steps until the target mix is fully reached (>= 1).
+        ramp: usize,
+    },
+}
+
+impl MixEvolution {
+    /// Short label used in scenario names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MixEvolution::Stationary => "stationary",
+            MixEvolution::Recurring { .. } => "recurring",
+            MixEvolution::Shifting { .. } => "shifting",
+        }
+    }
+}
+
+/// One zoo entry: a base workload plus a seeded evolution rule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, e.g. `"tpcc-recurring"`.
+    pub name: String,
+    /// The step-0 workload the evolution perturbs.
+    pub base: WorkloadSpec,
+    /// The evolution rule.
+    pub evolution: MixEvolution,
+    /// Seed for the per-transaction amplitudes, phases, and targets.
+    pub seed: u64,
+}
+
+/// Floor under every evolved weight, as a fraction of the base weight:
+/// templates may fade, but never vanish (the spec validator requires
+/// positive weights, and real recurring templates keep a trickle).
+const MIN_WEIGHT_FRACTION: f64 = 0.05;
+
+/// Triangle wave in `[0, 1]`: 0 at phase 0, 1 at half period, back to 0.
+/// Integer phase arithmetic, so every platform agrees bit-for-bit.
+fn triangle(phase: usize, period: usize) -> f64 {
+    let half = period as f64 / 2.0;
+    let p = (phase % period) as f64;
+    if p <= half {
+        p / half
+    } else {
+        (period as f64 - p) / half
+    }
+}
+
+impl Scenario {
+    /// Creates a scenario; the name is `"<base>-<evolution>"` lowercased.
+    pub fn new(base: WorkloadSpec, evolution: MixEvolution, seed: u64) -> Self {
+        let name = format!(
+            "{}-{}",
+            base.name.to_ascii_lowercase().replace('-', ""),
+            evolution.label()
+        );
+        Self {
+            name,
+            base,
+            evolution,
+            seed,
+        }
+    }
+
+    /// The workload spec at one step of the scenario's timeline.
+    ///
+    /// Deterministic: the per-transaction evolution parameters are drawn
+    /// from a fresh `Rng64` seeded by the scenario seed alone, so
+    /// `spec_at(s)` is a pure function of `(scenario, s)` — steps can be
+    /// generated out of order or by independent processes and agree.
+    /// The returned spec validates for every step.
+    pub fn spec_at(&self, step: usize) -> WorkloadSpec {
+        let mut spec = self.base.clone();
+        let mut rng = Rng64::new(self.seed ^ 0x5CE2_A210_0F00_0000);
+        for t in &mut spec.transactions {
+            let floor = t.weight * MIN_WEIGHT_FRACTION;
+            match self.evolution {
+                MixEvolution::Stationary => {}
+                MixEvolution::Recurring { period } => {
+                    let period = period.max(2);
+                    let amp = rng.range(0.3, 0.9);
+                    let offset = rng.below(period);
+                    // centered oscillation: mean factor 1 over a period
+                    let wave = triangle(step + offset, period) - 0.5;
+                    t.weight = (t.weight * (1.0 + amp * wave)).max(floor);
+                }
+                MixEvolution::Shifting { ramp } => {
+                    let target = t.weight * rng.range(0.2, 3.0);
+                    let progress = (step as f64 / ramp.max(1) as f64).min(1.0);
+                    t.weight = (t.weight * (1.0 - progress) + target * progress).max(floor);
+                }
+            }
+        }
+        spec.validate();
+        spec
+    }
+
+    /// True once a shifting scenario has fully reached its target mix.
+    pub fn settled_at(&self, step: usize) -> bool {
+        match self.evolution {
+            MixEvolution::Stationary => true,
+            MixEvolution::Recurring { .. } => false,
+            MixEvolution::Shifting { ramp } => step >= ramp.max(1),
+        }
+    }
+}
+
+/// The standard zoo: the three OLTP-ish reference workloads crossed with
+/// the recurring and shifting evolutions (periods and ramps sized for
+/// ~a-dozen-batch streams). Scenario seeds are derived from `seed`, so
+/// the whole zoo is reproducible from one number.
+pub fn paper_zoo(seed: u64) -> Vec<Scenario> {
+    let bases = [
+        benchmarks::tpcc(),
+        benchmarks::twitter(),
+        benchmarks::ycsb(),
+    ];
+    let mut zoo = Vec::new();
+    for (i, base) in bases.iter().enumerate() {
+        let scenario_seed = |kind: u64| {
+            seed.wrapping_add((i as u64 * 2 + kind).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        zoo.push(Scenario::new(
+            base.clone(),
+            MixEvolution::Recurring { period: 8 },
+            scenario_seed(0),
+        ));
+        zoo.push(Scenario::new(
+            base.clone(),
+            MixEvolution::Shifting { ramp: 6 },
+            scenario_seed(1),
+        ));
+    }
+    zoo
+}
+
+/// Looks a zoo scenario up by name (e.g. `"ycsb-shifting"`).
+pub fn by_name(seed: u64, name: &str) -> Option<Scenario> {
+    paper_zoo(seed).into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use crate::sku::Sku;
+
+    #[test]
+    fn zoo_has_six_named_scenarios() {
+        let zoo = paper_zoo(7);
+        assert_eq!(zoo.len(), 6);
+        let names: Vec<&str> = zoo.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"tpcc-recurring"));
+        assert!(names.contains(&"ycsb-shifting"));
+        assert!(by_name(7, "twitter-recurring").is_some());
+        assert!(by_name(7, "nope").is_none());
+    }
+
+    #[test]
+    fn every_step_yields_a_valid_spec_deterministically() {
+        for scenario in paper_zoo(0xEDB7_2025) {
+            for step in 0..20 {
+                let a = scenario.spec_at(step);
+                let b = scenario.spec_at(step);
+                a.validate();
+                assert_eq!(a, b, "{}: step {step} not deterministic", scenario.name);
+                assert_eq!(a.transactions.len(), scenario.base.transactions.len());
+            }
+        }
+    }
+
+    #[test]
+    fn recurring_mixes_return_and_shifting_mixes_settle() {
+        let zoo = paper_zoo(42);
+        let recurring = zoo.iter().find(|s| s.name == "tpcc-recurring").unwrap();
+        // One full period later the mix repeats exactly.
+        assert_eq!(recurring.spec_at(1), recurring.spec_at(9));
+        // ...and the mix does actually move within a period.
+        assert_ne!(recurring.spec_at(1), recurring.spec_at(4));
+        assert!(!recurring.settled_at(100));
+
+        let shifting = zoo.iter().find(|s| s.name == "ycsb-shifting").unwrap();
+        assert_ne!(shifting.spec_at(0), shifting.spec_at(3));
+        // Past the ramp the mix is pinned to the target.
+        assert!(shifting.settled_at(6));
+        assert_eq!(shifting.spec_at(6), shifting.spec_at(12));
+        // A shifting scenario starts from the unperturbed base mix.
+        assert_eq!(shifting.spec_at(0), shifting.base);
+    }
+
+    #[test]
+    fn evolved_mixes_change_simulated_telemetry() {
+        let scenario = by_name(3, "twitter-shifting").unwrap();
+        let mut sim = Simulator::new(3);
+        sim.config.samples = 30;
+        let sku = Sku::new("cpu2", 2, 64.0);
+        let before = sim.simulate(&scenario.spec_at(0), &sku, 8, 0, 0);
+        let after = sim.simulate(&scenario.spec_at(6), &sku, 8, 0, 0);
+        assert_ne!(
+            before.throughput.to_bits(),
+            after.throughput.to_bits(),
+            "a shifted mix must move simulated throughput"
+        );
+    }
+}
