@@ -1,0 +1,257 @@
+//! Learned plan embeddings vs the three fingerprint representations —
+//! the acceptance benchmark for the Plan-Embed representation.
+//!
+//! Simulates a labeled corpus from the scenario zoo (every zoo scenario
+//! contributes several evolution steps), then scores each representation
+//! behind the [`wp_similarity::Fingerprinter`] trait on the same
+//! retrieval task: leave-one-out 1-NN accuracy under the L2,1 norm,
+//! where a hit means the nearest neighbor comes from the same *base
+//! workload* — the paper's workload-identification criterion. Sibling
+//! scenarios (one base under recurring vs shifting mix evolution) are
+//! the same workload by construction, so the headline accuracy is
+//! base-level; the stricter 6-way scenario split is reported alongside
+//! as `scenario_accuracy` (plan statistics are per-template structural
+//! signatures, so no plan-side representation can tell siblings apart).
+//! Cost is reported per phase — corpus fit (frozen state / autoencoder
+//! training), per-run fingerprinting, and the pairwise distance matrix —
+//! along with the fingerprint dimensions each representation pays those
+//! distances over.
+//!
+//! Every representation is evaluated twice, under 1- and 8-thread
+//! `wp-runtime` pools; the fingerprint bytes and the accuracy must be
+//! bit-identical or the run fails (non-zero exit). A digest over all
+//! fingerprint bits is written so CI can additionally diff whole runs
+//! launched under different `WP_THREADS` settings.
+//!
+//! The run **fails** when:
+//! * any representation's fingerprints or accuracy differ between the
+//!   1- and 8-thread evaluations (`deterministic`), or
+//! * Plan-Embed's accuracy falls below every fingerprint representation
+//!   (it must be at least as reliable as the weakest of the three).
+
+use std::time::Instant;
+
+use wp_bench::MASTER_SEED;
+use wp_json::{obj, Json};
+use wp_linalg::Matrix;
+use wp_similarity::measure::{try_distance_matrix, Measure};
+use wp_similarity::repr::{extract, Representation, RunFeatureData};
+use wp_similarity::{fitted, one_nn_accuracy, FingerprintConfig, Norm};
+use wp_telemetry::FeatureSet;
+use wp_workloads::engine::paper_terminals;
+use wp_workloads::zoo::paper_zoo;
+use wp_workloads::Sku;
+
+/// Evolution steps sampled per zoo scenario.
+const STEPS: usize = 6;
+const OUT_PATH: &str = "BENCH_embed.json";
+
+/// One representation's evaluation under a fixed thread count.
+struct Evaluation {
+    fps: Vec<Matrix>,
+    accuracy: f64,
+    scenario_accuracy: f64,
+    fit_ms: f64,
+    fingerprint_ms: f64,
+    distance_ms: f64,
+}
+
+fn evaluate(
+    repr: Representation,
+    data: &[RunFeatureData],
+    base_labels: &[usize],
+    scenario_labels: &[usize],
+) -> Evaluation {
+    let config = FingerprintConfig::default();
+    let start = Instant::now();
+    let fingerprinter = fitted(repr, &config, data);
+    let fit_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let fps: Vec<Matrix> = data.iter().map(|r| fingerprinter.fingerprint(r)).collect();
+    let fingerprint_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let d = try_distance_matrix(&fps, Measure::Norm(Norm::L21)).expect("L2,1 over fingerprints");
+    let distance_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    Evaluation {
+        accuracy: one_nn_accuracy(&d, base_labels),
+        scenario_accuracy: one_nn_accuracy(&d, scenario_labels),
+        fps,
+        fit_ms,
+        fingerprint_ms,
+        distance_ms,
+    }
+}
+
+fn bit_identical(a: &Evaluation, b: &Evaluation) -> bool {
+    a.accuracy.to_bits() == b.accuracy.to_bits()
+        && a.scenario_accuracy.to_bits() == b.scenario_accuracy.to_bits()
+        && a.fps.len() == b.fps.len()
+        && a.fps.iter().zip(&b.fps).all(|(x, y)| {
+            x.shape() == y.shape()
+                && x.as_slice()
+                    .iter()
+                    .zip(y.as_slice())
+                    .all(|(u, v)| u.to_bits() == v.to_bits())
+        })
+}
+
+/// FNV-1a over every fingerprint's bit pattern — the cross-`WP_THREADS`
+/// comparison key CI diffs between matrix entries.
+fn digest(evals: &[(Representation, Evaluation)]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (_, e) in evals {
+        mix(0x5e);
+        for b in e.accuracy.to_bits().to_le_bytes() {
+            mix(b);
+        }
+        for fp in &e.fps {
+            for v in fp.as_slice() {
+                for b in v.to_bits().to_le_bytes() {
+                    mix(b);
+                }
+            }
+        }
+    }
+    format!("{h:016x}")
+}
+
+fn main() {
+    let zoo = paper_zoo(MASTER_SEED);
+    let sku = Sku::new("cpu8", 8, 64.0);
+    let mut sim = wp_bench::default_sim();
+    sim.config.samples = 40;
+
+    // The labeled corpus: STEPS evolution steps of every zoo scenario.
+    // Base labels group sibling scenarios (the identification task);
+    // scenario labels additionally split recurring from shifting.
+    let mut runs = Vec::new();
+    let mut base_labels = Vec::new();
+    let mut scenario_labels = Vec::new();
+    let mut base_names: Vec<String> = Vec::new();
+    for (class, scenario) in zoo.iter().enumerate() {
+        let base = scenario.base.name.clone();
+        let base_class = base_names
+            .iter()
+            .position(|n| *n == base)
+            .unwrap_or_else(|| {
+                base_names.push(base);
+                base_names.len() - 1
+            });
+        for step in 0..STEPS {
+            let spec = scenario.spec_at(step);
+            let terminals = *paper_terminals(&spec).first().expect("paper terminals");
+            // Distinct run index per (scenario, step): sibling scenarios
+            // share specs at overlapping evolution steps, and reusing the
+            // run index there would produce bit-identical twin runs.
+            let run_index = class * STEPS + step;
+            runs.push(sim.simulate(&spec, &sku, terminals, run_index, step % 3));
+            base_labels.push(base_class);
+            scenario_labels.push(class);
+        }
+    }
+    println!(
+        "{} runs: {} scenarios x {STEPS} steps, {} samples each",
+        runs.len(),
+        zoo.len(),
+        sim.config.samples
+    );
+
+    let mut deterministic = true;
+    let mut evals: Vec<(Representation, Evaluation)> = Vec::new();
+    for repr in Representation::ALL {
+        // MTS needs one shared observation count per run, so it reads
+        // the resource features; the rest take the full mixed set (the
+        // Plan-Embed fingerprinter selects the plan subset itself).
+        let features = match repr {
+            Representation::Mts => FeatureSet::ResourceOnly.features(),
+            _ => FeatureSet::Combined.features(),
+        };
+        let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, &features)).collect();
+        let narrow = wp_runtime::with_thread_count(1, || {
+            evaluate(repr, &data, &base_labels, &scenario_labels)
+        });
+        let wide = wp_runtime::with_thread_count(8, || {
+            evaluate(repr, &data, &base_labels, &scenario_labels)
+        });
+        if !bit_identical(&narrow, &wide) {
+            eprintln!(
+                "FAIL: {} evaluation differs between 1- and 8-thread pools",
+                repr.label()
+            );
+            deterministic = false;
+        }
+        let (rows, cols) = narrow.fps[0].shape();
+        println!(
+            "{:<10} 1-NN accuracy {:.3} (scenario {:.3})  fp {rows}x{cols}  fit {:7.1} ms  \
+             fingerprint {:6.1} ms  distances {:6.1} ms",
+            repr.label(),
+            narrow.accuracy,
+            narrow.scenario_accuracy,
+            wide.fit_ms,
+            wide.fingerprint_ms,
+            wide.distance_ms,
+        );
+        evals.push((repr, wide));
+    }
+
+    let embed_accuracy = evals
+        .iter()
+        .find(|(r, _)| *r == Representation::PlanEmbed)
+        .map(|(_, e)| e.accuracy)
+        .expect("Plan-Embed evaluated");
+    let weakest_fingerprint = evals
+        .iter()
+        .filter(|(r, _)| *r != Representation::PlanEmbed)
+        .map(|(_, e)| e.accuracy)
+        .fold(f64::INFINITY, f64::min);
+
+    let representations: Vec<Json> = evals
+        .iter()
+        .map(|(repr, e)| {
+            let (rows, cols) = e.fps[0].shape();
+            obj! {
+                "representation" => repr.short_name(),
+                "label" => repr.label(),
+                "accuracy" => e.accuracy,
+                "scenario_accuracy" => e.scenario_accuracy,
+                "fp_rows" => rows,
+                "fp_cols" => cols,
+                "fit_ms" => e.fit_ms,
+                "fingerprint_ms" => e.fingerprint_ms,
+                "distance_ms" => e.distance_ms,
+            }
+        })
+        .collect();
+    let doc = obj! {
+        "experiment" => "plan_embed_vs_fingerprints",
+        "scenarios" => zoo.len(),
+        "steps" => STEPS,
+        "runs" => runs.len(),
+        "measure" => Measure::Norm(Norm::L21).label(),
+        "deterministic" => deterministic,
+        "digest" => digest(&evals),
+        "embed_accuracy" => embed_accuracy,
+        "weakest_fingerprint_accuracy" => weakest_fingerprint,
+        "representations" => Json::Arr(representations),
+    };
+    std::fs::write(OUT_PATH, doc.pretty() + "\n").expect("write BENCH_embed.json");
+    println!("wrote {OUT_PATH}");
+
+    if !deterministic {
+        std::process::exit(1);
+    }
+    if embed_accuracy < weakest_fingerprint {
+        eprintln!(
+            "FAIL: Plan-Embed accuracy {embed_accuracy:.3} is below every fingerprint \
+             representation (weakest: {weakest_fingerprint:.3})"
+        );
+        std::process::exit(1);
+    }
+}

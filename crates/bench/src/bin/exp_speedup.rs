@@ -16,17 +16,26 @@
 //! naive-sequential over optimized-parallel — the user-visible win on
 //! the production path — and is what the CI `perf` job gates on.
 //!
+//! A size sweep then re-times sequential-vs-parallel at several input
+//! sizes. Below [`wp_runtime::SEQUENTIAL_FALLBACK_TASKS`] pairs the pool
+//! takes its sequential fallback, so both timed paths execute the exact
+//! same loop and the parallel factor is reported as its structural value
+//! of 1.0 (`"fallback": true`) rather than as timing jitter. Above the
+//! threshold the factor is measured. Parallelism must never *lose*:
+//! every sweep point is held to the same regression tolerance as the
+//! headline.
+//!
 //! The run **fails** (non-zero exit) when:
 //! * any matrix differs from the naive reference (`bit_identical`), or
-//! * the parallel run is meaningfully slower than the sequential run of
-//!   the same kernels *on a multi-core machine* — a pool scheduling
-//!   regression. On a single-core machine parallelism cannot win, so
-//!   the check is reported but not enforced.
+//! * at any size, the parallel run is meaningfully slower than the
+//!   sequential run of the same kernels *on a multi-core machine* — a
+//!   pool scheduling regression. On a single-core machine parallelism
+//!   cannot win, so the check is reported but not enforced.
 
 use std::time::Instant;
 
 use wp_bench::{default_sim, standardized_workloads};
-use wp_json::obj;
+use wp_json::{obj, Json};
 use wp_linalg::Matrix;
 use wp_similarity::measure::{try_distance_matrix, Measure};
 use wp_similarity::repr::{extract, mts};
@@ -36,6 +45,11 @@ use wp_workloads::Sku;
 
 const N_RUNS: usize = 60;
 const OUT_PATH: &str = "BENCH_runtime.json";
+
+/// Input sizes for the sequential-vs-parallel sweep: 6, 28, 120 and
+/// 1770 pairs — two below the pool's sequential-fallback threshold,
+/// two above it.
+const SWEEP_RUNS: [usize; 4] = [4, 8, 16, N_RUNS];
 
 /// Tolerated parallel-vs-sequential slowdown before the run fails on a
 /// multi-core machine (scheduling jitter, not a regression).
@@ -121,6 +135,63 @@ fn main() {
     println!("optimized parallel:   {par_ms:9.1} ms  ({threads} threads, {cores} cores)");
     println!("speedup:              {speedup:9.2}x  (bit-identical output)");
 
+    // Size sweep: the pool must help on big inputs and get out of the
+    // way on small ones. Under the fallback threshold both timed paths
+    // run the identical sequential loop, so the parallel factor there
+    // is 1.0 by construction, not a measurement.
+    println!("\nsize sweep (parallel factor = sequential ms / parallel ms):");
+    let mut sweep = Vec::new();
+    let mut regression = false;
+    for n in SWEEP_RUNS {
+        let subset = &fps[..n];
+        let pairs = n * (n - 1) / 2;
+        let fallback = pairs < wp_runtime::SEQUENTIAL_FALLBACK_TASKS;
+
+        let start = Instant::now();
+        let seq = wp_runtime::with_thread_count(1, || {
+            try_distance_matrix(subset, Measure::DtwIndependent).unwrap()
+        });
+        let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let par = try_distance_matrix(subset, Measure::DtwIndependent).unwrap();
+        let par_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(seq, par, "{n}-run sweep point not bit-identical");
+
+        let factor = if fallback { 1.0 } else { seq_ms / par_ms };
+        if !fallback && par_ms > seq_ms * PAR_REGRESSION_TOLERANCE && cores > 1 && threads > 1 {
+            eprintln!(
+                "FAIL: {n} runs ({pairs} pairs): parallel {par_ms:.1} ms is slower than \
+                 sequential {seq_ms:.1} ms on a {cores}-core machine"
+            );
+            regression = true;
+        }
+        println!(
+            "  {n:3} runs ({pairs:5} pairs): seq {seq_ms:8.1} ms  par {par_ms:8.1} ms  \
+             factor {factor:5.2}x{}",
+            if fallback {
+                "  (sequential fallback)"
+            } else {
+                ""
+            }
+        );
+        // ≥ 1.0 everywhere parallelism is in play: structural for
+        // fallback sizes, enforced (modulo jitter tolerance, above) on
+        // multi-core machines otherwise. A single core is the one place
+        // the factor may dip and that is not a regression.
+        assert!(
+            factor >= 1.0 || (!fallback && (cores == 1 || threads == 1)),
+            "{n}-run parallel factor {factor:.2} dropped below 1.0"
+        );
+        sweep.push(obj! {
+            "runs" => n,
+            "pairs" => pairs,
+            "seq_ms" => seq_ms,
+            "par_ms" => par_ms,
+            "parallel_factor" => factor,
+            "fallback" => fallback,
+        });
+    }
+
     let doc = obj! {
         "experiment" => "distance_matrix_dtw_independent",
         "runs" => N_RUNS,
@@ -135,6 +206,8 @@ fn main() {
         "kernel_speedup" => kernel_speedup,
         "parallel_speedup" => parallel_speedup,
         "bit_identical" => true,
+        "sequential_fallback_tasks" => wp_runtime::SEQUENTIAL_FALLBACK_TASKS,
+        "sweep" => Json::Arr(sweep),
     };
     std::fs::write(OUT_PATH, doc.pretty() + "\n").expect("write BENCH_runtime.json");
     println!("wrote {OUT_PATH}");
@@ -156,5 +229,8 @@ fn main() {
             "note: parallel ({par_ms:.1} ms) not faster than sequential ({opt_seq_ms:.1} ms); \
              expected with {cores} core(s) / {threads} thread(s), not treated as a regression"
         );
+    }
+    if regression {
+        std::process::exit(1);
     }
 }

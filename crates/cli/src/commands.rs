@@ -4,6 +4,7 @@ use wp_core::pipeline::{Pipeline, PipelineConfig};
 use wp_featsel::wrapper::{Estimator, WrapperConfig};
 use wp_featsel::Strategy;
 use wp_json::{obj, Json};
+use wp_similarity::Representation;
 use wp_telemetry::FeatureId;
 use wp_workloads::dataset::LabeledDataset;
 use wp_workloads::engine::{paper_terminals, Simulator};
@@ -19,6 +20,7 @@ usage:
   wp simulate --workload <name> --sku <sku> [--terminals N] [--run N] [--json] [--seed S]
   wp select   [--strategy <name>] [--top K] [--sku <sku>] [--seed S]
   wp similar  --target <name> [--sku <sku>] [--top K] [--seed S]
+              [--representation mts|hist|phase|embed]
   wp predict  --target <name> --from <sku> --to <sku> [--terminals N] [--seed S]
   wp recommend --slo REQS (--target <name> | --scenario <zoo> [--step N])
               [--samples N] [--seed S] [--json]
@@ -246,10 +248,17 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
     let target = workload_by_name(args.required("target")?)?;
     let sku = parse_sku(args.get("sku").unwrap_or("cpu16"))?;
     let top: usize = args.parsed_or("top", 7)?;
+    let representation = match args.get("representation") {
+        None => Representation::HistFp,
+        Some(s) => Representation::parse(s).ok_or_else(|| {
+            format!("unknown representation '{s}' (use 'mts', 'hist', 'phase', or 'embed')")
+        })?,
+    };
     let mut pipeline = Pipeline::new(args.parsed_or("seed", DEFAULT_SEED)?);
     pipeline.config = PipelineConfig {
         selection: Strategy::FAnova,
         top_k: top,
+        representation,
         ..PipelineConfig::default()
     };
 
@@ -286,8 +295,10 @@ fn cmd_similar(args: &Args) -> Result<(), String> {
         &pipeline.config,
     )?;
     println!(
-        "similarity of {} on {} (top-{top} features, Hist-FP + L2,1):",
-        target.name, sku
+        "similarity of {} on {} (top-{top} features, {} + L2,1):",
+        target.name,
+        sku,
+        representation.label()
     );
     for v in &verdicts {
         println!("  vs {:<8} {:.3}", v.workload, v.distance);

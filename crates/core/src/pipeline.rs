@@ -5,9 +5,9 @@ use wp_featsel::wrapper::WrapperConfig;
 use wp_featsel::Strategy;
 use wp_predict::predictor::{scaling_data_from_simulation, ScalingPredictor};
 use wp_predict::ModelStrategy;
-use wp_similarity::histfp::histfp;
+use wp_similarity::fingerprinter::{fingerprinter, FingerprintConfig};
 use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure, Norm};
-use wp_similarity::repr::extract;
+use wp_similarity::repr::{extract, Representation};
 use wp_telemetry::{ExperimentRun, FeatureId};
 use wp_workloads::dataset::LabeledDataset;
 use wp_workloads::engine::Simulator;
@@ -23,7 +23,9 @@ pub struct PipelineConfig {
     pub selection: Strategy,
     /// How many features to keep.
     pub top_k: usize,
-    /// Similarity measure over Hist-FP fingerprints.
+    /// Data representation runs are fingerprinted in.
+    pub representation: Representation,
+    /// Similarity measure over the fingerprints.
     pub measure: Measure,
     /// Histogram bins for Hist-FP.
     pub nbins: usize,
@@ -42,12 +44,25 @@ impl Default for PipelineConfig {
         Self {
             selection: Strategy::Rfe(wp_featsel::wrapper::Estimator::LogisticRegression),
             top_k: 7,
+            representation: Representation::HistFp,
             measure: Measure::Norm(Norm::L21),
             nbins: 10,
             model: ModelStrategy::Svm,
             wrapper: WrapperConfig::default(),
             runs: 3,
             sub_experiments: 10,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The fingerprint-construction parameters implied by this pipeline
+    /// configuration (currently just the bin count on top of the
+    /// per-representation defaults).
+    pub fn fingerprint_config(&self) -> FingerprintConfig {
+        FingerprintConfig {
+            nbins: self.nbins,
+            ..FingerprintConfig::default()
         }
     }
 }
@@ -118,8 +133,9 @@ pub fn select_features(
 ///
 /// `target_runs` and each entry of `reference_runs` are repeated
 /// executions on the *same* hardware; distances are computed between
-/// Hist-FP fingerprints on the selected features and averaged over run
-/// pairs, then min-max normalized across references.
+/// fingerprints of the configured representation (Hist-FP by default) on
+/// the selected features and averaged over run pairs, then min-max
+/// normalized across references.
 ///
 /// Errors on an empty target/reference set or fingerprints the measure
 /// cannot compare. For a corpus that is queried repeatedly, the indexed
@@ -146,7 +162,15 @@ pub fn find_most_similar(
         ref_spans.push(start..all_runs.len());
     }
     let data: Vec<_> = all_runs.iter().map(|r| extract(r, features)).collect();
-    let fps = histfp(&data, config.nbins);
+    let builder = fingerprinter(config.representation, &config.fingerprint_config());
+    if !builder.supports_measure(config.measure) {
+        return Err(format!(
+            "measure {:?} is not defined for the {} representation",
+            config.measure,
+            config.representation.label()
+        ));
+    }
+    let fps = builder.fingerprints(&data);
     let d = normalize_distances(&try_distance_matrix(&fps, config.measure)?);
 
     let n_target = target_runs.len();

@@ -8,20 +8,28 @@
 //! distances. That is fine for one-shot experiments and wrong for a
 //! serving path.
 //!
-//! [`CorpusIndex`] is the serving-path variant: histogram ranges are
-//! *frozen over the corpus* at build time
-//! ([`wp_similarity::histfp::histfp_with_ranges`]), so every reference
+//! [`CorpusIndex`] is the serving-path variant: the representation's
+//! corpus state (histogram ranges, phase counts, or encoder weights) is
+//! *frozen over the corpus* at build time through the
+//! [`wp_similarity::Fingerprinter`] strategy trait, so every reference
 //! fingerprint is computed exactly once, a query fingerprint depends
 //! only on the query, and top-k retrieval goes through the
 //! [`wp_index::Index`] pruning cascade instead of a full scan. The
 //! trade-off is explicit: distances are the *raw* measure values (no
 //! query-dependent min-max pass), so they are comparable across queries
 //! but not bit-identical to the joint-normalization path.
+//!
+//! The trait replaces what used to be hardcoded Hist-FP calls: any
+//! [`wp_similarity::Representation`] — the three paper fingerprints or
+//! the learned Plan-Embed — can back the index, as long as it supports
+//! the configured measure.
+
+use std::sync::Arc;
 
 use wp_index::{Hit, Index, IndexConfig, SearchStats};
 use wp_obs::LazySpan;
-use wp_similarity::histfp::histfp_with_ranges;
-use wp_similarity::repr::{extract, global_ranges, RunFeatureData};
+use wp_similarity::fingerprinter::{fingerprinter, Fingerprinter, HistFpFingerprinter};
+use wp_similarity::repr::{extract, RunFeatureData};
 use wp_telemetry::{ExperimentRun, FeatureId};
 
 use crate::offline::OfflineCorpus;
@@ -46,16 +54,16 @@ pub struct RunHit {
 
 /// A [`wp_index::Index`] over the fingerprints of every reference run,
 /// plus the frozen state a query needs to be fingerprinted the same way:
-/// the selected features, the per-feature histogram ranges, and the bin
-/// count.
+/// the selected features and the fitted [`Fingerprinter`] (which carries
+/// the representation's corpus state — histogram ranges, phase counts,
+/// or encoder weights).
 pub struct CorpusIndex {
     index: Index,
     /// Maps a corpus position to `(reference, run-within-reference)`.
     run_refs: Vec<(usize, usize)>,
     names: Vec<String>,
     features: Vec<FeatureId>,
-    ranges: Vec<(f64, f64)>,
-    nbins: usize,
+    fingerprinter: Arc<dyn Fingerprinter>,
 }
 
 impl CorpusIndex {
@@ -79,8 +87,8 @@ impl CorpusIndex {
     }
 
     /// Builds the index from bare `(name, runs)` pairs — the shape
-    /// [`crate::pipeline::find_most_similar`] takes. Histogram ranges are
-    /// frozen over the given runs.
+    /// [`crate::pipeline::find_most_similar`] takes. The configured
+    /// representation's corpus state is frozen over the given runs.
     pub fn from_reference_runs(
         reference_runs: &[(String, &[ExperimentRun])],
         features: &[FeatureId],
@@ -99,25 +107,22 @@ impl CorpusIndex {
                 data.push(extract(run, features));
             }
         }
-        let ranges = global_ranges(&data);
-        Self::from_reference_runs_with_ranges(
+        let mut builder = fingerprinter(config.representation, &config.fingerprint_config());
+        builder.fit(&data);
+        Self::from_reference_runs_with_fingerprinter(
             reference_runs,
             features,
-            &ranges,
+            Arc::from(builder),
             config,
             index_config,
         )
     }
 
     /// [`CorpusIndex::from_reference_runs`] with *explicitly* frozen
-    /// histogram ranges instead of ranges computed over the given runs.
-    ///
-    /// This is the constructor a *mutable* corpus needs: the streaming
-    /// ingest path freezes ranges once over the startup corpus, then
-    /// every later mutation — incremental [`CorpusIndex::insert_reference`]
-    /// calls and full rebuilds after a windowed eviction — bins under the
-    /// same ranges, so an incrementally evolved index and a from-scratch
-    /// rebuild over the same references answer queries byte-identically.
+    /// Hist-FP histogram ranges instead of ranges computed over the given
+    /// runs. Kept for Hist-FP callers that persist raw ranges; the
+    /// general form is
+    /// [`CorpusIndex::from_reference_runs_with_fingerprinter`].
     pub fn from_reference_runs_with_ranges(
         reference_runs: &[(String, &[ExperimentRun])],
         features: &[FeatureId],
@@ -125,9 +130,6 @@ impl CorpusIndex {
         config: &PipelineConfig,
         index_config: IndexConfig,
     ) -> Result<Self, String> {
-        if reference_runs.is_empty() {
-            return Err("need reference runs".to_string());
-        }
         if ranges.len() != features.len() {
             return Err(format!(
                 "need one frozen range per feature ({} ranges, {} features)",
@@ -135,33 +137,90 @@ impl CorpusIndex {
                 features.len()
             ));
         }
+        let frozen = HistFpFingerprinter::with_frozen_ranges(config.nbins, ranges.to_vec());
+        Self::from_reference_runs_with_fingerprinter(
+            reference_runs,
+            features,
+            Arc::new(frozen),
+            config,
+            index_config,
+        )
+    }
+
+    /// The general frozen-state constructor: fingerprints every reference
+    /// run under an already-fitted [`Fingerprinter`] and indexes them.
+    ///
+    /// This is the constructor a *mutable* corpus needs: the streaming
+    /// ingest path freezes the fingerprinter once over the startup
+    /// corpus, then every later mutation — incremental
+    /// [`CorpusIndex::insert_reference`] calls and full rebuilds after a
+    /// windowed eviction — fingerprints under the same frozen state, so
+    /// an incrementally evolved index and a from-scratch rebuild over the
+    /// same references answer queries byte-identically.
+    pub fn from_reference_runs_with_fingerprinter(
+        reference_runs: &[(String, &[ExperimentRun])],
+        features: &[FeatureId],
+        fingerprinter: Arc<dyn Fingerprinter>,
+        config: &PipelineConfig,
+        index_config: IndexConfig,
+    ) -> Result<Self, String> {
+        if reference_runs.is_empty() {
+            return Err("need reference runs".to_string());
+        }
+        if !fingerprinter.is_fitted() {
+            return Err("fingerprinter must be fitted before indexing".to_string());
+        }
+        if !fingerprinter.supports_measure(config.measure) {
+            return Err(format!(
+                "measure {:?} is not defined for the {} representation",
+                config.measure,
+                fingerprinter.representation().label()
+            ));
+        }
         let mut run_refs = Vec::new();
-        let mut data: Vec<RunFeatureData> = Vec::new();
+        let mut fps = Vec::new();
         for (ri, (name, runs)) in reference_runs.iter().enumerate() {
             if runs.is_empty() {
                 return Err(format!("reference '{name}' has no runs"));
             }
             for (pos, run) in runs.iter().enumerate() {
                 run_refs.push((ri, pos));
-                data.push(extract(run, features));
+                fps.push(fingerprinter.fingerprint(&extract(run, features)));
             }
         }
-        let fps = histfp_with_ranges(&data, ranges, config.nbins);
         let index = Index::build(fps, config.measure, index_config)?;
         Ok(Self {
             index,
             run_refs,
             names: reference_runs.iter().map(|(n, _)| n.clone()).collect(),
             features: features.to_vec(),
-            ranges: ranges.to_vec(),
-            nbins: config.nbins,
+            fingerprinter,
         })
     }
 
     /// The frozen per-feature histogram ranges every query and insertion
     /// is binned under.
+    ///
+    /// # Panics
+    ///
+    /// Panics for learned representations (Plan-Embed), whose frozen
+    /// state is model weights rather than ranges; use
+    /// [`CorpusIndex::fingerprinter`] to share the state itself.
     pub fn ranges(&self) -> &[(f64, f64)] {
-        &self.ranges
+        self.fingerprinter
+            .frozen_ranges()
+            .expect("representation has no frozen ranges")
+    }
+
+    /// The fitted fingerprinter, shareable with a rebuild so both
+    /// indexes fingerprint under identical frozen state.
+    pub fn fingerprinter(&self) -> Arc<dyn Fingerprinter> {
+        Arc::clone(&self.fingerprinter)
+    }
+
+    /// Which representation backs this index.
+    pub fn representation(&self) -> wp_similarity::Representation {
+        self.fingerprinter.representation()
     }
 
     /// The features fingerprints are extracted on.
@@ -176,8 +235,8 @@ impl CorpusIndex {
 
     /// Adds a new reference (or more runs of a known one) to the corpus
     /// without rebuilding: each run is fingerprinted under the *frozen*
-    /// ranges and appended via [`Index::insert`]. Values outside the
-    /// frozen ranges clamp into the boundary bins.
+    /// corpus state and appended via [`Index::insert`]. For Hist-FP,
+    /// values outside the frozen ranges clamp into the boundary bins.
     pub fn insert_reference(&mut self, name: &str, runs: &[ExperimentRun]) -> Result<(), String> {
         if runs.is_empty() {
             return Err(format!("reference '{name}' has no runs"));
@@ -197,11 +256,9 @@ impl CorpusIndex {
             .max()
             .unwrap_or(0);
         let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, &self.features)).collect();
-        for (offset, fp) in histfp_with_ranges(&data, &self.ranges, self.nbins)
-            .into_iter()
-            .enumerate()
-        {
-            self.index.insert(fp)?;
+        for (offset, data_run) in data.iter().enumerate() {
+            self.index
+                .insert(self.fingerprinter.fingerprint(data_run))?;
             self.run_refs.push((ri, next_pos + offset));
         }
         Ok(())
@@ -222,13 +279,13 @@ impl CorpusIndex {
         &self.index
     }
 
-    /// Fingerprints one query run under the frozen corpus ranges.
-    fn query_fingerprint(&self, run: &ExperimentRun) -> wp_linalg::Matrix {
+    /// Fingerprints one query run under the frozen corpus state — the
+    /// same trait dispatch every indexed run went through, so query and
+    /// corpus fingerprints are always comparable.
+    pub fn query_fingerprint(&self, run: &ExperimentRun) -> wp_linalg::Matrix {
         let _span = OBS_FP_SPAN.start();
         let data = extract(run, &self.features);
-        histfp_with_ranges(std::slice::from_ref(&data), &self.ranges, self.nbins)
-            .pop()
-            .expect("one run in, one fingerprint out")
+        self.fingerprinter.fingerprint(&data)
     }
 
     /// The `k` corpus runs nearest to `run` — exact top-k through the
@@ -567,5 +624,108 @@ mod tests {
         assert!(index.rank_references(&[], 3).is_err());
         let target = sim_runs(&sim, "YCSB", 0, 1);
         assert!(index.rank_references(&target, 0).is_err());
+    }
+
+    /// The trait-dispatch constructor must be a pure refactor of the
+    /// legacy frozen-ranges path: same fingerprints, same verdicts, and
+    /// the same pruning-cascade counters, bit for bit.
+    #[test]
+    fn trait_dispatch_matches_the_legacy_histfp_constructor_byte_for_byte() {
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let config = PipelineConfig::default();
+        let via_trait = CorpusIndex::from_reference_runs(
+            &refs_sliced,
+            &FeatureId::all(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+        let via_ranges = CorpusIndex::from_reference_runs_with_ranges(
+            &refs_sliced,
+            &FeatureId::all(),
+            via_trait.ranges(),
+            &config,
+            IndexConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(via_trait.len(), via_ranges.len());
+        for i in 0..via_trait.len() {
+            let (a, b) = (
+                via_trait.index().fingerprint(i),
+                via_ranges.index().fingerprint(i),
+            );
+            assert_eq!(a.shape(), b.shape(), "fingerprint {i} shape");
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "fingerprint {i} bytes");
+            }
+        }
+
+        let target = sim_runs(&sim, "YCSB", 10, 2);
+        let (va, sa) = via_trait.rank_references_with_stats(&target, 3).unwrap();
+        let (vb, sb) = via_ranges.rank_references_with_stats(&target, 3).unwrap();
+        assert_eq!(sa, sb, "pruning stats diverged");
+        assert_eq!(va.len(), vb.len());
+        for (a, b) in va.iter().zip(&vb) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    /// Every representation that defines the default measure yields a
+    /// working index through the trait constructor, and its query path
+    /// stays thread-count invariant.
+    #[test]
+    fn every_representation_indexes_and_ranks_thread_invariantly() {
+        use wp_similarity::Representation;
+        let sim = small_sim();
+        let refs = reference_runs(&sim);
+        let refs_sliced: Vec<(String, &[ExperimentRun])> = refs
+            .iter()
+            .map(|(n, r)| (n.clone(), r.as_slice()))
+            .collect();
+        let target = sim_runs(&sim, "Twitter", 3, 2);
+        // MTS needs one shared observation count, so it gets the
+        // resource features; the others take the full mixed set.
+        for repr in [
+            Representation::HistFp,
+            Representation::PhaseFp,
+            Representation::Mts,
+            Representation::PlanEmbed,
+        ] {
+            let features: Vec<FeatureId> = match repr {
+                Representation::Mts => wp_telemetry::ResourceFeature::ALL
+                    .iter()
+                    .map(|&f| FeatureId::Resource(f))
+                    .collect(),
+                _ => FeatureId::all(),
+            };
+            let config = PipelineConfig {
+                representation: repr,
+                ..PipelineConfig::default()
+            };
+            let build_and_rank = || {
+                let index = CorpusIndex::from_reference_runs(
+                    &refs_sliced,
+                    &features,
+                    &config,
+                    IndexConfig::default(),
+                )
+                .unwrap();
+                index.rank_references(&target, 3).unwrap()
+            };
+            let v1 = wp_runtime::with_thread_count(1, build_and_rank);
+            let v8 = wp_runtime::with_thread_count(8, build_and_rank);
+            assert_eq!(v1.len(), v8.len(), "{repr:?}");
+            for (a, b) in v1.iter().zip(&v8) {
+                assert_eq!(a.workload, b.workload, "{repr:?}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{repr:?}");
+            }
+        }
     }
 }

@@ -930,4 +930,32 @@ mod tests {
             );
         }
     }
+
+    /// Embedding-style fingerprints — single-row 1×k vectors like the
+    /// Plan-Embed bottleneck — must flow through the metric-norm
+    /// pivot/PAA cascade byte-identically to brute force.
+    #[test]
+    fn embedding_vectors_flow_through_the_metric_cascade() {
+        let fps = corpus(40, 1, 4);
+        let query = mat(4242, 1, 4);
+        let mut pruned_somewhere = false;
+        for norm in [Norm::L11, Norm::L21, Norm::Frobenius, Norm::Canberra] {
+            let measure = Measure::Norm(norm);
+            let index = Index::build(fps.clone(), measure, IndexConfig::default()).unwrap();
+            let (hits, stats) = index.search_k_with_stats(&query, 5).unwrap();
+            let brute = brute_force_k(&fps, measure, None, &query, 5);
+            assert_identical(&hits, &brute, &format!("embed {}", measure.label()));
+            assert_eq!(
+                stats.candidates,
+                stats.pruned() + stats.exact,
+                "embed {}: {stats:?}",
+                measure.label()
+            );
+            pruned_somewhere |= stats.pruned_pivot > 0 || stats.pruned_paa > 0;
+        }
+        assert!(
+            pruned_somewhere,
+            "the cascade never pruned a 1×k candidate — bounds inactive for embeddings"
+        );
+    }
 }

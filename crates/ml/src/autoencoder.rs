@@ -1,0 +1,384 @@
+//! Seeded, deterministic autoencoder for dense feature embeddings.
+//!
+//! "Database Workload Characterization with Query Plan Encoders" learns
+//! dense encodings of query-plan statistics and shows they characterize
+//! workloads better than hand-built features. This is the minimal
+//! from-scratch version of that idea: a symmetric MLP autoencoder
+//! (`d → hidden… → bottleneck → hidden… → d`) trained with full-batch
+//! Adam on standardized inputs, reusing the dense-layer machinery from
+//! [`crate::mlp`]. The bottleneck activation is the embedding.
+//!
+//! Determinism is load-bearing: weight init comes from one seeded
+//! [`Rng64`], training is plain sequential full-batch gradient descent
+//! (no data-dependent branching, no parallel reductions), so two fits
+//! with the same config and data produce bit-identical weights on any
+//! thread count. Downstream, that is what lets a fingerprint built from
+//! the embedding honor the corpus-stable contract.
+
+use wp_linalg::{Matrix, Rng64, StandardScaler};
+
+use crate::mlp::{adam_step, Activation, Layer};
+
+/// Autoencoder hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AutoencoderConfig {
+    /// Encoder hidden widths between input and bottleneck; the decoder
+    /// mirrors them in reverse.
+    pub hidden_layers: Vec<usize>,
+    /// Bottleneck (embedding) width.
+    pub bottleneck: usize,
+    /// Hidden-layer activation (the output layer is linear).
+    pub activation: Activation,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for AutoencoderConfig {
+    fn default() -> Self {
+        Self {
+            hidden_layers: vec![16],
+            bottleneck: 4,
+            activation: Activation::Tanh,
+            learning_rate: 5e-3,
+            epochs: 200,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Symmetric MLP autoencoder; [`Autoencoder::encode`] yields the
+/// bottleneck embedding of a row.
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    /// Hyper-parameters.
+    pub config: AutoencoderConfig,
+    /// Encoder then decoder layers; the encoder is the first
+    /// `hidden_layers.len() + 1` entries.
+    layers: Vec<Layer>,
+    n_encoder_layers: usize,
+    scaler: Option<StandardScaler>,
+}
+
+impl Default for Autoencoder {
+    fn default() -> Self {
+        Self::new(AutoencoderConfig::default())
+    }
+}
+
+impl Autoencoder {
+    /// Creates an unfitted autoencoder with the given settings.
+    pub fn new(config: AutoencoderConfig) -> Self {
+        assert!(config.bottleneck > 0, "bottleneck width must be positive");
+        assert!(
+            config.hidden_layers.iter().all(|&w| w > 0),
+            "hidden layer widths must be positive"
+        );
+        Self {
+            config,
+            layers: Vec::new(),
+            n_encoder_layers: 0,
+            scaler: None,
+        }
+    }
+
+    /// True once [`Autoencoder::fit`] has run.
+    pub fn is_fitted(&self) -> bool {
+        !self.layers.is_empty()
+    }
+
+    /// Embedding width.
+    pub fn bottleneck(&self) -> usize {
+        self.config.bottleneck
+    }
+
+    /// Forward pass over every layer, returning all activations
+    /// (input included). Hidden layers are activated; the final
+    /// reconstruction layer is linear.
+    fn forward_all(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = vec![input.to_vec()];
+        let n_layers = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(acts.last().unwrap());
+            if li + 1 < n_layers {
+                for v in &mut z {
+                    *v = self.config.activation.apply(*v);
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Trains the autoencoder to reconstruct the rows of `x`
+    /// (`samples × features`). Re-fitting discards previous state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` is empty.
+    pub fn fit(&mut self, x: &Matrix) {
+        assert!(x.rows() > 0, "cannot fit on an empty matrix");
+        assert!(x.cols() > 0, "cannot fit with zero features");
+        let (scaler, xs) = StandardScaler::fit_transform(x);
+
+        let mut rng = Rng64::new(self.config.seed);
+        let mut sizes = vec![x.cols()];
+        sizes.extend(&self.config.hidden_layers);
+        sizes.push(self.config.bottleneck);
+        self.n_encoder_layers = sizes.len() - 1;
+        let mut rev: Vec<usize> = sizes.clone();
+        rev.pop();
+        rev.reverse();
+        sizes.extend(rev);
+        self.layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let n = xs.rows() as f64;
+        for epoch in 0..self.config.epochs {
+            let t = epoch + 1;
+            let mut gw: Vec<Matrix> = self
+                .layers
+                .iter()
+                .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+                .collect();
+            let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+            for r in 0..xs.rows() {
+                let acts = self.forward_all(xs.row(r));
+                let output = acts.last().unwrap();
+                // squared reconstruction loss (halved): delta = ŷ − x
+                let mut delta: Vec<f64> =
+                    output.iter().zip(xs.row(r)).map(|(o, t)| o - t).collect();
+                for li in (0..self.layers.len()).rev() {
+                    let input_act = &acts[li];
+                    for (o, &d) in delta.iter().enumerate() {
+                        gb[li][o] += d;
+                        for (c, &a) in input_act.iter().enumerate() {
+                            gw[li][(o, c)] += d * a;
+                        }
+                    }
+                    if li == 0 {
+                        break;
+                    }
+                    let mut new_delta = vec![0.0; self.layers[li].w.cols()];
+                    for (o, &d) in delta.iter().enumerate() {
+                        let wrow = self.layers[li].w.row(o);
+                        for (c, nd) in new_delta.iter_mut().enumerate() {
+                            *nd += d * wrow[c];
+                        }
+                    }
+                    for (c, nd) in new_delta.iter_mut().enumerate() {
+                        *nd *= self.config.activation.derivative_from_output(acts[li][c]);
+                    }
+                    delta = new_delta;
+                }
+            }
+
+            let lr = self.config.learning_rate;
+            let l2 = self.config.l2;
+            for (li, layer) in self.layers.iter_mut().enumerate() {
+                for rr in 0..layer.w.rows() {
+                    for cc in 0..layer.w.cols() {
+                        let g = gw[li][(rr, cc)] / n + l2 * layer.w[(rr, cc)];
+                        let (mut m, mut v, mut p) =
+                            (layer.mw[(rr, cc)], layer.vw[(rr, cc)], layer.w[(rr, cc)]);
+                        adam_step(t, lr, g, &mut m, &mut v, &mut p);
+                        layer.mw[(rr, cc)] = m;
+                        layer.vw[(rr, cc)] = v;
+                        layer.w[(rr, cc)] = p;
+                    }
+                }
+                for (o, &g_raw) in gb[li].iter().enumerate() {
+                    let g = g_raw / n;
+                    let (mut m, mut v, mut p) = (layer.mb[o], layer.vb[o], layer.b[o]);
+                    adam_step(t, lr, g, &mut m, &mut v, &mut p);
+                    layer.mb[o] = m;
+                    layer.vb[o] = v;
+                    layer.b[o] = p;
+                }
+            }
+        }
+        self.scaler = Some(scaler);
+    }
+
+    /// The bottleneck embedding of one raw (unstandardized) row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`Autoencoder::fit`] or when `row` has
+    /// the wrong width.
+    pub fn encode(&self, row: &[f64]) -> Vec<f64> {
+        let scaler = self.scaler.as_ref().expect("encode called before fit");
+        let x = Matrix::from_rows(&[row.to_vec()]);
+        let xs = scaler.transform(&x);
+        let mut act = xs.row(0).to_vec();
+        for (li, layer) in self.layers[..self.n_encoder_layers].iter().enumerate() {
+            let mut z = layer.forward(&act);
+            // the bottleneck itself is a hidden layer of the full net,
+            // so it is activated unless it is also the output layer
+            if li + 1 < self.layers.len() {
+                for v in &mut z {
+                    *v = self.config.activation.apply(*v);
+                }
+            }
+            act = z;
+        }
+        act
+    }
+
+    /// Embeds every row of `x`: a `samples × bottleneck` matrix.
+    pub fn encode_batch(&self, x: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = x.iter_rows().map(|r| self.encode(r)).collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// Mean squared reconstruction error over the rows of `x`, in
+    /// standardized units.
+    pub fn reconstruction_error(&self, x: &Matrix) -> f64 {
+        let scaler = self.scaler.as_ref().expect("called before fit");
+        let xs = scaler.transform(x);
+        let mut total = 0.0;
+        for r in 0..xs.rows() {
+            let acts = self.forward_all(xs.row(r));
+            let out = acts.last().unwrap();
+            for (o, t) in out.iter().zip(xs.row(r)) {
+                total += (o - t) * (o - t);
+            }
+        }
+        total / (xs.rows() * xs.cols()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data() -> Matrix {
+        // rows live near a 2-D subspace of a 6-D space
+        let mut rng = Rng64::new(42);
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|_| {
+                let a = rng.range(-1.0, 1.0);
+                let b = rng.range(-1.0, 1.0);
+                vec![a, b, a + b, a - b, 2.0 * a, 0.5 * b]
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn embedding_has_bottleneck_width() {
+        let x = toy_data();
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            bottleneck: 2,
+            epochs: 50,
+            ..AutoencoderConfig::default()
+        });
+        ae.fit(&x);
+        assert_eq!(ae.encode(x.row(0)).len(), 2);
+        let e = ae.encode_batch(&x);
+        assert_eq!(e.shape(), (60, 2));
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let x = toy_data();
+        let mut brief = Autoencoder::new(AutoencoderConfig {
+            bottleneck: 2,
+            epochs: 1,
+            ..AutoencoderConfig::default()
+        });
+        brief.fit(&x);
+        let mut trained = Autoencoder::new(AutoencoderConfig {
+            bottleneck: 2,
+            epochs: 300,
+            ..AutoencoderConfig::default()
+        });
+        trained.fit(&x);
+        assert!(
+            trained.reconstruction_error(&x) < brief.reconstruction_error(&x) * 0.5,
+            "trained {} vs brief {}",
+            trained.reconstruction_error(&x),
+            brief.reconstruction_error(&x)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = toy_data();
+        let cfg = AutoencoderConfig {
+            bottleneck: 3,
+            epochs: 40,
+            seed: 7,
+            ..AutoencoderConfig::default()
+        };
+        let mut a = Autoencoder::new(cfg.clone());
+        a.fit(&x);
+        let mut b = Autoencoder::new(cfg);
+        b.fit(&x);
+        for r in 0..x.rows() {
+            let ea = a.encode(x.row(r));
+            let eb = b.encode(x.row(r));
+            let bits_a: Vec<u64> = ea.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = eb.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "row {r}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let x = toy_data();
+        let mut a = Autoencoder::new(AutoencoderConfig {
+            seed: 1,
+            epochs: 20,
+            ..AutoencoderConfig::default()
+        });
+        a.fit(&x);
+        let mut b = Autoencoder::new(AutoencoderConfig {
+            seed: 2,
+            epochs: 20,
+            ..AutoencoderConfig::default()
+        });
+        b.fit(&x);
+        assert_ne!(a.encode(x.row(0)), b.encode(x.row(0)));
+    }
+
+    #[test]
+    fn embeddings_are_finite_on_constant_columns() {
+        // constant features have zero variance — the scaler must not
+        // produce NaNs that poison the embedding
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 3.0, -1.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut ae = Autoencoder::new(AutoencoderConfig {
+            bottleneck: 2,
+            epochs: 30,
+            ..AutoencoderConfig::default()
+        });
+        ae.fit(&x);
+        for r in 0..x.rows() {
+            assert!(ae.encode(x.row(r)).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty matrix")]
+    fn fit_rejects_empty() {
+        let mut ae = Autoencoder::default();
+        ae.fit(&Matrix::zeros(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn encode_before_fit_panics() {
+        let ae = Autoencoder::default();
+        let _ = ae.encode(&[1.0, 2.0]);
+    }
+}

@@ -105,13 +105,21 @@ pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Batches smaller than this run sequentially even when threads are
+/// available: spawning scoped workers costs tens of microseconds, which
+/// swamps the win on tiny batches and used to drag the measured parallel
+/// factor below 1.0 at small input sizes (see `exp_speedup`). The
+/// fallback is the exact sequential loop, so bit-identity is untouched.
+pub const SEQUENTIAL_FALLBACK_TASKS: usize = 32;
+
 /// Evaluates `f(i)` for every `i in 0..n` across the pool and returns
 /// the results in index order.
 ///
 /// Equivalent to `(0..n).map(f).collect()` — including bit-identical
 /// floating-point results — but spread over [`thread_count`] workers.
 /// Falls back to the plain sequential loop when the effective thread
-/// count is 1 or `n <= 1`.
+/// count is 1 or `n` is below [`SEQUENTIAL_FALLBACK_TASKS`] (per-task
+/// work on batches that small undercuts thread-spawn overhead).
 pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -123,7 +131,7 @@ where
     let available = thread_count();
     OBS_THREADS.set(available as u64);
     let threads = available.min(n);
-    if threads <= 1 {
+    if threads <= 1 || n < SEQUENTIAL_FALLBACK_TASKS {
         return (0..n).map(f).collect();
     }
 
@@ -285,8 +293,25 @@ mod tests {
 
     #[test]
     fn nested_calls_run_sequentially_in_workers() {
-        let nested_counts = with_thread_count(4, || par_map_indexed(8, |_| thread_count()));
-        assert_eq!(nested_counts, vec![1; 8]);
+        // batch large enough to dodge the small-input fallback, so the
+        // closure really runs on pool workers
+        let n = SEQUENTIAL_FALLBACK_TASKS * 2;
+        let nested_counts = with_thread_count(4, || par_map_indexed(n, |_| thread_count()));
+        assert_eq!(nested_counts, vec![1; n]);
+    }
+
+    #[test]
+    fn small_batches_take_the_sequential_fallback() {
+        // below the threshold the closure runs on the calling thread
+        // (thread_count() still sees the override), and the output is
+        // identical to the sequential loop
+        let small = SEQUENTIAL_FALLBACK_TASKS - 1;
+        let counts = with_thread_count(4, || par_map_indexed(small, |_| thread_count()));
+        assert_eq!(counts, vec![4; small], "must not spawn workers");
+        let f = |i: usize| ((i as f64) * 0.7).cos() * (i as f64);
+        let seq: Vec<u64> = (0..small).map(|i| f(i).to_bits()).collect();
+        let par = with_thread_count(8, || par_map_indexed(small, |i| f(i).to_bits()));
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! engine behaviour. The blocking workers backend uses one shard.
 
 use std::ops::Range;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::{PipelineConfig, SimilarityVerdict};
@@ -32,10 +32,9 @@ use wp_linalg::Matrix;
 use wp_predict::context::{PairwiseScalingModel, SingleScalingModel};
 use wp_predict::evaluation::{pairwise_cv_nrmse, single_cv_nrmse, ScalingData};
 use wp_predict::strategies::ModelStrategy;
-use wp_similarity::histfp::histfp;
-use wp_similarity::measure::{normalize_distances, try_distance_matrix};
-use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
-use wp_similarity::repr::{extract, RunFeatureData};
+use wp_similarity::fingerprinter::fingerprinter;
+use wp_similarity::measure::{normalize_distances, try_distance_matrix, Measure};
+use wp_similarity::repr::{extract, Representation, RunFeatureData};
 use wp_stream::{StreamConfig, StreamEngine};
 use wp_telemetry::io::run_from_json;
 use wp_telemetry::{ExperimentRun, FeatureId};
@@ -82,6 +81,13 @@ impl ServiceError {
     fn bad_request(message: impl Into<String>) -> Self {
         Self {
             status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
             message: message.into(),
         }
     }
@@ -218,12 +224,40 @@ impl ServiceState {
 
     /// The corpus generation as seen by one shard's replica. Identical
     /// across shards outside the ingest critical section.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard's stream lock was poisoned by an earlier
+    /// panic. Request handlers use [`ServiceState::stream_read`] instead,
+    /// which maps poisoning to a 500.
     pub fn generation_on(&self, shard: usize) -> u64 {
         self.shard(shard)
             .stream
             .read()
             .expect("stream lock")
             .generation()
+    }
+
+    /// Read access to one shard's streaming engine; a lock poisoned by
+    /// an earlier panic becomes a 500 instead of propagating the panic
+    /// into this request too.
+    fn stream_read(&self, shard: usize) -> Result<RwLockReadGuard<'_, StreamEngine>, ServiceError> {
+        self.shard(shard)
+            .stream
+            .read()
+            .map_err(|_| ServiceError::internal("streaming state poisoned by an earlier panic"))
+    }
+
+    /// Write access to one shard's streaming engine; same poisoning
+    /// contract as [`ServiceState::stream_read`].
+    fn stream_write(
+        &self,
+        shard: usize,
+    ) -> Result<RwLockWriteGuard<'_, StreamEngine>, ServiceError> {
+        self.shard(shard)
+            .stream
+            .write()
+            .map_err(|_| ServiceError::internal("streaming state poisoned by an earlier panic"))
     }
 
     /// Hit/miss counters of the response cache, summed over shards.
@@ -283,8 +317,8 @@ fn route(state: &ServiceState, shard: usize, req: &Request) -> Result<String, Se
         ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/corpus") => Ok(corpus_info(state)),
         ("POST", "/corpus") => validate_corpus(&req.body),
-        ("GET", "/stats") => Ok(stats_doc(state)),
-        ("GET", "/drift") => Ok(drift_log(state)),
+        ("GET", "/stats") => stats_doc(state),
+        ("GET", "/drift") => drift_log(state),
         ("POST", "/fingerprint") => cached(state, shard, req, fingerprint),
         ("POST", "/similar") => cached(state, shard, req, similar),
         ("POST", "/predict") => cached(state, shard, req, predict),
@@ -328,7 +362,7 @@ fn cached(
 ) -> Result<String, ServiceError> {
     let key = format!(
         "g{}\n{}\n{}",
-        state.generation_on(shard),
+        state.stream_read(shard)?.generation(),
         req.path,
         req.body
     );
@@ -343,32 +377,21 @@ fn cached(
 
 /// `GET /stats` — request accounting plus a `"stream"` section with the
 /// live-corpus state and ingest counters.
-fn stats_doc(state: &ServiceState) -> String {
-    let stream = state
-        .shard(0)
-        .stream
-        .read()
-        .expect("stream lock")
-        .stats_json();
+fn stats_doc(state: &ServiceState) -> Result<String, ServiceError> {
+    let stream = state.stream_read(0)?.stats_json();
     let mut doc = state.stats.to_json(state.response_cache_counters());
     if let Json::Obj(pairs) = &mut doc {
         pairs.push(("stream".to_string(), stream));
     }
-    doc.compact()
+    Ok(doc.compact())
 }
 
 /// `GET /drift` — the drift-event log: every event the engine detected,
 /// in detection order, plus the current corpus generation. The log is a
 /// deterministic function of the ingest stream, so two replays of the
 /// same seeded stream must return byte-identical documents.
-fn drift_log(state: &ServiceState) -> String {
-    state
-        .shard(0)
-        .stream
-        .read()
-        .expect("stream lock")
-        .events_json()
-        .compact()
+fn drift_log(state: &ServiceState) -> Result<String, ServiceError> {
+    Ok(state.stream_read(0)?.events_json().compact())
 }
 
 /// `POST /ingest` — one batch of telemetry for one tenant:
@@ -388,23 +411,23 @@ fn ingest(state: &ServiceState, body: &str) -> Result<String, ServiceError> {
         .and_then(Json::as_str)
         .ok_or_else(|| ServiceError::bad_request("body needs a 'tenant' string"))?
         .to_string();
-    let _order = state.ingest_order.lock().expect("ingest order lock");
+    let _order = state
+        .ingest_order
+        .lock()
+        .map_err(|_| ServiceError::internal("ingest order poisoned by an earlier panic"))?;
     let outcome = {
-        let mut engine = state.shards[0].stream.write().expect("stream lock");
+        let mut engine = state.stream_write(0)?;
         engine
             .ingest(&tenant, runs.clone())
             .map_err(ServiceError::bad_request)?
     };
     // The batch was accepted by the source of truth; replicas must agree
     // (same engine, same input sequence), so a divergence is a bug.
-    for shard in &state.shards[1..] {
-        let mut engine = shard.stream.write().expect("stream lock");
-        engine
-            .ingest(&tenant, runs.clone())
-            .map_err(|e| ServiceError {
-                status: 500,
-                message: format!("shard replica diverged on ingest: {e}"),
-            })?;
+    for shard in 1..state.shards.len() {
+        let mut engine = state.stream_write(shard)?;
+        engine.ingest(&tenant, runs.clone()).map_err(|e| {
+            ServiceError::internal(format!("shard replica diverged on ingest: {e}"))
+        })?;
     }
     Ok(outcome.to_json().compact())
 }
@@ -495,19 +518,85 @@ fn matrix_to_json(m: &Matrix) -> Json {
     }
 }
 
+/// Joint fingerprints of `data` under `repr`, through the
+/// [`Fingerprinter`](wp_similarity::Fingerprinter) strategy trait.
+///
+/// The representation preconditions that would otherwise panic deep in
+/// `wp-similarity` — ragged observation counts for MTS, missing or empty
+/// plan statistics for Plan-Embed, a measure the representation does not
+/// define — are checked here first and surface as clean 400s.
+fn joint_fingerprints(
+    state: &ServiceState,
+    repr: Representation,
+    nbins: usize,
+    measure: Option<Measure>,
+    data: &[RunFeatureData],
+) -> Result<Vec<Matrix>, ServiceError> {
+    match repr {
+        Representation::Mts => {
+            for (r, run) in data.iter().enumerate() {
+                let n = run.series.first().map_or(0, Vec::len);
+                if run.series.iter().any(|s| s.len() != n) {
+                    return Err(ServiceError::bad_request(format!(
+                        "runs[{r}]: MTS requires equal observation counts across \
+                         features (resource features only)"
+                    )));
+                }
+            }
+        }
+        Representation::PlanEmbed => {
+            let plan_idx: Vec<usize> = state
+                .selected
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| matches!(f, FeatureId::Plan(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if plan_idx.is_empty() {
+                return Err(ServiceError::bad_request(
+                    "Plan-Embed needs plan features, but none were selected at startup",
+                ));
+            }
+            for (r, run) in data.iter().enumerate() {
+                if plan_idx.iter().all(|&i| run.series[i].is_empty()) {
+                    return Err(ServiceError::bad_request(format!(
+                        "runs[{r}]: Plan-Embed needs at least one per-query plan observation"
+                    )));
+                }
+            }
+        }
+        Representation::HistFp | Representation::PhaseFp => {}
+    }
+    let config = wp_similarity::FingerprintConfig {
+        nbins,
+        ..Default::default()
+    };
+    let builder = fingerprinter(repr, &config);
+    if let Some(m) = measure {
+        if !builder.supports_measure(m) {
+            return Err(ServiceError::bad_request(format!(
+                "measure {} is not defined for the {} representation",
+                m.label(),
+                repr.label()
+            )));
+        }
+    }
+    Ok(builder.fingerprints(data))
+}
+
 /// `POST /fingerprint` — fingerprints the posted runs on the selected
 /// features. Optional body fields: `"representation"` (`"hist"`, the
-/// default, or `"phase"`) and `"nbins"` (Hist-FP only).
+/// default, `"mts"`, `"phase"`, or `"embed"`) and `"nbins"` (Hist-FP
+/// only).
 fn fingerprint(state: &ServiceState, _shard: usize, body: &str) -> Result<String, ServiceError> {
     let (doc, runs) = parse_target_runs(body)?;
-    let representation = match doc.get("representation").and_then(Json::as_str) {
-        None | Some("hist") => "Hist-FP",
-        Some("phase") => "Phase-FP",
-        Some(other) => {
-            return Err(ServiceError::bad_request(format!(
-                "unknown representation '{other}' (use 'hist' or 'phase')"
-            )))
-        }
+    let repr = match doc.get("representation").and_then(Json::as_str) {
+        None => Representation::HistFp,
+        Some(s) => Representation::parse(s).ok_or_else(|| {
+            ServiceError::bad_request(format!(
+                "unknown representation '{s}' (use 'mts', 'hist', 'phase', or 'embed')"
+            ))
+        })?,
     };
     let nbins = match doc.get("nbins") {
         None => state.config.nbins,
@@ -517,18 +606,14 @@ fn fingerprint(state: &ServiceState, _shard: usize, body: &str) -> Result<String
             .ok_or_else(|| ServiceError::bad_request("'nbins' must be a positive integer"))?,
     };
     let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, &state.selected)).collect();
-    let fps = if representation == "Hist-FP" {
-        histfp(&data, nbins)
-    } else {
-        phasefp(&data, &PhaseFpConfig::default())
-    };
+    let fps = joint_fingerprints(state, repr, nbins, None, &data)?;
     let features: Vec<Json> = state
         .selected
         .iter()
         .map(|f| Json::from(f.name()))
         .collect();
     Ok(obj! {
-        "representation" => representation,
+        "representation" => repr.label(),
         "features" => Json::Arr(features),
         "fingerprints" => Json::Arr(fps.iter().map(matrix_to_json).collect()),
     }
@@ -556,7 +641,13 @@ fn similar_verdicts(
         data.extend(cached.iter().cloned());
         ref_spans.push(start..data.len());
     }
-    let fps = histfp(&data, state.config.nbins);
+    let fps = joint_fingerprints(
+        state,
+        state.config.representation,
+        state.config.nbins,
+        Some(state.config.measure),
+        &data,
+    )?;
     let d = try_distance_matrix(&fps, state.config.measure)
         .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
     let d = normalize_distances(&d);
@@ -626,8 +717,11 @@ fn similar(state: &ServiceState, shard: usize, body: &str) -> Result<String, Ser
     match doc.get("mode").and_then(Json::as_str) {
         None | Some("exact") => {
             let verdicts = similar_verdicts(state, shard, &runs)?;
+            let best = verdicts
+                .first()
+                .ok_or_else(|| ServiceError::internal("similarity ranking produced no verdicts"))?;
             Ok(obj! {
-                "most_similar" => verdicts[0].workload.clone(),
+                "most_similar" => best.workload.clone(),
                 "verdicts" => verdicts_to_json(&verdicts),
             }
             .compact())
@@ -640,15 +734,18 @@ fn similar(state: &ServiceState, shard: usize, body: &str) -> Result<String, Ser
                     .filter(|&n| n > 0)
                     .ok_or_else(|| ServiceError::bad_request("'k' must be a positive integer"))?,
             };
-            let engine = state.shard(shard).stream.read().expect("stream lock");
+            let engine = state.stream_read(shard)?;
             let (verdicts, stats) = engine
                 .index()
                 .rank_references_with_stats(&runs, k)
                 .map_err(|e| ServiceError::bad_request(format!("cannot compare runs: {e}")))?;
+            let best = verdicts
+                .first()
+                .ok_or_else(|| ServiceError::internal("similarity ranking produced no verdicts"))?;
             Ok(obj! {
                 "mode" => "indexed",
                 "k" => k,
-                "most_similar" => verdicts[0].workload.clone(),
+                "most_similar" => best.workload.clone(),
                 "verdicts" => verdicts_to_json(&verdicts),
                 "pruning" => obj! {
                     "candidates" => stats.candidates,
@@ -689,12 +786,20 @@ fn predict(state: &ServiceState, shard: usize, body: &str) -> Result<String, Ser
     let to_cpus = cpus("to_cpus", 8.0)?;
 
     let verdicts = similar_verdicts(state, shard, &runs)?;
+    let best = verdicts
+        .first()
+        .ok_or_else(|| ServiceError::internal("similarity ranking produced no verdicts"))?;
     let reference = state
         .corpus
         .references
         .iter()
-        .find(|r| r.name == verdicts[0].workload)
-        .expect("verdict names come from the corpus");
+        .find(|r| r.name == best.workload)
+        .ok_or_else(|| {
+            ServiceError::internal(format!(
+                "most similar reference '{}' is not in the corpus",
+                best.workload
+            ))
+        })?;
 
     let from_values: Vec<f64> = reference.runs_from.iter().map(|r| r.throughput).collect();
     let to_values: Vec<f64> = reference.runs_to.iter().map(|r| r.throughput).collect();
@@ -715,7 +820,7 @@ fn predict(state: &ServiceState, shard: usize, body: &str) -> Result<String, Ser
         .ok_or_else(|| ServiceError::bad_request("no model for the requested SKU pair"))?;
 
     Ok(obj! {
-        "most_similar" => verdicts[0].workload.clone(),
+        "most_similar" => reference.name.clone(),
         "from_cpus" => from_cpus,
         "to_cpus" => to_cpus,
         "observed_throughput" => observed,
@@ -836,7 +941,7 @@ fn recommend(state: &ServiceState, shard: usize, body: &str) -> Result<String, S
                 .as_str()
                 .ok_or_else(|| ServiceError::bad_request("'tenant' must be a string"))?;
             let window = {
-                let engine = state.shard(shard).stream.read().expect("stream lock");
+                let engine = state.stream_read(shard)?;
                 engine.tenant_runs(name).map(<[ExperimentRun]>::to_vec)
             };
             let runs = window
@@ -860,12 +965,20 @@ fn recommend(state: &ServiceState, shard: usize, body: &str) -> Result<String, S
     }
 
     let verdicts = similar_verdicts(state, shard, &runs)?;
+    let best = verdicts
+        .first()
+        .ok_or_else(|| ServiceError::internal("similarity ranking produced no verdicts"))?;
     let reference = state
         .corpus
         .references
         .iter()
-        .find(|r| r.name == verdicts[0].workload)
-        .expect("verdict names come from the corpus");
+        .find(|r| r.name == best.workload)
+        .ok_or_else(|| {
+            ServiceError::internal(format!(
+                "most similar reference '{}' is not in the corpus",
+                best.workload
+            ))
+        })?;
     let from_values: Vec<f64> = reference.runs_from.iter().map(|r| r.throughput).collect();
     let to_values: Vec<f64> = reference.runs_to.iter().map(|r| r.throughput).collect();
     let groups: Vec<usize> = reference
@@ -957,7 +1070,7 @@ fn recommend(state: &ServiceState, shard: usize, body: &str) -> Result<String, S
         "observed_cpus" => observed_cpus,
         "observed_throughput" => observed,
         "observed_latency_ms" => observed_latency,
-        "most_similar" => verdicts[0].workload.clone(),
+        "most_similar" => reference.name.clone(),
         "context" => if any_single { "pairwise+single" } else { "pairwise" },
         "cv" => obj! {
             "pairwise_nrmse" => pairwise_nrmse,
@@ -1049,6 +1162,107 @@ mod tests {
         for (a, b) in via_service.iter().zip(&via_core) {
             assert_eq!(a.workload, b.workload);
             assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+    }
+
+    /// `/similar` exact mode now dispatches through the `Fingerprinter`
+    /// trait; its response must stay byte-identical to the pre-refactor
+    /// recipe that called the representation primitives directly — for
+    /// each existing representation, cold vs warm cache, and pinned
+    /// compute pools of 1 vs 8 threads.
+    #[test]
+    fn similar_exact_matches_direct_primitives_byte_for_byte() {
+        use wp_similarity::histfp::histfp;
+        use wp_similarity::phasefp::{phasefp, PhaseFpConfig};
+
+        for repr in [Representation::HistFp, Representation::PhaseFp] {
+            let config = PipelineConfig {
+                selection: Strategy::FAnova,
+                representation: repr,
+                ..PipelineConfig::default()
+            };
+            let state = ServiceState::new(
+                simulated_corpus(0xEDB7_2025, 40),
+                config.clone(),
+                Some(1),
+                16,
+                StreamConfig::default(),
+            )
+            .unwrap();
+            let body = target_body(3);
+            let req = request("POST", "/similar", &body);
+            let (s, cold) = handle(&state, &req);
+            assert_eq!(s, 200, "{repr:?}: {cold}");
+            let (s, warm) = handle(&state, &req);
+            assert_eq!(s, 200);
+            assert_eq!(cold, warm, "{repr:?}: warm cache diverged");
+
+            let wide_state = ServiceState::new(
+                simulated_corpus(0xEDB7_2025, 40),
+                config,
+                Some(8),
+                16,
+                StreamConfig::default(),
+            )
+            .unwrap();
+            let (s, wide) = handle(&wide_state, &req);
+            assert_eq!(s, 200);
+            assert_eq!(cold, wide, "{repr:?}: 8-thread pool diverged");
+
+            // Pre-refactor recipe: the primitive called directly, joint
+            // normalization over target + reference runs, per-reference
+            // mean of min-max-normalized distances, ascending.
+            let mut sim = Simulator::new(3);
+            sim.config.samples = 40;
+            let target: Vec<ExperimentRun> = (0..2)
+                .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+                .collect();
+            let mut data: Vec<RunFeatureData> =
+                target.iter().map(|r| extract(r, &state.selected)).collect();
+            let mut spans = Vec::new();
+            for r in &state.corpus.references {
+                let start = data.len();
+                data.extend(r.runs_from.iter().map(|run| extract(run, &state.selected)));
+                spans.push(start..data.len());
+            }
+            let fps = match repr {
+                Representation::HistFp => histfp(&data, state.config.nbins),
+                Representation::PhaseFp => phasefp(&data, &PhaseFpConfig::default()),
+                _ => unreachable!(),
+            };
+            let d = normalize_distances(&try_distance_matrix(&fps, state.config.measure).unwrap());
+            let mut expected: Vec<SimilarityVerdict> = state
+                .corpus
+                .references
+                .iter()
+                .zip(&spans)
+                .map(|(r, span)| {
+                    let mut total = 0.0;
+                    let mut count = 0usize;
+                    for t in 0..target.len() {
+                        for j in span.clone() {
+                            total += d[(t, j)];
+                            count += 1;
+                        }
+                    }
+                    SimilarityVerdict {
+                        workload: r.name.clone(),
+                        distance: total / count.max(1) as f64,
+                    }
+                })
+                .collect();
+            expected.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+
+            let via_trait = similar_verdicts(&state, 0, &target).unwrap();
+            assert_eq!(via_trait.len(), expected.len(), "{repr:?}");
+            for (a, b) in via_trait.iter().zip(&expected) {
+                assert_eq!(a.workload, b.workload, "{repr:?}");
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits(), "{repr:?}");
+            }
         }
     }
 

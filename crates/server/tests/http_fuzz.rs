@@ -534,3 +534,112 @@ fn mutant_barrage(backend: Backend) {
     );
     server.shutdown();
 }
+
+/// One well-formed `/fingerprint` body (also a valid `/similar` body).
+fn fingerprint_template() -> String {
+    let mut sim = Simulator::new(0xEDB7_2025);
+    sim.config.samples = 30;
+    let runs: Vec<_> = (0..2)
+        .map(|r| sim.simulate(&benchmarks::ycsb(), &Sku::new("cpu2", 2, 64.0), 8, r, r % 3))
+        .collect();
+    format!("{{\"runs\":{}}}", wp_telemetry::io::runs_to_json(&runs))
+}
+
+/// The startup-selected feature names, read off `GET /corpus`.
+fn selected_features(addr: SocketAddr) -> Vec<String> {
+    let response = fire(addr, b"GET /corpus HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let text = String::from_utf8_lossy(&response);
+    let body = text.split("\r\n\r\n").nth(1).expect("corpus response body");
+    Json::parse(body)
+        .expect("corpus body is JSON")
+        .get("selected_features")
+        .and_then(Json::as_arr)
+        .expect("corpus body lists selected features")
+        .iter()
+        .map(|f| f.as_str().expect("feature names are strings").to_string())
+        .collect()
+}
+
+/// Satellite invariant for `POST /fingerprint` and `POST /similar`: the
+/// representation preconditions that used to panic deep inside
+/// `wp-similarity` (unknown representation names, zero / ill-typed bin
+/// counts, empty run arrays, ragged MTS observation counts, Plan-Embed
+/// without plan statistics) are clean 400s — never a worker-killing
+/// panic — and every satisfiable representation still answers 200.
+#[test]
+fn fingerprint_poisons_die_in_validation() {
+    const RESOURCE_NAMES: &[&str] = &[
+        "CPU_UTILIZATION",
+        "CPU_EFFECTIVE",
+        "MEM_UTILIZATION",
+        "IOPS_TOTAL",
+        "READ_WRITE_RATIO",
+        "LOCK_REQ_ABS",
+        "LOCK_WAIT_ABS",
+    ];
+    let server = start_server();
+    let addr = server.addr();
+    let template = fingerprint_template();
+    let selected = selected_features(addr);
+    let has_plan = selected
+        .iter()
+        .any(|f| !RESOURCE_NAMES.contains(&f.as_str()));
+    let has_resource = selected
+        .iter()
+        .any(|f| RESOURCE_NAMES.contains(&f.as_str()));
+
+    // Must-400 poisons, one per converted panic path.
+    let poisons = [
+        template.replacen('{', "{\"representation\":\"bogus\",", 1),
+        template.replacen('{', "{\"representation\":\"Hist-FP\",", 1), // labels are not short names
+        template.replacen('{', "{\"nbins\":0,", 1),
+        template.replacen('{', "{\"nbins\":-4,", 1),
+        template.replacen('{', "{\"nbins\":\"many\",", 1),
+        template.replacen('{', "{\"nbins\":2.5,", 1),
+        "{\"runs\":[]}".to_string(),
+        "{\"runs\":7}".to_string(),
+        "{not json".to_string(),
+    ];
+    for (i, body) in poisons.iter().enumerate() {
+        assert_ne!(body.as_str(), template, "poison {i} failed to splice");
+        let status = post_json(addr, "/fingerprint", body.as_bytes());
+        assert_eq!(status, Some(400), "fingerprint poison {i}: {status:?}");
+    }
+
+    // Every representation answers deterministically: 200 when its
+    // preconditions hold on this corpus, 400 (never a panic) otherwise.
+    for (short, ok) in [
+        ("hist", true),
+        ("phase", true),
+        // MTS needs one shared observation count, impossible once plan
+        // (per-query) features sit next to resource (per-sample) ones.
+        ("mts", !(has_plan && has_resource)),
+        ("embed", has_plan),
+    ] {
+        let body = template.replacen('{', &format!("{{\"representation\":\"{short}\","), 1);
+        let status = post_json(addr, "/fingerprint", body.as_bytes());
+        let want = if ok { 200 } else { 400 };
+        assert_eq!(status, Some(want), "representation '{short}': {status:?}");
+    }
+
+    // `/similar` shares the runs parser and the fingerprint dispatch.
+    for body in ["{\"runs\":[]}", "{not json"] {
+        let status = post_json(addr, "/similar", body.as_bytes());
+        assert_eq!(status, Some(400), "similar poison {body:?}: {status:?}");
+    }
+    assert_eq!(post_json(addr, "/similar", template.as_bytes()), Some(200));
+
+    // The barrage left a healthy server: the poisons were rejected in
+    // validation, not by killing a worker.
+    let health = fire(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(
+        String::from_utf8_lossy(&health).starts_with("HTTP/1.1 200"),
+        "server unhealthy after fingerprint poisons"
+    );
+    assert_eq!(
+        generation(addr),
+        0,
+        "a read-only endpoint mutated the corpus"
+    );
+    server.shutdown();
+}

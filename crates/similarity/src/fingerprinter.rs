@@ -1,0 +1,633 @@
+//! The representation strategy trait.
+//!
+//! Historically every consumer of the similarity pipeline (wp-core's
+//! `CorpusIndex`, wp-stream's live references, the server's `/similar`
+//! and `/fingerprint` handlers) matched on [`Representation`] and called
+//! the per-representation primitives directly, so adding a fourth
+//! representation meant touching every match arm. [`Fingerprinter`]
+//! packages the two construction modes every representation needs:
+//!
+//! * **joint** ([`Fingerprinter::fingerprints`]) — the paper's semantics:
+//!   normalization state (global ranges, phase counts, encoder weights)
+//!   is derived from exactly the runs being compared, so a fingerprint
+//!   depends on the whole closed set.
+//! * **corpus-stable** ([`Fingerprinter::fit`] then
+//!   [`Fingerprinter::fingerprint`]) — the state is frozen over a
+//!   reference corpus once; afterwards a query's fingerprint depends only
+//!   on the frozen state and the query itself. This is what makes
+//!   incremental index inserts byte-identical to full rebuilds.
+//!
+//! The three paper representations delegate to the existing primitives
+//! ([`crate::repr::mts`], [`crate::histfp`], [`crate::phasefp`]) so the
+//! trait adds dispatch, not new numerics: outputs are bit-identical to
+//! the pre-trait pipeline. [`Representation::PlanEmbed`] is the learned
+//! fourth representation — a seeded autoencoder over per-query
+//! plan-statistic vectors whose bottleneck mean is the fingerprint.
+
+use std::sync::Arc;
+
+use wp_linalg::Matrix;
+use wp_ml::autoencoder::{Autoencoder, AutoencoderConfig};
+use wp_telemetry::FeatureId;
+
+use crate::bcpd::segments;
+use crate::histfp::{histfp, histfp_with_ranges, DEFAULT_BINS};
+use crate::measure::Measure;
+use crate::phasefp::{phasefp, PhaseFpConfig};
+use crate::repr::{global_ranges, mts, norm01, Representation, RunFeatureData};
+
+/// Construction parameters for every representation, so call sites can
+/// carry one config regardless of which representation is selected.
+#[derive(Debug, Clone)]
+pub struct FingerprintConfig {
+    /// Histogram bin count (Hist-FP).
+    pub nbins: usize,
+    /// Phase segmentation and statistics (Phase-FP).
+    pub phase: PhaseFpConfig,
+    /// Autoencoder hyper-parameters (Plan-Embed).
+    pub embed: AutoencoderConfig,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        Self {
+            nbins: DEFAULT_BINS,
+            phase: PhaseFpConfig::default(),
+            embed: AutoencoderConfig::default(),
+        }
+    }
+}
+
+/// One data representation's fingerprint constructor (see the module
+/// docs for the joint vs. corpus-stable contract).
+pub trait Fingerprinter: Send + Sync {
+    /// Which representation this builds.
+    fn representation(&self) -> Representation;
+
+    /// Freezes corpus-dependent state (ranges, phase counts, encoder
+    /// weights) over the reference corpus.
+    fn fit(&mut self, corpus: &[RunFeatureData]);
+
+    /// True once [`Fingerprinter::fit`] (or an equivalent pre-frozen
+    /// constructor) has supplied corpus state.
+    fn is_fitted(&self) -> bool;
+
+    /// Corpus-stable fingerprint of one run under the frozen state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before [`Fingerprinter::fit`].
+    fn fingerprint(&self, run: &RunFeatureData) -> Matrix;
+
+    /// Joint fingerprints over a closed set of runs (the paper's
+    /// semantics: normalization state derived from exactly these runs).
+    fn fingerprints(&self, data: &[RunFeatureData]) -> Vec<Matrix>;
+
+    /// Whether `measure` is meaningful for this representation's
+    /// fingerprints — lets builders fail fast with a clear error instead
+    /// of a shape panic deep in a distance kernel.
+    fn supports_measure(&self, measure: Measure) -> bool;
+
+    /// The frozen per-feature `(lo, hi)` ranges, for range-normalized
+    /// representations; `None` for learned representations whose frozen
+    /// state is model weights.
+    fn frozen_ranges(&self) -> Option<&[(f64, f64)]> {
+        None
+    }
+}
+
+/// Builds the fingerprinter for a representation. The result is
+/// unfitted; call [`Fingerprinter::fit`] (or use [`fitted`]) before
+/// asking for corpus-stable fingerprints.
+pub fn fingerprinter(repr: Representation, config: &FingerprintConfig) -> Box<dyn Fingerprinter> {
+    match repr {
+        Representation::Mts => Box::new(MtsFingerprinter::new()),
+        Representation::HistFp => Box::new(HistFpFingerprinter::new(config.nbins)),
+        Representation::PhaseFp => Box::new(PhaseFpFingerprinter::new(config.phase.clone())),
+        Representation::PlanEmbed => Box::new(PlanEmbedFingerprinter::new(config.embed.clone())),
+    }
+}
+
+/// Builds and fits a fingerprinter over a corpus in one step, returning
+/// it frozen behind an `Arc` so index builders and rebuilders can share
+/// the identical state.
+pub fn fitted(
+    repr: Representation,
+    config: &FingerprintConfig,
+    corpus: &[RunFeatureData],
+) -> Arc<dyn Fingerprinter> {
+    let mut fp = fingerprinter(repr, config);
+    fp.fit(corpus);
+    Arc::from(fp)
+}
+
+/// Raw MTS: globally min-max-normalized `samples × features` matrices.
+#[derive(Debug, Clone, Default)]
+pub struct MtsFingerprinter {
+    ranges: Option<Vec<(f64, f64)>>,
+}
+
+impl MtsFingerprinter {
+    /// An unfitted MTS fingerprinter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Fingerprinter for MtsFingerprinter {
+    fn representation(&self) -> Representation {
+        Representation::Mts
+    }
+
+    fn fit(&mut self, corpus: &[RunFeatureData]) {
+        self.ranges = Some(global_ranges(corpus));
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.ranges.is_some()
+    }
+
+    fn fingerprint(&self, run: &RunFeatureData) -> Matrix {
+        let ranges = self.ranges.as_ref().expect("MTS fingerprinter not fitted");
+        assert_eq!(
+            run.series.len(),
+            ranges.len(),
+            "run feature count must match the frozen ranges"
+        );
+        let n = run.series.first().map_or(0, Vec::len);
+        for (i, s) in run.series.iter().enumerate() {
+            assert_eq!(
+                s.len(),
+                n,
+                "MTS requires equal observation counts (feature {i})"
+            );
+        }
+        let mut m = Matrix::zeros(n, run.series.len());
+        for (f, s) in run.series.iter().enumerate() {
+            for (t, &v) in s.iter().enumerate() {
+                m[(t, f)] = norm01(v, ranges[f]);
+            }
+        }
+        m
+    }
+
+    fn fingerprints(&self, data: &[RunFeatureData]) -> Vec<Matrix> {
+        mts(data)
+    }
+
+    fn supports_measure(&self, _measure: Measure) -> bool {
+        // elastic measures are MTS's home turf; norms additionally need
+        // equal sample counts, which the index validates at build time
+        true
+    }
+
+    fn frozen_ranges(&self) -> Option<&[(f64, f64)]> {
+        self.ranges.as_deref()
+    }
+}
+
+/// Hist-FP: cumulative equi-width histograms over shared bin ranges.
+#[derive(Debug, Clone)]
+pub struct HistFpFingerprinter {
+    nbins: usize,
+    ranges: Option<Vec<(f64, f64)>>,
+}
+
+impl HistFpFingerprinter {
+    /// An unfitted Hist-FP fingerprinter with the given bin count.
+    pub fn new(nbins: usize) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        Self {
+            nbins,
+            ranges: None,
+        }
+    }
+
+    /// A Hist-FP fingerprinter pre-frozen with caller-supplied ranges
+    /// (the corpus-stable state an index persists across rebuilds).
+    pub fn with_frozen_ranges(nbins: usize, ranges: Vec<(f64, f64)>) -> Self {
+        assert!(nbins > 0, "need at least one bin");
+        Self {
+            nbins,
+            ranges: Some(ranges),
+        }
+    }
+
+    /// Histogram bin count.
+    pub fn nbins(&self) -> usize {
+        self.nbins
+    }
+}
+
+impl Fingerprinter for HistFpFingerprinter {
+    fn representation(&self) -> Representation {
+        Representation::HistFp
+    }
+
+    fn fit(&mut self, corpus: &[RunFeatureData]) {
+        self.ranges = Some(global_ranges(corpus));
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.ranges.is_some()
+    }
+
+    fn fingerprint(&self, run: &RunFeatureData) -> Matrix {
+        let ranges = self
+            .ranges
+            .as_ref()
+            .expect("Hist-FP fingerprinter not fitted");
+        histfp_with_ranges(std::slice::from_ref(run), ranges, self.nbins)
+            .pop()
+            .expect("one run in, one fingerprint out")
+    }
+
+    fn fingerprints(&self, data: &[RunFeatureData]) -> Vec<Matrix> {
+        histfp(data, self.nbins)
+    }
+
+    fn supports_measure(&self, _measure: Measure) -> bool {
+        true
+    }
+
+    fn frozen_ranges(&self) -> Option<&[(f64, f64)]> {
+        self.ranges.as_deref()
+    }
+}
+
+/// Phase-FP: BCPD phase statistics over globally normalized series.
+#[derive(Debug, Clone)]
+pub struct PhaseFpFingerprinter {
+    config: PhaseFpConfig,
+    ranges: Option<Vec<(f64, f64)>>,
+    max_phases: usize,
+}
+
+impl PhaseFpFingerprinter {
+    /// An unfitted Phase-FP fingerprinter.
+    pub fn new(config: PhaseFpConfig) -> Self {
+        Self {
+            config,
+            ranges: None,
+            max_phases: 1,
+        }
+    }
+
+    /// Segments one normalized series, respecting the single-phase rule
+    /// for plan features.
+    fn segment(&self, feature: FeatureId, normed: Vec<f64>) -> Vec<Vec<f64>> {
+        if matches!(feature, FeatureId::Plan(_)) {
+            vec![normed]
+        } else {
+            segments(&normed, &self.config.bcpd)
+                .into_iter()
+                .map(<[f64]>::to_vec)
+                .collect()
+        }
+    }
+}
+
+impl Fingerprinter for PhaseFpFingerprinter {
+    fn representation(&self) -> Representation {
+        Representation::PhaseFp
+    }
+
+    fn fit(&mut self, corpus: &[RunFeatureData]) {
+        let ranges = global_ranges(corpus);
+        let mut max_phases = 1usize;
+        for run in corpus {
+            for (f, series) in run.series.iter().enumerate() {
+                let normed: Vec<f64> = series.iter().map(|&v| norm01(v, ranges[f])).collect();
+                max_phases = max_phases.max(self.segment(run.features[f], normed).len());
+            }
+        }
+        self.ranges = Some(ranges);
+        self.max_phases = max_phases;
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.ranges.is_some()
+    }
+
+    fn fingerprint(&self, run: &RunFeatureData) -> Matrix {
+        let ranges = self
+            .ranges
+            .as_ref()
+            .expect("Phase-FP fingerprinter not fitted");
+        assert_eq!(
+            run.series.len(),
+            ranges.len(),
+            "run feature count must match the frozen ranges"
+        );
+        let n_stats = self.config.stats.len();
+        let mut m = Matrix::zeros(run.series.len(), self.max_phases * n_stats);
+        for (f, series) in run.series.iter().enumerate() {
+            let normed: Vec<f64> = series.iter().map(|&v| norm01(v, ranges[f])).collect();
+            let mut segs = self.segment(run.features[f], normed);
+            // a query noisier than anything in the corpus may segment
+            // into more phases than the frozen dimension; overflow is
+            // merged into the final retained phase so no observation is
+            // dropped and the shape stays corpus-stable
+            if segs.len() > self.max_phases {
+                let overflow: Vec<f64> = segs.drain(self.max_phases..).flatten().collect();
+                segs[self.max_phases - 1].extend(overflow);
+            }
+            for (p, seg) in segs.iter().enumerate() {
+                for (s, stat) in self.config.stats.iter().enumerate() {
+                    m[(f, p * n_stats + s)] = stat.eval(seg);
+                }
+            }
+        }
+        m
+    }
+
+    fn fingerprints(&self, data: &[RunFeatureData]) -> Vec<Matrix> {
+        phasefp(data, &self.config)
+    }
+
+    fn supports_measure(&self, _measure: Measure) -> bool {
+        true
+    }
+
+    fn frozen_ranges(&self) -> Option<&[(f64, f64)]> {
+        self.ranges.as_deref()
+    }
+}
+
+/// Plan-Embed: the mean bottleneck embedding of a run's per-query
+/// plan-statistic vectors under a seeded autoencoder.
+///
+/// The frozen corpus state is the trained encoder itself: `fit` collects
+/// every per-query plan vector in the corpus into one training matrix
+/// and trains the autoencoder on it (sequential full-batch Adam, so the
+/// weights are bit-identical on any thread count). A query's fingerprint
+/// then depends only on those weights and the query's own rows — the
+/// corpus-stable contract. The `1 × bottleneck` fingerprint is a plain
+/// vector, so the metric-norm stages of the pruning cascade (pivots,
+/// PAA) apply to it directly.
+#[derive(Debug, Clone)]
+pub struct PlanEmbedFingerprinter {
+    config: AutoencoderConfig,
+    encoder: Option<Autoencoder>,
+}
+
+impl PlanEmbedFingerprinter {
+    /// An unfitted Plan-Embed fingerprinter.
+    pub fn new(config: AutoencoderConfig) -> Self {
+        Self {
+            config,
+            encoder: None,
+        }
+    }
+
+    /// Transposes a run's plan-feature series into per-query rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run carries no plan features (Plan-Embed needs
+    /// plan statistics) or the plan series are ragged.
+    fn plan_rows(run: &RunFeatureData) -> Vec<Vec<f64>> {
+        let plan_idx: Vec<usize> = run
+            .features
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, FeatureId::Plan(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            !plan_idx.is_empty(),
+            "Plan-Embed requires at least one plan feature in the feature set"
+        );
+        let n = run.series[plan_idx[0]].len();
+        for &i in &plan_idx {
+            assert_eq!(
+                run.series[i].len(),
+                n,
+                "plan features must share the per-query observation count"
+            );
+        }
+        (0..n)
+            .map(|q| plan_idx.iter().map(|&i| run.series[i][q]).collect())
+            .collect()
+    }
+}
+
+impl Fingerprinter for PlanEmbedFingerprinter {
+    fn representation(&self) -> Representation {
+        Representation::PlanEmbed
+    }
+
+    fn fit(&mut self, corpus: &[RunFeatureData]) {
+        assert!(!corpus.is_empty(), "need at least one run");
+        let mut rows = Vec::new();
+        for run in corpus {
+            rows.extend(Self::plan_rows(run));
+        }
+        let mut encoder = Autoencoder::new(self.config.clone());
+        encoder.fit(&Matrix::from_rows(&rows));
+        self.encoder = Some(encoder);
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.encoder.is_some()
+    }
+
+    fn fingerprint(&self, run: &RunFeatureData) -> Matrix {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .expect("Plan-Embed fingerprinter not fitted");
+        let rows = Self::plan_rows(run);
+        let k = encoder.bottleneck();
+        let mut mean = vec![0.0; k];
+        for row in &rows {
+            for (m, v) in mean.iter_mut().zip(encoder.encode(row)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= rows.len() as f64;
+        }
+        Matrix::from_rows(&[mean])
+    }
+
+    fn fingerprints(&self, data: &[RunFeatureData]) -> Vec<Matrix> {
+        let mut fresh = Self::new(self.config.clone());
+        fresh.fit(data);
+        data.iter().map(|run| fresh.fingerprint(run)).collect()
+    }
+
+    fn supports_measure(&self, measure: Measure) -> bool {
+        // a single-row embedding has no time axis for DTW/LCSS to warp
+        matches!(measure, Measure::Norm(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_telemetry::{PlanFeature, ResourceFeature};
+
+    fn resource_run(series: Vec<Vec<f64>>) -> RunFeatureData {
+        let features = series
+            .iter()
+            .enumerate()
+            .map(|(i, _)| FeatureId::Resource(ResourceFeature::ALL[i]))
+            .collect();
+        RunFeatureData { features, series }
+    }
+
+    fn mixed_run(shift: f64) -> RunFeatureData {
+        // two resource series plus three plan features over 5 queries
+        let features = vec![
+            FeatureId::Resource(ResourceFeature::ALL[0]),
+            FeatureId::Resource(ResourceFeature::ALL[1]),
+            FeatureId::Plan(PlanFeature::ALL[0]),
+            FeatureId::Plan(PlanFeature::ALL[1]),
+            FeatureId::Plan(PlanFeature::ALL[2]),
+        ];
+        let series = vec![
+            (0..12).map(|i| i as f64 * 0.1 + shift).collect(),
+            (0..12).map(|i| (12 - i) as f64 * 0.2).collect(),
+            (0..5).map(|q| q as f64 + shift).collect(),
+            (0..5).map(|q| q as f64 * 2.0 - shift).collect(),
+            (0..5).map(|q| (q as f64 - shift).abs()).collect(),
+        ];
+        RunFeatureData { features, series }
+    }
+
+    #[test]
+    fn hist_joint_matches_primitive_bit_for_bit() {
+        let data = vec![mixed_run(0.0), mixed_run(1.5), mixed_run(3.0)];
+        let via_trait = fingerprinter(Representation::HistFp, &FingerprintConfig::default())
+            .fingerprints(&data);
+        assert_eq!(via_trait, histfp(&data, DEFAULT_BINS));
+    }
+
+    #[test]
+    fn phase_joint_matches_primitive_bit_for_bit() {
+        let data = vec![mixed_run(0.0), mixed_run(2.0)];
+        let via_trait = fingerprinter(Representation::PhaseFp, &FingerprintConfig::default())
+            .fingerprints(&data);
+        assert_eq!(via_trait, phasefp(&data, &PhaseFpConfig::default()));
+    }
+
+    #[test]
+    fn mts_joint_matches_primitive_bit_for_bit() {
+        let data = vec![
+            resource_run(vec![vec![0.0, 1.0, 2.0], vec![3.0, 4.0, 5.0]]),
+            resource_run(vec![vec![0.5, 1.5, 2.5], vec![3.5, 4.5, 5.5]]),
+        ];
+        let via_trait =
+            fingerprinter(Representation::Mts, &FingerprintConfig::default()).fingerprints(&data);
+        assert_eq!(via_trait, mts(&data));
+    }
+
+    #[test]
+    fn hist_frozen_fingerprint_matches_ranged_primitive() {
+        let corpus = vec![mixed_run(0.0), mixed_run(2.0)];
+        let fp = fitted(
+            Representation::HistFp,
+            &FingerprintConfig::default(),
+            &corpus,
+        );
+        let query = mixed_run(5.0);
+        let ranges = global_ranges(&corpus);
+        let direct = histfp_with_ranges(std::slice::from_ref(&query), &ranges, DEFAULT_BINS);
+        assert_eq!(fp.fingerprint(&query), direct[0]);
+        assert_eq!(fp.frozen_ranges(), Some(ranges.as_slice()));
+    }
+
+    #[test]
+    fn frozen_fingerprints_are_query_independent() {
+        // the corpus-stable contract, per representation (MTS gets
+        // resource-only runs: its raw form needs one shared clock)
+        for repr in Representation::ALL {
+            let data: Vec<RunFeatureData> = if repr == Representation::Mts {
+                (0..4)
+                    .map(|i| {
+                        resource_run(vec![
+                            (0..12).map(|t| t as f64 + i as f64).collect(),
+                            (0..12).map(|t| (t * 2) as f64 - i as f64).collect(),
+                        ])
+                    })
+                    .collect()
+            } else {
+                (0..4).map(|i| mixed_run(i as f64)).collect()
+            };
+            let (corpus, rest) = data.split_at(3);
+            let fp = fitted(repr, &FingerprintConfig::default(), corpus);
+            let a = fp.fingerprint(&rest[0]);
+            let b = fp.fingerprint(&rest[0]);
+            assert_eq!(a, b, "{}: fingerprint must be pure", repr.label());
+        }
+    }
+
+    #[test]
+    fn plan_embed_fingerprint_shape_and_determinism() {
+        let corpus: Vec<RunFeatureData> = (0..4).map(|i| mixed_run(i as f64)).collect();
+        let cfg = FingerprintConfig::default();
+        let a = fitted(Representation::PlanEmbed, &cfg, &corpus);
+        let b = fitted(Representation::PlanEmbed, &cfg, &corpus);
+        let query = mixed_run(9.0);
+        let fa = a.fingerprint(&query);
+        let fb = b.fingerprint(&query);
+        assert_eq!(fa.shape(), (1, cfg.embed.bottleneck));
+        let bits_a: Vec<u64> = fa.as_slice().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u64> = fb.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "training must be deterministic");
+    }
+
+    #[test]
+    fn plan_embed_separates_different_runs() {
+        let corpus: Vec<RunFeatureData> = (0..4).map(|i| mixed_run(i as f64)).collect();
+        let fp = fitted(
+            Representation::PlanEmbed,
+            &FingerprintConfig::default(),
+            &corpus,
+        );
+        assert_ne!(fp.fingerprint(&corpus[0]), fp.fingerprint(&corpus[3]));
+    }
+
+    #[test]
+    fn plan_embed_rejects_elastic_measures() {
+        let fp = fingerprinter(Representation::PlanEmbed, &FingerprintConfig::default());
+        assert!(fp.supports_measure(Measure::Norm(crate::measure::Norm::L21)));
+        assert!(!fp.supports_measure(Measure::DtwIndependent));
+        for repr in [
+            Representation::Mts,
+            Representation::HistFp,
+            Representation::PhaseFp,
+        ] {
+            let fp = fingerprinter(repr, &FingerprintConfig::default());
+            assert!(fp.supports_measure(Measure::DtwDependent), "{:?}", repr);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one plan feature")]
+    fn plan_embed_requires_plan_features() {
+        let data = vec![resource_run(vec![vec![0.0, 1.0]])];
+        let mut fp = PlanEmbedFingerprinter::new(AutoencoderConfig::default());
+        fp.fit(&data);
+    }
+
+    #[test]
+    fn phase_frozen_handles_phase_overflow() {
+        // corpus with calm series freezes max_phases low; a noisy query
+        // must still produce a fingerprint of the frozen shape
+        let calm: Vec<RunFeatureData> = (0..2)
+            .map(|i| resource_run(vec![vec![i as f64; 60]]))
+            .collect();
+        let fp = fitted(
+            Representation::PhaseFp,
+            &FingerprintConfig::default(),
+            &calm,
+        );
+        let shape = fp.fingerprint(&calm[0]).shape();
+        let noisy = resource_run(vec![(0..60)
+            .map(|t| if (t / 10) % 2 == 0 { 0.0 } else { 1.0 })
+            .collect()]);
+        assert_eq!(fp.fingerprint(&noisy).shape(), shape);
+    }
+}

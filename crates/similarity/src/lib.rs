@@ -8,6 +8,10 @@
 //!   fingerprints ([`histfp`]), and phase-level statistical fingerprints
 //!   ([`phasefp`], backed by Bayesian online change-point detection in
 //!   [`bcpd`]).
+//!   The learned fourth representation, Plan-Embed, lives behind the
+//!   [`fingerprinter::Fingerprinter`] strategy trait, which also unifies
+//!   the paper's three representations behind one joint /
+//!   corpus-stable construction interface.
 //! * **Similarity computation** — [`norms`] implements the matrix norms
 //!   (L1,1 / L2,1 / Frobenius / Canberra / Chi² / Correlation), [`dtw`]
 //!   and [`lcss`] the elastic time-series measures (dependent and
@@ -24,6 +28,7 @@ pub mod bcpd;
 pub mod cluster;
 pub mod dtw;
 pub mod eval;
+pub mod fingerprinter;
 pub mod histfp;
 pub mod lcss;
 pub mod measure;
@@ -33,5 +38,6 @@ pub mod repr;
 pub mod robustness;
 
 pub use eval::{mean_average_precision, ndcg, one_nn_accuracy};
+pub use fingerprinter::{fingerprinter, fitted, FingerprintConfig, Fingerprinter};
 pub use measure::{try_distance_matrix, Measure, Norm};
 pub use repr::Representation;

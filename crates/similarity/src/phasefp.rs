@@ -33,7 +33,7 @@ impl PhaseStat {
     /// §5.2's default statistic set.
     pub const DEFAULT: [PhaseStat; 3] = [PhaseStat::Mean, PhaseStat::Median, PhaseStat::Variance];
 
-    fn eval(self, values: &[f64]) -> f64 {
+    pub(crate) fn eval(self, values: &[f64]) -> f64 {
         match self {
             PhaseStat::Mean => wp_linalg::stats::mean(values),
             PhaseStat::Median => wp_linalg::stats::median(values),

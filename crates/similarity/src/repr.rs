@@ -10,7 +10,8 @@
 use wp_linalg::Matrix;
 use wp_telemetry::{ExperimentRun, FeatureId};
 
-/// Which data representation a similarity computation uses (§5.1.1).
+/// Which data representation a similarity computation uses (§5.1.1),
+/// plus the learned plan-embedding extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Representation {
     /// Raw multivariate time-series (resource features only).
@@ -19,15 +20,49 @@ pub enum Representation {
     HistFp,
     /// Phase-level statistical fingerprinting (BCPD phases × statistics).
     PhaseFp,
+    /// Learned plan embedding: the bottleneck of a seeded autoencoder
+    /// trained on per-query plan-statistic vectors.
+    PlanEmbed,
 }
 
 impl Representation {
+    /// Every representation, paper order first, learned extension last.
+    pub const ALL: [Representation; 4] = [
+        Representation::Mts,
+        Representation::HistFp,
+        Representation::PhaseFp,
+        Representation::PlanEmbed,
+    ];
+
     /// Display label matching the paper's tables.
     pub fn label(self) -> &'static str {
         match self {
             Representation::Mts => "MTS",
             Representation::HistFp => "Hist-FP",
             Representation::PhaseFp => "Phase-FP",
+            Representation::PlanEmbed => "Plan-Embed",
+        }
+    }
+
+    /// Parses the short names used by the CLI and the HTTP API
+    /// (`mts`, `hist`, `phase`, `embed`).
+    pub fn parse(s: &str) -> Option<Representation> {
+        match s {
+            "mts" => Some(Representation::Mts),
+            "hist" => Some(Representation::HistFp),
+            "phase" => Some(Representation::PhaseFp),
+            "embed" => Some(Representation::PlanEmbed),
+            _ => None,
+        }
+    }
+
+    /// The inverse of [`Representation::parse`].
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Representation::Mts => "mts",
+            Representation::HistFp => "hist",
+            Representation::PhaseFp => "phase",
+            Representation::PlanEmbed => "embed",
         }
     }
 }
@@ -43,7 +78,7 @@ pub struct RunFeatureData {
 }
 
 /// Extracts observation vectors for the given features from a run,
-/// applying a `ln(1 + x)` transform.
+/// applying a signed `sign(x)·ln(1 + |x|)` transform.
 ///
 /// Telemetry features span eight orders of magnitude (estimated row
 /// counts in the tens of millions next to utilization fractions), so a
@@ -51,11 +86,19 @@ pub struct RunFeatureData {
 /// largest workload and collapse every other workload into the lowest
 /// histogram bin. The log transform keeps relative differences visible at
 /// every magnitude; use [`extract_raw`] to opt out.
+///
+/// The transform is odd: negative observations (delta-valued features
+/// such as change rates) keep their sign instead of being silently
+/// clamped to zero, while non-negative values map exactly as the plain
+/// `ln(1 + x)` always did — existing fingerprints of non-negative
+/// telemetry are bit-identical.
 pub fn extract(run: &ExperimentRun, features: &[FeatureId]) -> RunFeatureData {
     let mut data = extract_raw(run, features);
     for series in &mut data.series {
         for v in series {
-            *v = (1.0 + v.max(0.0)).ln();
+            // not `signum()`: -0.0 must map to +0.0 like before
+            let sign = if *v < 0.0 { -1.0 } else { 1.0 };
+            *v = sign * (1.0 + v.abs()).ln();
         }
     }
     data
@@ -194,5 +237,70 @@ mod tests {
         assert_eq!(Representation::Mts.label(), "MTS");
         assert_eq!(Representation::HistFp.label(), "Hist-FP");
         assert_eq!(Representation::PhaseFp.label(), "Phase-FP");
+        assert_eq!(Representation::PlanEmbed.label(), "Plan-Embed");
+    }
+
+    #[test]
+    fn representation_parse_roundtrips() {
+        for repr in Representation::ALL {
+            assert_eq!(Representation::parse(repr.short_name()), Some(repr));
+        }
+        assert_eq!(Representation::parse("nope"), None);
+    }
+
+    fn run_with_first_resource(values: &[f64]) -> wp_telemetry::ExperimentRun {
+        use wp_telemetry::{PlanStats, ResourceSeries, RunKey};
+        let rows: Vec<Vec<f64>> = values
+            .iter()
+            .map(|&v| {
+                let mut row = vec![1.0; 7];
+                row[0] = v;
+                row
+            })
+            .collect();
+        wp_telemetry::ExperimentRun {
+            key: RunKey {
+                workload: "w".into(),
+                sku: "s".into(),
+                terminals: 1,
+                run_index: 0,
+                data_group: 0,
+            },
+            resources: ResourceSeries::new(Matrix::from_rows(&rows), 1.0),
+            plans: PlanStats::new(Matrix::from_rows(&[vec![0.5; 22]]), vec!["Q".into()]),
+            throughput: 1.0,
+            latency_ms: 1.0,
+            per_query_latency_ms: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn extract_log_transform_unchanged_for_non_negative_values() {
+        // bit-level pin: non-negative telemetry (everything the paper's
+        // features produce) must fingerprint exactly as before the
+        // signed-log fix, -0.0 included
+        let run = run_with_first_resource(&[0.0, -0.0, 0.5, 3.0, 1e7]);
+        let features = [FeatureId::Resource(wp_telemetry::ResourceFeature::ALL[0])];
+        let got = &extract(&run, &features).series[0];
+        let expected: Vec<f64> = [0.0f64, -0.0, 0.5, 3.0, 1e7]
+            .iter()
+            .map(|v| (1.0 + v.max(0.0)).ln())
+            .collect();
+        let got_bits: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        let expected_bits: Vec<u64> = expected.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, expected_bits);
+    }
+
+    #[test]
+    fn extract_keeps_sign_of_negative_values() {
+        // delta-valued features must not collapse to zero: the signed
+        // log is odd, so -x and x land symmetrically around zero
+        let run = run_with_first_resource(&[-3.0, 3.0, -0.25]);
+        let features = [FeatureId::Resource(wp_telemetry::ResourceFeature::ALL[0])];
+        let got = &extract(&run, &features).series[0];
+        assert_eq!(got[0], -(4.0f64).ln());
+        assert_eq!(got[1], (4.0f64).ln());
+        assert_eq!(got[0], -got[1]);
+        assert!(got[2] < 0.0, "small negatives must stay negative");
     }
 }

@@ -9,12 +9,13 @@
 //!   materializes as a live reference named `live:<tenant>` next to the
 //!   startup corpus, and older runs are evicted past
 //!   [`StreamConfig::window`].
-//! * **Incremental corpus evolution** — histogram ranges are frozen over
-//!   the startup corpus ([`CorpusIndex::from_reference_runs_with_ranges`]),
-//!   so new runs are appended via [`CorpusIndex::insert_reference`]
-//!   without touching existing fingerprints; an eviction invalidates
-//!   indexed runs and triggers a full rebuild under the *same* frozen
-//!   ranges. Either path yields an index that answers `rank_references`
+//! * **Incremental corpus evolution** — the fingerprinter is fitted
+//!   (ranges frozen) over the startup corpus and shared as an
+//!   `Arc<dyn Fingerprinter>`, so new runs are appended via
+//!   [`CorpusIndex::insert_reference`] without touching existing
+//!   fingerprints; an eviction invalidates indexed runs and triggers a
+//!   full rebuild under the *same* frozen fingerprinter
+//!   ([`CorpusIndex::from_reference_runs_with_fingerprinter`]). Either path yields an index that answers `rank_references`
 //!   byte-identically to a from-scratch rebuild over the same windows.
 //! * **Drift detection** — each accepted batch fingerprints the tenant's
 //!   window and compares it against the trailing history of window
@@ -31,6 +32,7 @@
 //! across `WP_THREADS` settings.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use wp_core::offline::OfflineCorpus;
 use wp_core::pipeline::PipelineConfig;
@@ -40,8 +42,8 @@ use wp_json::{obj, Json};
 use wp_linalg::{Matrix, Rng64};
 use wp_obs::{LazyCounter, LazyGauge, LazySpan};
 use wp_similarity::bcpd::{detect_changepoints, BcpdConfig};
-use wp_similarity::histfp::histfp_with_ranges;
-use wp_similarity::repr::{extract, RunFeatureData};
+use wp_similarity::repr::extract;
+use wp_similarity::Fingerprinter;
 use wp_telemetry::{ExperimentRun, FeatureId, PlanFeature, ResourceFeature};
 
 static OBS_INGEST_SPAN: LazySpan = LazySpan::new("wp_stream_ingest");
@@ -213,7 +215,7 @@ struct TenantWindow {
 }
 
 /// The evolving corpus: startup references plus live per-tenant windows,
-/// all indexed under histogram ranges frozen at construction.
+/// all indexed under a fingerprinter frozen at construction.
 pub struct StreamEngine {
     config: StreamConfig,
     pipeline: PipelineConfig,
@@ -222,7 +224,9 @@ pub struct StreamEngine {
     /// The startup references, kept for eviction-triggered rebuilds.
     base_refs: Vec<(String, Vec<ExperimentRun>)>,
     features: Vec<FeatureId>,
-    frozen_ranges: Vec<(f64, f64)>,
+    /// The fitted fingerprinter shared with the index — frozen corpus
+    /// state (e.g. histogram ranges) every rebuild reuses.
+    fingerprinter: Arc<dyn Fingerprinter>,
     tenants: BTreeMap<String, TenantWindow>,
     /// Tenants in the order they went live — the reference order every
     /// rebuild reproduces, so incremental and rebuilt indexes agree.
@@ -280,15 +284,17 @@ fn mean_matrix(ms: &[Matrix]) -> Matrix {
 }
 
 /// Fingerprint of a whole window: the mean of its runs' fingerprints
-/// under the frozen ranges.
+/// under the frozen fingerprinter.
 fn window_fingerprint(
     runs: &[ExperimentRun],
     features: &[FeatureId],
-    ranges: &[(f64, f64)],
-    nbins: usize,
+    fingerprinter: &dyn Fingerprinter,
 ) -> Matrix {
-    let data: Vec<RunFeatureData> = runs.iter().map(|r| extract(r, features)).collect();
-    mean_matrix(&histfp_with_ranges(&data, ranges, nbins))
+    let fps: Vec<Matrix> = runs
+        .iter()
+        .map(|r| fingerprinter.fingerprint(&extract(r, features)))
+        .collect();
+    mean_matrix(&fps)
 }
 
 /// BCPD phase count over the window's concatenated CPU-utilization series.
@@ -383,7 +389,7 @@ impl StreamEngine {
             .iter()
             .map(|r| (r.name.clone(), r.runs_from.clone()))
             .collect();
-        let frozen_ranges = index.ranges().to_vec();
+        let fingerprinter = index.fingerprinter();
         let engine = Self {
             config,
             pipeline: pipeline.clone(),
@@ -391,7 +397,7 @@ impl StreamEngine {
             index,
             base_refs,
             features: features.to_vec(),
-            frozen_ranges,
+            fingerprinter,
             tenants: BTreeMap::new(),
             live_order: Vec::new(),
             generation: 0,
@@ -428,8 +434,7 @@ impl StreamEngine {
         // Clone the frozen per-corpus state up front so the window can be
         // borrowed mutably while fingerprinting below.
         let features = self.features.clone();
-        let ranges = self.frozen_ranges.clone();
-        let nbins = self.pipeline.nbins;
+        let fingerprinter = Arc::clone(&self.fingerprinter);
         let measure = self.pipeline.measure;
         let (window_cap, min_runs, history_cap, warmup) = (
             self.config.window,
@@ -461,7 +466,7 @@ impl StreamEngine {
         OBS_EVICTED.add(evicted as u64);
 
         // Drift: window fingerprint vs its trailing history.
-        let fp = window_fingerprint(&window.runs, &features, &ranges, nbins);
+        let fp = window_fingerprint(&window.runs, &features, fingerprinter.as_ref());
         let (mut distance, mut ratio, mut drifted) = (0.0, 0.0, false);
         if window.history.len() >= warmup {
             let baseline = mean_matrix(&window.history);
@@ -503,12 +508,12 @@ impl StreamEngine {
         let rebuilt = live && evicted > 0;
         if rebuilt {
             // An eviction invalidated indexed runs: rebuild everything
-            // under the same frozen ranges.
+            // under the same frozen fingerprinter.
             let refs = live_refs(&self.base_refs, &self.tenants, &self.live_order);
-            self.index = CorpusIndex::from_reference_runs_with_ranges(
+            self.index = CorpusIndex::from_reference_runs_with_fingerprinter(
                 &refs,
                 &features,
-                &ranges,
+                Arc::clone(&fingerprinter),
                 &self.pipeline,
                 self.index_config,
             )?;
@@ -623,14 +628,14 @@ impl StreamEngine {
     }
 
     /// A from-scratch rebuild over the startup references plus the
-    /// current live windows, under the same frozen ranges — what the
-    /// incremental index must stay byte-equivalent to.
+    /// current live windows, under the same frozen fingerprinter — what
+    /// the incremental index must stay byte-equivalent to.
     pub fn rebuilt_index(&self) -> Result<CorpusIndex, String> {
         let refs = live_refs(&self.base_refs, &self.tenants, &self.live_order);
-        CorpusIndex::from_reference_runs_with_ranges(
+        CorpusIndex::from_reference_runs_with_fingerprinter(
             &refs,
             &self.features,
-            &self.frozen_ranges,
+            Arc::clone(&self.fingerprinter),
             &self.pipeline,
             self.index_config,
         )
